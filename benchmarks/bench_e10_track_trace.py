@@ -1,0 +1,120 @@
+"""E10 — track-and-trace over the pre-populated event database.
+
+Section 4 runs "track-and-trace queries over an event database populated
+with data collected in advance": current location and movement history.
+This experiment populates the database from a generated supply-chain
+history, verifies every answer against ground truth, and measures query
+latency for both the programmatic API and ad-hoc SQL.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.db import EventDatabase
+from repro.workloads import WarehouseConfig, WarehouseHistory
+
+from common import print_table
+
+HISTORY_CONFIG = WarehouseConfig(n_boxes=20, items_per_box=10,
+                                 n_box_changes=15, seed=10)
+
+
+def build_database() -> tuple[WarehouseHistory, EventDatabase]:
+    history = WarehouseHistory.generate(HISTORY_CONFIG)
+    event_db = EventDatabase()
+    history.populate(event_db)
+    return history, event_db
+
+
+def verify_and_measure(history: WarehouseHistory,
+                       event_db: EventDatabase):
+    rows = []
+
+    started = time.perf_counter()
+    for tag in history.item_tags:
+        location = event_db.current_location(tag)
+        assert location is not None
+        assert location["area_id"] == history.truth.final_location[tag]
+    elapsed = time.perf_counter() - started
+    rows.append(["current location", len(history.item_tags),
+                 len(history.item_tags) / elapsed, "all correct"])
+
+    started = time.perf_counter()
+    for tag in history.item_tags:
+        moves = event_db.movement_history(tag)
+        truth = history.truth.location_history[tag]
+        assert [entry["area_id"] for entry in moves] == \
+            [area for area, _ in truth]
+    elapsed = time.perf_counter() - started
+    rows.append(["movement history", len(history.item_tags),
+                 len(history.item_tags) / elapsed, "all correct"])
+
+    started = time.perf_counter()
+    for tag in history.item_tags:
+        stays = event_db.containment_history(tag)
+        truth = history.truth.containment_history[tag]
+        assert [entry["parent_tag"] for entry in stays] == \
+            [parent for parent, _ in truth]
+    elapsed = time.perf_counter() - started
+    rows.append(["containment history", len(history.item_tags),
+                 len(history.item_tags) / elapsed, "all correct"])
+
+    started = time.perf_counter()
+    per_area = event_db.db.query(
+        "SELECT area_id, COUNT(*) AS n FROM locations "
+        "WHERE time_out IS NULL GROUP BY area_id ORDER BY area_id")
+    elapsed = time.perf_counter() - started
+    total = sum(row["n"] for row in per_area)
+    rows.append(["ad-hoc SQL inventory", 1, 1 / elapsed,
+                 f"{total} open stays in {len(per_area)} areas"])
+    return rows
+
+
+def main() -> None:
+    history, event_db = build_database()
+    print(f"pre-populated: {len(history.item_tags)} items, "
+          f"{len(history.box_tags)} boxes, {len(history.ops)} history "
+          f"ops, {len(event_db.db.table('locations'))} location rows")
+    print_table(
+        "E10 — track-and-trace query latency and correctness",
+        ["query", "lookups", "lookups/s", "verification"],
+        verify_and_measure(history, event_db))
+
+
+def test_benchmark_populate(benchmark):
+    history = WarehouseHistory.generate(HISTORY_CONFIG)
+
+    def run():
+        event_db = EventDatabase()
+        history.populate(event_db)
+        return len(event_db.db.table("locations"))
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert rows > 0
+
+
+def test_benchmark_current_location_lookups(benchmark):
+    history, event_db = build_database()
+
+    def run():
+        return [event_db.current_location(tag)
+                for tag in history.item_tags]
+
+    locations = benchmark(run)
+    assert all(location is not None for location in locations)
+
+
+def test_benchmark_movement_history_lookups(benchmark):
+    history, event_db = build_database()
+
+    def run():
+        return [event_db.movement_history(tag)
+                for tag in history.item_tags]
+
+    histories = benchmark(run)
+    assert all(histories)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""E13 — per-event processing latency (the paper's latency requirement).
+
+"Despite the volume of data and logic complexity, RFID data processing
+needs to be fast.  Filtering, pattern matching, and aggregation must all
+be performed with low latency" (Section 1).
+
+This experiment measures the wall-clock cost of feeding *one event*
+through a registered query — the detection latency floor — and reports
+the distribution (p50 / p95 / p99 / max) per plan.  A plan with good
+*throughput* can still exhibit ugly tail latency if single events trigger
+huge construction bursts; this is where the optimizations show up in the
+tail.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+from common import print_table
+
+STREAM_CONFIG = SyntheticConfig(n_events=6000, n_types=3, id_domain=60,
+                                mean_gap=1.0, seed=13)
+WINDOW = 60.0
+
+PLANS = [
+    ("optimized", PlanConfig()),
+    ("no PAIS", PlanConfig().without("partition_pushdown")),
+    ("no window pushdown", PlanConfig().without("window_pushdown")),
+]
+
+
+def measure(config: PlanConfig) -> tuple[list[float], int]:
+    stream = SyntheticStream.generate(STREAM_CONFIG)
+    query = seq_query(3, window=WINDOW, partitioned=True)
+    engine = Engine(stream.registry)
+    runtime = engine.runtime(query, config=config)
+    latencies: list[float] = []
+    results = 0
+    for event in stream.events:
+        started = time.perf_counter()
+        results += len(runtime.feed(event))
+        latencies.append(time.perf_counter() - started)
+    results += len(runtime.flush())
+    return latencies, results
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def sweep():
+    rows = []
+    for label, config in PLANS:
+        latencies, results = measure(config)
+        latencies.sort()
+        rows.append([
+            label,
+            percentile(latencies, 0.50) * 1e6,
+            percentile(latencies, 0.95) * 1e6,
+            percentile(latencies, 0.99) * 1e6,
+            latencies[-1] * 1e3,
+            results,
+        ])
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "E13 — per-event latency by plan "
+        f"({STREAM_CONFIG.n_events} events, SEQ(A,B,C), window "
+        f"{WINDOW:g}s)",
+        ["plan", "p50 (us)", "p95 (us)", "p99 (us)", "max (ms)",
+         "matches"],
+        sweep())
+
+
+def test_benchmark_latency_optimized(benchmark):
+    def run():
+        latencies, _ = measure(PlanConfig())
+        latencies.sort()
+        return percentile(latencies, 0.99)
+
+    p99 = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert p99 < 0.01  # 10 ms ceiling leaves huge slack; guards regressions
+
+
+def test_benchmark_latency_no_pushdown(benchmark):
+    def run():
+        latencies, _ = measure(
+            PlanConfig().without("window_pushdown"))
+        latencies.sort()
+        return percentile(latencies, 0.99)
+
+    p99 = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert p99 > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""E1 — Figure 1: the system architecture as a measured dataflow.
+
+Regenerates the architecture figure as numbers: how many items flow
+through each layer (devices -> five cleaning stages -> complex event
+processor -> event database) and each layer's standalone throughput.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cleaning import (
+    AnomalyFilter,
+    CleaningConfig,
+    CleaningPipeline,
+    Deduplication,
+    EventGeneration,
+    TemporalSmoothing,
+    TimeConversion,
+)
+from repro.rfid import NoiseModel
+from repro.system import SaseSystem
+from repro.workloads import (
+    LOCATION_UPDATE_RULE,
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+)
+
+from common import print_table
+
+SCENARIO_CONFIG = RetailConfig(n_products=40, n_shoppers=8,
+                               n_shoplifters=2, n_misplacements=2, seed=1)
+NOISE = NoiseModel(miss_rate=0.1, duplicate_rate=0.1, truncate_rate=0.02,
+                   ghost_rate=0.01)
+
+
+def collect_ticks(scenario: RetailScenario):
+    return [(now, readings) for now, readings
+            in scenario.ticks(NOISE)]
+
+
+def measure_layers(scenario: RetailScenario, ticks) -> list[list[object]]:
+    """Time each cleaning layer standalone on the same material."""
+    rows: list[list[object]] = []
+    total_raw = sum(len(readings) for _, readings in ticks)
+    rows.append(["physical devices (simulated)", total_raw, total_raw,
+                 float("nan"), ""])
+
+    anomaly = AnomalyFilter(scenario.ons.known_tags())
+    started = time.perf_counter()
+    cleaned = [(now, anomaly.process(readings)) for now, readings in ticks]
+    _record(rows, "1. anomaly filtering", anomaly.stats, started)
+
+    smoothing = TemporalSmoothing(window=2.0)
+    started = time.perf_counter()
+    smoothed = [(now, smoothing.process(readings, now))
+                for now, readings in cleaned]
+    _record(rows, "2. temporal smoothing", smoothing.stats, started)
+
+    conversion = TimeConversion(unit=1.0)
+    started = time.perf_counter()
+    logical = [(now, conversion.process(readings))
+               for now, readings in smoothed]
+    _record(rows, "3. time conversion", conversion.stats, started)
+
+    dedup = Deduplication(scenario.layout)
+    started = time.perf_counter()
+    deduped = [(now, dedup.process(readings)) for now, readings in logical]
+    _record(rows, "4. deduplication", dedup.stats, started)
+
+    generation = EventGeneration(scenario.layout, scenario.ons)
+    started = time.perf_counter()
+    for _, readings in deduped:
+        generation.process(readings)
+    _record(rows, "5. event generation", generation.stats, started)
+    return rows
+
+
+def _record(rows, label, stats, started) -> None:
+    elapsed = time.perf_counter() - started
+    rate = stats.consumed / elapsed if elapsed > 0 else float("inf")
+    rows.append([label, stats.consumed, stats.produced, rate,
+                 f"dropped={stats.dropped} created={stats.created}"])
+
+
+def build_system(scenario: RetailScenario) -> SaseSystem:
+    system = SaseSystem(scenario.layout, scenario.ons)
+    system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
+    for event_type in ("SHELF_READING", "COUNTER_READING",
+                       "EXIT_READING"):
+        system.register_archiving_rule(f"loc_{event_type}",
+                                       LOCATION_UPDATE_RULE(event_type))
+    return system
+
+
+def measure_end_to_end(scenario: RetailScenario, ticks):
+    system = build_system(scenario)
+    total_raw = sum(len(readings) for _, readings in ticks)
+    started = time.perf_counter()
+    results = system.run_simulation(iter(ticks))
+    elapsed = time.perf_counter() - started
+    archived = len(system.event_db.db.execute(
+        "SELECT * FROM locations"))
+    return total_raw, len(results), archived, total_raw / elapsed
+
+
+def main() -> None:
+    scenario = RetailScenario.generate(SCENARIO_CONFIG)
+    ticks = collect_ticks(scenario)
+    rows = measure_layers(scenario, ticks)
+    print_table(
+        "E1 / Figure 1 — per-layer flow and standalone throughput",
+        ["layer", "in", "out", "items/s", "notes"], rows)
+
+    raw, results, archived, throughput = measure_end_to_end(scenario,
+                                                            ticks)
+    print_table(
+        "E1 / Figure 1 — end-to-end (devices -> cleaning -> processor "
+        "-> database)",
+        ["raw readings", "query results", "location rows",
+         "readings/s end-to-end"],
+        [[raw, results, archived, throughput]])
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+def test_benchmark_cleaning_pipeline(benchmark):
+    scenario = RetailScenario.generate(SCENARIO_CONFIG)
+    ticks = collect_ticks(scenario)
+
+    def run():
+        pipeline = CleaningPipeline(scenario.layout, scenario.ons,
+                                    CleaningConfig())
+        return sum(1 for _ in pipeline.run(iter(ticks)))
+
+    events = benchmark(run)
+    assert events > 0
+
+
+def test_benchmark_end_to_end_system(benchmark):
+    scenario = RetailScenario.generate(SCENARIO_CONFIG)
+    ticks = collect_ticks(scenario)
+
+    def run():
+        system = build_system(scenario)
+        return len(system.run_simulation(iter(ticks)))
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert results > 0
+
+
+if __name__ == "__main__":
+    main()

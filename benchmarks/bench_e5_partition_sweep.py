@@ -1,0 +1,80 @@
+"""E5 — engine evaluation: PAIS vs selection-after, sweeping partitions.
+
+The partitioned active instance stack pushes the query's equality
+equivalence class into the sequence scan: events hash into per-value
+partitions and sequences never cross values.  Sweep the number of distinct
+partition-attribute values; compare PAIS against the plan that constructs
+across all values and filters the equalities afterwards.
+
+Expected shape: PAIS throughput grows (per-partition stacks shrink) as the
+domain grows; selection-after stays bound to the window's cross-product
+and wastes more work the more partitions exist.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import PlanConfig
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+from common import print_table, run_plan
+
+N_EVENTS = 5000
+WINDOW = 30.0
+DOMAINS = [1, 2, 5, 20, 100, 500]
+
+PAIS = PlanConfig()
+SELECTION_AFTER = PlanConfig().without("partition_pushdown")
+
+
+def sweep():
+    rows = []
+    query = seq_query(3, window=WINDOW, partitioned=True)
+    for domain in DOMAINS:
+        stream = SyntheticStream.generate(SyntheticConfig(
+            n_events=N_EVENTS, n_types=3, id_domain=domain,
+            mean_gap=1.0, seed=5))
+        pais = run_plan(stream.registry, query, stream.events, PAIS)
+        after = run_plan(stream.registry, query, stream.events,
+                         SELECTION_AFTER)
+        assert pais.results == after.results
+        rows.append([domain, pais.throughput, after.throughput,
+                     pais.throughput / after.throughput,
+                     pais.partitions, pais.results])
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "E5 — PAIS vs selection-after vs #distinct partition values "
+        f"({N_EVENTS} events, window {WINDOW:g}s)",
+        ["id domain", "PAIS ev/s", "selection-after ev/s", "speedup",
+         "partitions", "matches"],
+        sweep())
+
+
+def test_benchmark_pais_many_partitions(benchmark):
+    stream = SyntheticStream.generate(SyntheticConfig(
+        n_events=N_EVENTS, n_types=3, id_domain=100, mean_gap=1.0,
+        seed=5))
+    query = seq_query(3, window=WINDOW, partitioned=True)
+    result = benchmark.pedantic(
+        lambda: run_plan(stream.registry, query, stream.events, PAIS),
+        rounds=3, iterations=1)
+    assert result.partitions > 50
+
+
+def test_benchmark_selection_after_many_partitions(benchmark):
+    stream = SyntheticStream.generate(SyntheticConfig(
+        n_events=N_EVENTS, n_types=3, id_domain=100, mean_gap=1.0,
+        seed=5))
+    query = seq_query(3, window=WINDOW, partitioned=True)
+    result = benchmark.pedantic(
+        lambda: run_plan(stream.registry, query, stream.events,
+                         SELECTION_AFTER),
+        rounds=3, iterations=1)
+    assert result.partitions <= 1
+
+
+if __name__ == "__main__":
+    main()

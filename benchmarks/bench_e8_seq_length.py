@@ -1,0 +1,68 @@
+"""E8 — engine evaluation: throughput vs sequence length.
+
+Longer SEQ patterns mean more NFA states, more stacks, and deeper
+construction recursion.  Sweep the number of positive components from 2 to
+5 over one stream (the query's types are drawn from the stream's types).
+
+Expected shape: throughput declines gently with length under the
+optimized plan — per-partition stacks keep construction local — and the
+match count drops as longer chains get rarer inside the window.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import PlanConfig
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+from common import print_table, run_plan
+
+STREAM_CONFIG = SyntheticConfig(n_events=5000, n_types=5, id_domain=25,
+                                mean_gap=1.0, seed=8)
+WINDOW = 120.0
+LENGTHS = [2, 3, 4, 5]
+
+
+def sweep():
+    stream = SyntheticStream.generate(STREAM_CONFIG)
+    rows = []
+    for length in LENGTHS:
+        query = seq_query(length, window=WINDOW, partitioned=True)
+        optimized = run_plan(stream.registry, query, stream.events,
+                             PlanConfig())
+        rows.append([length, optimized.throughput, optimized.peak_stack,
+                     optimized.results])
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "E8 — sequence length vs throughput "
+        f"({STREAM_CONFIG.n_events} events, window {WINDOW:g}s, "
+        "partitioned)",
+        ["SEQ length", "events/s", "peak stacks", "matches"],
+        sweep())
+
+
+def test_benchmark_seq_length_2(benchmark):
+    stream = SyntheticStream.generate(STREAM_CONFIG)
+    query = seq_query(2, window=WINDOW, partitioned=True)
+    result = benchmark.pedantic(
+        lambda: run_plan(stream.registry, query, stream.events,
+                         PlanConfig()),
+        rounds=3, iterations=1)
+    assert result.results > 0
+
+
+def test_benchmark_seq_length_5(benchmark):
+    stream = SyntheticStream.generate(STREAM_CONFIG)
+    query = seq_query(5, window=WINDOW, partitioned=True)
+    result = benchmark.pedantic(
+        lambda: run_plan(stream.registry, query, stream.events,
+                         PlanConfig()),
+        rounds=3, iterations=1)
+    assert result.events == STREAM_CONFIG.n_events
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` file regenerates one experiment from DESIGN.md's index:
+run as a script it prints the full series (the table/figure data); under
+``pytest benchmarks/ --benchmark-only`` it times one representative
+configuration per series through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.events.event import Event
+from repro.events.model import SchemaRegistry
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One measured engine run."""
+
+    events: int
+    results: int
+    elapsed: float
+    peak_stack: int = 0
+    partitions: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Events per second (the unit the engine evaluation reports)."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.events / self.elapsed
+
+
+def run_plan(registry: SchemaRegistry, query_text: str,
+             events: Sequence[Event],
+             config: PlanConfig | None = None) -> RunResult:
+    """Time one full engine run of *query_text* over *events*."""
+    engine = Engine(registry)
+    runtime = engine.runtime(query_text, config=config)
+    results = 0
+    started = time.perf_counter()
+    for event in events:
+        results += len(runtime.feed(event))
+    results += len(runtime.flush())
+    elapsed = time.perf_counter() - started
+    return RunResult(events=len(events), results=results, elapsed=elapsed,
+                     peak_stack=runtime.stats.stack_high_water,
+                     partitions=runtime.stats.partitions_high_water)
+
+
+def run_callable(events_count: int, fn) -> RunResult:
+    """Time an arbitrary evaluator returning its result count."""
+    started = time.perf_counter()
+    results = fn()
+    elapsed = time.perf_counter() - started
+    return RunResult(events=events_count, results=results, elapsed=elapsed)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print one experiment table in the shape the paper reports."""
+    materialized = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print(f"\n## {title}")
+    line = "  ".join(header.ljust(widths[index])
+                     for index, header in enumerate(headers))
+    print(line)
+    print("  ".join("-" * width for width in widths))
+    for row in materialized:
+        print("  ".join(cell.ljust(widths[index])
+                        for index, cell in enumerate(row)))
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3g}"
+    return str(cell)

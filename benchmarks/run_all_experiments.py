@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment's table in one run.
+
+Executes each ``bench_e*.py``'s ``main()`` in experiment order and prints
+the combined report — the data behind EXPERIMENTS.md.  Usage::
+
+    python benchmarks/run_all_experiments.py [--only E4 E9] \
+        [--out results.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+
+EXPERIMENTS = [
+    ("E1", "bench_e1_architecture"),
+    ("E2", "bench_e2_demo_scenario"),
+    ("E3", "bench_e3_dataflow"),
+    ("E4", "bench_e4_window_sweep"),
+    ("E5", "bench_e5_partition_sweep"),
+    ("E6", "bench_e6_selectivity"),
+    ("E7", "bench_e7_negation"),
+    ("E8", "bench_e8_seq_length"),
+    ("E9", "bench_e9_baseline_join"),
+    ("E10", "bench_e10_track_trace"),
+    ("E11", "bench_e11_kleene"),
+    ("E12", "bench_e12_cleaning_ablation"),
+    ("E13", "bench_e13_latency"),
+    ("E14", "bench_e14_construction_pushdown"),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate every experiment table")
+    parser.add_argument("--only", nargs="*", metavar="ID",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--out", help="also write the report to a file")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    wanted = {identifier.upper() for identifier in (args.only or [])}
+    sections: list[str] = []
+    for identifier, module_name in EXPERIMENTS:
+        if wanted and identifier not in wanted:
+            continue
+        module = importlib.import_module(module_name)
+        buffer = io.StringIO()
+        started = time.perf_counter()
+        with redirect_stdout(buffer):
+            module.main()
+        elapsed = time.perf_counter() - started
+        section = buffer.getvalue().rstrip()
+        sections.append(f"{section}\n[{identifier} regenerated in "
+                        f"{elapsed:.1f}s]")
+        print(sections[-1])
+        print()
+    report = "\n\n".join(sections) + "\n"
+    if args.out:
+        Path(args.out).write_text(report, encoding="utf-8")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

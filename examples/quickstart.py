@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and run SASE queries over an event stream.
+
+Covers the core public API in ~60 lines: declare schemas, build events,
+compile a query (including the paper's Q1 pattern shape), inspect its plan,
+and run it both in batch and streaming modes.
+"""
+
+from repro import AttributeType, Engine, Event, PlanConfig, SchemaRegistry
+
+
+def main() -> None:
+    # 1. Declare the event types the queries will match against.
+    registry = SchemaRegistry()
+    registry.declare("SHELF_READING", TagId=AttributeType.INT,
+                     AreaId=AttributeType.INT)
+    registry.declare("COUNTER_READING", TagId=AttributeType.INT,
+                     AreaId=AttributeType.INT)
+    registry.declare("EXIT_READING", TagId=AttributeType.INT,
+                     AreaId=AttributeType.INT)
+
+    engine = Engine(registry)
+
+    # 2. Q1 of the paper: shoplifting = shelf, then NO counter, then exit,
+    #    all for the same tag, within 12 hours.
+    query = engine.compile("""
+        EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)
+        WHERE x.TagId = y.TagId AND x.TagId = z.TagId
+        WITHIN 12 hours
+        RETURN x.TagId, z.AreaId
+    """)
+    print("== plan ==")
+    print(query.explain())
+
+    # 3. A small stream: tag 1 skips the counter, tag 2 pays.
+    stream = [
+        Event("SHELF_READING", 10, {"TagId": 1, "AreaId": 1}),
+        Event("SHELF_READING", 12, {"TagId": 2, "AreaId": 1}),
+        Event("COUNTER_READING", 40, {"TagId": 2, "AreaId": 3}),
+        Event("EXIT_READING", 60, {"TagId": 1, "AreaId": 4}),
+        Event("EXIT_READING", 65, {"TagId": 2, "AreaId": 4}),
+    ]
+
+    print("\n== batch run ==")
+    for alert in engine.run(query, stream):
+        print(f"ALERT tag={alert['x_TagId']} exited via area "
+              f"{alert['z_AreaId']} (matched interval "
+              f"[{alert.start:g}, {alert.end:g}])")
+
+    # 4. The same query as a continuous (streaming) runtime.
+    print("\n== streaming run ==")
+    runtime = engine.runtime(query)
+    for event in stream:
+        for alert in runtime.feed(event):
+            print(f"live alert at t={event.timestamp:g}: "
+                  f"tag={alert['x_TagId']}")
+    runtime.flush()
+    print(f"dataflow: {runtime.stats.snapshot()}")
+
+    # 5. Plans are configurable; the naive plan gives the same answers.
+    print("\n== naive plan (no pushdown, no partitioning) ==")
+    naive = engine.compile(query.text, config=PlanConfig.naive())
+    print(naive.explain())
+    assert ([a.attributes for a in engine.run(naive, stream)]
+            == [{"x_TagId": 1, "z_AreaId": 4}])
+    print("same single alert - optimizations never change answers")
+
+
+if __name__ == "__main__":
+    main()

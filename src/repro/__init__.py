@@ -1,0 +1,68 @@
+"""SASE: Complex Event Processing over Streams — a full reproduction.
+
+This package reproduces the system described in "SASE: Complex Event
+Processing over Streams" (CIDR 2007): the SASE event language, the
+NFA-based query-plan engine with its published optimizations, the five-layer
+RFID cleaning and association pipeline, an embedded event database, the
+built-in ``_`` function library, and the complete wired system with the
+retail-store demonstration scenario.
+
+Quickstart::
+
+    from repro import AttributeType, Engine, Event, SchemaRegistry
+
+    registry = SchemaRegistry()
+    registry.declare("A", value=AttributeType.INT)
+    registry.declare("B", value=AttributeType.INT)
+    engine = Engine(registry)
+    results = list(engine.run(
+        "EVENT SEQ(A x, B y) WHERE x.value = y.value WITHIN 10",
+        [Event("A", 1.0, {"value": 7}), Event("B", 2.0, {"value": 7})]))
+"""
+
+from repro.core import (
+    CompiledQuery,
+    Engine,
+    KleeneMode,
+    Match,
+    PlanConfig,
+    QueryRuntime,
+    run_query,
+)
+from repro.errors import SaseError
+from repro.events import (
+    AttributeSpec,
+    AttributeType,
+    CompositeEvent,
+    Event,
+    EventSchema,
+    EventStream,
+    SchemaRegistry,
+    merge_streams,
+)
+from repro.lang import analyze, format_query, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSpec",
+    "AttributeType",
+    "CompiledQuery",
+    "CompositeEvent",
+    "Engine",
+    "Event",
+    "EventSchema",
+    "EventStream",
+    "KleeneMode",
+    "Match",
+    "PlanConfig",
+    "QueryRuntime",
+    "SaseError",
+    "SchemaRegistry",
+    "__version__",
+    "analyze",
+    "format_query",
+    "merge_streams",
+    "parse_query",
+    "run_query",
+]

@@ -1,0 +1,15 @@
+"""Baseline evaluators the paper's approach is compared against.
+
+:class:`~repro.baselines.join_engine.WindowJoinEngine` evaluates SEQ queries
+the way a relational stream system would: per-type window buffers joined by
+nested loops on each arrival of the final component's type, with predicates
+and temporal order applied as join conditions and negation as an anti-join.
+It is semantically equivalent to the SASE plan (the tests use it as a
+differential oracle) but pays the full cross-product before filtering —
+exactly the "large intermediate result sets" issue the paper's optimizations
+target.
+"""
+
+from repro.baselines.join_engine import WindowJoinEngine
+
+__all__ = ["WindowJoinEngine"]

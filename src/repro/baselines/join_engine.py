@@ -1,0 +1,247 @@
+"""A relational window-join evaluator for SEQ queries.
+
+This is the comparison point for the engine benchmarks (experiment E9) and
+an independent oracle for the correctness tests: it shares no evaluation
+code with the plan-based engine beyond expression compilation.
+
+Evaluation strategy, per arriving event of the final component's type:
+
+1. evict buffered events older than the window;
+2. nested-loop join the per-component buffers under the strict temporal
+   order constraint, producing every candidate sequence ending here;
+3. apply all WHERE predicates to each candidate (no pushdown, no
+   partitioning — the whole point of the baseline);
+4. check negated components against full per-type histories (trailing
+   negation is buffered until its interval closes, as in the engine);
+5. evaluate the RETURN clause.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.expressions import EvalContext, compile_expr, \
+    compile_predicate
+from repro.errors import PlanError
+from repro.events.event import CompositeEvent, Event
+from repro.indexes import Interval, TimeIndex
+from repro.lang.semantics import AnalyzedQuery
+
+
+class _NegativeHistory:
+    __slots__ = ("variable", "event_types", "prev_index", "next_index",
+                 "predicates", "index")
+
+    def __init__(self, variable: str, event_types: tuple[str, ...],
+                 prev_index: int, next_index: int,
+                 predicates: list[Callable[[EvalContext], bool]]):
+        self.variable = variable
+        self.event_types = event_types
+        self.prev_index = prev_index
+        self.next_index = next_index
+        self.predicates = predicates
+        self.index = TimeIndex()
+
+
+class WindowJoinEngine:
+    """Evaluate one analyzed SEQ query by windowed nested-loop joins."""
+
+    def __init__(self, analyzed: AnalyzedQuery, functions: Any = None,
+                 system: Any = None):
+        if analyzed.has_kleene:
+            raise PlanError(
+                "the window-join baseline does not support Kleene "
+                "components")
+        self._analyzed = analyzed
+        self._functions = functions
+        self._system = system
+        positives = analyzed.positives
+        self._n = len(positives)
+        self._variables = [component.variable for component in positives]
+        self._types = [component.event_types for component in positives]
+        self._window = analyzed.window
+        self._buffers = [TimeIndex() for _ in range(self._n)]
+
+        # every WHERE predicate over positive variables, evaluated late
+        self._predicates: list[Callable[[EvalContext], bool]] = []
+        for infos in analyzed.component_filters.values():
+            self._predicates.extend(compile_predicate(info.expr)
+                                    for info in infos)
+        self._predicates.extend(compile_predicate(info.expr)
+                                for info in analyzed.selection_predicates)
+
+        self._negatives: list[_NegativeHistory] = []
+        for component, prev_index, next_index in analyzed.negation_layout():
+            predicates = [compile_predicate(info.expr) for info in
+                          analyzed.negation_predicates[component.variable]]
+            self._negatives.append(_NegativeHistory(
+                component.variable, component.event_types,
+                prev_index, next_index, predicates))
+
+        self._return_items = [(item.name, compile_expr(item.expr))
+                              for item in analyzed.return_items]
+        # (deadline, bindings) for trailing negation
+        self._pending: list[tuple[float, dict[str, Event]]] = []
+        self._watermark = -math.inf
+        self.joins_attempted = 0  # candidate tuples enumerated (for benches)
+
+    # -- streaming -----------------------------------------------------------
+
+    def feed(self, event: Event) -> list[CompositeEvent]:
+        outputs: list[CompositeEvent] = []
+        self._watermark = event.timestamp
+
+        for history in self._negatives:
+            if event.type in history.event_types:
+                history.index.append(event)
+
+        outputs.extend(self._release_pending())
+
+        if self._window is not None:
+            horizon = event.timestamp - self._window
+            for buffer in self._buffers:
+                buffer.prune_before(horizon)
+
+        if event.type in self._types[-1]:
+            for bindings in self._enumerate(event):
+                outputs.extend(self._evaluate(bindings))
+
+        # insert after joining so the event never precedes itself
+        for index, event_types in enumerate(self._types):
+            if event.type in event_types:
+                self._buffers[index].append(event)
+        return outputs
+
+    def flush(self) -> list[CompositeEvent]:
+        outputs = []
+        for _, bindings in self._pending:
+            if self._passes_negation(bindings, trailing_only=True,
+                                     closed=True):
+                outputs.append(self._transform(bindings))
+        self._pending.clear()
+        return outputs
+
+    def run(self, events: Iterable[Event]) -> Iterator[CompositeEvent]:
+        for event in events:
+            yield from self.feed(event)
+        yield from self.flush()
+
+    # -- join enumeration ------------------------------------------------------
+
+    def _enumerate(self, last: Event) -> Iterator[dict[str, Event]]:
+        chosen: list[Event | None] = [None] * self._n
+        chosen[-1] = last
+        min_ts = (last.timestamp - self._window
+                  if self._window is not None else None)
+        yield from self._descend(self._n - 2, last.timestamp, min_ts, chosen)
+
+    def _descend(self, index: int, before_ts: float,
+                 min_ts: float | None,
+                 chosen: list[Event | None]) -> Iterator[dict[str, Event]]:
+        if index < 0:
+            self.joins_attempted += 1
+            yield {variable: event for variable, event
+                   in zip(self._variables, chosen)
+                   if event is not None}
+            return
+        interval = Interval(
+            min_ts if min_ts is not None else -math.inf, before_ts,
+            low_inclusive=True, high_inclusive=False)
+        for event in self._buffers[index].range(interval):
+            chosen[index] = event
+            yield from self._descend(index - 1, event.timestamp, min_ts,
+                                     chosen)
+        chosen[index] = None
+
+    # -- filtering and output --------------------------------------------------
+
+    def _evaluate(self, bindings: dict[str, Event]) -> list[CompositeEvent]:
+        context = EvalContext(bindings, self._functions, self._system)
+        for predicate in self._predicates:
+            if not predicate(context):
+                return []
+        if not self._passes_negation(bindings, trailing_only=False,
+                                     closed=False):
+            return []
+        deadline = self._trailing_deadline(bindings)
+        if deadline is not None and self._watermark <= deadline:
+            self._pending.append((deadline, bindings))
+            return []
+        if deadline is not None and not self._passes_negation(
+                bindings, trailing_only=True, closed=True):
+            return []
+        return [self._transform(bindings)]
+
+    def _trailing_deadline(self, bindings: dict[str, Event]) -> float | None:
+        if not any(history.next_index == self._n
+                   for history in self._negatives):
+            return None
+        start = bindings[self._variables[0]].timestamp
+        return start + self._window if self._window is not None \
+            else math.inf
+
+    def _release_pending(self) -> list[CompositeEvent]:
+        if not self._pending:
+            return []
+        released: list[CompositeEvent] = []
+        remaining: list[tuple[float, dict[str, Event]]] = []
+        for deadline, bindings in self._pending:
+            if self._watermark > deadline:
+                if self._passes_negation(bindings, trailing_only=True,
+                                         closed=True):
+                    released.append(self._transform(bindings))
+            else:
+                remaining.append((deadline, bindings))
+        self._pending = remaining
+        return released
+
+    def _passes_negation(self, bindings: dict[str, Event],
+                         trailing_only: bool, closed: bool) -> bool:
+        for history in self._negatives:
+            is_trailing = history.next_index == self._n
+            if trailing_only and not is_trailing:
+                continue
+            if not trailing_only and is_trailing:
+                continue  # trailing is decided later, when closed
+            interval = self._negation_interval(history, bindings)
+            candidates = history.index.range(interval)
+            if not candidates:
+                continue
+            if not history.predicates:
+                return False
+            base = EvalContext(bindings, self._functions, self._system)
+            for candidate in candidates:
+                context = base.rebind(history.variable, candidate)
+                if all(predicate(context)
+                       for predicate in history.predicates):
+                    return False
+        return True
+
+    def _negation_interval(self, history: _NegativeHistory,
+                           bindings: dict[str, Event]) -> Interval:
+        first_ts = bindings[self._variables[0]].timestamp
+        last_ts = bindings[self._variables[-1]].timestamp
+        if history.prev_index < 0:
+            low = (last_ts - self._window
+                   if self._window is not None else -math.inf)
+            return Interval(low, first_ts, low_inclusive=True,
+                            high_inclusive=False)
+        if history.next_index >= self._n:
+            high = (first_ts + self._window
+                    if self._window is not None else math.inf)
+            return Interval(last_ts, high, low_inclusive=False,
+                            high_inclusive=True)
+        prev_ts = bindings[self._variables[history.prev_index]].timestamp
+        next_ts = bindings[self._variables[history.next_index]].timestamp
+        return Interval(prev_ts, next_ts, low_inclusive=False,
+                        high_inclusive=False)
+
+    def _transform(self, bindings: dict[str, Event]) -> CompositeEvent:
+        context = EvalContext(bindings, self._functions, self._system)
+        attributes = {name: closure(context)
+                      for name, closure in self._return_items}
+        timestamps = [event.timestamp for event in bindings.values()]
+        return CompositeEvent(self._analyzed.output_type, attributes,
+                              bindings, min(timestamps), max(timestamps),
+                              stream=self._analyzed.output_stream)

@@ -1,0 +1,40 @@
+"""The Cleaning and Association Layer (Section 3 of the paper).
+
+Five stages turn raw, noisy RFID readings into typed, timestamped events:
+
+1. :class:`~repro.cleaning.anomaly.AnomalyFilter` — drops spurious
+   readings and truncated ids;
+2. :class:`~repro.cleaning.smoothing.TemporalSmoothing` — fills missed
+   reads from a per-tag window of recent observations;
+3. :class:`~repro.cleaning.timeconv.TimeConversion` — appends a logical
+   timestamp based on a configurable time unit;
+4. :class:`~repro.cleaning.dedup.Deduplication` — removes duplicates from
+   redundant reader setups and overlapping read ranges;
+5. :class:`~repro.cleaning.eventgen.EventGeneration` — produces schema
+   conformant events, enriched with ONS metadata.
+
+:class:`~repro.cleaning.pipeline.CleaningPipeline` composes them and keeps
+per-stage statistics for the UI and the architecture benchmark.
+"""
+
+from repro.cleaning.anomaly import AnomalyFilter
+from repro.cleaning.base import CleanReading, LogicalReading, StageStats
+from repro.cleaning.dedup import Deduplication
+from repro.cleaning.eventgen import EventGeneration
+from repro.cleaning.pipeline import CleaningConfig, CleaningPipeline
+from repro.cleaning.smoothing import AdaptiveSmoothing, TemporalSmoothing
+from repro.cleaning.timeconv import TimeConversion
+
+__all__ = [
+    "AdaptiveSmoothing",
+    "AnomalyFilter",
+    "CleanReading",
+    "CleaningConfig",
+    "CleaningPipeline",
+    "Deduplication",
+    "EventGeneration",
+    "LogicalReading",
+    "StageStats",
+    "TemporalSmoothing",
+    "TimeConversion",
+]

@@ -1,0 +1,60 @@
+"""Shared types for the cleaning stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CleanReading:
+    """A validated reading: decoded tag id, reader, and wall-clock time."""
+
+    tag_id: int
+    reader_id: str
+    time: float
+    smoothed: bool = False  # created by temporal smoothing, not observed
+
+
+@dataclass(frozen=True)
+class LogicalReading:
+    """A clean reading with its logical timestamp appended."""
+
+    tag_id: int
+    reader_id: str
+    time: float
+    timestamp: float
+    smoothed: bool = False
+
+
+@dataclass
+class StageStats:
+    """Per-stage flow counters the UI and benchmarks report."""
+
+    name: str
+    consumed: int = 0
+    produced: int = 0
+    dropped: int = 0
+    created: int = 0
+
+    def __repr__(self) -> str:
+        return (f"StageStats({self.name}: in={self.consumed} "
+                f"out={self.produced} dropped={self.dropped} "
+                f"created={self.created})")
+
+
+@dataclass
+class PipelineStats:
+    stages: list[StageStats] = field(default_factory=list)
+
+    def stage(self, name: str) -> StageStats:
+        for stats in self.stages:
+            if stats.name == name:
+                return stats
+        stats = StageStats(name)
+        self.stages.append(stats)
+        return stats
+
+    def snapshot(self) -> dict[str, tuple[int, int, int, int]]:
+        return {stats.name: (stats.consumed, stats.produced,
+                             stats.dropped, stats.created)
+                for stats in self.stages}

@@ -1,0 +1,47 @@
+"""Deduplication layer.
+
+"Removes duplicates, which can be caused either by a redundant setup, where
+two readers monitor the same logical area, or when an item resides in
+overlapping read ranges of two separate readers" (Section 3).
+
+Duplicates are defined at the *logical* level: the same tag observed in the
+same logical area within the same logical time unit is one observation,
+whichever (and however many) physical readers produced it.  The first
+reading wins; its reader id is kept for provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cleaning.base import LogicalReading, StageStats
+from repro.rfid.layout import StoreLayout
+
+
+class Deduplication:
+    """Stage 4 of the cleaning pipeline."""
+
+    def __init__(self, layout: StoreLayout,
+                 stats: StageStats | None = None):
+        self._layout = layout
+        self.stats = stats or StageStats("deduplication")
+        # (tag, area) -> last logical timestamp that produced an output
+        self._last_emitted: dict[tuple[int, int], float] = {}
+
+    def process(self,
+                readings: Iterable[LogicalReading]) -> list[LogicalReading]:
+        output: list[LogicalReading] = []
+        for reading in readings:
+            self.stats.consumed += 1
+            area = self._layout.area_of_reader(reading.reader_id)
+            key = (reading.tag_id, area.area_id)
+            if self._last_emitted.get(key) == reading.timestamp:
+                self.stats.dropped += 1
+                continue
+            self._last_emitted[key] = reading.timestamp
+            output.append(reading)
+        self.stats.produced += len(output)
+        return output
+
+    def reset(self) -> None:
+        self._last_emitted.clear()

@@ -1,0 +1,103 @@
+"""The composed Cleaning and Association pipeline.
+
+Consumes per-scan-tick batches of raw readings (exactly what
+:meth:`repro.rfid.simulator.RfidSimulator.run_script` yields) and produces
+time-ordered events ready for the complex event processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.cleaning.anomaly import AnomalyFilter
+from repro.cleaning.base import PipelineStats
+from repro.cleaning.dedup import Deduplication
+from repro.cleaning.eventgen import EventGeneration
+from repro.cleaning.smoothing import AdaptiveSmoothing, TemporalSmoothing
+from repro.cleaning.timeconv import TimeConversion
+from repro.errors import CleaningError
+from repro.events.event import Event
+from repro.ons.service import ObjectNameService
+from repro.rfid.layout import StoreLayout
+from repro.rfid.simulator import RawReading
+
+
+@dataclass(frozen=True)
+class CleaningConfig:
+    """Tunables for the five stages.
+
+    ``smoothing`` selects the temporal-smoothing strategy: ``"fixed"``
+    (the paper's window-``w`` heuristic), ``"adaptive"`` (SMURF-style
+    per-tag windows — see :class:`~repro.cleaning.smoothing
+    .AdaptiveSmoothing`), or ``"none"``.
+    """
+
+    smoothing: str = "fixed"
+    smoothing_window: float = 2.0
+    scan_tick: float = 1.0           # adaptive mode: scan interval
+    smoothing_confidence: float = 0.05
+    max_smoothing_ticks: int = 8
+    logical_time_unit: float = 1.0
+    time_origin: float = 0.0
+    filter_unknown_tags: bool = True
+
+
+class CleaningPipeline:
+    """Stages 1-5 wired together, with per-stage statistics."""
+
+    def __init__(self, layout: StoreLayout, ons: ObjectNameService,
+                 config: CleaningConfig | None = None):
+        self.config = config or CleaningConfig()
+        self.stats = PipelineStats()
+        known = ons.known_tags() if self.config.filter_unknown_tags else None
+        self.anomaly = AnomalyFilter(
+            known, stats=self.stats.stage("anomaly_filter"))
+        self.smoothing: TemporalSmoothing | AdaptiveSmoothing
+        if self.config.smoothing == "fixed":
+            self.smoothing = TemporalSmoothing(
+                self.config.smoothing_window,
+                stats=self.stats.stage("temporal_smoothing"))
+        elif self.config.smoothing == "adaptive":
+            self.smoothing = AdaptiveSmoothing(
+                tick=self.config.scan_tick,
+                confidence=self.config.smoothing_confidence,
+                max_window_ticks=self.config.max_smoothing_ticks,
+                stats=self.stats.stage("temporal_smoothing"))
+        elif self.config.smoothing == "none":
+            self.smoothing = TemporalSmoothing(
+                0.0, stats=self.stats.stage("temporal_smoothing"))
+        else:
+            raise CleaningError(
+                f"unknown smoothing strategy {self.config.smoothing!r}; "
+                f"use 'fixed', 'adaptive', or 'none'")
+        self.timeconv = TimeConversion(
+            self.config.logical_time_unit, self.config.time_origin,
+            stats=self.stats.stage("time_conversion"))
+        self.dedup = Deduplication(
+            layout, stats=self.stats.stage("deduplication"))
+        self.eventgen = EventGeneration(
+            layout, ons, stats=self.stats.stage("event_generation"))
+
+    def process_tick(self, readings: Iterable[RawReading],
+                     now: float) -> list[Event]:
+        """Run one scan tick through all five stages."""
+        clean = self.anomaly.process(readings)
+        smoothed = self.smoothing.process(clean, now)
+        logical = self.timeconv.process(smoothed)
+        deduped = self.dedup.process(logical)
+        events = self.eventgen.process(deduped)
+        # deterministic within-tick order: by timestamp, tag, area
+        events.sort(key=lambda event: (event.timestamp, event["TagId"],
+                                       event["AreaId"]))
+        return events
+
+    def run(self, ticks: Iterable[tuple[float, list[RawReading]]]) \
+            -> Iterator[Event]:
+        """Clean a whole simulation run, yielding events in time order."""
+        for now, readings in ticks:
+            yield from self.process_tick(readings, now)
+
+    def reset(self) -> None:
+        self.smoothing.reset()
+        self.dedup.reset()

@@ -1,0 +1,158 @@
+"""Temporal Smoothing layer: fill in missed reads.
+
+"The system decides whether an object was present at time t based not only
+on the reading at time t, but also on the readings of this object in a
+window of size w before t.  Using this heuristic, a new reading may be
+created" (Section 3).
+
+Concretely: the stage consumes one scan tick at a time.  A (tag, reader)
+pair that produced a reading within the last *w* seconds but not in the
+current tick gets a *smoothed* reading created for it at the current scan
+time — the standard sliding-window interpolation for lossy readers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.cleaning.base import CleanReading, StageStats
+from repro.errors import CleaningError
+
+
+class TemporalSmoothing:
+    """Stage 2 of the cleaning pipeline."""
+
+    def __init__(self, window: float = 2.0,
+                 stats: StageStats | None = None):
+        if window < 0:
+            raise CleaningError("smoothing window must be non-negative")
+        self.window = window
+        self.stats = stats or StageStats("temporal_smoothing")
+        self._last_seen: dict[tuple[int, str], float] = {}
+
+    def process(self, readings: Iterable[CleanReading],
+                now: float) -> list[CleanReading]:
+        """Process one scan tick's readings; *now* is the scan time."""
+        output: list[CleanReading] = []
+        seen_this_tick: set[tuple[int, str]] = set()
+        for reading in readings:
+            self.stats.consumed += 1
+            key = (reading.tag_id, reading.reader_id)
+            seen_this_tick.add(key)
+            self._last_seen[key] = reading.time
+            output.append(reading)
+
+        expired: list[tuple[int, str]] = []
+        for key, last_time in self._last_seen.items():
+            if key in seen_this_tick:
+                continue
+            if now - last_time <= self.window:
+                tag_id, reader_id = key
+                output.append(CleanReading(tag_id, reader_id, now,
+                                           smoothed=True))
+                self.stats.created += 1
+            else:
+                expired.append(key)
+        for key in expired:
+            del self._last_seen[key]
+
+        self.stats.produced += len(output)
+        return output
+
+    def reset(self) -> None:
+        self._last_seen.clear()
+
+
+class AdaptiveSmoothing:
+    """SMURF-style adaptive smoothing (extension).
+
+    The paper's cleaning layer builds on the pipelined cleaning framework
+    of its reference [7]; that line of work (SMURF) chooses the smoothing
+    window *per tag* from the observed read rate instead of a fixed ``w``:
+    an unreliable tag gets a longer window, a reliably-read tag a shorter
+    one, so gaps are bridged without over-smoothing departures.
+
+    Per (tag, reader) we keep the last :attr:`history` scan outcomes
+    (read / not read).  With read-rate estimate ``p̂``, the probability of
+    ``k`` consecutive misses while present is ``(1-p̂)^k``; the window is
+    the smallest ``k`` pushing that below :attr:`confidence`, clamped to
+    ``[1, max_window_ticks]`` scan ticks.
+    """
+
+    def __init__(self, tick: float = 1.0, confidence: float = 0.05,
+                 history: int = 10, max_window_ticks: int = 8,
+                 stats: StageStats | None = None):
+        if tick <= 0:
+            raise CleaningError("scan tick must be positive")
+        if not 0.0 < confidence < 1.0:
+            raise CleaningError("confidence must be in (0, 1)")
+        if history < 1 or max_window_ticks < 1:
+            raise CleaningError("history and max window must be >= 1")
+        self.tick = tick
+        self.confidence = confidence
+        self.history = history
+        self.max_window_ticks = max_window_ticks
+        self.stats = stats or StageStats("adaptive_smoothing")
+        # per (tag, reader): (recent outcome bits, last seen time)
+        self._outcomes: dict[tuple[int, str], list[bool]] = {}
+        self._last_seen: dict[tuple[int, str], float] = {}
+
+    def window_ticks(self, key: tuple[int, str]) -> int:
+        """The current per-key window, in scan ticks."""
+        outcomes = self._outcomes.get(key)
+        if not outcomes:
+            return 1
+        read_rate = sum(outcomes) / len(outcomes)
+        if read_rate >= 1.0:
+            return 1
+        if read_rate <= 0.0:
+            return self.max_window_ticks
+        # smallest k with (1 - p)^k <= confidence
+        k = math.ceil(math.log(self.confidence)
+                      / math.log(1.0 - read_rate))
+        return max(1, min(self.max_window_ticks, k))
+
+    def process(self, readings: Iterable[CleanReading],
+                now: float) -> list[CleanReading]:
+        """Process one scan tick; *now* is the scan time."""
+        output: list[CleanReading] = []
+        seen_this_tick: set[tuple[int, str]] = set()
+        for reading in readings:
+            self.stats.consumed += 1
+            key = (reading.tag_id, reading.reader_id)
+            if key not in seen_this_tick:
+                self._record(key, True)
+            seen_this_tick.add(key)
+            self._last_seen[key] = reading.time
+            output.append(reading)
+
+        expired: list[tuple[int, str]] = []
+        for key, last_time in self._last_seen.items():
+            if key in seen_this_tick:
+                continue
+            self._record(key, False)
+            missed_ticks = (now - last_time) / self.tick
+            if missed_ticks <= self.window_ticks(key) + 1e-9:
+                tag_id, reader_id = key
+                output.append(CleanReading(tag_id, reader_id, now,
+                                           smoothed=True))
+                self.stats.created += 1
+            elif missed_ticks > self.max_window_ticks:
+                expired.append(key)
+        for key in expired:
+            del self._last_seen[key]
+            self._outcomes.pop(key, None)
+
+        self.stats.produced += len(output)
+        return output
+
+    def _record(self, key: tuple[int, str], read: bool) -> None:
+        outcomes = self._outcomes.setdefault(key, [])
+        outcomes.append(read)
+        if len(outcomes) > self.history:
+            del outcomes[:len(outcomes) - self.history]
+
+    def reset(self) -> None:
+        self._outcomes.clear()
+        self._last_seen.clear()

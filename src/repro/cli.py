@@ -1,0 +1,396 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — run the paper's retail demonstration scenario and render
+                  the Figure 3 UI panels;
+* ``warehouse`` — run the supply-chain history through the archival rules
+                  and print track-and-trace answers;
+* ``explain``   — compile a query and print its plan;
+* ``run``       — execute a query over events from a JSON-lines file;
+* ``bench``     — a quick plan comparison on a synthetic stream.
+
+Event files are JSON lines: ``{"type": "A", "timestamp": 1.0,
+"attributes": {"id": 7}}``.  Schema files map type names to attribute
+types: ``{"A": {"id": "int", "name": "string"}}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Iterable, Sequence, TextIO
+
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.errors import SaseError
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.rfid import NoiseModel
+from repro.schemas import retail_registry
+from repro.system import SaseSystem
+from repro.ui import SaseConsole
+from repro.workloads import (
+    CONTAINMENT_RULE,
+    LOCATION_UPDATE_RULE,
+    MISPLACED_INVENTORY_QUERY,
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+    UNPACK_RULE,
+    WarehouseConfig,
+    WarehouseHistory,
+)
+
+_NOISE_PRESETS = {
+    "none": NoiseModel.perfect(),
+    "mild": NoiseModel(miss_rate=0.05, duplicate_rate=0.05,
+                       truncate_rate=0.01, ghost_rate=0.005),
+    "harsh": NoiseModel.harsh(),
+}
+
+_TYPE_WORDS = {
+    "int": AttributeType.INT,
+    "float": AttributeType.FLOAT,
+    "string": AttributeType.STRING,
+    "bool": AttributeType.BOOL,
+}
+
+
+def main(argv: Sequence[str] | None = None,
+         out: TextIO | None = None) -> int:
+    out = out or sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.handler(args, out)
+    except SaseError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SASE: complex event processing over streams "
+                    "(CIDR 2007 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser(
+        "demo", help="run the retail-store demonstration")
+    demo.add_argument("--seed", type=int, default=2007)
+    demo.add_argument("--noise", choices=sorted(_NOISE_PRESETS),
+                      default="mild")
+    demo.add_argument("--products", type=int, default=30)
+    demo.add_argument("--shoppers", type=int, default=6)
+    demo.add_argument("--shoplifters", type=int, default=2)
+    demo.add_argument("--misplacements", type=int, default=2)
+    demo.add_argument("--trace", type=int, metavar="TAG",
+                      help="print the movement history of one tag")
+    demo.set_defaults(handler=_cmd_demo)
+
+    warehouse = commands.add_parser(
+        "warehouse", help="supply-chain rules + track-and-trace")
+    warehouse.add_argument("--seed", type=int, default=17)
+    warehouse.add_argument("--boxes", type=int, default=3)
+    warehouse.add_argument("--items-per-box", type=int, default=4)
+    warehouse.set_defaults(handler=_cmd_warehouse)
+
+    explain = commands.add_parser(
+        "explain", help="print the plan chosen for a query")
+    explain.add_argument("query", help="query text, or @file to read one")
+    explain.add_argument("--schemas", help="schema JSON file "
+                                           "(default: retail schemas)")
+    explain.add_argument("--naive", action="store_true",
+                         help="plan with all optimizations off")
+    explain.set_defaults(handler=_cmd_explain)
+
+    run = commands.add_parser(
+        "run", help="run a query over a JSON-lines or CSV event file")
+    run.add_argument("query", help="query text, or @file to read one")
+    run.add_argument("--events", required=True,
+                     help="event file: JSON lines, or CSV when the name "
+                          "ends in .csv ('-' for JSON-lines stdin)")
+    run.add_argument("--schemas", help="schema JSON file (default: "
+                                       "inferred from the events)")
+    run.add_argument("--naive", action="store_true")
+    run.add_argument("--limit", type=int, default=0,
+                     help="print at most N results (0 = all)")
+    run.set_defaults(handler=_cmd_run)
+
+    bench = commands.add_parser(
+        "bench", help="quick plan comparison on a synthetic stream")
+    bench.add_argument("--events", type=int, default=3000)
+    bench.add_argument("--window", type=float, default=30.0)
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+# -- commands ----------------------------------------------------------------
+
+def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
+    scenario = RetailScenario.generate(RetailConfig(
+        n_products=args.products, n_shoppers=args.shoppers,
+        n_shoplifters=args.shoplifters,
+        n_misplacements=args.misplacements, seed=args.seed))
+    system = SaseSystem(scenario.layout, scenario.ons)
+    system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
+    system.register_monitoring_query("misplaced",
+                                     MISPLACED_INVENTORY_QUERY)
+    for event_type in ("SHELF_READING", "COUNTER_READING",
+                       "EXIT_READING"):
+        system.register_archiving_rule(f"loc_{event_type}",
+                                       LOCATION_UPDATE_RULE(event_type))
+    results = system.run_simulation(
+        scenario.ticks(_NOISE_PRESETS[args.noise]))
+
+    detected = {r["x_TagId"] for name, r in results
+                if name == "shoplifting"}
+    misplaced = {r["x_TagId"] for name, r in results
+                 if name == "misplaced"}
+    print(f"shoplifted: truth={sorted(scenario.truth.shoplifted_tags())} "
+          f"detected={sorted(detected)}", file=out)
+    print(f"misplaced:  truth={sorted(scenario.truth.misplaced_tags())} "
+          f"detected={sorted(misplaced)}", file=out)
+    print(SaseConsole(system, max_lines=6).render(), file=out)
+    if args.trace is not None:
+        print(f"\ntrace for tag {args.trace}:", file=out)
+        for entry in system.event_db.movement_history(args.trace):
+            print(f"  area {entry['area_id']} ({entry['description']}) "
+                  f"[{entry['time_in']:g} .. "
+                  f"{entry['time_out'] if entry['time_out'] is not None else 'now'}]",
+                  file=out)
+
+
+def _cmd_warehouse(args: argparse.Namespace, out: TextIO) -> None:
+    history = WarehouseHistory.generate(WarehouseConfig(
+        n_boxes=args.boxes, items_per_box=args.items_per_box,
+        seed=args.seed))
+    system = SaseSystem(history.layout, history.ons)
+    system.register_archiving_rule("containment", CONTAINMENT_RULE)
+    system.register_archiving_rule("unpack", UNPACK_RULE)
+    for event_type in ("LOADING_READING", "UNLOADING_READING",
+                       "BACKROOM_READING", "SHELF_READING"):
+        system.register_archiving_rule(f"loc_{event_type}",
+                                       LOCATION_UPDATE_RULE(event_type))
+    for event in history.events():
+        system.processor.feed(event)
+    system.processor.flush()
+    for tag in history.item_tags:
+        location = system.event_db.current_location(tag)
+        assert location is not None
+        moves = len(system.event_db.movement_history(tag))
+        print(f"item {tag}: now at area {location['area_id']} "
+              f"({location['description']}), {moves} recorded moves",
+              file=out)
+
+
+def _cmd_explain(args: argparse.Namespace, out: TextIO) -> None:
+    registry = _load_schemas(args.schemas) if args.schemas \
+        else retail_registry()
+    engine = Engine(registry)
+    config = PlanConfig.naive() if args.naive else None
+    compiled = engine.compile(_read_query(args.query), config)
+    print(compiled.explain(), file=out)
+
+
+def _cmd_run(args: argparse.Namespace, out: TextIO) -> None:
+    records = list(_read_event_records(args.events))
+    registry = _load_schemas(args.schemas) if args.schemas \
+        else _infer_registry(records)
+    events = []
+    skipped = 0
+    for record in records:
+        try:
+            events.append(_to_event(record, registry))
+        except SaseError:
+            skipped += 1  # e.g. a CSV row with an empty attribute cell
+    events.sort(key=lambda event: event.timestamp)
+    if skipped:
+        print(f"-- skipped {skipped} event(s) not matching their "
+              f"schema", file=out)
+    engine = Engine(registry)
+    config = PlanConfig.naive() if args.naive else None
+    printed = 0
+    total = 0
+    for composite in engine.run(_read_query(args.query), events, config):
+        total += 1
+        if not args.limit or printed < args.limit:
+            printed += 1
+            attrs = ", ".join(f"{key}={value}" for key, value
+                              in composite.attributes.items())
+            print(f"[{composite.start:g}, {composite.end:g}] {attrs}",
+                  file=out)
+    print(f"-- {total} result(s) over {len(events)} event(s)", file=out)
+
+
+def _cmd_bench(args: argparse.Namespace, out: TextIO) -> None:
+    from repro.workloads.synthetic import SyntheticConfig, \
+        SyntheticStream, seq_query
+    stream = SyntheticStream.generate(SyntheticConfig(
+        n_events=args.events, n_types=3, id_domain=40, seed=1))
+    query = seq_query(3, window=args.window, partitioned=True)
+    engine = Engine(stream.registry)
+    for label, config in (
+            ("optimized", PlanConfig()),
+            ("no PAIS", PlanConfig().without("partition_pushdown")),
+            ("no window pushdown",
+             PlanConfig().without("window_pushdown"))):
+        runtime = engine.runtime(query, config=config)
+        started = time.perf_counter()
+        results = sum(len(runtime.feed(event)) for event in stream.events)
+        results += len(runtime.flush())
+        elapsed = time.perf_counter() - started
+        print(f"{label:>20}: {len(stream.events) / elapsed:10,.0f} "
+              f"events/s  ({results} matches)", file=out)
+
+
+# -- helpers -----------------------------------------------------------------
+
+def _read_query(spec: str) -> str:
+    if spec.startswith("@"):
+        with open(spec[1:], encoding="utf-8") as handle:
+            return handle.read()
+    return spec
+
+
+def _read_event_records(path: str) -> Iterable[dict[str, Any]]:
+    if path.endswith(".csv"):
+        yield from _read_csv_records(path)
+        return
+    handle: TextIO
+    if path == "-":
+        handle = sys.stdin
+        close = False
+    else:
+        handle = open(path, encoding="utf-8")
+        close = True
+    try:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SaseError(
+                    f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict) or "type" not in record \
+                    or "timestamp" not in record:
+                raise SaseError(
+                    f"{path}:{line_number}: each event needs 'type' and "
+                    f"'timestamp' fields")
+            yield record
+    finally:
+        if close:
+            handle.close()
+
+
+def _read_csv_records(path: str) -> Iterable[dict[str, Any]]:
+    """CSV events: a ``type`` and ``timestamp`` column plus one column per
+    attribute.  Values are inferred (int, float, bool, string); empty
+    cells mean the attribute is absent for that event."""
+    import csv
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        fields = reader.fieldnames or []
+        if "type" not in fields or "timestamp" not in fields:
+            raise SaseError(
+                f"{path}: CSV events need 'type' and 'timestamp' columns; "
+                f"found {fields}")
+        for line_number, row in enumerate(reader, 2):
+            try:
+                timestamp = float(row["timestamp"])
+            except (TypeError, ValueError):
+                raise SaseError(
+                    f"{path}:{line_number}: bad timestamp "
+                    f"{row.get('timestamp')!r}") from None
+            attributes = {}
+            for key, raw in row.items():
+                if key in ("type", "timestamp") or raw is None \
+                        or raw == "":
+                    continue
+                attributes[key] = _infer_csv_value(raw)
+            yield {"type": row["type"], "timestamp": timestamp,
+                   "attributes": attributes}
+
+
+def _infer_csv_value(raw: str) -> Any:
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _load_schemas(path: str) -> SchemaRegistry:
+    with open(path, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise SaseError(f"{path}: schema file must be a JSON object")
+    registry = SchemaRegistry()
+    for type_name, attributes in spec.items():
+        declared = {}
+        for attr_name, word in attributes.items():
+            if word not in _TYPE_WORDS:
+                raise SaseError(
+                    f"{path}: unknown attribute type {word!r} "
+                    f"(use one of {sorted(_TYPE_WORDS)})")
+            declared[attr_name] = _TYPE_WORDS[word]
+        registry.declare(type_name, **declared)
+    return registry
+
+
+def _infer_registry(records: list[dict[str, Any]]) -> SchemaRegistry:
+    """Infer one schema per event type from the records' attributes."""
+    inferred: dict[str, dict[str, AttributeType]] = {}
+    for record in records:
+        attributes = record.get("attributes", {})
+        slot = inferred.setdefault(record["type"], {})
+        for key, value in attributes.items():
+            if isinstance(value, bool):
+                attr_type = AttributeType.BOOL
+            elif isinstance(value, int):
+                attr_type = AttributeType.INT
+            elif isinstance(value, float):
+                attr_type = AttributeType.FLOAT
+            else:
+                attr_type = AttributeType.STRING
+            previous = slot.get(key)
+            if previous is AttributeType.FLOAT and \
+                    attr_type is AttributeType.INT:
+                continue  # keep the wider type
+            if previous is AttributeType.INT and \
+                    attr_type is AttributeType.FLOAT:
+                slot[key] = AttributeType.FLOAT
+                continue
+            slot[key] = attr_type
+    registry = SchemaRegistry()
+    for type_name, attributes in inferred.items():
+        registry.declare(type_name, **attributes)
+    return registry
+
+
+def _to_event(record: dict[str, Any],
+              registry: SchemaRegistry) -> Event:
+    schema = registry.get(record["type"])
+    payload = schema.validate_payload(record.get("attributes", {}),
+                                      coerce=True)
+    return Event(record["type"], float(record["timestamp"]), payload)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

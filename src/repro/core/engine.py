@@ -1,0 +1,93 @@
+"""The engine facade: compile SASE text, run it over streams.
+
+This is the main entry point for library users::
+
+    from repro import Engine, SchemaRegistry, AttributeType
+
+    registry = SchemaRegistry()
+    registry.declare("SHELF_READING", TagId=AttributeType.INT, ...)
+    engine = Engine(registry)
+    query = engine.compile('''
+        EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)
+        WHERE x.TagId = y.TagId AND x.TagId = z.TagId
+        WITHIN 12 hours
+        RETURN x.TagId, z.AreaId
+    ''')
+    for alert in engine.run(query, stream):
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.core.plan import PlanConfig, QueryPlan, build_plan
+from repro.core.runtime import QueryRuntime
+from repro.events.event import CompositeEvent, Event
+from repro.events.model import SchemaRegistry
+from repro.lang.ast import Query
+from repro.lang.parser import parse_query
+from repro.lang.semantics import AnalyzedQuery, analyze
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A query bound to schemas with a chosen plan."""
+
+    analyzed: AnalyzedQuery
+    plan: QueryPlan
+
+    @property
+    def text(self) -> str:
+        return self.analyzed.query.text
+
+    def explain(self) -> str:
+        return self.plan.describe()
+
+
+class Engine:
+    """Compiles and executes SASE queries against a schema registry.
+
+    ``functions`` is a :class:`~repro.funcs.FunctionRegistry` (or anything
+    with a compatible ``call``); ``system`` is handed to those functions —
+    the full SASE system passes a context carrying the event database.
+    """
+
+    def __init__(self, registry: SchemaRegistry, functions: Any = None,
+                 system: Any = None, config: PlanConfig | None = None):
+        self.registry = registry
+        self.functions = functions
+        self.system = system
+        self.config = config or PlanConfig()
+
+    def compile(self, query: str | Query,
+                config: PlanConfig | None = None) -> CompiledQuery:
+        """Parse (if needed), analyze, and plan a query."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        analyzed = analyze(parsed, self.registry)
+        plan = build_plan(analyzed, config or self.config)
+        return CompiledQuery(analyzed, plan)
+
+    def runtime(self, query: str | Query | CompiledQuery,
+                config: PlanConfig | None = None) -> QueryRuntime:
+        """A fresh executable runtime for *query* (continuous execution)."""
+        compiled = query if isinstance(query, CompiledQuery) \
+            else self.compile(query, config)
+        return QueryRuntime(compiled.plan, self.functions, self.system)
+
+    def run(self, query: str | Query | CompiledQuery,
+            events: Iterable[Event],
+            config: PlanConfig | None = None) -> Iterator[CompositeEvent]:
+        """One-shot execution over a finite stream."""
+        yield from self.runtime(query, config).run(events)
+
+
+def run_query(text: str, registry: SchemaRegistry,
+              events: Iterable[Event], *, functions: Any = None,
+              system: Any = None,
+              config: PlanConfig | None = None) -> list[CompositeEvent]:
+    """Convenience wrapper: compile and run a query, collecting results."""
+    engine = Engine(registry, functions=functions, system=system,
+                    config=config)
+    return list(engine.run(text, events))

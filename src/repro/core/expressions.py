@@ -1,0 +1,277 @@
+"""Expression compilation: AST expressions to Python closures.
+
+Predicates and RETURN items are compiled once per query into closures over
+an :class:`EvalContext`, so the per-event hot path does no AST walking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import EvaluationError, FunctionError
+from repro.events.event import Event
+from repro.lang.ast import (
+    AggregateCall,
+    AggregateKind,
+    AttributeRef,
+    BinaryOp,
+    BinOpKind,
+    Expr,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    UnOpKind,
+    VariableRef,
+)
+
+
+class EvalContext:
+    """Everything an expression can see at evaluation time.
+
+    ``bindings`` maps pattern variables to an :class:`Event` or, for Kleene
+    components, a tuple of events.  ``functions`` resolves ``_`` function
+    calls; ``system`` is passed through to those functions (it typically
+    carries the event database handle).
+    """
+
+    __slots__ = ("bindings", "functions", "system")
+
+    def __init__(self, bindings: Mapping[str, Any],
+                 functions: "FunctionResolver | None" = None,
+                 system: Any = None):
+        self.bindings = bindings
+        self.functions = functions
+        self.system = system
+
+    def rebind(self, variable: str, value: Any) -> "EvalContext":
+        """A context with one binding overridden (used to evaluate negation
+        and per-event Kleene predicates against a candidate event)."""
+        bindings = dict(self.bindings)
+        bindings[variable] = value
+        return EvalContext(bindings, self.functions, self.system)
+
+
+class FunctionResolver:
+    """Minimal protocol for function lookup; the full registry lives in
+    :mod:`repro.funcs`."""
+
+    def call(self, name: str, context: EvalContext, args: list[Any]) -> Any:
+        raise FunctionError(f"no function registry available to call "
+                            f"{name!r}")
+
+
+Compiled = Callable[[EvalContext], Any]
+
+
+def compile_expr(expr: Expr) -> Compiled:
+    """Compile *expr* into a closure evaluating it against a context."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda ctx: value
+    if isinstance(expr, AttributeRef):
+        return _compile_attribute_ref(expr)
+    if isinstance(expr, VariableRef):
+        name = expr.name
+        def lookup_variable(ctx: EvalContext) -> Any:
+            try:
+                return ctx.bindings[name]
+            except KeyError:
+                raise EvaluationError(
+                    f"unbound pattern variable {name!r}") from None
+        return lookup_variable
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr(expr.operand)
+        if expr.op is UnOpKind.NOT:
+            return lambda ctx: not _as_bool(operand(ctx))
+        return lambda ctx: -_as_number(operand(ctx))
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr)
+    if isinstance(expr, FunctionCall):
+        return _compile_function(expr)
+    if isinstance(expr, AggregateCall):
+        return _compile_aggregate(expr)
+    raise EvaluationError(f"cannot compile expression node {expr!r}")
+
+
+def compile_predicate(expr: Expr) -> Callable[[EvalContext], bool]:
+    """Compile a boolean expression; the result is coerced with
+    :func:`_as_bool` so misbehaving function results fail loudly."""
+    compiled = compile_expr(expr)
+    return lambda ctx: _as_bool(compiled(ctx))
+
+
+# -- node compilers ---------------------------------------------------------
+
+def _compile_attribute_ref(expr: AttributeRef) -> Compiled:
+    variable, attribute = expr.variable, expr.attribute
+    is_timestamp = attribute in ("Timestamp", "timestamp")
+
+    def read_attribute(ctx: EvalContext) -> Any:
+        try:
+            event = ctx.bindings[variable]
+        except KeyError:
+            raise EvaluationError(
+                f"unbound pattern variable {variable!r}") from None
+        if isinstance(event, tuple):
+            raise EvaluationError(
+                f"{variable}.{attribute}: {variable!r} is a Kleene binding; "
+                f"use an aggregate (e.g. LAST({variable}.{attribute}))")
+        if is_timestamp:
+            return event.timestamp
+        try:
+            return event.attributes[attribute]
+        except KeyError:
+            raise EvaluationError(
+                f"event bound to {variable!r} has no attribute "
+                f"{attribute!r}") from None
+
+    return read_attribute
+
+
+_ARITHMETIC: dict[BinOpKind, Callable[[Any, Any], Any]] = {
+    BinOpKind.ADD: lambda a, b: a + b,
+    BinOpKind.SUB: lambda a, b: a - b,
+    BinOpKind.MUL: lambda a, b: a * b,
+    BinOpKind.MOD: lambda a, b: a % b,
+}
+
+_COMPARE: dict[BinOpKind, Callable[[Any, Any], bool]] = {
+    BinOpKind.EQ: lambda a, b: a == b,
+    BinOpKind.NEQ: lambda a, b: a != b,
+    BinOpKind.LT: lambda a, b: a < b,
+    BinOpKind.LTE: lambda a, b: a <= b,
+    BinOpKind.GT: lambda a, b: a > b,
+    BinOpKind.GTE: lambda a, b: a >= b,
+}
+
+
+def _compile_binary(expr: BinaryOp) -> Compiled:
+    left = compile_expr(expr.left)
+    right = compile_expr(expr.right)
+    op = expr.op
+    if op is BinOpKind.AND:
+        return lambda ctx: _as_bool(left(ctx)) and _as_bool(right(ctx))
+    if op is BinOpKind.OR:
+        return lambda ctx: _as_bool(left(ctx)) or _as_bool(right(ctx))
+    if op in _COMPARE:
+        compare = _COMPARE[op]
+        def run_compare(ctx: EvalContext) -> bool:
+            a, b = left(ctx), right(ctx)
+            try:
+                return compare(a, b)
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"cannot compare {a!r} with {b!r}") from exc
+        return run_compare
+    if op is BinOpKind.DIV:
+        def run_div(ctx: EvalContext) -> float:
+            denominator = _as_number(right(ctx))
+            if denominator == 0:
+                raise EvaluationError("division by zero")
+            return _as_number(left(ctx)) / denominator
+        return run_div
+    arithmetic = _ARITHMETIC[op]
+    def run_arithmetic(ctx: EvalContext) -> Any:
+        a, b = left(ctx), right(ctx)
+        try:
+            return arithmetic(a, b)
+        except TypeError as exc:
+            raise EvaluationError(
+                f"arithmetic {op.value} failed on {a!r}, {b!r}") from exc
+    return run_arithmetic
+
+
+def _compile_function(expr: FunctionCall) -> Compiled:
+    name = expr.name
+    arg_closures = [compile_expr(arg) for arg in expr.args]
+
+    def call(ctx: EvalContext) -> Any:
+        if ctx.functions is None:
+            raise FunctionError(
+                f"query calls {name!r} but the engine has no function "
+                f"registry configured")
+        args = [closure(ctx) for closure in arg_closures]
+        return ctx.functions.call(name, ctx, args)
+
+    return call
+
+
+def _compile_aggregate(expr: AggregateCall) -> Compiled:
+    kind = expr.kind
+    if expr.arg is None:  # COUNT(*)
+        def count_all(ctx: EvalContext) -> int:
+            total = 0
+            for binding in ctx.bindings.values():
+                total += len(binding) if isinstance(binding, tuple) else 1
+            return total
+        return count_all
+
+    if isinstance(expr.arg, VariableRef):  # COUNT(d)
+        variable = expr.arg.name
+        def count_variable(ctx: EvalContext) -> int:
+            binding = _bound(ctx, variable)
+            return len(binding) if isinstance(binding, tuple) else 1
+        return count_variable
+
+    assert isinstance(expr.arg, AttributeRef)
+    variable, attribute = expr.arg.variable, expr.arg.attribute
+
+    is_timestamp = attribute in ("Timestamp", "timestamp")
+
+    def gather(ctx: EvalContext) -> list[Any]:
+        binding = _bound(ctx, variable)
+        events = binding if isinstance(binding, tuple) else (binding,)
+        if is_timestamp:
+            return [event.timestamp for event in events]
+        values = []
+        for event in events:
+            try:
+                values.append(event.attributes[attribute])
+            except KeyError:
+                raise EvaluationError(
+                    f"event bound to {variable!r} has no attribute "
+                    f"{attribute!r}") from None
+        return values
+
+    if kind is AggregateKind.COUNT:
+        return lambda ctx: len(gather(ctx))
+    if kind is AggregateKind.SUM:
+        return lambda ctx: float(sum(_as_number(v) for v in gather(ctx)))
+    if kind is AggregateKind.AVG:
+        def average(ctx: EvalContext) -> float:
+            values = gather(ctx)
+            if not values:
+                raise EvaluationError(f"AVG over empty binding {variable!r}")
+            return float(sum(_as_number(v) for v in values)) / len(values)
+        return average
+    if kind is AggregateKind.MIN:
+        return lambda ctx: min(gather(ctx))
+    if kind is AggregateKind.MAX:
+        return lambda ctx: max(gather(ctx))
+    if kind is AggregateKind.FIRST:
+        return lambda ctx: gather(ctx)[0]
+    if kind is AggregateKind.LAST:
+        return lambda ctx: gather(ctx)[-1]
+    raise EvaluationError(f"unsupported aggregate {kind}")
+
+
+# -- coercion helpers -------------------------------------------------------
+
+def _bound(ctx: EvalContext, variable: str) -> Any:
+    try:
+        return ctx.bindings[variable]
+    except KeyError:
+        raise EvaluationError(
+            f"unbound pattern variable {variable!r}") from None
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise EvaluationError(f"expected a boolean, got {value!r}")
+
+
+def _as_number(value: Any) -> float | int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"expected a number, got {value!r}")
+    return value

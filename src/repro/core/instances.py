@@ -1,0 +1,124 @@
+"""Active instance stacks (AIS) with RIP pointers.
+
+This is the data structure behind the sequence scan/construction operators
+(reference [8] of the paper): one stack per positive pattern component.
+When an event is accepted for component ``j`` it is pushed as an
+:class:`Instance` carrying a *RIP pointer* — the absolute index of the most
+Recent Instance in the Previous stack at push time.  Sequence construction
+walks the stacks backwards from a trigger instance: the predecessors of an
+instance are exactly the previous stack's instances at absolute index
+``<= rip`` (further narrowed by strict-time order and the window).
+
+Stacks support front pruning for the window-pushdown optimization: absolute
+indexes stay valid because each stack remembers how many instances it has
+dropped (``offset``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.events.event import Event
+
+
+class Instance:
+    """One event admitted into a stack, with its RIP pointer."""
+
+    __slots__ = ("event", "rip")
+
+    def __init__(self, event: Event, rip: int):
+        self.event = event
+        self.rip = rip
+
+    def __repr__(self) -> str:
+        return f"Instance({self.event.type}@{self.event.timestamp:g}, " \
+               f"rip={self.rip})"
+
+
+class InstanceStack:
+    """An append-only, front-prunable stack of instances.
+
+    Instances are pushed in arrival order so their timestamps are
+    non-decreasing, which makes window and order bounds binary-searchable.
+    """
+
+    __slots__ = ("_instances", "_timestamps", "_offset")
+
+    def __init__(self) -> None:
+        self._instances: list[Instance] = []
+        self._timestamps: list[float] = []
+        self._offset = 0  # number of instances pruned from the front
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances)
+
+    @property
+    def total_pushed(self) -> int:
+        """Absolute index the *next* push will receive."""
+        return self._offset + len(self._instances)
+
+    @property
+    def last_absolute_index(self) -> int:
+        """Absolute index of the most recent instance (-1 when empty)."""
+        return self._offset + len(self._instances) - 1
+
+    def push(self, event: Event, rip: int) -> Instance:
+        instance = Instance(event, rip)
+        self._instances.append(instance)
+        self._timestamps.append(event.timestamp)
+        return instance
+
+    def get_absolute(self, index: int) -> Instance:
+        return self._instances[index - self._offset]
+
+    def prune_before(self, timestamp: float) -> int:
+        """Drop instances with ``event.timestamp < timestamp`` from the
+        front; returns how many were dropped."""
+        cut = bisect.bisect_left(self._timestamps, timestamp)
+        if cut > 0:
+            del self._instances[:cut]
+            del self._timestamps[:cut]
+            self._offset += cut
+        return cut
+
+    def candidate_range(self, rip: int, before_ts: float,
+                        min_ts: float | None) -> range:
+        """Absolute indexes of valid predecessors: index ``<= rip``,
+        timestamp strictly below *before_ts*, and (when *min_ts* is given)
+        timestamp ``>= min_ts``.  The returned range may be empty."""
+        low_pos = 0
+        if min_ts is not None:
+            low_pos = bisect.bisect_left(self._timestamps, min_ts)
+        high_pos = bisect.bisect_left(self._timestamps, before_ts) - 1
+        high_pos = min(high_pos, rip - self._offset)
+        return range(self._offset + low_pos, self._offset + high_pos + 1)
+
+    def instances_between(self, after_ts: float,
+                          before_ts: float) -> list[Instance]:
+        """Instances with ``after_ts < timestamp < before_ts`` (used for
+        Kleene collection)."""
+        low = bisect.bisect_right(self._timestamps, after_ts)
+        high = bisect.bisect_left(self._timestamps, before_ts)
+        return self._instances[low:high]
+
+
+class StackGroup:
+    """The full set of stacks for one (partition of a) pattern."""
+
+    __slots__ = ("stacks",)
+
+    def __init__(self, n_components: int):
+        self.stacks = [InstanceStack() for _ in range(n_components)]
+
+    def total_instances(self) -> int:
+        return sum(len(stack) for stack in self.stacks)
+
+    def prune_before(self, timestamp: float) -> int:
+        return sum(stack.prune_before(timestamp) for stack in self.stacks)
+
+    def is_empty(self) -> bool:
+        return all(len(stack) == 0 for stack in self.stacks)

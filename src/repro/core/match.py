@@ -1,0 +1,88 @@
+"""The intermediate result flowing between plan operators.
+
+A :class:`Match` is one candidate event sequence produced by sequence
+construction: a binding of pattern variables to events (or event tuples for
+Kleene components).  Downstream operators filter matches; Transformation
+turns surviving matches into composite events.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.events.event import Event
+
+Binding = Union[Event, tuple[Event, ...]]
+
+
+class Match:
+    """One candidate sequence match."""
+
+    __slots__ = ("bindings", "start", "end")
+
+    def __init__(self, bindings: Mapping[str, Binding],
+                 start: float, end: float):
+        self.bindings = dict(bindings)
+        self.start = start
+        self.end = end
+
+    @classmethod
+    def from_bindings(cls, bindings: Mapping[str, Binding]) -> "Match":
+        """Build a match, deriving the interval from the bound events."""
+        timestamps: list[float] = []
+        for binding in bindings.values():
+            if isinstance(binding, tuple):
+                timestamps.extend(event.timestamp for event in binding)
+            else:
+                timestamps.append(binding.timestamp)
+        if not timestamps:
+            raise ValueError("a match must bind at least one event")
+        return cls(bindings, min(timestamps), max(timestamps))
+
+    def events(self) -> list[Event]:
+        """All bound events, flattened, in binding order."""
+        out: list[Event] = []
+        for binding in self.bindings.values():
+            if isinstance(binding, tuple):
+                out.extend(binding)
+            else:
+                out.append(binding)
+        return out
+
+    def replace_binding(self, variable: str, binding: Binding) -> "Match":
+        """A copy of this match with one binding replaced (used when a
+        Kleene filter trims a binding)."""
+        bindings = dict(self.bindings)
+        bindings[variable] = binding
+        return Match.from_bindings(bindings)
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        parts = []
+        for variable, binding in self.bindings.items():
+            if isinstance(binding, tuple):
+                inner = ", ".join(f"{event.type}@{event.timestamp:g}"
+                                  for event in binding)
+                parts.append(f"{variable}=[{inner}]")
+            else:
+                parts.append(
+                    f"{variable}={binding.type}@{binding.timestamp:g}")
+        return f"Match({'; '.join(parts)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self.bindings == other.bindings
+
+    def __hash__(self) -> int:
+        items = []
+        for variable, binding in sorted(self.bindings.items()):
+            if isinstance(binding, tuple):
+                items.append((variable,
+                              tuple(event.seq for event in binding)))
+            else:
+                items.append((variable, binding.seq))
+        return hash(tuple(items))

@@ -1,0 +1,205 @@
+"""Query plans: which operators run, with which optimizations.
+
+The plan-based approach is the paper's implementation story: it "provides
+flexibility in query execution" and "allows us to explore alternative query
+plans".  :class:`PlanConfig` selects the alternatives; :func:`build_plan`
+decides the operator chain for a given analyzed query, and
+:meth:`QueryPlan.describe` renders an EXPLAIN-style summary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import PlanError
+from repro.lang.semantics import AnalyzedQuery
+from repro.nfa import NFA, compile_pattern
+
+
+class KleeneMode(enum.Enum):
+    """How a Kleene component binds the qualifying events in its interval.
+
+    MAXIMAL binds all of them (one binding per anchor event) — cheap and
+    what aggregates want.  ANY_SUBSET enumerates every order-preserving
+    subset (capped), the strict skip-till-any-match reading.
+    """
+
+    MAXIMAL = "maximal"
+    ANY_SUBSET = "any-subset"
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Optimizer switches.
+
+    The defaults enable every published optimization; benchmarks flip them
+    off individually to reproduce the plan-comparison experiments.
+    """
+
+    window_pushdown: bool = True
+    partition_pushdown: bool = True
+    filter_pushdown: bool = True
+    # Evaluate cross-component WHERE predicates during sequence
+    # construction (early DFS pruning).  Off by default: with PAIS
+    # absorbing the equality classes it rarely pays, but for selective
+    # non-equality predicates it can (experiment E14 ablates it).
+    construction_pushdown: bool = False
+    kleene_mode: KleeneMode = KleeneMode.MAXIMAL
+    max_kleene_events: int = 10
+    prune_interval: int = 512
+
+    @classmethod
+    def naive(cls) -> "PlanConfig":
+        """All optimizations off: the no-pushdown baseline plan."""
+        return cls(window_pushdown=False, partition_pushdown=False,
+                   filter_pushdown=False)
+
+    def without(self, *optimizations: str) -> "PlanConfig":
+        """A copy with the named optimizations disabled, e.g.
+        ``config.without("window_pushdown")``."""
+        changes = {}
+        for name in optimizations:
+            if name not in ("window_pushdown", "partition_pushdown",
+                            "filter_pushdown", "construction_pushdown"):
+                raise PlanError(f"unknown optimization {name!r}")
+            changes[name] = False
+        return replace(self, **changes)
+
+    def with_construction_pushdown(self) -> "PlanConfig":
+        """A copy with construction-time predicate evaluation enabled."""
+        return replace(self, construction_pushdown=True)
+
+
+@dataclass
+class QueryPlan:
+    """The resolved execution strategy for one analyzed query."""
+
+    analyzed: AnalyzedQuery
+    config: PlanConfig
+    nfa: NFA
+    uses_partition: bool
+    uses_window_pushdown: bool
+    needs_window_filter: bool
+    needs_selection: bool
+    needs_kleene_filter: bool
+    needs_negation: bool
+    operator_names: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """EXPLAIN-style plan description."""
+        analyzed = self.analyzed
+
+        def label(component) -> str:
+            if component.is_any:
+                return f"ANY({', '.join(component.event_types)})"
+            return component.event_type
+
+        pattern = ", ".join(
+            ("!(" + label(component) + " " + component.variable + ")")
+            if component.negated else
+            label(component) + ("+" if component.kleene else "")
+            + " " + component.variable
+            for component in analyzed.components)
+        lines = [f"Plan for EVENT SEQ({pattern})"]
+        notes = []
+        if self.uses_window_pushdown and analyzed.window is not None:
+            notes.append(f"window={analyzed.window:g}s pushed down")
+        elif analyzed.window is not None:
+            notes.append(f"window={analyzed.window:g}s (filter operator)")
+        if self.uses_partition and analyzed.partition is not None:
+            keys = ", ".join(
+                f"{variable}.{attribute}" for variable, attribute
+                in sorted(analyzed.partition.attr_by_var.items()))
+            notes.append(f"PAIS partitioned on [{keys}]")
+        if self.config.filter_pushdown:
+            pushed = sum(len(infos)
+                         for infos in analyzed.component_filters.values())
+            if pushed:
+                notes.append(f"{pushed} single-variable predicate(s) "
+                             f"pushed to scan")
+        if self.config.construction_pushdown:
+            notes.append("cross-component predicates checked during "
+                         "construction")
+        lines.append("  SSC  sequence scan + construction"
+                     + (f" ({'; '.join(notes)})" if notes else ""))
+        if self.needs_selection:
+            residual = sum(
+                1 for info in analyzed.selection_predicates
+                if not (self.uses_partition and info.is_partition_equality))
+            if not self.config.filter_pushdown:
+                residual += sum(
+                    len(infos)
+                    for infos in analyzed.component_filters.values())
+            lines.append(f"  SL   selection ({residual} predicate(s))")
+        if self.needs_window_filter:
+            lines.append(f"  WD   window filter ({analyzed.window:g}s)")
+        if self.needs_kleene_filter:
+            lines.append("  KF   kleene per-event predicates")
+        if self.needs_negation:
+            positions = []
+            for component, prev_index, next_index in \
+                    analyzed.negation_layout():
+                n_positives = len(analyzed.positives)
+                if prev_index < 0:
+                    where = "leading"
+                elif next_index >= n_positives:
+                    where = "trailing (delayed emission)"
+                else:
+                    where = "middle"
+                positions.append(f"!{label(component)} {where}")
+            lines.append(f"  NG   negation ({'; '.join(positions)})")
+        lines.append(f"  TF   transformation -> {analyzed.output_type}"
+                     + (f" INTO {analyzed.output_stream}"
+                        if analyzed.output_stream else ""))
+        return "\n".join(lines)
+
+
+def build_plan(analyzed: AnalyzedQuery,
+               config: PlanConfig | None = None) -> QueryPlan:
+    """Decide the operator chain for *analyzed* under *config*."""
+    config = config or PlanConfig()
+    nfa = compile_pattern(analyzed.query.pattern)
+
+    uses_partition = (config.partition_pushdown
+                      and analyzed.partition is not None)
+    uses_window_pushdown = (config.window_pushdown
+                            and analyzed.window is not None)
+    needs_window_filter = (analyzed.window is not None
+                           and not uses_window_pushdown
+                           and len(analyzed.positives) > 1)
+    residual_selection = any(
+        not (uses_partition and info.is_partition_equality)
+        for info in analyzed.selection_predicates)
+    if config.construction_pushdown:
+        # cross-component predicates move into the scan's DFS
+        residual_selection = False
+    if not config.filter_pushdown and any(
+            infos for infos in analyzed.component_filters.values()):
+        residual_selection = True
+    needs_kleene_filter = any(
+        infos for infos in analyzed.kleene_predicates.values())
+    needs_negation = analyzed.has_negation
+
+    plan = QueryPlan(
+        analyzed=analyzed,
+        config=config,
+        nfa=nfa,
+        uses_partition=uses_partition,
+        uses_window_pushdown=uses_window_pushdown,
+        needs_window_filter=needs_window_filter,
+        needs_selection=residual_selection,
+        needs_kleene_filter=needs_kleene_filter,
+        needs_negation=needs_negation,
+    )
+    plan.operator_names = ["SSC"]
+    if residual_selection:
+        plan.operator_names.append("SL")
+    if needs_window_filter:
+        plan.operator_names.append("WD")
+    if needs_kleene_filter:
+        plan.operator_names.append("KF")
+    if needs_negation:
+        plan.operator_names.append("NG")
+    plan.operator_names.append("TF")
+    return plan

@@ -1,0 +1,144 @@
+"""Query runtime: one live instance of a query plan over a stream.
+
+A :class:`QueryRuntime` is the unit the complex event processor registers
+per continuous query.  ``feed`` pushes one event through the dataflow and
+returns the composite events it produced; ``flush`` ends the stream
+(releasing trailing-negation matches).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.core.operators import (
+    KleeneFilter,
+    Negation,
+    Selection,
+    Transformation,
+    WindowFilter,
+)
+from repro.core.plan import KleeneMode, QueryPlan
+from repro.core.sequence import SequenceScanConstruct
+from repro.core.stats import PlanStats
+from repro.events.event import CompositeEvent, Event
+from repro.core.match import Match
+
+
+class QueryRuntime:
+    """Executable dataflow for one query plan."""
+
+    def __init__(self, plan: QueryPlan, functions: Any = None,
+                 system: Any = None):
+        self.plan = plan
+        self.stats = PlanStats()
+        analyzed = plan.analyzed
+        config = plan.config
+
+        self._scan = SequenceScanConstruct(
+            analyzed,
+            window_pushdown=config.window_pushdown,
+            partition_pushdown=config.partition_pushdown,
+            filter_pushdown=config.filter_pushdown,
+            construction_pushdown=config.construction_pushdown,
+            kleene_maximal=config.kleene_mode is KleeneMode.MAXIMAL,
+            max_kleene_events=config.max_kleene_events,
+            prune_interval=config.prune_interval,
+            stats=self.stats, functions=functions, system=system)
+
+        self._selection = Selection(
+            analyzed,
+            skip_partition_equalities=plan.uses_partition,
+            include_component_filters=not config.filter_pushdown,
+            include_cross_predicates=not config.construction_pushdown,
+            stats=self.stats, functions=functions, system=system) \
+            if plan.needs_selection else None
+        self._window = WindowFilter(analyzed.window, stats=self.stats) \
+            if plan.needs_window_filter else None
+        self._kleene = KleeneFilter(
+            analyzed, maximal_mode=config.kleene_mode is KleeneMode.MAXIMAL,
+            stats=self.stats, functions=functions, system=system) \
+            if plan.needs_kleene_filter else None
+        self._negation = Negation(
+            analyzed, use_partition_index=plan.uses_partition,
+            stats=self.stats, functions=functions, system=system) \
+            if plan.needs_negation else None
+        self._transformation = Transformation(
+            analyzed, stats=self.stats, functions=functions, system=system)
+        self._flushed = False
+
+    # -- streaming interface -------------------------------------------------
+
+    def feed(self, event: Event) -> list[CompositeEvent]:
+        """Push one event through the plan."""
+        if self._flushed:
+            raise RuntimeError("runtime already flushed; create a new one")
+        self.stats.events_consumed += 1
+        outputs: list[CompositeEvent] = []
+
+        if self._negation is not None:
+            self._negation.observe(event)
+            for match in self._negation.advance(event.timestamp):
+                outputs.append(self._transformation.process(match))
+
+        for match in self._scan.feed(event):
+            survivor = self._apply_filters(match)
+            if survivor is None:
+                continue
+            if self._negation is not None:
+                survivor = self._negation.process(survivor)
+                if survivor is None:
+                    continue  # rejected or buffered for trailing negation
+            outputs.append(self._transformation.process(survivor))
+
+        self.stats.results_emitted += len(outputs)
+        return outputs
+
+    def flush(self) -> list[CompositeEvent]:
+        """End the stream: decide every pending trailing negation."""
+        self._flushed = True
+        outputs: list[CompositeEvent] = []
+        if self._negation is not None:
+            for match in self._negation.flush():
+                outputs.append(self._transformation.process(match))
+        self.stats.results_emitted += len(outputs)
+        return outputs
+
+    def run(self, events: Iterable[Event]) -> Iterator[CompositeEvent]:
+        """Convenience: feed a whole stream, then flush."""
+        for event in events:
+            yield from self.feed(event)
+        yield from self.flush()
+
+    # -- internals -----------------------------------------------------------
+
+    def _apply_filters(self, match: Match) -> Match | None:
+        if self._selection is not None:
+            result = self._selection.process(match)
+            if result is None:
+                return None
+            match = result
+        if self._window is not None:
+            result = self._window.process(match)
+            if result is None:
+                return None
+            match = result
+        if self._kleene is not None:
+            result = self._kleene.process(match)
+            if result is None:
+                return None
+            match = result
+        return match
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def stack_instances(self) -> int:
+        return self._scan.instance_count
+
+    @property
+    def partitions(self) -> int:
+        return self._scan.partition_count
+
+    @property
+    def pending_negations(self) -> int:
+        return self._negation.pending_count if self._negation else 0

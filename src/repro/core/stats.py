@@ -1,0 +1,65 @@
+"""Operator statistics: the dataflow counters the SASE UI exposes.
+
+Figure 3 of the paper shows intermediate results at each stage; these
+counters make the same dataflow observable programmatically, and the E3
+benchmark prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperatorStats:
+    """In/out counters for one pipelined operator."""
+
+    name: str
+    consumed: int = 0
+    produced: int = 0
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of inputs that survived (1.0 for an empty operator)."""
+        if self.consumed == 0:
+            return 1.0
+        return self.produced / self.consumed
+
+    def __repr__(self) -> str:
+        return (f"OperatorStats({self.name}: in={self.consumed}, "
+                f"out={self.produced})")
+
+
+@dataclass
+class PlanStats:
+    """Statistics for a whole query plan run."""
+
+    events_consumed: int = 0
+    results_emitted: int = 0
+    operators: dict[str, OperatorStats] = field(default_factory=dict)
+    stack_high_water: int = 0
+    partitions_high_water: int = 0
+
+    def operator(self, name: str) -> OperatorStats:
+        if name not in self.operators:
+            self.operators[name] = OperatorStats(name)
+        return self.operators[name]
+
+    def record_stack_size(self, total_instances: int,
+                          partitions: int) -> None:
+        if total_instances > self.stack_high_water:
+            self.stack_high_water = total_instances
+        if partitions > self.partitions_high_water:
+            self.partitions_high_water = partitions
+
+    def snapshot(self) -> dict[str, tuple[int, int]]:
+        """``{operator: (consumed, produced)}`` for reporting."""
+        return {name: (stats.consumed, stats.produced)
+                for name, stats in self.operators.items()}
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(
+            f"{name}[{stats.consumed}/{stats.produced}]"
+            for name, stats in self.operators.items())
+        return (f"PlanStats(events={self.events_consumed}, "
+                f"results={self.results_emitted}, {chain})")

@@ -1,0 +1,20 @@
+"""The embedded event database.
+
+The paper archives transformed events in MySQL and runs ad-hoc and
+triggered queries against it.  This package replaces that DBMS with an
+embedded relational engine (offline reproduction; see DESIGN.md):
+
+* :mod:`repro.db.storage` — tables, typed columns, rows, hash indexes;
+* :mod:`repro.db.sql_parser` — a SQL subset (CREATE TABLE/INDEX, INSERT,
+  SELECT with joins/aggregates/GROUP BY/ORDER BY/LIMIT, UPDATE, DELETE);
+* :mod:`repro.db.executor` — statement execution over the storage layer;
+* :mod:`repro.db.eventdb` — the SASE event-database schema (products,
+  locations, containment, event archive) and the track-and-trace API.
+"""
+
+from repro.db.database import Database, ResultSet
+from repro.db.eventdb import EventDatabase
+from repro.db.storage import Column, SqlType, Table
+
+__all__ = ["Column", "Database", "EventDatabase", "ResultSet", "SqlType",
+           "Table"]

@@ -1,0 +1,113 @@
+"""The Database facade: parse-and-execute SQL plus a programmatic API,
+with JSON snapshot persistence (the paper's "persistence storage
+component" durability, sans a real DBMS)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.db.executor import Executor, ResultSet
+from repro.db.sql_parser import parse_sql
+from repro.db.storage import Column, SqlType, Table
+from repro.errors import DatabaseError, TableError
+
+__all__ = ["Database", "ResultSet"]
+
+_SNAPSHOT_VERSION = 1
+
+
+class Database:
+    """An embedded relational database.
+
+    ``execute`` runs a SQL statement; the programmatic methods
+    (``create_table`` / ``insert`` / ``table``) skip parsing for hot paths
+    like event archiving.
+    """
+
+    def __init__(self) -> None:
+        self._executor = Executor()
+
+    # -- SQL interface -------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and execute one SQL statement."""
+        return self._executor.execute(parse_sql(sql))
+
+    def query(self, sql: str) -> list[dict[str, Any]]:
+        """Execute a SELECT and return rows as dictionaries."""
+        return self.execute(sql).as_dicts()
+
+    def explain(self, sql: str) -> list[str]:
+        """Describe the access paths *sql* would use, without running it."""
+        return self._executor.explain(parse_sql(sql))
+
+    # -- programmatic interface -------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: list[Column | tuple[str, SqlType]]) -> Table:
+        specs = [column if isinstance(column, Column)
+                 else Column(column[0], column[1]) for column in columns]
+        lowered = name.lower()
+        if lowered in self._executor.tables:
+            raise TableError(f"table {name!r} already exists")
+        table = Table(name, specs)
+        self._executor.tables[lowered] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        return self._executor.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._executor.tables
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in
+                      self._executor.tables.values())
+
+    def insert(self, table: str, values: dict[str, Any]) -> int:
+        """Insert one row, returning its rowid (no SQL parsing)."""
+        return self.table(table).insert(values)
+
+    # -- persistence ------------------------------------------------------------
+
+    def dump(self, path: str) -> None:
+        """Snapshot every table (schema, indexes, rows) to a JSON file."""
+        snapshot: dict[str, Any] = {"version": _SNAPSHOT_VERSION,
+                                    "tables": {}}
+        for table in self._executor.tables.values():
+            snapshot["tables"][table.name] = {
+                "columns": [{"name": column.name,
+                             "type": column.type.value,
+                             "primary_key": column.primary_key}
+                            for column in table.columns],
+                "indexes": [column.name for column in table.columns
+                            if table.index_for(column.name) is not None
+                            and not column.primary_key],
+                "rows": [row for _, row in sorted(table.rows())],
+            }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "Database":
+        """Restore a database from a :meth:`dump` snapshot."""
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        if not isinstance(snapshot, dict) or \
+                snapshot.get("version") != _SNAPSHOT_VERSION:
+            raise DatabaseError(
+                f"{path}: not a version-{_SNAPSHOT_VERSION} database "
+                f"snapshot")
+        database = cls()
+        for name, spec in snapshot["tables"].items():
+            columns = [Column(column["name"],
+                              SqlType(column["type"]),
+                              primary_key=column["primary_key"])
+                       for column in spec["columns"]]
+            table = database.create_table(name, columns)
+            for row in spec["rows"]:
+                table.insert(list(row))
+            for indexed in spec["indexes"]:
+                table.create_index(indexed)
+        return database

@@ -1,0 +1,636 @@
+"""SQL subset: lexer, AST, and parser for the event database.
+
+Supported statements (enough for everything the paper does with MySQL —
+archival rule updates, RETURN-clause lookups, and ad-hoc track-and-trace
+queries)::
+
+    CREATE TABLE name (col TYPE [PRIMARY KEY], ...)
+    CREATE INDEX ON name (col)
+    DROP TABLE name
+    INSERT INTO name [(cols)] VALUES (v, ...), (v, ...)
+    SELECT items FROM t1 [alias] [, t2 [alias]] [WHERE expr]
+        [GROUP BY cols] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+    UPDATE name SET col = expr, ... [WHERE expr]
+    DELETE FROM name [WHERE expr]
+
+Aggregates COUNT/SUM/AVG/MIN/MAX are allowed in SELECT items.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.db.storage import Column, SqlType
+from repro.errors import SqlError
+
+# --------------------------------------------------------------------------
+# tokens
+# --------------------------------------------------------------------------
+
+_KEYWORDS = frozenset("""
+SELECT FROM WHERE GROUP ORDER BY LIMIT ASC DESC INSERT INTO VALUES UPDATE
+SET DELETE CREATE TABLE INDEX DROP PRIMARY KEY AND OR NOT NULL TRUE FALSE
+IS AS ON DISTINCT BETWEEN IN LIKE
+""".split())
+
+_TWO_CHAR_OPS = {"!=", "<>", "<=", ">="}
+_ONE_CHAR_OPS = set("=<>+-*/%(),.;")
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str       # KEYWORD, IDENT, NUMBER, STRING, OP, EOF
+    text: str
+    value: object = None
+
+
+def _is_ascii_digit(character: str) -> bool:
+    # str.isdigit() accepts Unicode digits int()/float() reject.
+    return "0" <= character <= "9"
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        character = sql[position]
+        if character.isspace():
+            position += 1
+            continue
+        if sql.startswith("--", position):
+            while position < length and sql[position] != "\n":
+                position += 1
+            continue
+        if _is_ascii_digit(character) or (character == "." and
+                                          position + 1 < length and
+                                          _is_ascii_digit(
+                                              sql[position + 1])):
+            start = position
+            seen_dot = False
+            while position < length and (_is_ascii_digit(sql[position]) or
+                                         (sql[position] == "."
+                                          and not seen_dot)):
+                if sql[position] == ".":
+                    seen_dot = True
+                position += 1
+            text = sql[start:position]
+            value = float(text) if seen_dot else int(text)
+            tokens.append(_Token("NUMBER", text, value))
+            continue
+        if character.isalpha() or character == "_":
+            start = position
+            while position < length and (sql[position].isalnum()
+                                         or sql[position] == "_"):
+                position += 1
+            text = sql[start:position]
+            if text.upper() in _KEYWORDS:
+                tokens.append(_Token("KEYWORD", text.upper()))
+            else:
+                tokens.append(_Token("IDENT", text))
+            continue
+        if character == "'":
+            position += 1
+            pieces: list[str] = []
+            while True:
+                if position >= length:
+                    raise SqlError("unterminated string literal")
+                if sql[position] == "'":
+                    if position + 1 < length and sql[position + 1] == "'":
+                        pieces.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                pieces.append(sql[position])
+                position += 1
+            text = "".join(pieces)
+            tokens.append(_Token("STRING", text, text))
+            continue
+        two = sql[position:position + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(_Token("OP", "!=" if two == "<>" else two))
+            position += 2
+            continue
+        if character in _ONE_CHAR_OPS:
+            tokens.append(_Token("OP", character))
+            position += 1
+            continue
+        raise SqlError(f"unexpected character {character!r} in SQL")
+    tokens.append(_Token("EOF", ""))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+SqlExpr = Union["ColRef", "SqlLiteral", "SqlBinary", "SqlUnary",
+                "SqlAggregate", "SqlIsNull", "SqlBetween", "SqlIn",
+                "SqlLike"]
+
+
+@dataclass(frozen=True)
+class ColRef:
+    table: str | None
+    column: str
+
+
+@dataclass(frozen=True)
+class SqlLiteral:
+    value: int | float | str | bool | None
+
+
+class SqlOp(enum.Enum):
+    AND = "AND"
+    OR = "OR"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+
+
+@dataclass(frozen=True)
+class SqlBinary:
+    op: SqlOp
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlUnary:
+    op: str  # "NOT" or "-"
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlAggregate:
+    func: str  # COUNT / SUM / AVG / MIN / MAX
+    arg: SqlExpr | None  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class SqlIsNull:
+    operand: SqlExpr
+    negated: bool
+
+
+@dataclass(frozen=True)
+class SqlBetween:
+    operand: "SqlExpr"
+    low: "SqlExpr"
+    high: "SqlExpr"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class SqlIn:
+    operand: "SqlExpr"
+    choices: tuple["SqlExpr", ...]
+    negated: bool
+
+
+@dataclass(frozen=True)
+class SqlLike:
+    operand: "SqlExpr"
+    pattern: str  # SQL pattern: % = any run, _ = any single character
+    negated: bool
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]  # empty tuple means SELECT *
+    tables: tuple[tuple[str, str], ...]  # (table name, alias)
+    where: SqlExpr | None
+    group_by: tuple[ColRef, ...]
+    order_by: tuple[tuple[SqlExpr, bool], ...]  # (expr, descending)
+    limit: int | None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[SqlExpr, ...], ...]
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    table: str
+    assignments: tuple[tuple[str, SqlExpr], ...]
+    where: SqlExpr | None
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    table: str
+    where: SqlExpr | None
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    name: str
+    columns: tuple[Column, ...]
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt:
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class DropTableStmt:
+    name: str
+
+
+Statement = Union[SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
+                  CreateTableStmt, CreateIndexStmt, DropTableStmt]
+
+_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+_COMPARISON_OPS = {
+    "=": SqlOp.EQ, "!=": SqlOp.NEQ, "<": SqlOp.LT, "<=": SqlOp.LTE,
+    ">": SqlOp.GT, ">=": SqlOp.GTE,
+}
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement."""
+    return _SqlParser(_tokenize(sql)).parse()
+
+
+class _SqlParser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- plumbing --------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _match_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.text in words:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if token.kind != "KEYWORD" or token.text != word:
+            raise SqlError(f"expected {word}, found {token.text or 'end of statement'!r}")
+
+    def _match_op(self, op: str) -> bool:
+        token = self._peek()
+        if token.kind == "OP" and token.text == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        token = self._advance()
+        if token.kind != "OP" or token.text != op:
+            raise SqlError(f"expected {op!r}, found "
+                           f"{token.text or 'end of statement'!r}")
+
+    def _expect_ident(self, context: str) -> str:
+        token = self._advance()
+        if token.kind != "IDENT":
+            raise SqlError(f"expected an identifier {context}, found "
+                           f"{token.text or 'end of statement'!r}")
+        return token.text
+
+    # -- statements ---------------------------------------------------------
+
+    def parse(self) -> Statement:
+        token = self._peek()
+        if token.kind != "KEYWORD":
+            raise SqlError(f"expected a statement, found {token.text!r}")
+        statement: Statement
+        if token.text == "SELECT":
+            statement = self._parse_select()
+        elif token.text == "INSERT":
+            statement = self._parse_insert()
+        elif token.text == "UPDATE":
+            statement = self._parse_update()
+        elif token.text == "DELETE":
+            statement = self._parse_delete()
+        elif token.text == "CREATE":
+            statement = self._parse_create()
+        elif token.text == "DROP":
+            statement = self._parse_drop()
+        else:
+            raise SqlError(f"unsupported statement {token.text}")
+        self._match_op(";")
+        tail = self._peek()
+        if tail.kind != "EOF":
+            raise SqlError(f"unexpected trailing SQL at {tail.text!r}")
+        return statement
+
+    def _parse_select(self) -> SelectStmt:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT")
+        items: list[SelectItem] = []
+        if self._match_op("*"):
+            pass  # empty items == SELECT *
+        else:
+            items.append(self._parse_select_item())
+            while self._match_op(","):
+                items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        tables = [self._parse_table_ref()]
+        while self._match_op(","):
+            tables.append(self._parse_table_ref())
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+        group_by: list[ColRef] = []
+        order_by: list[tuple[SqlExpr, bool]] = []
+        limit: int | None = None
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_colref())
+            while self._match_op(","):
+                group_by.append(self._parse_colref())
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._match_op(","):
+                order_by.append(self._parse_order_item())
+        if self._match_keyword("LIMIT"):
+            token = self._advance()
+            if token.kind != "NUMBER" or not isinstance(token.value, int):
+                raise SqlError("LIMIT expects an integer")
+            limit = token.value
+        return SelectStmt(tuple(items), tuple(tables), where,
+                          tuple(group_by), tuple(order_by), limit, distinct)
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident("after AS")
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().text
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> tuple[str, str]:
+        name = self._expect_ident("as a table name")
+        alias = name
+        if self._match_keyword("AS"):
+            alias = self._expect_ident("after AS")
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().text
+        return name, alias
+
+    def _parse_order_item(self) -> tuple[SqlExpr, bool]:
+        expr = self._parse_expr()
+        descending = False
+        if self._match_keyword("DESC"):
+            descending = True
+        else:
+            self._match_keyword("ASC")
+        return expr, descending
+
+    def _parse_colref(self) -> ColRef:
+        first = self._expect_ident("as a column")
+        if self._match_op("."):
+            return ColRef(first, self._expect_ident("after '.'"))
+        return ColRef(None, first)
+
+    def _parse_insert(self) -> InsertStmt:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident("as the target table")
+        columns: tuple[str, ...] | None = None
+        if self._match_op("("):
+            names = [self._expect_ident("as a column name")]
+            while self._match_op(","):
+                names.append(self._expect_ident("as a column name"))
+            self._expect_op(")")
+            columns = tuple(names)
+        self._expect_keyword("VALUES")
+        rows: list[tuple[SqlExpr, ...]] = []
+        while True:
+            self._expect_op("(")
+            values = [self._parse_expr()]
+            while self._match_op(","):
+                values.append(self._parse_expr())
+            self._expect_op(")")
+            rows.append(tuple(values))
+            if not self._match_op(","):
+                break
+        return InsertStmt(table, columns, tuple(rows))
+
+    def _parse_update(self) -> UpdateStmt:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident("as the target table")
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._match_op(","):
+            assignments.append(self._parse_assignment())
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+        return UpdateStmt(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, SqlExpr]:
+        column = self._expect_ident("as the assigned column")
+        self._expect_op("=")
+        return column, self._parse_expr()
+
+    def _parse_delete(self) -> DeleteStmt:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident("as the target table")
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+        return DeleteStmt(table, where)
+
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("CREATE")
+        if self._match_keyword("INDEX"):
+            self._expect_keyword("ON")
+            table = self._expect_ident("as the indexed table")
+            self._expect_op("(")
+            column = self._expect_ident("as the indexed column")
+            self._expect_op(")")
+            return CreateIndexStmt(table, column)
+        self._expect_keyword("TABLE")
+        name = self._expect_ident("as the new table's name")
+        self._expect_op("(")
+        columns = [self._parse_column_def()]
+        while self._match_op(","):
+            columns.append(self._parse_column_def())
+        self._expect_op(")")
+        return CreateTableStmt(name, tuple(columns))
+
+    def _parse_column_def(self) -> Column:
+        name = self._expect_ident("as a column name")
+        type_token = self._advance()
+        if type_token.kind not in ("IDENT", "KEYWORD"):
+            raise SqlError(f"expected a type for column {name!r}")
+        sql_type = SqlType.parse(type_token.text)
+        primary = False
+        if self._match_keyword("PRIMARY"):
+            self._expect_keyword("KEY")
+            primary = True
+        return Column(name, sql_type, primary_key=primary)
+
+    def _parse_drop(self) -> DropTableStmt:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        return DropTableStmt(self._expect_ident("as the dropped table"))
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self) -> SqlExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlExpr:
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            left = SqlBinary(SqlOp.OR, left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> SqlExpr:
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            left = SqlBinary(SqlOp.AND, left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> SqlExpr:
+        if self._match_keyword("NOT"):
+            return SqlUnary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> SqlExpr:
+        left = self._parse_additive()
+        if self._match_keyword("IS"):
+            negated = self._match_keyword("NOT")
+            self._expect_keyword("NULL")
+            return SqlIsNull(left, negated)
+        negated = False
+        if self._peek().kind == "KEYWORD" and self._peek().text == "NOT" \
+                and self._peek(1).kind == "KEYWORD" \
+                and self._peek(1).text in ("BETWEEN", "IN", "LIKE"):
+            self._advance()
+            negated = True
+        if self._match_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return SqlBetween(left, low, high, negated)
+        if self._match_keyword("IN"):
+            self._expect_op("(")
+            choices = [self._parse_expr()]
+            while self._match_op(","):
+                choices.append(self._parse_expr())
+            self._expect_op(")")
+            return SqlIn(left, tuple(choices), negated)
+        if self._match_keyword("LIKE"):
+            token = self._advance()
+            if token.kind != "STRING":
+                raise SqlError("LIKE expects a string pattern")
+            assert isinstance(token.value, str)
+            return SqlLike(left, token.value, negated)
+        if negated:
+            raise SqlError("NOT here must be followed by BETWEEN, IN, "
+                           "or LIKE")
+        token = self._peek()
+        if token.kind == "OP" and token.text in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_additive()
+            return SqlBinary(_COMPARISON_OPS[token.text], left, right)
+        return left
+
+    def _parse_additive(self) -> SqlExpr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._match_op("+"):
+                left = SqlBinary(SqlOp.ADD, left,
+                                 self._parse_multiplicative())
+            elif self._match_op("-"):
+                left = SqlBinary(SqlOp.SUB, left,
+                                 self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> SqlExpr:
+        left = self._parse_unary()
+        while True:
+            if self._match_op("*"):
+                left = SqlBinary(SqlOp.MUL, left, self._parse_unary())
+            elif self._match_op("/"):
+                left = SqlBinary(SqlOp.DIV, left, self._parse_unary())
+            elif self._match_op("%"):
+                left = SqlBinary(SqlOp.MOD, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> SqlExpr:
+        if self._match_op("-"):
+            return SqlUnary("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SqlExpr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            assert isinstance(token.value, (int, float))
+            return SqlLiteral(token.value)
+        if token.kind == "STRING":
+            self._advance()
+            assert isinstance(token.value, str)
+            return SqlLiteral(token.value)
+        if token.kind == "KEYWORD":
+            if token.text == "NULL":
+                self._advance()
+                return SqlLiteral(None)
+            if token.text == "TRUE":
+                self._advance()
+                return SqlLiteral(True)
+            if token.text == "FALSE":
+                self._advance()
+                return SqlLiteral(False)
+        if self._match_op("("):
+            expr = self._parse_expr()
+            self._expect_op(")")
+            return expr
+        if token.kind == "IDENT":
+            name = self._advance().text
+            if name.upper() in _AGGREGATES and self._match_op("("):
+                if self._match_op("*"):
+                    if name.upper() != "COUNT":
+                        raise SqlError(f"'*' only valid in COUNT, "
+                                       f"not {name}")
+                    self._expect_op(")")
+                    return SqlAggregate("COUNT", None)
+                arg = self._parse_expr()
+                self._expect_op(")")
+                return SqlAggregate(name.upper(), arg)
+            if self._match_op("."):
+                return ColRef(name, self._expect_ident("after '.'"))
+            return ColRef(None, name)
+        raise SqlError(f"expected an expression, found "
+                       f"{token.text or 'end of statement'!r}")

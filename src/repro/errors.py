@@ -1,0 +1,80 @@
+"""Exception hierarchy for the SASE reproduction.
+
+Every error raised by this package derives from :class:`SaseError` so that
+callers can catch one base class at system boundaries.
+"""
+
+from __future__ import annotations
+
+
+class SaseError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(SaseError):
+    """An event schema is malformed or an event violates its schema."""
+
+
+class StreamError(SaseError):
+    """An event stream violates its contract (e.g. out-of-order timestamps)."""
+
+
+class LanguageError(SaseError):
+    """Base class for SASE language front-end errors."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexerError(LanguageError):
+    """The query text contains a character sequence that is not a token."""
+
+
+class ParseError(LanguageError):
+    """The token stream does not form a valid SASE query."""
+
+
+class SemanticError(LanguageError):
+    """The query parses but is not well formed (unknown types, unbound
+    variables, predicates over incompatible attribute types, ...)."""
+
+
+class PlanError(SaseError):
+    """A query plan cannot be built for the requested configuration."""
+
+
+class EvaluationError(SaseError):
+    """A runtime expression (predicate or RETURN item) failed to evaluate."""
+
+
+class FunctionError(SaseError):
+    """A built-in ``_`` function was called incorrectly or failed."""
+
+
+class DatabaseError(SaseError):
+    """Base class for the embedded relational engine's errors."""
+
+
+class SqlError(DatabaseError):
+    """A SQL statement failed to lex, parse, or validate."""
+
+
+class TableError(DatabaseError):
+    """A table-level constraint was violated (missing table/column, type
+    mismatch, duplicate table, ...)."""
+
+
+class CleaningError(SaseError):
+    """A cleaning-layer invariant was violated."""
+
+
+class SimulationError(SaseError):
+    """The RFID simulator was configured or driven incorrectly."""

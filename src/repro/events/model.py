@@ -1,0 +1,237 @@
+"""Event schemas and the schema registry.
+
+SASE queries are compiled against a set of event types.  Each type is
+described by an :class:`EventSchema`: a name plus an ordered list of typed
+attributes.  The Event Generation layer (Section 3 of the paper) produces
+events "according to a pre-defined schema"; this module is that schema
+machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+
+class AttributeType(enum.Enum):
+    """The attribute value types the engine understands."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def python_types(self) -> tuple[type, ...]:
+        return _PYTHON_TYPES[self]
+
+    def validate(self, value: Any) -> bool:
+        """Return True when *value* is acceptable for this attribute type."""
+        if self is AttributeType.BOOL:
+            return isinstance(value, bool)
+        if isinstance(value, bool):
+            # bool is a subclass of int; never accept it for numeric slots.
+            return False
+        return isinstance(value, self.python_types)
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce *value* to this type, raising :class:`SchemaError` if the
+        coercion would be lossy or nonsensical."""
+        if self.validate(value):
+            if self is AttributeType.FLOAT and isinstance(value, int):
+                return float(value)
+            return value
+        try:
+            if self is AttributeType.INT:
+                if isinstance(value, float) and value.is_integer():
+                    return int(value)
+                if isinstance(value, str):
+                    return int(value)
+            elif self is AttributeType.FLOAT:
+                if isinstance(value, (int, str)):
+                    return float(value)
+            elif self is AttributeType.STRING:
+                if isinstance(value, (int, float, bool)):
+                    return str(value)
+            elif self is AttributeType.BOOL:
+                if isinstance(value, str):
+                    lowered = value.lower()
+                    if lowered in ("true", "1", "yes"):
+                        return True
+                    if lowered in ("false", "0", "no"):
+                        return False
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} to {self.value}") from exc
+        raise SchemaError(f"cannot coerce {value!r} to {self.value}")
+
+
+_PYTHON_TYPES: dict[AttributeType, tuple[type, ...]] = {
+    AttributeType.INT: (int,),
+    AttributeType.FLOAT: (float, int),
+    AttributeType.STRING: (str,),
+    AttributeType.BOOL: (bool,),
+}
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One typed attribute of an event schema."""
+
+    name: str
+    type: AttributeType
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha():
+            raise SchemaError(
+                f"attribute name {self.name!r} must start with a letter")
+        if self.default is not None and not self.type.validate(self.default):
+            raise SchemaError(
+                f"default {self.default!r} is not a valid "
+                f"{self.type.value} for attribute {self.name!r}")
+
+
+class EventSchema:
+    """The declared shape of one event type.
+
+    Attributes are ordered and looked up by name.  ``timestamp`` is implicit
+    on every event and must not be declared as an attribute.
+    """
+
+    RESERVED = frozenset({"timestamp", "ts", "seq"})
+
+    def __init__(self, name: str,
+                 attributes: Iterable[AttributeSpec | tuple[str, AttributeType]]):
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            raise SchemaError(f"schema name {name!r} must start with a letter")
+        self.name = name
+        self._attributes: dict[str, AttributeSpec] = {}
+        for spec in attributes:
+            if isinstance(spec, tuple):
+                spec = AttributeSpec(spec[0], spec[1])
+            if spec.name.lower() in self.RESERVED:
+                raise SchemaError(
+                    f"attribute name {spec.name!r} is reserved in schema "
+                    f"{name!r}")
+            if spec.name in self._attributes:
+                raise SchemaError(
+                    f"duplicate attribute {spec.name!r} in schema {name!r}")
+            self._attributes[spec.name] = spec
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self._attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._attributes
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._attributes.values())
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def attribute(self, name: str) -> AttributeSpec:
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no attribute {name!r}; "
+                f"known attributes: {', '.join(self._attributes) or '(none)'}"
+            ) from None
+
+    def validate_payload(self, payload: Mapping[str, Any],
+                         coerce: bool = False) -> dict[str, Any]:
+        """Validate (and optionally coerce) an attribute mapping.
+
+        Missing attributes take their declared default; attributes without a
+        default are required.  Unknown attributes are rejected.
+        """
+        result: dict[str, Any] = {}
+        for key in payload:
+            if key not in self._attributes:
+                raise SchemaError(
+                    f"unknown attribute {key!r} for schema {self.name!r}")
+        for spec in self._attributes.values():
+            if spec.name in payload:
+                value = payload[spec.name]
+                if coerce:
+                    value = spec.type.coerce(value)
+                elif not spec.type.validate(value):
+                    raise SchemaError(
+                        f"attribute {spec.name!r} of {self.name!r} expects "
+                        f"{spec.type.value}, got {value!r}")
+                elif spec.type is AttributeType.FLOAT:
+                    value = float(value)
+                result[spec.name] = value
+            elif spec.default is not None:
+                result[spec.name] = spec.default
+            else:
+                raise SchemaError(
+                    f"missing required attribute {spec.name!r} for schema "
+                    f"{self.name!r}")
+        return result
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(
+            f"{spec.name}: {spec.type.value}" for spec in self)
+        return f"EventSchema({self.name!r}, [{attrs}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventSchema):
+            return NotImplemented
+        return (self.name == other.name
+                and list(self) == list(other))
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(self._attributes)))
+
+
+class SchemaRegistry:
+    """A named collection of event schemas.
+
+    The registry is what queries are compiled against: the semantic analyzer
+    resolves every event type and attribute reference through it.
+    """
+
+    def __init__(self, schemas: Iterable[EventSchema] = ()):
+        self._schemas: dict[str, EventSchema] = {}
+        for schema in schemas:
+            self.register(schema)
+
+    def register(self, schema: EventSchema) -> EventSchema:
+        if schema.name in self._schemas:
+            raise SchemaError(f"schema {schema.name!r} is already registered")
+        self._schemas[schema.name] = schema
+        return schema
+
+    def declare(self, name: str, /,
+                **attributes: AttributeType) -> EventSchema:
+        """Convenience: ``registry.declare("A", x=AttributeType.INT)``."""
+        return self.register(EventSchema(
+            name, [AttributeSpec(key, attr_type)
+                   for key, attr_type in attributes.items()]))
+
+    def get(self, name: str) -> EventSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown event type {name!r}; registered types: "
+                f"{', '.join(sorted(self._schemas)) or '(none)'}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def __iter__(self) -> Iterator[EventSchema]:
+        return iter(self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._schemas))

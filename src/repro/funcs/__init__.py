@@ -1,0 +1,12 @@
+"""The built-in ``_`` function library.
+
+"Our language provides a set of built-in functions (all starting with '_')
+for common database operations and can be extended to accommodate other
+user functions" (Section 2.1.1).  :class:`FunctionRegistry` resolves
+function calls in WHERE/RETURN clauses; :func:`default_registry` loads the
+built-ins used by the demonstration queries.
+"""
+
+from repro.funcs.registry import FunctionRegistry, default_registry
+
+__all__ = ["FunctionRegistry", "default_registry"]

@@ -1,0 +1,153 @@
+"""Function registry and the built-in database functions.
+
+Functions receive the evaluation context (so they can reach the event
+database carried by ``context.system``) and the already-evaluated argument
+values.  The built-ins mirror the demonstration queries:
+
+* ``_retrieveLocation(area_id)`` — Q1's exit-description lookup;
+* ``_updateLocation(tag, area, ts)`` — Q2's archival rule;
+* ``_updateContainment(child, parent, ts)`` — the containment rule;
+* ``_currentLocation(tag)`` / ``_movementHistory(tag)`` — the
+  track-and-trace lookups triggered by the misplaced-inventory query;
+* ``_productName(tag)`` — ONS metadata lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.expressions import EvalContext, FunctionResolver
+from repro.errors import FunctionError
+
+FunctionImpl = Callable[..., Any]
+
+
+class FunctionRegistry(FunctionResolver):
+    """Name -> implementation mapping with an extension hook.
+
+    ``needs_context=True`` implementations receive the
+    :class:`~repro.core.expressions.EvalContext` as their first argument;
+    plain implementations receive only the evaluated argument values.
+    """
+
+    def __init__(self) -> None:
+        self._functions: dict[str, tuple[FunctionImpl, bool]] = {}
+
+    def register(self, name: str, impl: FunctionImpl,
+                 needs_context: bool = False) -> None:
+        if name in self._functions:
+            raise FunctionError(f"function {name!r} is already registered")
+        self._functions[name] = (impl, needs_context)
+
+    def function(self, name: str,
+                 needs_context: bool = False) -> Callable[[FunctionImpl],
+                                                          FunctionImpl]:
+        """Decorator form of :meth:`register`."""
+        def decorate(impl: FunctionImpl) -> FunctionImpl:
+            self.register(name, impl, needs_context)
+            return impl
+        return decorate
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def call(self, name: str, context: EvalContext,
+             args: list[Any]) -> Any:
+        try:
+            impl, needs_context = self._functions[name]
+        except KeyError:
+            raise FunctionError(
+                f"unknown function {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}") from None
+        try:
+            if needs_context:
+                return impl(context, *args)
+            return impl(*args)
+        except FunctionError:
+            raise
+        except Exception as exc:
+            raise FunctionError(f"function {name!r} failed: {exc}") from exc
+
+
+def _event_db(context: EvalContext, name: str) -> Any:
+    system = context.system
+    event_db = getattr(system, "event_db", None)
+    if event_db is None:
+        raise FunctionError(
+            f"{name} needs an event database; run the query through a "
+            f"SASE system (or pass system=... with an .event_db)")
+    return event_db
+
+
+def _ons(context: EvalContext, name: str) -> Any:
+    system = context.system
+    ons = getattr(system, "ons", None)
+    if ons is None:
+        raise FunctionError(f"{name} needs an ONS on the system context")
+    return ons
+
+
+def default_registry() -> FunctionRegistry:
+    """The built-in ``_`` function library."""
+    registry = FunctionRegistry()
+
+    @registry.function("_retrieveLocation", needs_context=True)
+    def retrieve_location(context: EvalContext, area_id: int) -> str:
+        description = _event_db(context, "_retrieveLocation") \
+            .area_description(int(area_id))
+        return description if description is not None \
+            else f"unknown area {area_id}"
+
+    @registry.function("_updateLocation", needs_context=True)
+    def update_location(context: EvalContext, tag_id: int, area_id: int,
+                        timestamp: float) -> bool:
+        return _event_db(context, "_updateLocation").update_location(
+            int(tag_id), int(area_id), float(timestamp))
+
+    @registry.function("_updateContainment", needs_context=True)
+    def update_containment(context: EvalContext, child_tag: int,
+                           parent_tag: int, timestamp: float) -> bool:
+        return _event_db(context, "_updateContainment").update_containment(
+            int(child_tag), int(parent_tag), float(timestamp))
+
+    @registry.function("_closeContainment", needs_context=True)
+    def close_containment(context: EvalContext, child_tag: int,
+                          timestamp: float) -> bool:
+        return _event_db(context, "_closeContainment").update_containment(
+            int(child_tag), None, float(timestamp))
+
+    @registry.function("_currentLocation", needs_context=True)
+    def current_location(context: EvalContext, tag_id: int) -> int | None:
+        location = _event_db(context, "_currentLocation") \
+            .current_location(int(tag_id))
+        return location["area_id"] if location is not None else None
+
+    @registry.function("_movementHistory", needs_context=True)
+    def movement_history(context: EvalContext, tag_id: int) -> str:
+        history = _event_db(context, "_movementHistory") \
+            .movement_history(int(tag_id))
+        if not history:
+            return "(no recorded movement)"
+        return " -> ".join(
+            f"{entry['description'] or entry['area_id']}"
+            f"[{entry['time_in']:g}..{'' if entry['time_out'] is None else format(entry['time_out'], 'g')}]"
+            for entry in history)
+
+    @registry.function("_productName", needs_context=True)
+    def product_name(context: EvalContext, tag_id: int) -> str:
+        record = _ons(context, "_productName").lookup(int(tag_id))
+        return record.product_name if record is not None \
+            else f"unknown tag {tag_id}"
+
+    @registry.function("_archiveEvent", needs_context=True)
+    def archive_event(context: EvalContext, event_type: str, tag_id: int,
+                      area_id: int, timestamp: float) -> int:
+        from repro.events.event import Event
+        return _event_db(context, "_archiveEvent").archive_event(Event(
+            str(event_type), float(timestamp),
+            {"TagId": int(tag_id), "AreaId": int(area_id)}))
+
+    return registry

@@ -1,0 +1,21 @@
+"""Sequence indexes: the structures behind the engine's optimizations.
+
+The paper's implementation section highlights "novel sequence indexes" that
+index relevant events "both in temporal order and across value-based
+partitions".  This package provides those two structures as reusable
+components:
+
+* :class:`~repro.indexes.time_index.TimeIndex` — events in temporal order
+  with binary-searchable interval queries and front pruning;
+* :class:`~repro.indexes.partition_index.PartitionedTimeIndex` — a
+  :class:`TimeIndex` per partition-attribute value.
+
+The negation operator and the relational baseline build on them; the active
+instance stacks (:mod:`repro.core.instances`) are their specialisation for
+sequence construction.
+"""
+
+from repro.indexes.partition_index import PartitionedTimeIndex
+from repro.indexes.time_index import Interval, TimeIndex
+
+__all__ = ["Interval", "PartitionedTimeIndex", "TimeIndex"]

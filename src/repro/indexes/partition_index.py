@@ -1,0 +1,65 @@
+"""Value-partitioned temporal index: one TimeIndex per attribute value."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.events.event import Event
+from repro.indexes.time_index import Interval, TimeIndex
+
+
+class PartitionedTimeIndex:
+    """A :class:`TimeIndex` per value of one partition attribute.
+
+    This is the "across value-based partitions" half of the paper's
+    sequence indexing: interval probes touch only the partition a match's
+    equality class selects, independent of how many other values exist.
+    Events lacking the partition attribute are indexed under ``None``.
+    """
+
+    __slots__ = ("attribute", "_partitions")
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self._partitions: dict[Any, TimeIndex] = {}
+
+    def __len__(self) -> int:
+        return sum(len(index) for index in self._partitions.values())
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._partitions)
+
+    def append(self, event: Event) -> None:
+        key = event.attributes.get(self.attribute)
+        index = self._partitions.get(key)
+        if index is None:
+            index = TimeIndex()
+            self._partitions[key] = index
+        index.append(event)
+
+    def partition(self, key: Any) -> TimeIndex | None:
+        return self._partitions.get(key)
+
+    def range(self, key: Any, interval: Interval) -> list[Event]:
+        index = self._partitions.get(key)
+        return index.range(interval) if index is not None else []
+
+    def exists(self, key: Any, interval: Interval) -> bool:
+        index = self._partitions.get(key)
+        return index.exists(interval) if index is not None else False
+
+    def prune_before(self, horizon: float) -> int:
+        """Prune every partition; empty partitions are removed."""
+        dropped = 0
+        emptied: list[Any] = []
+        for key, index in self._partitions.items():
+            dropped += index.prune_before(horizon)
+            if len(index) == 0:
+                emptied.append(key)
+        for key in emptied:
+            del self._partitions[key]
+        return dropped

@@ -1,0 +1,49 @@
+"""The SASE event language front end.
+
+``parse_query`` turns query text into an AST (:mod:`repro.lang.ast`);
+``analyze`` binds it against a schema registry and produces an
+:class:`~repro.lang.semantics.AnalyzedQuery` ready for planning.
+"""
+
+from repro.lang.ast import (
+    AggregateCall,
+    AttributeRef,
+    BinaryOp,
+    Duration,
+    FunctionCall,
+    Literal,
+    PatternComponent,
+    Query,
+    ReturnClause,
+    ReturnItem,
+    SeqPattern,
+    UnaryOp,
+    VariableRef,
+)
+from repro.lang.lexer import Lexer, Token, TokenType
+from repro.lang.parser import parse_query
+from repro.lang.pretty import format_query
+from repro.lang.semantics import AnalyzedQuery, analyze
+
+__all__ = [
+    "AggregateCall",
+    "AnalyzedQuery",
+    "AttributeRef",
+    "BinaryOp",
+    "Duration",
+    "FunctionCall",
+    "Lexer",
+    "Literal",
+    "PatternComponent",
+    "Query",
+    "ReturnClause",
+    "ReturnItem",
+    "SeqPattern",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "VariableRef",
+    "analyze",
+    "format_query",
+    "parse_query",
+]

@@ -1,0 +1,269 @@
+"""Abstract syntax tree for the SASE event language.
+
+The overall query structure mirrors the paper (Section 2.1.1)::
+
+    [FROM <stream name>]
+    EVENT <event pattern>
+    [WHERE <qualification>]
+    [WITHIN <window>]
+    [RETURN <return event pattern>]
+
+All nodes are immutable dataclasses so they can be shared between plans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import ParseError
+
+Expr = Union["BinaryOp", "UnaryOp", "AttributeRef", "VariableRef",
+             "Literal", "FunctionCall", "AggregateCall"]
+
+
+class BinOpKind(enum.Enum):
+    AND = "AND"
+    OR = "OR"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (BinOpKind.EQ, BinOpKind.NEQ, BinOpKind.LT,
+                        BinOpKind.LTE, BinOpKind.GT, BinOpKind.GTE)
+
+    @property
+    def is_logical(self) -> bool:
+        return self in (BinOpKind.AND, BinOpKind.OR)
+
+
+class UnOpKind(enum.Enum):
+    NOT = "NOT"
+    NEG = "-"
+
+
+class AggregateKind(enum.Enum):
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+    FIRST = "FIRST"
+    LAST = "LAST"
+
+
+AGGREGATE_NAMES = frozenset(kind.value for kind in AggregateKind)
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: int | float | str | bool
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """``variable.attribute`` — a reference to one attribute of one bound
+    pattern component."""
+
+    variable: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    """A bare pattern variable (used inside aggregates: ``COUNT(d)``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: BinOpKind
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: UnOpKind
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A call to a built-in function (``_retrieveLocation(z.AreaId)``) or
+    an extension function registered by the application."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate over a (Kleene) variable's bindings, e.g.
+    ``AVG(d.Price)`` or ``COUNT(d)``."""
+
+    kind: AggregateKind
+    arg: Expr | None  # None only for COUNT(*)
+
+
+@dataclass(frozen=True)
+class PatternComponent:
+    """One component of a SEQ pattern: an event type bound to a variable.
+
+    ``negated`` marks ``!(TYPE var)``; ``kleene`` marks ``TYPE+ var`` (the
+    SASE+ extension for recursive pattern matching); ``alt_types`` carries
+    the additional types of an ``ANY(T1, T2, ...) var`` component — the
+    variable then binds an event of any listed type.
+    """
+
+    event_type: str
+    variable: str
+    negated: bool = False
+    kleene: bool = False
+    alt_types: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.negated and self.kleene:
+            raise ParseError(
+                f"component {self.variable!r}: a negated component cannot "
+                f"also be a Kleene closure")
+        if self.event_type in self.alt_types or \
+                len(set(self.alt_types)) != len(self.alt_types):
+            raise ParseError(
+                f"component {self.variable!r}: duplicate type in ANY(...)")
+
+    @property
+    def event_types(self) -> tuple[str, ...]:
+        """All types this component accepts."""
+        return (self.event_type, *self.alt_types)
+
+    @property
+    def is_any(self) -> bool:
+        return bool(self.alt_types)
+
+    def accepts_type(self, event_type: str) -> bool:
+        return event_type == self.event_type or \
+            event_type in self.alt_types
+
+
+@dataclass(frozen=True)
+class SeqPattern:
+    """``SEQ(c1, c2, ..., cn)`` — temporal order over its components.
+
+    A single-component query (``EVENT TYPE var``) is represented as a
+    SeqPattern of length one.
+    """
+
+    components: tuple[PatternComponent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ParseError("SEQ pattern must have at least one component")
+        if all(component.negated for component in self.components):
+            raise ParseError(
+                "SEQ pattern must contain at least one non-negated component")
+        seen: set[str] = set()
+        for component in self.components:
+            if component.variable in seen:
+                raise ParseError(
+                    f"duplicate pattern variable {component.variable!r}")
+            seen.add(component.variable)
+
+    @property
+    def positives(self) -> tuple[PatternComponent, ...]:
+        return tuple(component for component in self.components
+                     if not component.negated)
+
+    @property
+    def negatives(self) -> tuple[PatternComponent, ...]:
+        return tuple(component for component in self.components
+                     if component.negated)
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(component.variable for component in self.components)
+
+    def component_for(self, variable: str) -> PatternComponent:
+        for component in self.components:
+            if component.variable == variable:
+                return component
+        raise KeyError(variable)
+
+
+class TimeUnit(enum.Enum):
+    """Window time units; values are seconds per unit (one logical time
+    unit == one second, per the Time Conversion layer's default)."""
+
+    SECONDS = 1
+    MINUTES = 60
+    HOURS = 3600
+    DAYS = 86400
+
+    @classmethod
+    def parse(cls, word: str) -> "TimeUnit":
+        normalized = word.lower().rstrip("s")  # hour / hours
+        mapping = {
+            "second": cls.SECONDS, "sec": cls.SECONDS, "s": cls.SECONDS,
+            "minute": cls.MINUTES, "min": cls.MINUTES, "m": cls.MINUTES,
+            "hour": cls.HOURS, "hr": cls.HOURS, "h": cls.HOURS,
+            "day": cls.DAYS, "d": cls.DAYS,
+        }
+        if normalized not in mapping:
+            raise ParseError(f"unknown time unit {word!r}")
+        return mapping[normalized]
+
+
+@dataclass(frozen=True)
+class Duration:
+    """A WITHIN window: ``12 hours`` → Duration(12, TimeUnit.HOURS)."""
+
+    value: float
+    unit: TimeUnit = TimeUnit.SECONDS
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ParseError("WITHIN window must be positive")
+
+    @property
+    def seconds(self) -> float:
+        return self.value * self.unit.value
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    """RETURN items, optionally naming the composite event type
+    (``RETURN Alert(x.TagId, ...)``) and/or the output stream
+    (``... INTO alerts``)."""
+
+    items: tuple[ReturnItem, ...]
+    event_name: str | None = None
+    into_stream: str | None = None
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete SASE query."""
+
+    pattern: SeqPattern
+    from_stream: str | None = None
+    where: Expr | None = None
+    within: Duration | None = None
+    return_clause: ReturnClause | None = None
+    text: str = field(default="", compare=False)

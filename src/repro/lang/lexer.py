@@ -1,0 +1,263 @@
+"""Tokenizer for the SASE event language.
+
+The language is line-oriented SQL-ish text::
+
+    EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)
+    WHERE x.TagId = y.TagId AND x.TagId = z.TagId
+    WITHIN 12 hours
+    RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)
+
+Keywords are case-insensitive; identifiers are case-sensitive.  The paper
+writes conjunction with the mathematical wedge; we accept ``AND``, ``&&``
+and the Unicode wedge interchangeably (likewise for disjunction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+
+class TokenType(enum.Enum):
+    # structure
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    BANG = "!"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    # comparisons
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    # keywords
+    FROM = "FROM"
+    EVENT = "EVENT"
+    SEQ = "SEQ"
+    ANY = "ANY"
+    WHERE = "WHERE"
+    WITHIN = "WITHIN"
+    RETURN = "RETURN"
+    INTO = "INTO"
+    AS = "AS"
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    EOF = "end of input"
+
+
+_KEYWORDS = {
+    "FROM": TokenType.FROM,
+    "EVENT": TokenType.EVENT,
+    "SEQ": TokenType.SEQ,
+    "ANY": TokenType.ANY,
+    "WHERE": TokenType.WHERE,
+    "WITHIN": TokenType.WITHIN,
+    "RETURN": TokenType.RETURN,
+    "INTO": TokenType.INTO,
+    "AS": TokenType.AS,
+    "AND": TokenType.AND,
+    "OR": TokenType.OR,
+    "NOT": TokenType.NOT,
+    "TRUE": TokenType.TRUE,
+    "FALSE": TokenType.FALSE,
+}
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "=": TokenType.EQ,
+}
+
+
+def _is_ascii_digit(character: str) -> bool:
+    # str.isdigit() accepts Unicode digits (e.g. superscripts) that
+    # int()/float() reject; numbers are ASCII only.
+    return "0" <= character <= "9"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r})"
+
+
+class Lexer:
+    """Converts query text into a list of :class:`Token`."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._text[self._pos:self._pos + count]
+        for character in chunk:
+            if character == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return chunk
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            character = self._peek()
+            if character.isspace():
+                self._advance()
+            elif character == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _make(self, token_type: TokenType, text: str,
+              line: int, column: int, value: object = None) -> Token:
+        return Token(token_type, text, line, column, value)
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self._line, self._column
+        if self._pos >= len(self._text):
+            return self._make(TokenType.EOF, "", line, column)
+
+        character = self._peek()
+
+        if _is_ascii_digit(character) or (character == "." and
+                                          _is_ascii_digit(self._peek(1))):
+            return self._lex_number(line, column)
+        if character.isalpha() or character == "_":
+            return self._lex_word(line, column)
+        if character in ("'", '"'):
+            return self._lex_string(line, column)
+
+        two = self._peek() + self._peek(1)
+        if two == "!=":
+            self._advance(2)
+            return self._make(TokenType.NEQ, two, line, column)
+        if two == "<>":
+            self._advance(2)
+            return self._make(TokenType.NEQ, two, line, column)
+        if two == "<=":
+            self._advance(2)
+            return self._make(TokenType.LTE, two, line, column)
+        if two == ">=":
+            self._advance(2)
+            return self._make(TokenType.GTE, two, line, column)
+        if two == "&&":
+            self._advance(2)
+            return self._make(TokenType.AND, two, line, column)
+        if two == "||":
+            self._advance(2)
+            return self._make(TokenType.OR, two, line, column)
+        if character == "∧":  # mathematical AND, as printed in the paper
+            self._advance()
+            return self._make(TokenType.AND, character, line, column)
+        if character == "∨":  # mathematical OR
+            self._advance()
+            return self._make(TokenType.OR, character, line, column)
+        if character == "<":
+            self._advance()
+            return self._make(TokenType.LT, character, line, column)
+        if character == ">":
+            self._advance()
+            return self._make(TokenType.GT, character, line, column)
+        if character == "!":
+            self._advance()
+            return self._make(TokenType.BANG, character, line, column)
+        if character in _SINGLE_CHAR:
+            self._advance()
+            return self._make(_SINGLE_CHAR[character], character, line, column)
+
+        raise LexerError(f"unexpected character {character!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        seen_dot = False
+        while self._pos < len(self._text):
+            character = self._peek()
+            if _is_ascii_digit(character):
+                self._advance()
+            elif character == "." and not seen_dot and \
+                    _is_ascii_digit(self._peek(1)):
+                seen_dot = True
+                self._advance()
+            else:
+                break
+        text = self._text[start:self._pos]
+        value: float | int = float(text) if seen_dot else int(text)
+        return self._make(TokenType.NUMBER, text, line, column, value)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._text) and \
+                (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self._text[start:self._pos]
+        keyword = _KEYWORDS.get(text.upper())
+        if keyword is not None:
+            if keyword is TokenType.TRUE:
+                return self._make(keyword, text, line, column, True)
+            if keyword is TokenType.FALSE:
+                return self._make(keyword, text, line, column, False)
+            return self._make(keyword, text, line, column)
+        return self._make(TokenType.IDENT, text, line, column, text)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        quote = self._advance()
+        pieces: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexerError("unterminated string literal", line, column)
+            character = self._advance()
+            if character == quote:
+                if self._peek() == quote:  # SQL-style doubled quote escape
+                    pieces.append(self._advance())
+                    continue
+                break
+            pieces.append(character)
+        text = "".join(pieces)
+        return self._make(TokenType.STRING, text, line, column, text)

@@ -1,0 +1,379 @@
+"""Recursive-descent parser for the SASE event language.
+
+Grammar (keywords case-insensitive)::
+
+    query      := [FROM IDENT] EVENT pattern [WHERE expr]
+                  [WITHIN duration] [RETURN return_clause]
+    pattern    := SEQ '(' component (',' component)* ')' | component
+    component  := '!' '(' IDENT IDENT ')' | IDENT ['+'] IDENT
+    duration   := NUMBER [IDENT]          -- unit defaults to seconds
+    return     := [IDENT '('] item (',' item)* [')'] [INTO IDENT]
+    item       := expr [AS IDENT]
+    expr       := or ; or := and (OR and)* ; and := not (AND not)*
+    not        := NOT not | cmp
+    cmp        := add [cmpop add]
+    add        := mul (('+'|'-') mul)*
+    mul        := unary (('*'|'/'|'%') unary)*
+    unary      := '-' unary | primary
+    primary    := NUMBER | STRING | TRUE | FALSE | '(' expr ')'
+                | IDENT '(' [expr (',' expr)*] ')'      -- function/aggregate
+                | IDENT '.' IDENT                       -- attribute ref
+                | IDENT                                 -- bare variable
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    AGGREGATE_NAMES,
+    AggregateCall,
+    AggregateKind,
+    AttributeRef,
+    BinaryOp,
+    BinOpKind,
+    Duration,
+    Expr,
+    FunctionCall,
+    Literal,
+    PatternComponent,
+    Query,
+    ReturnClause,
+    ReturnItem,
+    SeqPattern,
+    TimeUnit,
+    UnaryOp,
+    UnOpKind,
+    VariableRef,
+)
+from repro.lang.lexer import Lexer, Token, TokenType
+
+_COMPARISONS = {
+    TokenType.EQ: BinOpKind.EQ,
+    TokenType.NEQ: BinOpKind.NEQ,
+    TokenType.LT: BinOpKind.LT,
+    TokenType.LTE: BinOpKind.LTE,
+    TokenType.GT: BinOpKind.GT,
+    TokenType.GTE: BinOpKind.GTE,
+}
+
+_ADDITIVE = {TokenType.PLUS: BinOpKind.ADD, TokenType.MINUS: BinOpKind.SUB}
+_MULTIPLICATIVE = {
+    TokenType.STAR: BinOpKind.MUL,
+    TokenType.SLASH: BinOpKind.DIV,
+    TokenType.PERCENT: BinOpKind.MOD,
+}
+
+
+def parse_query(text: str) -> Query:
+    """Parse SASE query text into a :class:`~repro.lang.ast.Query`."""
+    return _Parser(text).parse()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = Lexer(text).tokenize()
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _match(self, *token_types: TokenType) -> Token | None:
+        if self._peek().type in token_types:
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, context: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {token_type.value!r} {context}, found "
+                f"{token.text or 'end of input'!r}",
+                token.line, token.column)
+        return self._advance()
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Query:
+        from_stream = None
+        if self._match(TokenType.FROM):
+            from_stream = self._expect(
+                TokenType.IDENT, "after FROM").text
+
+        self._expect(TokenType.EVENT, "to start the event matching block")
+        pattern = self._parse_pattern()
+
+        where = None
+        if self._match(TokenType.WHERE):
+            where = self._parse_expr()
+
+        within = None
+        if self._match(TokenType.WITHIN):
+            within = self._parse_duration()
+
+        return_clause = None
+        if self._match(TokenType.RETURN):
+            return_clause = self._parse_return()
+
+        tail = self._peek()
+        if tail.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input starting at {tail.text!r}",
+                tail.line, tail.column)
+
+        return Query(pattern=pattern, from_stream=from_stream, where=where,
+                     within=within, return_clause=return_clause,
+                     text=self._text)
+
+    def _parse_pattern(self) -> SeqPattern:
+        if self._match(TokenType.SEQ):
+            self._expect(TokenType.LPAREN, "after SEQ")
+            components = [self._parse_component()]
+            while self._match(TokenType.COMMA):
+                components.append(self._parse_component())
+            self._expect(TokenType.RPAREN, "to close SEQ(...)")
+            return SeqPattern(tuple(components))
+        # single-component pattern: EVENT TYPE var
+        return SeqPattern((self._parse_component(),))
+
+    def _parse_component(self) -> PatternComponent:
+        if self._match(TokenType.BANG):
+            self._expect(TokenType.LPAREN, "after '!'")
+            if self._match(TokenType.ANY):
+                types = self._parse_any_types()
+                variable = self._expect(
+                    TokenType.IDENT,
+                    "as the negated component's variable").text
+                self._expect(TokenType.RPAREN,
+                             "to close the negated component")
+                return PatternComponent(types[0], variable, negated=True,
+                                        alt_types=tuple(types[1:]))
+            event_type = self._expect(
+                TokenType.IDENT, "as the negated event type").text
+            variable = self._expect(
+                TokenType.IDENT, "as the negated component's variable").text
+            self._expect(TokenType.RPAREN, "to close the negated component")
+            return PatternComponent(event_type, variable, negated=True)
+        if self._match(TokenType.ANY):
+            types = self._parse_any_types()
+            kleene = self._match(TokenType.PLUS) is not None
+            variable = self._expect(
+                TokenType.IDENT, "as the ANY component's variable").text
+            return PatternComponent(types[0], variable, kleene=kleene,
+                                    alt_types=tuple(types[1:]))
+        event_type = self._expect(
+            TokenType.IDENT, "as an event type in the pattern").text
+        kleene = self._match(TokenType.PLUS) is not None
+        variable = self._expect(
+            TokenType.IDENT,
+            f"as the variable bound to {event_type!r}").text
+        return PatternComponent(event_type, variable, kleene=kleene)
+
+    def _parse_any_types(self) -> list[str]:
+        self._expect(TokenType.LPAREN, "after ANY")
+        types = [self._expect(TokenType.IDENT,
+                              "as an event type in ANY(...)").text]
+        while self._match(TokenType.COMMA):
+            types.append(self._expect(
+                TokenType.IDENT, "as an event type in ANY(...)").text)
+        self._expect(TokenType.RPAREN, "to close ANY(...)")
+        return types
+
+    def _parse_duration(self) -> Duration:
+        number = self._expect(TokenType.NUMBER, "after WITHIN")
+        unit = TimeUnit.SECONDS
+        unit_token = self._match(TokenType.IDENT)
+        if unit_token is not None:
+            try:
+                unit = TimeUnit.parse(unit_token.text)
+            except ParseError as exc:
+                raise ParseError(str(exc), unit_token.line,
+                                 unit_token.column) from None
+        assert isinstance(number.value, (int, float))
+        return Duration(float(number.value), unit)
+
+    def _parse_return(self) -> ReturnClause:
+        event_name = None
+        # "RETURN Alert(x.TagId, ...)": an IDENT followed by '(' is only a
+        # composite-type constructor when the whole clause is wrapped --
+        # otherwise it's a plain function call item.  Disambiguate by
+        # scanning: a constructor is IDENT '(' ... ')' [INTO IDENT] EOF
+        # where the parenthesis closes the entire item list.
+        if self._check(TokenType.IDENT) and \
+                self._peek(1).type is TokenType.LPAREN and \
+                self._is_constructor_form():
+            event_name = self._advance().text
+            self._expect(TokenType.LPAREN, "after composite event name")
+            items = self._parse_return_items()
+            self._expect(TokenType.RPAREN, "to close the RETURN constructor")
+        else:
+            items = self._parse_return_items()
+        into_stream = None
+        if self._match(TokenType.INTO):
+            into_stream = self._expect(TokenType.IDENT, "after INTO").text
+        return ReturnClause(tuple(items), event_name=event_name,
+                            into_stream=into_stream)
+
+    def _is_constructor_form(self) -> bool:
+        """Look ahead from ``IDENT (``: the form is a constructor when its
+        matching close paren is followed by EOF or INTO (i.e. it wraps the
+        whole clause) and the name is not an aggregate or ``_`` function."""
+        name = self._peek().text
+        if name.upper() in AGGREGATE_NAMES or name.startswith("_"):
+            return False
+        depth = 0
+        offset = 1  # at the '('
+        while True:
+            token = self._peek(offset)
+            if token.type is TokenType.EOF:
+                return False
+            if token.type is TokenType.LPAREN:
+                depth += 1
+            elif token.type is TokenType.RPAREN:
+                depth -= 1
+                if depth == 0:
+                    after = self._peek(offset + 1)
+                    return after.type in (TokenType.EOF, TokenType.INTO)
+            offset += 1
+
+    def _parse_return_items(self) -> list[ReturnItem]:
+        items = [self._parse_return_item()]
+        while self._match(TokenType.COMMA):
+            items.append(self._parse_return_item())
+        return items
+
+    def _parse_return_item(self) -> ReturnItem:
+        if self._match(TokenType.STAR):
+            # RETURN *: project every bound variable (resolved in semantics).
+            return ReturnItem(VariableRef("*"))
+        expr = self._parse_expr()
+        alias = None
+        if self._match(TokenType.AS):
+            alias = self._expect(TokenType.IDENT, "after AS").text
+        return ReturnItem(expr, alias)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._match(TokenType.OR):
+            right = self._parse_and()
+            left = BinaryOp(BinOpKind.OR, left, right)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._match(TokenType.AND):
+            right = self._parse_not()
+            left = BinaryOp(BinOpKind.AND, left, right)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._match(TokenType.NOT):
+            return UnaryOp(UnOpKind.NOT, self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type in _COMPARISONS:
+            self._advance()
+            right = self._parse_additive()
+            return BinaryOp(_COMPARISONS[token.type], left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().type in _ADDITIVE:
+            op = _ADDITIVE[self._advance().type]
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().type in _MULTIPLICATIVE:
+            op = _MULTIPLICATIVE[self._advance().type]
+            left = BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._match(TokenType.MINUS):
+            return UnaryOp(UnOpKind.NEG, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            assert isinstance(token.value, (int, float))
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            assert isinstance(token.value, str)
+            return Literal(token.value)
+        if token.type in (TokenType.TRUE, TokenType.FALSE):
+            self._advance()
+            assert isinstance(token.value, bool)
+            return Literal(token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenType.RPAREN, "to close the parenthesis")
+            return expr
+        if token.type is TokenType.IDENT:
+            return self._parse_identifier_expr()
+        raise ParseError(
+            f"expected an expression, found {token.text or 'end of input'!r}",
+            token.line, token.column)
+
+    def _parse_identifier_expr(self) -> Expr:
+        name_token = self._advance()
+        name = name_token.text
+        if self._match(TokenType.LPAREN):
+            args: list[Expr] = []
+            star = False
+            if self._match(TokenType.STAR):
+                star = True
+            elif not self._check(TokenType.RPAREN):
+                args.append(self._parse_expr())
+                while self._match(TokenType.COMMA):
+                    args.append(self._parse_expr())
+            self._expect(TokenType.RPAREN, f"to close the call to {name!r}")
+            upper = name.upper()
+            if upper in AGGREGATE_NAMES:
+                if star:
+                    if upper != "COUNT":
+                        raise ParseError(
+                            f"'*' is only valid inside COUNT, not {name}",
+                            name_token.line, name_token.column)
+                    return AggregateCall(AggregateKind.COUNT, None)
+                if len(args) != 1:
+                    raise ParseError(
+                        f"aggregate {name} takes exactly one argument",
+                        name_token.line, name_token.column)
+                return AggregateCall(AggregateKind[upper], args[0])
+            if star:
+                raise ParseError(
+                    f"'*' is only valid inside COUNT, not {name}",
+                    name_token.line, name_token.column)
+            return FunctionCall(name, tuple(args))
+        if self._match(TokenType.DOT):
+            attribute = self._expect(
+                TokenType.IDENT, f"after '{name}.'").text
+            return AttributeRef(name, attribute)
+        return VariableRef(name)

@@ -1,0 +1,147 @@
+"""Unparser: render a query AST back to canonical SASE text.
+
+``parse_query(format_query(q))`` round-trips to an equal AST, which the
+test suite uses as a property-based invariant.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    AggregateCall,
+    AttributeRef,
+    BinaryOp,
+    BinOpKind,
+    Duration,
+    Expr,
+    FunctionCall,
+    Literal,
+    PatternComponent,
+    Query,
+    ReturnClause,
+    TimeUnit,
+    UnaryOp,
+    UnOpKind,
+    VariableRef,
+)
+
+_PRECEDENCE = {
+    BinOpKind.OR: 1,
+    BinOpKind.AND: 2,
+    # NOT sits between AND and comparisons: level 3
+    BinOpKind.EQ: 4, BinOpKind.NEQ: 4, BinOpKind.LT: 4,
+    BinOpKind.LTE: 4, BinOpKind.GT: 4, BinOpKind.GTE: 4,
+    BinOpKind.ADD: 5, BinOpKind.SUB: 5,
+    BinOpKind.MUL: 6, BinOpKind.DIV: 6, BinOpKind.MOD: 6,
+}
+_NOT_PRECEDENCE = 3
+_NEG_PRECEDENCE = 7
+
+_UNIT_WORDS = {
+    TimeUnit.SECONDS: "seconds",
+    TimeUnit.MINUTES: "minutes",
+    TimeUnit.HOURS: "hours",
+    TimeUnit.DAYS: "days",
+}
+
+
+def format_query(query: Query) -> str:
+    """Render *query* as canonical, reparseable SASE text."""
+    lines: list[str] = []
+    if query.from_stream:
+        lines.append(f"FROM {query.from_stream}")
+    components = ", ".join(_format_component(component)
+                           for component in query.pattern.components)
+    if len(query.pattern.components) == 1 and \
+            not query.pattern.components[0].negated:
+        lines.append(f"EVENT {components}")
+    else:
+        lines.append(f"EVENT SEQ({components})")
+    if query.where is not None:
+        lines.append(f"WHERE {format_expr(query.where)}")
+    if query.within is not None:
+        lines.append(f"WITHIN {_format_duration(query.within)}")
+    if query.return_clause is not None:
+        lines.append(f"RETURN {_format_return(query.return_clause)}")
+    return "\n".join(lines)
+
+
+def _format_component(component: PatternComponent) -> str:
+    if component.is_any:
+        head = f"ANY({', '.join(component.event_types)})"
+    else:
+        head = component.event_type
+    if component.negated:
+        return f"!({head} {component.variable})"
+    suffix = "+" if component.kleene else ""
+    return f"{head}{suffix} {component.variable}"
+
+
+def _format_duration(duration: Duration) -> str:
+    value = duration.value
+    text = f"{value:g}"
+    return f"{text} {_UNIT_WORDS[duration.unit]}"
+
+
+def _format_return(clause: ReturnClause) -> str:
+    items = ", ".join(
+        format_expr(item.expr) + (f" AS {item.alias}" if item.alias else "")
+        for item in clause.items)
+    if clause.event_name:
+        body = f"{clause.event_name}({items})"
+    else:
+        body = items
+    if clause.into_stream:
+        body += f" INTO {clause.into_stream}"
+    return body
+
+
+def format_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression, inserting parentheses only where needed."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, bool):
+            return "TRUE" if expr.value else "FALSE"
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        return f"{expr.value:g}" if isinstance(expr.value, float) \
+            else str(expr.value)
+    if isinstance(expr, AttributeRef):
+        return f"{expr.variable}.{expr.attribute}"
+    if isinstance(expr, VariableRef):
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        if expr.op is UnOpKind.NOT:
+            # NOT binds looser than comparisons: its operand never needs
+            # parens unless it is AND/OR, and the NOT itself needs parens
+            # inside anything tighter than AND.
+            text = f"NOT {format_expr(expr.operand, _NOT_PRECEDENCE)}"
+            if _NOT_PRECEDENCE < parent_precedence:
+                return f"({text})"
+            return text
+        text = f"-{format_expr(expr.operand, _NEG_PRECEDENCE)}"
+        if _NEG_PRECEDENCE < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(expr, BinaryOp):
+        precedence = _PRECEDENCE[expr.op]
+        if expr.op.is_comparison:
+            # comparisons do not chain: parenthesize nested comparisons on
+            # both sides
+            left = format_expr(expr.left, precedence + 1)
+        else:
+            left = format_expr(expr.left, precedence)
+        # right side gets precedence + 1 to force parens on equal-precedence
+        # right children, preserving left associativity on reparse.
+        right = format_expr(expr.right, precedence + 1)
+        text = f"{left} {expr.op.value} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, AggregateCall):
+        if expr.arg is None:
+            return "COUNT(*)"
+        return f"{expr.kind.value}({format_expr(expr.arg)})"
+    raise TypeError(f"cannot format expression node {expr!r}")

@@ -1,0 +1,14 @@
+"""Non-deterministic finite automaton model for sequence patterns.
+
+The sequence scan operator is "based on a Non-deterministic Finite Automata
+based model which can read query-specific event sequences efficiently"
+(Section 2.1.2).  :func:`compile_pattern` turns the positive components of a
+SEQ pattern into an :class:`NFA`; the engine drives its states with active
+instance stacks, and the tests use :meth:`NFA.accepts` as an independent
+acceptance oracle.
+"""
+
+from repro.nfa.compiler import compile_pattern
+from repro.nfa.model import NFA, NfaState, Transition
+
+__all__ = ["NFA", "NfaState", "Transition", "compile_pattern"]

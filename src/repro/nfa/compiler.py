@@ -1,0 +1,56 @@
+"""Compile a SEQ pattern's positive components into an NFA.
+
+Negated components do not appear in the automaton: the paper's plan
+evaluates negation in a downstream operator over the sequences the NFA
+produced.  Kleene components (the SASE+ extension) compile to a take edge
+plus a take self-loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.lang.ast import PatternComponent, SeqPattern
+from repro.nfa.model import NFA, NfaState, Transition, TransitionKind
+
+
+def compile_pattern(pattern: SeqPattern) -> NFA:
+    """Build the NFA for *pattern*'s positive components."""
+    positives: list[PatternComponent] = list(pattern.positives)
+    if not positives:
+        raise PlanError("cannot compile a pattern with no positive "
+                        "components")
+    states = [NfaState(index=0, component=None, is_accepting=False)]
+    for index, component in enumerate(positives):
+        states.append(NfaState(
+            index=index + 1,
+            component=index,
+            is_accepting=(index == len(positives) - 1)))
+
+    kleene = frozenset(index for index, component in enumerate(positives)
+                       if component.kleene)
+
+    for index, component in enumerate(positives):
+        states[index].transitions.append(Transition(
+            source=index, target=index + 1, kind=TransitionKind.TAKE,
+            event_type=component.event_type,
+            alt_types=component.alt_types))
+        # ignore self-loop: any event may be skipped (all-matches semantics)
+        states[index].transitions.append(Transition(
+            source=index, target=index, kind=TransitionKind.IGNORE,
+            event_type=None))
+        if component.kleene:
+            states[index + 1].transitions.append(Transition(
+                source=index + 1, target=index + 1,
+                kind=TransitionKind.KLEENE_TAKE,
+                event_type=component.event_type,
+                alt_types=component.alt_types))
+    # ignore self-loop on the accepting state too (matching continues past
+    # a completed sequence)
+    states[-1].transitions.append(Transition(
+        source=len(positives), target=len(positives),
+        kind=TransitionKind.IGNORE, event_type=None))
+
+    return NFA(states,
+               [component.event_type for component in positives],
+               kleene,
+               [component.alt_types for component in positives])

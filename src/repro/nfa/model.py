@@ -1,0 +1,137 @@
+"""NFA states and transitions for SEQ pattern matching.
+
+The automaton for ``SEQ(E1 v1, ..., En vn)`` has states ``S0 .. Sn`` where
+``S0`` is the start state and ``Sn`` accepts.  From ``S_{i}`` a *take*
+transition on type ``E_{i+1}`` advances to ``S_{i+1}``; an *ignore*
+self-loop on any type keeps the state (this encodes the language's
+all-matches semantics: events that are not selected may freely occur
+between selected ones).  A Kleene component additionally has a take
+self-loop on its own type at its post-state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.events.event import Event
+
+
+class TransitionKind(enum.Enum):
+    TAKE = "take"          # consume the event into the match, advance
+    KLEENE_TAKE = "kleene"  # consume another event into a Kleene binding
+    IGNORE = "ignore"      # skip the event, stay
+
+
+@dataclass(frozen=True)
+class Transition:
+    source: int
+    target: int
+    kind: TransitionKind
+    event_type: str | None  # None = any type (ignore edges)
+    alt_types: tuple[str, ...] = ()  # extra accepted types (ANY components)
+
+    def matches(self, event: Event) -> bool:
+        if self.event_type is None:
+            return True
+        return event.type == self.event_type or \
+            event.type in self.alt_types
+
+
+@dataclass
+class NfaState:
+    """One NFA state; ``component`` is the index of the positive pattern
+    component whose acceptance leads *into* this state (None for start)."""
+
+    index: int
+    component: int | None
+    is_accepting: bool
+    transitions: list[Transition] = field(default_factory=list)
+
+
+class NFA:
+    """The compiled automaton over the positive components of a pattern."""
+
+    def __init__(self, states: Sequence[NfaState],
+                 component_types: Sequence[str],
+                 kleene_components: frozenset[int],
+                 component_alt_types: Sequence[tuple[str, ...]] = ()):
+        if not states:
+            raise ValueError("an NFA needs at least a start state")
+        self.states = list(states)
+        self.component_types = tuple(component_types)
+        self.component_alt_types = (tuple(component_alt_types)
+                                    if component_alt_types
+                                    else tuple(() for _ in
+                                               self.component_types))
+        self.kleene_components = kleene_components
+
+    def component_accepts(self, index: int, event_type: str) -> bool:
+        """Does positive component *index* accept *event_type*?"""
+        return (self.component_types[index] == event_type
+                or event_type in self.component_alt_types[index])
+
+    @property
+    def start(self) -> NfaState:
+        return self.states[0]
+
+    @property
+    def accepting(self) -> NfaState:
+        return self.states[-1]
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+    def component_for_type(self, event_type: str) -> list[int]:
+        """All positive-component indexes accepting *event_type* (a type
+        can appear several times in one pattern)."""
+        return [index for index in range(len(self.component_types))
+                if self.component_accepts(index, event_type)]
+
+    def step(self, active: Iterable[int], event: Event) -> set[int]:
+        """One NFA step for set-of-states simulation: the states reachable
+        from *active* after reading *event* (including ignore self-loops)."""
+        result: set[int] = set()
+        for state_index in active:
+            for transition in self.states[state_index].transitions:
+                if transition.matches(event):
+                    result.add(transition.target)
+        return result
+
+    def accepts(self, events: Sequence[Event]) -> bool:
+        """Oracle: is there a run that *selects exactly* ``events`` in order
+        as the pattern's positive components (with Kleene components
+        absorbing one or more consecutive selected events)?
+
+        Timestamps must be strictly increasing between selected events; the
+        caller is responsible for having chosen the events from a stream.
+        """
+        for first, second in zip(events, events[1:]):
+            if second.timestamp <= first.timestamp:
+                return False
+        # Simulate selection-only runs: state index == how many components
+        # fully matched; Kleene components may consume extra events.
+        active = {0}
+        for event in events:
+            advanced: set[int] = set()
+            for state in active:
+                if state < len(self.component_types) and \
+                        self.component_accepts(state, event.type):
+                    advanced.add(state + 1)
+                if state > 0 and (state - 1) in self.kleene_components \
+                        and self.component_accepts(state - 1, event.type):
+                    advanced.add(state)  # stay, absorbing into Kleene
+            active = advanced
+            if not active:
+                return False
+        return len(self.component_types) in active
+
+    def __repr__(self) -> str:
+        parts = []
+        for index, name in enumerate(self.component_types):
+            label = "|".join((name, *self.component_alt_types[index]))
+            parts.append(label + ("+" if index in self.kleene_components
+                                  else ""))
+        return f"NFA(SEQ({', '.join(parts)}), {self.size} states)"

@@ -1,0 +1,11 @@
+"""Simulated Object Name Service (ONS).
+
+The paper's Event Generation layer retrieves product attributes "from a
+tag's user-memory bank or from an Object Name Service"; like the authors,
+"we simulate an ONS with a local database storing product metadata
+associated with each item".
+"""
+
+from repro.ons.service import ObjectNameService, ProductRecord
+
+__all__ = ["ObjectNameService", "ProductRecord"]

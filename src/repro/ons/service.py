@@ -1,0 +1,72 @@
+"""Local product-metadata service keyed by tag id.
+
+The Event Generation layer queries this service to enrich raw readings with
+the attributes its event schema requires (product name, expiration date,
+saleable state, ...).  Lookups are memoised trivially by being a dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CleaningError
+
+
+@dataclass(frozen=True)
+class ProductRecord:
+    """Metadata the ONS stores per tagged item."""
+
+    tag_id: int
+    product_name: str
+    category: str = "general"
+    price: float = 0.0
+    expiration_date: str = ""
+    saleable: bool = True
+    home_area_id: int = 0  # the shelf this product belongs on (0 = none)
+
+    def as_attributes(self) -> dict[str, object]:
+        """The attribute fragment events are enriched with."""
+        return {
+            "ProductName": self.product_name,
+            "Category": self.category,
+            "Price": self.price,
+            "ExpirationDate": self.expiration_date,
+            "Saleable": self.saleable,
+            "HomeAreaId": self.home_area_id,
+        }
+
+
+@dataclass
+class ObjectNameService:
+    """The simulated ONS: register items, look them up by tag."""
+
+    _records: dict[int, ProductRecord] = field(default_factory=dict)
+
+    def register(self, record: ProductRecord) -> None:
+        if record.tag_id in self._records:
+            raise CleaningError(
+                f"tag {record.tag_id} is already registered with the ONS")
+        self._records[record.tag_id] = record
+
+    def register_product(self, tag_id: int, product_name: str,
+                         **extra: object) -> ProductRecord:
+        record = ProductRecord(tag_id=tag_id, product_name=product_name,
+                               **extra)  # type: ignore[arg-type]
+        self.register(record)
+        return record
+
+    def lookup(self, tag_id: int) -> ProductRecord | None:
+        return self._records.get(tag_id)
+
+    def known_tags(self) -> set[int]:
+        return set(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ProductRecord]:
+        return iter(self._records.values())
+
+    def __contains__(self, tag_id: int) -> bool:
+        return tag_id in self._records

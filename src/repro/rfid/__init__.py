@@ -1,0 +1,30 @@
+"""The physical device layer, simulated.
+
+The paper's demo uses a ThingMagic Mercury 4 reader with multiple antennas
+and Alien EPC tags; offline we simulate the same layer (see DESIGN.md):
+tags with checksummed EPC identifiers, readers bound to store areas, and a
+noise model reproducing the reader idiosyncrasies the Cleaning and
+Association layer exists to fix — missed reads, ghost reads, duplicate
+reads, and truncated ids.
+"""
+
+from repro.rfid.layout import Area, AreaKind, Reader, StoreLayout, \
+    default_retail_layout
+from repro.rfid.noise import NoiseModel
+from repro.rfid.simulator import MovementScript, RawReading, RfidSimulator
+from repro.rfid.tags import decode_epc, encode_epc, is_valid_epc
+
+__all__ = [
+    "Area",
+    "AreaKind",
+    "MovementScript",
+    "NoiseModel",
+    "RawReading",
+    "Reader",
+    "RfidSimulator",
+    "StoreLayout",
+    "decode_epc",
+    "default_retail_layout",
+    "encode_epc",
+    "is_valid_epc",
+]

@@ -1,0 +1,113 @@
+"""Store layout: logical areas and the readers that monitor them.
+
+The demonstration setup (Figure 2) has four readers, "with one reader in
+each of the following locations: the store exit, two shelves, and check-out
+counter.  Each reader occupies only one logical area."
+:func:`default_retail_layout` builds exactly that; layouts may also attach
+several readers to one area (a *redundant setup*, which is one of the two
+duplicate sources the Deduplication layer handles).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+class AreaKind(enum.Enum):
+    SHELF = "shelf"
+    COUNTER = "counter"
+    EXIT = "exit"
+    LOADING = "loading"
+    UNLOADING = "unloading"
+    BACKROOM = "backroom"
+
+
+@dataclass(frozen=True)
+class Area:
+    area_id: int
+    kind: AreaKind
+    description: str
+
+
+@dataclass(frozen=True)
+class Reader:
+    reader_id: str
+    area_id: int
+
+
+@dataclass
+class StoreLayout:
+    """Areas plus readers; the association half of cleaning needs both."""
+
+    areas: dict[int, Area] = field(default_factory=dict)
+    readers: dict[str, Reader] = field(default_factory=dict)
+
+    def add_area(self, area_id: int, kind: AreaKind,
+                 description: str) -> Area:
+        if area_id in self.areas:
+            raise SimulationError(f"area {area_id} already exists")
+        area = Area(area_id, kind, description)
+        self.areas[area_id] = area
+        return area
+
+    def add_reader(self, reader_id: str, area_id: int) -> Reader:
+        if reader_id in self.readers:
+            raise SimulationError(f"reader {reader_id!r} already exists")
+        if area_id not in self.areas:
+            raise SimulationError(
+                f"reader {reader_id!r} monitors unknown area {area_id}")
+        reader = Reader(reader_id, area_id)
+        self.readers[reader_id] = reader
+        return reader
+
+    def area_of_reader(self, reader_id: str) -> Area:
+        try:
+            reader = self.readers[reader_id]
+        except KeyError:
+            raise SimulationError(f"unknown reader {reader_id!r}") from None
+        return self.areas[reader.area_id]
+
+    def readers_in_area(self, area_id: int) -> list[Reader]:
+        return [reader for reader in self.readers.values()
+                if reader.area_id == area_id]
+
+    def areas_of_kind(self, kind: AreaKind) -> list[Area]:
+        return [area for area in self.areas.values() if area.kind is kind]
+
+    def shelf_ids(self) -> list[int]:
+        return sorted(area.area_id for area in
+                      self.areas_of_kind(AreaKind.SHELF))
+
+
+def default_retail_layout(redundant_exit_reader: bool = False) -> StoreLayout:
+    """The Figure 2 demonstration setup: two shelves, a check-out counter,
+    and the store exit, one reader each.  With *redundant_exit_reader* a
+    second antenna watches the exit (exercising deduplication)."""
+    layout = StoreLayout()
+    layout.add_area(1, AreaKind.SHELF, "shelf A (household)")
+    layout.add_area(2, AreaKind.SHELF, "shelf B (electronics)")
+    layout.add_area(3, AreaKind.COUNTER, "check-out counter")
+    layout.add_area(4, AreaKind.EXIT, "the leftmost door on the south side")
+    layout.add_reader("R1", 1)
+    layout.add_reader("R2", 2)
+    layout.add_reader("R3", 3)
+    layout.add_reader("R4", 4)
+    if redundant_exit_reader:
+        layout.add_reader("R4b", 4)
+    return layout
+
+
+def warehouse_layout() -> StoreLayout:
+    """A warehouse-side layout for the track-and-trace pre-population:
+    loading and unloading zones plus a backroom."""
+    layout = StoreLayout()
+    layout.add_area(10, AreaKind.LOADING, "loading dock")
+    layout.add_area(11, AreaKind.UNLOADING, "unloading dock")
+    layout.add_area(12, AreaKind.BACKROOM, "backroom storage")
+    layout.add_reader("W1", 10)
+    layout.add_reader("W2", 11)
+    layout.add_reader("W3", 12)
+    return layout

@@ -1,0 +1,66 @@
+"""Reader noise model.
+
+"RFID readings are known to be inaccurate and lossy" (Section 3).  The
+model reproduces the four idiosyncrasies the cleaning layers target:
+
+* **missed reads** — a present tag produces no reading this scan;
+* **duplicate reads** — one scan reports the same tag twice;
+* **truncated ids** — the EPC arrives cut short (anomaly filtering drops
+  these by checksum/length);
+* **ghost reads** — a reading for a tag that is not present at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-scan noise probabilities.  All default to a mildly noisy reader;
+    ``NoiseModel.perfect()`` disables everything."""
+
+    miss_rate: float = 0.05
+    duplicate_rate: float = 0.05
+    truncate_rate: float = 0.01
+    ghost_rate: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in ("miss_rate", "duplicate_rate", "truncate_rate",
+                     "ghost_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, "
+                                 f"got {value}")
+
+    @classmethod
+    def perfect(cls) -> "NoiseModel":
+        return cls(miss_rate=0.0, duplicate_rate=0.0, truncate_rate=0.0,
+                   ghost_rate=0.0)
+
+    @classmethod
+    def harsh(cls) -> "NoiseModel":
+        """A deliberately bad reader, for stress-testing the cleaning
+        pipeline."""
+        return cls(miss_rate=0.3, duplicate_rate=0.2, truncate_rate=0.05,
+                   ghost_rate=0.02)
+
+    # -- sampling -----------------------------------------------------------
+
+    def drops_reading(self, rng: random.Random) -> bool:
+        return rng.random() < self.miss_rate
+
+    def duplicates_reading(self, rng: random.Random) -> bool:
+        return rng.random() < self.duplicate_rate
+
+    def truncates_id(self, rng: random.Random) -> bool:
+        return rng.random() < self.truncate_rate
+
+    def emits_ghost(self, rng: random.Random) -> bool:
+        return rng.random() < self.ghost_rate
+
+    def corrupt_epc(self, epc: str, rng: random.Random) -> str:
+        """Truncate an EPC at a random cut point (always invalid)."""
+        cut = rng.randint(1, max(1, len(epc) - 1))
+        return epc[:cut]

@@ -1,0 +1,147 @@
+"""Discrete-time RFID simulator.
+
+"RFID readers scan their reading range in regular intervals and return a
+reading for each detected tag.  Each raw RFID reading consists of the TagId
+and ReaderId" (Section 3).  The simulator holds the world state (which tag
+is in which area), applies a movement script, and at every scan tick lets
+each reader report the tags in its area through the noise model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.rfid.layout import StoreLayout
+from repro.rfid.noise import NoiseModel
+from repro.rfid.tags import encode_epc
+
+
+@dataclass(frozen=True)
+class RawReading:
+    """One raw reading as it leaves the physical device layer."""
+
+    epc: str
+    reader_id: str
+    time: float
+
+
+@dataclass(order=True)
+class _Move:
+    time: float
+    order: int
+    tag_id: int = field(compare=False)
+    area_id: int | None = field(compare=False)  # None = leaves all areas
+
+
+class MovementScript:
+    """A time-ordered script of tag movements.
+
+    ``move(t, tag, area)`` schedules the tag to be in *area* from time *t*
+    on; ``remove(t, tag)`` takes it out of every read range (left the
+    store, inside a shielded container, ...).
+    """
+
+    def __init__(self) -> None:
+        self._moves: list[_Move] = []
+        self._counter = 0
+
+    def move(self, time: float, tag_id: int, area_id: int) -> None:
+        self._moves.append(_Move(time, self._counter, tag_id, area_id))
+        self._counter += 1
+
+    def remove(self, time: float, tag_id: int) -> None:
+        self._moves.append(_Move(time, self._counter, tag_id, None))
+        self._counter += 1
+
+    def __len__(self) -> int:
+        return len(self._moves)
+
+    @property
+    def end_time(self) -> float:
+        return max((move.time for move in self._moves), default=0.0)
+
+    def sorted_moves(self) -> list[_Move]:
+        return sorted(self._moves)
+
+
+class RfidSimulator:
+    """World state + scan loop."""
+
+    def __init__(self, layout: StoreLayout,
+                 noise: NoiseModel | None = None,
+                 scan_interval: float = 1.0, seed: int = 0):
+        if scan_interval <= 0:
+            raise SimulationError("scan interval must be positive")
+        self.layout = layout
+        self.noise = noise or NoiseModel.perfect()
+        self.scan_interval = scan_interval
+        self._rng = random.Random(seed)
+        self._positions: dict[int, int] = {}  # tag -> area
+        self.readings_emitted = 0
+
+    # -- world state -------------------------------------------------------
+
+    def place(self, tag_id: int, area_id: int) -> None:
+        if area_id not in self.layout.areas:
+            raise SimulationError(f"unknown area {area_id}")
+        self._positions[tag_id] = area_id
+
+    def remove(self, tag_id: int) -> None:
+        self._positions.pop(tag_id, None)
+
+    def position_of(self, tag_id: int) -> int | None:
+        return self._positions.get(tag_id)
+
+    def tags_in_area(self, area_id: int) -> list[int]:
+        return sorted(tag for tag, area in self._positions.items()
+                      if area == area_id)
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan(self, time: float) -> list[RawReading]:
+        """One scan of every reader, with noise."""
+        readings: list[RawReading] = []
+        for reader_id, reader in sorted(self.layout.readers.items()):
+            for tag_id in self.tags_in_area(reader.area_id):
+                if self.noise.drops_reading(self._rng):
+                    continue
+                epc = encode_epc(tag_id)
+                if self.noise.truncates_id(self._rng):
+                    epc = self.noise.corrupt_epc(epc, self._rng)
+                readings.append(RawReading(epc, reader_id, time))
+                if self.noise.duplicates_reading(self._rng):
+                    readings.append(RawReading(epc, reader_id, time))
+            if self.noise.emits_ghost(self._rng):
+                ghost = encode_epc(self._rng.randint(9_000_000, 9_999_999))
+                readings.append(RawReading(ghost, reader_id, time))
+        self.readings_emitted += len(readings)
+        return readings
+
+    def run_script(self, script: MovementScript,
+                   until: float | None = None,
+                   start: float = 0.0) -> Iterator[tuple[float,
+                                                         list[RawReading]]]:
+        """Apply *script* while scanning every ``scan_interval``.
+
+        Yields ``(scan_time, readings)`` per tick — the per-tick batches the
+        cleaning pipeline consumes.  Moves scheduled at or before a scan
+        time are applied before that scan.
+        """
+        moves = script.sorted_moves()
+        end = until if until is not None else script.end_time
+        next_move = 0
+        time = start
+        while time <= end + 1e-9:
+            while next_move < len(moves) and \
+                    moves[next_move].time <= time + 1e-9:
+                move = moves[next_move]
+                if move.area_id is None:
+                    self.remove(move.tag_id)
+                else:
+                    self.place(move.tag_id, move.area_id)
+                next_move += 1
+            yield time, self.scan(time)
+            time += self.scan_interval

@@ -1,0 +1,57 @@
+"""Standard event schemas for the retail/warehouse scenario.
+
+The Event Generation layer "generates events according to a pre-defined
+schema" (Section 3); these are the pre-defined schemas the demonstration
+uses.  Reading events share one attribute set — the raw reading's TagId and
+AreaId plus the ONS metadata — and differ only in type, which the reader's
+area kind selects (shelf / counter / exit / loading / unloading / backroom).
+"""
+
+from __future__ import annotations
+
+from repro.events.model import AttributeSpec, AttributeType, EventSchema, \
+    SchemaRegistry
+from repro.rfid.layout import AreaKind
+
+SHELF_READING = "SHELF_READING"
+COUNTER_READING = "COUNTER_READING"
+EXIT_READING = "EXIT_READING"
+LOADING_READING = "LOADING_READING"
+UNLOADING_READING = "UNLOADING_READING"
+BACKROOM_READING = "BACKROOM_READING"
+
+EVENT_TYPE_FOR_KIND: dict[AreaKind, str] = {
+    AreaKind.SHELF: SHELF_READING,
+    AreaKind.COUNTER: COUNTER_READING,
+    AreaKind.EXIT: EXIT_READING,
+    AreaKind.LOADING: LOADING_READING,
+    AreaKind.UNLOADING: UNLOADING_READING,
+    AreaKind.BACKROOM: BACKROOM_READING,
+}
+
+READING_ATTRIBUTES: tuple[tuple[str, AttributeType], ...] = (
+    ("TagId", AttributeType.INT),
+    ("AreaId", AttributeType.INT),
+    ("ReaderId", AttributeType.STRING),
+    ("ProductName", AttributeType.STRING),
+    ("Category", AttributeType.STRING),
+    ("Price", AttributeType.FLOAT),
+    ("ExpirationDate", AttributeType.STRING),
+    ("Saleable", AttributeType.BOOL),
+    ("HomeAreaId", AttributeType.INT),
+)
+
+
+def reading_schema(event_type: str) -> EventSchema:
+    """The common reading-event schema under a given type name."""
+    return EventSchema(event_type, [AttributeSpec(name, attr_type)
+                                    for name, attr_type
+                                    in READING_ATTRIBUTES])
+
+
+def retail_registry() -> SchemaRegistry:
+    """Schemas for every reading-event type the demonstration produces."""
+    registry = SchemaRegistry()
+    for event_type in EVENT_TYPE_FOR_KIND.values():
+        registry.register(reading_schema(event_type))
+    return registry

@@ -1,0 +1,18 @@
+"""The complete SASE system (Figure 1 of the paper).
+
+:class:`~repro.system.processor.ComplexEventProcessor` hosts continuous
+queries — monitoring queries, archiving rules, and stream+database queries.
+:class:`~repro.system.sase.SaseSystem` wires all three layers together:
+the simulated physical devices, the cleaning and association pipeline, the
+processor, the event database, and the UI taps.
+"""
+
+from repro.system.context import SystemContext
+from repro.system.metrics import MetricsCollector, QueryMetrics
+from repro.system.processor import ComplexEventProcessor, QueryKind, \
+    RegisteredQuery
+from repro.system.sase import SaseSystem
+
+__all__ = ["ComplexEventProcessor", "MetricsCollector", "QueryKind",
+           "QueryMetrics", "RegisteredQuery", "SaseSystem",
+           "SystemContext"]

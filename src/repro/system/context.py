@@ -1,0 +1,19 @@
+"""The system context handed to built-in functions at evaluation time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.eventdb import EventDatabase
+from repro.ons.service import ObjectNameService
+
+
+@dataclass
+class SystemContext:
+    """What a ``_`` function can reach: the event database, the ONS, and a
+    free-form extensions mapping for user functions."""
+
+    event_db: EventDatabase
+    ons: ObjectNameService | None = None
+    extensions: dict[str, Any] = field(default_factory=dict)

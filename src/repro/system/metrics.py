@@ -1,0 +1,98 @@
+"""Per-query runtime metrics for the complex event processor.
+
+The processor accounts, per registered query, the events fed, the results
+produced, and the busy time spent inside the query's runtime — enough to
+answer the operational questions a deployment asks: which query is the
+bottleneck, what does each query's selectivity look like, and how fresh is
+its last detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryMetrics:
+    """Counters for one continuous query."""
+
+    name: str
+    events_in: int = 0
+    results_out: int = 0
+    busy_seconds: float = 0.0
+    last_result_at: float | None = None  # stream time of last result
+
+    @property
+    def events_per_second(self) -> float:
+        """Sustained processing rate while busy."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.events_in / self.busy_seconds
+
+    @property
+    def mean_feed_micros(self) -> float:
+        """Mean cost of feeding one event, in microseconds."""
+        if self.events_in == 0:
+            return 0.0
+        return self.busy_seconds / self.events_in * 1e6
+
+    @property
+    def selectivity(self) -> float:
+        """Results per input event."""
+        if self.events_in == 0:
+            return 0.0
+        return self.results_out / self.events_in
+
+    def record(self, events: int, results: int, seconds: float,
+               stream_time: float | None) -> None:
+        self.events_in += events
+        self.results_out += results
+        self.busy_seconds += seconds
+        if results and stream_time is not None:
+            self.last_result_at = stream_time
+
+
+@dataclass
+class MetricsCollector:
+    """All queries' metrics, keyed by query name."""
+
+    queries: dict[str, QueryMetrics] = field(default_factory=dict)
+
+    def query(self, name: str) -> QueryMetrics:
+        metrics = self.queries.get(name)
+        if metrics is None:
+            metrics = QueryMetrics(name)
+            self.queries[name] = metrics
+        return metrics
+
+    def forget(self, name: str) -> None:
+        self.queries.pop(name, None)
+
+    @property
+    def total_busy_seconds(self) -> float:
+        return sum(metrics.busy_seconds
+                   for metrics in self.queries.values())
+
+    def bottleneck(self) -> QueryMetrics | None:
+        """The query consuming the most processing time."""
+        if not self.queries:
+            return None
+        return max(self.queries.values(),
+                   key=lambda metrics: metrics.busy_seconds)
+
+    def report_lines(self) -> list[str]:
+        """Human-readable summary, busiest query first."""
+        ordered = sorted(self.queries.values(),
+                         key=lambda metrics: metrics.busy_seconds,
+                         reverse=True)
+        lines = []
+        for metrics in ordered:
+            freshness = ("never" if metrics.last_result_at is None
+                         else f"t={metrics.last_result_at:g}")
+            lines.append(
+                f"{metrics.name}: {metrics.events_in} ev, "
+                f"{metrics.results_out} out "
+                f"({metrics.selectivity:.4f}), "
+                f"{metrics.mean_feed_micros:.1f} us/ev, "
+                f"last result {freshness}")
+        return lines

@@ -1,0 +1,231 @@
+"""The complex event processor: continuous queries over the event stream.
+
+Section 3 gives the processor three tasks, all supported here:
+
+1. **monitoring queries** — registered with a callback; every satisfaction
+   produces a notification result;
+2. **archiving rules** — transformation queries whose RETURN clauses call
+   database functions (``_updateLocation``, ``_updateContainment``); their
+   results stream to the event database rather than the user;
+3. **stream + database queries** — monitoring queries whose RETURN clause
+   performs lookups (``_retrieveLocation``); detection triggers the
+   subquery and the combined result goes back to the user.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import time
+
+from repro.core.engine import CompiledQuery, Engine
+from repro.core.plan import PlanConfig
+from repro.core.runtime import QueryRuntime
+from repro.errors import SaseError
+from repro.events.event import CompositeEvent, Event
+from repro.events.model import SchemaRegistry
+from repro.system.metrics import MetricsCollector
+
+ResultCallback = Callable[[str, CompositeEvent], None]
+
+
+class QueryKind(enum.Enum):
+    MONITORING = "monitoring"
+    ARCHIVING_RULE = "archiving rule"
+
+
+@dataclass
+class RegisteredQuery:
+    """One live continuous query."""
+
+    name: str
+    kind: QueryKind
+    compiled: CompiledQuery
+    runtime: QueryRuntime
+    on_result: ResultCallback | None
+    results_produced: int = 0
+
+    @property
+    def input_stream(self) -> str:
+        """The stream this query reads (the FROM clause; "if it is
+        omitted, the query refers to a default system input")."""
+        return self.compiled.analyzed.query.from_stream or \
+            ComplexEventProcessor.DEFAULT_STREAM
+
+    @property
+    def output_stream(self) -> str | None:
+        """The stream this query's composite events feed (INTO)."""
+        return self.compiled.analyzed.output_stream
+
+
+class ComplexEventProcessor:
+    """Hosts continuous queries; feed it the cleaned event stream.
+
+    Queries compose through named streams: a query whose RETURN clause ends
+    in ``INTO <stream>`` publishes its composite events there, and a query
+    with ``FROM <stream>`` consumes them — the language's mechanism for
+    building detection hierarchies.  Cascades are depth-limited so a
+    self-feeding query fails loudly instead of looping.
+    """
+
+    DEFAULT_STREAM = "default"
+    MAX_CASCADE_DEPTH = 16
+
+    def __init__(self, registry: SchemaRegistry, functions: Any = None,
+                 system: Any = None, config: PlanConfig | None = None):
+        self._engine = Engine(registry, functions=functions, system=system,
+                              config=config)
+        self._queries: dict[str, RegisteredQuery] = {}
+        self.metrics = MetricsCollector()
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, query: str | CompiledQuery,
+                 kind: QueryKind = QueryKind.MONITORING,
+                 on_result: ResultCallback | None = None,
+                 config: PlanConfig | None = None) -> RegisteredQuery:
+        """Register a continuous query.  "The event processor immediately
+        starts executing the query over the RFID stream ... until the query
+        is deleted by the user"."""
+        if name in self._queries:
+            raise SaseError(f"a query named {name!r} is already registered")
+        compiled = query if isinstance(query, CompiledQuery) \
+            else self._engine.compile(query, config)
+        registered = RegisteredQuery(
+            name=name, kind=kind, compiled=compiled,
+            runtime=self._engine.runtime(compiled), on_result=on_result)
+        self._queries[name] = registered
+        return registered
+
+    def register_monitoring_query(self, name: str, query: str,
+                                  on_result: ResultCallback | None = None) \
+            -> RegisteredQuery:
+        return self.register(name, query, QueryKind.MONITORING, on_result)
+
+    def register_archiving_rule(self, name: str,
+                                query: str) -> RegisteredQuery:
+        return self.register(name, query, QueryKind.ARCHIVING_RULE)
+
+    def deregister(self, name: str) -> None:
+        if name not in self._queries:
+            raise SaseError(f"no query named {name!r} is registered")
+        del self._queries[name]
+        self.metrics.forget(name)
+
+    def queries(self) -> list[RegisteredQuery]:
+        return list(self._queries.values())
+
+    def query(self, name: str) -> RegisteredQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise SaseError(f"no query named {name!r} is registered") \
+                from None
+
+    # -- stream side ----------------------------------------------------------
+
+    def feed(self, event: Event,
+             stream: str = DEFAULT_STREAM) \
+            -> list[tuple[str, CompositeEvent]]:
+        """Push one event through every query reading *stream*, cascading
+        INTO-published composite events to their consumers; returns the
+        (query name, result) pairs produced and fires callbacks."""
+        produced: list[tuple[str, CompositeEvent]] = []
+        pending: list[tuple[str, Event, int]] = [(stream, event, 0)]
+        while pending:
+            current_stream, current_event, depth = pending.pop(0)
+            if depth > self.MAX_CASCADE_DEPTH:
+                raise SaseError(
+                    f"query cascade exceeded {self.MAX_CASCADE_DEPTH} "
+                    f"levels on stream {current_stream!r}; check for an "
+                    f"INTO/FROM cycle")
+            for registered in self._queries.values():
+                if registered.input_stream != current_stream:
+                    continue
+                started = time.perf_counter()
+                results = registered.runtime.feed(current_event)
+                self.metrics.query(registered.name).record(
+                    1, len(results), time.perf_counter() - started,
+                    current_event.timestamp)
+                for result in results:
+                    self._deliver(registered, result, produced)
+                    if result.stream is not None:
+                        pending.append((result.stream, result.to_event(),
+                                        depth + 1))
+        return produced
+
+    def _deliver(self, registered: RegisteredQuery,
+                 result: CompositeEvent,
+                 produced: list[tuple[str, CompositeEvent]]) -> None:
+        registered.results_produced += 1
+        produced.append((registered.name, result))
+        if registered.on_result is not None:
+            registered.on_result(registered.name, result)
+
+    def feed_many(self, events: Iterable[Event]) \
+            -> list[tuple[str, CompositeEvent]]:
+        produced: list[tuple[str, CompositeEvent]] = []
+        for event in events:
+            produced.extend(self.feed(event))
+        return produced
+
+    def flush(self) -> list[tuple[str, CompositeEvent]]:
+        """End of stream: release pending trailing-negation matches.
+
+        Queries flush in cascade order (producers before their INTO
+        consumers) so composite events released at flush time still reach
+        downstream queries before those flush themselves.
+        """
+        produced: list[tuple[str, CompositeEvent]] = []
+        flushed: set[str] = set()
+        for registered in self._flush_order():
+            for result in registered.runtime.flush():
+                self._deliver(registered, result, produced)
+                if result.stream is not None:
+                    self._route_late(result.stream, result.to_event(),
+                                     flushed, produced, depth=0)
+            flushed.add(registered.name)
+        return produced
+
+    def _route_late(self, stream: str, event: Event, flushed: set[str],
+                    produced: list[tuple[str, CompositeEvent]],
+                    depth: int) -> None:
+        if depth > self.MAX_CASCADE_DEPTH:
+            raise SaseError(
+                f"query cascade exceeded {self.MAX_CASCADE_DEPTH} levels "
+                f"during flush on stream {stream!r}")
+        for registered in self._queries.values():
+            if registered.input_stream != stream or \
+                    registered.name in flushed:
+                continue
+            for result in registered.runtime.feed(event):
+                self._deliver(registered, result, produced)
+                if result.stream is not None:
+                    self._route_late(result.stream, result.to_event(),
+                                     flushed, produced, depth + 1)
+
+    def _flush_order(self) -> list[RegisteredQuery]:
+        """Producers before consumers: order queries by their stream depth
+        (DEFAULT at depth 0, a query publishing INTO a stream puts that
+        stream one level deeper)."""
+        depth: dict[str, int] = {self.DEFAULT_STREAM: 0}
+        changed = True
+        iterations = 0
+        while changed and iterations <= len(self._queries) + 1:
+            changed = False
+            iterations += 1
+            for registered in self._queries.values():
+                source = depth.get(registered.input_stream)
+                target = registered.output_stream
+                if source is not None and target is not None:
+                    proposed = source + 1
+                    if depth.get(target, -1) < proposed:
+                        depth[target] = min(proposed,
+                                            self.MAX_CASCADE_DEPTH)
+                        changed = changed or \
+                            depth[target] != self.MAX_CASCADE_DEPTH
+        return sorted(self._queries.values(),
+                      key=lambda registered: depth.get(
+                          registered.input_stream, 0))

@@ -1,0 +1,165 @@
+"""The fully wired SASE system (Figure 1).
+
+``SaseSystem`` owns every layer: the store layout and simulated readers at
+the bottom, the five-stage cleaning pipeline, the complex event processor
+with its continuous queries, the event database, and observation taps for
+the UI panels.  ``process_tick`` moves one scan's raw readings through the
+whole stack; ``run_simulation`` drives a scripted scenario end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.cleaning.pipeline import CleaningConfig, CleaningPipeline
+from repro.core.plan import PlanConfig
+from repro.db.eventdb import EventDatabase
+from repro.events.event import CompositeEvent, Event
+from repro.events.model import SchemaRegistry
+from repro.funcs.registry import FunctionRegistry, default_registry
+from repro.ons.service import ObjectNameService
+from repro.rfid.layout import StoreLayout
+from repro.rfid.simulator import RawReading
+from repro.schemas import retail_registry
+from repro.system.context import SystemContext
+from repro.system.processor import ComplexEventProcessor, QueryKind, \
+    RegisteredQuery
+
+
+@dataclass
+class SystemTaps:
+    """Observation points for the UI (the right-hand panels of Figure 3)."""
+
+    cleaning_output: list[Event] = field(default_factory=list)
+    stream_results: list[tuple[str, CompositeEvent]] = field(
+        default_factory=list)
+    database_reports: list[str] = field(default_factory=list)
+    messages: list[str] = field(default_factory=list)
+    limit: int = 1000
+
+    def _trim(self, items: list) -> None:
+        if len(items) > self.limit:
+            del items[:len(items) - self.limit]
+
+    def record_events(self, events: Iterable[Event]) -> None:
+        self.cleaning_output.extend(events)
+        self._trim(self.cleaning_output)
+
+    def record_result(self, name: str, result: CompositeEvent) -> None:
+        self.stream_results.append((name, result))
+        self._trim(self.stream_results)
+
+    def record_report(self, text: str) -> None:
+        self.database_reports.append(text)
+        self._trim(self.database_reports)
+
+    def record_message(self, text: str) -> None:
+        self.messages.append(text)
+        self._trim(self.messages)
+
+
+class SaseSystem:
+    """All SASE layers wired together."""
+
+    def __init__(self, layout: StoreLayout, ons: ObjectNameService,
+                 registry: SchemaRegistry | None = None,
+                 cleaning_config: CleaningConfig | None = None,
+                 plan_config: PlanConfig | None = None,
+                 functions: FunctionRegistry | None = None,
+                 event_db: EventDatabase | None = None):
+        self.layout = layout
+        self.ons = ons
+        self.registry = registry or retail_registry()
+        self.event_db = event_db or EventDatabase()
+        self.context = SystemContext(event_db=self.event_db, ons=ons)
+        self.functions = functions or default_registry()
+        self.cleaning = CleaningPipeline(layout, ons, cleaning_config)
+        self.processor = ComplexEventProcessor(
+            self.registry, functions=self.functions, system=self.context,
+            config=plan_config)
+        self.taps = SystemTaps()
+        self._message_formatters: dict[str, Callable[[CompositeEvent],
+                                                     str]] = {}
+        self._sync_reference_data()
+
+    def _sync_reference_data(self) -> None:
+        """Mirror layout areas and ONS products into the event database so
+        RETURN-clause lookups (``_retrieveLocation``) can answer."""
+        for area in self.layout.areas.values():
+            self.event_db.register_area(area.area_id, area.kind.value,
+                                        area.description)
+        for record in self.ons:
+            self.event_db.register_product(
+                record.tag_id, record.product_name,
+                category=record.category, price=record.price,
+                expiration_date=record.expiration_date,
+                saleable=record.saleable)
+
+    # -- query registration ---------------------------------------------------
+
+    def register_monitoring_query(
+            self, name: str, query: str,
+            message: Callable[[CompositeEvent], str] | None = None) \
+            -> RegisteredQuery:
+        """Register a monitoring query; detections appear on the stream
+        results tap and, via *message*, in the Message Results panel."""
+        if message is not None:
+            self._message_formatters[name] = message
+        return self.processor.register(name, query, QueryKind.MONITORING,
+                                       on_result=self._on_result)
+
+    def register_archiving_rule(self, name: str,
+                                query: str) -> RegisteredQuery:
+        """Register a data-transformation rule for archiving."""
+        return self.processor.register(name, query,
+                                       QueryKind.ARCHIVING_RULE,
+                                       on_result=self._on_rule_result)
+
+    def _on_result(self, name: str, result: CompositeEvent) -> None:
+        self.taps.record_result(name, result)
+        formatter = self._message_formatters.get(name)
+        if formatter is not None:
+            self.taps.record_message(formatter(result))
+        else:
+            attrs = ", ".join(f"{key}={value}" for key, value
+                              in result.attributes.items())
+            self.taps.record_message(f"[{name}] {attrs}")
+
+    def _on_rule_result(self, name: str, result: CompositeEvent) -> None:
+        attrs = ", ".join(f"{key}={value}" for key, value
+                          in result.attributes.items())
+        self.taps.record_report(f"[{name}] database update: {attrs}")
+
+    # -- data flow ----------------------------------------------------------------
+
+    def process_tick(self, readings: Iterable[RawReading], now: float) \
+            -> list[tuple[str, CompositeEvent]]:
+        """One scan tick: raw readings -> cleaning -> processor."""
+        events = self.cleaning.process_tick(readings, now)
+        self.taps.record_events(events)
+        produced: list[tuple[str, CompositeEvent]] = []
+        for event in events:
+            produced.extend(self.processor.feed(event))
+        return produced
+
+    def run_simulation(self,
+                       ticks: Iterable[tuple[float, list[RawReading]]],
+                       flush: bool = True) \
+            -> list[tuple[str, CompositeEvent]]:
+        """Drive a whole simulated scenario through the system."""
+        produced: list[tuple[str, CompositeEvent]] = []
+        for now, readings in ticks:
+            produced.extend(self.process_tick(readings, now))
+        if flush:
+            produced.extend(self.processor.flush())
+        return produced
+
+    # -- ad-hoc database access -------------------------------------------------
+
+    def query_database(self, sql: str) -> list[dict]:
+        """Ad-hoc SQL over the event database (the UI's bottom pane)."""
+        rows = self.event_db.db.query(sql)
+        self.taps.record_report(f"[ad-hoc] {sql.strip()} -> {len(rows)} "
+                                f"row(s)")
+        return rows

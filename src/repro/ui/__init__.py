@@ -1,0 +1,5 @@
+"""Console UI mirroring Figure 3's five windows."""
+
+from repro.ui.console import Panel, SaseConsole, render_panel
+
+__all__ = ["Panel", "SaseConsole", "render_panel"]

@@ -1,0 +1,103 @@
+"""Text rendering of the SASE UI.
+
+Figure 3 of the paper shows five windows: *Present Queries* and *Message
+Results* on the left; *Cleaning and Association Layer Output*, *Database
+Report*, and *Stream Processor Output* on the right.  ``SaseConsole``
+renders the same five panels from a live :class:`~repro.system.sase
+.SaseSystem`'s taps, "to demonstrate SASE's internal data flow and display
+the intermediate results used to compute final query output".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system.sase import SaseSystem
+
+
+@dataclass
+class Panel:
+    title: str
+    lines: list[str]
+
+
+def _clip(text: str, width: int) -> str:
+    return text if len(text) <= width else text[:width - 1] + "…"
+
+
+def render_panel(panel: Panel, width: int = 78,
+                 max_lines: int = 8) -> str:
+    """One boxed panel, most recent lines last."""
+    inner = width - 4
+    top = f"┌─ {_clip(panel.title, inner - 1)} "
+    top += "─" * max(0, width - len(top) - 1) + "┐"
+    body_lines = panel.lines[-max_lines:] if panel.lines else ["(empty)"]
+    rows = [f"│ {_clip(line, inner):<{inner}} │" for line in body_lines]
+    bottom = "└" + "─" * (width - 2) + "┘"
+    return "\n".join([top, *rows, bottom])
+
+
+class SaseConsole:
+    """Builds the five Figure 3 panels from a system's taps."""
+
+    def __init__(self, system: SaseSystem, width: int = 78,
+                 max_lines: int = 8):
+        self._system = system
+        self._width = width
+        self._max_lines = max_lines
+
+    # -- panels ---------------------------------------------------------------
+
+    def present_queries(self) -> Panel:
+        lines = []
+        for registered in self._system.processor.queries():
+            lines.append(f"{registered.name} [{registered.kind.value}] "
+                         f"results={registered.results_produced}")
+            first = registered.compiled.text.strip().splitlines()
+            if first:
+                lines.append(f"  {first[0].strip()}")
+        return Panel("Present Queries", lines)
+
+    def message_results(self) -> Panel:
+        return Panel("Message Results", list(self._system.taps.messages))
+
+    def cleaning_output(self) -> Panel:
+        lines = [
+            f"{event.type} t={event.timestamp:g} "
+            f"tag={event.get('TagId')} area={event.get('AreaId')}"
+            for event in self._system.taps.cleaning_output]
+        return Panel("Cleaning and Association Layer Output", lines)
+
+    def database_report(self) -> Panel:
+        return Panel("Database Report",
+                     list(self._system.taps.database_reports))
+
+    def stream_processor_output(self) -> Panel:
+        lines = []
+        for name, result in self._system.taps.stream_results:
+            attrs = ", ".join(f"{key}={value}" for key, value
+                              in result.attributes.items())
+            lines.append(f"[{name}] {attrs}")
+        return Panel("Stream Processor Output", lines)
+
+    def query_metrics(self) -> Panel:
+        """An operational panel beyond Figure 3: per-query accounting."""
+        return Panel("Query Metrics",
+                     self._system.processor.metrics.report_lines())
+
+    # -- full screen -------------------------------------------------------------
+
+    def render(self, include_metrics: bool = False) -> str:
+        """All five Figure 3 panels, left column first; pass
+        ``include_metrics=True`` for the extra operational panel."""
+        panels = [
+            self.present_queries(),
+            self.message_results(),
+            self.cleaning_output(),
+            self.database_report(),
+            self.stream_processor_output(),
+        ]
+        if include_metrics:
+            panels.append(self.query_metrics())
+        return "\n".join(render_panel(panel, self._width, self._max_lines)
+                         for panel in panels)

@@ -1,0 +1,48 @@
+"""Workload generators for the demonstration and the benchmarks.
+
+* :mod:`repro.workloads.retail` — the Figure 2 retail-store scenario with
+  scripted shoppers, shoplifters, and misplacements, plus ground truth;
+* :mod:`repro.workloads.warehouse` — supply-chain histories (loading,
+  unloading, stocking, containment changes) for the track-and-trace
+  pre-population;
+* :mod:`repro.workloads.synthetic` — parameterised synthetic event streams
+  for the engine benchmarks.
+"""
+
+from repro.workloads.retail import (
+    CONTAINMENT_RULE,
+    UNPACK_RULE,
+    LOCATION_UPDATE_RULE,
+    MISPLACED_INVENTORY_QUERY,
+    SHELF_CHANGE_RULE,
+    SHOPLIFTING_QUERY,
+    RetailConfig,
+    RetailScenario,
+)
+from repro.workloads.hospital import (
+    DOUBLE_DOSE_QUERY,
+    MISSED_DOSE_QUERY,
+    HospitalConfig,
+    HospitalScenario,
+)
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream
+from repro.workloads.warehouse import WarehouseConfig, WarehouseHistory
+
+__all__ = [
+    "CONTAINMENT_RULE",
+    "DOUBLE_DOSE_QUERY",
+    "HospitalConfig",
+    "HospitalScenario",
+    "LOCATION_UPDATE_RULE",
+    "MISSED_DOSE_QUERY",
+    "MISPLACED_INVENTORY_QUERY",
+    "SHELF_CHANGE_RULE",
+    "SHOPLIFTING_QUERY",
+    "UNPACK_RULE",
+    "RetailConfig",
+    "RetailScenario",
+    "SyntheticConfig",
+    "SyntheticStream",
+    "WarehouseConfig",
+    "WarehouseHistory",
+]

@@ -1,0 +1,145 @@
+"""Medication-compliance workload — the paper's healthcare motivation.
+
+"Real-time monitoring of patients taking medications can help enforce
+medical compliance and alert care providers when anomalies occur"
+(Section 1).  This generator scripts a ward: medication doses are
+dispensed on a schedule and patients either take them in time
+(compliant), skip them (a *missed dose*), or take them twice (a *double
+dose*) — with ground truth for scoring the monitoring queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+
+DISPENSED = "DISPENSED"
+INTAKE = "INTAKE"
+
+MISSED_DOSE_QUERY = """
+EVENT SEQ(DISPENSED d, !(INTAKE i))
+WHERE d.PatientId = i.PatientId AND d.Drug = i.Drug
+WITHIN 30 minutes
+RETURN MissedDose(d.PatientId, d.Drug)
+"""
+
+DOUBLE_DOSE_QUERY = """
+EVENT SEQ(INTAKE a, INTAKE b)
+WHERE a.PatientId = b.PatientId AND a.Drug = b.Drug
+WITHIN 2 hours
+RETURN DoubleDose(a.PatientId, a.Drug)
+"""
+
+_DRUGS = ("aspirin", "insulin", "heparin", "statin")
+
+
+def hospital_registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    for name in (DISPENSED, INTAKE):
+        registry.declare(name, PatientId=AttributeType.INT,
+                         Drug=AttributeType.STRING,
+                         Dose=AttributeType.FLOAT)
+    return registry
+
+
+@dataclass(frozen=True)
+class HospitalConfig:
+    n_patients: int = 10
+    doses_per_patient: int = 4
+    dose_interval: float = 4 * 3600.0   # between scheduled doses
+    compliance_window: float = 30 * 60.0
+    miss_probability: float = 0.15
+    double_probability: float = 0.1
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.n_patients < 1 or self.doses_per_patient < 1:
+            raise SimulationError("need at least one patient and dose")
+        if self.miss_probability + self.double_probability > 1.0:
+            raise SimulationError(
+                "miss and double probabilities must sum to <= 1")
+        if self.dose_interval <= 2 * 3600.0 + self.compliance_window:
+            raise SimulationError(
+                "dose interval must exceed the double-dose window plus "
+                "the compliance window, or scheduled doses would alias")
+
+
+@dataclass(frozen=True)
+class MissedDose:
+    patient_id: int
+    drug: str
+    dispensed_at: float
+
+
+@dataclass(frozen=True)
+class DoubleDose:
+    patient_id: int
+    drug: str
+    first_at: float
+    second_at: float
+
+
+@dataclass
+class WardTruth:
+    missed: list[MissedDose] = field(default_factory=list)
+    double: list[DoubleDose] = field(default_factory=list)
+
+    def missed_keys(self) -> set[tuple[int, str, float]]:
+        return {(incident.patient_id, incident.drug,
+                 incident.dispensed_at) for incident in self.missed}
+
+    def double_keys(self) -> set[tuple[int, str]]:
+        return {(incident.patient_id, incident.drug)
+                for incident in self.double}
+
+
+class HospitalScenario:
+    """A generated ward day: events in time order plus ground truth."""
+
+    def __init__(self, config: HospitalConfig, events: list[Event],
+                 truth: WardTruth):
+        self.config = config
+        self.events = events
+        self.truth = truth
+        self.registry = hospital_registry()
+
+    @classmethod
+    def generate(cls, config: HospitalConfig | None = None) \
+            -> "HospitalScenario":
+        config = config or HospitalConfig()
+        rng = random.Random(config.seed)
+        events: list[Event] = []
+        truth = WardTruth()
+
+        for patient in range(1, config.n_patients + 1):
+            drug = _DRUGS[patient % len(_DRUGS)]
+            dose = float(5 * (1 + patient % 4))
+            offset = rng.uniform(0.0, 600.0)
+            for round_index in range(config.doses_per_patient):
+                dispensed_at = offset + round_index * config.dose_interval
+                events.append(Event(DISPENSED, dispensed_at, {
+                    "PatientId": patient, "Drug": drug, "Dose": dose}))
+                roll = rng.random()
+                if roll < config.miss_probability:
+                    truth.missed.append(MissedDose(patient, drug,
+                                                   dispensed_at))
+                    continue
+                intake_at = dispensed_at + rng.uniform(
+                    60.0, config.compliance_window - 60.0)
+                events.append(Event(INTAKE, intake_at, {
+                    "PatientId": patient, "Drug": drug, "Dose": dose}))
+                if roll < config.miss_probability \
+                        + config.double_probability:
+                    second_at = intake_at + rng.uniform(300.0, 3600.0)
+                    events.append(Event(INTAKE, second_at, {
+                        "PatientId": patient, "Drug": drug,
+                        "Dose": dose}))
+                    truth.double.append(DoubleDose(patient, drug,
+                                                   intake_at, second_at))
+
+        events.sort(key=lambda event: event.timestamp)
+        return cls(config, events, truth)

@@ -1,0 +1,246 @@
+"""The retail-store demonstration scenario (Section 4, Figure 2).
+
+Builds the four-area store, a product catalogue split across the two
+shelves, and a movement script of scripted behaviours:
+
+* **shoppers** pick an item from a shelf, pay at the check-out counter,
+  and leave through the exit;
+* **shoplifters** pick an item and leave *without* passing the counter —
+  exactly what query Q1 detects;
+* **misplacements** move an item onto the wrong shelf — what the
+  misplaced-inventory query detects.
+
+The scenario carries ground truth so benchmarks can score detection
+precision/recall and latency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.ons.service import ObjectNameService, ProductRecord
+from repro.rfid.layout import StoreLayout, default_retail_layout
+from repro.rfid.noise import NoiseModel
+from repro.rfid.simulator import MovementScript, RfidSimulator
+
+# -- the demonstration queries (Section 2.1.1 and Section 4) -----------------
+
+SHOPLIFTING_QUERY = """
+EVENT SEQ(SHELF_READING x, !(COUNTER_READING y), EXIT_READING z)
+WHERE x.TagId = y.TagId AND x.TagId = z.TagId
+WITHIN 12 hours
+RETURN x.TagId, x.ProductName, z.AreaId, _retrieveLocation(z.AreaId)
+"""
+
+MISPLACED_INVENTORY_QUERY = """
+EVENT SHELF_READING x
+WHERE x.AreaId != x.HomeAreaId AND x.Saleable = TRUE
+RETURN x.TagId, x.ProductName, x.AreaId, _movementHistory(x.TagId)
+"""
+
+# Q2 of the paper: a location change between shelves triggers a database
+# update reflecting the change.
+SHELF_CHANGE_RULE = """
+EVENT SEQ(SHELF_READING x, SHELF_READING y)
+WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId
+WITHIN 1 hour
+RETURN _updateLocation(y.TagId, y.AreaId, y.Timestamp)
+"""
+
+
+def LOCATION_UPDATE_RULE(event_type: str) -> str:
+    """A per-reading-type location-tracking rule.  ``_updateLocation`` is
+    a no-op when the tag is already at the observed area, so registering
+    one rule per reading type keeps the ``locations`` table current."""
+    return f"""
+EVENT {event_type} x
+RETURN _updateLocation(x.TagId, x.AreaId, x.Timestamp)
+"""
+
+
+CONTAINMENT_RULE = """
+EVENT SEQ(LOADING_READING c, LOADING_READING i)
+WHERE c.Category = 'container' AND i.Category != 'container'
+WITHIN 5 seconds
+RETURN _updateContainment(i.TagId, c.TagId, i.Timestamp)
+"""
+
+# An item read on a shelf has been unpacked: close its containment stay.
+UNPACK_RULE = """
+EVENT SHELF_READING i
+RETURN _closeContainment(i.TagId, i.Timestamp)
+"""
+
+
+# -- ground truth -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShopliftingIncident:
+    tag_id: int
+    pick_time: float
+    exit_time: float
+
+
+@dataclass(frozen=True)
+class MisplacementIncident:
+    tag_id: int
+    time: float
+    from_area: int
+    to_area: int
+
+
+@dataclass(frozen=True)
+class Purchase:
+    tag_id: int
+    pick_time: float
+    counter_time: float
+    exit_time: float
+
+
+@dataclass
+class GroundTruth:
+    shoplifted: list[ShopliftingIncident] = field(default_factory=list)
+    misplaced: list[MisplacementIncident] = field(default_factory=list)
+    purchased: list[Purchase] = field(default_factory=list)
+
+    def shoplifted_tags(self) -> set[int]:
+        return {incident.tag_id for incident in self.shoplifted}
+
+    def misplaced_tags(self) -> set[int]:
+        return {incident.tag_id for incident in self.misplaced}
+
+    def purchased_tags(self) -> set[int]:
+        return {purchase.tag_id for purchase in self.purchased}
+
+
+# -- scenario generation ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Scenario knobs.  Times are in seconds of simulated store time."""
+
+    n_products: int = 40
+    n_shoppers: int = 8
+    n_shoplifters: int = 2
+    n_misplacements: int = 2
+    first_tag_id: int = 1000
+    seed: int = 7
+    start_time: float = 0.0
+    shopper_spacing: float = 30.0    # mean gap between customer arrivals
+    browse_time: float = 45.0        # pick -> counter / exit
+    counter_dwell: float = 4.0       # time spent at the counter
+    walk_time: float = 15.0          # counter -> exit
+    exit_dwell: float = 3.0          # time in the exit read range
+
+    def __post_init__(self) -> None:
+        total_actors = self.n_shoppers + self.n_shoplifters
+        if self.n_products < total_actors + self.n_misplacements:
+            raise SimulationError(
+                "not enough products for the requested behaviours")
+
+
+_CATALOGUE = (
+    ("detergent", "household", 6.99), ("toothpaste", "household", 2.99),
+    ("sponge pack", "household", 3.49), ("paper towels", "household", 5.29),
+    ("headphones", "electronics", 34.99), ("usb drive", "electronics", 12.99),
+    ("batteries", "electronics", 8.49), ("hdmi cable", "electronics", 9.99),
+)
+
+_SHELF_FOR_CATEGORY = {"household": 1, "electronics": 2}
+
+
+class RetailScenario:
+    """A generated scenario: layout + catalogue + script + ground truth."""
+
+    def __init__(self, config: RetailConfig, layout: StoreLayout,
+                 ons: ObjectNameService, script: MovementScript,
+                 truth: GroundTruth, end_time: float):
+        self.config = config
+        self.layout = layout
+        self.ons = ons
+        self.script = script
+        self.truth = truth
+        self.end_time = end_time
+
+    @classmethod
+    def generate(cls, config: RetailConfig | None = None,
+                 redundant_exit_reader: bool = False) -> "RetailScenario":
+        config = config or RetailConfig()
+        rng = random.Random(config.seed)
+        layout = default_retail_layout(redundant_exit_reader)
+        ons = ObjectNameService()
+        truth = GroundTruth()
+        script = MovementScript()
+
+        tags = list(range(config.first_tag_id,
+                          config.first_tag_id + config.n_products))
+        for tag_id in tags:
+            name, category, price = _CATALOGUE[tag_id % len(_CATALOGUE)]
+            home = _SHELF_FOR_CATEGORY[category]
+            ons.register(ProductRecord(
+                tag_id=tag_id, product_name=f"{name} #{tag_id}",
+                category=category, price=price,
+                expiration_date="2027-01-01", saleable=True,
+                home_area_id=home))
+            script.move(config.start_time, tag_id, home)
+
+        available = list(tags)
+        rng.shuffle(available)
+        clock = config.start_time + 5.0
+
+        for _ in range(config.n_shoppers):
+            tag_id = available.pop()
+            clock += rng.expovariate(1.0 / config.shopper_spacing)
+            pick = clock + rng.uniform(1.0, 10.0)
+            counter = pick + rng.uniform(0.5, 1.0) * config.browse_time
+            exit_time = counter + config.counter_dwell \
+                + rng.uniform(0.5, 1.0) * config.walk_time
+            script.remove(pick, tag_id)           # in the shopper's basket
+            script.move(counter, tag_id, 3)
+            script.remove(counter + config.counter_dwell, tag_id)
+            script.move(exit_time, tag_id, 4)
+            script.remove(exit_time + config.exit_dwell, tag_id)
+            truth.purchased.append(Purchase(tag_id, pick, counter,
+                                            exit_time))
+
+        for _ in range(config.n_shoplifters):
+            tag_id = available.pop()
+            clock += rng.expovariate(1.0 / config.shopper_spacing)
+            pick = clock + rng.uniform(1.0, 10.0)
+            exit_time = pick + rng.uniform(0.5, 1.0) * config.browse_time
+            script.remove(pick, tag_id)           # hidden in a bag
+            script.move(exit_time, tag_id, 4)     # straight to the exit
+            script.remove(exit_time + config.exit_dwell, tag_id)
+            truth.shoplifted.append(ShopliftingIncident(tag_id, pick,
+                                                        exit_time))
+
+        shelves = layout.shelf_ids()
+        for _ in range(config.n_misplacements):
+            tag_id = available.pop()
+            record = ons.lookup(tag_id)
+            assert record is not None
+            wrong = [shelf for shelf in shelves
+                     if shelf != record.home_area_id]
+            to_area = rng.choice(wrong)
+            when = clock + rng.uniform(5.0, 60.0)
+            script.move(when, tag_id, to_area)
+            truth.misplaced.append(MisplacementIncident(
+                tag_id, when, record.home_area_id, to_area))
+
+        end_time = script.end_time + 10.0
+        return cls(config, layout, ons, script, truth, end_time)
+
+    def simulator(self, noise: NoiseModel | None = None,
+                  scan_interval: float = 1.0,
+                  seed: int | None = None) -> RfidSimulator:
+        return RfidSimulator(self.layout, noise or NoiseModel.perfect(),
+                             scan_interval=scan_interval,
+                             seed=self.config.seed if seed is None else seed)
+
+    def ticks(self, noise: NoiseModel | None = None,
+              scan_interval: float = 1.0):
+        """The raw-reading tick stream for this scenario."""
+        simulator = self.simulator(noise, scan_interval)
+        return simulator.run_script(self.script, until=self.end_time)

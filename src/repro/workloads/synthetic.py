@@ -1,0 +1,125 @@
+"""Synthetic event streams for the engine benchmarks.
+
+The demo paper delegates its performance story to the engine techniques of
+its reference [8]; those were evaluated on synthetic streams parameterised
+by window size, number of partition-attribute values, predicate
+selectivity, sequence length, and negation — this generator produces such
+streams deterministically from a seed.
+
+Every event type shares one schema: ``id`` (the partition attribute, drawn
+from a configurable domain), ``v`` (a small value attribute for selectivity
+predicates), and ``price`` (a float for aggregate queries).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+
+
+def type_names(n_types: int) -> list[str]:
+    """A, B, C, ... type names."""
+    if not 1 <= n_types <= 26:
+        raise SimulationError("n_types must be between 1 and 26")
+    return list(string.ascii_uppercase[:n_types])
+
+
+def synthetic_registry(n_types: int = 5) -> SchemaRegistry:
+    registry = SchemaRegistry()
+    for name in type_names(n_types):
+        registry.declare(name, id=AttributeType.INT, v=AttributeType.INT,
+                         price=AttributeType.FLOAT)
+    return registry
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    n_events: int = 10_000
+    n_types: int = 5
+    id_domain: int = 100       # distinct partition-attribute values
+    v_domain: int = 10         # distinct values of the selectivity attr
+    mean_gap: float = 1.0      # mean seconds between events
+    seed: int = 1
+    type_weights: tuple[float, ...] = ()  # default: uniform
+
+    def __post_init__(self) -> None:
+        if self.n_events <= 0 or self.id_domain <= 0 or self.v_domain <= 0:
+            raise SimulationError("synthetic config values must be positive")
+        if self.type_weights and len(self.type_weights) != self.n_types:
+            raise SimulationError(
+                "type_weights must match n_types when given")
+
+
+@dataclass
+class SyntheticStream:
+    """A generated stream plus the registry it conforms to."""
+
+    config: SyntheticConfig
+    registry: SchemaRegistry
+    events: list[Event] = field(default_factory=list)
+
+    @classmethod
+    def generate(cls, config: SyntheticConfig | None = None) \
+            -> "SyntheticStream":
+        config = config or SyntheticConfig()
+        rng = random.Random(config.seed)
+        names = type_names(config.n_types)
+        weights = list(config.type_weights) or [1.0] * config.n_types
+        registry = synthetic_registry(config.n_types)
+        events: list[Event] = []
+        timestamp = 0.0
+        for _ in range(config.n_events):
+            timestamp += rng.expovariate(1.0 / config.mean_gap)
+            name = rng.choices(names, weights)[0]
+            events.append(Event(name, round(timestamp, 6), {
+                "id": rng.randrange(config.id_domain),
+                "v": rng.randrange(config.v_domain),
+                "price": round(rng.uniform(1.0, 100.0), 2),
+            }))
+        return cls(config, registry, events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.events[-1].timestamp - self.events[0].timestamp
+
+
+def seq_query(length: int, *, window: float, partitioned: bool = True,
+              v_filter: int | None = None,
+              negation_at: int | None = None) -> str:
+    """Build a SEQ query over types A, B, C, ... for benchmarks.
+
+    ``length`` counts positive components.  ``negation_at`` inserts a
+    negated component (of the next unused type) at that position among the
+    positives (0 = leading, length = trailing).  ``v_filter`` adds a
+    per-component selectivity predicate ``var.v < v_filter`` on the first
+    component.
+    """
+    names = type_names(length + (1 if negation_at is not None else 0))
+    variables = [f"e{index}" for index in range(length)]
+    components = [f"{name} {variable}"
+                  for name, variable in zip(names, variables)]
+    if negation_at is not None:
+        neg_type = names[length]
+        components.insert(negation_at, f"!({neg_type} n)")
+    predicates: list[str] = []
+    if partitioned:
+        predicates.extend(f"{variables[0]}.id = {variable}.id"
+                          for variable in variables[1:])
+        if negation_at is not None:
+            predicates.append(f"{variables[0]}.id = n.id")
+    if v_filter is not None:
+        predicates.append(f"{variables[0]}.v < {v_filter}")
+    where = f"\nWHERE {' AND '.join(predicates)}" if predicates else ""
+    returns = ", ".join(f"{variable}.id" for variable in variables[:1])
+    return (f"EVENT SEQ({', '.join(components)}){where}\n"
+            f"WITHIN {window:g} seconds\nRETURN {returns}")

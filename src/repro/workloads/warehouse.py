@@ -1,0 +1,226 @@
+"""Supply-chain histories for the track-and-trace demonstration.
+
+"We pre-populate our Event Database with RFID data that simulates typical
+warehouse and retail store workloads, such as loading/unloading items,
+stocking shelves, and changing containments" (Section 4).
+
+:class:`WarehouseHistory` generates such a history with ground truth: boxes
+of items arrive at the loading dock, pass through the unloading dock and
+backroom, get unpacked, get stocked onto shelves, and occasionally change
+boxes along the way.  The history can be applied to an
+:class:`~repro.db.eventdb.EventDatabase` directly (``populate``) or emitted
+as reading events to run through the archival rules (``events``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.db.eventdb import EventDatabase
+from repro.events.event import Event
+from repro.ons.service import ObjectNameService, ProductRecord
+from repro.rfid.layout import StoreLayout, default_retail_layout
+from repro.schemas import (
+    BACKROOM_READING,
+    LOADING_READING,
+    SHELF_READING,
+    UNLOADING_READING,
+)
+
+LOADING_AREA = 10
+UNLOADING_AREA = 11
+BACKROOM_AREA = 12
+
+
+@dataclass(frozen=True)
+class WarehouseConfig:
+    n_boxes: int = 4
+    items_per_box: int = 5
+    n_box_changes: int = 3      # items moved between boxes mid-flow
+    first_item_tag: int = 5000
+    first_box_tag: int = 9000
+    seed: int = 11
+    start_time: float = 0.0
+    step: float = 30.0          # seconds between supply-chain stages
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One history entry: a location or containment change."""
+
+    time: float
+    kind: str                   # "location" | "containment" | "uncontain"
+    tag_id: int
+    target: int | None          # area id or parent tag
+
+
+@dataclass
+class WarehouseTruth:
+    """Expected final state + per-item history, computed at generation."""
+
+    final_location: dict[int, int] = field(default_factory=dict)
+    final_parent: dict[int, int | None] = field(default_factory=dict)
+    location_history: dict[int, list[tuple[int, float]]] = field(
+        default_factory=dict)
+    containment_history: dict[int, list[tuple[int | None, float]]] = field(
+        default_factory=dict)
+
+
+class WarehouseHistory:
+    """A generated supply-chain history with ground truth."""
+
+    def __init__(self, config: WarehouseConfig, ops: list[_Op],
+                 truth: WarehouseTruth, ons: ObjectNameService,
+                 layout: StoreLayout, item_tags: list[int],
+                 box_tags: list[int]):
+        self.config = config
+        self.ops = ops
+        self.truth = truth
+        self.ons = ons
+        self.layout = layout
+        self.item_tags = item_tags
+        self.box_tags = box_tags
+
+    @classmethod
+    def generate(cls, config: WarehouseConfig | None = None) \
+            -> "WarehouseHistory":
+        config = config or WarehouseConfig()
+        rng = random.Random(config.seed)
+        layout = default_retail_layout()
+        layout.add_area(LOADING_AREA, _kind("loading"), "loading dock")
+        layout.add_area(UNLOADING_AREA, _kind("unloading"), "unloading dock")
+        layout.add_area(BACKROOM_AREA, _kind("backroom"),
+                        "backroom storage")
+        layout.add_reader("W1", LOADING_AREA)
+        layout.add_reader("W2", UNLOADING_AREA)
+        layout.add_reader("W3", BACKROOM_AREA)
+
+        ons = ObjectNameService()
+        truth = WarehouseTruth()
+        ops: list[_Op] = []
+        item_tags: list[int] = []
+        box_tags: list[int] = []
+        clock = config.start_time
+        shelves = layout.shelf_ids()
+
+        def record_location(tag_id: int, area: int, when: float) -> None:
+            truth.final_location[tag_id] = area
+            truth.location_history.setdefault(tag_id, []).append(
+                (area, when))
+            ops.append(_Op(when, "location", tag_id, area))
+
+        def record_containment(tag_id: int, parent: int | None,
+                               when: float) -> None:
+            truth.final_parent[tag_id] = parent
+            if parent is not None:
+                # the truth history lists containment *stays*, matching the
+                # database's containment rows (closing a stay is not a row)
+                truth.containment_history.setdefault(tag_id, []).append(
+                    (parent, when))
+            ops.append(_Op(when, "containment" if parent is not None
+                           else "uncontain", tag_id, parent))
+
+        next_item = config.first_item_tag
+        for box_index in range(config.n_boxes):
+            box_tag = config.first_box_tag + box_index
+            box_tags.append(box_tag)
+            ons.register(ProductRecord(
+                tag_id=box_tag, product_name=f"box #{box_tag}",
+                category="container", saleable=False))
+            items = list(range(next_item,
+                               next_item + config.items_per_box))
+            next_item += config.items_per_box
+            for tag_id in items:
+                item_tags.append(tag_id)
+                home = shelves[tag_id % len(shelves)]
+                ons.register(ProductRecord(
+                    tag_id=tag_id, product_name=f"item #{tag_id}",
+                    category="general", price=float(1 + tag_id % 20),
+                    home_area_id=home))
+
+            clock += config.step
+            record_location(box_tag, LOADING_AREA, clock)
+            for tag_id in items:
+                # items are read strictly after the box at the dock so the
+                # containment rule's SEQ(container, item) can fire
+                record_location(tag_id, LOADING_AREA, clock + 1.0)
+                record_containment(tag_id, box_tag, clock + 1.0)
+
+            clock += config.step
+            for tag_id in (box_tag, *items):
+                record_location(tag_id, UNLOADING_AREA, clock)
+
+            clock += config.step
+            for tag_id in (box_tag, *items):
+                record_location(tag_id, BACKROOM_AREA, clock)
+
+            clock += config.step
+            for tag_id in items:  # unpack and stock
+                record_containment(tag_id, None, clock)
+                record = ons.lookup(tag_id)
+                assert record is not None
+                record_location(tag_id, record.home_area_id,
+                                clock + rng.uniform(0.0, 5.0))
+
+        # mid-flow box changes: move an item into a different box while in
+        # the backroom ("changing containments, e.g. moving items from one
+        # box to another")
+        for _ in range(config.n_box_changes):
+            tag_id = rng.choice(item_tags)
+            new_box = rng.choice(box_tags)
+            clock += config.step / 2
+            record_containment(tag_id, new_box, clock)
+            record_containment(tag_id, None, clock + config.step / 4)
+
+        ops.sort(key=lambda op: op.time)
+        return cls(config, ops, truth, ons, layout, item_tags, box_tags)
+
+    # -- application paths --------------------------------------------------
+
+    def populate(self, event_db: EventDatabase) -> None:
+        """Apply the history straight to the event database (the paper
+        pre-populates the database 'with data collected in advance')."""
+        for record in self.ons:
+            event_db.register_product(
+                record.tag_id, record.product_name,
+                category=record.category, price=record.price,
+                saleable=record.saleable)
+        for area in self.layout.areas.values():
+            event_db.register_area(area.area_id, area.kind.value,
+                                   area.description)
+        for op in self.ops:
+            if op.kind == "location":
+                assert op.target is not None
+                event_db.update_location(op.tag_id, op.target, op.time)
+            elif op.kind == "containment":
+                event_db.update_containment(op.tag_id, op.target, op.time)
+            else:
+                event_db.update_containment(op.tag_id, None, op.time)
+
+    def events(self) -> Iterator[Event]:
+        """The same history as reading events (for the rules-driven path).
+        Containment changes are implied by co-located loading readings, so
+        only location ops become events."""
+        type_for_area = {
+            LOADING_AREA: LOADING_READING,
+            UNLOADING_AREA: UNLOADING_READING,
+            BACKROOM_AREA: BACKROOM_READING,
+        }
+        for op in self.ops:
+            if op.kind != "location":
+                continue
+            assert op.target is not None
+            event_type = type_for_area.get(op.target, SHELF_READING)
+            record = self.ons.lookup(op.tag_id)
+            assert record is not None
+            attributes = {"TagId": op.tag_id, "AreaId": op.target,
+                          "ReaderId": "W?"}
+            attributes.update(record.as_attributes())
+            yield Event(event_type, op.time, attributes)
+
+
+def _kind(name: str):
+    from repro.rfid.layout import AreaKind
+    return AreaKind(name)

@@ -1,0 +1,22 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.schemas import retail_registry
+
+
+@pytest.fixture
+def abc_registry() -> SchemaRegistry:
+    """Three simple types A/B/C with id + v attributes."""
+    registry = SchemaRegistry()
+    for name in ("A", "B", "C", "D"):
+        registry.declare(name, id=AttributeType.INT, v=AttributeType.INT)
+    return registry
+
+
+@pytest.fixture
+def retail_schemas() -> SchemaRegistry:
+    return retail_registry()

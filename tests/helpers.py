@@ -1,0 +1,139 @@
+"""Shared test utilities, including a brute-force semantic oracle.
+
+The oracle enumerates every combination of events explicitly and applies
+the language semantics directly from the analyzed query — a third,
+deliberately naive implementation (besides the plan engine and the window
+join baseline) used for differential testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Iterable
+
+from repro.core.expressions import EvalContext, compile_predicate
+from repro.events.event import Event
+from repro.lang.semantics import AnalyzedQuery
+
+
+def make_events(spec: Iterable[tuple[str, float, dict[str, Any]]]) \
+        -> list[Event]:
+    """Build a sequenced event list from (type, ts, attrs) tuples."""
+    return [Event(name, ts, attrs).with_seq(index)
+            for index, (name, ts, attrs) in enumerate(spec)]
+
+
+def oracle_matches(analyzed: AnalyzedQuery, events: list[Event],
+                   functions: Any = None,
+                   system: Any = None) -> list[dict[str, Event]]:
+    """All binding dicts satisfying the query, by exhaustive enumeration.
+
+    Supports every feature except Kleene closure (tested separately).
+    O(n^k): keep the event list small.
+    """
+    if analyzed.has_kleene:
+        raise NotImplementedError("oracle does not cover Kleene patterns")
+    positives = analyzed.positives
+    window = analyzed.window
+
+    positive_predicates = []
+    for infos in analyzed.component_filters.values():
+        positive_predicates.extend(compile_predicate(info.expr)
+                                   for info in infos)
+    positive_predicates.extend(compile_predicate(info.expr)
+                               for info in analyzed.selection_predicates)
+    negations = []
+    for component, prev_index, next_index in analyzed.negation_layout():
+        negations.append((
+            component,
+            prev_index,
+            next_index,
+            [compile_predicate(info.expr) for info in
+             analyzed.negation_predicates[component.variable]],
+        ))
+
+    candidates = [[event for event in events
+                   if component.accepts_type(event.type)]
+                  for component in positives]
+    results: list[dict[str, Event]] = []
+    for combo in itertools.product(*candidates):
+        if any(later.timestamp <= earlier.timestamp
+               for earlier, later in zip(combo, combo[1:])):
+            continue
+        if window is not None and \
+                combo[-1].timestamp - combo[0].timestamp > window:
+            continue
+        bindings = {component.variable: event
+                    for component, event in zip(positives, combo)}
+        context = EvalContext(bindings, functions, system)
+        if not all(predicate(context)
+                   for predicate in positive_predicates):
+            continue
+        if _oracle_negation_violated(negations, bindings, combo, window,
+                                     events, functions, system):
+            continue
+        results.append(bindings)
+    return results
+
+
+def _oracle_negation_violated(negations, bindings, combo, window, events,
+                              functions, system) -> bool:
+    n = len(combo)
+    for component, prev_index, next_index, predicates in negations:
+        if prev_index < 0:
+            low = combo[-1].timestamp - window if window is not None \
+                else -math.inf
+            low_ok = lambda ts, low=low: ts >= low
+            high_ok = lambda ts, high=combo[0].timestamp: ts < high
+        elif next_index >= n:
+            high = combo[0].timestamp + window if window is not None \
+                else math.inf
+            low_ok = lambda ts, low=combo[-1].timestamp: ts > low
+            high_ok = lambda ts, high=high: ts <= high
+        else:
+            low_ok = lambda ts, low=combo[prev_index].timestamp: ts > low
+            high_ok = lambda ts, high=combo[next_index].timestamp: ts < high
+        for event in events:
+            if not component.accepts_type(event.type):
+                continue
+            if not (low_ok(event.timestamp) and high_ok(event.timestamp)):
+                continue
+            context = EvalContext(
+                bindings, functions, system).rebind(component.variable,
+                                                    event)
+            if all(predicate(context) for predicate in predicates):
+                return True
+    return False
+
+
+def result_keys(composites) -> list[tuple]:
+    """Order-independent comparison keys for composite events."""
+    keys = []
+    for composite in composites:
+        attrs = tuple(sorted((key, value) for key, value
+                             in composite.attributes.items()))
+        keys.append((attrs, composite.start, composite.end))
+    return sorted(keys)
+
+
+def binding_keys(matches: Iterable[dict[str, Event]]) -> list[tuple]:
+    """Order-independent comparison keys for oracle binding dicts."""
+    keys = []
+    for bindings in matches:
+        keys.append(tuple(sorted(
+            (variable, event.type, event.timestamp, event.seq)
+            for variable, event in bindings.items())))
+    return sorted(keys)
+
+
+def composite_binding_keys(composites) -> list[tuple]:
+    """Comparison keys from composite events' provenance bindings
+    (positive, non-tuple bindings only)."""
+    keys = []
+    for composite in composites:
+        keys.append(tuple(sorted(
+            (variable, event.type, event.timestamp, event.seq)
+            for variable, event in composite.bindings.items()
+            if isinstance(event, Event))))
+    return sorted(keys)

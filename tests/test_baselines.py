@@ -1,0 +1,64 @@
+"""Tests for the window-join baseline on its own."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import WindowJoinEngine
+from repro.errors import PlanError
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+from tests.helpers import make_events
+
+
+def engine_for(text: str, registry) -> WindowJoinEngine:
+    return WindowJoinEngine(analyze(parse_query(text), registry))
+
+
+class TestWindowJoinEngine:
+    def test_basic_join(self, abc_registry):
+        engine = engine_for(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id", abc_registry)
+        results = list(engine.run(make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("A", 2, {"id": 2, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0})])))
+        assert len(results) == 1 and results[0]["x_id"] == 1
+
+    def test_counts_join_attempts(self, abc_registry):
+        engine = engine_for(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id", abc_registry)
+        list(engine.run(make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("A", 2, {"id": 2, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0})])))
+        # the baseline enumerated both (A,B) pairs before filtering
+        assert engine.joins_attempted == 2
+
+    def test_window_evicts_buffers(self, abc_registry):
+        engine = engine_for(
+            "EVENT SEQ(A x, B y) WITHIN 5 RETURN x.id", abc_registry)
+        results = list(engine.run(make_events([
+            ("A", 0, {"id": 1, "v": 0}), ("B", 100, {"id": 1, "v": 0})])))
+        assert results == []
+
+    def test_trailing_negation_flush(self, abc_registry):
+        engine = engine_for(
+            "EVENT SEQ(A x, !(B y)) WHERE x.id = y.id WITHIN 5 "
+            "RETURN x.id", abc_registry)
+        results = list(engine.run(make_events([
+            ("A", 0, {"id": 1, "v": 0}), ("A", 1, {"id": 2, "v": 0}),
+            ("B", 2, {"id": 2, "v": 0})])))
+        assert [composite["x_id"] for composite in results] == [1]
+
+    def test_kleene_unsupported(self, abc_registry):
+        with pytest.raises(PlanError, match="Kleene"):
+            engine_for("EVENT SEQ(A x, B+ y) WITHIN 5", abc_registry)
+
+    def test_event_never_joins_with_itself(self, abc_registry):
+        engine = engine_for(
+            "EVENT SEQ(A x, A y) WITHIN 10 RETURN x.id", abc_registry)
+        results = list(engine.run(make_events([
+            ("A", 1, {"id": 1, "v": 0})])))
+        assert results == []

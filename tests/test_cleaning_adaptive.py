@@ -1,0 +1,118 @@
+"""Tests for SMURF-style adaptive smoothing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning import AdaptiveSmoothing, CleaningConfig, \
+    CleaningPipeline
+from repro.cleaning.base import CleanReading
+from repro.errors import CleaningError
+from repro.ons import ObjectNameService
+from repro.rfid import MovementScript, NoiseModel, RfidSimulator, \
+    default_retail_layout
+
+
+def reading(tag: int, time: float, reader: str = "R1") -> CleanReading:
+    return CleanReading(tag, reader, time)
+
+
+class TestWindowAdaptation:
+    def test_reliable_tag_gets_minimal_window(self):
+        layer = AdaptiveSmoothing(tick=1.0)
+        for tick in range(10):
+            layer.process([reading(1, float(tick))], now=float(tick))
+        assert layer.window_ticks((1, "R1")) == 1
+
+    def test_lossy_tag_gets_longer_window(self):
+        layer = AdaptiveSmoothing(tick=1.0, history=8)
+        # read every other tick: p ~ 0.5
+        for tick in range(10):
+            observed = [reading(1, float(tick))] if tick % 2 == 0 else []
+            layer.process(observed, now=float(tick))
+        lossy_window = layer.window_ticks((1, "R1"))
+        assert lossy_window > 1
+
+    def test_window_clamped_to_max(self):
+        layer = AdaptiveSmoothing(tick=1.0, max_window_ticks=4)
+        layer.process([reading(1, 0.0)], now=0.0)
+        for tick in range(1, 4):
+            layer.process([], now=float(tick))
+        assert layer.window_ticks((1, "R1")) <= 4
+
+    def test_unknown_key_defaults_to_one_tick(self):
+        assert AdaptiveSmoothing().window_ticks((9, "R9")) == 1
+
+    def test_gap_within_window_filled(self):
+        layer = AdaptiveSmoothing(tick=1.0, history=4)
+        # establish a flaky pattern so the window grows
+        for tick in range(6):
+            observed = [reading(1, float(tick))] if tick % 2 == 0 else []
+            out = layer.process(observed, now=float(tick))
+            if tick % 2 == 1:
+                assert any(r.smoothed for r in out), f"tick {tick}"
+
+    def test_departed_tag_expires(self):
+        layer = AdaptiveSmoothing(tick=1.0, max_window_ticks=2)
+        layer.process([reading(1, 0.0)], now=0.0)
+        for tick in range(1, 6):
+            layer.process([], now=float(tick))
+        out = layer.process([], now=6.0)
+        assert out == []
+        assert layer.window_ticks((1, "R1")) == 1  # history gone
+
+    def test_parameter_validation(self):
+        with pytest.raises(CleaningError):
+            AdaptiveSmoothing(tick=0)
+        with pytest.raises(CleaningError):
+            AdaptiveSmoothing(confidence=1.5)
+        with pytest.raises(CleaningError):
+            AdaptiveSmoothing(history=0)
+
+    def test_reset(self):
+        layer = AdaptiveSmoothing()
+        layer.process([reading(1, 0.0)], now=0.0)
+        layer.reset()
+        assert layer.window_ticks((1, "R1")) == 1
+
+
+class TestPipelineIntegration:
+    def _run(self, smoothing: str, miss_rate: float) -> tuple[int, int]:
+        """Returns (events produced, smoothed readings created)."""
+        layout = default_retail_layout()
+        ons = ObjectNameService()
+        for tag in (1, 2, 3):
+            ons.register_product(tag, f"p{tag}", home_area_id=1)
+        simulator = RfidSimulator(
+            layout,
+            NoiseModel(miss_rate=miss_rate, duplicate_rate=0,
+                       truncate_rate=0, ghost_rate=0), seed=11)
+        script = MovementScript()
+        for tag in (1, 2, 3):
+            script.move(0.0, tag, 1)
+        pipeline = CleaningPipeline(layout, ons, CleaningConfig(
+            smoothing=smoothing))
+        events = list(pipeline.run(
+            simulator.run_script(script, until=40.0)))
+        created = pipeline.stats.stage("temporal_smoothing").created
+        return len(events), created
+
+    def test_adaptive_fills_more_gaps_under_heavy_loss(self):
+        _, fixed_created = self._run("fixed", miss_rate=0.4)
+        _, adaptive_created = self._run("adaptive", miss_rate=0.4)
+        assert adaptive_created > fixed_created
+
+    def test_adaptive_adds_nothing_when_readers_are_perfect(self):
+        events, created = self._run("adaptive", miss_rate=0.0)
+        assert created == 0
+        assert events == 3 * 41  # 3 tags x 41 scan ticks
+
+    def test_none_strategy_disables_smoothing(self):
+        _, created = self._run("none", miss_rate=0.4)
+        assert created == 0
+
+    def test_unknown_strategy_rejected(self):
+        layout = default_retail_layout()
+        with pytest.raises(CleaningError, match="unknown smoothing"):
+            CleaningPipeline(layout, ObjectNameService(),
+                             CleaningConfig(smoothing="magic"))

@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    records = [
+        {"type": "A", "timestamp": 1, "attributes": {"id": 1, "v": 2}},
+        {"type": "B", "timestamp": 2, "attributes": {"id": 1, "v": 9}},
+        {"type": "B", "timestamp": 3, "attributes": {"id": 2, "v": 1}},
+    ]
+    path.write_text("\n".join(json.dumps(record) for record in records))
+    return str(path)
+
+
+class TestExplain:
+    def test_explain_retail_query(self):
+        code, text = run_cli(
+            "explain",
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+            "WHERE x.TagId = z.TagId WITHIN 1 hour RETURN x.TagId")
+        assert code == 0
+        assert "PAIS" in text and "pushed down" in text
+
+    def test_explain_naive(self):
+        code, text = run_cli(
+            "explain", "--naive",
+            "EVENT SEQ(SHELF_READING x, EXIT_READING z) "
+            "WHERE x.TagId = z.TagId WITHIN 1 hour RETURN x.TagId")
+        assert code == 0
+        assert "PAIS" not in text
+
+    def test_explain_query_from_file(self, tmp_path):
+        query_file = tmp_path / "q.sase"
+        query_file.write_text("EVENT SHELF_READING x RETURN x.TagId")
+        code, text = run_cli("explain", f"@{query_file}")
+        assert code == 0 and "SSC" in text
+
+    def test_parse_error_reported(self):
+        code, text = run_cli("explain", "EVENT SEQ(")
+        assert code == 1
+        assert "error:" in text
+
+    def test_custom_schemas(self, tmp_path):
+        schema_file = tmp_path / "schemas.json"
+        schema_file.write_text(json.dumps(
+            {"TICK": {"sym": "string", "price": "float"}}))
+        code, text = run_cli(
+            "explain", "--schemas", str(schema_file),
+            "EVENT TICK t WHERE t.price > 10 RETURN t.sym")
+        assert code == 0 and "SSC" in text
+
+    def test_bad_schema_type_word(self, tmp_path):
+        schema_file = tmp_path / "schemas.json"
+        schema_file.write_text(json.dumps({"TICK": {"x": "decimal"}}))
+        code, text = run_cli("explain", "--schemas", str(schema_file),
+                             "EVENT TICK t")
+        assert code == 1 and "unknown attribute type" in text
+
+
+class TestRun:
+    def test_run_with_inferred_schemas(self, events_file):
+        code, text = run_cli(
+            "run", "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+                   "RETURN x.id, y.v", "--events", events_file)
+        assert code == 0
+        assert "x_id=1" in text and "y_v=9" in text
+        assert "1 result(s) over 3 event(s)" in text
+
+    def test_run_naive_same_results(self, events_file):
+        _, optimized = run_cli(
+            "run", "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+                   "RETURN x.id", "--events", events_file)
+        _, naive = run_cli(
+            "run", "--naive",
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id", "--events", events_file)
+        assert optimized == naive
+
+    def test_run_limit(self, events_file):
+        code, text = run_cli(
+            "run", "EVENT B y RETURN y.id", "--events", events_file,
+            "--limit", "1")
+        assert code == 0
+        assert text.count("y_id=") == 1
+        assert "2 result(s)" in text
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "A"}')
+        code, text = run_cli("run", "EVENT A x", "--events", str(path))
+        assert code == 1 and "timestamp" in text
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope")
+        code, text = run_cli("run", "EVENT A x", "--events", str(path))
+        assert code == 1 and "invalid JSON" in text
+
+    def test_missing_file_reported(self):
+        code, text = run_cli("run", "EVENT A x", "--events",
+                             "/no/such/file.jsonl")
+        assert code == 1 and "error:" in text
+
+
+class TestCsvEvents:
+    @pytest.fixture
+    def csv_file(self, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text(
+            "type,timestamp,id,v,hot\n"
+            "A,1,1,2.5,true\n"
+            "B,2,1,9,false\n"
+            "B,3,2,,\n")
+        return str(path)
+
+    def test_run_over_csv(self, csv_file):
+        code, text = run_cli(
+            "run", "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+                   "RETURN x.id, x.hot", "--events", csv_file)
+        assert code == 0
+        assert "x_id=1" in text and "x_hot=True" in text
+        assert "1 result(s)" in text
+
+    def test_csv_type_inference(self, csv_file):
+        # v is float on row 1 (2.5) and int on row 2 (9): inferred FLOAT;
+        # the row with an empty v cell is reported as skipped
+        code, text = run_cli(
+            "run", "EVENT B y WHERE y.v > 1 RETURN y.v",
+            "--events", csv_file)
+        assert code == 0 and "y_v=9" in text
+        assert "skipped 1 event(s)" in text
+
+    def test_csv_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("kind,when\nA,1\n")
+        code, text = run_cli("run", "EVENT A x", "--events", str(path))
+        assert code == 1 and "'type' and 'timestamp'" in text
+
+    def test_csv_bad_timestamp(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("type,timestamp\nA,yesterday\n")
+        code, text = run_cli("run", "EVENT A x", "--events", str(path))
+        assert code == 1 and "bad timestamp" in text
+
+
+class TestScenarios:
+    def test_demo_small(self):
+        code, text = run_cli(
+            "demo", "--products", "12", "--shoppers", "2",
+            "--shoplifters", "1", "--misplacements", "1",
+            "--noise", "none", "--seed", "5", "--trace", "1000")
+        assert code == 0
+        assert "shoplifted:" in text and "Present Queries" in text
+        assert "trace for tag 1000" in text
+
+    def test_warehouse_small(self):
+        code, text = run_cli("warehouse", "--boxes", "2",
+                             "--items-per-box", "2")
+        assert code == 0
+        assert text.count("recorded moves") == 4
+
+    def test_bench_runs(self):
+        code, text = run_cli("bench", "--events", "400", "--window", "10")
+        assert code == 0
+        assert "optimized" in text and "events/s" in text

@@ -1,0 +1,164 @@
+"""Tests for ANY(...) multi-type pattern components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine, run_query
+from repro.core.plan import PlanConfig
+from repro.errors import ParseError, SchemaError
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.lang.parser import parse_query
+from repro.lang.pretty import format_query
+from repro.lang.semantics import analyze
+from repro.nfa import compile_pattern
+
+from tests.helpers import make_events
+
+
+@pytest.fixture
+def registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.declare("A", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("B", id=AttributeType.INT, v=AttributeType.INT,
+                     extra=AttributeType.STRING)
+    registry.declare("C", id=AttributeType.INT, v=AttributeType.STRING)
+    registry.declare("D", id=AttributeType.INT, v=AttributeType.INT)
+    return registry
+
+
+class TestParsing:
+    def test_any_component(self):
+        query = parse_query("EVENT SEQ(A x, ANY(B, C) y)")
+        component = query.pattern.components[1]
+        assert component.event_types == ("B", "C")
+        assert component.is_any
+
+    def test_negated_any(self):
+        query = parse_query("EVENT SEQ(A x, !(ANY(B, C) n), D z)")
+        component = query.pattern.components[1]
+        assert component.negated and component.event_types == ("B", "C")
+
+    def test_kleene_any(self):
+        query = parse_query("EVENT SEQ(A x, ANY(B, D)+ y)")
+        component = query.pattern.components[1]
+        assert component.kleene and component.event_types == ("B", "D")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ParseError, match="duplicate type"):
+            parse_query("EVENT SEQ(A x, ANY(B, B) y)")
+
+    def test_pretty_roundtrip(self):
+        for text in ("EVENT SEQ(A x, ANY(B, C) y)",
+                     "EVENT SEQ(A x, !(ANY(B, C) n), D z)",
+                     "EVENT SEQ(A x, ANY(B, D)+ y)"):
+            query = parse_query(text)
+            assert parse_query(format_query(query)) == query
+
+
+class TestSemantics:
+    def test_intersection_schema(self, registry):
+        # A.v is INT, B.v is INT -> usable; C.v is STRING -> excluded
+        analyzed = analyze(parse_query(
+            "EVENT SEQ(ANY(A, B) x, D y) WHERE x.id = y.id "
+            "RETURN x.id"), registry)
+        schema = analyzed.schemas["x"]
+        assert "id" in schema
+        assert "extra" not in schema  # only B has it
+
+    def test_attribute_not_common_rejected(self, registry):
+        with pytest.raises(SchemaError, match="no attribute"):
+            analyze(parse_query(
+                "EVENT ANY(A, B) x WHERE x.extra = 'q'"), registry)
+
+    def test_type_conflict_excluded(self, registry):
+        # v is INT in A but STRING in C: not in the intersection
+        with pytest.raises(SchemaError, match="no attribute"):
+            analyze(parse_query(
+                "EVENT ANY(A, C) x WHERE x.v = 1"), registry)
+
+    def test_partition_over_any(self, registry):
+        analyzed = analyze(parse_query(
+            "EVENT SEQ(ANY(A, B) x, D y) WHERE x.id = y.id WITHIN 10"),
+            registry)
+        assert analyzed.partition is not None
+
+
+class TestNfa:
+    def test_component_for_type_includes_alternatives(self):
+        nfa = compile_pattern(parse_query(
+            "EVENT SEQ(A x, ANY(B, C) y)").pattern)
+        assert nfa.component_for_type("B") == [1]
+        assert nfa.component_for_type("C") == [1]
+        assert "B|C" in repr(nfa)
+
+    def test_accepts_either_type(self):
+        from repro.events.event import Event
+        nfa = compile_pattern(parse_query(
+            "EVENT SEQ(A x, ANY(B, C) y)").pattern)
+        assert nfa.accepts([Event("A", 1), Event("B", 2)])
+        assert nfa.accepts([Event("A", 1), Event("C", 2)])
+        assert not nfa.accepts([Event("A", 1), Event("D", 2)])
+
+
+class TestExecution:
+    def test_matches_either_type(self, registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 2, {"id": 1, "v": 5, "extra": "x"}),
+            ("C", 3, {"id": 1, "v": "s"}),
+            ("D", 4, {"id": 1, "v": 9}),
+        ])
+        results = run_query(
+            "EVENT SEQ(A x, ANY(B, C) y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id", registry, events)
+        assert len(results) == 2
+        matched_types = {result.bindings["y"].type for result in results}
+        assert matched_types == {"B", "C"}
+
+    def test_negated_any_blocks_on_either(self, registry):
+        base = [("A", 1, {"id": 1, "v": 0}),
+                ("D", 5, {"id": 1, "v": 0})]
+        query = ("EVENT SEQ(A x, !(ANY(B, C) n), D z) "
+                 "WHERE x.id = z.id AND n.id = x.id WITHIN 10 "
+                 "RETURN x.id")
+        assert len(run_query(query, registry,
+                             make_events(base))) == 1
+        for blocker in (("B", 3, {"id": 1, "v": 0, "extra": ""}),
+                        ("C", 3, {"id": 1, "v": "s"})):
+            events = make_events([base[0], blocker, base[1]])
+            assert run_query(query, registry, events) == []
+
+    def test_kleene_any_mixes_types(self, registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 2, {"id": 1, "v": 5, "extra": ""}),
+            ("D", 3, {"id": 1, "v": 7}),
+        ])
+        results = run_query(
+            "EVENT SEQ(A x, ANY(B, D)+ y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN COUNT(y) AS n", registry, events)
+        assert max(result["n"] for result in results) == 2
+
+    def test_plans_agree(self, registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 2, {"id": 1, "v": 5, "extra": ""}),
+            ("C", 3, {"id": 2, "v": "s"}),
+            ("D", 4, {"id": 1, "v": 9}),
+        ])
+        query = ("EVENT SEQ(ANY(A, B) x, D y) WHERE x.id = y.id "
+                 "WITHIN 10 RETURN x.id")
+        engine = Engine(registry)
+        optimized = [r.attributes for r in engine.run(query, events)]
+        naive = [r.attributes for r in engine.run(
+            query, events, config=PlanConfig.naive())]
+        assert optimized == naive and len(optimized) == 2
+
+    def test_explain_shows_any(self, registry):
+        engine = Engine(registry)
+        compiled = engine.compile(
+            "EVENT SEQ(A x, !(ANY(B, C) n), D z) WHERE n.id = x.id "
+            "WITHIN 10 RETURN x.id")
+        text = compiled.explain()
+        assert "ANY(B, C)" in text

@@ -1,0 +1,144 @@
+"""Tests for construction-time predicate evaluation (early DFS pruning)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine, run_query
+from repro.core.plan import PlanConfig, build_plan
+from repro.core.sequence import SequenceScanConstruct
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+from tests.helpers import composite_binding_keys, make_events
+
+CP = PlanConfig().with_construction_pushdown()
+
+
+class TestPlanWiring:
+    def test_selection_absorbed(self, abc_registry):
+        plan = build_plan(analyze(parse_query(
+            "EVENT SEQ(A x, B y) WHERE x.v < y.v WITHIN 10 RETURN x.id"),
+            abc_registry), CP)
+        assert not plan.needs_selection
+        assert "during construction" in plan.describe()
+
+    def test_component_filters_still_need_selection_when_not_pushed(
+            self, abc_registry):
+        config = PlanConfig(construction_pushdown=True,
+                            filter_pushdown=False)
+        plan = build_plan(analyze(parse_query(
+            "EVENT SEQ(A x, B y) WHERE x.v > 3 WITHIN 10 RETURN x.id"),
+            abc_registry), config)
+        assert plan.needs_selection
+
+    def test_without_accepts_name(self):
+        config = CP.without("construction_pushdown")
+        assert not config.construction_pushdown
+
+    def test_scan_reports_activation(self, abc_registry):
+        analyzed = analyze(parse_query(
+            "EVENT SEQ(A x, B y) WHERE x.v < y.v WITHIN 10 RETURN x.id"),
+            abc_registry)
+        active = SequenceScanConstruct(analyzed,
+                                       construction_pushdown=True)
+        inactive = SequenceScanConstruct(analyzed,
+                                         construction_pushdown=False)
+        assert active.construction_pushdown
+        assert not inactive.construction_pushdown
+
+    def test_no_eligible_predicates_stays_inactive(self, abc_registry):
+        analyzed = analyze(parse_query(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id"), abc_registry)
+        # PAIS enforces the only equality; nothing left to push
+        scan = SequenceScanConstruct(analyzed,
+                                     construction_pushdown=True)
+        assert not scan.construction_pushdown
+
+
+class TestSemanticsPreserved:
+    def test_prunes_same_results_as_selection(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 1}),
+            ("A", 2, {"id": 1, "v": 9}),
+            ("B", 3, {"id": 1, "v": 5}),
+            ("C", 4, {"id": 1, "v": 7}),
+        ])
+        query = ("EVENT SEQ(A x, B y, C z) WHERE x.v < y.v AND "
+                 "y.v < z.v WITHIN 10 RETURN x.v")
+        baseline = run_query(query, abc_registry, events)
+        pushed = run_query(query, abc_registry, events, config=CP)
+        assert composite_binding_keys(baseline) == \
+            composite_binding_keys(pushed)
+        assert len(pushed) == 1 and pushed[0]["x_v"] == 1
+
+    def test_scan_emits_fewer_candidates(self, abc_registry):
+        events = make_events(
+            [("A", float(i), {"id": 1, "v": 9}) for i in range(10)]
+            + [("B", 50.0, {"id": 1, "v": 0})])
+        query = ("EVENT SEQ(A x, B y) WHERE x.v < y.v WITHIN 100 "
+                 "RETURN x.id")
+        engine = Engine(abc_registry)
+        plain = engine.runtime(query)
+        pushed = engine.runtime(query, config=CP)
+        for runtime in (plain, pushed):
+            for event in events:
+                runtime.feed(event)
+            runtime.flush()
+        assert plain.stats.operator("SSC").produced == 10
+        assert pushed.stats.operator("SSC").produced == 0
+
+    def test_with_negation(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 1}),
+            ("B", 2, {"id": 1, "v": 5}),
+            ("C", 3, {"id": 1, "v": 9}),
+        ])
+        query = ("EVENT SEQ(A x, !(B n), C z) WHERE x.v < z.v AND "
+                 "n.id = x.id WITHIN 10 RETURN x.id")
+        assert run_query(query, abc_registry, events, config=CP) == []
+
+    def test_kleene_predicates_not_absorbed(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 5}),
+            ("B", 2, {"id": 1, "v": 9}),
+            ("B", 3, {"id": 1, "v": 1}),
+        ])
+        query = ("EVENT SEQ(A a, B+ b) WHERE b.v > a.v WITHIN 10 "
+                 "RETURN COUNT(b) AS n")
+        baseline = sorted(r["n"] for r in
+                          run_query(query, abc_registry, events))
+        pushed = sorted(r["n"] for r in
+                        run_query(query, abc_registry, events, config=CP))
+        assert baseline == pushed
+
+    @given(seed=st.integers(min_value=0, max_value=9999),
+           size=st.integers(min_value=0, max_value=35))
+    @settings(max_examples=25, deadline=None)
+    def test_random_streams_equivalent(self, seed, size):
+        import random
+        from repro.events.model import AttributeType, SchemaRegistry
+        abc_registry = SchemaRegistry()
+        for name in ("A", "B", "C"):
+            abc_registry.declare(name, id=AttributeType.INT,
+                                 v=AttributeType.INT)
+        rng = random.Random(seed)
+        spec = []
+        ts = 0.0
+        for _ in range(size):
+            ts += rng.choice([0.5, 1.0, 2.0])
+            spec.append((rng.choice(["A", "B", "C"]), ts,
+                         {"id": rng.randrange(3), "v": rng.randrange(8)}))
+        events = make_events(spec)
+        query = ("EVENT SEQ(A x, B y, C z) WHERE x.id = y.id AND "
+                 "y.id = z.id AND x.v <= z.v WITHIN 12 RETURN x.id")
+        baseline = composite_binding_keys(
+            run_query(query, abc_registry, events))
+        for config in (CP, PlanConfig(partition_pushdown=False,
+                                      construction_pushdown=True)):
+            assert composite_binding_keys(
+                run_query(query, abc_registry, events,
+                          config=config)) == baseline

@@ -1,0 +1,121 @@
+"""Differential tests: three independent implementations must agree.
+
+For randomly generated streams and a family of queries, the plan engine
+(under every optimizer configuration), the relational window-join baseline,
+and the brute-force oracle must produce exactly the same match sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import WindowJoinEngine
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+from tests.helpers import binding_keys, composite_binding_keys, \
+    oracle_matches
+
+QUERIES = [
+    "EVENT SEQ(A x, B y) WITHIN 10 RETURN x.id",
+    "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 RETURN x.id",
+    "EVENT SEQ(A x, B y, C z) WHERE x.id = y.id AND y.id = z.id "
+    "WITHIN 15 RETURN x.id",
+    "EVENT SEQ(A x, B y) WHERE x.v < y.v WITHIN 10 RETURN x.id",
+    "EVENT SEQ(A x, !(B y), C z) WHERE x.id = y.id AND x.id = z.id "
+    "WITHIN 10 RETURN x.id",
+    "EVENT SEQ(!(C w), A x, B y) WHERE x.id = y.id AND w.id = x.id "
+    "WITHIN 10 RETURN x.id",
+    "EVENT SEQ(A x, B y, !(C w)) WHERE x.id = y.id AND w.id = x.id "
+    "WITHIN 10 RETURN x.id",
+    "EVENT SEQ(A x, A y) WHERE x.id = y.id WITHIN 10 RETURN x.id",
+    "EVENT SEQ(A x, !(B y), C z) WHERE x.id = z.id AND y.v > 5 "
+    "WITHIN 10 RETURN x.id",
+    "EVENT SEQ(A x, B y) RETURN x.id",  # unbounded window
+]
+
+CONFIGS = [
+    PlanConfig(),
+    PlanConfig.naive(),
+    PlanConfig().without("partition_pushdown"),
+    PlanConfig().without("window_pushdown"),
+]
+
+
+def _registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    for name in ("A", "B", "C"):
+        registry.declare(name, id=AttributeType.INT, v=AttributeType.INT)
+    return registry
+
+
+def _random_stream(seed: int, size: int, id_domain: int = 3,
+                   tie_probability: float = 0.2) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    ts = 0.0
+    for index in range(size):
+        if rng.random() > tie_probability:
+            ts += rng.choice([0.5, 1.0, 2.0])
+        events.append(Event(
+            rng.choice(["A", "B", "C"]), ts,
+            {"id": rng.randrange(id_domain), "v": rng.randrange(10)},
+        ).with_seq(index))
+    return events
+
+
+@pytest.mark.parametrize("query_text", QUERIES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_engine_matches_oracle_and_baseline(query_text, seed):
+    registry = _registry()
+    events = _random_stream(seed, size=30)
+    analyzed = analyze(parse_query(query_text), registry)
+
+    expected = binding_keys(oracle_matches(analyzed, events))
+
+    baseline = WindowJoinEngine(analyzed)
+    baseline_keys = composite_binding_keys(baseline.run(events))
+    assert baseline_keys == expected, "baseline disagrees with oracle"
+
+    engine = Engine(registry)
+    for config in CONFIGS:
+        got = composite_binding_keys(
+            engine.run(query_text, events, config=config))
+        assert got == expected, f"engine ({config}) disagrees with oracle"
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       size=st.integers(min_value=0, max_value=40),
+       query_index=st.integers(min_value=0, max_value=len(QUERIES) - 1))
+def test_engine_matches_oracle_hypothesis(seed, size, query_index):
+    registry = _registry()
+    query_text = QUERIES[query_index]
+    events = _random_stream(seed, size)
+    analyzed = analyze(parse_query(query_text), registry)
+    expected = binding_keys(oracle_matches(analyzed, events))
+    engine = Engine(registry)
+    got = composite_binding_keys(engine.run(query_text, events))
+    assert got == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       size=st.integers(min_value=0, max_value=40))
+def test_naive_plan_equals_optimized_hypothesis(seed, size):
+    registry = _registry()
+    query_text = QUERIES[4]  # middle negation with partition
+    events = _random_stream(seed, size)
+    engine = Engine(registry)
+    optimized = composite_binding_keys(engine.run(query_text, events))
+    naive = composite_binding_keys(
+        engine.run(query_text, events, config=PlanConfig.naive()))
+    assert optimized == naive

@@ -1,0 +1,172 @@
+"""End-to-end engine tests: compile + run whole queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine, run_query
+from repro.core.plan import PlanConfig
+from repro.errors import SaseError
+from repro.events.event import Event
+
+from tests.helpers import make_events
+
+ALL_CONFIGS = [
+    PlanConfig(),
+    PlanConfig.naive(),
+    PlanConfig().without("partition_pushdown"),
+    PlanConfig().without("window_pushdown"),
+    PlanConfig().without("filter_pushdown"),
+]
+
+
+class TestBasicQueries:
+    def test_projection_and_names(self, abc_registry):
+        results = run_query(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id, y.v AS value",
+            abc_registry,
+            make_events([("A", 1, {"id": 1, "v": 5}),
+                         ("B", 2, {"id": 1, "v": 6})]))
+        assert len(results) == 1
+        assert results[0].attributes == {"x_id": 1, "value": 6}
+
+    def test_arithmetic_in_return(self, abc_registry):
+        results = run_query(
+            "EVENT SEQ(A x, B y) WITHIN 10 RETURN y.v - x.v AS delta",
+            abc_registry,
+            make_events([("A", 1, {"id": 1, "v": 5}),
+                         ("B", 2, {"id": 1, "v": 9})]))
+        assert results[0]["delta"] == 4
+
+    def test_output_type_and_interval(self, abc_registry):
+        results = run_query(
+            "EVENT SEQ(A x, B y) WITHIN 10 RETURN Alert(x.id)",
+            abc_registry,
+            make_events([("A", 1, {"id": 1, "v": 5}),
+                         ("B", 2, {"id": 1, "v": 6})]))
+        composite = results[0]
+        assert composite.type == "Alert"
+        assert (composite.start, composite.end) == (1, 2)
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS,
+                             ids=lambda c: repr(c)[:40])
+    def test_all_plans_agree_on_q1_shape(self, abc_registry, config):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("A", 2, {"id": 2, "v": 0}),
+            ("B", 3, {"id": 2, "v": 0}),
+            ("C", 4, {"id": 1, "v": 0}), ("C", 5, {"id": 2, "v": 0})])
+        results = run_query(
+            "EVENT SEQ(A x, !(B y), C z) "
+            "WHERE x.id = y.id AND x.id = z.id WITHIN 100 RETURN x.id",
+            abc_registry, events, config=config)
+        assert [composite["x_id"] for composite in results] == [1]
+
+    def test_or_predicate(self, abc_registry):
+        results = run_query(
+            "EVENT SEQ(A x, B y) WHERE x.v = 1 OR y.v = 1 WITHIN 10 "
+            "RETURN x.v, y.v",
+            abc_registry,
+            make_events([("A", 1, {"id": 1, "v": 1}),
+                         ("A", 2, {"id": 1, "v": 5}),
+                         ("B", 3, {"id": 1, "v": 9})]))
+        assert len(results) == 1
+
+    def test_unbounded_query_without_window(self, abc_registry):
+        results = run_query(
+            "EVENT SEQ(A x, B y) RETURN x.id",
+            abc_registry,
+            make_events([("A", 1, {"id": 1, "v": 0}),
+                         ("B", 1000000, {"id": 1, "v": 0})]))
+        assert len(results) == 1
+
+
+class TestEngineFacade:
+    def test_compile_once_run_twice(self, abc_registry):
+        engine = Engine(abc_registry)
+        compiled = engine.compile("EVENT SEQ(A x, B y) WITHIN 10 "
+                                  "RETURN x.id")
+        events = make_events([("A", 1, {"id": 1, "v": 0}),
+                              ("B", 2, {"id": 1, "v": 0})])
+        first = list(engine.run(compiled, events))
+        second = list(engine.run(compiled, events))
+        assert len(first) == len(second) == 1
+
+    def test_runtime_is_streaming(self, abc_registry):
+        engine = Engine(abc_registry)
+        runtime = engine.runtime("EVENT SEQ(A x, B y) WITHIN 10 "
+                                 "RETURN x.id")
+        assert runtime.feed(Event("A", 1, {"id": 1, "v": 0})) == []
+        produced = runtime.feed(Event("B", 2, {"id": 1, "v": 0}))
+        assert len(produced) == 1
+        assert runtime.flush() == []
+
+    def test_runtime_rejects_feed_after_flush(self, abc_registry):
+        engine = Engine(abc_registry)
+        runtime = engine.runtime("EVENT A x")
+        runtime.flush()
+        with pytest.raises(RuntimeError, match="flushed"):
+            runtime.feed(Event("A", 1, {"id": 1, "v": 0}))
+
+    def test_explain(self, abc_registry):
+        engine = Engine(abc_registry)
+        compiled = engine.compile(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 RETURN x.id")
+        assert "PAIS" in compiled.explain()
+
+    def test_stats_flow(self, abc_registry):
+        engine = Engine(abc_registry)
+        runtime = engine.runtime(
+            "EVENT SEQ(A x, B y) WHERE x.v < y.v WITHIN 10 RETURN x.id",
+            config=PlanConfig().without("filter_pushdown"))
+        for event in make_events([("A", 1, {"id": 1, "v": 5}),
+                                  ("B", 2, {"id": 1, "v": 1}),
+                                  ("B", 3, {"id": 1, "v": 9})]):
+            runtime.feed(event)
+        stats = runtime.stats
+        assert stats.events_consumed == 3
+        assert stats.operator("SSC").produced == 2
+        assert stats.operator("SL").produced == 1
+        assert stats.results_emitted == 1
+
+
+class TestTrailingNegationEndToEnd:
+    QUERY = ("EVENT SEQ(A x, !(B y)) WHERE x.id = y.id WITHIN 5 "
+             "RETURN x.id")
+
+    def test_released_by_watermark(self, abc_registry):
+        events = make_events([
+            ("A", 0, {"id": 1, "v": 0}),
+            ("A", 1, {"id": 2, "v": 0}),
+            ("B", 3, {"id": 2, "v": 0}),   # cancels id=2
+            ("C", 7, {"id": 9, "v": 0})])  # watermark passes 0+5
+        results = run_query(self.QUERY, abc_registry, events)
+        assert [composite["x_id"] for composite in results] == [1]
+
+    def test_released_by_flush(self, abc_registry):
+        events = make_events([("A", 0, {"id": 1, "v": 0})])
+        results = run_query(self.QUERY, abc_registry, events)
+        assert len(results) == 1
+
+    def test_emission_order_by_watermark(self, abc_registry):
+        engine = Engine(abc_registry)
+        runtime = engine.runtime(self.QUERY)
+        outputs = []
+        for event in make_events([
+                ("A", 0, {"id": 1, "v": 0}),
+                ("C", 6, {"id": 9, "v": 0})]):
+            outputs.extend(runtime.feed(event))
+        assert len(outputs) == 1  # released on the C event, not at flush
+        assert runtime.flush() == []
+
+
+class TestErrorPaths:
+    def test_unknown_type_raises_sase_error(self, abc_registry):
+        engine = Engine(abc_registry)
+        with pytest.raises(SaseError):
+            engine.compile("EVENT ZZZ x")
+
+    def test_parse_error_is_sase_error(self, abc_registry):
+        engine = Engine(abc_registry)
+        with pytest.raises(SaseError):
+            engine.compile("EVENT SEQ(")

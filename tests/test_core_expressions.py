@@ -1,0 +1,185 @@
+"""Tests for expression compilation and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expressions import EvalContext, compile_expr, \
+    compile_predicate
+from repro.errors import EvaluationError, FunctionError
+from repro.events.event import Event
+from repro.lang.parser import parse_query
+
+
+def expr_for(text: str):
+    """Parse a WHERE expression through the query grammar."""
+    query = parse_query(f"EVENT A x WHERE {text}")
+    assert query.where is not None
+    return query.where
+
+
+def return_expr(text: str):
+    query = parse_query(f"EVENT A x RETURN {text}")
+    assert query.return_clause is not None
+    return query.return_clause.items[0].expr
+
+
+def ctx(**bindings):
+    return EvalContext(bindings)
+
+
+class TestScalarEvaluation:
+    def test_literal(self):
+        assert compile_expr(expr_for("x.v = 1").right)(ctx()) == 1
+
+    def test_attribute_ref(self):
+        event = Event("A", 1.0, {"v": 42})
+        closure = compile_expr(return_expr("x.v"))
+        assert closure(ctx(x=event)) == 42
+
+    def test_timestamp_pseudo_attribute(self):
+        event = Event("A", 7.5, {"v": 1})
+        closure = compile_expr(return_expr("x.Timestamp"))
+        assert closure(ctx(x=event)) == 7.5
+
+    def test_missing_attribute_raises(self):
+        closure = compile_expr(return_expr("x.zzz"))
+        with pytest.raises(EvaluationError, match="no attribute"):
+            closure(ctx(x=Event("A", 1.0, {"v": 1})))
+
+    def test_unbound_variable_raises(self):
+        closure = compile_expr(return_expr("x.v"))
+        with pytest.raises(EvaluationError, match="unbound"):
+            closure(ctx())
+
+    def test_arithmetic(self):
+        event = Event("A", 1.0, {"v": 10})
+        closure = compile_expr(return_expr("x.v * 2 + 1"))
+        assert closure(ctx(x=event)) == 21
+
+    def test_division(self):
+        closure = compile_expr(return_expr("x.v / 4"))
+        assert closure(ctx(x=Event("A", 1, {"v": 10}))) == 2.5
+
+    def test_division_by_zero(self):
+        closure = compile_expr(return_expr("x.v / 0"))
+        with pytest.raises(EvaluationError, match="division by zero"):
+            closure(ctx(x=Event("A", 1, {"v": 10})))
+
+    def test_modulo_and_negation(self):
+        closure = compile_expr(return_expr("-(x.v % 3)"))
+        assert closure(ctx(x=Event("A", 1, {"v": 10}))) == -1
+
+    def test_string_concatenation(self):
+        closure = compile_expr(return_expr("x.name + '!'"))
+        assert closure(ctx(x=Event("A", 1, {"name": "hi"}))) == "hi!"
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        event_pair = ctx(x=Event("A", 1, {"v": 5}),
+                         y=Event("B", 2, {"v": 7}))
+        query = parse_query("EVENT SEQ(A x, B y) WHERE x.v < y.v")
+        assert query.where is not None
+        assert compile_predicate(query.where)(event_pair) is True
+
+    def test_and_short_circuit(self):
+        predicate = compile_predicate(expr_for("x.v = 1 AND x.v > 0"))
+        assert predicate(ctx(x=Event("A", 1, {"v": 1})))
+        assert not predicate(ctx(x=Event("A", 1, {"v": 2})))
+
+    def test_or(self):
+        predicate = compile_predicate(expr_for("x.v = 1 OR x.v = 2"))
+        assert predicate(ctx(x=Event("A", 1, {"v": 2})))
+        assert not predicate(ctx(x=Event("A", 1, {"v": 3})))
+
+    def test_not(self):
+        predicate = compile_predicate(expr_for("NOT x.v = 1"))
+        assert predicate(ctx(x=Event("A", 1, {"v": 2})))
+
+    def test_non_boolean_predicate_fails_loudly(self):
+        predicate = compile_predicate(return_expr("x.v"))
+        with pytest.raises(EvaluationError, match="expected a boolean"):
+            predicate(ctx(x=Event("A", 1, {"v": 2})))
+
+    def test_incomparable_types(self):
+        predicate = compile_predicate(expr_for("x.v < x.name"))
+        with pytest.raises(EvaluationError, match="cannot compare"):
+            predicate(ctx(x=Event("A", 1, {"v": 1, "name": "a"})))
+
+    def test_rebind(self):
+        base = ctx(x=Event("A", 1, {"v": 1}))
+        rebound = base.rebind("x", Event("A", 2, {"v": 9}))
+        closure = compile_expr(return_expr("x.v"))
+        assert closure(base) == 1
+        assert closure(rebound) == 9
+
+
+class TestAggregates:
+    def _kleene_ctx(self):
+        events = tuple(Event("T", float(index), {"p": index * 10.0})
+                       for index in range(1, 4))
+        return ctx(t=events, a=Event("A", 0.5, {"v": 1}))
+
+    def test_count_variable(self):
+        query = parse_query("EVENT SEQ(A a, T+ t) RETURN COUNT(t)")
+        assert query.return_clause is not None
+        closure = compile_expr(query.return_clause.items[0].expr)
+        assert closure(self._kleene_ctx()) == 3
+
+    def test_count_star(self):
+        query = parse_query("EVENT SEQ(A a, T+ t) RETURN COUNT(*)")
+        assert query.return_clause is not None
+        closure = compile_expr(query.return_clause.items[0].expr)
+        assert closure(self._kleene_ctx()) == 4  # 3 kleene + 1 single
+
+    def test_sum_avg_min_max(self):
+        context = self._kleene_ctx()
+        for text, expected in [("SUM(t.p)", 60.0), ("AVG(t.p)", 20.0),
+                               ("MIN(t.p)", 10.0), ("MAX(t.p)", 30.0)]:
+            query = parse_query(f"EVENT SEQ(A a, T+ t) RETURN {text}")
+            assert query.return_clause is not None
+            closure = compile_expr(query.return_clause.items[0].expr)
+            assert closure(context) == expected
+
+    def test_first_last(self):
+        context = self._kleene_ctx()
+        for text, expected in [("FIRST(t.p)", 10.0), ("LAST(t.p)", 30.0)]:
+            query = parse_query(f"EVENT SEQ(A a, T+ t) RETURN {text}")
+            assert query.return_clause is not None
+            closure = compile_expr(query.return_clause.items[0].expr)
+            assert closure(context) == expected
+
+    def test_aggregate_over_single_binding(self):
+        query = parse_query("EVENT A a RETURN COUNT(a)")
+        assert query.return_clause is not None
+        closure = compile_expr(query.return_clause.items[0].expr)
+        assert closure(ctx(a=Event("A", 1, {"v": 1}))) == 1
+
+    def test_max_timestamp(self):
+        query = parse_query("EVENT SEQ(A a, T+ t) RETURN MAX(t.Timestamp)")
+        assert query.return_clause is not None
+        closure = compile_expr(query.return_clause.items[0].expr)
+        assert closure(self._kleene_ctx()) == 3.0
+
+    def test_scalar_ref_on_kleene_binding_raises(self):
+        query = parse_query("EVENT SEQ(A a, T+ t) RETURN t.p")
+        assert query.return_clause is not None
+        closure = compile_expr(query.return_clause.items[0].expr)
+        with pytest.raises(EvaluationError, match="Kleene binding"):
+            closure(self._kleene_ctx())
+
+
+class TestFunctions:
+    def test_call_without_registry_raises(self):
+        closure = compile_expr(return_expr("_lookup(x.v)"))
+        with pytest.raises(FunctionError, match="no function registry"):
+            closure(ctx(x=Event("A", 1, {"v": 1})))
+
+    def test_call_through_registry(self):
+        from repro.funcs import FunctionRegistry
+        registry = FunctionRegistry()
+        registry.register("_double", lambda value: value * 2)
+        closure = compile_expr(return_expr("_double(x.v)"))
+        context = EvalContext({"x": Event("A", 1, {"v": 21})}, registry)
+        assert closure(context) == 42

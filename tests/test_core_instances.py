@@ -1,0 +1,113 @@
+"""Tests for active instance stacks (and their pruning arithmetic)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.instances import InstanceStack, StackGroup
+from repro.events.event import Event
+
+
+def _push(stack: InstanceStack, ts: float, rip: int = -1):
+    return stack.push(Event("A", ts), rip)
+
+
+class TestInstanceStack:
+    def test_push_and_absolute_index(self):
+        stack = InstanceStack()
+        _push(stack, 1.0)
+        _push(stack, 2.0)
+        assert len(stack) == 2
+        assert stack.last_absolute_index == 1
+        assert stack.get_absolute(0).event.timestamp == 1.0
+
+    def test_prune_keeps_absolute_indexes_valid(self):
+        stack = InstanceStack()
+        for ts in (1.0, 2.0, 3.0, 4.0):
+            _push(stack, ts)
+        dropped = stack.prune_before(3.0)
+        assert dropped == 2
+        assert len(stack) == 2
+        assert stack.last_absolute_index == 3
+        assert stack.get_absolute(2).event.timestamp == 3.0
+
+    def test_candidate_range_rip_bound(self):
+        stack = InstanceStack()
+        for ts in (1.0, 2.0, 3.0):
+            _push(stack, ts)
+        # rip=1 excludes the instance at absolute index 2
+        assert list(stack.candidate_range(1, 10.0, None)) == [0, 1]
+
+    def test_candidate_range_strict_time_bound(self):
+        stack = InstanceStack()
+        for ts in (1.0, 2.0, 2.0, 3.0):
+            _push(stack, ts)
+        # before_ts=2.0 excludes both ts==2.0 entries
+        assert list(stack.candidate_range(3, 2.0, None)) == [0]
+
+    def test_candidate_range_window_bound(self):
+        stack = InstanceStack()
+        for ts in (1.0, 2.0, 3.0):
+            _push(stack, ts)
+        assert list(stack.candidate_range(2, 10.0, 2.0)) == [1, 2]
+
+    def test_candidate_range_empty_when_rip_pruned(self):
+        stack = InstanceStack()
+        for ts in (1.0, 2.0, 3.0):
+            _push(stack, ts)
+        stack.prune_before(2.5)  # drops absolute 0,1
+        assert list(stack.candidate_range(1, 10.0, None)) == []
+
+    def test_instances_between_exclusive(self):
+        stack = InstanceStack()
+        for ts in (1.0, 2.0, 3.0, 4.0):
+            _push(stack, ts)
+        between = stack.instances_between(1.0, 4.0)
+        assert [instance.event.timestamp for instance in between] == \
+            [2.0, 3.0]
+
+    @given(st.lists(st.floats(min_value=0, max_value=50,
+                              allow_nan=False), min_size=1, max_size=30),
+           st.floats(min_value=0, max_value=60, allow_nan=False))
+    def test_prune_property(self, timestamps, horizon):
+        stack = InstanceStack()
+        ordered = sorted(timestamps)
+        for ts in ordered:
+            _push(stack, ts)
+        total = len(ordered)
+        dropped = stack.prune_before(horizon)
+        assert dropped == sum(1 for ts in ordered if ts < horizon)
+        assert len(stack) == total - dropped
+        assert all(instance.event.timestamp >= horizon
+                   for instance in stack)
+
+    @given(st.lists(st.floats(min_value=0, max_value=50,
+                              allow_nan=False), min_size=1, max_size=25),
+           st.integers(min_value=-1, max_value=30),
+           st.floats(min_value=0, max_value=60, allow_nan=False))
+    def test_candidate_range_matches_bruteforce(self, timestamps, rip,
+                                                before_ts):
+        stack = InstanceStack()
+        ordered = sorted(timestamps)
+        for ts in ordered:
+            _push(stack, ts)
+        got = list(stack.candidate_range(rip, before_ts, None))
+        expected = [index for index, ts in enumerate(ordered)
+                    if index <= rip and ts < before_ts]
+        assert got == expected
+
+
+class TestStackGroup:
+    def test_totals_and_prune(self):
+        group = StackGroup(3)
+        group.stacks[0].push(Event("A", 1.0), -1)
+        group.stacks[1].push(Event("B", 2.0), 0)
+        group.stacks[2].push(Event("C", 3.0), 0)
+        assert group.total_instances() == 3
+        assert not group.is_empty()
+        assert group.prune_before(2.5) == 2
+        assert group.total_instances() == 1
+
+    def test_empty(self):
+        assert StackGroup(2).is_empty()

@@ -1,0 +1,99 @@
+"""End-to-end tests for the Kleene closure extension (SASE+)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import run_query
+from repro.core.plan import KleeneMode, PlanConfig
+
+from tests.helpers import make_events
+
+
+def kleene_events():
+    return make_events([
+        ("A", 1, {"id": 1, "v": 0}),
+        ("B", 2, {"id": 1, "v": 10}),
+        ("B", 3, {"id": 1, "v": 20}),
+        ("B", 4, {"id": 2, "v": 99}),   # other partition
+        ("B", 5, {"id": 1, "v": 30}),
+        ("C", 6, {"id": 1, "v": 0}),
+    ])
+
+
+class TestTrailingKleene:
+    QUERY = ("EVENT SEQ(A a, B+ b) WHERE a.id = b.id WITHIN 100 "
+             "RETURN COUNT(b) AS n, SUM(b.v) AS total")
+
+    def test_maximal_mode_bindings(self, abc_registry):
+        results = run_query(self.QUERY, abc_registry, kleene_events())
+        got = sorted((result["n"], result["total"]) for result in results)
+        # triggers at t=2,3,5; per trigger: singleton + maximal per anchor
+        assert got == [(1, 10.0), (1, 20.0), (1, 30.0),
+                       (2, 30.0), (2, 50.0), (3, 60.0)]
+
+    def test_partition_isolates_kleene_events(self, abc_registry):
+        results = run_query(self.QUERY, abc_registry, kleene_events())
+        assert all(result["total"] != 99 for result in results)
+
+
+class TestMiddleKleene:
+    QUERY = ("EVENT SEQ(A a, B+ b, C c) WHERE a.id = b.id AND a.id = c.id "
+             "WITHIN 100 RETURN COUNT(b) AS n, AVG(b.v) AS mean")
+
+    def test_maximal_mode(self, abc_registry):
+        results = run_query(self.QUERY, abc_registry, kleene_events())
+        got = sorted((result["n"], result["mean"]) for result in results)
+        # anchors t=2,3,5 each absorb all later Bs of partition 1 before C
+        assert got == [(1, 30.0), (2, 25.0), (3, 20.0)]
+
+    def test_subset_mode(self, abc_registry):
+        config = PlanConfig(kleene_mode=KleeneMode.ANY_SUBSET)
+        results = run_query(self.QUERY, abc_registry, kleene_events(),
+                            config=config)
+        counts = sorted(result["n"] for result in results)
+        # all non-empty subsets of the three B events: 7
+        assert counts == [1, 1, 1, 2, 2, 2, 3]
+
+    def test_subset_cap_bounds_explosion(self, abc_registry):
+        config = PlanConfig(kleene_mode=KleeneMode.ANY_SUBSET,
+                            max_kleene_events=0)
+        results = run_query(self.QUERY, abc_registry, kleene_events(),
+                            config=config)
+        # cap=0: only the anchors themselves
+        assert sorted(result["n"] for result in results) == [1, 1, 1]
+
+
+class TestKleenePredicates:
+    def test_per_event_predicate_trims_in_maximal_mode(self, abc_registry):
+        query = ("EVENT SEQ(A a, B+ b, C c) "
+                 "WHERE a.id = b.id AND a.id = c.id AND b.v > 15 "
+                 "WITHIN 100 RETURN COUNT(b) AS n, MIN(b.v) AS low")
+        results = run_query(query, abc_registry, kleene_events())
+        assert all(result["low"] > 15 for result in results)
+        assert max(result["n"] for result in results) == 2  # v=20, v=30
+
+    def test_aggregate_first_last(self, abc_registry):
+        query = ("EVENT SEQ(A a, B+ b, C c) WHERE a.id = b.id AND "
+                 "a.id = c.id WITHIN 100 "
+                 "RETURN FIRST(b.v) AS head, LAST(b.v) AS tail")
+        results = run_query(query, abc_registry, kleene_events())
+        full = [result for result in results
+                if result["head"] == 10.0]
+        assert full and all(result["tail"] == 30.0 for result in full)
+
+    def test_kleene_stock_monitoring_shape(self, abc_registry):
+        # the "recursive pattern matching" motivation: a run of increasing
+        # values after a trigger event
+        events = make_events([
+            ("A", 1, {"id": 7, "v": 0}),
+            ("B", 2, {"id": 7, "v": 5}),
+            ("B", 3, {"id": 7, "v": 3}),   # fails b.v > a.v + 4
+            ("B", 4, {"id": 7, "v": 9}),
+            ("C", 5, {"id": 7, "v": 0}),
+        ])
+        query = ("EVENT SEQ(A a, B+ b, C c) WHERE a.id = b.id AND "
+                 "a.id = c.id AND b.v > a.v + 4 WITHIN 100 "
+                 "RETURN COUNT(b) AS n")
+        results = run_query(query, abc_registry, events)
+        assert max(result["n"] for result in results) == 2

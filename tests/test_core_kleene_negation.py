@@ -1,0 +1,103 @@
+"""Tests combining Kleene closure with negation in one pattern."""
+
+from __future__ import annotations
+
+from repro.core.engine import run_query
+
+from tests.helpers import make_events
+
+
+class TestKleeneWithNegation:
+    QUERY = ("EVENT SEQ(A a, !(D d), B+ b, C c) "
+             "WHERE a.id = b.id AND a.id = c.id AND d.id = a.id "
+             "WITHIN 100 RETURN COUNT(b) AS n")
+
+    def _events(self, with_blocker: bool):
+        spec = [("A", 1, {"id": 1, "v": 0})]
+        if with_blocker:
+            spec.append(("D", 2, {"id": 1, "v": 0}))
+        spec.extend([
+            ("B", 3, {"id": 1, "v": 0}),
+            ("B", 4, {"id": 1, "v": 0}),
+            ("C", 5, {"id": 1, "v": 0}),
+        ])
+        return make_events(spec)
+
+    def test_negation_between_single_and_kleene(self, abc_registry):
+        results = run_query(self.QUERY, abc_registry,
+                            self._events(with_blocker=False))
+        assert sorted(r["n"] for r in results) == [1, 2]
+
+    def test_blocker_between_anchor_and_kleene_drops(self, abc_registry):
+        # D at t=2 sits in the (a, first-b) interval: the negation
+        # interval ends at the *first* event of the Kleene binding
+        results = run_query(self.QUERY, abc_registry,
+                            self._events(with_blocker=True))
+        assert results == []
+
+    def test_blocker_inside_kleene_run_is_allowed(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0}),
+            ("D", 3.5, {"id": 1, "v": 0}),   # after the first B
+            ("B", 4, {"id": 1, "v": 0}),
+            ("C", 5, {"id": 1, "v": 0}),
+        ])
+        results = run_query(self.QUERY, abc_registry, events)
+        # bindings anchored at the first B are fine; the negation interval
+        # (a.ts, first_b.ts) does not contain the D
+        assert sorted(r["n"] for r in results) == [2]
+        # the binding anchored at the second B is blocked: its interval
+        # (1, 4) contains the D at 3.5
+
+
+class TestNegationAfterKleene:
+    QUERY = ("EVENT SEQ(A a, B+ b, !(D d), C c) "
+             "WHERE a.id = b.id AND a.id = c.id AND d.id = a.id "
+             "WITHIN 100 RETURN COUNT(b) AS n")
+
+    def test_interval_starts_at_last_kleene_event(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 2, {"id": 1, "v": 0}),
+            ("D", 2.5, {"id": 1, "v": 0}),  # between the two Bs
+            ("B", 3, {"id": 1, "v": 0}),
+            ("C", 5, {"id": 1, "v": 0}),
+        ])
+        results = run_query(self.QUERY, abc_registry, events)
+        # binding (b2,b3): interval (3, 5) has no D -> passes, n=2
+        # binding (b3,): same interval -> passes, n=1
+        # binding (b2,) alone: interval (2, 5) contains D -> blocked
+        assert sorted(r["n"] for r in results) == [1, 2]
+
+    def test_blocker_after_kleene_drops_all(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 2, {"id": 1, "v": 0}),
+            ("D", 4, {"id": 1, "v": 0}),
+            ("C", 5, {"id": 1, "v": 0}),
+        ])
+        assert run_query(self.QUERY, abc_registry, events) == []
+
+
+class TestTrailingNegationWithKleene:
+    QUERY = ("EVENT SEQ(A a, B+ b, !(D d)) "
+             "WHERE a.id = b.id AND d.id = a.id "
+             "WITHIN 10 RETURN COUNT(b) AS n")
+
+    def test_released_at_flush(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 2, {"id": 1, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0}),
+        ])
+        results = run_query(self.QUERY, abc_registry, events)
+        assert sorted(r["n"] for r in results) == [1, 1, 2]
+
+    def test_blocker_after_last_kleene_event(self, abc_registry):
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}),
+            ("B", 2, {"id": 1, "v": 0}),
+            ("D", 4, {"id": 1, "v": 0}),
+        ])
+        assert run_query(self.QUERY, abc_registry, events) == []

@@ -1,0 +1,227 @@
+"""Tests for the relational-style plan operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.match import Match
+from repro.core.operators import (
+    KleeneFilter,
+    Negation,
+    Selection,
+    Transformation,
+    WindowFilter,
+)
+from repro.events.event import Event
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+
+def analyzed_for(text: str, registry):
+    return analyze(parse_query(text), registry)
+
+
+def match_of(**bindings) -> Match:
+    return Match.from_bindings(bindings)
+
+
+class TestSelection:
+    def test_filters_by_predicate(self, abc_registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(A x, B y) WHERE x.v < y.v", abc_registry)
+        selection = Selection(analyzed, skip_partition_equalities=False)
+        good = match_of(x=Event("A", 1, {"v": 1}), y=Event("B", 2, {"v": 5}))
+        bad = match_of(x=Event("A", 1, {"v": 9}), y=Event("B", 2, {"v": 5}))
+        assert selection.process(good) is good
+        assert selection.process(bad) is None
+
+    def test_skips_partition_equalities(self, abc_registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id", abc_registry)
+        skipping = Selection(analyzed, skip_partition_equalities=True)
+        keeping = Selection(analyzed, skip_partition_equalities=False)
+        assert skipping.predicate_count == 0
+        assert keeping.predicate_count == 1
+
+    def test_includes_component_filters_when_not_pushed(self, abc_registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(A x, B y) WHERE x.v > 3", abc_registry)
+        selection = Selection(analyzed, skip_partition_equalities=False,
+                              include_component_filters=True)
+        assert selection.predicate_count == 1
+        bad = match_of(x=Event("A", 1, {"v": 1}), y=Event("B", 2, {"v": 5}))
+        assert selection.process(bad) is None
+
+
+class TestWindowFilter:
+    def test_span_boundary(self):
+        window = WindowFilter(10.0)
+        inside = match_of(x=Event("A", 0), y=Event("B", 10))
+        outside = match_of(x=Event("A", 0), y=Event("B", 10.5))
+        assert window.process(inside) is inside
+        assert window.process(outside) is None
+
+
+class TestKleeneFilter:
+    def _analyzed(self, registry):
+        return analyzed_for(
+            "EVENT SEQ(A a, B+ b) WHERE b.v > a.v", registry)
+
+    def test_maximal_mode_trims(self, abc_registry):
+        kleene = KleeneFilter(self._analyzed(abc_registry),
+                              maximal_mode=True)
+        match = match_of(
+            a=Event("A", 1, {"v": 5}),
+            b=(Event("B", 2, {"v": 9}), Event("B", 3, {"v": 1})))
+        result = kleene.process(match)
+        assert result is not None
+        assert [event["v"] for event in result.bindings["b"]] == [9]
+
+    def test_maximal_mode_drops_empty(self, abc_registry):
+        kleene = KleeneFilter(self._analyzed(abc_registry),
+                              maximal_mode=True)
+        match = match_of(a=Event("A", 1, {"v": 5}),
+                         b=(Event("B", 2, {"v": 1}),))
+        assert kleene.process(match) is None
+
+    def test_subset_mode_drops_instead_of_trimming(self, abc_registry):
+        kleene = KleeneFilter(self._analyzed(abc_registry),
+                              maximal_mode=False)
+        match = match_of(
+            a=Event("A", 1, {"v": 5}),
+            b=(Event("B", 2, {"v": 9}), Event("B", 3, {"v": 1})))
+        assert kleene.process(match) is None
+
+    def test_trivial_when_no_predicates(self, abc_registry):
+        analyzed = analyzed_for("EVENT SEQ(A a, B+ b)", abc_registry)
+        assert KleeneFilter(analyzed, maximal_mode=True).is_trivial
+
+
+class TestNegationMiddle:
+    def _negation(self, registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(A x, !(B y), C z) WHERE x.id = y.id WITHIN 100",
+            registry)
+        return Negation(analyzed, use_partition_index=False)
+
+    def test_passes_without_negative(self, abc_registry):
+        negation = self._negation(abc_registry)
+        match = match_of(x=Event("A", 1, {"id": 1}),
+                         z=Event("C", 5, {"id": 1}))
+        assert negation.process(match) is match
+
+    def test_rejects_qualifying_negative(self, abc_registry):
+        negation = self._negation(abc_registry)
+        negation.observe(Event("B", 3, {"id": 1}))
+        match = match_of(x=Event("A", 1, {"id": 1}),
+                         z=Event("C", 5, {"id": 1}))
+        assert negation.process(match) is None
+
+    def test_ignores_negative_with_wrong_key(self, abc_registry):
+        negation = self._negation(abc_registry)
+        negation.observe(Event("B", 3, {"id": 999}))
+        match = match_of(x=Event("A", 1, {"id": 1}),
+                         z=Event("C", 5, {"id": 1}))
+        assert negation.process(match) is match
+
+    def test_interval_is_open(self, abc_registry):
+        negation = self._negation(abc_registry)
+        negation.observe(Event("B", 1, {"id": 1}))  # ts == x.ts
+        negation.observe(Event("B", 5, {"id": 1}))  # ts == z.ts
+        match = match_of(x=Event("A", 1, {"id": 1}),
+                         z=Event("C", 5, {"id": 1}))
+        assert negation.process(match) is match
+
+    def test_partitioned_history(self, abc_registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(A x, !(B y), C z) "
+            "WHERE x.id = y.id AND x.id = z.id WITHIN 100", abc_registry)
+        negation = Negation(analyzed, use_partition_index=True)
+        negation.observe(Event("B", 3, {"id": 1}))
+        blocked = match_of(x=Event("A", 1, {"id": 1}),
+                           z=Event("C", 5, {"id": 1}))
+        passed = match_of(x=Event("A", 1, {"id": 2}),
+                          z=Event("C", 5, {"id": 2}))
+        assert negation.process(blocked) is None
+        assert negation.process(passed) is passed
+
+
+class TestNegationLeading:
+    def test_leading_window_interval(self, abc_registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(!(B y), A x) WITHIN 10", abc_registry)
+        negation = Negation(analyzed, use_partition_index=False)
+        match = match_of(x=Event("A", 20, {"id": 1}))
+        # interval is [end - W, start) == [10, 20)
+        negation.observe(Event("B", 9, {"id": 1}))
+        assert negation.process(match) is match
+        negation.observe(Event("B", 10, {"id": 1}))
+        assert negation.process(match) is None
+
+
+class TestNegationTrailing:
+    def _negation(self, registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(A x, !(B y)) WHERE x.id = y.id WITHIN 10",
+            registry)
+        return Negation(analyzed, use_partition_index=False)
+
+    def test_buffers_until_deadline(self, abc_registry):
+        negation = self._negation(abc_registry)
+        negation.advance(1.0)
+        match = match_of(x=Event("A", 1, {"id": 1}))
+        assert negation.process(match) is None  # buffered
+        assert negation.pending_count == 1
+        assert negation.advance(11.0) == []  # 11 <= deadline 11? released?
+        # deadline = 1 + 10 = 11; released strictly after
+        assert negation.pending_count == 1
+        released = negation.advance(11.5)
+        assert released == [match]
+
+    def test_negative_in_interval_drops(self, abc_registry):
+        negation = self._negation(abc_registry)
+        match = match_of(x=Event("A", 1, {"id": 1}))
+        negation.advance(1.0)
+        assert negation.process(match) is None
+        negation.observe(Event("B", 5, {"id": 1}))
+        assert negation.advance(20.0) == []
+        assert negation.pending_count == 0
+
+    def test_flush_decides_pending(self, abc_registry):
+        negation = self._negation(abc_registry)
+        negation.advance(1.0)
+        good = match_of(x=Event("A", 1, {"id": 1}))
+        bad = match_of(x=Event("A", 1, {"id": 2}))
+        negation.process(good)
+        negation.process(bad)
+        negation.observe(Event("B", 2, {"id": 2}))
+        released = negation.flush()
+        assert released == [good]
+
+    def test_has_trailing_flag(self, abc_registry):
+        negation = self._negation(abc_registry)
+        assert negation.has_trailing
+
+
+class TestTransformation:
+    def test_builds_composite(self, abc_registry):
+        analyzed = analyzed_for(
+            "EVENT SEQ(A x, B y) RETURN Alert(x.v, y.v AS second) "
+            "INTO alerts", abc_registry)
+        transform = Transformation(analyzed)
+        match = match_of(x=Event("A", 1, {"v": 10}),
+                         y=Event("B", 2, {"v": 20}))
+        composite = transform.process(match)
+        assert composite.type == "Alert"
+        assert composite.stream == "alerts"
+        assert composite.attributes == {"x_v": 10, "second": 20}
+        assert composite.start == 1 and composite.end == 2
+        assert composite.bindings["x"]["v"] == 10
+
+    def test_default_return_binds_events(self, abc_registry):
+        analyzed = analyzed_for("EVENT SEQ(A x, B y)", abc_registry)
+        transform = Transformation(analyzed)
+        match = match_of(x=Event("A", 1, {"v": 1}),
+                         y=Event("B", 2, {"v": 2}))
+        composite = transform.process(match)
+        assert composite.attributes["x"].type == "A"

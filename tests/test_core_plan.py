@@ -1,0 +1,101 @@
+"""Tests for plan building and configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plan import KleeneMode, PlanConfig, build_plan
+from repro.errors import PlanError
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+Q1 = """
+EVENT SEQ(A x, !(B y), C z)
+WHERE x.id = y.id AND x.id = z.id
+WITHIN 100
+RETURN x.id
+"""
+
+
+def plan_for(text: str, registry, config=None):
+    return build_plan(analyze(parse_query(text), registry), config)
+
+
+class TestPlanBuilding:
+    def test_default_plan_uses_all_optimizations(self, abc_registry):
+        plan = plan_for(Q1, abc_registry)
+        assert plan.uses_partition
+        assert plan.uses_window_pushdown
+        assert not plan.needs_window_filter
+        assert not plan.needs_selection  # both equalities are partition
+        assert plan.needs_negation
+        assert plan.operator_names == ["SSC", "NG", "TF"]
+
+    def test_naive_plan(self, abc_registry):
+        plan = plan_for(Q1, abc_registry, PlanConfig.naive())
+        assert not plan.uses_partition
+        assert not plan.uses_window_pushdown
+        assert plan.needs_window_filter
+        assert plan.needs_selection
+        assert plan.operator_names == ["SSC", "SL", "WD", "NG", "TF"]
+
+    def test_without_single_optimization(self, abc_registry):
+        config = PlanConfig().without("partition_pushdown")
+        plan = plan_for(Q1, abc_registry, config)
+        assert not plan.uses_partition
+        assert plan.uses_window_pushdown
+        assert plan.needs_selection
+
+    def test_without_unknown_name(self):
+        with pytest.raises(PlanError, match="unknown optimization"):
+            PlanConfig().without("turbo_mode")
+
+    def test_single_component_no_window_filter(self, abc_registry):
+        plan = plan_for("EVENT A x WITHIN 10", abc_registry,
+                        PlanConfig.naive())
+        # a single-event pattern always satisfies any window
+        assert not plan.needs_window_filter
+
+    def test_kleene_filter_only_with_predicates(self, abc_registry):
+        with_pred = plan_for(
+            "EVENT SEQ(A a, B+ b) WHERE b.v > a.v WITHIN 10", abc_registry)
+        without = plan_for("EVENT SEQ(A a, B+ b) WITHIN 10", abc_registry)
+        assert with_pred.needs_kleene_filter
+        assert not without.needs_kleene_filter
+
+    def test_residual_selection_with_partial_partition(self, abc_registry):
+        plan = plan_for(
+            "EVENT SEQ(A x, B y, C z) WHERE x.id = y.id WITHIN 10",
+            abc_registry)
+        assert not plan.uses_partition
+        assert plan.needs_selection
+
+
+class TestDescribe:
+    def test_describe_mentions_optimizations(self, abc_registry):
+        text = plan_for(Q1, abc_registry).describe()
+        assert "PAIS partitioned" in text
+        assert "window=100s pushed down" in text
+        assert "negation" in text and "middle" in text
+
+    def test_describe_naive(self, abc_registry):
+        text = plan_for(Q1, abc_registry, PlanConfig.naive()).describe()
+        assert "window=100s (filter operator)" in text
+        assert "SL" in text and "WD" in text
+
+    def test_describe_trailing_negation(self, abc_registry):
+        text = plan_for(
+            "EVENT SEQ(A x, !(B y)) WITHIN 10", abc_registry).describe()
+        assert "trailing (delayed emission)" in text
+
+    def test_describe_kleene_and_into(self, abc_registry):
+        text = plan_for(
+            "EVENT SEQ(A a, B+ b) WHERE b.v > 1 WITHIN 10 "
+            "RETURN Out(a.id) INTO outs", abc_registry).describe()
+        assert "B+" in text and "KF" in text
+        assert "-> Out INTO outs" in text
+
+    def test_config_defaults(self):
+        config = PlanConfig()
+        assert config.kleene_mode is KleeneMode.MAXIMAL
+        assert config.window_pushdown and config.partition_pushdown

@@ -1,0 +1,216 @@
+"""Tests for the sequence scan/construction operator."""
+
+from __future__ import annotations
+
+from repro.core.plan import PlanConfig
+from repro.core.sequence import SequenceScanConstruct
+from repro.events.event import Event
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+from tests.helpers import make_events
+
+
+def scan_for(text: str, registry, **kwargs) -> SequenceScanConstruct:
+    analyzed = analyze(parse_query(text), registry)
+    return SequenceScanConstruct(analyzed, **kwargs)
+
+
+def feed_all(scan: SequenceScanConstruct, events):
+    matches = []
+    for event in events:
+        matches.extend(scan.feed(event))
+    return matches
+
+
+class TestBasicConstruction:
+    def test_single_match(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y)", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("B", 2, {"id": 1, "v": 0})]))
+        assert len(matches) == 1
+        assert matches[0].bindings["x"].type == "A"
+        assert matches[0].start == 1 and matches[0].end == 2
+
+    def test_all_matches_semantics(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y)", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("A", 2, {"id": 2, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0}), ("B", 4, {"id": 1, "v": 0})]))
+        # every A pairs with every later B: 2 * 2
+        assert len(matches) == 4
+
+    def test_strict_time_order(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y)", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 5, {"id": 1, "v": 0}), ("B", 5, {"id": 1, "v": 0})]))
+        assert matches == []
+
+    def test_interleaved_events_ignored(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, C z)", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("B", 2, {"id": 9, "v": 0}),
+            ("C", 3, {"id": 1, "v": 0})]))
+        assert len(matches) == 1
+
+    def test_three_component_chains(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y, C z)", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("B", 2, {"id": 1, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0}), ("C", 4, {"id": 1, "v": 0})]))
+        assert len(matches) == 2  # A with either B, then C
+
+    def test_same_type_twice_never_reuses_event(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, A y)", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("A", 2, {"id": 1, "v": 0}),
+            ("A", 3, {"id": 1, "v": 0})]))
+        # pairs with strictly increasing ts: (1,2), (1,3), (2,3)
+        assert len(matches) == 3
+        for match in matches:
+            assert match.bindings["x"].timestamp < \
+                match.bindings["y"].timestamp
+
+    def test_single_component_pattern(self, abc_registry):
+        scan = scan_for("EVENT A x", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("B", 2, {"id": 1, "v": 0}),
+            ("A", 3, {"id": 2, "v": 0})]))
+        assert len(matches) == 2
+
+
+class TestWindowPushdown:
+    def _events(self):
+        return make_events([
+            ("A", 0, {"id": 1, "v": 0}), ("A", 50, {"id": 1, "v": 0}),
+            ("B", 55, {"id": 1, "v": 0})])
+
+    def test_window_limits_matches(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y) WITHIN 10", abc_registry)
+        matches = feed_all(scan, self._events())
+        assert len(matches) == 1
+        assert matches[0].bindings["x"].timestamp == 50
+
+    def test_window_boundary_inclusive(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y) WITHIN 5", abc_registry)
+        matches = feed_all(scan, self._events())
+        assert len(matches) == 1  # 55 - 50 == 5 <= 5
+
+    def test_stacks_pruned(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y) WITHIN 10", abc_registry,
+                        prune_interval=1)
+        feed_all(scan, self._events())
+        assert scan.instance_count <= 2
+
+    def test_no_pushdown_keeps_everything(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y) WITHIN 10", abc_registry,
+                        window_pushdown=False)
+        matches = feed_all(scan, self._events())
+        # without pushdown the scan emits the out-of-window match too;
+        # the WindowFilter operator removes it downstream
+        assert len(matches) == 2
+        assert scan.instance_count == 3
+
+
+class TestPartitioning:
+    QUERY = "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 100"
+
+    def _events(self):
+        return make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("A", 2, {"id": 2, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0}), ("B", 4, {"id": 3, "v": 0})])
+
+    def test_partitioned_scan_only_joins_within_partition(self,
+                                                          abc_registry):
+        scan = scan_for(self.QUERY, abc_registry)
+        assert scan.partitioned
+        matches = feed_all(scan, self._events())
+        assert len(matches) == 1
+        assert matches[0].bindings["x"]["id"] == 1
+
+    def test_unpartitioned_scan_produces_cross_product(self, abc_registry):
+        scan = scan_for(self.QUERY, abc_registry,
+                        partition_pushdown=False)
+        assert not scan.partitioned
+        matches = feed_all(scan, self._events())
+        assert len(matches) == 4  # selection would filter later
+
+    def test_partition_count_tracked(self, abc_registry):
+        scan = scan_for(self.QUERY, abc_registry)
+        feed_all(scan, self._events())
+        assert scan.partition_count == 2  # ids 1 and 2 started chains
+
+    def test_empty_partitions_removed_by_prune(self, abc_registry):
+        scan = scan_for(self.QUERY, abc_registry, prune_interval=1)
+        events = make_events([
+            ("A", 0, {"id": 1, "v": 0}),
+            ("A", 1000, {"id": 2, "v": 0}),
+            ("A", 2000, {"id": 3, "v": 0})])
+        feed_all(scan, events)
+        assert scan.partition_count == 1
+
+    def test_reset(self, abc_registry):
+        scan = scan_for(self.QUERY, abc_registry)
+        feed_all(scan, self._events())
+        scan.reset()
+        assert scan.instance_count == 0 and scan.partition_count == 0
+
+
+class TestFilterPushdown:
+    def test_filters_applied_at_push(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y) WHERE x.v > 5", abc_registry)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 3}), ("A", 2, {"id": 1, "v": 7}),
+            ("B", 3, {"id": 1, "v": 0})]))
+        assert len(matches) == 1
+        assert matches[0].bindings["x"]["v"] == 7
+
+    def test_filters_disabled(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A x, B y) WHERE x.v > 5", abc_registry,
+                        filter_pushdown=False)
+        matches = feed_all(scan, make_events([
+            ("A", 1, {"id": 1, "v": 3}), ("B", 2, {"id": 1, "v": 0})]))
+        assert len(matches) == 1  # selection happens downstream
+
+
+class TestKleeneScan:
+    def test_trailing_kleene_grows(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A a, B+ b)", abc_registry)
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("B", 2, {"id": 1, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0})])
+        matches = feed_all(scan, events)
+        bindings = sorted(tuple(event.timestamp
+                                for event in match.bindings["b"])
+                          for match in matches)
+        assert bindings == [(2.0,), (2.0, 3.0), (3.0,)]
+
+    def test_middle_kleene_maximal(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A a, B+ b, C c)", abc_registry)
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("B", 2, {"id": 1, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0}), ("C", 4, {"id": 1, "v": 0})])
+        matches = feed_all(scan, events)
+        bindings = sorted(tuple(event.timestamp
+                                for event in match.bindings["b"])
+                          for match in matches)
+        # maximal mode: one binding per anchor, absorbing all later Bs
+        assert bindings == [(2.0, 3.0), (3.0,)]
+
+    def test_middle_kleene_subsets(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A a, B+ b, C c)", abc_registry,
+                        kleene_maximal=False)
+        events = make_events([
+            ("A", 1, {"id": 1, "v": 0}), ("B", 2, {"id": 1, "v": 0}),
+            ("B", 3, {"id": 1, "v": 0}), ("C", 4, {"id": 1, "v": 0})])
+        matches = feed_all(scan, events)
+        bindings = sorted(tuple(event.timestamp
+                                for event in match.bindings["b"])
+                          for match in matches)
+        assert bindings == [(2.0,), (2.0, 3.0), (3.0,)]
+
+    def test_kleene_window_bound(self, abc_registry):
+        scan = scan_for("EVENT SEQ(A a, B+ b) WITHIN 10", abc_registry)
+        events = make_events([
+            ("A", 0, {"id": 1, "v": 0}), ("B", 100, {"id": 1, "v": 0})])
+        assert feed_all(scan, events) == []

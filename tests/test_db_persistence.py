@@ -1,0 +1,100 @@
+"""Tests for database snapshot persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.db import Database, EventDatabase
+from repro.errors import DatabaseError
+from repro.events.event import Event
+
+
+class TestDatabaseSnapshot:
+    def _populated(self) -> Database:
+        database = Database()
+        database.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT, "
+                         "c FLOAT, d BOOL)")
+        database.execute("CREATE INDEX ON t (b)")
+        database.execute("INSERT INTO t VALUES (1, 'x', 1.5, TRUE), "
+                         "(2, NULL, NULL, FALSE)")
+        return database
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        original = self._populated()
+        original.dump(path)
+        restored = Database.load(path)
+        assert restored.query("SELECT * FROM t ORDER BY a") == \
+            original.query("SELECT * FROM t ORDER BY a")
+
+    def test_indexes_restored(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        self._populated().dump(path)
+        restored = Database.load(path)
+        table = restored.table("t")
+        assert table.index_for("a") is not None  # primary key
+        assert table.index_for("b") is not None  # explicit index
+
+    def test_schema_enforced_after_load(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        self._populated().dump(path)
+        restored = Database.load(path)
+        with pytest.raises(Exception):
+            restored.execute("INSERT INTO t VALUES (1, 'dup', 0.0, TRUE)")
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "tables": {}}))
+        with pytest.raises(DatabaseError, match="snapshot"):
+            Database.load(str(path))
+
+
+class TestEventDatabaseSnapshot:
+    def test_roundtrip_preserves_state(self, tmp_path):
+        path = str(tmp_path / "eventdb.json")
+        original = EventDatabase()
+        original.register_area(1, "shelf", "shelf A")
+        original.register_product(100, "soap", price=1.99)
+        original.update_location(100, 1, 5.0)
+        original.update_containment(100, 900, 2.0)
+        original.archive_event(Event("SHELF_READING", 5.0,
+                                     {"TagId": 100, "AreaId": 1}))
+        original.save(path)
+
+        restored = EventDatabase.load(path)
+        location = restored.current_location(100)
+        assert location is not None and location["area_id"] == 1
+        assert restored.current_containment(100) == 900
+        assert restored.product_info(100)["product_name"] == "soap"
+
+    def test_archive_sequence_continues(self, tmp_path):
+        path = str(tmp_path / "eventdb.json")
+        original = EventDatabase()
+        first = original.archive_event(Event("E", 1.0, {"TagId": 1,
+                                                        "AreaId": 1}))
+        original.save(path)
+        restored = EventDatabase.load(path)
+        second = restored.archive_event(Event("E", 2.0, {"TagId": 1,
+                                                         "AreaId": 1}))
+        assert second == first + 1
+
+    def test_updates_work_after_load(self, tmp_path):
+        path = str(tmp_path / "eventdb.json")
+        original = EventDatabase()
+        original.register_area(1, "shelf", "A")
+        original.register_area(2, "shelf", "B")
+        original.update_location(7, 1, 1.0)
+        original.save(path)
+        restored = EventDatabase.load(path)
+        restored.update_location(7, 2, 9.0)
+        assert len(restored.movement_history(7)) == 2
+
+    def test_rejects_non_eventdb_snapshot(self, tmp_path):
+        path = str(tmp_path / "plain.json")
+        plain = Database()
+        plain.execute("CREATE TABLE t (a INT)")
+        plain.dump(path)
+        with pytest.raises(DatabaseError, match="missing"):
+            EventDatabase.load(path)

@@ -1,0 +1,206 @@
+"""Tests for the SQL subset: parser and executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.db.sql_parser import SelectStmt, parse_sql
+from repro.errors import SqlError, TableError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, name TEXT, "
+        "price FLOAT, qty INT)")
+    database.execute(
+        "INSERT INTO items (id, name, price, qty) VALUES "
+        "(1, 'apple', 0.5, 10), (2, 'banana', 0.25, 20), "
+        "(3, 'cherry', 3.0, 5), (4, 'apple', 0.6, NULL)")
+    return database
+
+
+class TestParser:
+    def test_select_structure(self):
+        statement = parse_sql(
+            "SELECT a.x, y AS why FROM t a, u WHERE a.x = u.x "
+            "GROUP BY y ORDER BY x DESC LIMIT 5")
+        assert isinstance(statement, SelectStmt)
+        assert statement.tables == (("t", "a"), ("u", "u"))
+        assert statement.items[1].alias == "why"
+        assert statement.order_by[0][1] is True
+        assert statement.limit == 5
+
+    def test_keywords_case_insensitive(self):
+        parse_sql("select * from t where x = 1")
+
+    def test_string_escape(self):
+        statement = parse_sql("SELECT * FROM t WHERE name = 'it''s'")
+        assert isinstance(statement, SelectStmt)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            parse_sql("SELECT * FROM t WHERE name = 'oops")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError, match="trailing"):
+            parse_sql("SELECT * FROM t garbage ( extra")
+
+    def test_semicolon_allowed(self):
+        parse_sql("SELECT * FROM t;")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlError, match="integer"):
+            parse_sql("SELECT * FROM t LIMIT 1.5")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlError):
+            parse_sql("GRANT ALL ON t")
+
+
+class TestSelect:
+    def test_where_filtering(self, db):
+        rows = db.query("SELECT name FROM items WHERE price < 1.0")
+        assert {row["name"] for row in rows} == {"apple", "banana"}
+
+    def test_order_by_and_limit(self, db):
+        rows = db.query("SELECT id FROM items ORDER BY price DESC LIMIT 2")
+        assert [row["id"] for row in rows] == [3, 4]
+
+    def test_multi_key_order(self, db):
+        rows = db.query("SELECT id FROM items ORDER BY name ASC, "
+                        "price DESC")
+        assert [row["id"] for row in rows] == [4, 1, 2, 3]
+
+    def test_null_comparisons_false(self, db):
+        rows = db.query("SELECT id FROM items WHERE qty > 0")
+        assert {row["id"] for row in rows} == {1, 2, 3}
+
+    def test_is_null(self, db):
+        assert db.query("SELECT id FROM items WHERE qty IS NULL") == \
+            [{"id": 4}]
+        assert len(db.query(
+            "SELECT id FROM items WHERE qty IS NOT NULL")) == 3
+
+    def test_select_star(self, db):
+        rows = db.execute("SELECT * FROM items WHERE id = 1")
+        assert rows.columns == ["id", "name", "price", "qty"]
+        assert rows.first() == (1, "apple", 0.5, 10)
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT name FROM items")
+        assert len(rows) == 3
+
+    def test_expressions_in_items(self, db):
+        rows = db.query("SELECT id, price * qty AS total FROM items "
+                        "WHERE id = 1")
+        assert rows[0]["total"] == 5.0
+
+    def test_aggregates_whole_table(self, db):
+        result = db.query("SELECT COUNT(*) AS n, SUM(qty) AS total, "
+                          "MIN(price) AS low, MAX(price) AS high, "
+                          "AVG(qty) AS mean FROM items")[0]
+        assert result["n"] == 4
+        assert result["total"] == 35       # NULL qty skipped
+        assert result["low"] == 0.25 and result["high"] == 3.0
+        assert result["mean"] == pytest.approx(35 / 3)
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute(
+            "SELECT COUNT(qty) FROM items").scalar() == 3
+
+    def test_group_by(self, db):
+        rows = db.query("SELECT name, COUNT(*) AS n FROM items "
+                        "GROUP BY name ORDER BY n DESC, name ASC")
+        assert rows[0] == {"name": "apple", "n": 2}
+        assert len(rows) == 3
+
+    def test_aggregate_on_empty_group(self, db):
+        result = db.query("SELECT SUM(qty) AS s, COUNT(*) AS n "
+                          "FROM items WHERE id = 999")[0]
+        assert result["s"] is None and result["n"] == 0
+
+    def test_join_two_tables(self, db):
+        db.execute("CREATE TABLE stock (item_id INT, shelf TEXT)")
+        db.execute("INSERT INTO stock VALUES (1, 'A'), (3, 'B'), (9, 'C')")
+        rows = db.query(
+            "SELECT i.name, s.shelf FROM items i, stock s "
+            "WHERE i.id = s.item_id ORDER BY i.name")
+        assert rows == [{"name": "apple", "shelf": "A"},
+                        {"name": "cherry", "shelf": "B"}]
+
+    def test_join_uses_index(self, db):
+        # items.id is the primary key (indexed); the join goes through the
+        # executor's fast path, same answers
+        db.execute("CREATE TABLE refs (item_id INT)")
+        db.execute("INSERT INTO refs VALUES (2), (2), (3)")
+        rows = db.query("SELECT i.name FROM refs r, items i "
+                        "WHERE r.item_id = i.id ORDER BY i.name")
+        assert [row["name"] for row in rows] == \
+            ["banana", "banana", "cherry"]
+
+    def test_ambiguous_column_rejected(self, db):
+        db.execute("CREATE TABLE other (id INT)")
+        db.execute("INSERT INTO other VALUES (1)")
+        with pytest.raises(SqlError, match="ambiguous"):
+            db.query("SELECT id FROM items, other")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlError, match="unknown column"):
+            db.query("SELECT zzz FROM items")
+
+    def test_order_by_aggregate_output(self, db):
+        rows = db.query("SELECT name, SUM(qty) AS total FROM items "
+                        "GROUP BY name ORDER BY total DESC")
+        assert rows[0]["name"] == "banana"
+
+
+class TestDml:
+    def test_update(self, db):
+        affected = db.execute(
+            "UPDATE items SET qty = qty + 1 WHERE name = 'apple'").affected
+        assert affected == 2
+        # NULL + 1 stays NULL
+        assert db.execute("SELECT qty FROM items WHERE id = 4").scalar() \
+            is None
+        assert db.execute("SELECT qty FROM items WHERE id = 1").scalar() \
+            == 11
+
+    def test_delete(self, db):
+        assert db.execute("DELETE FROM items WHERE price > 1").affected == 1
+        assert len(db.execute("SELECT * FROM items")) == 3
+
+    def test_insert_without_columns(self, db):
+        db.execute("INSERT INTO items VALUES (9, 'fig', 1.0, 1)")
+        assert db.execute(
+            "SELECT name FROM items WHERE id = 9").scalar() == "fig"
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(SqlError, match="columns but"):
+            db.execute("INSERT INTO items (id, name) VALUES (9)")
+
+    def test_create_duplicate_table(self, db):
+        with pytest.raises(TableError, match="already exists"):
+            db.execute("CREATE TABLE items (x INT)")
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE items")
+        assert not db.has_table("items")
+        with pytest.raises(TableError):
+            db.execute("DROP TABLE items")
+
+    def test_create_index_statement(self, db):
+        db.execute("CREATE INDEX ON items (name)")
+        assert db.table("items").index_for("name") is not None
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(SqlError, match="division by zero"):
+            db.query("SELECT 1 / 0 FROM items")
+
+    def test_scalar_helper(self, db):
+        assert db.execute(
+            "SELECT COUNT(*) FROM items").scalar() == 4
+        with pytest.raises(SqlError, match="1x1"):
+            db.execute("SELECT id FROM items").scalar()

@@ -1,0 +1,113 @@
+"""Tests for the extended SQL predicates: BETWEEN, IN, LIKE."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE p (id INT PRIMARY KEY, name TEXT, price FLOAT)")
+    database.execute(
+        "INSERT INTO p VALUES (1, 'soap bar', 1.5), "
+        "(2, 'soap dish', 4.0), (3, 'shampoo', 6.5), "
+        "(4, 'towel', 9.0), (5, NULL, NULL)")
+    return database
+
+
+class TestBetween:
+    def test_inclusive_bounds(self, db):
+        rows = db.query("SELECT id FROM p WHERE price BETWEEN 1.5 AND 6.5")
+        assert [row["id"] for row in rows] == [1, 2, 3]
+
+    def test_not_between(self, db):
+        rows = db.query(
+            "SELECT id FROM p WHERE price NOT BETWEEN 1.5 AND 6.5")
+        assert [row["id"] for row in rows] == [4]
+
+    def test_null_never_between(self, db):
+        rows = db.query(
+            "SELECT id FROM p WHERE price BETWEEN -100 AND 100")
+        assert 5 not in [row["id"] for row in rows]
+
+    def test_between_with_expressions(self, db):
+        rows = db.query(
+            "SELECT id FROM p WHERE price BETWEEN 2 + 2 AND 3 * 3")
+        assert [row["id"] for row in rows] == [2, 3, 4]
+
+
+class TestIn:
+    def test_in_list(self, db):
+        rows = db.query("SELECT name FROM p WHERE id IN (1, 3, 99)")
+        assert [row["name"] for row in rows] == ["soap bar", "shampoo"]
+
+    def test_not_in(self, db):
+        rows = db.query("SELECT id FROM p WHERE id NOT IN (1, 2, 3)")
+        assert [row["id"] for row in rows] == [4, 5]
+
+    def test_in_strings(self, db):
+        rows = db.query(
+            "SELECT id FROM p WHERE name IN ('towel', 'shampoo')")
+        assert [row["id"] for row in rows] == [3, 4]
+
+    def test_null_operand_never_in(self, db):
+        rows = db.query("SELECT id FROM p WHERE name IN ('x')")
+        assert rows == []
+
+
+class TestLike:
+    def test_prefix_pattern(self, db):
+        rows = db.query("SELECT id FROM p WHERE name LIKE 'soap%'")
+        assert [row["id"] for row in rows] == [1, 2]
+
+    def test_underscore_single_character(self, db):
+        rows = db.query("SELECT id FROM p WHERE name LIKE 'soap _ish'")
+        assert [row["id"] for row in rows] == [2]
+
+    def test_contains_pattern(self, db):
+        rows = db.query("SELECT id FROM p WHERE name LIKE '%am%'")
+        assert [row["id"] for row in rows] == [3]
+
+    def test_not_like(self, db):
+        rows = db.query("SELECT id FROM p WHERE name NOT LIKE 'soap%'")
+        assert [row["id"] for row in rows] == [3, 4]
+
+    def test_regex_metacharacters_are_literal(self, db):
+        db.execute("INSERT INTO p VALUES (6, 'a.c', 0.0)")
+        rows = db.query("SELECT id FROM p WHERE name LIKE 'a.c'")
+        assert [row["id"] for row in rows] == [6]
+        assert db.query("SELECT id FROM p WHERE name LIKE 'abc'") == []
+
+    def test_like_on_null_is_false(self, db):
+        rows = db.query("SELECT id FROM p WHERE name LIKE '%'")
+        assert 5 not in [row["id"] for row in rows]
+
+    def test_like_requires_string_pattern(self, db):
+        with pytest.raises(SqlError, match="string pattern"):
+            db.query("SELECT id FROM p WHERE name LIKE 5")
+
+    def test_like_on_number_rejected(self, db):
+        with pytest.raises(SqlError, match="applies to text"):
+            db.query("SELECT id FROM p WHERE price LIKE '1%'")
+
+
+class TestCombinations:
+    def test_mixed_with_and_or(self, db):
+        rows = db.query(
+            "SELECT id FROM p WHERE name LIKE 'soap%' AND "
+            "price BETWEEN 2 AND 5 OR id IN (4)")
+        assert [row["id"] for row in rows] == [2, 4]
+
+    def test_dangling_not_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT id FROM p WHERE id NOT 5")
+
+    def test_in_update_where(self, db):
+        affected = db.execute(
+            "UPDATE p SET price = 0 WHERE name LIKE 'soap%'").affected
+        assert affected == 2

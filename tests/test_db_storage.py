@@ -1,0 +1,153 @@
+"""Tests for the storage layer: types, tables, indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.storage import Column, HashIndex, SqlType, Table
+from repro.errors import TableError
+
+
+class TestSqlType:
+    def test_parse_aliases(self):
+        assert SqlType.parse("INTEGER") is SqlType.INT
+        assert SqlType.parse("varchar") is SqlType.TEXT
+        assert SqlType.parse("DOUBLE") is SqlType.FLOAT
+        assert SqlType.parse("boolean") is SqlType.BOOL
+
+    def test_parse_unknown(self):
+        with pytest.raises(TableError):
+            SqlType.parse("BLOB")
+
+    def test_coerce_null_passes(self):
+        assert SqlType.INT.coerce(None) is None
+
+    def test_coerce_int(self):
+        assert SqlType.INT.coerce(3.0) == 3
+        with pytest.raises(TableError):
+            SqlType.INT.coerce(3.5)
+        with pytest.raises(TableError):
+            SqlType.INT.coerce(True)
+
+    def test_coerce_float_widen(self):
+        assert SqlType.FLOAT.coerce(2) == 2.0
+
+    def test_coerce_text_strict(self):
+        with pytest.raises(TableError):
+            SqlType.TEXT.coerce(5)
+
+    def test_coerce_bool(self):
+        assert SqlType.BOOL.coerce(True) is True
+        with pytest.raises(TableError):
+            SqlType.BOOL.coerce(1)
+
+
+def make_table() -> Table:
+    return Table("t", [Column("a", SqlType.INT, primary_key=True),
+                       Column("b", SqlType.TEXT),
+                       Column("c", SqlType.FLOAT)])
+
+
+class TestTable:
+    def test_insert_list_and_dict(self):
+        table = make_table()
+        table.insert([1, "x", 1.5])
+        table.insert({"a": 2, "b": "y", "c": 2.5})
+        assert len(table) == 2
+
+    def test_insert_wrong_arity(self):
+        with pytest.raises(TableError, match="expects 3 values"):
+            make_table().insert([1, "x"])
+
+    def test_missing_columns_default_null(self):
+        table = make_table()
+        rowid = table.insert({"a": 1})
+        assert table.row(rowid) == [1, None, None]
+
+    def test_type_enforced(self):
+        with pytest.raises(TableError):
+            make_table().insert({"a": 1, "b": 5})
+
+    def test_primary_key_uniqueness(self):
+        table = make_table()
+        table.insert({"a": 1})
+        with pytest.raises(TableError, match="duplicate PRIMARY KEY"):
+            table.insert({"a": 1})
+
+    def test_primary_key_not_null(self):
+        with pytest.raises(TableError, match="NULL"):
+            make_table().insert({"b": "x"})
+
+    def test_update_and_index_maintenance(self):
+        table = make_table()
+        table.create_index("b")
+        rowid = table.insert({"a": 1, "b": "x"})
+        table.update(rowid, {"b": "y"})
+        assert table.lookup("b", "x") == []
+        assert table.lookup("b", "y")[0][0] == rowid
+
+    def test_update_primary_key_conflict(self):
+        table = make_table()
+        table.insert({"a": 1})
+        rowid = table.insert({"a": 2})
+        with pytest.raises(TableError, match="duplicate PRIMARY KEY"):
+            table.update(rowid, {"a": 1})
+
+    def test_update_primary_key_to_same_value_ok(self):
+        table = make_table()
+        rowid = table.insert({"a": 1})
+        table.update(rowid, {"a": 1})
+
+    def test_delete_removes_from_indexes(self):
+        table = make_table()
+        rowid = table.insert({"a": 1, "b": "x"})
+        table.delete(rowid)
+        assert len(table) == 0
+        assert table.lookup("a", 1) == []
+        with pytest.raises(TableError):
+            table.row(rowid)
+
+    def test_lookup_without_index_scans(self):
+        table = make_table()
+        table.insert({"a": 1, "b": "x"})
+        table.insert({"a": 2, "b": "x"})
+        assert len(table.lookup("b", "x")) == 2
+
+    def test_create_index_backfills(self):
+        table = make_table()
+        table.insert({"a": 1, "b": "x"})
+        table.create_index("b")
+        index = table.index_for("b")
+        assert index is not None and len(index) == 1
+
+    def test_column_names_case_insensitive(self):
+        table = make_table()
+        assert table.column_position("A") == 0
+        assert table.has_column("B")
+
+    def test_unknown_column(self):
+        with pytest.raises(TableError, match="no column"):
+            make_table().column_position("zzz")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(TableError, match="duplicate column"):
+            Table("t", [Column("a", SqlType.INT),
+                        Column("A", SqlType.INT)])
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(TableError, match="at most one"):
+            Table("t", [Column("a", SqlType.INT, primary_key=True),
+                        Column("b", SqlType.INT, primary_key=True)])
+
+
+class TestHashIndex:
+    def test_add_remove(self):
+        index = HashIndex("c")
+        index.add(5, 1)
+        index.add(5, 2)
+        assert index.lookup(5) == {1, 2}
+        index.remove(5, 1)
+        assert index.lookup(5) == {2}
+        index.remove(5, 2)
+        assert index.lookup(5) == set()
+        assert len(index) == 0

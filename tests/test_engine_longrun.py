@@ -1,0 +1,100 @@
+"""Long-run properties: determinism and bounded state under windows."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.events.event import Event
+
+from tests.helpers import result_keys
+
+QUERY = ("EVENT SEQ(A x, !(B n), C z) WHERE x.id = z.id AND "
+         "n.id = x.id WITHIN 25 RETURN x.id")
+
+
+def long_stream(n: int, seed: int = 3) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    ts = 0.0
+    for index in range(n):
+        ts += rng.random() * 2
+        events.append(Event(
+            rng.choice(["A", "B", "C"]), round(ts, 3),
+            {"id": rng.randrange(20), "v": rng.randrange(10)},
+        ).with_seq(index))
+    return events
+
+
+class TestDeterminism:
+    def test_two_runs_identical(self, abc_registry):
+        events = long_stream(2000)
+        engine = Engine(abc_registry)
+        first = result_keys(engine.run(QUERY, events))
+        second = result_keys(engine.run(QUERY, events))
+        assert first == second and first  # non-empty and stable
+
+    def test_output_order_is_deterministic(self, abc_registry):
+        events = long_stream(1000)
+        engine = Engine(abc_registry)
+        first = [composite.attributes
+                 for composite in engine.run(QUERY, events)]
+        second = [composite.attributes
+                  for composite in engine.run(QUERY, events)]
+        assert first == second
+
+
+class TestBoundedState:
+    def test_stacks_bounded_by_window(self, abc_registry):
+        """With window pushdown, live instances track the window's
+        population, not the stream length."""
+        engine = Engine(abc_registry)
+        runtime = engine.runtime(QUERY,
+                                 config=PlanConfig(prune_interval=64))
+        events = long_stream(6000)
+        for event in events:
+            runtime.feed(event)
+        # mean gap ~1s, window 25s: ~25 live events; generous ceiling
+        assert runtime.stack_instances < 400
+        assert runtime.pending_negations == 0  # middle negation only
+
+    def test_unbounded_without_pushdown(self, abc_registry):
+        engine = Engine(abc_registry)
+        runtime = engine.runtime(
+            QUERY, config=PlanConfig().without("window_pushdown"))
+        events = long_stream(3000)
+        for event in events:
+            runtime.feed(event)
+        # no pruning: roughly every A and C event is still resident
+        assert runtime.stack_instances > 1000
+
+    def test_trailing_negation_pending_bounded(self, abc_registry):
+        query = ("EVENT SEQ(A x, !(B n)) WHERE x.id = n.id WITHIN 25 "
+                 "RETURN x.id")
+        engine = Engine(abc_registry)
+        runtime = engine.runtime(query)
+        peak_pending = 0
+        for event in long_stream(4000):
+            runtime.feed(event)
+            peak_pending = max(peak_pending, runtime.pending_negations)
+        # pending matches live at most one window; ~25 events per window
+        # of which ~a third are As
+        assert peak_pending < 200
+        runtime.flush()
+        assert runtime.pending_negations == 0
+
+
+class TestRunAllHarness:
+    def test_run_all_subset(self, capsys):
+        import importlib
+        import sys
+        from pathlib import Path
+        sys.path.insert(0, str(Path("benchmarks").resolve()))
+        try:
+            module = importlib.import_module("run_all_experiments")
+            assert module.main(["--only", "E7"]) == 0
+        finally:
+            sys.path.pop(0)
+        captured = capsys.readouterr().out
+        assert "E7" in captured and "negation position" in captured

@@ -1,0 +1,99 @@
+"""Tests for Event and CompositeEvent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.events.event import CompositeEvent, Event
+from repro.events.model import AttributeType, EventSchema
+
+
+class TestEvent:
+    def test_basic_fields(self):
+        event = Event("A", 3.5, {"x": 1})
+        assert event.type == "A"
+        assert event.timestamp == 3.5
+        assert event["x"] == 1
+        assert event.seq == -1
+
+    def test_immutable(self):
+        event = Event("A", 1.0)
+        with pytest.raises(AttributeError):
+            event.timestamp = 2.0
+
+    def test_with_seq_copies(self):
+        event = Event("A", 1.0, {"x": 1})
+        sequenced = event.with_seq(5)
+        assert sequenced.seq == 5 and event.seq == -1
+        assert sequenced.attributes == event.attributes
+
+    def test_getitem_missing_raises(self):
+        event = Event("A", 1.0, {"x": 1})
+        with pytest.raises(SchemaError, match="no attribute 'y'"):
+            event["y"]
+
+    def test_get_with_default(self):
+        event = Event("A", 1.0, {"x": 1})
+        assert event.get("y", 7) == 7
+
+    def test_contains(self):
+        event = Event("A", 1.0, {"x": 1})
+        assert "x" in event and "y" not in event
+
+    def test_matches_schema(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        assert Event("A", 1.0, {"x": 1}).matches_schema(schema)
+        assert not Event("B", 1.0, {"x": 1}).matches_schema(schema)
+        assert not Event("A", 1.0, {"x": "bad"}).matches_schema(schema)
+        assert not Event("A", 1.0, {}).matches_schema(schema)
+
+    def test_attributes_are_copied(self):
+        payload = {"x": 1}
+        event = Event("A", 1.0, payload)
+        payload["x"] = 99
+        assert event["x"] == 1
+
+    def test_equality(self):
+        assert Event("A", 1.0, {"x": 1}) == Event("A", 1.0, {"x": 1})
+        assert Event("A", 1.0, {"x": 1}) != Event("A", 1.0, {"x": 2})
+        assert Event("A", 1.0).with_seq(1) != Event("A", 1.0).with_seq(2)
+
+    def test_hashable(self):
+        assert len({Event("A", 1.0, {"x": 1}),
+                    Event("A", 1.0, {"x": 1})}) == 1
+
+
+class TestCompositeEvent:
+    def _make(self) -> CompositeEvent:
+        first = Event("A", 1.0, {"x": 1})
+        last = Event("B", 4.0, {"y": 2})
+        return CompositeEvent("Alert", {"value": 3},
+                              {"a": first, "b": last}, 1.0, 4.0,
+                              stream="alerts")
+
+    def test_timestamp_is_end(self):
+        assert self._make().timestamp == 4.0
+
+    def test_attribute_access(self):
+        composite = self._make()
+        assert composite["value"] == 3
+        assert composite.get("missing") is None
+        assert "value" in composite
+        with pytest.raises(SchemaError):
+            composite["missing"]
+
+    def test_bindings_preserved(self):
+        composite = self._make()
+        assert composite.bindings["a"].type == "A"
+
+    def test_to_event_projects_scalars(self):
+        composite = CompositeEvent(
+            "Alert", {"n": 1, "obj": object()}, {}, 1.0, 4.0)
+        event = composite.to_event()
+        assert event.type == "Alert"
+        assert event.timestamp == 4.0
+        assert event.attributes == {"n": 1}
+
+    def test_equality(self):
+        assert self._make() == self._make()

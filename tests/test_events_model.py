@@ -1,0 +1,181 @@
+"""Tests for attribute types, schemas, and the schema registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.events.model import (
+    AttributeSpec,
+    AttributeType,
+    EventSchema,
+    SchemaRegistry,
+)
+
+
+class TestAttributeType:
+    def test_int_validates_ints(self):
+        assert AttributeType.INT.validate(3)
+        assert not AttributeType.INT.validate(3.5)
+        assert not AttributeType.INT.validate("3")
+
+    def test_bool_is_not_int(self):
+        assert not AttributeType.INT.validate(True)
+        assert not AttributeType.FLOAT.validate(False)
+
+    def test_float_accepts_int(self):
+        assert AttributeType.FLOAT.validate(3)
+        assert AttributeType.FLOAT.validate(3.5)
+
+    def test_string_validates(self):
+        assert AttributeType.STRING.validate("hello")
+        assert not AttributeType.STRING.validate(5)
+
+    def test_bool_validates(self):
+        assert AttributeType.BOOL.validate(True)
+        assert not AttributeType.BOOL.validate(1)
+
+    def test_coerce_int_from_string(self):
+        assert AttributeType.INT.coerce("42") == 42
+
+    def test_coerce_int_from_whole_float(self):
+        assert AttributeType.INT.coerce(42.0) == 42
+
+    def test_coerce_int_rejects_fractional(self):
+        with pytest.raises(SchemaError):
+            AttributeType.INT.coerce(42.5)
+
+    def test_coerce_float_widens_int(self):
+        value = AttributeType.FLOAT.coerce(7)
+        assert value == 7.0 and isinstance(value, float)
+
+    def test_coerce_bool_from_words(self):
+        assert AttributeType.BOOL.coerce("true") is True
+        assert AttributeType.BOOL.coerce("NO") is False
+
+    def test_coerce_bool_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            AttributeType.BOOL.coerce("maybe")
+
+    def test_coerce_string_from_number(self):
+        assert AttributeType.STRING.coerce(5) == "5"
+
+    @given(st.integers())
+    def test_int_coerce_roundtrip(self, value):
+        assert AttributeType.INT.coerce(value) == value
+
+
+class TestAttributeSpec:
+    def test_rejects_bad_name(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("1bad", AttributeType.INT)
+
+    def test_rejects_bad_default(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", AttributeType.INT, default="zero")
+
+    def test_accepts_good_default(self):
+        spec = AttributeSpec("x", AttributeType.INT, default=0)
+        assert spec.default == 0
+
+
+class TestEventSchema:
+    def test_tuple_shorthand(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        assert "x" in schema
+        assert schema.attribute("x").type is AttributeType.INT
+
+    def test_rejects_duplicate_attribute(self):
+        with pytest.raises(SchemaError):
+            EventSchema("A", [("x", AttributeType.INT),
+                              ("x", AttributeType.STRING)])
+
+    def test_rejects_reserved_names(self):
+        for reserved in ("timestamp", "ts", "seq", "Timestamp"):
+            with pytest.raises(SchemaError):
+                EventSchema("A", [(reserved, AttributeType.INT)])
+
+    def test_unknown_attribute_raises_with_suggestions(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        with pytest.raises(SchemaError, match="known attributes: x"):
+            schema.attribute("y")
+
+    def test_validate_payload_happy(self):
+        schema = EventSchema("A", [("x", AttributeType.INT),
+                                   ("y", AttributeType.STRING)])
+        assert schema.validate_payload({"x": 1, "y": "a"}) == \
+            {"x": 1, "y": "a"}
+
+    def test_validate_payload_missing_required(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        with pytest.raises(SchemaError, match="missing required"):
+            schema.validate_payload({})
+
+    def test_validate_payload_uses_default(self):
+        schema = EventSchema("A", [AttributeSpec("x", AttributeType.INT,
+                                                 default=9)])
+        assert schema.validate_payload({}) == {"x": 9}
+
+    def test_validate_payload_rejects_unknown(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.validate_payload({"x": 1, "zzz": 2})
+
+    def test_validate_payload_type_mismatch(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        with pytest.raises(SchemaError, match="expects int"):
+            schema.validate_payload({"x": "one"})
+
+    def test_validate_payload_coerces_when_asked(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        assert schema.validate_payload({"x": "5"}, coerce=True) == {"x": 5}
+
+    def test_validate_payload_widens_float(self):
+        schema = EventSchema("A", [("x", AttributeType.FLOAT)])
+        result = schema.validate_payload({"x": 2})
+        assert isinstance(result["x"], float)
+
+    def test_equality_and_hash(self):
+        a1 = EventSchema("A", [("x", AttributeType.INT)])
+        a2 = EventSchema("A", [("x", AttributeType.INT)])
+        b = EventSchema("A", [("x", AttributeType.STRING)])
+        assert a1 == a2 and hash(a1) == hash(a2)
+        assert a1 != b
+
+    def test_iteration_order_preserved(self):
+        schema = EventSchema("A", [("b", AttributeType.INT),
+                                   ("a", AttributeType.INT)])
+        assert schema.attribute_names == ("b", "a")
+
+
+class TestSchemaRegistry:
+    def test_declare_and_get(self):
+        registry = SchemaRegistry()
+        registry.declare("A", x=AttributeType.INT)
+        assert registry.get("A").name == "A"
+        assert "A" in registry and len(registry) == 1
+
+    def test_duplicate_registration_rejected(self):
+        registry = SchemaRegistry()
+        registry.declare("A", x=AttributeType.INT)
+        with pytest.raises(SchemaError, match="already registered"):
+            registry.declare("A", y=AttributeType.INT)
+
+    def test_unknown_type_lists_known(self):
+        registry = SchemaRegistry()
+        registry.declare("A", x=AttributeType.INT)
+        with pytest.raises(SchemaError, match="registered types: A"):
+            registry.get("B")
+
+    def test_constructor_accepts_schemas(self):
+        schema = EventSchema("A", [("x", AttributeType.INT)])
+        registry = SchemaRegistry([schema])
+        assert registry.get("A") is schema
+
+    def test_names_sorted(self):
+        registry = SchemaRegistry()
+        registry.declare("B", x=AttributeType.INT)
+        registry.declare("A", x=AttributeType.INT)
+        assert registry.names() == ("A", "B")

@@ -1,0 +1,86 @@
+"""Tests for EventStream and merge_streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.events.event import Event
+from repro.events.stream import EventStream, merge_streams
+
+
+def _events(*timestamps: float) -> list[Event]:
+    return [Event("A", ts) for ts in timestamps]
+
+
+class TestEventStream:
+    def test_assigns_sequence_numbers(self):
+        collected = EventStream(_events(1, 2, 3)).collect()
+        assert [event.seq for event in collected] == [0, 1, 2]
+
+    def test_preserves_existing_seq(self):
+        stream = EventStream([Event("A", 1.0).with_seq(42)])
+        assert stream.collect()[0].seq == 42
+
+    def test_rejects_out_of_order(self):
+        with pytest.raises(StreamError, match="out of order"):
+            EventStream(_events(2, 1)).collect()
+
+    def test_allows_ties(self):
+        assert len(EventStream(_events(1, 1, 1)).collect()) == 3
+
+    def test_validation_can_be_disabled(self):
+        stream = EventStream(_events(2, 1), validate=False)
+        assert len(stream.collect()) == 2
+
+    def test_rejects_non_event(self):
+        with pytest.raises(StreamError, match="non-Event"):
+            EventStream(["nope"]).collect()  # type: ignore[list-item]
+
+    def test_start_seq(self):
+        collected = EventStream(_events(1), start_seq=10).collect()
+        assert collected[0].seq == 10
+
+    def test_filter_preserves_seq(self):
+        stream = EventStream(
+            [Event("A", 1), Event("B", 2), Event("A", 3)])
+        kept = stream.filter(lambda event: event.type == "A").collect()
+        assert [event.seq for event in kept] == [0, 2]
+
+    def test_of_types(self):
+        stream = EventStream(
+            [Event("A", 1), Event("B", 2), Event("C", 3)])
+        assert [event.type for event in
+                stream.of_types("A", "C").collect()] == ["A", "C"]
+
+
+class TestMergeStreams:
+    def test_merges_in_time_order(self):
+        left = _events(1, 4, 7)
+        right = _events(2, 3, 8)
+        merged = merge_streams(left, right).collect()
+        assert [event.timestamp for event in merged] == \
+            [1, 2, 3, 4, 7, 8]
+
+    def test_ties_broken_by_source_order(self):
+        left = [Event("L", 5)]
+        right = [Event("R", 5)]
+        merged = merge_streams(left, right).collect()
+        assert [event.type for event in merged] == ["L", "R"]
+
+    def test_merge_empty(self):
+        assert merge_streams([], []).collect() == []
+
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), max_size=20),
+           st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), max_size=20))
+    def test_merge_property(self, left_ts, right_ts):
+        left = _events(*sorted(left_ts))
+        right = _events(*sorted(right_ts))
+        merged = merge_streams(left, right).collect()
+        timestamps = [event.timestamp for event in merged]
+        assert timestamps == sorted(left_ts + right_ts)
+        assert len(merged) == len(left_ts) + len(right_ts)

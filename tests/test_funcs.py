@@ -1,0 +1,115 @@
+"""Tests for the function registry and the built-in `_` library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expressions import EvalContext
+from repro.db import EventDatabase
+from repro.errors import FunctionError
+from repro.funcs import FunctionRegistry, default_registry
+from repro.ons import ObjectNameService
+from repro.system.context import SystemContext
+
+
+@pytest.fixture
+def system() -> SystemContext:
+    edb = EventDatabase()
+    edb.register_area(1, "shelf", "shelf A")
+    edb.register_area(4, "exit", "the south door")
+    ons = ObjectNameService()
+    ons.register_product(100, "soap")
+    return SystemContext(event_db=edb, ons=ons)
+
+
+def ctx(system=None) -> EvalContext:
+    return EvalContext({}, default_registry(), system)
+
+
+class TestRegistry:
+    def test_register_and_call(self):
+        registry = FunctionRegistry()
+        registry.register("_twice", lambda value: value * 2)
+        assert registry.call("_twice", EvalContext({}), [21]) == 42
+
+    def test_duplicate_rejected(self):
+        registry = FunctionRegistry()
+        registry.register("_f", lambda: 1)
+        with pytest.raises(FunctionError, match="already registered"):
+            registry.register("_f", lambda: 2)
+
+    def test_unknown_function_lists_known(self):
+        registry = FunctionRegistry()
+        registry.register("_f", lambda: 1)
+        with pytest.raises(FunctionError, match="registered: _f"):
+            registry.call("_zzz", EvalContext({}), [])
+
+    def test_exception_wrapped(self):
+        registry = FunctionRegistry()
+        registry.register("_boom", lambda: 1 / 0)
+        with pytest.raises(FunctionError, match="_boom.*failed"):
+            registry.call("_boom", EvalContext({}), [])
+
+    def test_decorator(self):
+        registry = FunctionRegistry()
+
+        @registry.function("_three")
+        def three() -> int:
+            return 3
+
+        assert "_three" in registry
+        assert registry.call("_three", EvalContext({}), []) == 3
+
+
+class TestBuiltins:
+    def test_retrieve_location(self, system):
+        registry = default_registry()
+        context = EvalContext({}, registry, system)
+        assert registry.call("_retrieveLocation", context, [4]) == \
+            "the south door"
+        assert "unknown area" in registry.call(
+            "_retrieveLocation", context, [99])
+
+    def test_update_and_current_location(self, system):
+        registry = default_registry()
+        context = EvalContext({}, registry, system)
+        assert registry.call("_updateLocation", context, [100, 1, 5.0])
+        assert registry.call("_currentLocation", context, [100]) == 1
+
+    def test_movement_history_formatting(self, system):
+        registry = default_registry()
+        context = EvalContext({}, registry, system)
+        registry.call("_updateLocation", context, [100, 1, 5.0])
+        registry.call("_updateLocation", context, [100, 4, 9.0])
+        text = registry.call("_movementHistory", context, [100])
+        assert "shelf A" in text and "->" in text
+        assert registry.call("_movementHistory", context, [777]) == \
+            "(no recorded movement)"
+
+    def test_containment_roundtrip(self, system):
+        registry = default_registry()
+        context = EvalContext({}, registry, system)
+        assert registry.call("_updateContainment", context,
+                             [100, 900, 1.0])
+        assert registry.call("_closeContainment", context, [100, 2.0])
+        assert system.event_db.current_containment(100) is None
+
+    def test_product_name(self, system):
+        registry = default_registry()
+        context = EvalContext({}, registry, system)
+        assert registry.call("_productName", context, [100]) == "soap"
+        assert "unknown tag" in registry.call("_productName", context,
+                                              [1])
+
+    def test_archive_event(self, system):
+        registry = default_registry()
+        context = EvalContext({}, registry, system)
+        seq = registry.call("_archiveEvent", context,
+                            ["EXIT_READING", 100, 4, 7.0])
+        assert seq == 0
+
+    def test_db_function_without_system_raises(self):
+        registry = default_registry()
+        context = EvalContext({}, registry, None)
+        with pytest.raises(FunctionError, match="event database"):
+            registry.call("_retrieveLocation", context, [4])

@@ -1,0 +1,78 @@
+"""Fuzz tests: the language and SQL front ends never crash unexpectedly.
+
+Whatever bytes arrive, the parsers must either succeed or raise their own
+documented error types — never IndexError, RecursionError (for reasonable
+inputs), or similar.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.sql_parser import parse_sql
+from repro.errors import LanguageError, SqlError
+from repro.lang.parser import parse_query
+
+_token_soup = st.lists(
+    st.sampled_from([
+        "EVENT", "SEQ", "WHERE", "WITHIN", "RETURN", "FROM", "INTO",
+        "AND", "OR", "NOT", "(", ")", ",", ".", "!", "+", "-", "*", "/",
+        "=", "!=", "<", "<=", ">", ">=", "x", "y", "A", "B", "42", "3.5",
+        "'txt'", "hours", "COUNT", "SUM", "_f", "TRUE", "∧",
+    ]),
+    max_size=25).map(" ".join)
+
+_sql_soup = st.lists(
+    st.sampled_from([
+        "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE",
+        "SET", "DELETE", "CREATE", "TABLE", "INDEX", "DROP", "GROUP",
+        "ORDER", "BY", "LIMIT", "AND", "OR", "NOT", "NULL", "IS",
+        "BETWEEN", "IN", "LIKE", "(", ")", ",", ".", "*", "=", "<", ";",
+        "t", "a", "b", "7", "1.5", "'s'", "INT", "TEXT",
+    ]),
+    max_size=25).map(" ".join)
+
+
+class TestQueryParserFuzz:
+    @given(_token_soup)
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_raises_only_language_errors(self, text):
+        try:
+            parse_query(text)
+        except LanguageError:
+            pass
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_raises_only_language_errors(self, text):
+        try:
+            parse_query(text)
+        except LanguageError:
+            pass
+
+    @given(st.binary(max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_decoded_binary_never_crashes(self, blob):
+        try:
+            parse_query(blob.decode("utf-8", errors="replace"))
+        except LanguageError:
+            pass
+
+
+class TestSqlParserFuzz:
+    @given(_sql_soup)
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_raises_only_sql_errors(self, text):
+        try:
+            parse_sql(text)
+        except SqlError:
+            pass
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_raises_only_sql_errors(self, text):
+        try:
+            parse_sql(text)
+        except SqlError:
+            pass

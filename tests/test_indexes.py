@@ -1,0 +1,125 @@
+"""Tests for the temporal and partitioned indexes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.events.event import Event
+from repro.indexes import Interval, PartitionedTimeIndex, TimeIndex
+
+
+class TestInterval:
+    def test_inclusive_bounds(self):
+        interval = Interval(1.0, 2.0)
+        assert interval.contains(1.0) and interval.contains(2.0)
+
+    def test_exclusive_bounds(self):
+        interval = Interval(1.0, 2.0, low_inclusive=False,
+                            high_inclusive=False)
+        assert not interval.contains(1.0)
+        assert not interval.contains(2.0)
+        assert interval.contains(1.5)
+
+    def test_unbounded_default(self):
+        assert Interval().contains(1e18)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+
+class TestTimeIndex:
+    def _index(self, *timestamps: float) -> TimeIndex:
+        index = TimeIndex()
+        for ts in timestamps:
+            index.append(Event("N", ts))
+        return index
+
+    def test_append_out_of_order_rejected(self):
+        index = self._index(1.0, 2.0)
+        with pytest.raises(StreamError):
+            index.append(Event("N", 1.5))
+
+    def test_ties_allowed(self):
+        assert len(self._index(1.0, 1.0, 1.0)) == 3
+
+    def test_range_inclusive_exclusive(self):
+        index = self._index(1.0, 2.0, 3.0, 4.0)
+        closed = index.range(Interval(2.0, 3.0))
+        assert [event.timestamp for event in closed] == [2.0, 3.0]
+        open_interval = Interval(2.0, 3.0, low_inclusive=False,
+                                 high_inclusive=False)
+        assert index.range(open_interval) == []
+
+    def test_exists_and_count(self):
+        index = self._index(1.0, 2.0, 3.0)
+        assert index.exists(Interval(1.5, 2.5))
+        assert not index.exists(Interval(3.5, 9.0))
+        assert index.count(Interval(0.0, 10.0)) == 3
+
+    def test_prune(self):
+        index = self._index(1.0, 2.0, 3.0)
+        assert index.prune_before(2.0) == 1
+        assert index.earliest == 2.0 and index.latest == 3.0
+
+    def test_empty_index(self):
+        index = TimeIndex()
+        assert index.earliest is None and index.latest is None
+        assert not index.exists(Interval())
+
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), max_size=40),
+           st.floats(min_value=-10, max_value=110, allow_nan=False),
+           st.floats(min_value=-10, max_value=110, allow_nan=False),
+           st.booleans(), st.booleans())
+    def test_range_matches_bruteforce(self, timestamps, bound_a, bound_b,
+                                      low_inclusive, high_inclusive):
+        low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+        interval = Interval(low, high, low_inclusive=low_inclusive,
+                            high_inclusive=high_inclusive)
+        ordered = sorted(timestamps)
+        index = TimeIndex()
+        for ts in ordered:
+            index.append(Event("N", ts))
+        got = [event.timestamp for event in index.range(interval)]
+        expected = [ts for ts in ordered if interval.contains(ts)]
+        assert got == expected
+        assert index.exists(interval) == bool(expected)
+        assert index.count(interval) == len(expected)
+
+
+class TestPartitionedTimeIndex:
+    def _index(self) -> PartitionedTimeIndex:
+        index = PartitionedTimeIndex("id")
+        for ts, key in [(1.0, 1), (2.0, 2), (3.0, 1), (4.0, 3)]:
+            index.append(Event("N", ts, {"id": key}))
+        return index
+
+    def test_partition_isolation(self):
+        index = self._index()
+        assert index.exists(1, Interval(0.5, 1.5))
+        assert not index.exists(2, Interval(0.5, 1.5))
+        assert index.range(1, Interval()) and len(index) == 4
+        assert index.partition_count == 3
+
+    def test_missing_key_partition(self):
+        index = self._index()
+        assert index.range(99, Interval()) == []
+        assert index.partition(99) is None
+
+    def test_event_without_attribute_goes_to_none(self):
+        index = PartitionedTimeIndex("id")
+        index.append(Event("N", 1.0))
+        assert index.exists(None, Interval())
+
+    def test_prune_removes_empty_partitions(self):
+        index = self._index()
+        dropped = index.prune_before(3.5)
+        assert dropped == 3
+        assert index.partition_count == 1
+        assert set(index.keys()) == {3}

@@ -1,0 +1,179 @@
+"""Integration tests: the paper's demonstration scenario end to end.
+
+These reproduce Section 4: live monitoring queries over the simulated
+retail store (shoplifting, misplaced inventory), archival rules keeping the
+event database current, and track-and-trace queries over it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import EventDatabase
+from repro.rfid import NoiseModel
+from repro.system import SaseSystem
+from repro.ui import SaseConsole
+from repro.workloads import (
+    CONTAINMENT_RULE,
+    LOCATION_UPDATE_RULE,
+    MISPLACED_INVENTORY_QUERY,
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+    UNPACK_RULE,
+    WarehouseConfig,
+    WarehouseHistory,
+)
+
+READING_TYPES = ("SHELF_READING", "COUNTER_READING", "EXIT_READING")
+
+
+def build_system(scenario: RetailScenario) -> SaseSystem:
+    system = SaseSystem(scenario.layout, scenario.ons)
+    system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
+    system.register_monitoring_query("misplaced",
+                                     MISPLACED_INVENTORY_QUERY)
+    for event_type in READING_TYPES:
+        system.register_archiving_rule(f"loc_{event_type}",
+                                       LOCATION_UPDATE_RULE(event_type))
+    return system
+
+
+@pytest.fixture(scope="module")
+def demo_run():
+    scenario = RetailScenario.generate(RetailConfig(
+        n_products=24, n_shoppers=5, n_shoplifters=2, n_misplacements=2,
+        seed=13))
+    system = build_system(scenario)
+    noise = NoiseModel(miss_rate=0.1, duplicate_rate=0.1,
+                       truncate_rate=0.02, ghost_rate=0.01)
+    results = system.run_simulation(scenario.ticks(noise))
+    return scenario, system, results
+
+
+class TestShopliftingDetection:
+    def test_exact_detection(self, demo_run):
+        scenario, _, results = demo_run
+        detected = {result["x_TagId"] for name, result in results
+                    if name == "shoplifting"}
+        assert detected == scenario.truth.shoplifted_tags()
+
+    def test_no_purchased_item_flagged(self, demo_run):
+        scenario, _, results = demo_run
+        detected = {result["x_TagId"] for name, result in results
+                    if name == "shoplifting"}
+        assert not detected & scenario.truth.purchased_tags()
+
+    def test_alert_carries_exit_description(self, demo_run):
+        _, _, results = demo_run
+        alerts = [result for name, result in results
+                  if name == "shoplifting"]
+        assert all("door" in alert["retrieveLocation"]
+                   for alert in alerts)
+
+    def test_detection_latency_bounded(self, demo_run):
+        # an alert fires while the item is in the exit read range, plus at
+        # most the smoothing window and one scan tick of slack
+        scenario, _, results = demo_run
+        exit_times = {incident.tag_id: incident.exit_time
+                      for incident in scenario.truth.shoplifted}
+        bound = scenario.config.exit_dwell + 2.0 + 1.0
+        for name, result in results:
+            if name != "shoplifting":
+                continue
+            tag = result["x_TagId"]
+            latency = result.end - exit_times[tag]
+            assert 0 <= latency <= bound
+
+
+class TestMisplacedInventory:
+    def test_exact_detection(self, demo_run):
+        scenario, _, results = demo_run
+        detected = {result["x_TagId"] for name, result in results
+                    if name == "misplaced"}
+        assert detected == scenario.truth.misplaced_tags()
+
+    def test_alert_includes_movement_history(self, demo_run):
+        _, _, results = demo_run
+        alerts = [result for name, result in results
+                  if name == "misplaced"]
+        assert alerts
+        assert all(isinstance(alert["movementHistory"], str)
+                   for alert in alerts)
+
+
+class TestArchivalAndTrackTrace:
+    def test_shoplifted_item_last_seen_at_exit(self, demo_run):
+        scenario, system, _ = demo_run
+        for incident in scenario.truth.shoplifted:
+            location = system.event_db.current_location(incident.tag_id)
+            assert location is not None and location["area_id"] == 4
+
+    def test_purchased_item_history_contains_counter(self, demo_run):
+        scenario, system, _ = demo_run
+        for purchase in scenario.truth.purchased:
+            areas = [entry["area_id"] for entry in
+                     system.event_db.movement_history(purchase.tag_id)]
+            assert 3 in areas and areas[-1] == 4
+
+    def test_untouched_items_still_on_home_shelf(self, demo_run):
+        scenario, system, _ = demo_run
+        moved = (scenario.truth.purchased_tags()
+                 | scenario.truth.shoplifted_tags()
+                 | scenario.truth.misplaced_tags())
+        for record in scenario.ons:
+            if record.tag_id in moved:
+                continue
+            location = system.event_db.current_location(record.tag_id)
+            assert location is not None
+            assert location["area_id"] == record.home_area_id
+
+    def test_adhoc_sql_over_event_database(self, demo_run):
+        _, system, _ = demo_run
+        rows = system.query_database(
+            "SELECT area_id, COUNT(*) AS n FROM locations "
+            "WHERE time_out IS NULL GROUP BY area_id ORDER BY area_id")
+        assert rows and all(row["n"] > 0 for row in rows)
+
+    def test_console_renders_full_state(self, demo_run):
+        _, system, _ = demo_run
+        text = SaseConsole(system, max_lines=20).render()
+        assert "shoplifting" in text and "Database Report" in text
+
+
+class TestWarehouseRulesPath:
+    """Containment Update driven through the processor's rules, as the
+    paper's second processor task describes."""
+
+    def test_loading_events_create_containment(self):
+        history = WarehouseHistory.generate(WarehouseConfig(
+            n_boxes=2, items_per_box=2, n_box_changes=0))
+        system = SaseSystem(history.layout, history.ons)
+        system.register_archiving_rule("containment", CONTAINMENT_RULE)
+        system.register_archiving_rule("unpack", UNPACK_RULE)
+        for event_type in ("LOADING_READING", "UNLOADING_READING",
+                           "BACKROOM_READING", "SHELF_READING"):
+            system.register_archiving_rule(
+                f"loc_{event_type}", LOCATION_UPDATE_RULE(event_type))
+        for event in history.events():
+            system.processor.feed(event)
+        system.processor.flush()
+        # each item was loaded into its box at the dock
+        for box in history.box_tags:
+            contained = set(
+                entry for tag in history.item_tags
+                for entry in [tag]
+                if any(parent == box for parent, _ in
+                       history.truth.containment_history[tag]))
+            for tag in contained:
+                history_rows = system.event_db.containment_history(tag)
+                assert any(row["parent_tag"] == box
+                           for row in history_rows)
+        # locations tracked to the shelves at the end; containment closed
+        # when the item was stocked
+        for tag in history.item_tags:
+            location = system.event_db.current_location(tag)
+            assert location is not None
+            assert location["area_id"] == \
+                history.truth.final_location[tag]
+            assert system.event_db.current_containment(tag) is None

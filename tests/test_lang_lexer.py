@@ -1,0 +1,86 @@
+"""Tests for the SASE language lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lang.lexer import Lexer, TokenType
+
+
+def kinds(text: str) -> list[TokenType]:
+    return [token.type for token in Lexer(text).tokenize()]
+
+
+def texts(text: str) -> list[str]:
+    return [token.text for token in Lexer(text).tokenize()
+            if token.type is not TokenType.EOF]
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        assert kinds("event EVENT Event")[:3] == [TokenType.EVENT] * 3
+
+    def test_identifiers_preserved(self):
+        tokens = Lexer("SHELF_READING x").tokenize()
+        assert tokens[0].text == "SHELF_READING"
+        assert tokens[1].text == "x"
+
+    def test_integer_and_float(self):
+        tokens = Lexer("42 3.14").tokenize()
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.14
+
+    def test_string_literals(self):
+        tokens = Lexer("'hello' \"world\"").tokenize()
+        assert tokens[0].value == "hello"
+        assert tokens[1].value == "world"
+
+    def test_string_escape_by_doubling(self):
+        tokens = Lexer("'it''s'").tokenize()
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            Lexer("'oops").tokenize()
+
+    def test_comparison_operators(self):
+        assert kinds("= != <> < <= > >=")[:7] == [
+            TokenType.EQ, TokenType.NEQ, TokenType.NEQ, TokenType.LT,
+            TokenType.LTE, TokenType.GT, TokenType.GTE]
+
+    def test_unicode_logical_operators(self):
+        # the paper prints WHERE clauses with the mathematical wedge
+        assert kinds("∧ ∨ && ||")[:4] == [
+            TokenType.AND, TokenType.OR, TokenType.AND, TokenType.OR]
+
+    def test_punctuation(self):
+        assert kinds("( ) , . ! +")[:6] == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.COMMA,
+            TokenType.DOT, TokenType.BANG, TokenType.PLUS]
+
+    def test_comments_skipped(self):
+        assert texts("EVENT -- a comment\n A x") == ["EVENT", "A", "x"]
+
+    def test_booleans(self):
+        tokens = Lexer("TRUE false").tokenize()
+        assert tokens[0].value is True
+        assert tokens[1].value is False
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            Lexer("EVENT @").tokenize()
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexerError, match="line 2"):
+            Lexer("EVENT\n  #").tokenize()
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] is TokenType.EOF
+        assert kinds("EVENT")[-1] is TokenType.EOF
+
+    def test_number_attached_dot(self):
+        tokens = Lexer("x.y 1.5").tokenize()
+        assert [t.type for t in tokens[:3]] == [
+            TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+        assert tokens[3].value == 1.5

@@ -1,0 +1,242 @@
+"""Tests for the SASE query parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    AggregateCall,
+    AggregateKind,
+    AttributeRef,
+    BinaryOp,
+    BinOpKind,
+    FunctionCall,
+    Literal,
+    TimeUnit,
+    UnaryOp,
+    UnOpKind,
+    VariableRef,
+)
+from repro.lang.parser import parse_query
+
+
+class TestPatternParsing:
+    def test_q1_shoplifting_structure(self):
+        query = parse_query("""
+            EVENT SEQ(SHELF_READING x, !(COUNTER_READING y),
+                      EXIT_READING z)
+            WHERE x.TagId = y.TagId AND x.TagId = z.TagId
+            WITHIN 12 hours
+            RETURN x.TagId, x.ProductName, z.AreaId,
+                   _retrieveLocation(z.AreaId)
+        """)
+        components = query.pattern.components
+        assert [c.event_type for c in components] == [
+            "SHELF_READING", "COUNTER_READING", "EXIT_READING"]
+        assert [c.negated for c in components] == [False, True, False]
+        assert query.within is not None
+        assert query.within.seconds == 12 * 3600
+        assert query.return_clause is not None
+        assert len(query.return_clause.items) == 4
+
+    def test_single_event_pattern(self):
+        query = parse_query("EVENT SHELF_READING x")
+        assert len(query.pattern.components) == 1
+        assert not query.pattern.components[0].negated
+
+    def test_kleene_component(self):
+        query = parse_query("EVENT SEQ(A a, B+ b)")
+        assert query.pattern.components[1].kleene
+
+    def test_from_clause(self):
+        query = parse_query("FROM rfid EVENT A x")
+        assert query.from_stream == "rfid"
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ParseError, match="duplicate pattern variable"):
+            parse_query("EVENT SEQ(A x, B x)")
+
+    def test_all_negated_rejected(self):
+        with pytest.raises(ParseError, match="at least one non-negated"):
+            parse_query("EVENT SEQ(!(A x), !(B y))")
+
+    def test_negated_kleene_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("EVENT SEQ(A a, !(B+ b))")
+
+    def test_empty_seq_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("EVENT SEQ()")
+
+    def test_missing_event_clause(self):
+        with pytest.raises(ParseError, match="EVENT"):
+            parse_query("WHERE x.a = 1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_query("EVENT A x RETURN x.v extra stuff ( ")
+
+
+class TestDurations:
+    @pytest.mark.parametrize("text,seconds", [
+        ("WITHIN 90", 90.0),
+        ("WITHIN 90 seconds", 90.0),
+        ("WITHIN 5 minutes", 300.0),
+        ("WITHIN 2 hours", 7200.0),
+        ("WITHIN 1 hour", 3600.0),
+        ("WITHIN 1 day", 86400.0),
+        ("WITHIN 0.5 hours", 1800.0),
+    ])
+    def test_units(self, text, seconds):
+        query = parse_query(f"EVENT A x {text}")
+        assert query.within is not None
+        assert query.within.seconds == seconds
+
+    def test_unknown_unit(self):
+        with pytest.raises(ParseError, match="unknown time unit"):
+            parse_query("EVENT A x WITHIN 5 fortnights")
+
+    def test_non_positive_window(self):
+        with pytest.raises(ParseError, match="positive"):
+            parse_query("EVENT A x WITHIN 0")
+
+    def test_time_unit_parse_variants(self):
+        assert TimeUnit.parse("hr") is TimeUnit.HOURS
+        assert TimeUnit.parse("mins") is TimeUnit.MINUTES
+
+
+class TestExpressions:
+    def _where(self, text: str):
+        query = parse_query(f"EVENT SEQ(A x, B y) WHERE {text}")
+        assert query.where is not None
+        return query.where
+
+    def test_precedence_and_over_or(self):
+        expr = self._where("x.a = 1 OR x.a = 2 AND y.b = 3")
+        assert isinstance(expr, BinaryOp) and expr.op is BinOpKind.OR
+
+    def test_arithmetic_precedence(self):
+        expr = self._where("x.a + 2 * y.b = 10")
+        assert isinstance(expr, BinaryOp) and expr.op is BinOpKind.EQ
+        left = expr.left
+        assert isinstance(left, BinaryOp) and left.op is BinOpKind.ADD
+        assert isinstance(left.right, BinaryOp)
+        assert left.right.op is BinOpKind.MUL
+
+    def test_parentheses(self):
+        expr = self._where("(x.a + 2) * y.b = 10")
+        assert isinstance(expr, BinaryOp)
+        left = expr.left
+        assert isinstance(left, BinaryOp) and left.op is BinOpKind.MUL
+
+    def test_not(self):
+        expr = self._where("NOT x.a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op is UnOpKind.NOT
+
+    def test_unary_minus(self):
+        expr = self._where("x.a = -5")
+        assert isinstance(expr, BinaryOp)
+        assert isinstance(expr.right, UnaryOp)
+        assert expr.right.op is UnOpKind.NEG
+
+    def test_string_literal(self):
+        expr = self._where("x.name = 'container'")
+        assert isinstance(expr, BinaryOp)
+        assert expr.right == Literal("container")
+
+    def test_boolean_literal(self):
+        expr = self._where("x.flag = TRUE")
+        assert isinstance(expr, BinaryOp)
+        assert expr.right == Literal(True)
+
+    def test_wedge_is_and(self):
+        expr = self._where("x.a = 1 ∧ y.b = 2")
+        assert isinstance(expr, BinaryOp) and expr.op is BinOpKind.AND
+
+    def test_attribute_ref(self):
+        expr = self._where("x.TagId = y.TagId")
+        assert isinstance(expr, BinaryOp)
+        assert expr.left == AttributeRef("x", "TagId")
+
+
+class TestReturnClause:
+    def test_plain_items(self):
+        query = parse_query("EVENT A x RETURN x.a, x.b AS beta")
+        clause = query.return_clause
+        assert clause is not None
+        assert clause.items[0].alias is None
+        assert clause.items[1].alias == "beta"
+
+    def test_function_call(self):
+        query = parse_query(
+            "EVENT A x RETURN _retrieveLocation(x.area)")
+        clause = query.return_clause
+        assert clause is not None
+        expr = clause.items[0].expr
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "_retrieveLocation"
+
+    def test_aggregates(self):
+        query = parse_query(
+            "EVENT SEQ(A a, B+ b) RETURN COUNT(b), AVG(b.v), COUNT(*)")
+        clause = query.return_clause
+        assert clause is not None
+        first, second, third = (item.expr for item in clause.items)
+        assert isinstance(first, AggregateCall)
+        assert first.kind is AggregateKind.COUNT
+        assert first.arg == VariableRef("b")
+        assert isinstance(second, AggregateCall)
+        assert second.kind is AggregateKind.AVG
+        assert isinstance(third, AggregateCall) and third.arg is None
+
+    def test_star_only_in_count(self):
+        with pytest.raises(ParseError, match="only valid inside COUNT"):
+            parse_query("EVENT A x RETURN SUM(*)")
+
+    def test_aggregate_arity(self):
+        with pytest.raises(ParseError, match="exactly one argument"):
+            parse_query("EVENT A x RETURN SUM(x.a, x.b)")
+
+    def test_constructor_form(self):
+        query = parse_query("EVENT A x RETURN Alert(x.a, x.b)")
+        clause = query.return_clause
+        assert clause is not None
+        assert clause.event_name == "Alert"
+        assert len(clause.items) == 2
+
+    def test_constructor_with_into(self):
+        query = parse_query("EVENT A x RETURN Alert(x.a) INTO alerts")
+        clause = query.return_clause
+        assert clause is not None
+        assert clause.event_name == "Alert"
+        assert clause.into_stream == "alerts"
+
+    def test_function_first_item_is_not_constructor(self):
+        # a leading function call followed by more items stays a plain list
+        query = parse_query("EVENT A x RETURN _f(x.a), x.b")
+        clause = query.return_clause
+        assert clause is not None
+        assert clause.event_name is None
+        assert len(clause.items) == 2
+
+    def test_return_star(self):
+        query = parse_query("EVENT A x RETURN *")
+        clause = query.return_clause
+        assert clause is not None
+        assert clause.items[0].expr == VariableRef("*")
+
+    def test_q2_rule_parses(self):
+        query = parse_query("""
+            EVENT SEQ(SHELF_READING x, SHELF_READING y)
+            WHERE x.TagId = y.TagId AND x.AreaId != y.AreaId
+            WITHIN 1 hour
+            RETURN _updateLocation(y.TagId, y.AreaId, y.Timestamp)
+        """)
+        assert query.within is not None
+        assert query.within.seconds == 3600
+        clause = query.return_clause
+        assert clause is not None
+        expr = clause.items[0].expr
+        assert isinstance(expr, FunctionCall)
+        assert len(expr.args) == 3

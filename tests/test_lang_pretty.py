@@ -1,0 +1,133 @@
+"""Round-trip tests for the unparser: parse(format(q)) == q."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.ast import (
+    AttributeRef,
+    BinaryOp,
+    BinOpKind,
+    Duration,
+    Literal,
+    PatternComponent,
+    Query,
+    ReturnClause,
+    ReturnItem,
+    SeqPattern,
+    TimeUnit,
+    UnaryOp,
+    UnOpKind,
+)
+from repro.lang.parser import parse_query
+from repro.lang.pretty import format_expr, format_query
+
+# -- hypothesis strategies for random query ASTs -----------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "FROM", "EVENT", "SEQ", "ANY", "WHERE", "WITHIN", "RETURN", "INTO",
+        "AS", "AND", "OR", "NOT", "TRUE", "FALSE"})
+_type_name = st.sampled_from(["A", "B", "C", "D", "E"])
+
+_literal = st.one_of(
+    st.integers(min_value=0, max_value=999).map(Literal),
+    st.booleans().map(Literal),
+    st.from_regex(r"[a-z ]{0,8}", fullmatch=True).map(Literal),
+)
+
+
+def _attr_refs(variables: list[str]):
+    return st.builds(AttributeRef, st.sampled_from(variables),
+                     st.sampled_from(["a", "b", "val"]))
+
+
+def _exprs(variables: list[str]):
+    leaves = st.one_of(_literal, _attr_refs(variables))
+
+    def extend(children):
+        binary = st.builds(
+            BinaryOp,
+            st.sampled_from([BinOpKind.AND, BinOpKind.OR, BinOpKind.EQ,
+                             BinOpKind.LT, BinOpKind.ADD, BinOpKind.MUL,
+                             BinOpKind.SUB]),
+            children, children)
+        unary = st.builds(UnaryOp, st.sampled_from([UnOpKind.NOT]),
+                          children)
+        return st.one_of(binary, unary)
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+@st.composite
+def _queries(draw) -> Query:
+    n_components = draw(st.integers(min_value=1, max_value=4))
+    variables = [f"v{index}" for index in range(n_components)]
+    components = []
+    for index, variable in enumerate(variables):
+        negated = draw(st.booleans()) if 0 < index else False
+        kleene = False if negated else draw(
+            st.sampled_from([False, False, True]))
+        components.append(PatternComponent(
+            draw(_type_name), variable, negated=negated, kleene=kleene))
+    if all(component.negated for component in components):
+        components[0] = PatternComponent(
+            components[0].event_type, components[0].variable)
+    pattern = SeqPattern(tuple(components))
+    where = draw(st.none() | _exprs(variables))
+    within = draw(st.none() | st.builds(
+        Duration,
+        st.integers(min_value=1, max_value=100).map(float),
+        st.sampled_from(list(TimeUnit))))
+    positive_vars = [component.variable for component in components
+                     if not component.negated]
+    return_clause = draw(st.none() | st.builds(
+        ReturnClause,
+        st.lists(st.builds(ReturnItem, _attr_refs(positive_vars),
+                           st.none() | _ident),
+                 min_size=1, max_size=3).map(tuple),
+        st.none(),
+        st.none() | _ident))
+    return Query(pattern=pattern, where=where, within=within,
+                 return_clause=return_clause)
+
+
+class TestRoundTrip:
+    @given(_queries())
+    def test_parse_format_roundtrip(self, query: Query):
+        text = format_query(query)
+        reparsed = parse_query(text)
+        assert reparsed.pattern == query.pattern
+        assert reparsed.where == query.where
+        assert reparsed.return_clause == query.return_clause
+        if query.within is None:
+            assert reparsed.within is None
+        else:
+            assert reparsed.within is not None
+            assert reparsed.within.seconds == query.within.seconds
+
+    def test_q1_roundtrip(self):
+        text = """
+            EVENT SEQ(SHELF_READING x, !(COUNTER_READING y),
+                      EXIT_READING z)
+            WHERE x.TagId = y.TagId AND x.TagId = z.TagId
+            WITHIN 12 hours
+            RETURN x.TagId, x.ProductName, z.AreaId,
+                   _retrieveLocation(z.AreaId)
+        """
+        query = parse_query(text)
+        assert parse_query(format_query(query)) == query
+
+    def test_string_escaping(self):
+        query = parse_query("EVENT A x WHERE x.name = 'it''s'")
+        assert parse_query(format_query(query)).where == query.where
+
+    def test_left_associativity_preserved(self):
+        query = parse_query("EVENT A x WHERE x.a - 1 - 2 = 0")
+        assert parse_query(format_query(query)).where == query.where
+
+    def test_format_expr_minimal_parens(self):
+        query = parse_query("EVENT A x WHERE x.a = 1 AND x.b = 2")
+        assert query.where is not None
+        assert "(" not in format_expr(query.where)

@@ -1,0 +1,210 @@
+"""Tests for semantic analysis: binding, classification, partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, SemanticError
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+
+@pytest.fixture
+def registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.declare("A", id=AttributeType.INT, v=AttributeType.INT,
+                     name=AttributeType.STRING, flag=AttributeType.BOOL,
+                     price=AttributeType.FLOAT)
+    registry.declare("B", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("C", id=AttributeType.INT, v=AttributeType.INT)
+    return registry
+
+
+def analyze_text(text: str, registry: SchemaRegistry):
+    return analyze(parse_query(text), registry)
+
+
+class TestBinding:
+    def test_unknown_event_type(self, registry):
+        with pytest.raises(SchemaError, match="unknown event type"):
+            analyze_text("EVENT ZZZ x", registry)
+
+    def test_unknown_attribute(self, registry):
+        with pytest.raises(SchemaError, match="no attribute"):
+            analyze_text("EVENT A x WHERE x.zzz = 1", registry)
+
+    def test_unknown_variable(self, registry):
+        with pytest.raises(SemanticError, match="unknown pattern variable"):
+            analyze_text("EVENT A x WHERE q.id = 1", registry)
+
+    def test_window_converted_to_seconds(self, registry):
+        analyzed = analyze_text("EVENT A x WITHIN 2 minutes", registry)
+        assert analyzed.window == 120.0
+
+    def test_timestamp_pseudo_attribute(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B y) WHERE y.Timestamp - x.Timestamp > 5",
+            registry)
+        assert len(analyzed.selection_predicates) == 1
+
+
+class TestPredicateClassification:
+    def test_single_variable_goes_to_component_filter(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B y) WHERE x.v = 1 AND x.id = y.id", registry)
+        assert len(analyzed.component_filters["x"]) == 1
+        # x.id = y.id covers both positives -> partition equality stays in
+        # selection_predicates but flagged
+        assert len(analyzed.selection_predicates) == 1
+
+    def test_negation_predicates_split_off(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, !(B y), C z) "
+            "WHERE x.id = y.id AND x.id = z.id AND y.v = 3", registry)
+        assert len(analyzed.negation_predicates["y"]) == 2
+        assert len(analyzed.selection_predicates) == 1  # x.id = z.id
+
+    def test_kleene_predicates_split_off(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B+ y) WHERE x.id = y.id AND y.v > 2", registry)
+        assert len(analyzed.kleene_predicates["y"]) == 2
+        assert not analyzed.selection_predicates
+
+    def test_two_negated_vars_in_one_conjunct_rejected(self, registry):
+        with pytest.raises(SemanticError, match="at most one negated"):
+            analyze_text(
+                "EVENT SEQ(A x, !(B y), !(C w)) WHERE y.id = w.id",
+                registry)
+
+    def test_negated_and_kleene_mix_rejected(self, registry):
+        with pytest.raises(SemanticError, match="may not mix"):
+            analyze_text(
+                "EVENT SEQ(A x, !(B y), C+ w) WHERE y.id = w.id", registry)
+
+    def test_aggregate_in_where_rejected(self, registry):
+        with pytest.raises(SemanticError, match="only allowed in"):
+            analyze_text("EVENT SEQ(A x, B+ y) WHERE COUNT(y) > 3",
+                         registry)
+
+    def test_non_boolean_where_rejected(self, registry):
+        with pytest.raises(SemanticError, match="boolean"):
+            analyze_text("EVENT A x WHERE x.v + 1", registry)
+
+
+class TestPartitionDiscovery:
+    def test_full_cover_class_found(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B y, C z) "
+            "WHERE x.id = y.id AND y.id = z.id", registry)
+        assert analyzed.partition is not None
+        assert analyzed.partition.attr_by_var == {
+            "x": "id", "y": "id", "z": "id"}
+        assert all(info.is_partition_equality
+                   for info in analyzed.selection_predicates)
+
+    def test_partial_cover_not_partitioned(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B y, C z) WHERE x.id = y.id", registry)
+        assert analyzed.partition is None
+        assert not analyzed.selection_predicates[0].is_partition_equality
+
+    def test_negated_variable_included_in_scheme(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, !(B y), C z) "
+            "WHERE x.id = y.id AND x.id = z.id", registry)
+        assert analyzed.partition is not None
+        assert analyzed.partition.key_attribute("y") == "id"
+
+    def test_different_attribute_names_allowed(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B y) WHERE x.v = y.id", registry)
+        assert analyzed.partition is not None
+        assert analyzed.partition.attr_by_var == {"x": "v", "y": "id"}
+
+    def test_transitive_closure(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B y, C z) "
+            "WHERE x.id = y.id AND x.id = z.id", registry)
+        assert analyzed.partition is not None
+
+    def test_inequality_does_not_partition(self, registry):
+        analyzed = analyze_text(
+            "EVENT SEQ(A x, B y) WHERE x.id != y.id", registry)
+        assert analyzed.partition is None
+
+
+class TestTypeChecking:
+    def test_string_numeric_comparison_rejected(self, registry):
+        with pytest.raises(SemanticError, match="cannot compare"):
+            analyze_text("EVENT A x WHERE x.name = 1", registry)
+
+    def test_bool_ordering_rejected(self, registry):
+        with pytest.raises(SemanticError, match="ordering comparison"):
+            analyze_text("EVENT A x WHERE x.flag < TRUE", registry)
+
+    def test_bool_equality_allowed(self, registry):
+        analyzed = analyze_text("EVENT A x WHERE x.flag = TRUE", registry)
+        assert len(analyzed.component_filters["x"]) == 1
+
+    def test_arithmetic_on_string_rejected(self, registry):
+        with pytest.raises(SemanticError, match="non-numeric"):
+            analyze_text("EVENT A x WHERE x.name * 2 = 4", registry)
+
+    def test_int_float_comparison_allowed(self, registry):
+        analyze_text("EVENT A x WHERE x.price > x.v", registry)
+
+    def test_function_result_is_any(self, registry):
+        analyze_text("EVENT A x WHERE _lookup(x.id) = 'somewhere'",
+                     registry)
+
+    def test_logical_operand_must_be_bool(self, registry):
+        with pytest.raises(SemanticError, match="boolean"):
+            analyze_text("EVENT A x WHERE x.v AND x.flag = TRUE", registry)
+
+    def test_sum_over_string_rejected(self, registry):
+        with pytest.raises(SemanticError, match="non-numeric"):
+            analyze_text("EVENT SEQ(B b, A+ x) RETURN SUM(x.name)",
+                         registry)
+
+    def test_count_bare_variable(self, registry):
+        analyzed = analyze_text("EVENT SEQ(B b, A+ x) RETURN COUNT(x)",
+                                registry)
+        assert analyzed.return_items[0].name == "count_x"
+
+    def test_min_needs_attribute(self, registry):
+        with pytest.raises(SemanticError, match="attribute reference"):
+            analyze_text("EVENT SEQ(B b, A+ x) RETURN MIN(x)", registry)
+
+
+class TestReturnResolution:
+    def test_default_return_binds_positives(self, registry):
+        analyzed = analyze_text("EVENT SEQ(A x, !(B y), C z)", registry)
+        assert [item.name for item in analyzed.return_items] == ["x", "z"]
+
+    def test_star_expansion(self, registry):
+        analyzed = analyze_text("EVENT SEQ(A x, B y) RETURN *", registry)
+        names = [item.name for item in analyzed.return_items]
+        assert "x_id" in names and "y_v" in names
+        assert len(names) == 5 + 2  # A has 5 attributes, B has 2
+
+    def test_alias_respected(self, registry):
+        analyzed = analyze_text("EVENT A x RETURN x.id AS tag", registry)
+        assert analyzed.return_items[0].name == "tag"
+
+    def test_duplicate_names_uniquified(self, registry):
+        analyzed = analyze_text("EVENT SEQ(A x, B y) "
+                                "RETURN x.id AS k, y.id AS k", registry)
+        assert [item.name for item in analyzed.return_items] == \
+            ["k", "k_2"]
+
+    def test_output_type_and_stream(self, registry):
+        analyzed = analyze_text(
+            "EVENT A x RETURN Alert(x.id) INTO alerts", registry)
+        assert analyzed.output_type == "Alert"
+        assert analyzed.output_stream == "alerts"
+
+    def test_negation_layout(self, registry):
+        analyzed = analyze_text("EVENT SEQ(!(A w), B x, !(C y))", registry)
+        layout = analyzed.negation_layout()
+        assert [(prev, nxt) for _, prev, nxt in layout] == [(-1, 0), (0, 1)]

@@ -1,0 +1,109 @@
+"""Coverage for the thinner seams: schemas catalogue, plan stats, and
+stream-merging integration with the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.stats import OperatorStats, PlanStats
+from repro.events.event import Event
+from repro.events.stream import EventStream, merge_streams
+from repro.rfid.layout import AreaKind
+from repro.schemas import (
+    EVENT_TYPE_FOR_KIND,
+    READING_ATTRIBUTES,
+    reading_schema,
+    retail_registry,
+)
+
+
+class TestSchemasCatalogue:
+    def test_every_area_kind_has_a_type(self):
+        assert set(EVENT_TYPE_FOR_KIND) == set(AreaKind)
+
+    def test_registry_covers_all_types(self):
+        registry = retail_registry()
+        for event_type in EVENT_TYPE_FOR_KIND.values():
+            assert event_type in registry
+
+    def test_reading_schema_shape(self):
+        schema = reading_schema("SHELF_READING")
+        assert schema.attribute_names == tuple(
+            name for name, _ in READING_ATTRIBUTES)
+
+    def test_all_reading_types_share_attributes(self):
+        registry = retail_registry()
+        shapes = {tuple(spec.type for spec in registry.get(event_type))
+                  for event_type in EVENT_TYPE_FOR_KIND.values()}
+        assert len(shapes) == 1
+
+
+class TestPlanStats:
+    def test_operator_created_on_demand(self):
+        stats = PlanStats()
+        operator = stats.operator("SSC")
+        assert stats.operator("SSC") is operator
+
+    def test_selectivity(self):
+        operator = OperatorStats("SL", consumed=10, produced=4)
+        assert operator.selectivity == 0.4
+        assert OperatorStats("SL").selectivity == 1.0
+
+    def test_high_water_marks(self):
+        stats = PlanStats()
+        stats.record_stack_size(5, 2)
+        stats.record_stack_size(3, 7)
+        assert stats.stack_high_water == 5
+        assert stats.partitions_high_water == 7
+
+    def test_snapshot_and_repr(self):
+        stats = PlanStats()
+        stats.operator("SSC").consumed = 3
+        stats.operator("SSC").produced = 2
+        assert stats.snapshot() == {"SSC": (3, 2)}
+        assert "SSC[3/2]" in repr(stats)
+
+
+class TestMergedStreamsThroughEngine:
+    def test_two_reader_streams_merge_and_match(self, abc_registry):
+        shelf_reader = [Event("A", 1, {"id": 1, "v": 0}),
+                        Event("A", 5, {"id": 2, "v": 0})]
+        exit_reader = [Event("B", 3, {"id": 1, "v": 0}),
+                       Event("B", 7, {"id": 2, "v": 0})]
+        merged = merge_streams(shelf_reader, exit_reader)
+        engine = Engine(abc_registry)
+        results = list(engine.run(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id", merged))
+        assert sorted(result["x_id"] for result in results) == [1, 2]
+
+    def test_engine_accepts_event_stream_wrapper(self, abc_registry):
+        stream = EventStream([Event("A", 1, {"id": 1, "v": 0}),
+                              Event("B", 2, {"id": 1, "v": 0})])
+        engine = Engine(abc_registry)
+        results = list(engine.run(
+            "EVENT SEQ(A x, B y) WITHIN 10 RETURN x.id", stream))
+        assert len(results) == 1
+
+    def test_composite_chaining_by_hand(self, abc_registry):
+        """Manually feed one query's output events into another engine —
+        the building block the processor's FROM/INTO routing automates."""
+        from repro.events.model import AttributeType
+        abc_registry.declare("Pair", key=AttributeType.INT)
+        engine = Engine(abc_registry)
+        stage_one = engine.run(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN Pair(x.id AS key)",
+            [Event("A", 1, {"id": 1, "v": 0}),
+             Event("B", 2, {"id": 1, "v": 0}),
+             Event("A", 3, {"id": 1, "v": 0}),
+             Event("B", 4, {"id": 1, "v": 0})])
+        derived = [composite.to_event() for composite in stage_one]
+        # three Pair events at t=2, t=4, t=4: the strictly-increasing
+        # pairs are (2,4) with either of the two t=4 events
+        assert [event.timestamp for event in derived] == [2, 4, 4]
+        results = list(engine.run(
+            "EVENT SEQ(Pair p, Pair q) WHERE p.key = q.key WITHIN 10 "
+            "RETURN p.key", derived))
+        assert len(results) == 2

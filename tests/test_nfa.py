@@ -1,0 +1,101 @@
+"""Tests for the pattern NFA model and compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.events.event import Event
+from repro.lang.parser import parse_query
+from repro.nfa import compile_pattern
+from repro.nfa.model import TransitionKind
+
+
+def nfa_for(pattern_text: str):
+    return compile_pattern(parse_query(f"EVENT {pattern_text}").pattern)
+
+
+class TestCompiler:
+    def test_state_count(self):
+        nfa = nfa_for("SEQ(A a, B b, C c)")
+        assert nfa.size == 4
+        assert nfa.start.index == 0
+        assert nfa.accepting.is_accepting
+
+    def test_negated_components_excluded(self):
+        nfa = nfa_for("SEQ(A a, !(B b), C c)")
+        assert nfa.component_types == ("A", "C")
+        assert nfa.size == 3
+
+    def test_take_and_ignore_edges(self):
+        nfa = nfa_for("SEQ(A a, B b)")
+        kinds = {transition.kind for transition in
+                 nfa.states[0].transitions}
+        assert kinds == {TransitionKind.TAKE, TransitionKind.IGNORE}
+
+    def test_kleene_self_loop(self):
+        nfa = nfa_for("SEQ(A a, B+ b)")
+        loop = [transition for transition in nfa.states[2].transitions
+                if transition.kind is TransitionKind.KLEENE_TAKE]
+        assert len(loop) == 1 and loop[0].event_type == "B"
+        assert nfa.kleene_components == frozenset({1})
+
+    def test_repeated_type(self):
+        nfa = nfa_for("SEQ(A a, A b)")
+        assert nfa.component_for_type("A") == [0, 1]
+
+    def test_no_positive_components_rejected(self):
+        from repro.lang.ast import PatternComponent, SeqPattern
+        # SeqPattern itself refuses all-negated patterns; bypass its
+        # validation to exercise the compiler's own guard.
+        pattern = object.__new__(SeqPattern)
+        object.__setattr__(pattern, "components",
+                           (PatternComponent("A", "a", negated=True),))
+        with pytest.raises(PlanError):
+            compile_pattern(pattern)
+
+
+class TestAcceptance:
+    def _events(self, *types_ts):
+        return [Event(name, ts) for name, ts in types_ts]
+
+    def test_accepts_exact_sequence(self):
+        nfa = nfa_for("SEQ(A a, B b)")
+        assert nfa.accepts(self._events(("A", 1), ("B", 2)))
+
+    def test_rejects_wrong_order(self):
+        nfa = nfa_for("SEQ(A a, B b)")
+        assert not nfa.accepts(self._events(("B", 1), ("A", 2)))
+
+    def test_rejects_equal_timestamps(self):
+        nfa = nfa_for("SEQ(A a, B b)")
+        assert not nfa.accepts(self._events(("A", 1), ("B", 1)))
+
+    def test_rejects_extra_selected_event(self):
+        nfa = nfa_for("SEQ(A a, B b)")
+        assert not nfa.accepts(
+            self._events(("A", 1), ("A", 2), ("B", 3)))
+
+    def test_kleene_absorbs_repeats(self):
+        nfa = nfa_for("SEQ(A a, B+ b)")
+        assert nfa.accepts(self._events(("A", 1), ("B", 2)))
+        assert nfa.accepts(
+            self._events(("A", 1), ("B", 2), ("B", 3), ("B", 4)))
+        assert not nfa.accepts(self._events(("A", 1)))
+
+    def test_kleene_middle(self):
+        nfa = nfa_for("SEQ(A a, B+ b, C c)")
+        assert nfa.accepts(
+            self._events(("A", 1), ("B", 2), ("B", 3), ("C", 4)))
+        assert not nfa.accepts(self._events(("A", 1), ("C", 4)))
+
+    def test_step_set_simulation(self):
+        nfa = nfa_for("SEQ(A a, B b)")
+        active = {0}
+        active = nfa.step(active, Event("A", 1))
+        assert active == {0, 1}  # ignore-loop keeps 0, take reaches 1
+        active = nfa.step(active, Event("B", 2))
+        assert nfa.size - 1 in active
+
+    def test_repr(self):
+        assert "SEQ(A, B+)" in repr(nfa_for("SEQ(A a, B+ b)"))

@@ -1,0 +1,47 @@
+"""Tests for the simulated Object Name Service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CleaningError
+from repro.ons import ObjectNameService, ProductRecord
+
+
+class TestObjectNameService:
+    def test_register_and_lookup(self):
+        ons = ObjectNameService()
+        record = ons.register_product(1, "soap", price=1.5)
+        assert ons.lookup(1) is record
+        assert 1 in ons and len(ons) == 1
+
+    def test_missing_lookup(self):
+        assert ObjectNameService().lookup(42) is None
+
+    def test_duplicate_rejected(self):
+        ons = ObjectNameService()
+        ons.register_product(1, "soap")
+        with pytest.raises(CleaningError, match="already registered"):
+            ons.register(ProductRecord(1, "other"))
+
+    def test_known_tags(self):
+        ons = ObjectNameService()
+        ons.register_product(1, "a")
+        ons.register_product(2, "b")
+        assert ons.known_tags() == {1, 2}
+
+    def test_as_attributes_fragment(self):
+        record = ProductRecord(1, "soap", category="household",
+                               price=1.5, expiration_date="2027-01-01",
+                               saleable=False, home_area_id=2)
+        attrs = record.as_attributes()
+        assert attrs == {
+            "ProductName": "soap", "Category": "household", "Price": 1.5,
+            "ExpirationDate": "2027-01-01", "Saleable": False,
+            "HomeAreaId": 2}
+
+    def test_iteration(self):
+        ons = ObjectNameService()
+        ons.register_product(1, "a")
+        ons.register_product(2, "b")
+        assert {record.product_name for record in ons} == {"a", "b"}

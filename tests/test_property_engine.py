@@ -1,0 +1,148 @@
+"""Property-based engine tests: random queries over random streams.
+
+Hypothesis generates a query from a small grammar (sequence length,
+optional negation position, optional window, partitioned or not) plus a
+random stream, and checks two properties:
+
+1. **soundness** — every emitted match satisfies the language semantics
+   (type order, strict timestamps, window, predicates, non-occurrence),
+   verified directly against the raw stream;
+2. **completeness** — the match set equals the brute-force oracle's.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+
+from tests.helpers import binding_keys, composite_binding_keys, \
+    oracle_matches
+
+TYPES = ["A", "B", "C"]
+
+
+def _registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    for name in TYPES:
+        registry.declare(name, id=AttributeType.INT, v=AttributeType.INT)
+    return registry
+
+
+@st.composite
+def query_specs(draw) -> str:
+    length = draw(st.integers(min_value=1, max_value=3))
+    variables = [f"e{index}" for index in range(length)]
+    components = []
+    for variable in variables:
+        if draw(st.booleans()):
+            name = draw(st.sampled_from(TYPES))
+        else:  # an ANY component over two distinct types
+            pair = draw(st.permutations(TYPES))[:2]
+            name = f"ANY({pair[0]}, {pair[1]})"
+        components.append(f"{name} {variable}")
+    predicates: list[str] = []
+
+    if length > 1 and draw(st.booleans()):  # negation somewhere
+        position = draw(st.integers(min_value=0, max_value=length))
+        neg_type = draw(st.sampled_from(TYPES))
+        components.insert(position, f"!({neg_type} n)")
+        if draw(st.booleans()):
+            predicates.append(f"n.id = {variables[0]}.id")
+
+    if length > 1 and draw(st.booleans()):  # partition equalities
+        predicates.extend(f"{variables[0]}.id = {variable}.id"
+                          for variable in variables[1:])
+    if draw(st.booleans()):  # a selectivity filter
+        threshold = draw(st.integers(min_value=0, max_value=9))
+        predicates.append(f"{variables[0]}.v < {threshold}")
+    if draw(st.booleans()):  # a cross-component comparison
+        if length > 1:
+            predicates.append(f"{variables[0]}.v <= {variables[-1]}.v")
+
+    where = f" WHERE {' AND '.join(predicates)}" if predicates else ""
+    window = ""
+    if draw(st.booleans()):
+        window = f" WITHIN {draw(st.integers(min_value=1, max_value=30))}"
+    returns = " RETURN " + ", ".join(f"{variable}.id"
+                                     for variable in variables)
+    return f"EVENT SEQ({', '.join(components)}){where}{window}{returns}"
+
+
+def _stream(seed: int, size: int) -> list[Event]:
+    rng = random.Random(seed)
+    events = []
+    ts = 0.0
+    for index in range(size):
+        if rng.random() > 0.25:
+            ts += rng.choice([0.5, 1.0, 3.0])
+        events.append(Event(rng.choice(TYPES), ts,
+                            {"id": rng.randrange(3),
+                             "v": rng.randrange(10)}).with_seq(index))
+    return events
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_text=query_specs(),
+       seed=st.integers(min_value=0, max_value=99_999),
+       size=st.integers(min_value=0, max_value=30))
+def test_random_query_matches_oracle(query_text, seed, size):
+    registry = _registry()
+    events = _stream(seed, size)
+    analyzed = analyze(parse_query(query_text), registry)
+    expected = binding_keys(oracle_matches(analyzed, events))
+    engine = Engine(registry)
+    got = composite_binding_keys(engine.run(query_text, events))
+    assert got == expected, query_text
+
+
+@settings(max_examples=30, deadline=None)
+@given(query_text=query_specs(),
+       seed=st.integers(min_value=0, max_value=99_999),
+       size=st.integers(min_value=0, max_value=30))
+def test_random_query_plan_equivalence(query_text, seed, size):
+    registry = _registry()
+    events = _stream(seed, size)
+    engine = Engine(registry)
+    reference = composite_binding_keys(engine.run(query_text, events))
+    for config in (PlanConfig.naive(),
+                   PlanConfig().without("window_pushdown"),
+                   PlanConfig().without("partition_pushdown")):
+        got = composite_binding_keys(
+            engine.run(query_text, events, config=config))
+        assert got == reference, (query_text, config)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=99_999),
+       size=st.integers(min_value=0, max_value=40),
+       window=st.integers(min_value=1, max_value=20))
+def test_emitted_matches_are_sound(seed, size, window):
+    """Direct soundness check against the raw stream, independent of the
+    oracle's code paths."""
+    registry = _registry()
+    events = _stream(seed, size)
+    query_text = (f"EVENT SEQ(A x, !(B n), C z) "
+                  f"WHERE x.id = z.id AND n.id = x.id WITHIN {window} "
+                  f"RETURN x.id")
+    engine = Engine(registry)
+    for composite in engine.run(query_text, events):
+        x = composite.bindings["x"]
+        z = composite.bindings["z"]
+        assert isinstance(x, Event) and isinstance(z, Event)
+        assert x.type == "A" and z.type == "C"
+        assert x.timestamp < z.timestamp
+        assert z.timestamp - x.timestamp <= window
+        assert x["id"] == z["id"]
+        blockers = [event for event in events
+                    if event.type == "B" and event["id"] == x["id"]
+                    and x.timestamp < event.timestamp < z.timestamp]
+        assert not blockers

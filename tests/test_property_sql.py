@@ -1,0 +1,101 @@
+"""Property-based SQL executor tests: random tables, verified answers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+
+_row = st.tuples(
+    st.integers(min_value=-20, max_value=20),
+    st.one_of(st.none(), st.integers(min_value=-10, max_value=10)),
+    st.sampled_from(["red", "green", "blue"]),
+)
+_rows = st.lists(_row, max_size=25)
+
+
+def _database(rows) -> Database:
+    database = Database()
+    database.execute("CREATE TABLE t (a INT, b INT, c TEXT)")
+    for a, b, c in rows:
+        database.table("t").insert({"a": a, "b": b, "c": c})
+    return database
+
+
+class TestSelectProperties:
+    @given(_rows, st.integers(min_value=-20, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_where_filter_matches_python(self, rows, threshold):
+        database = _database(rows)
+        got = database.query(f"SELECT a FROM t WHERE a > {threshold}")
+        expected = sorted(a for a, _, _ in rows if a > threshold)
+        assert sorted(row["a"] for row in got) == expected
+
+    @given(_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_null_comparisons_never_match(self, rows):
+        database = _database(rows)
+        matched = database.query("SELECT b FROM t WHERE b >= -100")
+        expected = [b for _, b, _ in rows if b is not None]
+        assert sorted(row["b"] for row in matched) == sorted(expected)
+        nulls = database.query("SELECT a FROM t WHERE b IS NULL")
+        assert len(nulls) == sum(1 for _, b, _ in rows if b is None)
+
+    @given(_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_sorts(self, rows):
+        database = _database(rows)
+        got = [row["a"] for row in
+               database.query("SELECT a FROM t ORDER BY a")]
+        assert got == sorted(a for a, _, _ in rows)
+        descending = [row["a"] for row in
+                      database.query("SELECT a FROM t ORDER BY a DESC")]
+        assert descending == sorted((a for a, _, _ in rows),
+                                    reverse=True)
+
+    @given(_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_aggregates_match_python(self, rows):
+        database = _database(rows)
+        result = database.query(
+            "SELECT COUNT(*) AS n, COUNT(b) AS nb, SUM(a) AS sa, "
+            "MIN(a) AS lo, MAX(a) AS hi FROM t")[0]
+        values = [a for a, _, _ in rows]
+        assert result["n"] == len(rows)
+        assert result["nb"] == sum(1 for _, b, _ in rows
+                                   if b is not None)
+        assert result["sa"] == (sum(values) if values else None)
+        assert result["lo"] == (min(values) if values else None)
+        assert result["hi"] == (max(values) if values else None)
+
+    @given(_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_partitions_rows(self, rows):
+        database = _database(rows)
+        got = database.query(
+            "SELECT c, COUNT(*) AS n FROM t GROUP BY c")
+        expected: dict[str, int] = {}
+        for _, _, c in rows:
+            expected[c] = expected.get(c, 0) + 1
+        assert {row["c"]: row["n"] for row in got} == expected
+
+    @given(_rows, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_limit_truncates(self, rows, limit):
+        database = _database(rows)
+        got = database.query(f"SELECT a FROM t ORDER BY a LIMIT {limit}")
+        assert len(got) == min(limit, len(rows))
+
+    @given(_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_update_then_delete_is_consistent(self, rows):
+        database = _database(rows)
+        database.execute("UPDATE t SET a = a + 100 WHERE c = 'red'")
+        reds = sum(1 for _, _, c in rows if c == "red")
+        assert len(database.execute(
+            "SELECT * FROM t WHERE a >= 80")) >= reds
+        deleted = database.execute("DELETE FROM t WHERE c = 'red'")
+        assert deleted.affected == reds
+        assert len(database.execute("SELECT * FROM t")) == \
+            len(rows) - reds

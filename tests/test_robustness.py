@@ -1,0 +1,153 @@
+"""Robustness and failure-injection tests across the stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning import CleaningPipeline, CleaningConfig
+from repro.core.engine import Engine, run_query
+from repro.errors import EvaluationError, FunctionError, SaseError
+from repro.events.event import Event
+from repro.funcs import FunctionRegistry
+from repro.ons import ObjectNameService
+from repro.rfid import NoiseModel, RfidSimulator, MovementScript, \
+    default_retail_layout
+from repro.schemas import retail_registry
+
+from tests.helpers import make_events
+
+
+class TestEngineRobustness:
+    def test_unknown_event_types_flow_past_queries(self, abc_registry):
+        """Events of types the query does not mention are skipped, even
+        when they are not in the registry at all."""
+        events = [Event("A", 1, {"id": 1, "v": 0}),
+                  Event("WEIRD", 2, {"anything": "goes"}),
+                  Event("B", 3, {"id": 1, "v": 0})]
+        results = run_query(
+            "EVENT SEQ(A x, B y) WITHIN 10 RETURN x.id",
+            abc_registry, events)
+        assert len(results) == 1
+
+    def test_event_missing_partition_attribute_is_skipped(self,
+                                                          abc_registry):
+        events = [Event("A", 1, {"v": 0}),  # no id at all
+                  Event("A", 2, {"id": 1, "v": 0}),
+                  Event("B", 3, {"id": 1, "v": 0})]
+        results = run_query(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id", abc_registry, events)
+        assert len(results) == 1
+
+    def test_predicate_on_missing_attribute_raises(self, abc_registry):
+        events = [Event("A", 1, {"id": 1})]  # schema promises v
+        with pytest.raises(EvaluationError, match="no attribute"):
+            run_query("EVENT A x WHERE x.v > 1 RETURN x.id",
+                      abc_registry, events)
+
+    def test_failing_user_function_is_wrapped(self, abc_registry):
+        registry = FunctionRegistry()
+        registry.register("_boom", lambda value: 1 / 0)
+        events = make_events([("A", 1, {"id": 1, "v": 0})])
+        engine = Engine(abc_registry, functions=registry)
+        with pytest.raises(FunctionError, match="_boom"):
+            list(engine.run("EVENT A x RETURN _boom(x.id)", events))
+
+    def test_zero_length_stream(self, abc_registry):
+        assert run_query("EVENT SEQ(A x, B y) WITHIN 10 RETURN x.id",
+                         abc_registry, []) == []
+
+    def test_huge_timestamps(self, abc_registry):
+        events = make_events([
+            ("A", 1e15, {"id": 1, "v": 0}),
+            ("B", 1e15 + 1, {"id": 1, "v": 0})])
+        results = run_query(
+            "EVENT SEQ(A x, B y) WITHIN 10 RETURN x.id",
+            abc_registry, events)
+        assert len(results) == 1
+
+    def test_many_equal_timestamps_no_matches(self, abc_registry):
+        events = make_events([("A", 5, {"id": 1, "v": 0})] * 10
+                             + [("B", 5, {"id": 1, "v": 0})] * 10)
+        assert run_query("EVENT SEQ(A x, B y) WITHIN 10 RETURN x.id",
+                         abc_registry, events) == []
+
+    def test_long_quiet_gap_then_burst(self, abc_registry):
+        events = make_events(
+            [("A", 0, {"id": 1, "v": 0})]
+            + [("C", 1e6 + offset, {"id": 9, "v": 0})
+               for offset in range(5)]
+            + [("A", 2e6, {"id": 1, "v": 0}),
+               ("B", 2e6 + 1, {"id": 1, "v": 0})])
+        results = run_query(
+            "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+            "RETURN x.id", abc_registry, events)
+        assert len(results) == 1
+
+
+class TestCleaningRobustness:
+    def test_harsh_noise_still_produces_valid_events(self,
+                                                     retail_schemas):
+        layout = default_retail_layout(redundant_exit_reader=True)
+        ons = ObjectNameService()
+        for tag in range(50, 60):
+            ons.register_product(tag, f"p{tag}", home_area_id=1)
+        simulator = RfidSimulator(layout, NoiseModel.harsh(), seed=9)
+        script = MovementScript()
+        for tag in range(50, 60):
+            script.move(0.0, tag, 1)
+        script.move(10.0, 55, 4)
+        pipeline = CleaningPipeline(layout, ons)
+        events = list(pipeline.run(
+            simulator.run_script(script, until=20.0)))
+        assert events, "harsh noise should not silence the pipeline"
+        last_ts = None
+        for event in events:
+            schema = retail_schemas.get(event.type)
+            assert event.matches_schema(schema)
+            assert last_ts is None or event.timestamp >= last_ts
+            last_ts = event.timestamp
+
+    def test_total_miss_rate_produces_nothing(self):
+        layout = default_retail_layout()
+        ons = ObjectNameService()
+        ons.register_product(1, "p", home_area_id=1)
+        simulator = RfidSimulator(
+            layout, NoiseModel(miss_rate=1.0, duplicate_rate=0,
+                               truncate_rate=0, ghost_rate=0))
+        simulator.place(1, 1)
+        pipeline = CleaningPipeline(layout, ons,
+                                    CleaningConfig(smoothing_window=0.0))
+        assert pipeline.process_tick(simulator.scan(1.0), now=1.0) == []
+
+    def test_ghost_storm_fully_filtered(self):
+        layout = default_retail_layout()
+        ons = ObjectNameService()  # nothing registered: everything ghost
+        simulator = RfidSimulator(
+            layout, NoiseModel(miss_rate=0, duplicate_rate=0,
+                               truncate_rate=0, ghost_rate=1.0), seed=2)
+        pipeline = CleaningPipeline(layout, ons)
+        events = pipeline.process_tick(simulator.scan(1.0), now=1.0)
+        assert events == []
+        assert pipeline.stats.stage("anomaly_filter").dropped > 0
+
+
+class TestRegistryGuards:
+    def test_compile_against_wrong_schema_attribute(self):
+        engine = Engine(retail_registry())
+        with pytest.raises(SaseError, match="no attribute"):
+            engine.compile("EVENT SHELF_READING x WHERE x.Bogus = 1")
+
+    def test_window_in_different_units_equivalent(self, abc_registry):
+        events = make_events([("A", 0, {"id": 1, "v": 0}),
+                              ("B", 3599, {"id": 1, "v": 0}),
+                              ("B", 3601, {"id": 1, "v": 0})])
+        in_hours = run_query(
+            "EVENT SEQ(A x, B y) WITHIN 1 hour RETURN y.Timestamp",
+            abc_registry, events)
+        in_seconds = run_query(
+            "EVENT SEQ(A x, B y) WITHIN 3600 seconds RETURN y.Timestamp",
+            abc_registry, events)
+        assert [c.attributes for c in in_hours] == \
+            [c.attributes for c in in_seconds]
+        assert len(in_hours) == 1

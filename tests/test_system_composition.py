@@ -1,0 +1,120 @@
+"""Tests for query composition through FROM/INTO named streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SaseError
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.system import ComplexEventProcessor
+
+
+@pytest.fixture
+def registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.declare("A", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("B", id=AttributeType.INT, v=AttributeType.INT)
+    # composite event types published INTO streams must be declared so
+    # downstream queries can compile against them
+    registry.declare("Hot", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("Pair", id=AttributeType.INT)
+    return registry
+
+
+def a(ts: float, id_: int, v: int) -> Event:
+    return Event("A", ts, {"id": id_, "v": v})
+
+
+class TestComposition:
+    def test_two_level_hierarchy(self, registry):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query(
+            "detect_hot",
+            "EVENT A x WHERE x.v > 5 "
+            "RETURN Hot(x.id AS id, x.v AS v) INTO hots")
+        processor.register_monitoring_query(
+            "pair_hots",
+            "FROM hots EVENT SEQ(Hot p, Hot q) WHERE p.id = q.id "
+            "WITHIN 100 RETURN Pair(p.id AS id)")
+        events = [a(1, 7, 9), a(2, 7, 1), a(3, 7, 8), a(4, 8, 9)]
+        produced = processor.feed_many(events)
+        by_query: dict[str, list] = {}
+        for name, result in produced:
+            by_query.setdefault(name, []).append(result)
+        assert len(by_query["detect_hot"]) == 3
+        assert len(by_query["pair_hots"]) == 1
+        assert by_query["pair_hots"][0]["id"] == 7
+
+    def test_derived_events_timestamped_by_match_end(self, registry):
+        processor = ComplexEventProcessor(registry)
+        seen = []
+        processor.register_monitoring_query(
+            "hot", "EVENT A x RETURN Hot(x.id AS id, x.v AS v) INTO hots")
+        processor.register_monitoring_query(
+            "watch", "FROM hots EVENT Hot h RETURN h.id, h.Timestamp",
+            on_result=lambda name, result: seen.append(result))
+        processor.feed(a(42.5, 1, 1))
+        assert seen and seen[0]["h_Timestamp"] == 42.5
+
+    def test_queries_only_see_their_stream(self, registry):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query(
+            "base", "EVENT A x RETURN Hot(x.id AS id, x.v AS v) INTO hots")
+        processor.register_monitoring_query(
+            "other", "FROM elsewhere EVENT Hot h RETURN h.id")
+        produced = processor.feed(a(1, 1, 1))
+        assert {name for name, _ in produced} == {"base"}
+
+    def test_cycle_detected(self, registry):
+        registry.declare("Echo", id=AttributeType.INT)
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query(
+            "loop",
+            "FROM echoes EVENT Echo e RETURN Echo(e.id AS id) "
+            "INTO echoes")
+        processor.register_monitoring_query(
+            "seed", "EVENT A x RETURN Echo(x.id AS id) INTO echoes")
+        with pytest.raises(SaseError, match="cascade"):
+            processor.feed(a(1, 1, 1))
+
+    def test_flush_cascades_to_consumers(self, registry):
+        processor = ComplexEventProcessor(registry)
+        # upstream query only releases its match at flush time (trailing
+        # negation, no later event advances the watermark)
+        processor.register_monitoring_query(
+            "no_b",
+            "EVENT SEQ(A x, !(B y)) WHERE x.id = y.id WITHIN 50 "
+            "RETURN Hot(x.id AS id, x.v AS v) INTO hots")
+        processor.register_monitoring_query(
+            "watch", "FROM hots EVENT Hot h RETURN h.id")
+        assert processor.feed(a(1, 3, 1)) == []
+        produced = processor.flush()
+        names = [name for name, _ in produced]
+        assert names == ["no_b", "watch"]
+
+    def test_flush_order_producers_first(self, registry):
+        processor = ComplexEventProcessor(registry)
+        # register the consumer FIRST; flush order must still run the
+        # producer's flush before the consumer's
+        processor.register_monitoring_query(
+            "watch", "FROM hots EVENT Hot h RETURN h.id")
+        processor.register_monitoring_query(
+            "no_b",
+            "EVENT SEQ(A x, !(B y)) WHERE x.id = y.id WITHIN 50 "
+            "RETURN Hot(x.id AS id, x.v AS v) INTO hots")
+        processor.feed(a(1, 3, 1))
+        produced = processor.flush()
+        assert [name for name, _ in produced] == ["no_b", "watch"]
+
+    def test_input_output_stream_properties(self, registry):
+        processor = ComplexEventProcessor(registry)
+        registered = processor.register_monitoring_query(
+            "q", "FROM hots EVENT Hot h RETURN Pair(h.id AS id) INTO "
+                 "pairs")
+        assert registered.input_stream == "hots"
+        assert registered.output_stream == "pairs"
+        base = processor.register_monitoring_query(
+            "base", "EVENT A x RETURN x.id")
+        assert base.input_stream == ComplexEventProcessor.DEFAULT_STREAM
+        assert base.output_stream is None

@@ -1,0 +1,110 @@
+"""Tests for the per-query metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.system import ComplexEventProcessor, MetricsCollector, \
+    QueryMetrics
+
+
+@pytest.fixture
+def processor() -> ComplexEventProcessor:
+    registry = SchemaRegistry()
+    registry.declare("A", id=AttributeType.INT)
+    registry.declare("B", id=AttributeType.INT)
+    proc = ComplexEventProcessor(registry)
+    proc.register_monitoring_query("pairs",
+                                   "EVENT SEQ(A x, B y) "
+                                   "WHERE x.id = y.id WITHIN 10 "
+                                   "RETURN x.id")
+    proc.register_monitoring_query("all_a", "EVENT A x RETURN x.id")
+    return proc
+
+
+def feed(processor: ComplexEventProcessor) -> None:
+    processor.feed(Event("A", 1, {"id": 1}))
+    processor.feed(Event("B", 2, {"id": 1}))
+    processor.feed(Event("B", 3, {"id": 9}))
+
+
+class TestQueryMetrics:
+    def test_counts_and_selectivity(self, processor):
+        feed(processor)
+        pairs = processor.metrics.query("pairs")
+        assert pairs.events_in == 3
+        assert pairs.results_out == 1
+        assert pairs.selectivity == pytest.approx(1 / 3)
+        all_a = processor.metrics.query("all_a")
+        assert all_a.results_out == 1
+
+    def test_busy_time_accumulates(self, processor):
+        feed(processor)
+        assert processor.metrics.query("pairs").busy_seconds > 0
+        assert processor.metrics.total_busy_seconds >= \
+            processor.metrics.query("pairs").busy_seconds
+
+    def test_last_result_stream_time(self, processor):
+        feed(processor)
+        assert processor.metrics.query("pairs").last_result_at == 2
+        assert processor.metrics.query("all_a").last_result_at == 1
+
+    def test_rates(self, processor):
+        feed(processor)
+        metrics = processor.metrics.query("pairs")
+        assert metrics.events_per_second > 0
+        assert metrics.mean_feed_micros > 0
+
+    def test_bottleneck(self, processor):
+        feed(processor)
+        bottleneck = processor.metrics.bottleneck()
+        assert bottleneck is not None
+        assert bottleneck.name in ("pairs", "all_a")
+
+    def test_deregister_forgets(self, processor):
+        feed(processor)
+        processor.deregister("pairs")
+        assert "pairs" not in processor.metrics.queries
+
+    def test_report_lines(self, processor):
+        feed(processor)
+        lines = processor.metrics.report_lines()
+        assert len(lines) == 2
+        assert any("pairs" in line and "us/ev" in line for line in lines)
+
+    def test_empty_collector(self):
+        collector = MetricsCollector()
+        assert collector.bottleneck() is None
+        assert collector.report_lines() == []
+        assert collector.total_busy_seconds == 0.0
+
+    def test_zero_division_guards(self):
+        metrics = QueryMetrics("q")
+        assert metrics.events_per_second == 0.0
+        assert metrics.mean_feed_micros == 0.0
+        assert metrics.selectivity == 0.0
+
+
+class TestConsoleIntegration:
+    def test_metrics_panel_rendered_on_demand(self):
+        from repro.ons import ObjectNameService
+        from repro.rfid import default_retail_layout
+        from repro.rfid.simulator import RawReading
+        from repro.rfid.tags import encode_epc
+        from repro.system import SaseSystem
+        from repro.ui import SaseConsole
+
+        ons = ObjectNameService()
+        ons.register_product(100, "soap", home_area_id=1)
+        system = SaseSystem(default_retail_layout(), ons)
+        system.register_monitoring_query(
+            "shelf", "EVENT SHELF_READING x RETURN x.TagId")
+        system.process_tick([RawReading(encode_epc(100), "R1", 1.0)],
+                            now=1.0)
+        console = SaseConsole(system)
+        assert "Query Metrics" not in console.render()
+        with_metrics = console.render(include_metrics=True)
+        assert "Query Metrics" in with_metrics
+        assert "shelf:" in with_metrics

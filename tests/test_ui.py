@@ -1,0 +1,67 @@
+"""Tests for the console UI panels."""
+
+from __future__ import annotations
+
+from repro.ons import ObjectNameService
+from repro.rfid import default_retail_layout
+from repro.rfid.simulator import RawReading
+from repro.rfid.tags import encode_epc
+from repro.system import SaseSystem
+from repro.ui import Panel, SaseConsole, render_panel
+
+
+def make_system() -> SaseSystem:
+    ons = ObjectNameService()
+    ons.register_product(100, "soap", home_area_id=1)
+    system = SaseSystem(default_retail_layout(), ons)
+    system.register_monitoring_query(
+        "shelf", "EVENT SHELF_READING x RETURN x.TagId")
+    system.process_tick([RawReading(encode_epc(100), "R1", 1.0)], now=1.0)
+    return system
+
+
+class TestRenderPanel:
+    def test_box_shape(self):
+        text = render_panel(Panel("Title", ["line one"]), width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("┌─ Title")
+        assert lines[-1].startswith("└")
+        assert all(len(line) == 40 for line in lines)
+
+    def test_empty_panel(self):
+        assert "(empty)" in render_panel(Panel("T", []))
+
+    def test_long_lines_clipped(self):
+        text = render_panel(Panel("T", ["x" * 500]), width=30)
+        assert all(len(line) == 30 for line in text.splitlines())
+        assert "…" in text
+
+    def test_max_lines_keeps_most_recent(self):
+        panel = Panel("T", [f"line{i}" for i in range(20)])
+        text = render_panel(panel, max_lines=3)
+        assert "line19" in text and "line0" not in text
+
+
+class TestSaseConsole:
+    def test_five_panels_rendered(self):
+        console = SaseConsole(make_system())
+        text = console.render()
+        for title in ("Present Queries", "Message Results",
+                      "Cleaning and Association Layer Output",
+                      "Database Report", "Stream Processor Output"):
+            assert title in text
+
+    def test_present_queries_lists_registrations(self):
+        console = SaseConsole(make_system())
+        panel = console.present_queries()
+        assert any("shelf [monitoring]" in line for line in panel.lines)
+
+    def test_stream_output_shows_attributes(self):
+        console = SaseConsole(make_system())
+        panel = console.stream_processor_output()
+        assert any("x_TagId=100" in line for line in panel.lines)
+
+    def test_cleaning_output_shows_events(self):
+        console = SaseConsole(make_system())
+        panel = console.cleaning_output()
+        assert any("SHELF_READING" in line for line in panel.lines)

@@ -1,0 +1,156 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import EventDatabase
+from repro.errors import SimulationError
+from repro.events.stream import EventStream
+from repro.lang.parser import parse_query
+from repro.lang.semantics import analyze
+from repro.workloads import (
+    RetailConfig,
+    RetailScenario,
+    SyntheticConfig,
+    SyntheticStream,
+    WarehouseConfig,
+    WarehouseHistory,
+)
+from repro.workloads.retail import (
+    MISPLACED_INVENTORY_QUERY,
+    SHELF_CHANGE_RULE,
+    SHOPLIFTING_QUERY,
+)
+from repro.workloads.synthetic import seq_query, synthetic_registry
+
+
+class TestRetailScenario:
+    def test_ground_truth_sizes(self):
+        config = RetailConfig(n_products=20, n_shoppers=5,
+                              n_shoplifters=2, n_misplacements=3)
+        scenario = RetailScenario.generate(config)
+        assert len(scenario.truth.purchased) == 5
+        assert len(scenario.truth.shoplifted) == 2
+        assert len(scenario.truth.misplaced) == 3
+        # behaviours use distinct items
+        tags = (scenario.truth.purchased_tags()
+                | scenario.truth.shoplifted_tags()
+                | scenario.truth.misplaced_tags())
+        assert len(tags) == 10
+
+    def test_every_product_registered(self):
+        scenario = RetailScenario.generate(RetailConfig(n_products=15))
+        assert len(scenario.ons) == 15
+
+    def test_misplacement_targets_wrong_shelf(self):
+        scenario = RetailScenario.generate(
+            RetailConfig(n_misplacements=3))
+        for incident in scenario.truth.misplaced:
+            record = scenario.ons.lookup(incident.tag_id)
+            assert record is not None
+            assert incident.to_area != record.home_area_id
+
+    def test_deterministic_for_seed(self):
+        first = RetailScenario.generate(RetailConfig(seed=9))
+        second = RetailScenario.generate(RetailConfig(seed=9))
+        assert first.truth == second.truth
+
+    def test_not_enough_products_rejected(self):
+        with pytest.raises(SimulationError):
+            RetailConfig(n_products=3, n_shoppers=5)
+
+    def test_queries_parse(self):
+        for text in (SHOPLIFTING_QUERY, MISPLACED_INVENTORY_QUERY,
+                     SHELF_CHANGE_RULE):
+            parse_query(text)
+
+    def test_ticks_produce_readings(self):
+        scenario = RetailScenario.generate(
+            RetailConfig(n_products=10, n_shoppers=1, n_shoplifters=1,
+                         n_misplacements=0))
+        total = sum(len(readings) for _, readings in scenario.ticks())
+        assert total > 0
+
+
+class TestWarehouseHistory:
+    def test_truth_consistency(self):
+        history = WarehouseHistory.generate(WarehouseConfig(
+            n_boxes=2, items_per_box=3, n_box_changes=1))
+        assert len(history.item_tags) == 6
+        assert len(history.box_tags) == 2
+        # every item ends on its home shelf, out of any box
+        for tag in history.item_tags:
+            record = history.ons.lookup(tag)
+            assert record is not None
+            assert history.truth.final_location[tag] == \
+                record.home_area_id
+            assert history.truth.final_parent[tag] is None
+
+    def test_populate_matches_truth(self):
+        history = WarehouseHistory.generate(WarehouseConfig(
+            n_boxes=2, items_per_box=2, n_box_changes=2))
+        edb = EventDatabase()
+        history.populate(edb)
+        for tag in history.item_tags:
+            location = edb.current_location(tag)
+            assert location is not None
+            assert location["area_id"] == \
+                history.truth.final_location[tag]
+            assert edb.current_containment(tag) is None
+            assert len(edb.containment_history(tag)) == \
+                len(history.truth.containment_history[tag])
+
+    def test_events_are_time_ordered(self):
+        history = WarehouseHistory.generate(WarehouseConfig(n_boxes=2))
+        events = EventStream(history.events()).collect()
+        assert events  # ordering validated by EventStream
+
+
+class TestSyntheticStream:
+    def test_generation_shape(self):
+        stream = SyntheticStream.generate(SyntheticConfig(
+            n_events=500, n_types=3, id_domain=10, seed=4))
+        assert len(stream) == 500
+        types = {event.type for event in stream.events}
+        assert types <= {"A", "B", "C"}
+        assert all(0 <= event["id"] < 10 for event in stream.events)
+        assert stream.duration > 0
+
+    def test_time_ordered(self):
+        stream = SyntheticStream.generate(SyntheticConfig(n_events=200))
+        EventStream(stream.events).collect()  # raises if out of order
+
+    def test_deterministic(self):
+        first = SyntheticStream.generate(SyntheticConfig(seed=5,
+                                                         n_events=50))
+        second = SyntheticStream.generate(SyntheticConfig(seed=5,
+                                                          n_events=50))
+        assert first.events == second.events
+
+    def test_type_weights(self):
+        stream = SyntheticStream.generate(SyntheticConfig(
+            n_events=300, n_types=2, type_weights=(1.0, 0.0), seed=1))
+        assert {event.type for event in stream.events} == {"A"}
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            SyntheticConfig(n_events=0)
+        with pytest.raises(SimulationError):
+            SyntheticConfig(n_types=2, type_weights=(1.0,))
+
+    def test_seq_query_builder(self):
+        registry = synthetic_registry(4)
+        text = seq_query(3, window=50, partitioned=True, v_filter=5,
+                         negation_at=1)
+        analyzed = analyze(parse_query(text), registry)
+        assert analyzed.window == 50
+        assert analyzed.has_negation
+        assert analyzed.partition is not None
+
+    def test_seq_query_unpartitioned(self):
+        registry = synthetic_registry(2)
+        analyzed = analyze(
+            parse_query(seq_query(2, window=10, partitioned=False)),
+            registry)
+        assert analyzed.partition is None

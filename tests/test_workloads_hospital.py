@@ -1,0 +1,83 @@
+"""Tests for the medication-compliance workload and its queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.errors import SimulationError
+from repro.events.stream import EventStream
+from repro.workloads import (
+    DOUBLE_DOSE_QUERY,
+    HospitalConfig,
+    HospitalScenario,
+    MISSED_DOSE_QUERY,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario() -> HospitalScenario:
+    return HospitalScenario.generate(HospitalConfig(
+        n_patients=12, doses_per_patient=4, seed=5))
+
+
+class TestGeneration:
+    def test_events_time_ordered(self, scenario):
+        EventStream(scenario.events).collect()  # raises if out of order
+
+    def test_truth_counts_match_events(self, scenario):
+        dispensed = sum(1 for event in scenario.events
+                        if event.type == "DISPENSED")
+        intakes = sum(1 for event in scenario.events
+                      if event.type == "INTAKE")
+        expected_dispensed = 12 * 4
+        assert dispensed == expected_dispensed
+        assert intakes == (expected_dispensed
+                           - len(scenario.truth.missed)
+                           + len(scenario.truth.double))
+
+    def test_deterministic(self):
+        first = HospitalScenario.generate(HospitalConfig(seed=9))
+        second = HospitalScenario.generate(HospitalConfig(seed=9))
+        assert first.events == second.events
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            HospitalConfig(n_patients=0)
+        with pytest.raises(SimulationError):
+            HospitalConfig(miss_probability=0.7, double_probability=0.7)
+        with pytest.raises(SimulationError):
+            HospitalConfig(dose_interval=60.0)
+
+
+class TestMonitoringQueries:
+    def _engine(self, scenario) -> Engine:
+        # the composite output types need no registration: they are not
+        # consumed by downstream queries here
+        return Engine(scenario.registry)
+
+    def test_missed_dose_detection_exact(self, scenario):
+        engine = self._engine(scenario)
+        detected = {
+            (result["d_PatientId"], result["d_Drug"], result.start)
+            for result in engine.run(MISSED_DOSE_QUERY, scenario.events)}
+        assert detected == scenario.truth.missed_keys()
+
+    def test_double_dose_detection_exact(self, scenario):
+        engine = self._engine(scenario)
+        detected = {(result["a_PatientId"], result["a_Drug"])
+                    for result in engine.run(DOUBLE_DOSE_QUERY,
+                                             scenario.events)}
+        assert detected == scenario.truth.double_keys()
+
+    def test_compliant_patients_never_flagged(self, scenario):
+        engine = self._engine(scenario)
+        flagged = {result["d_PatientId"] for result in
+                   engine.run(MISSED_DOSE_QUERY, scenario.events)}
+        flagged |= {result["a_PatientId"] for result in
+                    engine.run(DOUBLE_DOSE_QUERY, scenario.events)}
+        incident_patients = (
+            {incident.patient_id for incident in scenario.truth.missed}
+            | {incident.patient_id
+               for incident in scenario.truth.double})
+        assert flagged == incident_patients
