@@ -1,0 +1,130 @@
+"""E15 — sharded runtime throughput: 1/2/4 shards vs single-process.
+
+The sharded runtime hash-partitions the cleaned stream by each query's
+partition attribute across worker shards (``repro.sharding``).  This
+experiment measures what that buys on a partitioned, function-free
+workload — the case the analyzer classifies as ``keyed`` — comparing the
+classic synchronous processor against the sharded runtime at 1, 2, and 4
+shards for the inline and process backends.
+
+Expected shape: inline sharding only adds routing overhead (same
+process, same core); the process backend amortises that overhead across
+cores, so its relative throughput should exceed 1.0 on multi-core hosts
+with enough per-event work.  On a single-core host the process backend
+pays IPC costs with no parallelism to gain — the table reports the host
+core count so the numbers can be read honestly.  Output equality with
+the baseline is asserted on every run, so this benchmark doubles as a
+large differential test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.sharding import ShardingConfig
+from repro.system.processor import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+from common import print_table
+
+FULL_EVENTS = 12_000
+SMOKE_EVENTS = 1_500
+SHARD_COUNTS = [1, 2, 4]
+BACKENDS = ["inline", "process"]
+
+
+def build_stream(n_events: int) -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, mean_gap=1.0,
+        seed=15))
+
+
+QUERIES = {
+    "pair": seq_query(2, window=30.0, partitioned=True),
+    "triple": seq_query(3, window=30.0, partitioned=True),
+}
+
+
+def run_once(stream: SyntheticStream,
+             sharding: ShardingConfig | None) -> tuple[float, list]:
+    processor = ComplexEventProcessor(stream.registry, sharding=sharding)
+    for name, text in QUERIES.items():
+        processor.register(name, text)
+    produced = []
+    started = time.perf_counter()
+    for event in stream.events:
+        produced.extend(processor.feed(event))
+    produced.extend(processor.flush())
+    elapsed = time.perf_counter() - started
+    fingerprint = [(name, result.start, result.end)
+                   for name, result in produced]
+    return elapsed, fingerprint
+
+
+def sweep(n_events: int, backends: list[str],
+          shard_counts: list[int]) -> list[list]:
+    stream = build_stream(n_events)
+    base_elapsed, base_fingerprint = run_once(stream, None)
+    base_throughput = n_events / base_elapsed
+    rows = [["single-process", "-", base_throughput, 1.0,
+             len(base_fingerprint)]]
+    for backend in backends:
+        for shards in shard_counts:
+            elapsed, fingerprint = run_once(stream, ShardingConfig(
+                shards=shards, backend=backend, batch_size=64,
+                queue_capacity=8))
+            assert fingerprint == base_fingerprint, \
+                f"{backend}/{shards} diverged from the baseline"
+            throughput = n_events / elapsed
+            rows.append([f"{backend} x{shards}", shards, throughput,
+                         throughput / base_throughput,
+                         len(fingerprint)])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="sharded runtime throughput experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (seconds, "
+                             "inline backend + one process run)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = sweep(SMOKE_EVENTS, ["inline"], [1, 2]) + \
+            sweep(SMOKE_EVENTS, ["process"], [2])[1:]
+    else:
+        rows = sweep(FULL_EVENTS, BACKENDS, SHARD_COUNTS)
+    cores = os.cpu_count() or 1
+    print_table(
+        f"E15 — sharded runtime throughput "
+        f"({SMOKE_EVENTS if args.smoke else FULL_EVENTS} events, "
+        f"2 keyed SEQ queries, host has {cores} core(s))",
+        ["configuration", "shards", "events/s", "vs single-process",
+         "results"],
+        rows)
+    if cores == 1:
+        print("note: single-core host; the process backend cannot "
+              "exceed 1.0x here (IPC overhead, no parallelism).")
+
+
+def test_benchmark_sharded_inline(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    result = benchmark.pedantic(
+        lambda: run_once(stream, ShardingConfig(shards=2,
+                                                backend="inline")),
+        rounds=3, iterations=1)
+    assert result[1]
+
+
+def test_benchmark_single_process_baseline(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    result = benchmark.pedantic(lambda: run_once(stream, None),
+                                rounds=3, iterations=1)
+    assert result[1]
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@ EXPERIMENTS = [
     ("E12", "bench_e12_cleaning_ablation"),
     ("E13", "bench_e13_latency"),
     ("E14", "bench_e14_construction_pushdown"),
+    ("E15", "bench_e15_sharded_throughput"),
 ]
 
 

@@ -30,6 +30,7 @@ from repro.events.event import Event
 from repro.events.model import AttributeType, SchemaRegistry
 from repro.rfid import NoiseModel
 from repro.schemas import retail_registry
+from repro.sharding import BACKENDS, ShardingConfig
 from repro.system import SaseSystem
 from repro.ui import SaseConsole
 from repro.workloads import (
@@ -91,6 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--shoppers", type=int, default=6)
     demo.add_argument("--shoplifters", type=int, default=2)
     demo.add_argument("--misplacements", type=int, default=2)
+    demo.add_argument("--shards", type=int, default=1,
+                      help="worker shards for the parallel runtime "
+                           "(default: 1, classic single-process)")
+    demo.add_argument("--shard-backend", choices=BACKENDS,
+                      default="inline",
+                      help="shard executor: inline (deterministic, "
+                           "in-process), thread, or process")
     demo.add_argument("--trace", type=int, metavar="TAG",
                       help="print the movement history of one tag")
     demo.set_defaults(handler=_cmd_demo)
@@ -140,7 +148,11 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
         n_products=args.products, n_shoppers=args.shoppers,
         n_shoplifters=args.shoplifters,
         n_misplacements=args.misplacements, seed=args.seed))
-    system = SaseSystem(scenario.layout, scenario.ons)
+    sharding = None
+    if args.shards != 1 or args.shard_backend != "inline":
+        sharding = ShardingConfig(shards=args.shards,
+                                  backend=args.shard_backend)
+    system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
     system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
     system.register_monitoring_query("misplaced",
                                      MISPLACED_INVENTORY_QUERY)
@@ -160,6 +172,15 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
     print(f"misplaced:  truth={sorted(scenario.truth.misplaced_tags())} "
           f"detected={sorted(misplaced)}", file=out)
     print(SaseConsole(system, max_lines=6).render(), file=out)
+    if sharding is not None:
+        print(f"\nsharded runtime ({args.shards} shard(s), "
+              f"{args.shard_backend} backend):", file=out)
+        plan = system.processor.shard_plan
+        if plan is not None:
+            for line in plan.describe().splitlines():
+                print(f"  {line}", file=out)
+        for line in system.processor.metrics.report_lines():
+            print(f"  {line}", file=out)
     if args.trace is not None:
         print(f"\ntrace for tag {args.trace}:", file=out)
         for entry in system.event_db.movement_history(args.trace):

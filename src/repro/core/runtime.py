@@ -93,6 +93,22 @@ class QueryRuntime:
         self.stats.results_emitted += len(outputs)
         return outputs
 
+    def advance(self, watermark: float) -> list[CompositeEvent]:
+        """Advance stream time without consuming an event.
+
+        The sharded runtime broadcasts watermark ticks to shards that did
+        not receive an event so their pending trailing-negation matches
+        are released at the same stream time as a single-process run.
+        """
+        if self._flushed:
+            raise RuntimeError("runtime already flushed; create a new one")
+        if self._negation is None:
+            return []
+        outputs = [self._transformation.process(match)
+                   for match in self._negation.advance(watermark)]
+        self.stats.results_emitted += len(outputs)
+        return outputs
+
     def flush(self) -> list[CompositeEvent]:
         """End the stream: decide every pending trailing negation."""
         self._flushed = True

@@ -40,6 +40,13 @@ class Event:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Event instances are immutable")
 
+    def __reduce__(self):
+        # Immutability blocks pickle's default slot restoration (it goes
+        # through setattr); rebuild through the constructor instead so
+        # events can cross process boundaries (sharded execution).
+        return (Event, (self.type, self.timestamp, self.attributes,
+                        self.seq))
+
     def with_seq(self, seq: int) -> "Event":
         """Return a copy of this event carrying arrival number *seq*."""
         return Event(self.type, self.timestamp, self.attributes, seq)

@@ -37,7 +37,8 @@ class EventStream:
 
     def __iter__(self) -> Iterator[Event]:
         last_ts: float | None = None
-        for position, event in enumerate(self._events, self._start_seq):
+        next_seq = self._start_seq
+        for event in self._events:
             if not isinstance(event, Event):
                 raise StreamError(
                     f"stream {self.name!r} yielded a non-Event object: "
@@ -48,7 +49,16 @@ class EventStream:
                     f"stream {self.name!r} is out of order: timestamp "
                     f"{event.timestamp} after {last_ts}")
             last_ts = event.timestamp
-            yield event.with_seq(position) if event.seq < 0 else event
+            if event.seq < 0:
+                event = event.with_seq(next_seq)
+                next_seq += 1
+            else:
+                # A pre-sequenced event passes through; later assigned
+                # numbers continue monotonically past it so mixing
+                # sequenced and unsequenced events never produces
+                # duplicate or regressing sequence numbers.
+                next_seq = max(next_seq, event.seq + 1)
+            yield event
 
     def collect(self) -> list[Event]:
         """Materialize the stream (validating and sequencing as it goes)."""

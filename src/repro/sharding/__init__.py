@@ -1,0 +1,23 @@
+"""Sharded parallel runtime: partition-aware routing across workers.
+
+See :mod:`repro.sharding.analyzer` for how queries are classified,
+:mod:`repro.sharding.router` for routing/batching/merging, and
+:mod:`repro.sharding.backends` for the inline/thread/process executors.
+"""
+
+from repro.sharding.analyzer import GroupSpec, QueryShardInfo, ShardPlan, \
+    build_shard_plan, classify_query, stable_hash
+from repro.sharding.config import BACKENDS, ShardingConfig
+from repro.sharding.router import ShardRouter
+
+__all__ = [
+    "BACKENDS",
+    "GroupSpec",
+    "QueryShardInfo",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardingConfig",
+    "build_shard_plan",
+    "classify_query",
+    "stable_hash",
+]

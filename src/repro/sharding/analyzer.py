@@ -1,0 +1,256 @@
+"""Partition analyzer: decide how each registered query can be sharded.
+
+The engine already discovers a query's *partition scheme* (the full-cover
+equality class behind PAIS, ``repro.lang.semantics._find_partition``) to
+hash active instances into per-value stacks.  The sharded runtime reuses
+exactly that analysis one level up: if every positive component keys on
+one attribute, the *stream itself* can be hash-partitioned across worker
+shards and each shard runs an independent replica of the query over its
+slice of the key space.
+
+Classification per query:
+
+``keyed``
+    Has a partition scheme, reads the default stream, publishes no INTO
+    stream, and calls no functions.  Events route to ``hash(key) % N``.
+    Event types of negated components outside the equality class are
+    *fanned out* to every shard (any shard's match could be invalidated
+    by them).
+``broadcast``
+    Pure and stream-only but without a usable partition key.  The query
+    cannot parallelise; it runs whole on one *home shard* and every
+    default-stream event is broadcast there.
+``local``
+    Calls functions (``_retrieveLocation`` needs the coordinator's event
+    database), takes part in INTO/FROM composition (cascades must see
+    the merged stream), or was registered from a pre-compiled object.
+    Local queries execute synchronously in the coordinator, preserving
+    exactly the classic semantics.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.plan import PlanConfig
+from repro.lang.ast import AggregateCall, BinaryOp, FunctionCall, UnaryOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.processor import RegisteredQuery
+
+
+def stable_hash(value: Any) -> int:
+    """A process-stable hash for routing keys (``hash()`` of strings is
+    salted per interpreter, which would make shard assignment — and the
+    merger's shard-id tie-break — vary between runs)."""
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+def _calls_function(expr: Any) -> bool:
+    if isinstance(expr, FunctionCall):
+        return True
+    if isinstance(expr, BinaryOp):
+        return _calls_function(expr.left) or _calls_function(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _calls_function(expr.operand)
+    if isinstance(expr, AggregateCall):
+        return expr.arg is not None and _calls_function(expr.arg)
+    return False
+
+
+@dataclass(frozen=True)
+class QueryShardInfo:
+    """One query's shardability verdict."""
+
+    name: str
+    rank: int                       # registration order (merge key)
+    mode: str                       # "keyed" | "broadcast" | "local"
+    reason: str
+    text: str = ""
+    plan_config: PlanConfig | None = None
+    keyed: dict = field(default_factory=dict)       # event type -> attr
+    fanout_types: frozenset = frozenset()
+    needs_watermark: bool = False
+
+    @property
+    def distributed(self) -> bool:
+        return self.mode in ("keyed", "broadcast")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A set of co-routed queries one worker-side processor hosts.
+
+    Keyed groups are replicated on every shard and receive the slice of
+    the stream their routing map selects; broadcast groups exist on one
+    home shard only and receive the whole default stream.
+    """
+
+    group_id: int
+    kind: str                       # "keyed" | "broadcast"
+    queries: tuple = ()             # (rank, name, text, plan_config)
+    keyed: dict = field(default_factory=dict)
+    fanout_types: frozenset = frozenset()
+    needs_watermark: bool = False
+    home_shard: int = 0             # broadcast groups only
+
+
+@dataclass
+class ShardPlan:
+    """The routing decision for one registered query set."""
+
+    shards: int
+    infos: list[QueryShardInfo]
+    groups: list[GroupSpec]
+    local_names: frozenset
+
+    @property
+    def distributed_count(self) -> int:
+        return sum(1 for info in self.infos if info.distributed)
+
+    def describe(self) -> str:
+        lines = [f"Shard plan ({self.shards} shard(s), "
+                 f"{self.distributed_count} distributed, "
+                 f"{len(self.local_names)} local):"]
+        for info in self.infos:
+            detail = info.reason
+            if info.mode == "keyed":
+                keys = ", ".join(f"{etype}.{attr}" for etype, attr
+                                 in sorted(info.keyed.items()))
+                detail = f"routed on [{keys}]"
+                if info.fanout_types:
+                    detail += (f", fanout {{"
+                               f"{', '.join(sorted(info.fanout_types))}}}")
+                if info.needs_watermark:
+                    detail += ", watermarked"
+            lines.append(f"  {info.name}: {info.mode} ({detail})")
+        return "\n".join(lines)
+
+
+def classify_query(name: str, rank: int,
+                   registered: "RegisteredQuery",
+                   default_stream: str) -> QueryShardInfo:
+    """Decide how one registered query may execute under sharding."""
+    analyzed = registered.compiled.analyzed
+    text = analyzed.query.text
+    plan_config = registered.compiled.plan.config
+
+    def local(reason: str) -> QueryShardInfo:
+        return QueryShardInfo(name=name, rank=rank, mode="local",
+                              reason=reason, text=text,
+                              plan_config=plan_config)
+
+    if not text.strip():
+        return local("registered without source text")
+    exprs = [info.expr for info in analyzed.selection_predicates]
+    for infos in (*analyzed.component_filters.values(),
+                  *analyzed.negation_predicates.values(),
+                  *analyzed.kleene_predicates.values()):
+        exprs.extend(info.expr for info in infos)
+    exprs.extend(item.expr for item in analyzed.return_items)
+    if any(_calls_function(expr) for expr in exprs):
+        return local("calls system functions")
+    if registered.input_stream != default_stream or \
+            analyzed.output_stream is not None:
+        return local("INTO/FROM stream composition")
+
+    def broadcast(reason: str) -> QueryShardInfo:
+        return QueryShardInfo(name=name, rank=rank, mode="broadcast",
+                              reason=reason, text=text,
+                              plan_config=plan_config)
+
+    partition = analyzed.partition
+    if partition is None:
+        return broadcast("no full-cover partition key")
+
+    keyed: dict[str, str] = {}
+    fanout: set[str] = set()
+    for component in analyzed.components:
+        attr = partition.attr_by_var.get(component.variable)
+        for event_type in component.event_types:
+            if attr is None:
+                fanout.add(event_type)
+            elif keyed.get(event_type, attr) != attr:
+                return broadcast(
+                    f"type {event_type} keyed on conflicting attributes")
+            else:
+                keyed[event_type] = attr
+    if fanout & set(keyed):
+        return broadcast("a fanned-out type is also a keyed type")
+    needs_watermark = any(
+        next_index >= len(analyzed.positives)
+        for _, _, next_index in analyzed.negation_layout())
+    return QueryShardInfo(name=name, rank=rank, mode="keyed",
+                          reason="partition scheme", text=text,
+                          plan_config=plan_config, keyed=keyed,
+                          fanout_types=frozenset(fanout),
+                          needs_watermark=needs_watermark)
+
+
+def build_shard_plan(queries: "list[RegisteredQuery]", shards: int,
+                     default_stream: str) -> ShardPlan:
+    """Classify every query and form worker groups.
+
+    Keyed queries with identical routing signatures share one group (one
+    worker-side processor); each distinct signature routes independently.
+    A query publishing INTO the default stream would cascade into the
+    keyed queries' input, so that degenerate layout forces everything
+    local.
+    """
+    infos = [classify_query(registered.name, rank, registered,
+                            default_stream)
+             for rank, registered in enumerate(queries)]
+
+    into_default = any(
+        registered.output_stream == default_stream
+        for registered in queries)
+    if into_default:
+        infos = [QueryShardInfo(name=info.name, rank=info.rank,
+                                mode="local",
+                                reason="a query publishes INTO the "
+                                       "default stream",
+                                text=info.text,
+                                plan_config=info.plan_config)
+                 for info in infos]
+
+    groups: list[GroupSpec] = []
+    keyed_signature_to_group: dict[tuple, int] = {}
+    broadcast_home_to_group: dict[int, int] = {}
+    for info in infos:
+        if info.mode == "keyed":
+            signature = (frozenset(info.keyed.items()), info.fanout_types)
+            index = keyed_signature_to_group.get(signature)
+            if index is None:
+                index = len(groups)
+                keyed_signature_to_group[signature] = index
+                groups.append(GroupSpec(
+                    group_id=index, kind="keyed", keyed=dict(info.keyed),
+                    fanout_types=info.fanout_types))
+            group = groups[index]
+            groups[index] = GroupSpec(
+                group_id=index, kind="keyed", keyed=group.keyed,
+                fanout_types=group.fanout_types,
+                needs_watermark=group.needs_watermark
+                or info.needs_watermark,
+                queries=group.queries + (
+                    (info.rank, info.name, info.text, info.plan_config),))
+        elif info.mode == "broadcast":
+            home = stable_hash(info.name) % shards
+            index = broadcast_home_to_group.get(home)
+            if index is None:
+                index = len(groups)
+                broadcast_home_to_group[home] = index
+                groups.append(GroupSpec(group_id=index, kind="broadcast",
+                                        home_shard=home))
+            group = groups[index]
+            groups[index] = GroupSpec(
+                group_id=index, kind="broadcast", home_shard=home,
+                queries=group.queries + (
+                    (info.rank, info.name, info.text, info.plan_config),))
+
+    local_names = frozenset(info.name for info in infos
+                            if info.mode == "local")
+    return ShardPlan(shards=shards, infos=infos, groups=groups,
+                     local_names=local_names)

@@ -1,0 +1,380 @@
+"""Pluggable shard executors: inline, thread, and process backends.
+
+All three run the same :class:`~repro.sharding.worker.ShardWorkerCore`;
+they differ only in transport and failure model:
+
+* **inline** — cores live in the coordinator and batches execute
+  synchronously on submit.  Fully deterministic, zero concurrency; the
+  backend differential tests and the default configuration use it.
+* **thread** — one daemon thread per shard with bounded ``queue.Queue``
+  channels.  Useful for overlap with I/O-bound callables and for
+  exercising the asynchronous protocol without processes (the GIL caps
+  CPU parallelism).
+* **process** — one ``multiprocessing`` worker per shard with bounded
+  queues and batched IPC.  The submit path *blocks* when a shard's queue
+  is full (backpressure) instead of buffering unboundedly, and every
+  batch is journaled: a worker that dies mid-batch is detected, its shard
+  restarted, the journal replayed into the fresh worker, and duplicate
+  responses suppressed — results are exactly-once even across a kill.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from typing import Callable
+
+from repro.errors import SaseError
+from repro.sharding.worker import ShardWorkerCore, WorkerSpec, \
+    process_worker_main
+
+# How long one blocking put/get waits before re-checking worker liveness.
+_STALL_TICK = 0.05
+
+
+class ShardBackend:
+    """Transport-agnostic base: bookkeeping for outstanding work."""
+
+    synchronous = False
+
+    def __init__(self, shards: int, spec: WorkerSpec, metrics,
+                 queue_capacity: int, response_timeout: float):
+        self.shards = shards
+        self.spec = spec
+        self.metrics = metrics
+        self.queue_capacity = queue_capacity
+        self.response_timeout = response_timeout
+        self._outstanding: set[tuple] = set()   # ("batch", shard, id) ...
+
+    # -- bookkeeping shared by every transport -------------------------------
+
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def _note_submitted(self, shard: int, batch_id: int) -> None:
+        self._outstanding.add(("batch", shard, batch_id))
+
+    def _note_flush_sent(self, shard: int, flush_id: int) -> None:
+        self._outstanding.add(("flush", shard, flush_id))
+
+    def _accept(self, response: tuple) -> tuple | None:
+        """Mark a raw worker response received; None when duplicate."""
+        opcode = response[0]
+        if opcode == "error":
+            raise SaseError(
+                f"shard {response[1]} worker failed:\n{response[2]}")
+        key = (opcode, response[1], response[2])
+        if key not in self._outstanding:
+            return None  # replayed duplicate after a restart
+        self._outstanding.discard(key)
+        self.metrics.shard(response[1]).results_received += \
+            len(response[3])
+        return response
+
+    # -- transport interface -------------------------------------------------
+
+    def start(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def submit(self, shard: int, batch_id: int, entries: list) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    def send_flush(self, flush_id: int) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    def poll(self) -> list[tuple]:
+        raise NotImplementedError  # pragma: no cover
+
+    def wait(self) -> list[tuple]:
+        """Block until at least one response arrives (or raise after
+        ``response_timeout`` seconds without progress)."""
+        deadline = time.monotonic() + self.response_timeout
+        while True:
+            responses = self.poll()
+            if responses:
+                return responses
+            if not self._outstanding:
+                return []
+            if time.monotonic() > deadline:
+                raise SaseError(
+                    f"sharded runtime made no progress for "
+                    f"{self.response_timeout:g}s; "
+                    f"{len(self._outstanding)} response(s) outstanding")
+            time.sleep(_STALL_TICK / 10)
+
+    def stop(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def worker_pids(self) -> dict[int, int]:
+        return {}
+
+
+class InlineBackend(ShardBackend):
+    """Deterministic single-process execution; batches run on submit."""
+
+    synchronous = True
+
+    def start(self) -> None:
+        self._cores = [ShardWorkerCore(shard, self.spec)
+                       for shard in range(self.shards)]
+        self._responses: list[tuple] = []
+
+    def submit(self, shard: int, batch_id: int, entries: list) -> None:
+        self._note_submitted(shard, batch_id)
+        tagged, delta = self._cores[shard].process_batch(entries)
+        self._responses.append(("batch", shard, batch_id, tagged, delta))
+
+    def send_flush(self, flush_id: int) -> None:
+        for shard in range(self.shards):
+            self._note_flush_sent(shard, flush_id)
+            tagged, delta = self._cores[shard].flush()
+            self._responses.append(("flush", shard, flush_id, tagged,
+                                    delta))
+
+    def poll(self) -> list[tuple]:
+        accepted = [self._accept(response)
+                    for response in self._responses]
+        self._responses.clear()
+        return [response for response in accepted if response is not None]
+
+    def stop(self) -> None:
+        self._cores = []
+
+
+class _BoundedChannelBackend(ShardBackend):
+    """Shared logic for thread/process backends: bounded per-shard input
+    queues with stall-counting blocking puts."""
+
+    def _put_with_backpressure(self, shard: int, message: tuple,
+                               alive: Callable[[], bool],
+                               on_dead: Callable[[], None]) -> None:
+        in_queue = self._in_queues[shard]
+        try:
+            in_queue.put_nowait(message)
+            return
+        except queue_module.Full:
+            self.metrics.shard(shard).queue_full_stalls += 1
+        deadline = time.monotonic() + self.response_timeout
+        while True:
+            if not alive():
+                on_dead()
+                return
+            try:
+                # Re-resolve the queue: a restart swaps in a fresh one.
+                self._in_queues[shard].put(message, timeout=_STALL_TICK)
+                return
+            except queue_module.Full:
+                if time.monotonic() > deadline:
+                    raise SaseError(
+                        f"shard {shard} queue stayed full for "
+                        f"{self.response_timeout:g}s (backpressure "
+                        f"deadlock?)") from None
+
+
+class ThreadBackend(_BoundedChannelBackend):
+    """One worker thread per shard.  Threads do not crash independently
+    of the coordinator, so there is no journal or restart machinery."""
+
+    def start(self) -> None:
+        self._in_queues = [queue_module.Queue(maxsize=self.queue_capacity)
+                           for _ in range(self.shards)]
+        self._out_queue: queue_module.Queue = queue_module.Queue()
+        self._threads = []
+        for shard in range(self.shards):
+            thread = threading.Thread(
+                target=process_worker_main,
+                args=(shard, self.spec, self._in_queues[shard],
+                      self._out_queue),
+                name=f"sase-shard-{shard}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, shard: int, batch_id: int, entries: list) -> None:
+        self._note_submitted(shard, batch_id)
+        self._put_with_backpressure(
+            shard, ("batch", batch_id, entries),
+            alive=self._threads[shard].is_alive,
+            on_dead=lambda: (_ for _ in ()).throw(SaseError(
+                f"shard {shard} worker thread died unexpectedly")))
+
+    def send_flush(self, flush_id: int) -> None:
+        for shard in range(self.shards):
+            self._note_flush_sent(shard, flush_id)
+            self._in_queues[shard].put(("flush", flush_id))
+
+    def poll(self) -> list[tuple]:
+        responses = []
+        while True:
+            try:
+                raw = self._out_queue.get_nowait()
+            except queue_module.Empty:
+                break
+            accepted = self._accept(raw)
+            if accepted is not None:
+                responses.append(accepted)
+        return responses
+
+    def stop(self) -> None:
+        for shard in range(self.shards):
+            try:
+                self._in_queues[shard].put(("stop",), timeout=1.0)
+            except queue_module.Full:  # pragma: no cover
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+
+class ProcessBackend(_BoundedChannelBackend):
+    """One worker process per shard, with journal-replay fault recovery."""
+
+    def __init__(self, shards: int, spec: WorkerSpec, metrics,
+                 queue_capacity: int, response_timeout: float):
+        super().__init__(shards, spec, metrics, queue_capacity,
+                         response_timeout)
+        import multiprocessing
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self._journal: list[list[tuple[int, list]]] = []
+        self._pending_flush: dict[int, int] = {}
+        self._stopping = False
+
+    def start(self) -> None:
+        self._in_queues = []
+        self._out_queues = []
+        self._processes = []
+        self._journal = [[] for _ in range(self.shards)]
+        for shard in range(self.shards):
+            self._spawn(shard, fresh=True)
+
+    def _spawn(self, shard: int, fresh: bool) -> None:
+        in_queue = self._context.Queue(maxsize=self.queue_capacity)
+        out_queue = self._context.Queue()
+        process = self._context.Process(
+            target=process_worker_main,
+            args=(shard, self.spec, in_queue, out_queue),
+            name=f"sase-shard-{shard}", daemon=True)
+        process.start()
+        if fresh:
+            self._in_queues.append(in_queue)
+            self._out_queues.append(out_queue)
+            self._processes.append(process)
+        else:
+            self._in_queues[shard] = in_queue
+            self._out_queues[shard] = out_queue
+            self._processes[shard] = process
+
+    # -- fault handling ------------------------------------------------------
+
+    def _alive(self, shard: int) -> bool:
+        return self._processes[shard].is_alive()
+
+    def _restart(self, shard: int) -> None:
+        """A worker died: replace it, replay its journal, resend any
+        pending flush.  Replayed responses the coordinator already
+        consumed are suppressed by :meth:`_accept`'s outstanding check."""
+        if self._stopping:  # pragma: no cover - shutdown race
+            return
+        dead = self._processes[shard]
+        try:
+            dead.terminate()
+            dead.join(timeout=1.0)
+        except Exception:  # pragma: no cover
+            pass
+        shard_metrics = self.metrics.shard(shard)
+        shard_metrics.worker_restarts += 1
+        shard_metrics.batches_replayed += len(self._journal[shard])
+        self._spawn(shard, fresh=False)
+        for batch_id, entries in self._journal[shard]:
+            self._put_with_backpressure(
+                shard, ("batch", batch_id, entries),
+                alive=lambda: self._alive(shard),
+                on_dead=lambda: self._restart(shard))
+        if shard in self._pending_flush:
+            self._in_queues[shard].put(("flush",
+                                        self._pending_flush[shard]))
+
+    # -- transport -----------------------------------------------------------
+
+    def submit(self, shard: int, batch_id: int, entries: list) -> None:
+        self._note_submitted(shard, batch_id)
+        self._journal[shard].append((batch_id, entries))
+        if not self._alive(shard):
+            self._restart(shard)  # replay delivers this batch too
+            return
+        self._put_with_backpressure(
+            shard, ("batch", batch_id, entries),
+            alive=lambda: self._alive(shard),
+            on_dead=lambda: self._restart(shard))
+
+    def send_flush(self, flush_id: int) -> None:
+        for shard in range(self.shards):
+            self._note_flush_sent(shard, flush_id)
+            self._pending_flush[shard] = flush_id
+            if not self._alive(shard):
+                self._restart(shard)  # restart also resends the flush
+                continue
+            self._put_with_backpressure(
+                shard, ("flush", flush_id),
+                alive=lambda s=shard: self._alive(s),
+                on_dead=lambda s=shard: self._restart(s))
+
+    def poll(self) -> list[tuple]:
+        responses = []
+        for shard in range(self.shards):
+            while True:
+                try:
+                    raw = self._out_queues[shard].get_nowait()
+                except queue_module.Empty:
+                    break
+                except Exception:
+                    # A SIGKILL mid-write can corrupt the pipe; the
+                    # journal replay regenerates whatever was lost.
+                    break
+                accepted = self._accept(raw)
+                if accepted is not None:
+                    responses.append(accepted)
+            if not responses and self._has_outstanding(shard) and \
+                    not self._alive(shard):
+                self._restart(shard)
+        return responses
+
+    def _has_outstanding(self, shard: int) -> bool:
+        return any(key[1] == shard for key in self._outstanding)
+
+    def stop(self) -> None:
+        self._stopping = True
+        for shard in range(self.shards):
+            try:
+                self._in_queues[shard].put(("stop",), timeout=1.0)
+            except Exception:  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover
+                process.terminate()
+                process.join(timeout=1.0)
+        for a_queue in (*self._in_queues, *self._out_queues):
+            a_queue.cancel_join_thread()
+            a_queue.close()
+
+    def worker_pids(self) -> dict[int, int]:
+        return {shard: process.pid
+                for shard, process in enumerate(self._processes)
+                if process.pid is not None}
+
+
+def make_backend(backend: str, shards: int, spec: WorkerSpec, metrics,
+                 queue_capacity: int,
+                 response_timeout: float) -> ShardBackend:
+    classes = {"inline": InlineBackend, "thread": ThreadBackend,
+               "process": ProcessBackend}
+    try:
+        cls = classes[backend]
+    except KeyError:
+        raise SaseError(f"unknown shard backend {backend!r}") from None
+    instance = cls(shards, spec, metrics, queue_capacity,
+                   response_timeout)
+    instance.start()
+    return instance

@@ -1,0 +1,52 @@
+"""Configuration for the sharded parallel runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SaseError
+
+BACKENDS = ("inline", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """How the cleaned stream is spread across worker shards.
+
+    The default — one inline shard — is exactly the classic synchronous
+    runtime: :attr:`active` is False and the processor never builds a
+    router.  Raising ``shards`` (or choosing an asynchronous backend)
+    turns on partition-aware routing.
+
+    ``batch_size`` bounds how many routed entries accumulate per shard
+    before a batch ships; ``queue_capacity`` bounds how many batches a
+    shard's input queue holds before the router *blocks* (backpressure —
+    a slow shard throttles ingestion instead of buffering unboundedly).
+    ``response_timeout`` caps how long the router waits for worker
+    progress before declaring the run wedged.
+    """
+
+    shards: int = 1
+    backend: str = "inline"
+    batch_size: int = 64
+    queue_capacity: int = 8
+    response_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise SaseError("sharding needs at least one shard")
+        if self.backend not in BACKENDS:
+            raise SaseError(
+                f"unknown shard backend {self.backend!r}; "
+                f"choose one of {', '.join(BACKENDS)}")
+        if self.batch_size < 1:
+            raise SaseError("batch_size must be at least 1")
+        if self.queue_capacity < 1:
+            raise SaseError("queue_capacity must be at least 1")
+        if self.response_timeout <= 0:
+            raise SaseError("response_timeout must be positive")
+
+    @property
+    def active(self) -> bool:
+        """Whether the sharded runtime should be engaged at all."""
+        return self.shards > 1 or self.backend != "inline"

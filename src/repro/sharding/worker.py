@@ -1,0 +1,186 @@
+"""Shard workers: the per-shard execution core shared by every backend.
+
+A :class:`ShardWorkerCore` hosts one plain (unsharded)
+:class:`~repro.system.processor.ComplexEventProcessor` per query group
+resident on its shard and processes routed batches.  Each produced
+composite event is *tagged* with the coordinates the deterministic merger
+needs:
+
+``(seq, rank, kind, end, idx)``
+    *seq* is the router's global arrival number of the entry that produced
+    the result, *rank* the producing query's registration rank, *kind*
+    distinguishes watermark-released trailing-negation matches (0, which a
+    single-process run emits before the scan results of the same event)
+    from scan results (1), *end* is the match's detection stream-time and
+    *idx* the within-(seq, query, kind) production ordinal.
+
+The same core runs inline (tests, deterministic debugging), on a thread,
+or inside a worker process (``process_worker_main``); only the transport
+differs.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+from repro.core.plan import PlanConfig
+from repro.events.model import SchemaRegistry
+from repro.sharding.analyzer import GroupSpec
+from repro.system.processor import ComplexEventProcessor
+
+# Batch entry opcodes (kept as plain tuples: they cross process pipes).
+EVENT_ENTRY = "e"        # ("e", seq, event, (group_id, ...))
+WATERMARK_ENTRY = "w"    # ("w", seq, timestamp, (group_id, ...))
+
+RELEASED = 0
+SCANNED = 1
+
+# Per-batch cap on shipped latency samples per query; keeps batch
+# responses bounded even for huge batches.
+_MAX_SAMPLES_PER_BATCH = 256
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild its processors (picklable so
+    process workers can be spawned or restarted after a crash)."""
+
+    registry: SchemaRegistry
+    engine_config: PlanConfig | None
+    groups: tuple  # GroupSpec, ...
+
+
+class ShardWorkerCore:
+    """One shard's execution state."""
+
+    def __init__(self, shard_id: int, spec: WorkerSpec):
+        self.shard_id = shard_id
+        self._processors: dict[int, ComplexEventProcessor] = {}
+        self._rank_of: dict[str, int] = {}
+        self._metrics_baseline: dict[str, tuple[int, int, float]] = {}
+        self._sinks: dict[str, list] = {}
+        for group in spec.groups:
+            if group.kind == "broadcast" and group.home_shard != shard_id:
+                continue
+            processor = ComplexEventProcessor(
+                spec.registry, config=spec.engine_config)
+            for rank, name, text, plan_config in group.queries:
+                registered = processor.register(name, text,
+                                                config=plan_config)
+                self._rank_of[name] = rank
+                sink: list = []
+                self._sinks[name] = sink
+                processor.metrics.query(name).sample_sink = sink
+                del registered
+            self._processors[group.group_id] = processor
+
+    @property
+    def hosted_groups(self) -> list[int]:
+        return sorted(self._processors)
+
+    def process_batch(self, entries: list) -> tuple[list, list]:
+        """Run one routed batch; returns (tagged results, metrics delta)."""
+        tagged: list = []
+        for entry in entries:
+            opcode = entry[0]
+            counters: dict[tuple[int, int], int] = {}
+            if opcode == EVENT_ENTRY:
+                _, seq, event, group_ids = entry
+                for group_id in group_ids:
+                    produced = self._processors[group_id].feed(event)
+                    self._tag(tagged, produced, seq, event.timestamp,
+                              counters)
+            elif opcode == WATERMARK_ENTRY:
+                _, seq, timestamp, group_ids = entry
+                for group_id in group_ids:
+                    produced = self._processors[group_id] \
+                        .advance_time(timestamp)
+                    for name, result in produced:
+                        rank = self._rank_of[name]
+                        idx = counters.get((rank, RELEASED), 0)
+                        counters[(rank, RELEASED)] = idx + 1
+                        tagged.append((seq, rank, RELEASED, result.end,
+                                       idx, result))
+        return tagged, self._metrics_delta()
+
+    def _tag(self, tagged: list, produced: list, seq: int,
+             event_time: float, counters: dict) -> None:
+        for name, result in produced:
+            rank = self._rank_of[name]
+            # A match ending before the fed event's timestamp is a
+            # trailing-negation match the watermark released; the
+            # single-process runtime emits those first.
+            kind = SCANNED if result.end >= event_time else RELEASED
+            idx = counters.get((rank, kind), 0)
+            counters[(rank, kind)] = idx + 1
+            tagged.append((seq, rank, kind, result.end, idx, result))
+
+    def flush(self) -> tuple[list, list]:
+        """End of stream: flush every resident group.
+
+        Flush results are tagged ``(rank, end, idx)`` — the coordinator
+        interleaves them into the global flush order.
+        """
+        tagged: list = []
+        counters: dict[int, int] = {}
+        for group_id in self.hosted_groups:
+            for name, result in self._processors[group_id].flush():
+                rank = self._rank_of[name]
+                idx = counters.get(rank, 0)
+                counters[rank] = idx + 1
+                tagged.append((rank, result.end, idx, result))
+        return tagged, self._metrics_delta()
+
+    def _metrics_delta(self) -> list:
+        """Per-query counter deltas since the previous call, with the raw
+        latency samples observed in between (capped per batch)."""
+        delta: list = []
+        for processor in self._processors.values():
+            for name, metrics in processor.metrics.queries.items():
+                base = self._metrics_baseline.get(name, (0, 0, 0.0))
+                d_events = metrics.events_in - base[0]
+                d_results = metrics.results_out - base[1]
+                d_busy = metrics.busy_seconds - base[2]
+                sink = self._sinks[name]
+                if d_events or d_results or sink:
+                    samples = sink[:_MAX_SAMPLES_PER_BATCH]
+                    del sink[:]
+                    delta.append((name, d_events, d_results, d_busy,
+                                  metrics.last_result_at, samples))
+                    self._metrics_baseline[name] = (
+                        metrics.events_in, metrics.results_out,
+                        metrics.busy_seconds)
+        return delta
+
+
+def process_worker_main(shard_id: int, spec: WorkerSpec,
+                        in_queue, out_queue) -> None:
+    """Entry point of a process-backend worker.
+
+    Messages in: ``("batch", batch_id, entries)``, ``("flush", flush_id)``
+    and ``("stop",)``.  Responses out: ``("batch", shard, batch_id,
+    tagged, delta)``, ``("flush", shard, flush_id, tagged, delta)`` or
+    ``("error", shard, traceback)``.  Any exception is reported rather
+    than silently dying so the coordinator can fail loudly instead of
+    losing events.
+    """
+    try:
+        core = ShardWorkerCore(shard_id, spec)
+        while True:
+            message = in_queue.get()
+            opcode = message[0]
+            if opcode == "batch":
+                _, batch_id, entries = message
+                tagged, delta = core.process_batch(entries)
+                out_queue.put(("batch", shard_id, batch_id, tagged, delta))
+            elif opcode == "flush":
+                _, flush_id = message
+                tagged, delta = core.flush()
+                out_queue.put(("flush", shard_id, flush_id, tagged, delta))
+            elif opcode == "stop":
+                break
+    except (KeyboardInterrupt, EOFError):  # pragma: no cover
+        pass
+    except Exception:  # pragma: no cover - exercised via fault tests
+        out_queue.put(("error", shard_id, traceback.format_exc()))

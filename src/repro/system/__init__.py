@@ -8,11 +8,12 @@ processor, the event database, and the UI taps.
 """
 
 from repro.system.context import SystemContext
-from repro.system.metrics import MetricsCollector, QueryMetrics
+from repro.system.metrics import MetricsCollector, QueryMetrics, \
+    ShardMetrics
 from repro.system.processor import ComplexEventProcessor, QueryKind, \
     RegisteredQuery
 from repro.system.sase import SaseSystem
 
 __all__ = ["ComplexEventProcessor", "MetricsCollector", "QueryKind",
            "QueryMetrics", "RegisteredQuery", "SaseSystem",
-           "SystemContext"]
+           "ShardMetrics", "SystemContext"]

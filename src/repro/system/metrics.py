@@ -1,15 +1,28 @@
-"""Per-query runtime metrics for the complex event processor.
+"""Per-query and per-shard runtime metrics for the event processor.
 
 The processor accounts, per registered query, the events fed, the results
 produced, and the busy time spent inside the query's runtime — enough to
 answer the operational questions a deployment asks: which query is the
 bottleneck, what does each query's selectivity look like, and how fresh is
-its last detection.
+its last detection.  Per-feed latencies are sampled into a bounded
+reservoir so p50/p95 tails (and shard imbalance) stay visible without
+unbounded memory.  When the sharded runtime is active, the collector also
+keeps per-shard routing counters: events routed, batches shipped,
+queue-full stalls, worker restarts, and replayed batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+# Bounded latency reservoir: big enough for stable tail estimates, small
+# enough that a thousand queries cost nothing.
+_RESERVOIR_SIZE = 512
+# Deterministic LCG (Numerical Recipes constants) for reservoir
+# replacement — metrics must never perturb global random state.
+_LCG_A = 1664525
+_LCG_C = 1013904223
+_LCG_M = 2 ** 32
 
 
 @dataclass
@@ -21,6 +34,11 @@ class QueryMetrics:
     results_out: int = 0
     busy_seconds: float = 0.0
     last_result_at: float | None = None  # stream time of last result
+    _samples: list = field(default_factory=list, repr=False)
+    _sampled: int = field(default=0, repr=False)
+    # Optional overflow list: shard workers attach one to ship raw
+    # latency samples to the coordinator with each batch response.
+    sample_sink: list | None = field(default=None, repr=False)
 
     @property
     def events_per_second(self) -> float:
@@ -50,6 +68,68 @@ class QueryMetrics:
         self.busy_seconds += seconds
         if results and stream_time is not None:
             self.last_result_at = stream_time
+        if events:
+            self.observe_latency(seconds / events)
+
+    def merge_delta(self, events: int, results: int, seconds: float,
+                    last_result_at: float | None,
+                    samples: list | None = None) -> None:
+        """Fold a remote shard's per-batch counter delta into this entry
+        (raw latency samples go straight into the reservoir — no
+        synthetic averaged sample is added)."""
+        self.events_in += events
+        self.results_out += results
+        self.busy_seconds += seconds
+        if last_result_at is not None:
+            self.last_result_at = last_result_at
+        for sample in samples or ():
+            self.observe_latency(sample)
+
+    def observe_latency(self, seconds: float) -> None:
+        """Sample one per-feed latency into the bounded reservoir."""
+        if len(self._samples) < _RESERVOIR_SIZE:
+            self._samples.append(seconds)
+        else:
+            # Deterministic reservoir replacement: every sample lands at a
+            # pseudo-random slot, keeping the reservoir representative of
+            # the whole run at fixed size.
+            slot = (_LCG_A * self._sampled + _LCG_C) % _LCG_M
+            self._samples[slot % _RESERVOIR_SIZE] = seconds
+        self._sampled += 1
+        if self.sample_sink is not None:
+            self.sample_sink.append(seconds)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """A per-feed latency percentile (seconds) over the reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def p50_feed_micros(self) -> float:
+        return self.latency_percentile(0.50) * 1e6
+
+    @property
+    def p95_feed_micros(self) -> float:
+        return self.latency_percentile(0.95) * 1e6
+
+
+@dataclass
+class ShardMetrics:
+    """Routing and lifecycle counters for one shard of the sharded
+    runtime."""
+
+    shard_id: int
+    events_routed: int = 0
+    watermarks_sent: int = 0
+    batches_sent: int = 0
+    results_received: int = 0
+    queue_full_stalls: int = 0
+    worker_restarts: int = 0
+    batches_replayed: int = 0
 
 
 @dataclass
@@ -57,12 +137,20 @@ class MetricsCollector:
     """All queries' metrics, keyed by query name."""
 
     queries: dict[str, QueryMetrics] = field(default_factory=dict)
+    shards: dict[int, ShardMetrics] = field(default_factory=dict)
 
     def query(self, name: str) -> QueryMetrics:
         metrics = self.queries.get(name)
         if metrics is None:
             metrics = QueryMetrics(name)
             self.queries[name] = metrics
+        return metrics
+
+    def shard(self, shard_id: int) -> ShardMetrics:
+        metrics = self.shards.get(shard_id)
+        if metrics is None:
+            metrics = ShardMetrics(shard_id)
+            self.shards[shard_id] = metrics
         return metrics
 
     def forget(self, name: str) -> None:
@@ -93,6 +181,18 @@ class MetricsCollector:
                 f"{metrics.name}: {metrics.events_in} ev, "
                 f"{metrics.results_out} out "
                 f"({metrics.selectivity:.4f}), "
-                f"{metrics.mean_feed_micros:.1f} us/ev, "
+                f"{metrics.mean_feed_micros:.1f} us/ev "
+                f"(p50 {metrics.p50_feed_micros:.1f}, "
+                f"p95 {metrics.p95_feed_micros:.1f}), "
                 f"last result {freshness}")
+        for shard in sorted(self.shards.values(),
+                            key=lambda metrics: metrics.shard_id):
+            lines.append(
+                f"shard {shard.shard_id}: {shard.events_routed} ev routed, "
+                f"{shard.watermarks_sent} watermarks, "
+                f"{shard.batches_sent} batches, "
+                f"{shard.results_received} results, "
+                f"{shard.queue_full_stalls} stalls, "
+                f"{shard.worker_restarts} restarts, "
+                f"{shard.batches_replayed} replayed")
         return lines

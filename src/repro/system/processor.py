@@ -10,13 +10,19 @@ Section 3 gives the processor three tasks, all supported here:
 3. **stream + database queries** — monitoring queries whose RETURN clause
    performs lookups (``_retrieveLocation``); detection triggers the
    subquery and the combined result goes back to the user.
+
+The processor can also run **sharded**: construct it with a
+:class:`~repro.sharding.ShardingConfig` whose :attr:`active` flag is set
+and the cleaned stream is hash-partitioned across worker shards (see
+``repro.sharding``).  The default configuration (one inline shard) keeps
+the classic synchronous single-process behaviour.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 import time
 
@@ -27,6 +33,9 @@ from repro.errors import SaseError
 from repro.events.event import CompositeEvent, Event
 from repro.events.model import SchemaRegistry
 from repro.system.metrics import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharding.config import ShardingConfig
 
 ResultCallback = Callable[[str, CompositeEvent], None]
 
@@ -74,11 +83,18 @@ class ComplexEventProcessor:
     MAX_CASCADE_DEPTH = 16
 
     def __init__(self, registry: SchemaRegistry, functions: Any = None,
-                 system: Any = None, config: PlanConfig | None = None):
+                 system: Any = None, config: PlanConfig | None = None,
+                 sharding: "ShardingConfig | None" = None):
         self._engine = Engine(registry, functions=functions, system=system,
                               config=config)
         self._queries: dict[str, RegisteredQuery] = {}
         self.metrics = MetricsCollector()
+        self._sharding = sharding
+        self._router: Any = None
+
+    @property
+    def sharding(self) -> "ShardingConfig | None":
+        return self._sharding
 
     # -- registration -------------------------------------------------------
 
@@ -91,6 +107,10 @@ class ComplexEventProcessor:
         is deleted by the user"."""
         if name in self._queries:
             raise SaseError(f"a query named {name!r} is already registered")
+        if self._router is not None:
+            raise SaseError(
+                "cannot register a query after the sharded stream has "
+                "started; register every query before the first feed")
         compiled = query if isinstance(query, CompiledQuery) \
             else self._engine.compile(query, config)
         registered = RegisteredQuery(
@@ -111,6 +131,10 @@ class ComplexEventProcessor:
     def deregister(self, name: str) -> None:
         if name not in self._queries:
             raise SaseError(f"no query named {name!r} is registered")
+        if self._router is not None:
+            raise SaseError(
+                "cannot deregister a query after the sharded stream has "
+                "started")
         del self._queries[name]
         self.metrics.forget(name)
 
@@ -131,7 +155,28 @@ class ComplexEventProcessor:
             -> list[tuple[str, CompositeEvent]]:
         """Push one event through every query reading *stream*, cascading
         INTO-published composite events to their consumers; returns the
-        (query name, result) pairs produced and fires callbacks."""
+        (query name, result) pairs produced and fires callbacks.
+
+        Under an active sharding configuration the event is handed to the
+        shard router instead; the returned results are then the merged,
+        deterministically ordered results that have become complete so far
+        (asynchronous backends may emit them on a later feed or at flush).
+        """
+        if self._sharding is not None and self._sharding.active:
+            router = self._ensure_router()
+            emitted = router.feed(event, stream)
+        else:
+            emitted = self._run_queries(event, stream)
+        for name, result in emitted:
+            self._deliver(self._queries[name], result)
+        return emitted
+
+    def _run_queries(self, event: Event, stream: str,
+                     only: frozenset | set | None = None) \
+            -> list[tuple[str, CompositeEvent]]:
+        """The synchronous dataflow: feed *event* to every query reading
+        *stream* (restricted to *only* when given), cascading composite
+        events.  Results are returned, not delivered."""
         produced: list[tuple[str, CompositeEvent]] = []
         pending: list[tuple[str, Event, int]] = [(stream, event, 0)]
         while pending:
@@ -144,23 +189,43 @@ class ComplexEventProcessor:
             for registered in self._queries.values():
                 if registered.input_stream != current_stream:
                     continue
+                if only is not None and registered.name not in only:
+                    continue
                 started = time.perf_counter()
                 results = registered.runtime.feed(current_event)
                 self.metrics.query(registered.name).record(
                     1, len(results), time.perf_counter() - started,
                     current_event.timestamp)
                 for result in results:
-                    self._deliver(registered, result, produced)
+                    produced.append((registered.name, result))
                     if result.stream is not None:
                         pending.append((result.stream, result.to_event(),
                                         depth + 1))
         return produced
 
+    def advance_time(self, watermark: float,
+                     only: frozenset | set | None = None) \
+            -> list[tuple[str, CompositeEvent]]:
+        """Advance stream time for every (selected) query without feeding
+        an event, releasing pending trailing-negation matches.  Used by
+        shard workers processing broadcast watermark ticks."""
+        produced: list[tuple[str, CompositeEvent]] = []
+        for registered in self._queries.values():
+            if only is not None and registered.name not in only:
+                continue
+            started = time.perf_counter()
+            results = registered.runtime.advance(watermark)
+            if results:
+                self.metrics.query(registered.name).record(
+                    0, len(results), time.perf_counter() - started,
+                    watermark)
+            for result in results:
+                produced.append((registered.name, result))
+        return produced
+
     def _deliver(self, registered: RegisteredQuery,
-                 result: CompositeEvent,
-                 produced: list[tuple[str, CompositeEvent]]) -> None:
+                 result: CompositeEvent) -> None:
         registered.results_produced += 1
-        produced.append((registered.name, result))
         if registered.on_result is not None:
             registered.on_result(registered.name, result)
 
@@ -178,20 +243,60 @@ class ComplexEventProcessor:
         consumers) so composite events released at flush time still reach
         downstream queries before those flush themselves.
         """
-        produced: list[tuple[str, CompositeEvent]] = []
+        if self._router is not None:
+            # The router stays attached after flushing: its own guard
+            # makes a later feed fail loudly, matching the classic
+            # runtime's "already flushed" behaviour.
+            emitted = self._router.flush()
+            for name, result in emitted:
+                self._deliver(self._queries[name], result)
+            return emitted
+        produced = [(name, result)
+                    for name, result, _ in self._flush_queries()]
+        for name, result in produced:
+            self._deliver(self._queries[name], result)
+        return produced
+
+    def _flush_queries(self, only: frozenset | set | None = None) \
+            -> list[tuple[str, CompositeEvent, int]]:
+        """Flush every (selected) query in cascade order.
+
+        Returns ``(name, result, trigger_rank)`` triples where
+        ``trigger_rank`` is the flush-order rank of the query whose flush
+        released the result (cascade results carry their trigger's rank,
+        keeping them glued behind it for deterministic merging).
+        """
+        produced: list[tuple[str, CompositeEvent, int]] = []
+        order = self._flush_order()
+        ranks = {registered.name: rank
+                 for rank, registered in enumerate(order)}
         flushed: set[str] = set()
-        for registered in self._flush_order():
+        if only is not None:
+            # Queries flushed elsewhere (on worker shards) must not
+            # receive late-routed composites here.
+            flushed.update(name for name in self._queries
+                           if name not in only)
+        for registered in order:
+            if only is not None and registered.name not in only:
+                continue
+            rank = ranks[registered.name]
             for result in registered.runtime.flush():
-                self._deliver(registered, result, produced)
+                produced.append((registered.name, result, rank))
                 if result.stream is not None:
                     self._route_late(result.stream, result.to_event(),
-                                     flushed, produced, depth=0)
+                                     flushed, produced, depth=0,
+                                     trigger_rank=rank)
             flushed.add(registered.name)
         return produced
 
+    def flush_ranks(self) -> dict[str, int]:
+        """Each query's global flush-order rank (producers first)."""
+        return {registered.name: rank
+                for rank, registered in enumerate(self._flush_order())}
+
     def _route_late(self, stream: str, event: Event, flushed: set[str],
-                    produced: list[tuple[str, CompositeEvent]],
-                    depth: int) -> None:
+                    produced: list[tuple[str, CompositeEvent, int]],
+                    depth: int, trigger_rank: int) -> None:
         if depth > self.MAX_CASCADE_DEPTH:
             raise SaseError(
                 f"query cascade exceeded {self.MAX_CASCADE_DEPTH} levels "
@@ -201,10 +306,11 @@ class ComplexEventProcessor:
                     registered.name in flushed:
                 continue
             for result in registered.runtime.feed(event):
-                self._deliver(registered, result, produced)
+                produced.append((registered.name, result, trigger_rank))
                 if result.stream is not None:
                     self._route_late(result.stream, result.to_event(),
-                                     flushed, produced, depth + 1)
+                                     flushed, produced, depth + 1,
+                                     trigger_rank)
 
     def _flush_order(self) -> list[RegisteredQuery]:
         """Producers before consumers: order queries by their stream depth
@@ -229,3 +335,25 @@ class ComplexEventProcessor:
         return sorted(self._queries.values(),
                       key=lambda registered: depth.get(
                           registered.input_stream, 0))
+
+    # -- sharded execution ----------------------------------------------------
+
+    def _ensure_router(self):
+        if self._router is None:
+            from repro.sharding.router import ShardRouter
+            self._router = ShardRouter(self, self._sharding)
+        return self._router
+
+    @property
+    def shard_plan(self):
+        """The shardability plan in effect (None until sharded feeding
+        starts)."""
+        return self._router.plan if self._router is not None else None
+
+    @property
+    def engine_config(self) -> PlanConfig:
+        return self._engine.config
+
+    @property
+    def registry(self) -> SchemaRegistry:
+        return self._engine.registry

@@ -10,7 +10,7 @@ whole stack; ``run_simulation`` drives a scripted scenario end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Iterable, TYPE_CHECKING
 
 from repro.cleaning.pipeline import CleaningConfig, CleaningPipeline
 from repro.core.plan import PlanConfig
@@ -25,6 +25,9 @@ from repro.schemas import retail_registry
 from repro.system.context import SystemContext
 from repro.system.processor import ComplexEventProcessor, QueryKind, \
     RegisteredQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharding.config import ShardingConfig
 
 
 @dataclass
@@ -67,7 +70,8 @@ class SaseSystem:
                  cleaning_config: CleaningConfig | None = None,
                  plan_config: PlanConfig | None = None,
                  functions: FunctionRegistry | None = None,
-                 event_db: EventDatabase | None = None):
+                 event_db: EventDatabase | None = None,
+                 sharding: "ShardingConfig | None" = None):
         self.layout = layout
         self.ons = ons
         self.registry = registry or retail_registry()
@@ -77,7 +81,7 @@ class SaseSystem:
         self.cleaning = CleaningPipeline(layout, ons, cleaning_config)
         self.processor = ComplexEventProcessor(
             self.registry, functions=self.functions, system=self.context,
-            config=plan_config)
+            config=plan_config, sharding=sharding)
         self.taps = SystemTaps()
         self._message_formatters: dict[str, Callable[[CompositeEvent],
                                                      str]] = {}

@@ -49,6 +49,26 @@ class TestEventStream:
         kept = stream.filter(lambda event: event.type == "A").collect()
         assert [event.seq for event in kept] == [0, 2]
 
+    def test_mixed_preassigned_seqs_stay_monotonic(self):
+        # A pre-sequenced event must not cause later auto-assigned
+        # numbers to collide with or regress past it.
+        events = [Event("A", 1), Event("A", 2).with_seq(5),
+                  Event("A", 3), Event("A", 4)]
+        collected = EventStream(events).collect()
+        seqs = [event.seq for event in collected]
+        assert seqs == [0, 5, 6, 7]
+        assert len(set(seqs)) == len(seqs)
+        assert seqs == sorted(seqs)
+
+    def test_preassigned_seq_below_cursor_does_not_rewind(self):
+        events = [Event("A", 1), Event("A", 2),
+                  Event("A", 3).with_seq(0), Event("A", 4)]
+        seqs = [event.seq for event in EventStream(events).collect()]
+        # The pre-assigned number passes through untouched, and the
+        # cursor never hands out a duplicate afterwards.
+        assert seqs == [0, 1, 0, 2]
+        assert seqs[3] not in seqs[1:3]
+
     def test_of_types(self):
         stream = EventStream(
             [Event("A", 1), Event("B", 2), Event("C", 3)])
@@ -72,6 +92,28 @@ class TestMergeStreams:
 
     def test_merge_empty(self):
         assert merge_streams([], []).collect() == []
+
+    def test_merge_no_sources(self):
+        assert merge_streams().collect() == []
+
+    def test_merge_one_empty_source_between_full_ones(self):
+        merged = merge_streams(_events(1, 3), [], _events(2)).collect()
+        assert [event.timestamp for event in merged] == [1, 2, 3]
+
+    def test_three_way_tie_keeps_source_order(self):
+        merged = merge_streams([Event("A", 5)], [Event("B", 5)],
+                               [Event("C", 5)]).collect()
+        assert [event.type for event in merged] == ["A", "B", "C"]
+
+    def test_merged_stream_is_sequenced(self):
+        merged = merge_streams(_events(1, 4), _events(2, 3)).collect()
+        assert [event.seq for event in merged] == [0, 1, 2, 3]
+
+    def test_merge_of_unsorted_source_raises_stream_error(self):
+        # heapq.merge assumes sorted inputs; the EventStream wrapper is
+        # what actually catches a misbehaving source.
+        with pytest.raises(StreamError, match="out of order"):
+            merge_streams(_events(5, 1), _events(2)).collect()
 
     @given(st.lists(st.floats(min_value=0, max_value=100,
                               allow_nan=False), max_size=20),

@@ -1,0 +1,153 @@
+"""Tests for the shard-plan analyzer: query classification and grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SaseError
+from repro.schemas import retail_registry
+from repro.sharding import ShardingConfig, build_shard_plan, stable_hash
+from repro.system import ComplexEventProcessor
+from repro.workloads.retail import LOCATION_UPDATE_RULE, \
+    SHOPLIFTING_QUERY
+from repro.workloads.synthetic import seq_query, synthetic_registry
+
+DEFAULT = ComplexEventProcessor.DEFAULT_STREAM
+
+
+def plan_for(processor: ComplexEventProcessor, shards: int = 4):
+    return build_shard_plan(processor.queries(), shards, DEFAULT)
+
+
+@pytest.fixture
+def synthetic_processor() -> ComplexEventProcessor:
+    return ComplexEventProcessor(synthetic_registry(5))
+
+
+class TestClassification:
+    def test_partitioned_seq_is_keyed(self, synthetic_processor):
+        synthetic_processor.register(
+            "pair", seq_query(2, window=5.0, partitioned=True))
+        plan = plan_for(synthetic_processor)
+        (info,) = plan.infos
+        assert info.mode == "keyed"
+        assert info.keyed == {"A": "id", "B": "id"}
+        assert not info.needs_watermark
+
+    def test_unpartitioned_seq_is_broadcast(self, synthetic_processor):
+        synthetic_processor.register(
+            "pair", seq_query(2, window=5.0, partitioned=False))
+        plan = plan_for(synthetic_processor)
+        (info,) = plan.infos
+        assert info.mode == "broadcast"
+        (group,) = plan.groups
+        assert group.kind == "broadcast"
+        assert group.home_shard == stable_hash("pair") % 4
+
+    def test_trailing_negation_needs_watermark(self, synthetic_processor):
+        synthetic_processor.register(
+            "neg", seq_query(2, window=5.0, partitioned=True,
+                             negation_at=2))
+        plan = plan_for(synthetic_processor)
+        (info,) = plan.infos
+        assert info.mode == "keyed"
+        assert info.needs_watermark
+
+    def test_unkeyed_negated_type_fans_out(self, synthetic_processor):
+        # Negated component outside the partition class: any shard's
+        # match could be invalidated by it, so its type is broadcast.
+        synthetic_processor.register(
+            "neg", "EVENT SEQ(A x, !(C n), B y) WHERE x.id = y.id "
+                   "WITHIN 5 RETURN x.id")
+        plan = plan_for(synthetic_processor)
+        (info,) = plan.infos
+        assert info.mode == "keyed"
+        assert info.fanout_types == frozenset({"C"})
+
+    def test_function_calls_stay_local(self):
+        processor = ComplexEventProcessor(retail_registry())
+        processor.register("shoplifting", SHOPLIFTING_QUERY)
+        processor.register("loc", LOCATION_UPDATE_RULE("SHELF_READING"))
+        plan = plan_for(processor)
+        assert {info.mode for info in plan.infos} == {"local"}
+        assert plan.local_names == {"shoplifting", "loc"}
+        assert plan.groups == []
+
+    def test_stream_composition_stays_local(self):
+        registry = synthetic_registry(5)
+        from repro.events.model import AttributeType
+        registry.declare("Hot", id=AttributeType.INT)
+        processor = ComplexEventProcessor(registry)
+        processor.register(
+            "producer", "EVENT A x WHERE x.v < 5 "
+                        "RETURN Hot(x.id AS id) INTO hots")
+        processor.register(
+            "consumer", "FROM hots EVENT Hot y RETURN y.id")
+        plan = plan_for(processor)
+        assert all(info.mode == "local" for info in plan.infos)
+
+    def test_into_default_forces_everything_local(self):
+        registry = synthetic_registry(5)
+        from repro.events.model import AttributeType
+        registry.declare("Hot", id=AttributeType.INT)
+        processor = ComplexEventProcessor(registry)
+        processor.register(
+            "pair", seq_query(2, window=5.0, partitioned=True))
+        processor.register(
+            "feeder", "EVENT C x RETURN Hot(x.id AS id) INTO " + DEFAULT)
+        plan = plan_for(processor)
+        assert all(info.mode == "local" for info in plan.infos)
+        assert plan.groups == []
+
+
+class TestGrouping:
+    def test_same_signature_queries_share_a_group(self,
+                                                  synthetic_processor):
+        synthetic_processor.register(
+            "p1", seq_query(2, window=5.0, partitioned=True))
+        synthetic_processor.register(
+            "p2", seq_query(2, window=9.0, partitioned=True,
+                            v_filter=5))
+        plan = plan_for(synthetic_processor)
+        (group,) = plan.groups
+        assert group.kind == "keyed"
+        assert [name for _, name, _, _ in group.queries] == ["p1", "p2"]
+
+    def test_describe_mentions_modes_and_keys(self, synthetic_processor):
+        synthetic_processor.register(
+            "pair", seq_query(2, window=5.0, partitioned=True))
+        synthetic_processor.register(
+            "wide", seq_query(2, window=5.0, partitioned=False))
+        text = plan_for(synthetic_processor).describe()
+        assert "pair: keyed" in text
+        assert "A.id" in text
+        assert "wide: broadcast" in text
+
+
+class TestStableHash:
+    def test_stable_across_value_kinds(self):
+        assert stable_hash(17) == stable_hash(17)
+        assert stable_hash("x") == stable_hash("x")
+        assert stable_hash(None) == stable_hash(None)
+        assert stable_hash(17) != stable_hash("17")
+
+
+class TestShardingConfig:
+    def test_default_is_inactive(self):
+        assert not ShardingConfig().active
+
+    def test_active_configurations(self):
+        assert ShardingConfig(shards=2).active
+        assert ShardingConfig(backend="process").active
+
+    def test_validation(self):
+        with pytest.raises(SaseError):
+            ShardingConfig(shards=0)
+        with pytest.raises(SaseError):
+            ShardingConfig(backend="gpu")
+        with pytest.raises(SaseError):
+            ShardingConfig(batch_size=0)
+        with pytest.raises(SaseError):
+            ShardingConfig(queue_capacity=0)
+        with pytest.raises(SaseError):
+            ShardingConfig(response_timeout=0.0)

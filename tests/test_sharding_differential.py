@@ -1,0 +1,155 @@
+"""Differential tests: sharded output must be identical to single-process.
+
+The sharded runtime's core guarantee is that routing, batching, and
+asynchronous execution are invisible: for any backend and shard count,
+the emitted ``(query, result)`` sequence is exactly what the classic
+synchronous processor produces.  These tests run the same workloads both
+ways and compare the full ordered output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rfid import NoiseModel
+from repro.sharding import ShardingConfig
+from repro.system import ComplexEventProcessor, SaseSystem
+from repro.workloads import (
+    LOCATION_UPDATE_RULE,
+    MISPLACED_INVENTORY_QUERY,
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+)
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+BACKENDS_UNDER_TEST = ("inline", "thread", "process")
+
+
+def fingerprint(results):
+    return [(name, result.start, result.end,
+             tuple(sorted(result.attributes.items())))
+            for name, result in results]
+
+
+# -- synthetic workload: real distribution (keyed + broadcast + negation) ---
+
+@pytest.fixture(scope="module")
+def synthetic_stream() -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=500, n_types=4, id_domain=8, seed=7))
+
+
+def run_synthetic(stream: SyntheticStream,
+                  sharding: ShardingConfig | None):
+    processor = ComplexEventProcessor(stream.registry, sharding=sharding)
+    processor.register("pair",
+                       seq_query(2, window=5.0, partitioned=True))
+    processor.register("negpair",
+                       seq_query(2, window=5.0, partitioned=True,
+                                 negation_at=2))
+    processor.register("wide",
+                       seq_query(2, window=3.0, partitioned=False))
+    callback_log: list = []
+    processor.query("pair").on_result = \
+        lambda name, result: callback_log.append((name, result))
+    produced = []
+    for event in stream.events:
+        produced.extend(processor.feed(event))
+    produced.extend(processor.flush())
+    return fingerprint(produced), fingerprint(callback_log)
+
+
+@pytest.fixture(scope="module")
+def synthetic_baseline(synthetic_stream):
+    return run_synthetic(synthetic_stream, None)
+
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_synthetic_output_identical(synthetic_stream, synthetic_baseline,
+                                    backend, shards):
+    sharded = run_synthetic(synthetic_stream, ShardingConfig(
+        shards=shards, backend=backend, batch_size=16,
+        queue_capacity=4))
+    assert sharded[0] == synthetic_baseline[0]
+    # Callbacks fire in the same order too, not just returned results.
+    assert sharded[1] == synthetic_baseline[1]
+
+
+def test_small_batches_and_queues_still_identical(synthetic_stream,
+                                                  synthetic_baseline):
+    # batch_size=1 maximises batching edge cases; queue_capacity=1
+    # maximises backpressure.
+    sharded = run_synthetic(synthetic_stream, ShardingConfig(
+        shards=3, backend="thread", batch_size=1, queue_capacity=1))
+    assert sharded[0] == synthetic_baseline[0]
+
+
+# -- the paper's demo scenario (all-local path under sharding) --------------
+
+def run_demo(sharding: ShardingConfig | None):
+    scenario = RetailScenario.generate(RetailConfig(
+        n_products=16, n_shoppers=4, n_shoplifters=2, n_misplacements=2,
+        seed=13))
+    system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
+    system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
+    system.register_monitoring_query("misplaced",
+                                     MISPLACED_INVENTORY_QUERY)
+    for event_type in ("SHELF_READING", "COUNTER_READING",
+                       "EXIT_READING"):
+        system.register_archiving_rule(f"loc_{event_type}",
+                                       LOCATION_UPDATE_RULE(event_type))
+    noise = NoiseModel(miss_rate=0.1, duplicate_rate=0.1,
+                       truncate_rate=0.02, ghost_rate=0.01)
+    results = system.run_simulation(scenario.ticks(noise))
+    return fingerprint(results), scenario
+
+
+@pytest.fixture(scope="module")
+def demo_baseline():
+    return run_demo(None)
+
+
+@pytest.mark.parametrize("backend,shards",
+                         [("inline", 2), ("thread", 2), ("process", 2),
+                          ("inline", 4)])
+def test_demo_scenario_identical(demo_baseline, backend, shards):
+    base, _ = demo_baseline
+    sharded, scenario = run_demo(ShardingConfig(shards=shards,
+                                                backend=backend))
+    assert sharded == base
+    detected = {dict(attrs)["x_TagId"] for name, _, _, attrs in sharded
+                if name == "shoplifting"}
+    assert detected == scenario.truth.shoplifted_tags()
+
+
+# -- guard rails ------------------------------------------------------------
+
+def test_registration_locked_after_stream_starts(synthetic_stream):
+    from repro.errors import SaseError
+    processor = ComplexEventProcessor(
+        synthetic_stream.registry,
+        sharding=ShardingConfig(shards=2, batch_size=4))
+    processor.register("pair",
+                       seq_query(2, window=5.0, partitioned=True))
+    processor.feed(synthetic_stream.events[0])
+    with pytest.raises(SaseError, match="register"):
+        processor.register("late",
+                           seq_query(2, window=5.0, partitioned=True))
+    processor.flush()
+
+
+def test_flush_is_idempotent_and_final(synthetic_stream):
+    from repro.errors import SaseError
+    processor = ComplexEventProcessor(
+        synthetic_stream.registry,
+        sharding=ShardingConfig(shards=2, batch_size=4))
+    processor.register("pair",
+                       seq_query(2, window=5.0, partitioned=True))
+    for event in synthetic_stream.events[:50]:
+        processor.feed(event)
+    processor.flush()
+    with pytest.raises((SaseError, RuntimeError)):
+        processor.feed(synthetic_stream.events[50])

@@ -1,0 +1,143 @@
+"""Fault handling and backpressure in the sharded runtime.
+
+A process-backend worker killed mid-run must not lose a single result:
+the router detects the dead worker, restarts the shard, replays its
+batch journal into the fresh worker, and suppresses duplicate responses.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import SaseError
+from repro.sharding import ShardingConfig
+from repro.system import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+
+@pytest.fixture(scope="module")
+def stream() -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=800, n_types=4, id_domain=8, seed=7))
+
+
+def build(registry, sharding):
+    processor = ComplexEventProcessor(registry, sharding=sharding)
+    processor.register("pair",
+                       seq_query(2, window=5.0, partitioned=True))
+    processor.register("negpair",
+                       seq_query(2, window=5.0, partitioned=True,
+                                 negation_at=2))
+    return processor
+
+
+def fingerprint(results):
+    return [(name, result.start, result.end,
+             tuple(sorted(result.attributes.items())))
+            for name, result in results]
+
+
+def run(registry, events, sharding, kill_at=None, kill_shard=0):
+    processor = build(registry, sharding)
+    produced = []
+    for index, event in enumerate(events):
+        produced.extend(processor.feed(event))
+        if kill_at is not None and index == kill_at:
+            pids = processor._router.worker_pids()
+            os.kill(pids[kill_shard], signal.SIGKILL)
+    produced.extend(processor.flush())
+    return fingerprint(produced), processor.metrics
+
+
+class TestProcessWorkerCrash:
+    def test_killed_worker_loses_nothing(self, stream):
+        baseline, _ = run(stream.registry, stream.events, None)
+        sharding = ShardingConfig(shards=2, backend="process",
+                                  batch_size=16, queue_capacity=4,
+                                  response_timeout=30.0)
+        recovered, metrics = run(stream.registry, stream.events,
+                                 sharding, kill_at=400)
+        assert recovered == baseline
+        restarts = sum(shard.worker_restarts
+                       for shard in metrics.shards.values())
+        replayed = sum(shard.batches_replayed
+                       for shard in metrics.shards.values())
+        assert restarts >= 1
+        assert replayed >= 1
+
+    def test_kill_just_before_flush(self, stream):
+        baseline, _ = run(stream.registry, stream.events[:200], None)
+        sharding = ShardingConfig(shards=2, backend="process",
+                                  batch_size=16, queue_capacity=4,
+                                  response_timeout=30.0)
+        recovered, metrics = run(stream.registry, stream.events[:200],
+                                 sharding, kill_at=199, kill_shard=1)
+        assert recovered == baseline
+        assert metrics.shard(1).worker_restarts >= 1
+
+    def test_worker_pids_exposed_for_process_backend_only(self, stream):
+        processor = build(stream.registry,
+                          ShardingConfig(shards=2, backend="inline"))
+        processor.feed(stream.events[0])
+        assert processor._router.worker_pids() == {}
+        processor.flush()
+
+
+class TestBackpressure:
+    def test_full_queue_blocks_and_counts_stalls(self, stream):
+        # Capacity-1 queues with single-entry batches force the router
+        # to wait for the workers; nothing may be dropped or reordered.
+        sharding = ShardingConfig(shards=2, backend="thread",
+                                  batch_size=1, queue_capacity=1,
+                                  response_timeout=30.0)
+        baseline, _ = run(stream.registry, stream.events[:300], None)
+        throttled, metrics = run(stream.registry, stream.events[:300],
+                                 sharding)
+        assert throttled == baseline
+        assert sum(shard.batches_sent
+                   for shard in metrics.shards.values()) > 0
+
+    def test_put_with_backpressure_counts_and_recovers(self):
+        from repro.sharding.backends import ThreadBackend
+        from repro.system.metrics import MetricsCollector
+
+        metrics = MetricsCollector()
+        backend = ThreadBackend.__new__(ThreadBackend)
+        backend.metrics = metrics
+        backend.response_timeout = 5.0
+        backend._in_queues = [queue.Queue(maxsize=1)]
+        backend._in_queues[0].put(("occupied",))
+
+        def drain_later():
+            time.sleep(0.2)
+            backend._in_queues[0].get()
+
+        drainer = threading.Thread(target=drain_later, daemon=True)
+        drainer.start()
+        backend._put_with_backpressure(
+            0, ("payload",), alive=lambda: True,
+            on_dead=lambda: None)
+        drainer.join()
+        assert metrics.shard(0).queue_full_stalls == 1
+        assert backend._in_queues[0].get_nowait() == ("payload",)
+
+    def test_wedged_shard_raises_instead_of_hanging(self):
+        from repro.sharding.backends import ThreadBackend
+        from repro.system.metrics import MetricsCollector
+
+        backend = ThreadBackend.__new__(ThreadBackend)
+        backend.metrics = MetricsCollector()
+        backend.response_timeout = 0.3
+        backend._in_queues = [queue.Queue(maxsize=1)]
+        backend._in_queues[0].put(("occupied",))
+        with pytest.raises(SaseError, match="full"):
+            backend._put_with_backpressure(
+                0, ("payload",), alive=lambda: True,
+                on_dead=lambda: None)

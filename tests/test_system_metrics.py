@@ -85,6 +85,71 @@ class TestQueryMetrics:
         assert metrics.events_per_second == 0.0
         assert metrics.mean_feed_micros == 0.0
         assert metrics.selectivity == 0.0
+        assert metrics.p50_feed_micros == 0.0
+        assert metrics.p95_feed_micros == 0.0
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_from_known_samples(self):
+        metrics = QueryMetrics("q")
+        for micros in range(1, 101):  # 1..100 us
+            metrics.observe_latency(micros / 1e6)
+        assert metrics.p50_feed_micros == pytest.approx(51.0)
+        assert metrics.p95_feed_micros == pytest.approx(95.0, abs=1.0)
+        assert metrics.latency_percentile(0.0) == pytest.approx(1e-6)
+        assert metrics.latency_percentile(1.0) == pytest.approx(1e-4)
+
+    def test_reservoir_stays_bounded(self):
+        from repro.system.metrics import _RESERVOIR_SIZE
+        metrics = QueryMetrics("q")
+        for _ in range(_RESERVOIR_SIZE * 3):
+            metrics.observe_latency(1e-6)
+        assert len(metrics._samples) == _RESERVOIR_SIZE
+        assert metrics.p95_feed_micros == pytest.approx(1.0)
+
+    def test_record_samples_per_feed_latency(self, processor):
+        feed(processor)
+        metrics = processor.metrics.query("pairs")
+        assert metrics.p50_feed_micros > 0
+        assert metrics.p95_feed_micros >= metrics.p50_feed_micros
+
+    def test_report_lines_include_percentiles(self, processor):
+        feed(processor)
+        lines = processor.metrics.report_lines()
+        assert any("p50" in line and "p95" in line for line in lines)
+
+    def test_merge_delta_folds_remote_samples(self):
+        metrics = QueryMetrics("q")
+        metrics.merge_delta(10, 2, 0.5, 42.0,
+                            samples=[1e-6, 2e-6, 3e-6])
+        assert metrics.events_in == 10
+        assert metrics.results_out == 2
+        assert metrics.last_result_at == 42.0
+        assert metrics.p50_feed_micros == pytest.approx(2.0)
+
+    def test_sample_sink_receives_raw_samples(self):
+        metrics = QueryMetrics("q")
+        sink: list = []
+        metrics.sample_sink = sink
+        metrics.observe_latency(5e-6)
+        assert sink == [5e-6]
+
+
+class TestShardMetrics:
+    def test_collector_creates_shard_entries(self):
+        collector = MetricsCollector()
+        collector.shard(1).events_routed += 3
+        collector.shard(0).worker_restarts += 1
+        assert collector.shard(1).events_routed == 3
+        assert sorted(collector.shards) == [0, 1]
+
+    def test_report_lines_include_shards(self):
+        collector = MetricsCollector()
+        collector.shard(0).events_routed = 7
+        collector.shard(0).queue_full_stalls = 2
+        lines = collector.report_lines()
+        assert any("shard 0" in line and "7 ev routed" in line
+                   and "2 stalls" in line for line in lines)
 
 
 class TestConsoleIntegration:
