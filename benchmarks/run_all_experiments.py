@@ -34,6 +34,8 @@ EXPERIMENTS = [
     ("E13", "bench_e13_latency"),
     ("E14", "bench_e14_construction_pushdown"),
     ("E15", "bench_e15_sharded_throughput"),
+    ("E16", "bench_e16_codegen"),
+    ("E17", "bench_e17_multiquery_scaling"),
 ]
 
 

@@ -1,0 +1,506 @@
+"""Per-query code generation: the compiled SSC hot path.
+
+The interpreted :class:`~repro.core.sequence.SequenceScanConstruct` walks
+closure trees through per-call :class:`EvalContext` allocations and looks
+up the plan shape (component count, Kleene flags, window, PAIS key) on
+every event.  This module instead emits *Python source* specialised to one
+analyzed query — ``compile()``/``exec``-based, not closure trees — and
+builds a :class:`SequenceScanConstruct` subclass whose hot methods are the
+generated functions:
+
+* ``feed`` — the event-type dispatch is unrolled into an ``if``/``elif``
+  chain; per-component admission (filter pushdown, PAIS key extraction,
+  window pruning, RIP-pointer push) is straight-line code with the window,
+  partition attribute, and prune interval baked in as constants.  Pushed
+  single-variable filters become direct ``event.attributes[...]``
+  comparisons with **zero** ``EvalContext`` allocation.
+* ``_construct`` (patterns without Kleene components) — the backward DFS
+  over the instance stacks is unrolled into nested ``for`` loops, one per
+  component, with construction-pushdown predicates inlined as direct
+  comparisons at the loop level where their variables become bound.
+* ``_passes_construction_checks`` (patterns with Kleene components keep
+  the inherited construction walk) — pushdown predicates are still
+  inlined, only the enumeration stays generic.
+
+Semantics parity is non-negotiable: every generated predicate runs inside
+``try``/``except`` and falls back to the interpreted closure when the
+straight-line evaluation raises, so missing attributes, type errors, and
+division by zero surface the exact interpreter ``EvaluationError``.
+Expression shapes the translator does not cover (function calls into the
+``_`` library, aggregates, bare variable references) make
+:func:`compile_scan` return ``None`` and the caller falls back to the
+interpreter wholesale; the differential test suite proves the two paths
+are bit-identical over the seed query corpus and fuzzed streams.
+
+Known (documented) divergence: generated arithmetic trusts the analyzer's
+static types, so an event whose attribute *violates its declared schema*
+(e.g. a bool where the schema says INT) can be computed where the
+interpreter would raise.  Schema-conforming streams behave identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.expressions import EvalContext, _as_bool
+from repro.core.instances import StackGroup
+from repro.core.match import Match
+from repro.core.sequence import SequenceScanConstruct, _NO_PARTITION
+from repro.core.stats import PlanStats
+from repro.lang.ast import (
+    AttributeRef,
+    BinaryOp,
+    BinOpKind,
+    Expr,
+    Literal,
+    UnaryOp,
+    UnOpKind,
+)
+from repro.lang.semantics import AnalyzedQuery
+
+
+class UnsupportedShape(Exception):
+    """An expression or plan shape with no source translation; the caller
+    must use the interpreted operator."""
+
+
+# -- expression translation --------------------------------------------------
+
+_COMPARE_OPS = {
+    BinOpKind.EQ: "==",
+    BinOpKind.NEQ: "!=",
+    BinOpKind.LT: "<",
+    BinOpKind.LTE: "<=",
+    BinOpKind.GT: ">",
+    BinOpKind.GTE: ">=",
+}
+
+_ARITH_OPS = {
+    BinOpKind.ADD: "+",
+    BinOpKind.SUB: "-",
+    BinOpKind.MUL: "*",
+    BinOpKind.DIV: "/",
+    BinOpKind.MOD: "%",
+}
+
+
+def value_source(expr: Expr, names: dict[str, str]) -> str:
+    """Translate *expr* to a Python expression over the event locals in
+    *names* (variable name -> source of the bound Event)."""
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, AttributeRef):
+        base = names.get(expr.variable)
+        if base is None:
+            raise UnsupportedShape(
+                f"variable {expr.variable!r} not bound at this point")
+        if expr.attribute in ("Timestamp", "timestamp"):
+            return f"{base}.timestamp"
+        return f"{base}.attributes[{expr.attribute!r}]"
+    if isinstance(expr, UnaryOp):
+        if expr.op is UnOpKind.NOT:
+            return predicate_source(expr.operand, names)
+        return f"(-{value_source(expr.operand, names)})"
+    if isinstance(expr, BinaryOp):
+        op = expr.op
+        if op in _COMPARE_OPS or op.is_logical:
+            return predicate_source(expr, names)
+        left = value_source(expr.left, names)
+        right = value_source(expr.right, names)
+        return f"({left} {_ARITH_OPS[op]} {right})"
+    raise UnsupportedShape(
+        f"no source translation for {type(expr).__name__}")
+
+
+def predicate_source(expr: Expr, names: dict[str, str]) -> str:
+    """Translate a boolean expression; non-boolean-producing subtrees are
+    wrapped in ``_as_bool`` so misbehaving values fail exactly like the
+    interpreter."""
+    if isinstance(expr, BinaryOp):
+        op = expr.op
+        if op is BinOpKind.AND:
+            return (f"({predicate_source(expr.left, names)} and "
+                    f"{predicate_source(expr.right, names)})")
+        if op is BinOpKind.OR:
+            return (f"({predicate_source(expr.left, names)} or "
+                    f"{predicate_source(expr.right, names)})")
+        if op in _COMPARE_OPS:
+            return (f"({value_source(expr.left, names)} "
+                    f"{_COMPARE_OPS[op]} "
+                    f"{value_source(expr.right, names)})")
+    if isinstance(expr, UnaryOp) and expr.op is UnOpKind.NOT:
+        return f"(not {predicate_source(expr.operand, names)})"
+    return f"_as_bool({value_source(expr, names)})"
+
+
+# -- source assembly ---------------------------------------------------------
+
+class _Writer:
+    """Indentation-tracking line collector."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append("    " * self.depth + text if text else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _ScanShape:
+    """The plan constants the generator unrolls, derived exactly as the
+    interpreted operator's constructor derives them."""
+
+    def __init__(self, analyzed: AnalyzedQuery, *, window_pushdown: bool,
+                 partition_pushdown: bool, filter_pushdown: bool,
+                 construction_pushdown: bool, prune_interval: int):
+        positives = analyzed.positives
+        self.n = len(positives)
+        self.variables = [component.variable for component in positives]
+        self.kleene = [component.kleene for component in positives]
+        self.has_kleene = any(self.kleene)
+        self.window = analyzed.window if window_pushdown else None
+        self.prune_interval = max(1, prune_interval)
+
+        self.by_type: dict[str, list[int]] = {}
+        for index, component in enumerate(positives):
+            if not component.event_types:  # pragma: no cover - defensive
+                raise UnsupportedShape("component with no event types")
+            for event_type in component.event_types:
+                self.by_type.setdefault(event_type, []).append(index)
+        for indexes in self.by_type.values():
+            indexes.sort(reverse=True)
+
+        self.key_attrs: list[str] | None = None
+        if partition_pushdown and analyzed.partition is not None:
+            attrs = [analyzed.partition.key_attribute(variable)
+                     for variable in self.variables]
+            if all(attr is not None for attr in attrs):
+                self.key_attrs = [attr for attr in attrs
+                                  if attr is not None]
+
+        # Per-component filter sources (filter pushdown), evaluated over a
+        # local named ``event``.
+        self.filter_src: list[str | None] = [None] * self.n
+        if filter_pushdown:
+            for index, variable in enumerate(self.variables):
+                sources = [predicate_source(info.expr, {variable: "event"})
+                           for info in
+                           analyzed.component_filters.get(variable, ())]
+                if sources:
+                    self.filter_src[index] = " and ".join(sources)
+
+        # Construction-pushdown predicates grouped by trigger index (the
+        # minimum component position among their variables) — mirrors the
+        # interpreted constructor, including the PAIS-equality and
+        # Kleene-variable exclusions.
+        self.check_exprs: list[list[Expr]] = [[] for _ in range(self.n)]
+        self.has_checks = False
+        if construction_pushdown:
+            position = {variable: index for index, variable
+                        in enumerate(self.variables)}
+            kleene_vars = {variable for index, variable
+                           in enumerate(self.variables)
+                           if self.kleene[index]}
+            for info in analyzed.selection_predicates:
+                if self.key_attrs is not None and \
+                        info.is_partition_equality:
+                    continue
+                if info.variables & kleene_vars:
+                    continue
+                trigger = min(position[variable]
+                              for variable in info.variables)
+                self.check_exprs[trigger].append(info.expr)
+                self.has_checks = True
+
+    def check_sources(self, index: int,
+                      names: dict[str, str]) -> str | None:
+        exprs = self.check_exprs[index]
+        if not exprs:
+            return None
+        return " and ".join(predicate_source(expr, names)
+                            for expr in exprs)
+
+
+def generate_scan_source(analyzed: AnalyzedQuery, *,
+                         window_pushdown: bool = True,
+                         partition_pushdown: bool = True,
+                         filter_pushdown: bool = True,
+                         construction_pushdown: bool = False,
+                         prune_interval: int = 512) -> str:
+    """Emit the specialised operator source for *analyzed*.
+
+    Raises :class:`UnsupportedShape` when any pushed predicate cannot be
+    translated to straight-line code.
+    """
+    shape = _ScanShape(
+        analyzed, window_pushdown=window_pushdown,
+        partition_pushdown=partition_pushdown,
+        filter_pushdown=filter_pushdown,
+        construction_pushdown=construction_pushdown,
+        prune_interval=prune_interval)
+    writer = _Writer()
+    _generate_feed(writer, shape)
+    if not shape.has_kleene:
+        writer.emit()
+        _generate_construct(writer, shape)
+    elif shape.has_checks:
+        writer.emit()
+        _generate_check_override(writer, shape)
+    return writer.source()
+
+
+def _generate_feed(w: _Writer, shape: _ScanShape) -> None:
+    w.emit("def feed(self, event):")
+    w.depth += 1
+    w.emit("_op = self._op_stats")
+    w.emit("_op.consumed += 1")
+    if shape.window is not None:
+        w.emit("_seen = self._events_seen + 1")
+        w.emit("self._events_seen = _seen")
+    else:
+        # No window means _prune_all is a no-op: skip the interval
+        # arithmetic entirely.
+        w.emit("self._events_seen += 1")
+    w.emit("matches = []")
+    w.emit("_ts = event.timestamp")
+    w.emit("_groups = self._groups")
+    w.emit("_pushed = False")
+    keyword = "if"
+    for event_type, indexes in shape.by_type.items():
+        w.emit(f"{keyword} event.type == {event_type!r}:")
+        keyword = "elif"
+        w.depth += 1
+        for index in indexes:  # descending
+            _generate_admit(w, shape, index)
+        w.depth -= 1
+    if shape.window is not None:
+        w.emit(f"if _seen % {shape.prune_interval} == 0:")
+        w.emit("    self._prune_all(_ts)")
+    # High-water marks only move on a push (group creation implies one),
+    # and a feed that pushed records *after* any interval prune — exactly
+    # the interpreter's observation point.
+    w.emit("if _pushed:")
+    w.emit("    self._stats.record_stack_size(self._instance_count, "
+           "len(_groups))")
+    w.emit("    _op.produced += len(matches)")
+    w.emit("return matches")
+    w.depth -= 1
+
+
+def _generate_admit(w: _Writer, shape: _ScanShape, index: int) -> None:
+    w.emit(f"# admit into component {index} "
+           f"({shape.variables[index]})")
+    entry_depth = w.depth
+    condition = shape.filter_src[index]
+    if condition is not None:
+        w.emit("try:")
+        w.emit(f"    _ok = {condition}")
+        w.emit("except Exception:")
+        w.emit(f"    _ok = self._filters_fallback({index}, event)")
+        w.emit("if _ok:")
+        w.depth += 1
+    if shape.key_attrs is not None:
+        w.emit(f"_key = event.attributes.get({shape.key_attrs[index]!r})")
+        w.emit("if _key is not None:")
+        w.depth += 1
+        key_src = "_key"
+    else:
+        key_src = "_NO_PARTITION"
+    w.emit(f"_group = _groups.get({key_src})")
+    if index == 0:
+        w.emit("if _group is None:")
+        w.emit(f"    _group = StackGroup({shape.n})")
+        w.emit(f"    _groups[{key_src}] = _group")
+        if shape.window is not None:
+            w.emit("else:")
+            w.emit("    self._instance_count -= _group.prune_before("
+                   f"_ts - {shape.window!r})")
+        w.emit("_inst = _group.stacks[0].push(event, -1)")
+        w.emit("self._instance_count += 1")
+        w.emit("_pushed = True")
+        if shape.n == 1:
+            w.emit("self._construct(_group, _inst, matches)")
+    else:
+        w.emit("if _group is not None:")
+        w.depth += 1
+        if shape.window is not None:
+            w.emit("self._instance_count -= _group.prune_before("
+                   f"_ts - {shape.window!r})")
+        w.emit(f"_prev = _group.stacks[{index - 1}]")
+        w.emit("_plen = len(_prev)")
+        w.emit("if _plen != 0:")
+        w.depth += 1
+        w.emit("_last = _prev.last_absolute_index")
+        w.emit("_first = _prev.get_absolute(_last - _plen + 1)")
+        w.emit("if _first.event.timestamp < _ts:")
+        w.depth += 1
+        w.emit(f"_inst = _group.stacks[{index}].push(event, _last)")
+        w.emit("self._instance_count += 1")
+        w.emit("_pushed = True")
+        if index == shape.n - 1:
+            w.emit("self._construct(_group, _inst, matches)")
+    w.depth = entry_depth
+
+
+def _construct_names(shape: _ScanShape, bound_from: int) -> dict[str, str]:
+    """Variable -> local name map for construction-check translation when
+    positions ``bound_from .. n-1`` are bound to ``_e<i>`` locals."""
+    return {shape.variables[position]: f"_e{position}"
+            for position in range(bound_from, shape.n)}
+
+
+def _emit_check_guard(w: _Writer, shape: _ScanShape, index: int,
+                      on_fail: str) -> None:
+    """Inline the construction-pushdown predicates triggered at *index*,
+    falling back to the interpreted check (which re-raises exactly) when
+    the straight-line evaluation raises."""
+    condition = shape.check_sources(index, _construct_names(shape, index))
+    if condition is None:
+        return
+    padding = ", ".join(["None"] * index
+                        + [f"_e{position}"
+                           for position in range(index, shape.n)])
+    w.emit("try:")
+    w.emit(f"    _ok = {condition}")
+    w.emit("except Exception:")
+    w.emit(f"    _ok = _BASE._passes_construction_checks("
+           f"self, {index}, ({padding},))")
+    w.emit("if not _ok:")
+    w.emit(f"    {on_fail}")
+
+
+def _generate_construct(w: _Writer, shape: _ScanShape) -> None:
+    """The backward DFS unrolled into nested loops (non-Kleene patterns).
+
+    Loop nesting binds components ``n-2 .. 0`` exactly like the
+    interpreted ``_descend`` recursion, so the emitted match order is
+    identical."""
+    n = shape.n
+    last = n - 1
+    w.emit("def _construct(self, group, trigger, matches):")
+    w.depth += 1
+    w.emit("_stacks = group.stacks")
+    w.emit(f"_e{last} = trigger.event")
+    w.emit(f"_end = _e{last}.timestamp")
+    if shape.window is not None:
+        w.emit(f"_min = _end - {shape.window!r}")
+    else:
+        w.emit("_min = None")
+    _emit_check_guard(w, shape, last, "return")
+    rip_src, before_src = "trigger.rip", "_end"
+    for index in range(n - 2, -1, -1):
+        w.emit(f"_stack{index} = _stacks[{index}]")
+        w.emit(f"for _a{index} in _stack{index}.candidate_range("
+               f"{rip_src}, {before_src}, _min):")
+        w.depth += 1
+        w.emit(f"_i{index} = _stack{index}.get_absolute(_a{index})")
+        w.emit(f"_e{index} = _i{index}.event")
+        _emit_check_guard(w, shape, index, "continue")
+        rip_src, before_src = f"_i{index}.rip", f"_e{index}.timestamp"
+    bindings = ", ".join(
+        f"{shape.variables[position]!r}: _e{position}"
+        for position in range(n))
+    w.emit(f"matches.append(Match({{{bindings}}}, _e0.timestamp, _end))")
+    w.depth = 0
+
+
+def _generate_check_override(w: _Writer, shape: _ScanShape) -> None:
+    """Inlined construction-pushdown checks for patterns whose (Kleene)
+    construction walk stays interpreted."""
+    w.emit("def _passes_construction_checks(self, index, chosen):")
+    w.depth += 1
+    for index in range(shape.n):
+        names = {shape.variables[position]: f"chosen[{position}]"
+                 for position in range(index, shape.n)
+                 if not shape.kleene[position]}
+        condition = shape.check_sources(index, names)
+        if condition is None:
+            continue
+        w.emit(f"if index == {index}:")
+        w.depth += 1
+        w.emit("try:")
+        w.emit(f"    return {condition}")
+        w.emit("except Exception:")
+        w.emit("    return _BASE._passes_construction_checks("
+               "self, index, chosen)")
+        w.depth -= 1
+    w.emit("return True")
+    w.depth -= 1
+
+
+# -- interpreted fallbacks attached to the generated class -------------------
+
+def _filters_fallback(self: SequenceScanConstruct, index: int,
+                      event: Any) -> bool:
+    """Re-run component *index*'s pushed filters through the interpreted
+    closures (one hoisted context), so evaluation errors surface exactly
+    as the interpreter raises them."""
+    context = EvalContext({self._variables[index]: event},
+                          self._functions, self._system)
+    for predicate in self._filters[index]:
+        if not predicate(context):
+            return False
+    return True
+
+
+# -- public entry point ------------------------------------------------------
+
+def compile_scan(analyzed: AnalyzedQuery, *,
+                 window_pushdown: bool = True,
+                 partition_pushdown: bool = True,
+                 filter_pushdown: bool = True,
+                 construction_pushdown: bool = False,
+                 kleene_maximal: bool = True,
+                 max_kleene_events: int = 10,
+                 prune_interval: int = 512,
+                 stats: PlanStats | None = None,
+                 functions: Any = None,
+                 system: Any = None) -> SequenceScanConstruct | None:
+    """Build a code-generated SSC operator for *analyzed*.
+
+    Returns ``None`` when the query uses an expression shape the
+    translator does not cover — the caller then instantiates the
+    interpreted operator instead.
+    """
+    try:
+        source = generate_scan_source(
+            analyzed, window_pushdown=window_pushdown,
+            partition_pushdown=partition_pushdown,
+            filter_pushdown=filter_pushdown,
+            construction_pushdown=construction_pushdown,
+            prune_interval=prune_interval)
+    except UnsupportedShape:
+        return None
+
+    namespace: dict[str, Any] = {
+        "Match": Match,
+        "StackGroup": StackGroup,
+        "_NO_PARTITION": _NO_PARTITION,
+        "_as_bool": _as_bool,
+        "_BASE": SequenceScanConstruct,
+    }
+    exec(compile(source, "<sase-codegen>", "exec"), namespace)
+
+    members: dict[str, Any] = {
+        "feed": namespace["feed"],
+        "_filters_fallback": _filters_fallback,
+        "compiled": True,
+        "codegen_source": source,
+    }
+    for name in ("_construct", "_passes_construction_checks"):
+        if name in namespace:
+            members[name] = namespace[name]
+    generated = type("CompiledSequenceScanConstruct",
+                     (SequenceScanConstruct,), members)
+    return generated(
+        analyzed, window_pushdown=window_pushdown,
+        partition_pushdown=partition_pushdown,
+        filter_pushdown=filter_pushdown,
+        construction_pushdown=construction_pushdown,
+        kleene_maximal=kleene_maximal,
+        max_kleene_events=max_kleene_events,
+        prune_interval=prune_interval,
+        stats=stats, functions=functions, system=system)

@@ -48,6 +48,11 @@ class PlanConfig:
     kleene_mode: KleeneMode = KleeneMode.MAXIMAL
     max_kleene_events: int = 10
     prune_interval: int = 512
+    # Per-query code generation (repro.core.codegen): the sequence scan
+    # runs specialised, exec-compiled straight-line code instead of the
+    # generic interpreter.  Automatically falls back to the interpreter
+    # for expression shapes codegen does not cover.
+    use_codegen: bool = True
 
     @classmethod
     def naive(cls) -> "PlanConfig":
@@ -61,7 +66,8 @@ class PlanConfig:
         changes = {}
         for name in optimizations:
             if name not in ("window_pushdown", "partition_pushdown",
-                            "filter_pushdown", "construction_pushdown"):
+                            "filter_pushdown", "construction_pushdown",
+                            "use_codegen"):
                 raise PlanError(f"unknown optimization {name!r}")
             changes[name] = False
         return replace(self, **changes)
@@ -121,6 +127,8 @@ class QueryPlan:
         if self.config.construction_pushdown:
             notes.append("cross-component predicates checked during "
                          "construction")
+        if self.config.use_codegen:
+            notes.append("codegen: compiled scan (auto-fallback)")
         lines.append("  SSC  sequence scan + construction"
                      + (f" ({'; '.join(notes)})" if notes else ""))
         if self.needs_selection:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
+from repro.core.codegen import compile_scan
 from repro.core.operators import (
     KleeneFilter,
     Negation,
@@ -34,8 +35,7 @@ class QueryRuntime:
         analyzed = plan.analyzed
         config = plan.config
 
-        self._scan = SequenceScanConstruct(
-            analyzed,
+        scan_kwargs = dict(
             window_pushdown=config.window_pushdown,
             partition_pushdown=config.partition_pushdown,
             filter_pushdown=config.filter_pushdown,
@@ -44,6 +44,10 @@ class QueryRuntime:
             max_kleene_events=config.max_kleene_events,
             prune_interval=config.prune_interval,
             stats=self.stats, functions=functions, system=system)
+        self._scan = compile_scan(analyzed, **scan_kwargs) \
+            if config.use_codegen else None
+        if self._scan is None:  # flag off, or shape codegen doesn't cover
+            self._scan = SequenceScanConstruct(analyzed, **scan_kwargs)
 
         self._selection = Selection(
             analyzed,
@@ -146,6 +150,12 @@ class QueryRuntime:
         return match
 
     # -- observability ---------------------------------------------------------
+
+    @property
+    def scan_compiled(self) -> bool:
+        """True when the sequence scan runs code-generated (not
+        interpreted) — see :mod:`repro.core.codegen`."""
+        return self._scan.compiled
 
     @property
     def stack_instances(self) -> int:

@@ -39,6 +39,9 @@ _NO_PARTITION = object()  # dict key for the single unpartitioned group
 class SequenceScanConstruct:
     """The fused SS+SC operator."""
 
+    #: True on code-generated subclasses (:mod:`repro.core.codegen`).
+    compiled = False
+
     def __init__(self, analyzed: AnalyzedQuery, *,
                  window_pushdown: bool = True,
                  partition_pushdown: bool = True,
@@ -59,6 +62,12 @@ class SequenceScanConstruct:
             for event_type in component.event_types:
                 self._components_by_type.setdefault(
                     event_type, []).append(index)
+        # Presorted descending: when one event type fills several
+        # components, the later component must see the previous stack as
+        # it was *before* this event is pushed there (an event cannot
+        # precede itself in a sequence).
+        for indexes in self._components_by_type.values():
+            indexes.sort(reverse=True)
 
         self._window = analyzed.window if window_pushdown else None
         self._kleene_maximal = kleene_maximal
@@ -141,11 +150,7 @@ class SequenceScanConstruct:
 
         component_indexes = self._components_by_type.get(event.type)
         if component_indexes:
-            # Reversed order: when one event type fills several components,
-            # the later component must see the previous stack as it was
-            # *before* this event is pushed there (an event cannot precede
-            # itself in a sequence).
-            for index in sorted(component_indexes, reverse=True):
+            for index in component_indexes:  # presorted descending
                 self._admit(event, index, matches)
 
         if self._events_seen % self._prune_interval == 0:
@@ -164,11 +169,13 @@ class SequenceScanConstruct:
 
     def _admit(self, event: Event, index: int,
                matches: list[Match]) -> None:
-        for predicate in self._filters[index]:
+        filters = self._filters[index]
+        if filters:
             context = EvalContext({self._variables[index]: event},
                                   self._functions, self._system)
-            if not predicate(context):
-                return
+            for predicate in filters:
+                if not predicate(context):
+                    return
 
         key: Any = _NO_PARTITION
         if self._key_attrs is not None:

@@ -77,7 +77,9 @@ class ShardRouter:
         if self.plan.groups:
             spec = WorkerSpec(registry=processor.registry,
                               engine_config=processor.engine_config,
-                              groups=tuple(self.plan.groups))
+                              groups=tuple(self.plan.groups),
+                              use_dispatch_index=
+                              processor.use_dispatch_index)
             self._backend = make_backend(
                 config.backend, config.shards, spec, self._metrics,
                 config.queue_capacity, config.response_timeout)

@@ -49,6 +49,7 @@ class WorkerSpec:
     registry: SchemaRegistry
     engine_config: PlanConfig | None
     groups: tuple  # GroupSpec, ...
+    use_dispatch_index: bool = True
 
 
 class ShardWorkerCore:
@@ -64,7 +65,8 @@ class ShardWorkerCore:
             if group.kind == "broadcast" and group.home_shard != shard_id:
                 continue
             processor = ComplexEventProcessor(
-                spec.registry, config=spec.engine_config)
+                spec.registry, config=spec.engine_config,
+                use_dispatch_index=spec.use_dispatch_index)
             for rank, name, text, plan_config in group.queries:
                 registered = processor.register(name, text,
                                                 config=plan_config)

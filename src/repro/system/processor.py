@@ -84,13 +84,21 @@ class ComplexEventProcessor:
 
     def __init__(self, registry: SchemaRegistry, functions: Any = None,
                  system: Any = None, config: PlanConfig | None = None,
-                 sharding: "ShardingConfig | None" = None):
+                 sharding: "ShardingConfig | None" = None,
+                 use_dispatch_index: bool = True):
         self._engine = Engine(registry, functions=functions, system=system,
                               config=config)
         self._queries: dict[str, RegisteredQuery] = {}
         self.metrics = MetricsCollector()
         self._sharding = sharding
         self._router: Any = None
+        # Multi-query dispatch index: stream -> event type -> the ordered
+        # actions to take (feed subscribing queries, watermark-advance
+        # negation queries that skip the event).  Built lazily per
+        # (stream, type) pair, invalidated on (de)registration.
+        self._use_dispatch_index = use_dispatch_index
+        self._dispatch_cache: dict[
+            tuple[str, str], list[tuple[RegisteredQuery, bool]]] = {}
 
     @property
     def sharding(self) -> "ShardingConfig | None":
@@ -117,6 +125,7 @@ class ComplexEventProcessor:
             name=name, kind=kind, compiled=compiled,
             runtime=self._engine.runtime(compiled), on_result=on_result)
         self._queries[name] = registered
+        self._dispatch_cache.clear()
         return registered
 
     def register_monitoring_query(self, name: str, query: str,
@@ -136,6 +145,7 @@ class ComplexEventProcessor:
                 "cannot deregister a query after the sharded stream has "
                 "started")
         del self._queries[name]
+        self._dispatch_cache.clear()
         self.metrics.forget(name)
 
     def queries(self) -> list[RegisteredQuery]:
@@ -176,7 +186,14 @@ class ComplexEventProcessor:
             -> list[tuple[str, CompositeEvent]]:
         """The synchronous dataflow: feed *event* to every query reading
         *stream* (restricted to *only* when given), cascading composite
-        events.  Results are returned, not delivered."""
+        events.  Results are returned, not delivered.
+
+        With the dispatch index enabled, only queries whose pattern
+        mentions the event's type (positively or under negation) are fed;
+        negation queries that skip the event still receive its timestamp
+        as a watermark so trailing-negation matches release at the same
+        stream time either way.
+        """
         produced: list[tuple[str, CompositeEvent]] = []
         pending: list[tuple[str, Event, int]] = [(stream, event, 0)]
         while pending:
@@ -186,22 +203,69 @@ class ComplexEventProcessor:
                     f"query cascade exceeded {self.MAX_CASCADE_DEPTH} "
                     f"levels on stream {current_stream!r}; check for an "
                     f"INTO/FROM cycle")
-            for registered in self._queries.values():
-                if registered.input_stream != current_stream:
-                    continue
+            for registered, is_feed in self._dispatch_actions(
+                    current_stream, current_event.type):
                 if only is not None and registered.name not in only:
                     continue
                 started = time.perf_counter()
-                results = registered.runtime.feed(current_event)
-                self.metrics.query(registered.name).record(
-                    1, len(results), time.perf_counter() - started,
-                    current_event.timestamp)
+                if is_feed:
+                    results = registered.runtime.feed(current_event)
+                    self.metrics.query(registered.name).record(
+                        1, len(results), time.perf_counter() - started,
+                        current_event.timestamp)
+                else:
+                    results = registered.runtime.advance(
+                        current_event.timestamp)
+                    if results:
+                        self.metrics.query(registered.name).record(
+                            0, len(results),
+                            time.perf_counter() - started,
+                            current_event.timestamp)
                 for result in results:
                     produced.append((registered.name, result))
                     if result.stream is not None:
                         pending.append((result.stream, result.to_event(),
                                         depth + 1))
         return produced
+
+    def _dispatch_actions(self, stream: str, event_type: str) \
+            -> list[tuple[RegisteredQuery, bool]]:
+        """The ordered ``(query, is_feed)`` actions for one event on
+        *stream* with *event_type*.  Registration order is preserved so
+        result ordering is identical with the index on or off."""
+        if not self._use_dispatch_index:
+            return [(registered, True)
+                    for registered in self._queries.values()
+                    if registered.input_stream == stream]
+        key = (stream, event_type)
+        actions = self._dispatch_cache.get(key)
+        if actions is None:
+            actions = []
+            for registered in self._queries.values():
+                if registered.input_stream != stream:
+                    continue
+                types = self._subscribed_types(registered)
+                if types is None or event_type in types:
+                    actions.append((registered, True))
+                elif registered.compiled.analyzed.has_negation:
+                    # Not subscribed, but its pending trailing-negation
+                    # matches must still see time move forward.
+                    actions.append((registered, False))
+            self._dispatch_cache[key] = actions
+        return actions
+
+    @staticmethod
+    def _subscribed_types(registered: RegisteredQuery) \
+            -> frozenset[str] | None:
+        """The event types *registered* must observe (positive plus
+        negated components), or None when it must see every type."""
+        types: set[str] = set()
+        for component in registered.compiled.analyzed.components:
+            event_types = component.event_types
+            if not event_types:
+                return None  # untyped component: any-type bucket
+            types.update(event_types)
+        return frozenset(types)
 
     def advance_time(self, watermark: float,
                      only: frozenset | set | None = None) \
@@ -353,6 +417,11 @@ class ComplexEventProcessor:
     @property
     def engine_config(self) -> PlanConfig:
         return self._engine.config
+
+    @property
+    def use_dispatch_index(self) -> bool:
+        """Whether the type-dispatch subscription index is active."""
+        return self._use_dispatch_index
 
     @property
     def registry(self) -> SchemaRegistry:
