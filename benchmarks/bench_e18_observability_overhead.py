@@ -1,0 +1,174 @@
+"""E18 — observability overhead: disabled hooks must be (nearly) free.
+
+The observability layer (``repro.obs``) promises that a processor which
+never enables tracing, profiling, or the slow-feed log pays almost
+nothing for the hooks living in the hot path.  Two mechanisms back that
+promise, and this experiment measures both:
+
+* **codegen hooks** — the generated scan only *emits* profiling code
+  when profiling was requested at generation time, so a profiled-but-
+  dormant scan (``_profile is None`` guards compiled in) can be compared
+  against the hook-free source the seed shipped.  The ratio between the
+  two is the true disabled-hook cost, asserted ≤ 5 %.
+* **processor hooks** — ``feed`` and the dispatch loop check
+  ``tracer is not None`` per event.  Running the same workload with the
+  whole layer off versus fully on (tracing + profiling + slow-feed log)
+  bounds what enabling everything costs; that ratio is reported, not
+  asserted — enabled tracing is allowed to cost real time.
+
+Timing uses min-of-interleaved-rounds so one scheduler hiccup cannot
+fake a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.events.model import SchemaRegistry
+from repro.system import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream
+
+from common import print_table
+
+FULL_EVENTS = 20_000
+SMOKE_EVENTS = 5_000
+FULL_ROUNDS = 5
+SMOKE_ROUNDS = 3
+
+#: The disabled-hook budget the observability layer promises.
+MAX_DISABLED_OVERHEAD = 1.05
+
+PAIR = ("EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+        "RETURN x.id")
+
+
+def build_stream(n_events: int) -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, v_domain=10,
+        mean_gap=1.0, seed=18))
+
+
+def time_runtime(runtime, events) -> tuple[float, int]:
+    results = 0
+    started = time.perf_counter()
+    for event in events:
+        results += len(runtime.feed(event))
+    results += len(runtime.flush())
+    return time.perf_counter() - started, results
+
+
+# -- codegen hooks: seed source vs hooks-compiled-in-but-dormant ------------
+
+def scan_runtime(registry: SchemaRegistry, dormant_hooks: bool):
+    runtime = Engine(registry).runtime(PAIR, config=PlanConfig())
+    assert runtime.scan_compiled, "E18 needs the codegen scan"
+    if dormant_hooks:
+        # Regenerate with profiling hooks, then leave them disabled:
+        # every hook degrades to one `_prof is None` check per admit.
+        runtime.enable_profiling()
+        runtime._scan._profile = None
+    return runtime
+
+
+def measure_codegen_hooks(n_events: int, rounds: int) -> list:
+    stream = build_stream(n_events)
+    best = {False: float("inf"), True: float("inf")}
+    results = {}
+    for _ in range(rounds):
+        for dormant in (False, True):   # interleaved A/B
+            elapsed, count = time_runtime(
+                scan_runtime(stream.registry, dormant), stream.events)
+            best[dormant] = min(best[dormant], elapsed)
+            results[dormant] = count
+    assert results[False] == results[True]
+    ratio = best[True] / best[False]
+    return [["codegen scan", n_events / best[False],
+             n_events / best[True], ratio, results[False]]], ratio
+
+
+# -- processor layer: everything off vs everything on -----------------------
+
+def processor_run(stream: SyntheticStream, enabled: bool):
+    processor = ComplexEventProcessor(stream.registry)
+    tracer = None
+    if enabled:
+        tracer = processor.enable_tracing(capacity=1024)
+        processor.enable_slow_feed_log(threshold_seconds=10.0)
+    processor.register_monitoring_query("pair", PAIR)
+    profiles = processor.enable_profiling() if enabled else {}
+    results = 0
+    started = time.perf_counter()
+    for event in stream.events:
+        results += len(processor.feed(event))
+    results += len(processor.flush())
+    elapsed = time.perf_counter() - started
+    if enabled:
+        assert len(tracer) > 0, "enabled tracer recorded nothing"
+        assert profiles["pair"].matches_emitted == results
+    return elapsed, results
+
+
+def measure_processor(n_events: int, rounds: int) -> list:
+    stream = build_stream(n_events)
+    best = {False: float("inf"), True: float("inf")}
+    results = {}
+    for _ in range(rounds):
+        for enabled in (False, True):
+            elapsed, count = processor_run(stream, enabled)
+            best[enabled] = min(best[enabled], elapsed)
+            results[enabled] = count
+    assert results[False] == results[True]
+    return [["processor", n_events / best[False],
+             n_events / best[True], best[True] / best[False],
+             results[False]]]
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="observability hook overhead (disabled and enabled)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (seconds)")
+    args = parser.parse_args(argv)
+    n_events = SMOKE_EVENTS if args.smoke else FULL_EVENTS
+    rounds = SMOKE_ROUNDS if args.smoke else FULL_ROUNDS
+
+    hook_rows, disabled_ratio = measure_codegen_hooks(n_events, rounds)
+    print_table(
+        f"E18a — codegen hooks, compiled in but dormant "
+        f"({n_events} events, min of {rounds})",
+        ["path", "no hooks ev/s", "dormant hooks ev/s", "ratio",
+         "results"],
+        hook_rows)
+    print(f"disabled-hook overhead: {(disabled_ratio - 1) * 100:+.1f}% "
+          f"(budget {(MAX_DISABLED_OVERHEAD - 1) * 100:.0f}%)")
+    assert disabled_ratio <= MAX_DISABLED_OVERHEAD, (
+        f"dormant profiling hooks cost {disabled_ratio:.3f}x, "
+        f"budget is {MAX_DISABLED_OVERHEAD}x")
+
+    processor_rows = measure_processor(n_events, rounds)
+    print_table(
+        f"E18b — processor with the full layer on "
+        f"(tracing + profiling + slow-feed log)",
+        ["path", "obs off ev/s", "obs on ev/s", "ratio", "results"],
+        processor_rows)
+    print(f"enabled-everything overhead: "
+          f"{(processor_rows[0][3] - 1) * 100:+.1f}% (informational)")
+
+
+def test_benchmark_obs_disabled(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    benchmark.pedantic(lambda: processor_run(stream, enabled=False),
+                       rounds=3, iterations=1)
+
+
+def test_benchmark_obs_enabled(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    benchmark.pedantic(lambda: processor_run(stream, enabled=True),
+                       rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    main()

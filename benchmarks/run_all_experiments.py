@@ -36,6 +36,7 @@ EXPERIMENTS = [
     ("E15", "bench_e15_sharded_throughput"),
     ("E16", "bench_e16_codegen"),
     ("E17", "bench_e17_multiquery_scaling"),
+    ("E18", "bench_e18_observability_overhead"),
 ]
 
 

@@ -30,9 +30,10 @@ from repro.events.event import Event
 from repro.events.model import AttributeType, SchemaRegistry
 from repro.rfid import NoiseModel
 from repro.schemas import retail_registry
+from repro.obs import MetricsExporter
 from repro.sharding import BACKENDS, ShardingConfig
 from repro.system import SaseSystem
-from repro.ui import SaseConsole
+from repro.ui import SaseConsole, format_trace_lines
 from repro.workloads import (
     CONTAINMENT_RULE,
     LOCATION_UPDATE_RULE,
@@ -101,7 +102,34 @@ def _build_parser() -> argparse.ArgumentParser:
                            "in-process), thread, or process")
     demo.add_argument("--trace", type=int, metavar="TAG",
                       help="print the movement history of one tag")
+    demo.add_argument("--metrics-out", metavar="PATH",
+                      help="write a metrics snapshot after the run "
+                           "(.prom/.txt: Prometheus text, else JSON)")
+    demo.add_argument("--trace-out", metavar="PATH",
+                      help="record dataflow traces and dump them as "
+                           "JSON lines")
     demo.set_defaults(handler=_cmd_demo)
+
+    trace = commands.add_parser(
+        "trace", help="run the retail demo with dataflow tracing and "
+                      "render one query's intermediate-stream view")
+    trace.add_argument("--query", default="shoplifting",
+                       help="query to trace (default: shoplifting)")
+    trace.add_argument("--seed", type=int, default=2007)
+    trace.add_argument("--products", type=int, default=12)
+    trace.add_argument("--shoppers", type=int, default=3)
+    trace.add_argument("--shoplifters", type=int, default=1)
+    trace.add_argument("--shards", type=int, default=1)
+    trace.add_argument("--shard-backend", choices=BACKENDS,
+                       default="inline")
+    trace.add_argument("--limit", type=int, default=12,
+                       help="show at most N traces (default: 12)")
+    trace.add_argument("--jsonl", metavar="PATH",
+                       help="also dump the selected spans as JSON lines")
+    trace.add_argument("--slow-feed-ms", type=float, default=0.0,
+                       help="log feeds slower than this many "
+                            "milliseconds (0 = off)")
+    trace.set_defaults(handler=_cmd_trace)
 
     warehouse = commands.add_parser(
         "warehouse", help="supply-chain rules + track-and-trace")
@@ -153,6 +181,8 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
         sharding = ShardingConfig(shards=args.shards,
                                   backend=args.shard_backend)
     system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
+    if args.trace_out:
+        system.enable_tracing()
     system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
     system.register_monitoring_query("misplaced",
                                      MISPLACED_INVENTORY_QUERY)
@@ -188,6 +218,79 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
                   f"[{entry['time_in']:g} .. "
                   f"{entry['time_out'] if entry['time_out'] is not None else 'now'}]",
                   file=out)
+    if args.metrics_out:
+        exporter = MetricsExporter(system.processor, args.metrics_out)
+        exporter.flush()
+        print(f"\nmetrics snapshot ({exporter.fmt}) written to "
+              f"{args.metrics_out}", file=out)
+    if args.trace_out:
+        count = system.processor.tracer.dump_jsonl(args.trace_out)
+        print(f"{count} trace span(s) written to {args.trace_out}",
+              file=out)
+
+
+def _cmd_trace(args: argparse.Namespace, out: TextIO) -> None:
+    scenario = RetailScenario.generate(RetailConfig(
+        n_products=args.products, n_shoppers=args.shoppers,
+        n_shoplifters=args.shoplifters, n_misplacements=1,
+        seed=args.seed))
+    sharding = None
+    if args.shards != 1 or args.shard_backend != "inline":
+        sharding = ShardingConfig(shards=args.shards,
+                                  backend=args.shard_backend)
+    system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
+    # A full retail run emits far more spans than the default ring; keep
+    # enough history that early RETURN traces survive to the report.
+    tracer = system.enable_tracing(capacity=1 << 17)
+    if args.slow_feed_ms > 0:
+        system.processor.enable_slow_feed_log(args.slow_feed_ms / 1e3)
+    system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
+    system.register_monitoring_query("misplaced",
+                                     MISPLACED_INVENTORY_QUERY)
+    for event_type in ("SHELF_READING", "COUNTER_READING",
+                       "EXIT_READING"):
+        system.register_archiving_rule(f"loc_{event_type}",
+                                       LOCATION_UPDATE_RULE(event_type))
+    names = [registered.name
+             for registered in system.processor.queries()]
+    if args.query not in names:
+        raise SaseError(f"unknown query {args.query!r}; "
+                        f"registered: {', '.join(names)}")
+    # Profiling rides along unless the sharded runtime is active (worker
+    # shards build their own runtimes from the spec).
+    profiles = {} if sharding is not None \
+        else system.processor.enable_profiling()
+    system.run_simulation(scenario.ticks(NoiseModel.perfect()))
+
+    lines = format_trace_lines(tracer, args.query, limit=args.limit,
+                               hits_only=True)
+    kind = "matching"
+    if not lines:  # no hits recorded — fall back to the raw tail
+        lines = format_trace_lines(tracer, args.query, limit=args.limit)
+        kind = "recorded"
+    print(f"dataflow trace for {args.query!r} "
+          f"(last {args.limit} {kind} traces):", file=out)
+    if not lines:
+        lines = ["(no trace touched this query)"]
+    for line in lines:
+        print(f"  {line}", file=out)
+    profile = profiles.get(args.query)
+    if profile is not None:
+        print(f"\nscan profile for {args.query!r}:", file=out)
+        for line in profile.report_lines():
+            print(f"  {line}", file=out)
+    slow = system.processor.slow_feed_log
+    if slow is not None:
+        print(f"\nslow feeds (>= {args.slow_feed_ms:g} ms): "
+              f"{slow.total_slow}", file=out)
+        for line in slow.report_lines()[-5:]:
+            print(f"  {line}", file=out)
+    print("", file=out)
+    for line in system.processor.metrics.report_lines():
+        print(f"  {line}", file=out)
+    if args.jsonl:
+        count = tracer.dump_jsonl(args.jsonl, query=args.query)
+        print(f"\n{count} span(s) written to {args.jsonl}", file=out)
 
 
 def _cmd_warehouse(args: argparse.Namespace, out: TextIO) -> None:

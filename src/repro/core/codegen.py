@@ -155,9 +155,11 @@ class _ScanShape:
 
     def __init__(self, analyzed: AnalyzedQuery, *, window_pushdown: bool,
                  partition_pushdown: bool, filter_pushdown: bool,
-                 construction_pushdown: bool, prune_interval: int):
+                 construction_pushdown: bool, prune_interval: int,
+                 profiling: bool = False):
         positives = analyzed.positives
         self.n = len(positives)
+        self.profiling = profiling
         self.variables = [component.variable for component in positives]
         self.kleene = [component.kleene for component in positives]
         self.has_kleene = any(self.kleene)
@@ -229,8 +231,14 @@ def generate_scan_source(analyzed: AnalyzedQuery, *,
                          partition_pushdown: bool = True,
                          filter_pushdown: bool = True,
                          construction_pushdown: bool = False,
-                         prune_interval: int = 512) -> str:
+                         prune_interval: int = 512,
+                         profiling: bool = False) -> str:
     """Emit the specialised operator source for *analyzed*.
+
+    With ``profiling`` the generated hot path includes the same
+    per-component admit/construct counters the interpreted operator
+    keeps; without it no profiling code is emitted at all, so the
+    disabled path carries zero overhead.
 
     Raises :class:`UnsupportedShape` when any pushed predicate cannot be
     translated to straight-line code.
@@ -240,7 +248,7 @@ def generate_scan_source(analyzed: AnalyzedQuery, *,
         partition_pushdown=partition_pushdown,
         filter_pushdown=filter_pushdown,
         construction_pushdown=construction_pushdown,
-        prune_interval=prune_interval)
+        prune_interval=prune_interval, profiling=profiling)
     writer = _Writer()
     _generate_feed(writer, shape)
     if not shape.has_kleene:
@@ -257,6 +265,8 @@ def _generate_feed(w: _Writer, shape: _ScanShape) -> None:
     w.depth += 1
     w.emit("_op = self._op_stats")
     w.emit("_op.consumed += 1")
+    if shape.profiling:
+        w.emit("_prof = self._profile")
     if shape.window is not None:
         w.emit("_seen = self._events_seen + 1")
         w.emit("self._events_seen = _seen")
@@ -286,6 +296,9 @@ def _generate_feed(w: _Writer, shape: _ScanShape) -> None:
     w.emit("    self._stats.record_stack_size(self._instance_count, "
            "len(_groups))")
     w.emit("    _op.produced += len(matches)")
+    if shape.profiling:
+        w.emit("    if _prof is not None:")
+        w.emit("        _prof.matches_emitted += len(matches)")
     w.emit("return matches")
     w.depth -= 1
 
@@ -321,6 +334,9 @@ def _generate_admit(w: _Writer, shape: _ScanShape, index: int) -> None:
         w.emit("_inst = _group.stacks[0].push(event, -1)")
         w.emit("self._instance_count += 1")
         w.emit("_pushed = True")
+        if shape.profiling:
+            w.emit("if _prof is not None:")
+            w.emit("    _prof.admits[0] += 1")
         if shape.n == 1:
             w.emit("self._construct(_group, _inst, matches)")
     else:
@@ -340,6 +356,9 @@ def _generate_admit(w: _Writer, shape: _ScanShape, index: int) -> None:
         w.emit(f"_inst = _group.stacks[{index}].push(event, _last)")
         w.emit("self._instance_count += 1")
         w.emit("_pushed = True")
+        if shape.profiling:
+            w.emit("if _prof is not None:")
+            w.emit(f"    _prof.admits[{index}] += 1")
         if index == shape.n - 1:
             w.emit("self._construct(_group, _inst, matches)")
     w.depth = entry_depth
@@ -382,6 +401,10 @@ def _generate_construct(w: _Writer, shape: _ScanShape) -> None:
     last = n - 1
     w.emit("def _construct(self, group, trigger, matches):")
     w.depth += 1
+    if shape.profiling:
+        w.emit("_prof = self._profile")
+        w.emit("if _prof is not None:")
+        w.emit("    _prof.construct_calls += 1")
     w.emit("_stacks = group.stacks")
     w.emit(f"_e{last} = trigger.event")
     w.emit(f"_end = _e{last}.timestamp")
@@ -458,7 +481,8 @@ def compile_scan(analyzed: AnalyzedQuery, *,
                  prune_interval: int = 512,
                  stats: PlanStats | None = None,
                  functions: Any = None,
-                 system: Any = None) -> SequenceScanConstruct | None:
+                 system: Any = None,
+                 profiling: bool = False) -> SequenceScanConstruct | None:
     """Build a code-generated SSC operator for *analyzed*.
 
     Returns ``None`` when the query uses an expression shape the
@@ -471,7 +495,7 @@ def compile_scan(analyzed: AnalyzedQuery, *,
             partition_pushdown=partition_pushdown,
             filter_pushdown=filter_pushdown,
             construction_pushdown=construction_pushdown,
-            prune_interval=prune_interval)
+            prune_interval=prune_interval, profiling=profiling)
     except UnsupportedShape:
         return None
 
@@ -488,6 +512,7 @@ def compile_scan(analyzed: AnalyzedQuery, *,
         "feed": namespace["feed"],
         "_filters_fallback": _filters_fallback,
         "compiled": True,
+        "profiled": profiling,
         "codegen_source": source,
     }
     for name in ("_construct", "_passes_construction_checks"):

@@ -44,6 +44,10 @@ class QueryRuntime:
             max_kleene_events=config.max_kleene_events,
             prune_interval=config.prune_interval,
             stats=self.stats, functions=functions, system=system)
+        # Kept for enable_profiling, which regenerates the compiled scan
+        # with profiling hooks emitted into the source.
+        self._analyzed = analyzed
+        self._scan_kwargs = scan_kwargs
         self._scan = compile_scan(analyzed, **scan_kwargs) \
             if config.use_codegen else None
         if self._scan is None:  # flag off, or shape codegen doesn't cover
@@ -168,3 +172,26 @@ class QueryRuntime:
     @property
     def pending_negations(self) -> int:
         return self._negation.pending_count if self._negation else 0
+
+    @property
+    def scan_profile(self):
+        """The active scan profile, or None until enabled."""
+        return self._scan.profile
+
+    def enable_profiling(self):
+        """Turn on per-component scan counters for this runtime.
+
+        The compiled scan omits profiling code entirely (the disabled
+        path stays byte-identical to the unprofiled source), so enabling
+        rebuilds it with the hooks emitted.  The scan's state cannot be
+        carried across a rebuild, so this must precede the first event.
+        """
+        if self.stats.events_consumed:
+            raise RuntimeError(
+                "profiling must be enabled before the first event is fed")
+        if self._scan.compiled and not self._scan.profiled:
+            rebuilt = compile_scan(self._analyzed, profiling=True,
+                                   **self._scan_kwargs)
+            if rebuilt is not None:
+                self._scan = rebuilt
+        return self._scan.enable_profiling()

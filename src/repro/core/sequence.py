@@ -32,6 +32,7 @@ from repro.core.match import Binding, Match
 from repro.core.stats import PlanStats
 from repro.lang.semantics import AnalyzedQuery
 from repro.events.event import Event
+from repro.obs.profile import ScanProfile
 
 _NO_PARTITION = object()  # dict key for the single unpartitioned group
 
@@ -41,6 +42,10 @@ class SequenceScanConstruct:
 
     #: True on code-generated subclasses (:mod:`repro.core.codegen`).
     compiled = False
+    #: True when profiling hooks are present in the scan path.  The
+    #: interpreted scan always has them (behind a None check); generated
+    #: subclasses only emit them when compiled with ``profiling=True``.
+    profiled = True
 
     def __init__(self, analyzed: AnalyzedQuery, *,
                  window_pushdown: bool = True,
@@ -127,6 +132,7 @@ class SequenceScanConstruct:
         self._instance_count = 0
         self._stats = stats if stats is not None else PlanStats()
         self._op_stats = self._stats.operator("SSC")
+        self._profile: ScanProfile | None = None
 
     # -- public surface ----------------------------------------------------
 
@@ -141,6 +147,16 @@ class SequenceScanConstruct:
     @property
     def partition_count(self) -> int:
         return len(self._groups)
+
+    @property
+    def profile(self) -> ScanProfile | None:
+        return self._profile
+
+    def enable_profiling(self) -> ScanProfile:
+        """Turn on per-component admit/construct counters."""
+        if self._profile is None:
+            self._profile = ScanProfile(self._variables)
+        return self._profile
 
     def feed(self, event: Event) -> list[Match]:
         """Scan one event; return the matches it completes."""
@@ -158,6 +174,8 @@ class SequenceScanConstruct:
         self._stats.record_stack_size(self._instance_count,
                                       len(self._groups))
         self._op_stats.produced += len(matches)
+        if self._profile is not None:
+            self._profile.matches_emitted += len(matches)
         return matches
 
     def reset(self) -> None:
@@ -208,6 +226,8 @@ class SequenceScanConstruct:
 
         instance = group.stacks[index].push(event, rip)
         self._instance_count += 1
+        if self._profile is not None:
+            self._profile.admits[index] += 1
         if index == self._n - 1:
             self._construct(group, instance, matches)
         elif self._kleene[index]:
@@ -231,6 +251,8 @@ class SequenceScanConstruct:
 
     def _construct(self, group: StackGroup, trigger: Instance,
                    matches: list[Match]) -> None:
+        if self._profile is not None:
+            self._profile.construct_calls += 1
         end_ts = trigger.event.timestamp
         min_ts = end_ts - self._window if self._window is not None else None
         chosen: list[Binding | None] = [None] * self._n

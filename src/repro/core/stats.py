@@ -57,6 +57,18 @@ class PlanStats:
         return {name: (stats.consumed, stats.produced)
                 for name, stats in self.operators.items()}
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the metrics exporter."""
+        return {
+            "events_consumed": self.events_consumed,
+            "results_emitted": self.results_emitted,
+            "stack_high_water": self.stack_high_water,
+            "partitions_high_water": self.partitions_high_water,
+            "operators": {name: {"consumed": stats.consumed,
+                                 "produced": stats.produced}
+                          for name, stats in self.operators.items()},
+        }
+
     def __repr__(self) -> str:
         chain = " -> ".join(
             f"{name}[{stats.consumed}/{stats.produced}]"

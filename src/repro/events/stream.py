@@ -90,14 +90,19 @@ def merge_streams(*streams: Iterable[Event],
     Ties across sources are broken by source position (earlier argument
     first), which keeps merging deterministic.
     """
-    def generate() -> Iterator[Event]:
+    def decorate(index: int,
+                 stream: Iterable[Event]) -> Iterator[tuple]:
         # heapq.merge needs a total order; (timestamp, source index, counter)
-        # avoids ever comparing Event objects.
-        decorated = []
-        for index, stream in enumerate(streams):
-            decorated.append(
-                ((event.timestamp, index, position), event)
-                for position, event in enumerate(stream))
+        # avoids ever comparing Event objects.  The index is bound eagerly
+        # as a parameter: a generator expression closing over the loop
+        # variable would see its final value for every source, breaking
+        # cross-source ties by per-source position instead.
+        for position, event in enumerate(stream):
+            yield (event.timestamp, index, position), event
+
+    def generate() -> Iterator[Event]:
+        decorated = [decorate(index, stream)
+                     for index, stream in enumerate(streams)]
         for _, event in heapq.merge(*decorated, key=lambda pair: pair[0]):
             yield event
 

@@ -1,0 +1,32 @@
+"""Observability: dataflow tracing, metrics export, profiling hooks.
+
+Everything here is opt-in; the processing hot paths pay at most one
+``is not None`` check per hook when a facility is disabled, and the
+code-generated scan emits profiling code only when asked to.
+"""
+
+from repro.obs.export import (
+    MetricsExporter,
+    collector_snapshot,
+    parse_prometheus,
+    processor_snapshot,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.profile import ScanProfile, SlowFeed, SlowFeedLog
+from repro.obs.trace import TICK_CONTEXT, DataflowTracer, Span
+
+__all__ = [
+    "DataflowTracer",
+    "MetricsExporter",
+    "ScanProfile",
+    "SlowFeed",
+    "SlowFeedLog",
+    "Span",
+    "TICK_CONTEXT",
+    "collector_snapshot",
+    "parse_prometheus",
+    "processor_snapshot",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,263 @@
+"""Metrics export: serialize the collector to JSON and Prometheus text.
+
+A snapshot gathers three layers into one JSON-serializable dict:
+
+* per-query counters from the :class:`~repro.system.metrics
+  .MetricsCollector` (events in, results out, busy time, selectivity,
+  p50/p95 feed latency from the reservoir, result freshness);
+* per-shard routing counters when the sharded runtime is active;
+* per-query plan statistics (:class:`~repro.core.stats.PlanStats`):
+  operator in/out counters plus stack and partition high-water gauges.
+
+The same snapshot renders as Prometheus text exposition
+(:func:`to_prometheus`) for scraping, and :func:`parse_prometheus` reads
+that text back for round-trip testing.  :class:`MetricsExporter` wraps a
+processor with a file target and an optional every-N-events flush cadence
+so a long-running system exports periodically without caller bookkeeping.
+
+Note: under the sharded runtime, query counters fold back from worker
+shards via metric deltas, but worker-side ``PlanStats`` stay on their
+shard — the coordinator's ``plans`` section covers locally hosted queries
+only (the per-query counters remain complete either way).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+# Prometheus metric name -> (snapshot section, field, help text).
+_QUERY_COUNTERS = (
+    ("sase_query_events_total", "events_in",
+     "Events fed to the query"),
+    ("sase_query_results_total", "results_out",
+     "Composite events the query produced"),
+    ("sase_query_busy_seconds_total", "busy_seconds",
+     "Wall time spent inside the query runtime"),
+)
+_QUERY_GAUGES = (
+    ("sase_query_selectivity", "selectivity",
+     "Results produced per input event"),
+    ("sase_query_last_result_stream_time", "last_result_at",
+     "Stream time of the freshest result"),
+)
+_QUERY_QUANTILES = (
+    ("0.5", "p50_feed_seconds"),
+    ("0.95", "p95_feed_seconds"),
+)
+_SHARD_COUNTERS = (
+    ("sase_shard_events_routed_total", "events_routed",
+     "Events routed to the shard"),
+    ("sase_shard_watermarks_total", "watermarks_sent",
+     "Watermark ticks broadcast to the shard"),
+    ("sase_shard_batches_total", "batches_sent",
+     "Batches shipped to the shard"),
+    ("sase_shard_results_total", "results_received",
+     "Results received back from the shard"),
+    ("sase_shard_queue_full_stalls_total", "queue_full_stalls",
+     "Submissions that stalled on a full shard queue"),
+    ("sase_shard_worker_restarts_total", "worker_restarts",
+     "Times the shard's worker was restarted"),
+    ("sase_shard_batches_replayed_total", "batches_replayed",
+     "Batches replayed after a worker restart"),
+)
+_PLAN_GAUGES = (
+    ("sase_plan_stack_instances_high_water", "stack_high_water",
+     "Peak active stack instances"),
+    ("sase_plan_partitions_high_water", "partitions_high_water",
+     "Peak live PAIS partitions"),
+)
+
+
+def collector_snapshot(collector: Any) -> dict:
+    """JSON-serializable form of a :class:`MetricsCollector`."""
+    queries = {}
+    for name, metrics in collector.queries.items():
+        queries[name] = {
+            "events_in": metrics.events_in,
+            "results_out": metrics.results_out,
+            "busy_seconds": metrics.busy_seconds,
+            "selectivity": metrics.selectivity,
+            "last_result_at": metrics.last_result_at,
+            "p50_feed_seconds": metrics.latency_percentile(0.50),
+            "p95_feed_seconds": metrics.latency_percentile(0.95),
+        }
+    shards = {}
+    for shard_id, metrics in collector.shards.items():
+        shards[str(shard_id)] = {
+            field: getattr(metrics, field)
+            for _, field, _ in _SHARD_COUNTERS}
+    snapshot: dict = {"queries": queries}
+    if shards:
+        snapshot["shards"] = shards
+    return snapshot
+
+
+def processor_snapshot(processor: Any) -> dict:
+    """Collector snapshot plus per-query plan statistics."""
+    snapshot = collector_snapshot(processor.metrics)
+    plans = {}
+    for registered in processor.queries():
+        plans[registered.name] = registered.runtime.stats.to_dict()
+    if plans:
+        snapshot["plans"] = plans
+    return snapshot
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _label_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    # repr keeps floats round-trippable; integers print without ".0".
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _PrometheusWriter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._typed: set[str] = set()
+
+    def sample(self, metric: str, metric_type: str, help_text: str,
+               labels: dict[str, str], value: float | None) -> None:
+        if value is None:
+            return
+        if metric not in self._typed:
+            self._typed.add(metric)
+            self.lines.append(f"# HELP {metric} {help_text}")
+            self.lines.append(f"# TYPE {metric} {metric_type}")
+        rendered = ",".join(
+            f'{key}="{_label_escape(label)}"'
+            for key, label in sorted(labels.items()))
+        self.lines.append(
+            f"{metric}{{{rendered}}} {_format_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n" if self.lines else ""
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    w = _PrometheusWriter()
+    for name, entry in snapshot.get("queries", {}).items():
+        labels = {"query": name}
+        for metric, field, help_text in _QUERY_COUNTERS:
+            w.sample(metric, "counter", help_text, labels, entry[field])
+        for metric, field, help_text in _QUERY_GAUGES:
+            w.sample(metric, "gauge", help_text, labels, entry[field])
+        for quantile, field in _QUERY_QUANTILES:
+            w.sample("sase_query_feed_latency_seconds", "summary",
+                     "Per-feed latency reservoir quantiles",
+                     {**labels, "quantile": quantile}, entry[field])
+    for shard_id, entry in snapshot.get("shards", {}).items():
+        labels = {"shard": shard_id}
+        for metric, field, help_text in _SHARD_COUNTERS:
+            w.sample(metric, "counter", help_text, labels, entry[field])
+    for name, plan in snapshot.get("plans", {}).items():
+        labels = {"query": name}
+        for metric, field, help_text in _PLAN_GAUGES:
+            w.sample(metric, "gauge", help_text, labels, plan[field])
+        for operator, stats in plan.get("operators", {}).items():
+            op_labels = {**labels, "operator": operator}
+            w.sample("sase_operator_consumed_total", "counter",
+                     "Items the operator consumed", op_labels,
+                     stats["consumed"])
+            w.sample("sase_operator_produced_total", "counter",
+                     "Items the operator produced", op_labels,
+                     stats["produced"])
+    return w.text()
+
+
+def parse_prometheus(text: str) -> dict[tuple, float]:
+    """Parse Prometheus text exposition back into
+    ``{(metric, ((label, value), ...)): sample}`` — the inverse of
+    :func:`to_prometheus` for round-trip tests and scrape checks."""
+    samples: dict[tuple, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        metric, _, label_part = name_part.partition("{")
+        labels = []
+        label_part = label_part.rstrip("}")
+        while label_part:
+            key, _, rest = label_part.partition('="')
+            value = []
+            index = 0
+            while index < len(rest):
+                char = rest[index]
+                if char == "\\" and index + 1 < len(rest):
+                    escaped = rest[index + 1]
+                    value.append({"n": "\n"}.get(escaped, escaped))
+                    index += 2
+                    continue
+                if char == '"':
+                    break
+                value.append(char)
+                index += 1
+            labels.append((key, "".join(value)))
+            label_part = rest[index + 1:].lstrip(",")
+        samples[(metric, tuple(sorted(labels)))] = float(value_part)
+    return samples
+
+
+class MetricsExporter:
+    """Periodically serialize a processor's metrics to a file.
+
+    The format follows the target path (``.prom``/``.txt`` →
+    Prometheus text, anything else → JSON) unless given explicitly.
+    ``every_events`` sets a flush cadence for :meth:`tick`; with the
+    default of 0 the exporter only flushes when asked.
+    """
+
+    def __init__(self, processor: Any, path: str,
+                 fmt: str | None = None, every_events: int = 0):
+        if fmt is None:
+            fmt = "prometheus" \
+                if path.endswith((".prom", ".txt")) else "json"
+        if fmt not in ("json", "prometheus"):
+            raise ValueError(f"unknown metrics format {fmt!r}")
+        self._processor = processor
+        self.path = path
+        self.fmt = fmt
+        self.every_events = every_events
+        self._since_flush = 0
+        self.flush_count = 0
+
+    def snapshot(self) -> dict:
+        return processor_snapshot(self._processor)
+
+    def render(self) -> str:
+        snapshot = self.snapshot()
+        if self.fmt == "prometheus":
+            return to_prometheus(snapshot)
+        return to_json(snapshot)
+
+    def tick(self, events: int = 1) -> bool:
+        """Count processed events; flush when the cadence is reached.
+        Returns True when a flush happened."""
+        self._since_flush += events
+        if self.every_events and self._since_flush >= self.every_events:
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> str:
+        """Write the current snapshot to the target path."""
+        rendered = self.render()
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        self._since_flush = 0
+        self.flush_count += 1
+        return rendered
+
+    def write_to(self, handle: IO[str]) -> None:
+        handle.write(self.render())

@@ -1,0 +1,94 @@
+"""Opt-in profiling hooks: per-component scan counters and a slow-feed log.
+
+Two complementary tools for finding *why* a query is slow:
+
+* :class:`ScanProfile` counts, per sequence component, how many events the
+  ``SequenceScanConstruct`` operator admitted onto each component's stack,
+  plus how often result construction ran and how many matches it emitted.
+  A component admitting far more events than the next one consumes is
+  where pushdown filters should go.  The interpreted scan checks a single
+  ``profile is not None`` guard per hook; the code-generated scan emits
+  the hooks into the generated source only when profiling was requested,
+  so the disabled compiled path is byte-identical to the unprofiled one.
+
+* :class:`SlowFeedLog` captures the offending event and query whenever a
+  single ``feed`` call exceeds a wall-clock latency threshold, keeping a
+  bounded ring of the worst moments for post-hoc inspection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+class ScanProfile:
+    """Per-component admit/construct counters for one scan operator."""
+
+    __slots__ = ("variables", "admits", "construct_calls",
+                 "matches_emitted")
+
+    def __init__(self, variables: Sequence[str]):
+        self.variables = list(variables)
+        self.admits = [0] * len(self.variables)
+        self.construct_calls = 0
+        self.matches_emitted = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "admits": dict(zip(self.variables, self.admits)),
+            "construct_calls": self.construct_calls,
+            "matches_emitted": self.matches_emitted,
+        }
+
+    def report_lines(self) -> list[str]:
+        lines = [f"admit {variable}: {count}"
+                 for variable, count in zip(self.variables, self.admits)]
+        lines.append(f"construct calls: {self.construct_calls}, "
+                     f"matches emitted: {self.matches_emitted}")
+        return lines
+
+
+@dataclass
+class SlowFeed:
+    """One feed call that blew the latency budget."""
+
+    query: str
+    event_type: str
+    timestamp: float
+    seq: int
+    duration: float          # wall seconds
+    results: int
+
+    def describe(self) -> str:
+        return (f"{self.query}: {self.duration * 1e3:.3f} ms on "
+                f"{self.event_type} t={self.timestamp:g} "
+                f"seq={self.seq} ({self.results} results)")
+
+
+class SlowFeedLog:
+    """Bounded log of feed calls slower than a wall-clock threshold."""
+
+    def __init__(self, threshold_seconds: float, capacity: int = 256):
+        self.threshold = threshold_seconds
+        self._entries: deque[SlowFeed] = deque(maxlen=capacity)
+        self.total_slow = 0
+
+    def record(self, query: str, event: Any, duration: float,
+               results: int) -> None:
+        self.total_slow += 1
+        self._entries.append(SlowFeed(
+            query=query, event_type=event.type,
+            timestamp=event.timestamp, seq=event.seq,
+            duration=duration, results=results))
+
+    @property
+    def entries(self) -> list[SlowFeed]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def report_lines(self) -> list[str]:
+        return [entry.describe() for entry in self._entries]

@@ -1,0 +1,225 @@
+"""Structured dataflow tracing: operator-level spans per fed event.
+
+The paper's UI (Figure 3) is built on exposing the processor's *internal
+dataflow* as inspectable streams.  :class:`DataflowTracer` makes the same
+dataflow observable programmatically: every event fed to the processor
+opens a **trace** (one trace id per arrival), and each stage it passes —
+``clean`` → ``associate`` → ``dispatch`` → ``scan`` → ``construct`` →
+``return`` → ``cascade`` / ``advance`` → ``db_write`` — records a
+:class:`Span` into a bounded ring buffer.
+
+Design constraints:
+
+* **low overhead** — the tracer is opt-in; every hook in the hot path is
+  a single ``if tracer is not None`` check when disabled, and recording a
+  span is one dataclass construction plus a deque append when enabled;
+* **sharding-transparent** — worker shards run their own tracer with the
+  coordinator's trace id *pinned* per routed entry, ship spans back as
+  plain tuples with each batch response, and the coordinator folds them
+  into its buffer tagged with the shard id (see ``repro.sharding``);
+* **serializable** — spans dump as JSON lines (:meth:`DataflowTracer
+  .dump_jsonl`) and render as the Figure-3 intermediate-stream view
+  (:func:`repro.ui.console.format_trace_lines`).
+
+Spans recorded outside any event's context (the cleaning pipeline runs
+before events enter the processor) carry trace id ``-1``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable
+
+#: Trace id for spans not tied to one fed event (cleaning-tick context).
+TICK_CONTEXT = -1
+
+#: Per-batch cap on spans a shard worker ships with one response; keeps
+#: batch responses bounded even for pathological result explosions.
+MAX_SHIPPED_SPANS = 4096
+
+
+@dataclass
+class Span:
+    """One operator-level step of an event's journey through the system."""
+
+    trace_id: int
+    op: str
+    query: str | None = None
+    stream: str | None = None
+    ts: float | None = None          # stream time the span refers to
+    duration: float = 0.0            # wall seconds (0 for instant marks)
+    detail: dict = field(default_factory=dict)
+    shard: int | None = None         # None: coordinator / unsharded
+
+    def to_dict(self) -> dict:
+        record: dict[str, Any] = {"trace": self.trace_id, "op": self.op}
+        if self.query is not None:
+            record["query"] = self.query
+        if self.stream is not None:
+            record["stream"] = self.stream
+        if self.ts is not None:
+            record["ts"] = self.ts
+        if self.duration:
+            record["duration_us"] = round(self.duration * 1e6, 3)
+        if self.shard is not None:
+            record["shard"] = self.shard
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+    def to_tuple(self) -> tuple:
+        """Plain-tuple form for crossing worker process pipes."""
+        return (self.trace_id, self.op, self.query, self.stream,
+                self.ts, self.duration, self.detail)
+
+    @classmethod
+    def from_tuple(cls, raw: tuple, shard: int | None = None) -> "Span":
+        trace_id, op, query, stream, ts, duration, detail = raw
+        return cls(trace_id=trace_id, op=op, query=query, stream=stream,
+                   ts=ts, duration=duration, detail=detail or {},
+                   shard=shard)
+
+
+class DataflowTracer:
+    """Ring-buffered span recorder with per-event trace context.
+
+    ``begin(event)`` opens a new trace and becomes the implicit context
+    for subsequent ``record`` calls; shard workers instead ``pin`` the
+    coordinator-assigned id before processing each routed entry so spans
+    recorded on any shard join the same trace.
+    """
+
+    def __init__(self, capacity: int = 4096, ship: bool = False):
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._next_trace = 0
+        self._pinned: int | None = None
+        self.current: int = TICK_CONTEXT
+        # Worker mode: spans also accumulate in an outbox the transport
+        # drains into batch responses.
+        self._outbox: list[Span] | None = [] if ship else None
+        self.dropped_shipments = 0
+
+    # -- trace context -------------------------------------------------------
+
+    def begin(self, event: Any = None,
+              stream: str | None = None) -> int:
+        """Open the trace context for one fed event.
+
+        Under a pinned id (shard workers) the pinned trace is reused and
+        no ``event`` span is recorded — the coordinator already did.
+        """
+        if self._pinned is not None:
+            self.current = self._pinned
+            return self.current
+        self.current = self._next_trace
+        self._next_trace += 1
+        if event is not None:
+            self.record("event", stream=stream, ts=event.timestamp,
+                        detail={"event_type": event.type,
+                                "seq": event.seq})
+        return self.current
+
+    def pin(self, trace_id: int) -> None:
+        """Adopt a coordinator-assigned trace id (shard workers)."""
+        self._pinned = trace_id
+        self.current = trace_id
+
+    def unpin(self) -> None:
+        self._pinned = None
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, op: str, *, query: str | None = None,
+               stream: str | None = None, ts: float | None = None,
+               duration: float = 0.0, detail: dict | None = None,
+               trace_id: int | None = None) -> Span:
+        span = Span(
+            trace_id=self.current if trace_id is None else trace_id,
+            op=op, query=query, stream=stream, ts=ts, duration=duration,
+            detail=detail if detail is not None else {})
+        self._spans.append(span)
+        if self._outbox is not None:
+            self._outbox.append(span)
+        return span
+
+    def fold(self, raw_spans: Iterable[tuple], shard: int) -> None:
+        """Fold spans shipped back from a worker shard into this buffer."""
+        for raw in raw_spans:
+            self._spans.append(Span.from_tuple(raw, shard=shard))
+
+    def drain_shipment(self) -> list[tuple]:
+        """Worker side: hand the accumulated spans to the transport
+        (bounded by :data:`MAX_SHIPPED_SPANS` per call)."""
+        if not self._outbox:
+            return []
+        shipped = [span.to_tuple()
+                   for span in self._outbox[:MAX_SHIPPED_SPANS]]
+        self.dropped_shipments += max(
+            0, len(self._outbox) - MAX_SHIPPED_SPANS)
+        del self._outbox[:]
+        return shipped
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, *, query: str | None = None, op: str | None = None,
+              trace_id: int | None = None) -> list[Span]:
+        """Recorded spans, optionally filtered."""
+        return [span for span in self._spans
+                if (query is None or span.query == query)
+                and (op is None or span.op == op)
+                and (trace_id is None or span.trace_id == trace_id)]
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Spans grouped by trace id, in trace order (tick-context spans
+        under :data:`TICK_CONTEXT`)."""
+        grouped: dict[int, list[Span]] = {}
+        for span in self._spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return dict(sorted(grouped.items()))
+
+    def query_flow(self, query: str) -> dict[int, list[Span]]:
+        """The traces that touched *query*: per trace, the query's own
+        spans plus the trace's context spans (event arrival, dispatch)."""
+        flow: dict[int, list[Span]] = {}
+        involved = {span.trace_id for span in self._spans
+                    if span.query == query}
+        for trace_id, spans in self.traces().items():
+            if trace_id not in involved:
+                continue
+            flow[trace_id] = [span for span in spans
+                              if span.query == query or span.query is None]
+        return flow
+
+    # -- serialization -------------------------------------------------------
+
+    def dump_jsonl(self, target: str | IO[str],
+                   query: str | None = None) -> int:
+        """Write spans as JSON lines; returns the number written.
+
+        With *query*, only that query's dataflow (its spans plus the
+        context spans of traces it participated in) is dumped.
+        """
+        if query is None:
+            selected: Iterable[Span] = list(self._spans)
+        else:
+            selected = [span for spans in self.query_flow(query).values()
+                        for span in spans]
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                return self._write_jsonl(handle, selected)
+        return self._write_jsonl(target, selected)
+
+    @staticmethod
+    def _write_jsonl(handle: IO[str], spans: Iterable[Span]) -> int:
+        count = 0
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+        return count

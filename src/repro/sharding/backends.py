@@ -122,15 +122,16 @@ class InlineBackend(ShardBackend):
 
     def submit(self, shard: int, batch_id: int, entries: list) -> None:
         self._note_submitted(shard, batch_id)
-        tagged, delta = self._cores[shard].process_batch(entries)
-        self._responses.append(("batch", shard, batch_id, tagged, delta))
+        tagged, delta, spans = self._cores[shard].process_batch(entries)
+        self._responses.append(("batch", shard, batch_id, tagged, delta,
+                                spans))
 
     def send_flush(self, flush_id: int) -> None:
         for shard in range(self.shards):
             self._note_flush_sent(shard, flush_id)
-            tagged, delta = self._cores[shard].flush()
+            tagged, delta, spans = self._cores[shard].flush()
             self._responses.append(("flush", shard, flush_id, tagged,
-                                    delta))
+                                    delta, spans))
 
     def poll(self) -> list[tuple]:
         accepted = [self._accept(response)

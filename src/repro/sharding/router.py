@@ -79,7 +79,8 @@ class ShardRouter:
                               engine_config=processor.engine_config,
                               groups=tuple(self.plan.groups),
                               use_dispatch_index=
-                              processor.use_dispatch_index)
+                              processor.use_dispatch_index,
+                              trace=processor.tracer is not None)
             self._backend = make_backend(
                 config.backend, config.shards, spec, self._metrics,
                 config.queue_capacity, config.response_timeout)
@@ -183,6 +184,7 @@ class ShardRouter:
     # -- responses and deterministic emission --------------------------------
 
     def _handle(self, responses: list) -> None:
+        tracer = self._processor.tracer
         for response in responses:
             opcode, shard = response[0], response[1]
             tagged, delta = response[3], response[4]
@@ -190,6 +192,8 @@ class ShardRouter:
                     in delta:
                 self._metrics.query(name).merge_delta(
                     d_events, d_results, d_busy, last_at, samples)
+            if tracer is not None and len(response) > 5 and response[5]:
+                tracer.fold(response[5], shard=shard)
             if opcode == "batch":
                 batch_id = response[2]
                 for seq, rank, kind, end, idx, result in tagged:

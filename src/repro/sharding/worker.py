@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.plan import PlanConfig
 from repro.events.model import SchemaRegistry
+from repro.obs.trace import DataflowTracer
 from repro.sharding.analyzer import GroupSpec
 from repro.system.processor import ComplexEventProcessor
 
@@ -50,6 +51,10 @@ class WorkerSpec:
     engine_config: PlanConfig | None
     groups: tuple  # GroupSpec, ...
     use_dispatch_index: bool = True
+    # Snapshot of the coordinator's tracing state at router start: when
+    # set, workers record spans under the coordinator-assigned trace id
+    # (the entry's seq) and ship them back with each batch response.
+    trace: bool = False
 
 
 class ShardWorkerCore:
@@ -61,12 +66,18 @@ class ShardWorkerCore:
         self._rank_of: dict[str, int] = {}
         self._metrics_baseline: dict[str, tuple[int, int, float]] = {}
         self._sinks: dict[str, list] = {}
+        # One shipping tracer shared by every group processor on this
+        # shard: spans accumulate in its outbox and leave with the next
+        # batch response.
+        self._tracer = DataflowTracer(ship=True) if spec.trace else None
         for group in spec.groups:
             if group.kind == "broadcast" and group.home_shard != shard_id:
                 continue
             processor = ComplexEventProcessor(
                 spec.registry, config=spec.engine_config,
                 use_dispatch_index=spec.use_dispatch_index)
+            if self._tracer is not None:
+                processor.attach_tracer(self._tracer)
             for rank, name, text, plan_config in group.queries:
                 registered = processor.register(name, text,
                                                 config=plan_config)
@@ -81,12 +92,19 @@ class ShardWorkerCore:
     def hosted_groups(self) -> list[int]:
         return sorted(self._processors)
 
-    def process_batch(self, entries: list) -> tuple[list, list]:
-        """Run one routed batch; returns (tagged results, metrics delta)."""
+    def process_batch(self, entries: list) -> tuple[list, list, list]:
+        """Run one routed batch; returns (tagged results, metrics delta,
+        shipped trace spans)."""
+        tracer = self._tracer
         tagged: list = []
         for entry in entries:
             opcode = entry[0]
             counters: dict[tuple[int, int], int] = {}
+            if tracer is not None:
+                # The router's seq IS the coordinator's trace id: both
+                # count feeds from zero, so pinning seq lands worker
+                # spans in the right trace.
+                tracer.pin(entry[1])
             if opcode == EVENT_ENTRY:
                 _, seq, event, group_ids = entry
                 for group_id in group_ids:
@@ -104,7 +122,10 @@ class ShardWorkerCore:
                         counters[(rank, RELEASED)] = idx + 1
                         tagged.append((seq, rank, RELEASED, result.end,
                                        idx, result))
-        return tagged, self._metrics_delta()
+        if tracer is not None:
+            tracer.unpin()
+            return tagged, self._metrics_delta(), tracer.drain_shipment()
+        return tagged, self._metrics_delta(), []
 
     def _tag(self, tagged: list, produced: list, seq: int,
              event_time: float, counters: dict) -> None:
@@ -118,7 +139,7 @@ class ShardWorkerCore:
             counters[(rank, kind)] = idx + 1
             tagged.append((seq, rank, kind, result.end, idx, result))
 
-    def flush(self) -> tuple[list, list]:
+    def flush(self) -> tuple[list, list, list]:
         """End of stream: flush every resident group.
 
         Flush results are tagged ``(rank, end, idx)`` — the coordinator
@@ -132,7 +153,10 @@ class ShardWorkerCore:
                 idx = counters.get(rank, 0)
                 counters[rank] = idx + 1
                 tagged.append((rank, result.end, idx, result))
-        return tagged, self._metrics_delta()
+        if self._tracer is not None:
+            return tagged, self._metrics_delta(), \
+                self._tracer.drain_shipment()
+        return tagged, self._metrics_delta(), []
 
     def _metrics_delta(self) -> list:
         """Per-query counter deltas since the previous call, with the raw
@@ -162,10 +186,10 @@ def process_worker_main(shard_id: int, spec: WorkerSpec,
 
     Messages in: ``("batch", batch_id, entries)``, ``("flush", flush_id)``
     and ``("stop",)``.  Responses out: ``("batch", shard, batch_id,
-    tagged, delta)``, ``("flush", shard, flush_id, tagged, delta)`` or
-    ``("error", shard, traceback)``.  Any exception is reported rather
-    than silently dying so the coordinator can fail loudly instead of
-    losing events.
+    tagged, delta, spans)``, ``("flush", shard, flush_id, tagged, delta,
+    spans)`` or ``("error", shard, traceback)``.  Any exception is
+    reported rather than silently dying so the coordinator can fail
+    loudly instead of losing events.
     """
     try:
         core = ShardWorkerCore(shard_id, spec)
@@ -174,12 +198,14 @@ def process_worker_main(shard_id: int, spec: WorkerSpec,
             opcode = message[0]
             if opcode == "batch":
                 _, batch_id, entries = message
-                tagged, delta = core.process_batch(entries)
-                out_queue.put(("batch", shard_id, batch_id, tagged, delta))
+                tagged, delta, spans = core.process_batch(entries)
+                out_queue.put(("batch", shard_id, batch_id, tagged,
+                               delta, spans))
             elif opcode == "flush":
                 _, flush_id = message
-                tagged, delta = core.flush()
-                out_queue.put(("flush", shard_id, flush_id, tagged, delta))
+                tagged, delta, spans = core.flush()
+                out_queue.put(("flush", shard_id, flush_id, tagged,
+                               delta, spans))
             elif opcode == "stop":
                 break
     except (KeyboardInterrupt, EOFError):  # pragma: no cover

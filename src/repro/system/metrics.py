@@ -36,6 +36,7 @@ class QueryMetrics:
     last_result_at: float | None = None  # stream time of last result
     _samples: list = field(default_factory=list, repr=False)
     _sampled: int = field(default=0, repr=False)
+    _rng_state: int = field(default=1, repr=False)
     # Optional overflow list: shard workers attach one to ship raw
     # latency samples to the coordinator with each batch response.
     sample_sink: list | None = field(default=None, repr=False)
@@ -67,7 +68,12 @@ class QueryMetrics:
         self.results_out += results
         self.busy_seconds += seconds
         if results and stream_time is not None:
-            self.last_result_at = stream_time
+            # Freshness never moves backwards: a cascade composite (whose
+            # event time is its detection end) can arrive behind the
+            # source event that produced it.
+            if self.last_result_at is None or \
+                    stream_time > self.last_result_at:
+                self.last_result_at = stream_time
         if events:
             self.observe_latency(seconds / events)
 
@@ -80,22 +86,34 @@ class QueryMetrics:
         self.events_in += events
         self.results_out += results
         self.busy_seconds += seconds
-        if last_result_at is not None:
+        if last_result_at is not None and \
+                (self.last_result_at is None
+                 or last_result_at > self.last_result_at):
+            # Shard deltas can arrive out of stream-time order (a slow
+            # shard reports late); freshness takes the max instead of the
+            # latest arrival.
             self.last_result_at = last_result_at
         for sample in samples or ():
             self.observe_latency(sample)
 
     def observe_latency(self, seconds: float) -> None:
-        """Sample one per-feed latency into the bounded reservoir."""
+        """Sample one per-feed latency into the bounded reservoir
+        (Vitter's Algorithm R, driven by the deterministic LCG)."""
+        seen = self._sampled + 1
         if len(self._samples) < _RESERVOIR_SIZE:
             self._samples.append(seconds)
         else:
-            # Deterministic reservoir replacement: every sample lands at a
-            # pseudo-random slot, keeping the reservoir representative of
-            # the whole run at fixed size.
-            slot = (_LCG_A * self._sampled + _LCG_C) % _LCG_M
-            self._samples[slot % _RESERVOIR_SIZE] = seconds
-        self._sampled += 1
+            # Algorithm R: the n-th sample replaces a reservoir slot with
+            # probability SIZE/n, so every sample — early or late — ends
+            # up retained with equal probability and the reservoir stays
+            # representative of the whole run, not just its tail.
+            self._rng_state = (_LCG_A * self._rng_state + _LCG_C) % _LCG_M
+            # Scaled multiply instead of modulo: an LCG's low bits cycle
+            # with short periods, which would bias slot selection.
+            slot = (self._rng_state * seen) >> 32
+            if slot < _RESERVOIR_SIZE:
+                self._samples[slot] = seconds
+        self._sampled = seen
         if self.sample_sink is not None:
             self.sample_sink.append(seconds)
 

@@ -32,6 +32,8 @@ from repro.core.runtime import QueryRuntime
 from repro.errors import SaseError
 from repro.events.event import CompositeEvent, Event
 from repro.events.model import SchemaRegistry
+from repro.obs.profile import ScanProfile, SlowFeedLog
+from repro.obs.trace import DataflowTracer
 from repro.system.metrics import MetricsCollector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -99,10 +101,67 @@ class ComplexEventProcessor:
         self._use_dispatch_index = use_dispatch_index
         self._dispatch_cache: dict[
             tuple[str, str], list[tuple[RegisteredQuery, bool]]] = {}
+        # Observability (all opt-in; the hot path pays one None check
+        # per hook when disabled).
+        self._tracer: DataflowTracer | None = None
+        self._slow_log: SlowFeedLog | None = None
 
     @property
     def sharding(self) -> "ShardingConfig | None":
         return self._sharding
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def tracer(self) -> DataflowTracer | None:
+        return self._tracer
+
+    def enable_tracing(self, capacity: int = 4096) -> DataflowTracer:
+        """Turn on dataflow tracing; returns the tracer.
+
+        Under an active sharding configuration this must happen before
+        the first feed: the worker specification snapshots the trace flag
+        when the router starts, so shards launched untraced stay
+        untraced.
+        """
+        if self._tracer is None:
+            if self._router is not None:
+                raise SaseError(
+                    "enable tracing before the sharded stream starts; "
+                    "worker shards snapshot the trace flag at launch")
+            self._tracer = DataflowTracer(capacity)
+        return self._tracer
+
+    def attach_tracer(self, tracer: DataflowTracer) -> None:
+        """Adopt an externally owned tracer (shard worker cores share one
+        shipping tracer across their group processors)."""
+        self._tracer = tracer
+
+    @property
+    def slow_feed_log(self) -> SlowFeedLog | None:
+        return self._slow_log
+
+    def enable_slow_feed_log(self, threshold_seconds: float,
+                             capacity: int = 256) -> SlowFeedLog:
+        """Log (event, query) whenever one feed call exceeds
+        *threshold_seconds* of wall time."""
+        self._slow_log = SlowFeedLog(threshold_seconds, capacity)
+        return self._slow_log
+
+    def enable_profiling(self) -> dict[str, ScanProfile]:
+        """Turn on per-component scan counters for every registered
+        query (register queries first; must precede the first event)."""
+        return {name: registered.runtime.enable_profiling()
+                for name, registered in self._queries.items()}
+
+    def scan_profiles(self) -> dict[str, ScanProfile]:
+        """The active per-query scan profiles (empty until enabled)."""
+        profiles = {}
+        for name, registered in self._queries.items():
+            profile = registered.runtime.scan_profile
+            if profile is not None:
+                profiles[name] = profile
+        return profiles
 
     # -- registration -------------------------------------------------------
 
@@ -172,6 +231,8 @@ class ComplexEventProcessor:
         deterministically ordered results that have become complete so far
         (asynchronous backends may emit them on a later feed or at flush).
         """
+        if self._tracer is not None:
+            self._tracer.begin(event, stream=stream)
         if self._sharding is not None and self._sharding.active:
             router = self._ensure_router()
             emitted = router.feed(event, stream)
@@ -194,6 +255,8 @@ class ComplexEventProcessor:
         as a watermark so trailing-negation matches release at the same
         stream time either way.
         """
+        tracer = self._tracer
+        slow = self._slow_log
         produced: list[tuple[str, CompositeEvent]] = []
         pending: list[tuple[str, Event, int]] = [(stream, event, 0)]
         while pending:
@@ -203,27 +266,69 @@ class ComplexEventProcessor:
                     f"query cascade exceeded {self.MAX_CASCADE_DEPTH} "
                     f"levels on stream {current_stream!r}; check for an "
                     f"INTO/FROM cycle")
-            for registered, is_feed in self._dispatch_actions(
-                    current_stream, current_event.type):
+            actions = self._dispatch_actions(current_stream,
+                                             current_event.type)
+            if tracer is not None:
+                tracer.record(
+                    "dispatch", stream=current_stream,
+                    ts=current_event.timestamp,
+                    detail={"event_type": current_event.type,
+                            "depth": depth, "actions": len(actions)})
+            for registered, is_feed in actions:
                 if only is not None and registered.name not in only:
                     continue
                 started = time.perf_counter()
                 if is_feed:
                     results = registered.runtime.feed(current_event)
+                    elapsed = time.perf_counter() - started
                     self.metrics.query(registered.name).record(
-                        1, len(results), time.perf_counter() - started,
+                        1, len(results), elapsed,
                         current_event.timestamp)
+                    if tracer is not None:
+                        tracer.record(
+                            "scan", query=registered.name,
+                            stream=current_stream,
+                            ts=current_event.timestamp, duration=elapsed,
+                            detail={"event_type": current_event.type,
+                                    "results": len(results)})
+                        if results:
+                            tracer.record(
+                                "construct", query=registered.name,
+                                stream=current_stream,
+                                ts=current_event.timestamp,
+                                detail={"matches": len(results)})
+                    if slow is not None and elapsed >= slow.threshold:
+                        slow.record(registered.name, current_event,
+                                    elapsed, len(results))
                 else:
                     results = registered.runtime.advance(
                         current_event.timestamp)
                     if results:
+                        elapsed = time.perf_counter() - started
                         self.metrics.query(registered.name).record(
-                            0, len(results),
-                            time.perf_counter() - started,
+                            0, len(results), elapsed,
                             current_event.timestamp)
+                        if tracer is not None:
+                            tracer.record(
+                                "advance", query=registered.name,
+                                stream=current_stream,
+                                ts=current_event.timestamp,
+                                duration=elapsed,
+                                detail={"released": len(results)})
                 for result in results:
                     produced.append((registered.name, result))
+                    if tracer is not None:
+                        tracer.record(
+                            "return", query=registered.name,
+                            stream=result.stream, ts=result.end,
+                            detail={"attributes":
+                                    dict(result.attributes)})
                     if result.stream is not None:
+                        if tracer is not None:
+                            tracer.record(
+                                "cascade", query=registered.name,
+                                stream=result.stream, ts=result.end,
+                                detail={"depth": depth + 1})
                         pending.append((result.stream, result.to_event(),
                                         depth + 1))
         return produced
@@ -273,6 +378,7 @@ class ComplexEventProcessor:
         """Advance stream time for every (selected) query without feeding
         an event, releasing pending trailing-negation matches.  Used by
         shard workers processing broadcast watermark ticks."""
+        tracer = self._tracer
         produced: list[tuple[str, CompositeEvent]] = []
         for registered in self._queries.values():
             if only is not None and registered.name not in only:
@@ -280,11 +386,21 @@ class ComplexEventProcessor:
             started = time.perf_counter()
             results = registered.runtime.advance(watermark)
             if results:
+                elapsed = time.perf_counter() - started
                 self.metrics.query(registered.name).record(
-                    0, len(results), time.perf_counter() - started,
-                    watermark)
+                    0, len(results), elapsed, watermark)
+                if tracer is not None:
+                    tracer.record(
+                        "advance", query=registered.name, ts=watermark,
+                        duration=elapsed,
+                        detail={"released": len(results)})
             for result in results:
                 produced.append((registered.name, result))
+                if tracer is not None:
+                    tracer.record(
+                        "return", query=registered.name,
+                        stream=result.stream, ts=result.end,
+                        detail={"attributes": dict(result.attributes)})
         return produced
 
     def _deliver(self, registered: RegisteredQuery,

@@ -9,6 +9,7 @@ whole stack; ``run_simulation`` drives a scripted scenario end to end.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, TYPE_CHECKING
 
@@ -85,6 +86,7 @@ class SaseSystem:
         self.taps = SystemTaps()
         self._message_formatters: dict[str, Callable[[CompositeEvent],
                                                      str]] = {}
+        self._exporter = None
         self._sync_reference_data()
 
     def _sync_reference_data(self) -> None:
@@ -134,17 +136,60 @@ class SaseSystem:
         attrs = ", ".join(f"{key}={value}" for key, value
                           in result.attributes.items())
         self.taps.record_report(f"[{name}] database update: {attrs}")
+        tracer = self.processor.tracer
+        if tracer is not None:
+            tracer.record("db_write", query=name, ts=result.end,
+                          detail={"attributes": dict(result.attributes)})
+
+    # -- observability ------------------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 4096):
+        """Turn on dataflow tracing for the whole system: cleaning-tick
+        spans plus the processor's per-event operator spans."""
+        return self.processor.enable_tracing(capacity)
+
+    def attach_exporter(self, exporter) -> None:
+        """Attach a :class:`~repro.obs.export.MetricsExporter`; its tick
+        cadence is driven by processed events, so a long-running system
+        flushes metrics periodically without caller bookkeeping."""
+        self._exporter = exporter
+
+    @property
+    def exporter(self):
+        return self._exporter
 
     # -- data flow ----------------------------------------------------------------
 
     def process_tick(self, readings: Iterable[RawReading], now: float) \
             -> list[tuple[str, CompositeEvent]]:
         """One scan tick: raw readings -> cleaning -> processor."""
-        events = self.cleaning.process_tick(readings, now)
+        tracer = self.processor.tracer
+        if tracer is not None:
+            readings = list(readings)
+            started = time.perf_counter()
+            events = self.cleaning.process_tick(readings, now)
+            # Tick-level spans precede any event's trace context, so they
+            # carry the TICK_CONTEXT id (-1): cleaning smooths/filters the
+            # raw readings, association resolves tags to products and
+            # emits the typed events about to be fed.
+            tracer.record("clean", ts=now,
+                          duration=time.perf_counter() - started,
+                          detail={"readings": len(readings),
+                                  "events": len(events)},
+                          trace_id=-1)
+            if events:
+                tracer.record("associate", ts=now,
+                              detail={"event_types": sorted(
+                                  {event.type for event in events})},
+                              trace_id=-1)
+        else:
+            events = self.cleaning.process_tick(readings, now)
         self.taps.record_events(events)
         produced: list[tuple[str, CompositeEvent]] = []
         for event in events:
             produced.extend(self.processor.feed(event))
+        if self._exporter is not None and events:
+            self._exporter.tick(len(events))
         return produced
 
     def run_simulation(self,

@@ -1,5 +1,6 @@
 """Console UI mirroring Figure 3's five windows."""
 
-from repro.ui.console import Panel, SaseConsole, render_panel
+from repro.ui.console import Panel, SaseConsole, format_trace_lines, \
+    render_panel
 
-__all__ = ["Panel", "SaseConsole", "render_panel"]
+__all__ = ["Panel", "SaseConsole", "format_trace_lines", "render_panel"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.trace import DataflowTracer, TICK_CONTEXT
 from repro.system.sase import SaseSystem
 
 
@@ -19,6 +20,68 @@ from repro.system.sase import SaseSystem
 class Panel:
     title: str
     lines: list[str]
+
+
+def format_trace_lines(tracer: DataflowTracer,
+                       query: str | None = None,
+                       limit: int | None = None,
+                       hits_only: bool = False) -> list[str]:
+    """The Figure-3 intermediate-stream view of recorded traces: one line
+    per fed event, showing the operator stages it passed.
+
+    With *query*, only traces that touched that query are shown (with the
+    stages restricted to it); *limit* keeps the most recent traces;
+    *hits_only* drops traces that never got past the scan (no construct,
+    RETURN, cascade, or database write).
+    """
+    _HIT_OPS = {"construct", "return", "cascade", "db_write"}
+    lines: list[str] = []
+    grouped = tracer.query_flow(query) if query is not None \
+        else tracer.traces()
+    for trace_id, spans in grouped.items():
+        if trace_id == TICK_CONTEXT:
+            continue  # cleaning-tick context, not an event's journey
+        if hits_only and not any(span.op in _HIT_OPS for span in spans):
+            continue
+        head = f"#{trace_id}"
+        stages: list[str] = []
+        returns = 0
+        for span in spans:
+            mark = f"[s{span.shard}]" if span.shard is not None else ""
+            if span.op == "event":
+                head = (f"#{trace_id} {span.detail.get('event_type', '?')}"
+                        f" t={span.ts:g}")
+            elif span.op == "dispatch":
+                stages.append(f"dispatch({span.detail.get('actions', 0)})"
+                              f"{mark}")
+            elif span.op == "scan":
+                results = span.detail.get("results", 0)
+                stages.append(f"scan {span.duration * 1e6:.0f}us"
+                              f"{mark}" + ("" if results else " ∅"))
+            elif span.op == "construct":
+                stages.append(
+                    f"construct x{span.detail.get('matches', 1)}{mark}")
+            elif span.op == "return":
+                returns += 1
+                if returns <= 3:  # a burst of matches reads as one line
+                    attrs = span.detail.get("attributes", {})
+                    summary = ", ".join(f"{key}={value}" for key, value
+                                        in list(attrs.items())[:3])
+                    stages.append(f"RETURN {summary}{mark}")
+            elif span.op == "cascade":
+                stages.append(f"INTO {span.stream}{mark}")
+            elif span.op == "advance":
+                stages.append(
+                    f"advance +{span.detail.get('released', 0)}{mark}")
+            elif span.op == "db_write":
+                stages.append(f"DB{mark}")
+        if returns > 3:
+            stages.append(f"… +{returns - 3} more RETURN")
+        lines.append(f"{head} | " + " > ".join(stages)
+                     if stages else f"{head} | (no stages)")
+    if limit is not None and len(lines) > limit:
+        lines = lines[-limit:]
+    return lines
 
 
 def _clip(text: str, width: int) -> str:
@@ -85,11 +148,22 @@ class SaseConsole:
         return Panel("Query Metrics",
                      self._system.processor.metrics.report_lines())
 
+    def dataflow_trace(self, query: str | None = None) -> Panel:
+        """The tracer's intermediate-stream view (empty when tracing is
+        disabled)."""
+        tracer = self._system.processor.tracer
+        title = "Dataflow Trace" + (f" ({query})" if query else "")
+        if tracer is None:
+            return Panel(title, ["(tracing disabled)"])
+        return Panel(title, format_trace_lines(tracer, query))
+
     # -- full screen -------------------------------------------------------------
 
-    def render(self, include_metrics: bool = False) -> str:
+    def render(self, include_metrics: bool = False,
+               include_trace: bool = False) -> str:
         """All five Figure 3 panels, left column first; pass
-        ``include_metrics=True`` for the extra operational panel."""
+        ``include_metrics=True`` for the extra operational panel and
+        ``include_trace=True`` for the dataflow-trace panel."""
         panels = [
             self.present_queries(),
             self.message_results(),
@@ -99,5 +173,7 @@ class SaseConsole:
         ]
         if include_metrics:
             panels.append(self.query_metrics())
+        if include_trace:
+            panels.append(self.dataflow_trace())
         return "\n".join(render_panel(panel, self._width, self._max_lines)
                          for panel in panels)

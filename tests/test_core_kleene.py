@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.engine import run_query
 from repro.core.plan import KleeneMode, PlanConfig

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core.plan import PlanConfig
 from repro.core.sequence import SequenceScanConstruct
-from repro.events.event import Event
 from repro.lang.parser import parse_query
 from repro.lang.semantics import analyze
 

@@ -105,6 +105,30 @@ class TestMergeStreams:
                                [Event("C", 5)]).collect()
         assert [event.type for event in merged] == ["A", "B", "C"]
 
+    def test_tie_at_differing_positions_keeps_source_order(self):
+        # Regression: the tie-break index used to be captured late by a
+        # generator expression, so every source saw the *final* index and
+        # ties fell back to per-source position.  Here the tied event sits
+        # at position 1 in the first source but position 0 in the later
+        # ones, which the buggy key ordered ["B", "C", "A"].
+        first = [Event("A0", 1), Event("A", 5)]
+        second = [Event("B", 5)]
+        third = [Event("C", 5)]
+        merged = merge_streams(first, second, third).collect()
+        assert [event.type for event in merged] == ["A0", "A", "B", "C"]
+
+    def test_tie_prefix_lengths_vary_across_three_sources(self):
+        # Same regression, sources staggered the other way: the earliest
+        # argument must win the tie regardless of how many events each
+        # source produced beforehand.
+        merged = merge_streams(
+            [Event("A1", 1), Event("A2", 2), Event("A", 9)],
+            [Event("B1", 3), Event("B", 9)],
+            [Event("C", 9)],
+        ).collect()
+        tied = [event.type for event in merged if event.timestamp == 9]
+        assert tied == ["A", "B", "C"]
+
     def test_merged_stream_is_sequenced(self):
         merged = merge_streams(_events(1, 4), _events(2, 3)).collect()
         assert [event.seq for event in merged] == [0, 1, 2, 3]

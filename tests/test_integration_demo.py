@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.db import EventDatabase
 from repro.rfid import NoiseModel
 from repro.system import SaseSystem
 from repro.ui import SaseConsole

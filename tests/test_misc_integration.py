@@ -3,7 +3,6 @@ stream-merging integration with the engine."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.engine import Engine
 from repro.core.stats import OperatorStats, PlanStats

@@ -1,0 +1,535 @@
+"""Tests for the observability layer: tracing, profiling, metrics export.
+
+Covers the tracer and exporter as units, the processor-level span
+pipeline end-to-end (including the retail demo's Figure-3 view), span
+fold-back from sharded worker backends, and the CLI wiring.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import Engine
+from repro.core.plan import PlanConfig
+from repro.errors import SaseError
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.obs import (
+    DataflowTracer,
+    MetricsExporter,
+    ScanProfile,
+    SlowFeedLog,
+    Span,
+    TICK_CONTEXT,
+    parse_prometheus,
+    processor_snapshot,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.trace import MAX_SHIPPED_SPANS
+from repro.rfid import NoiseModel
+from repro.sharding import ShardingConfig
+from repro.system import ComplexEventProcessor, SaseSystem
+from repro.ui import format_trace_lines
+from repro.workloads import (
+    LOCATION_UPDATE_RULE,
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+)
+
+PAIR = ("EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+        "RETURN x.id, y.v")
+
+
+@pytest.fixture
+def registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.declare("A", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("B", id=AttributeType.INT, v=AttributeType.INT)
+    return registry
+
+
+def a(ts: float, id_: int, v: int = 1) -> Event:
+    return Event("A", ts, {"id": id_, "v": v})
+
+
+def b(ts: float, id_: int, v: int = 2) -> Event:
+    return Event("B", ts, {"id": id_, "v": v})
+
+
+# -- tracer unit ------------------------------------------------------------
+
+class TestSpan:
+    def test_to_dict_drops_empty_fields(self):
+        span = Span(trace_id=3, op="scan")
+        assert span.to_dict() == {"trace": 3, "op": "scan"}
+
+    def test_to_dict_full(self):
+        span = Span(trace_id=0, op="scan", query="q", stream="s", ts=2.0,
+                    duration=1.5e-6, detail={"results": 1}, shard=2)
+        assert span.to_dict() == {
+            "trace": 0, "op": "scan", "query": "q", "stream": "s",
+            "ts": 2.0, "duration_us": 1.5, "shard": 2,
+            "detail": {"results": 1}}
+
+    def test_tuple_round_trip_tags_shard(self):
+        span = Span(trace_id=7, op="construct", query="q", ts=1.0,
+                    detail={"matches": 2})
+        back = Span.from_tuple(span.to_tuple(), shard=3)
+        assert back.trace_id == 7 and back.op == "construct"
+        assert back.detail == {"matches": 2} and back.shard == 3
+
+
+class TestDataflowTracer:
+    def test_begin_opens_traces_and_records_event_span(self):
+        tracer = DataflowTracer()
+        assert tracer.begin(a(1.0, 5), stream="default") == 0
+        assert tracer.begin(a(2.0, 6), stream="default") == 1
+        events = tracer.spans(op="event")
+        assert [span.trace_id for span in events] == [0, 1]
+        assert events[0].detail["event_type"] == "A"
+
+    def test_record_joins_current_trace(self):
+        tracer = DataflowTracer()
+        tracer.begin(a(1.0, 5))
+        tracer.record("scan", query="q", duration=1e-6)
+        assert tracer.spans(op="scan")[0].trace_id == 0
+
+    def test_tick_context_spans_keep_sentinel_id(self):
+        tracer = DataflowTracer()
+        tracer.record("clean", ts=0.0, trace_id=TICK_CONTEXT)
+        tracer.begin(a(1.0, 5))
+        tracer.record("clean", ts=1.0, trace_id=TICK_CONTEXT)
+        assert all(span.trace_id == TICK_CONTEXT
+                   for span in tracer.spans(op="clean"))
+
+    def test_pinned_begin_reuses_id_without_event_span(self):
+        tracer = DataflowTracer(ship=True)
+        tracer.pin(41)
+        assert tracer.begin(a(1.0, 5)) == 41
+        assert tracer.spans(op="event") == []
+        tracer.record("scan", query="q")
+        tracer.unpin()
+        assert tracer.begin(a(2.0, 6)) == 0   # own counter untouched
+        assert tracer.spans(op="scan")[0].trace_id == 41
+
+    def test_ship_and_fold_round_trip(self):
+        worker = DataflowTracer(ship=True)
+        worker.pin(9)
+        worker.begin(a(1.0, 5))
+        worker.record("scan", query="q", detail={"results": 1})
+        shipped = worker.drain_shipment()
+        assert shipped and worker.drain_shipment() == []
+        coordinator = DataflowTracer()
+        coordinator.fold(shipped, shard=2)
+        folded = coordinator.spans(op="scan")[0]
+        assert folded.trace_id == 9 and folded.shard == 2
+
+    def test_drain_shipment_is_bounded(self):
+        worker = DataflowTracer(capacity=2 * MAX_SHIPPED_SPANS,
+                                ship=True)
+        for _ in range(MAX_SHIPPED_SPANS + 10):
+            worker.record("scan")
+        assert len(worker.drain_shipment()) == MAX_SHIPPED_SPANS
+        assert worker.dropped_shipments == 10
+
+    def test_capacity_evicts_oldest(self):
+        tracer = DataflowTracer(capacity=4)
+        for index in range(10):
+            tracer.record("scan", detail={"i": index})
+        assert len(tracer) == 4
+        assert [span.detail["i"] for span in tracer.spans()] \
+            == [6, 7, 8, 9]
+
+    def test_query_flow_keeps_context_spans(self):
+        tracer = DataflowTracer()
+        tracer.begin(a(1.0, 5), stream="default")
+        tracer.record("dispatch", detail={"actions": 2})
+        tracer.record("scan", query="mine")
+        tracer.record("scan", query="other")
+        tracer.begin(a(2.0, 6), stream="default")
+        tracer.record("scan", query="other")
+        flow = tracer.query_flow("mine")
+        assert list(flow) == [0]
+        assert [span.op for span in flow[0]] \
+            == ["event", "dispatch", "scan"]
+        assert all(span.query in (None, "mine") for span in flow[0])
+
+    def test_dump_jsonl_to_handle_and_query_filter(self):
+        tracer = DataflowTracer()
+        tracer.begin(a(1.0, 5))
+        tracer.record("scan", query="mine")
+        tracer.begin(a(2.0, 6))
+        tracer.record("scan", query="other")
+        buffer = io.StringIO()
+        assert tracer.dump_jsonl(buffer, query="mine") == 2
+        records = [json.loads(line)
+                   for line in buffer.getvalue().splitlines()]
+        assert [record["op"] for record in records] == ["event", "scan"]
+        assert all(record["trace"] == 0 for record in records)
+
+    def test_dump_jsonl_to_path(self, tmp_path):
+        tracer = DataflowTracer()
+        tracer.begin(a(1.0, 5))
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump_jsonl(str(path)) == 1
+        assert json.loads(path.read_text())["op"] == "event"
+
+
+class TestProfileUnits:
+    def test_scan_profile_counters(self):
+        profile = ScanProfile(["x", "y"])
+        profile.admits[0] += 3
+        profile.construct_calls += 1
+        profile.matches_emitted += 2
+        assert profile.to_dict() == {
+            "admits": {"x": 3, "y": 0},
+            "construct_calls": 1, "matches_emitted": 2}
+        assert profile.report_lines()[0] == "admit x: 3"
+
+    def test_slow_feed_log_bounded_ring(self):
+        log = SlowFeedLog(threshold_seconds=0.0, capacity=2)
+        for index in range(5):
+            log.record("q", a(float(index), index), 0.25, results=index)
+        assert log.total_slow == 5 and len(log) == 2
+        assert [entry.timestamp for entry in log.entries] == [3.0, 4.0]
+        assert "0.25" not in log.report_lines()[0]  # ms, not raw seconds
+        assert "250" in log.report_lines()[0]
+
+
+# -- processor-level spans --------------------------------------------------
+
+class TestProcessorTracing:
+    def test_match_trace_has_full_operator_chain(self, registry):
+        processor = ComplexEventProcessor(registry)
+        tracer = processor.enable_tracing()
+        processor.register_monitoring_query("pair", PAIR)
+        processor.feed(a(1.0, 7))
+        processor.feed(b(2.0, 7, v=3))
+        ops = [span.op for span in tracer.spans(trace_id=1)]
+        assert ops == ["event", "dispatch", "scan", "construct",
+                       "return"]
+        scan = tracer.spans(op="scan", trace_id=1)[0]
+        assert scan.query == "pair" and scan.duration > 0
+        assert scan.detail == {"event_type": "B", "results": 1}
+        returned = tracer.spans(op="return", trace_id=1)[0]
+        assert returned.detail["attributes"]["x_id"] == 7
+
+    def test_miss_trace_has_no_construct(self, registry):
+        processor = ComplexEventProcessor(registry)
+        tracer = processor.enable_tracing()
+        processor.register_monitoring_query("pair", PAIR)
+        processor.feed(a(1.0, 7))
+        assert [span.op for span in tracer.spans(trace_id=0)] \
+            == ["event", "dispatch", "scan"]
+
+    def test_enable_tracing_idempotent(self, registry):
+        processor = ComplexEventProcessor(registry)
+        assert processor.enable_tracing() is processor.enable_tracing()
+
+    def test_enable_tracing_rejected_after_sharded_start(self, registry):
+        processor = ComplexEventProcessor(
+            registry, sharding=ShardingConfig(shards=2))
+        processor.register_monitoring_query("pair", PAIR)
+        processor.feed(a(1.0, 7))
+        with pytest.raises(SaseError, match="before the sharded stream"):
+            processor.enable_tracing()
+        processor.flush()
+
+    def test_tracing_does_not_change_results(self, registry):
+        def run(trace: bool):
+            processor = ComplexEventProcessor(registry)
+            if trace:
+                processor.enable_tracing()
+            processor.register_monitoring_query("pair", PAIR)
+            produced = processor.feed_many(
+                [a(float(i), i % 3) for i in range(20)]
+                + [b(20.0 + i, i % 3) for i in range(6)])
+            produced += processor.flush()
+            return [(name, result.start, result.end,
+                     tuple(sorted(result.attributes.items())))
+                    for name, result in produced]
+        assert run(trace=True) == run(trace=False)
+
+    def test_slow_feed_log_captures_event(self, registry):
+        processor = ComplexEventProcessor(registry)
+        log = processor.enable_slow_feed_log(threshold_seconds=0.0)
+        processor.register_monitoring_query("pair", PAIR)
+        processor.feed(a(1.0, 7))
+        assert log.total_slow >= 1
+        assert log.entries[0].query == "pair"
+        assert log.entries[0].event_type == "A"
+
+
+class TestScanProfiling:
+    EVENTS = [a(1.0, 1), a(2.0, 2), b(3.0, 1), b(4.0, 9)]
+
+    def expected(self):
+        return {"admits": {"x": 2, "y": 1},
+                "construct_calls": 1, "matches_emitted": 1}
+
+    def test_interpreted_scan_counts(self, registry):
+        engine = Engine(registry)
+        runtime = engine.runtime(
+            PAIR, config=PlanConfig().without("use_codegen"))
+        assert not runtime._scan.compiled
+        profile = runtime.enable_profiling()
+        for event in self.EVENTS:
+            runtime.feed(event)
+        assert profile.to_dict() == self.expected()
+
+    def test_codegen_scan_counts_match_interpreted(self, registry):
+        engine = Engine(registry)
+        runtime = engine.runtime(PAIR)
+        if not runtime._scan.compiled:  # pragma: no cover - env fallback
+            pytest.skip("codegen unavailable in this environment")
+        assert not runtime._scan.profiled  # hooks not in default source
+        profile = runtime.enable_profiling()
+        assert runtime._scan.compiled and runtime._scan.profiled
+        for event in self.EVENTS:
+            runtime.feed(event)
+        assert profile.to_dict() == self.expected()
+
+    def test_profiling_rejected_after_first_event(self, registry):
+        engine = Engine(registry)
+        runtime = engine.runtime(PAIR)
+        runtime.feed(a(1.0, 1))
+        with pytest.raises(RuntimeError, match="before the first event"):
+            runtime.enable_profiling()
+
+    def test_processor_profiles_every_query(self, registry):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query("pair", PAIR)
+        profiles = processor.enable_profiling()
+        for event in self.EVENTS:
+            processor.feed(event)
+        assert profiles["pair"].to_dict() == self.expected()
+        assert processor.scan_profiles()["pair"] is profiles["pair"]
+
+
+# -- sharded span fold-back -------------------------------------------------
+
+class TestShardedTracing:
+    def run_sharded(self, registry, backend: str):
+        processor = ComplexEventProcessor(
+            registry, sharding=ShardingConfig(
+                shards=2, backend=backend, batch_size=4))
+        tracer = processor.enable_tracing()
+        processor.register_monitoring_query("pair", PAIR)
+        # ids 0..7: small ints hash to both shards (0..3 alone do not).
+        produced = processor.feed_many(
+            [a(float(i), i % 8) for i in range(16)]
+            + [b(16.0 + i, i % 8) for i in range(8)])
+        produced += processor.flush()
+        return tracer, produced
+
+    @pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+    def test_worker_spans_fold_back_with_shard_ids(self, registry,
+                                                   backend):
+        tracer, produced = self.run_sharded(registry, backend)
+        assert produced  # the workload does match
+        worker_spans = [span for span in tracer.spans()
+                        if span.shard is not None]
+        assert {span.shard for span in worker_spans} == {0, 1}
+        assert {"scan", "construct", "return"} <= \
+            {span.op for span in worker_spans}
+        # Shipped spans join the coordinator's traces: every worker span
+        # pins a trace id the coordinator assigned to a fed event.
+        event_ids = {span.trace_id for span in tracer.spans(op="event")}
+        assert {span.trace_id for span in worker_spans} <= event_ids
+
+    def test_sharded_trace_renders_with_shard_marks(self, registry):
+        tracer, _ = self.run_sharded(registry, "inline")
+        lines = format_trace_lines(tracer, "pair", hits_only=True)
+        assert lines and any("[s0]" in line or "[s1]" in line
+                             for line in lines)
+        assert any("RETURN" in line for line in lines)
+
+
+# -- system end-to-end (Figure 3 view) --------------------------------------
+
+class TestRetailTracing:
+    @pytest.fixture(scope="class")
+    def traced_system(self):
+        scenario = RetailScenario.generate(RetailConfig(
+            n_products=8, n_shoppers=2, n_shoplifters=1,
+            n_misplacements=1, seed=11))
+        system = SaseSystem(scenario.layout, scenario.ons)
+        tracer = system.enable_tracing(capacity=1 << 17)
+        system.register_monitoring_query("shoplifting",
+                                         SHOPLIFTING_QUERY)
+        system.register_archiving_rule(
+            "loc_EXIT_READING", LOCATION_UPDATE_RULE("EXIT_READING"))
+        system.run_simulation(scenario.ticks(NoiseModel.perfect()))
+        return system, tracer
+
+    def test_shoplifting_flow_reaches_return(self, traced_system):
+        _, tracer = traced_system
+        flow = tracer.query_flow("shoplifting")
+        ops_seen = {span.op for spans in flow.values()
+                    for span in spans}
+        assert {"event", "dispatch", "scan", "construct", "return"} \
+            <= ops_seen
+
+    def test_cleaning_spans_in_tick_context(self, traced_system):
+        _, tracer = traced_system
+        cleans = tracer.spans(op="clean")
+        assert cleans and all(span.trace_id == TICK_CONTEXT
+                              for span in cleans)
+        assert tracer.spans(op="associate")
+
+    def test_db_write_spans_recorded(self, traced_system):
+        _, tracer = traced_system
+        assert tracer.spans(op="db_write", query="loc_EXIT_READING")
+
+    def test_console_renders_stage_chain(self, traced_system):
+        _, tracer = traced_system
+        lines = format_trace_lines(tracer, "shoplifting",
+                                   hits_only=True)
+        assert lines
+        assert any("scan" in line and "construct" in line
+                   and "RETURN" in line for line in lines)
+
+
+# -- metrics export ---------------------------------------------------------
+
+def feed_pairs(processor: ComplexEventProcessor) -> None:
+    for index in range(8):
+        processor.feed(a(float(index), index % 2))
+    processor.feed(b(9.0, 0))
+
+
+class TestMetricsExport:
+    def test_json_snapshot_round_trips(self, registry):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query("pair", PAIR)
+        feed_pairs(processor)
+        snapshot = processor_snapshot(processor)
+        assert json.loads(to_json(snapshot)) == snapshot
+        pair = snapshot["queries"]["pair"]
+        assert pair["events_in"] == 9 and pair["results_out"] == 4
+        plan = snapshot["plans"]["pair"]
+        assert plan["events_consumed"] == 9
+        assert plan["operators"]["SSC"]["consumed"] == 9
+
+    def test_prometheus_round_trips(self, registry):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query("pair", PAIR)
+        feed_pairs(processor)
+        text = to_prometheus(processor_snapshot(processor))
+        parsed = parse_prometheus(text)
+        key = ("sase_query_events_total", (("query", "pair"),))
+        assert parsed[key] == 9.0
+        quantile_key = ("sase_query_feed_latency_seconds",
+                        (("quantile", "0.5"), ("query", "pair")))
+        assert parsed[quantile_key] >= 0.0
+
+    def test_prometheus_includes_shard_counters(self, registry):
+        processor = ComplexEventProcessor(
+            registry, sharding=ShardingConfig(shards=2))
+        processor.register_monitoring_query("pair", PAIR)
+        feed_pairs(processor)
+        processor.flush()
+        parsed = parse_prometheus(
+            to_prometheus(processor_snapshot(processor)))
+        routed = sum(value for (metric, _), value in parsed.items()
+                     if metric == "sase_shard_events_routed_total")
+        assert routed == 9.0
+
+    def test_label_escaping_round_trips(self):
+        snapshot = {"queries": {'we"ird\nname\\q': {
+            "events_in": 1, "results_out": 0, "busy_seconds": 0.0,
+            "selectivity": 0.0, "last_result_at": None,
+            "p50_feed_seconds": None, "p95_feed_seconds": None}}}
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        assert parsed[("sase_query_events_total",
+                       (("query", 'we"ird\nname\\q'),))] == 1.0
+
+    def test_exporter_format_from_path(self, registry, tmp_path):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query("pair", PAIR)
+        assert MetricsExporter(
+            processor, str(tmp_path / "m.prom")).fmt == "prometheus"
+        assert MetricsExporter(
+            processor, str(tmp_path / "m.json")).fmt == "json"
+        with pytest.raises(ValueError):
+            MetricsExporter(processor, "m", fmt="xml")
+
+    def test_exporter_flush_writes_file(self, registry, tmp_path):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query("pair", PAIR)
+        feed_pairs(processor)
+        path = tmp_path / "metrics.json"
+        exporter = MetricsExporter(processor, str(path))
+        rendered = exporter.flush()
+        assert path.read_text() == rendered
+        assert json.loads(rendered)["queries"]["pair"]["events_in"] == 9
+
+    def test_exporter_tick_cadence(self, registry, tmp_path):
+        processor = ComplexEventProcessor(registry)
+        processor.register_monitoring_query("pair", PAIR)
+        exporter = MetricsExporter(processor, str(tmp_path / "m.json"),
+                                   every_events=5)
+        assert [exporter.tick(2) for _ in range(5)] \
+            == [False, False, True, False, False]
+        assert exporter.tick(1) is True   # 2 + 2 + 1 >= 5 again
+        assert exporter.flush_count == 2
+
+    def test_system_drives_attached_exporter(self, tmp_path):
+        scenario = RetailScenario.generate(RetailConfig(
+            n_products=6, n_shoppers=2, n_shoplifters=1,
+            n_misplacements=1, seed=5))
+        system = SaseSystem(scenario.layout, scenario.ons)
+        system.register_monitoring_query("shoplifting",
+                                         SHOPLIFTING_QUERY)
+        path = tmp_path / "metrics.prom"
+        system.attach_exporter(MetricsExporter(
+            system.processor, str(path), every_events=50))
+        system.run_simulation(scenario.ticks(NoiseModel.perfect()))
+        assert system.exporter.flush_count >= 1
+        assert "sase_query_events_total" in path.read_text()
+
+
+# -- CLI wiring -------------------------------------------------------------
+
+class TestCli:
+    def test_trace_command(self, tmp_path):
+        out = io.StringIO()
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "--products", "6", "--shoppers", "2",
+                     "--shoplifters", "1", "--limit", "4",
+                     "--jsonl", str(jsonl)], out) == 0
+        text = out.getvalue()
+        assert "dataflow trace for 'shoplifting'" in text
+        assert "scan profile for 'shoplifting'" in text
+        assert "RETURN" in text
+        records = [json.loads(line)
+                   for line in jsonl.read_text().splitlines()]
+        assert records and all(
+            record.get("query") in (None, "shoplifting")
+            for record in records)
+
+    def test_trace_command_unknown_query(self):
+        out = io.StringIO()
+        assert main(["trace", "--query", "nope"], out) == 1
+        assert "unknown query" in out.getvalue()
+
+    def test_demo_metrics_and_trace_out(self, tmp_path):
+        out = io.StringIO()
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.jsonl"
+        assert main(["demo", "--products", "6", "--shoppers", "2",
+                     "--noise", "none", "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)], out) == 0
+        parsed = parse_prometheus(metrics.read_text())
+        assert parsed[("sase_query_results_total",
+                       (("query", "shoplifting"),))] >= 1.0
+        lines = trace.read_text().splitlines()
+        assert lines and {json.loads(line)["op"] for line in lines} \
+            >= {"event", "dispatch", "scan"}
+        assert "trace span(s) written" in out.getvalue()

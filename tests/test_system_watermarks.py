@@ -1,0 +1,168 @@
+"""Watermark advancement across streams and shards.
+
+Trailing negation holds a match back until stream time passes the end of
+its window.  In the classic runtime that time only moves when the query's
+own stream sees an event (or ``advance_time`` is called); in the sharded
+runtime the router broadcasts watermark ticks to shards that did not
+receive an event.  These tests pin both down: explicit ``advance_time``
+semantics, and differential sharded-vs-classic runs over INTO/FROM
+topologies that mix derived streams with trailing negation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
+from repro.sharding import ShardingConfig
+from repro.system import ComplexEventProcessor
+
+BACKENDS_UNDER_TEST = ("inline", "thread", "process")
+
+NEG_DEFAULT = ("EVENT SEQ(A x, !(B y)) WHERE x.id = y.id WITHIN 6 "
+               "RETURN x.id")
+HOT_PRODUCER = ("EVENT A x WHERE x.v > 5 "
+                "RETURN Hot(x.id AS id, x.v AS v) INTO hots")
+PAIR_CONSUMER = ("FROM hots EVENT SEQ(Hot p, Hot q) WHERE p.id = q.id "
+                 "WITHIN 100 RETURN Pair(p.id AS id)")
+NEG_CONSUMER = ("FROM hots EVENT SEQ(Hot p, !(Hot q)) "
+                "WHERE p.id = q.id WITHIN 6 RETURN p.id")
+
+
+def make_registry() -> SchemaRegistry:
+    registry = SchemaRegistry()
+    registry.declare("A", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("B", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("Hot", id=AttributeType.INT, v=AttributeType.INT)
+    registry.declare("Pair", id=AttributeType.INT)
+    return registry
+
+
+def a(ts: float, id_: int, v: int = 9) -> Event:
+    return Event("A", ts, {"id": id_, "v": v})
+
+
+def b(ts: float, id_: int, v: int = 0) -> Event:
+    return Event("B", ts, {"id": id_, "v": v})
+
+
+def fingerprint(results):
+    return [(name, result.start, result.end,
+             tuple(sorted(result.attributes.items())))
+            for name, result in results]
+
+
+def workload() -> list[Event]:
+    """A/B events whose negation windows expire at staggered times.
+
+    ids 0..3 get an A each round; only some get the matching B, so the
+    rest mature as the stream (or a watermark) moves past ts+6.  The
+    Hot stream sees every A with v > 5, which is every other one.
+    """
+    events: list[Event] = []
+    ts = 0.0
+    for round_no in range(12):
+        for id_ in range(4):
+            ts += 0.5
+            events.append(a(ts, id_, v=9 if (id_ + round_no) % 2 else 3))
+        if round_no % 3 != 2:          # some rounds leave ids unguarded
+            ts += 0.25
+            events.append(b(ts, round_no % 4))
+    events.append(a(ts + 20.0, 99, v=9))   # long gap: everything matures
+    return events
+
+
+def run(sharding: ShardingConfig | None, queries) -> list:
+    processor = ComplexEventProcessor(make_registry(), sharding=sharding)
+    for name, text in queries:
+        processor.register_monitoring_query(name, text)
+    produced = []
+    for event in workload():
+        produced.extend(processor.feed(event))
+    produced.extend(processor.flush())
+    return fingerprint(produced)
+
+
+TOPOLOGIES = {
+    "neg_plus_chain": (("neg", NEG_DEFAULT), ("hot", HOT_PRODUCER),
+                       ("pairs", PAIR_CONSUMER)),
+    "neg_on_derived": (("hot", HOT_PRODUCER), ("negd", NEG_CONSUMER)),
+    "neg_both_streams": (("neg", NEG_DEFAULT), ("hot", HOT_PRODUCER),
+                         ("negd", NEG_CONSUMER)),
+}
+
+
+class TestShardedWatermarksAcrossStreams:
+    @pytest.fixture(scope="class")
+    def baselines(self):
+        return {key: run(None, queries)
+                for key, queries in TOPOLOGIES.items()}
+
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_inline_matches_classic(self, baselines, topology, shards):
+        sharded = run(ShardingConfig(shards=shards, backend="inline",
+                                     batch_size=8),
+                      TOPOLOGIES[topology])
+        assert sharded == baselines[topology]
+
+    @pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST[1:])
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    def test_async_backends_match_classic(self, baselines, topology,
+                                          backend):
+        sharded = run(ShardingConfig(shards=2, backend=backend,
+                                     batch_size=8, queue_capacity=4),
+                      TOPOLOGIES[topology])
+        assert sharded == baselines[topology]
+
+    def test_results_maintain_negation_release_points(self, baselines):
+        # Sanity on the workload itself: the negation queries actually
+        # release matches mid-stream (not only at flush), so the
+        # differential runs above exercise watermark paths for real.
+        names = [name for name, *_ in baselines["neg_both_streams"]]
+        assert "neg" in names and "negd" in names and "pairs" not in names
+        assert names.count("neg") >= 4
+        assert names.count("negd") >= 2
+
+
+class TestAdvanceTime:
+    def test_releases_matured_matches_once(self):
+        processor = ComplexEventProcessor(make_registry())
+        processor.register_monitoring_query("neg", NEG_DEFAULT)
+        processor.feed(a(1.0, 7))
+        assert processor.advance_time(5.0) == []   # window still open
+        released = processor.advance_time(7.5)     # 1.0 + 6 < 7.5
+        assert [(name, result["x_id"]) for name, result in released] \
+            == [("neg", 7)]
+        assert processor.advance_time(9.0) == []   # not released twice
+
+    def test_negated_event_suppresses_release(self):
+        processor = ComplexEventProcessor(make_registry())
+        processor.register_monitoring_query("neg", NEG_DEFAULT)
+        processor.feed(a(1.0, 7))
+        processor.feed(b(2.0, 7))
+        assert processor.advance_time(50.0) == []
+
+    def test_only_filter_restricts_queries(self):
+        processor = ComplexEventProcessor(make_registry())
+        processor.register_monitoring_query("neg", NEG_DEFAULT)
+        processor.register_monitoring_query("hot", HOT_PRODUCER)
+        processor.register_monitoring_query("negd", NEG_CONSUMER)
+        processor.feed(a(1.0, 7, v=9))   # arms both negation queries
+        released = processor.advance_time(10.0, only={"negd"})
+        assert [name for name, _ in released] == ["negd"]
+        # The default-stream query still holds its match.
+        released = processor.advance_time(10.0)
+        assert [name for name, _ in released] == ["neg"]
+
+    def test_advances_queries_on_every_stream(self):
+        # advance_time is a global watermark: derived-stream queries see
+        # it too, exactly like the sharded router's broadcast ticks.
+        processor = ComplexEventProcessor(make_registry())
+        processor.register_monitoring_query("hot", HOT_PRODUCER)
+        processor.register_monitoring_query("negd", NEG_CONSUMER)
+        processor.feed(a(1.0, 7, v=9))
+        released = processor.advance_time(8.0)
+        assert [(name, result["p_id"]) for name, result in released] \
+            == [("negd", 7)]
