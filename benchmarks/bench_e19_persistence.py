@@ -1,0 +1,281 @@
+"""E19 — persistence: WAL overhead per fsync policy, recovery time.
+
+The durability layer (``repro.persist``) write-ahead-logs every cleaned
+event and appends every delivered match to an out log before it counts
+as emitted.  This experiment quantifies the two costs that matter:
+
+* **E19a — WAL overhead vs fsync policy.**  The E15 workload (two keyed
+  SEQ queries over a synthetic 3-type stream) runs bare and then under
+  persistence with each policy.  ``never`` leaves durability to the OS
+  page cache (crash-safe, not power-loss-safe), ``every_n:64`` is the
+  amortized default (group-commit writer thread, see
+  ``repro.persist.wal``), ``always`` pays one fsync per event.  The
+  timed region ends with a full durability barrier, so queued WAL
+  writes cannot hide outside it; the final checkpoint — a fixed
+  end-of-stream cost, not a per-event one — is reported in its own
+  column.  The default policy's overhead is asserted ≤ 15 % on hosts
+  with ≥ 2 cores, where the group-commit writer thread's encode +
+  write + fsync work overlaps the processing thread and only the
+  C-level enqueue hook stays on the feed path.  On a single-core host
+  that work has nowhere to overlap — every encode/write instruction
+  timeshares with matching — so the budget is relaxed to a documented
+  single-core ceiling and a note is printed, mirroring E15's handling
+  of the process backend.  Either way the measurement itself is
+  honest: min-of-interleaved-rounds, so a scheduler hiccup cannot
+  fake a regression.
+* **E19b — recovery time vs WAL-tail length.**  With checkpoints
+  disabled, recovery replays the whole WAL; sweeping the tail length
+  shows replay cost is linear in events-since-checkpoint — the knob
+  ``checkpoint_every`` trades against run-time checkpoint cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import tempfile
+import time
+
+from repro.persist import FsyncPolicy, PersistenceConfig, \
+    PersistenceManager
+from repro.system.processor import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+from common import print_table
+
+FULL_EVENTS = 12_000
+SMOKE_EVENTS = 1_500
+FULL_ROUNDS = 5
+SMOKE_ROUNDS = 3
+POLICIES = ["never", "every_n:64", "always"]
+FULL_TAILS = [1_000, 2_000, 4_000, 8_000]
+SMOKE_TAILS = [250, 500, 1_000]
+
+#: The acceptance budget for the default policy on the E15 workload
+#: when the group-commit writer has its own core to run on.
+MAX_DEFAULT_OVERHEAD = 1.15
+#: On a single-core host the writer thread timeshares with the
+#: processor, so the WAL's conserved CPU (batch extraction, marshal,
+#: CRC, write syscalls — roughly 1 µs/event against a ~5.5 µs/event
+#: baseline) lands in the measured path on top of the fsync scheduling
+#: churn.  Observed 1.25–1.5x on a 1-core VM; the ceiling below
+#: leaves noise headroom while still catching gross regressions.
+MAX_SINGLE_CORE_OVERHEAD = 1.60
+
+QUERIES = {
+    "pair": seq_query(2, window=30.0, partitioned=True),
+    "triple": seq_query(3, window=30.0, partitioned=True),
+}
+
+
+def build_stream(n_events: int) -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, mean_gap=1.0,
+        seed=15))
+
+
+class BenchHost:
+    """The minimal host the persistence manager duck-types against."""
+
+    def __init__(self, registry):
+        self.processor = ComplexEventProcessor(registry)
+        for name, text in QUERIES.items():
+            self.processor.register(name, text)
+        from repro.db.eventdb import EventDatabase
+        self.event_db = EventDatabase()
+
+    def adopt_event_db(self, event_db):
+        self.event_db = event_db
+
+    def scratch_event_db(self):
+        from repro.db.eventdb import EventDatabase
+        return EventDatabase()
+
+
+def run_bare(stream: SyntheticStream) -> tuple[float, int]:
+    host = BenchHost(stream.registry)
+    results = 0
+    started = time.perf_counter()
+    for event in stream.events:
+        results += len(host.processor.feed(event))
+    results += len(host.processor.flush())
+    return time.perf_counter() - started, results
+
+
+def run_persisted(stream: SyntheticStream, policy: str,
+                  checkpoint_every: int = 0) \
+        -> tuple[float, float, int]:
+    """Returns ``(stream_elapsed, finalize_elapsed, results)``.
+
+    The timed stream region covers the feed loop, the flush, and a
+    full durability barrier (``manager.sync()``) — every WAL byte the
+    run produced is written and fsynced inside it, so the ratio
+    against the bare run is the true per-event durability cost.  The
+    final checkpoint (database snapshot + atomic checkpoint write) is
+    a fixed end-of-stream cost amortized by stream length; it is timed
+    separately and reported in its own column."""
+    data_dir = tempfile.mkdtemp(prefix="e19-")
+    try:
+        host = BenchHost(stream.registry)
+        manager = PersistenceManager(PersistenceConfig(
+            data_dir=data_dir, fsync=FsyncPolicy.parse(policy),
+            checkpoint_every=checkpoint_every), host)
+        manager.recover()
+        results = 0
+        started = time.perf_counter()
+        # The WAL append and checkpoint cadence are fused into feed()
+        # by the manager's hooks — the loop is shape-identical to the
+        # bare run, so the ratio isolates the durability cost.
+        for event in stream.events:
+            results += len(host.processor.feed(event))
+        results += len(host.processor.flush())
+        manager.sync()
+        stream_elapsed = time.perf_counter() - started
+        finalize_started = time.perf_counter()
+        manager.finalize()
+        finalize_elapsed = time.perf_counter() - finalize_started
+        return stream_elapsed, finalize_elapsed, results
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def measure_wal_overhead(n_events: int, rounds: int) -> tuple[list, float]:
+    stream = build_stream(n_events)
+    variants = [None, *POLICIES]
+    best = {variant: float("inf") for variant in variants}
+    finalize_best = {variant: float("inf") for variant in POLICIES}
+    results = {}
+    for _ in range(rounds):
+        for variant in variants:   # interleaved A/B
+            if variant is None:
+                elapsed, count = run_bare(stream)
+            else:
+                elapsed, finalized, count = run_persisted(stream,
+                                                          variant)
+                finalize_best[variant] = min(finalize_best[variant],
+                                             finalized)
+            best[variant] = min(best[variant], elapsed)
+            results[variant] = count
+    assert len(set(results.values())) == 1, \
+        "persistence changed the result count"
+    rows = [["bare (no persistence)", n_events / best[None], 1.0,
+             "-", results[None]]]
+    for policy in POLICIES:
+        rows.append([f"wal fsync={policy}", n_events / best[policy],
+                     best[policy] / best[None],
+                     finalize_best[policy] * 1e3, results[policy]])
+    return rows, best["every_n:64"] / best[None]
+
+
+def measure_recovery(n_events: int, tails: list[int],
+                     rounds: int) -> list:
+    """Recovery time as a function of WAL-tail length: write a WAL of
+    each length (no checkpoints), abandon it, time ``recover()``."""
+    rows = []
+    for tail in tails:
+        stream = build_stream(tail)
+        data_dir = tempfile.mkdtemp(prefix="e19r-")
+        try:
+            host = BenchHost(stream.registry)
+            manager = PersistenceManager(PersistenceConfig(
+                data_dir=data_dir, fsync=FsyncPolicy("never"),
+                checkpoint_every=0), host)
+            manager.recover()
+            matches = 0
+            for event in stream.events:   # hooks WAL-log each event
+                matches += len(host.processor.feed(event))
+            manager.close()   # sync, no checkpoint: a "crashed" dir
+            best = float("inf")
+            for _ in range(rounds):
+                fresh = PersistenceManager(PersistenceConfig(
+                    data_dir=data_dir, fsync=FsyncPolicy("never"),
+                    checkpoint_every=0), BenchHost(stream.registry))
+                report = fresh.recover()
+                assert report.replayed_events == tail
+                assert len(report.suppressed_matches) == matches
+                best = min(best, report.elapsed_seconds)
+            rows.append([tail, best * 1e3, tail / best, matches])
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="persistence overhead and recovery-time experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (seconds)")
+    args = parser.parse_args(argv)
+    n_events = SMOKE_EVENTS if args.smoke else FULL_EVENTS
+    rounds = SMOKE_ROUNDS if args.smoke else FULL_ROUNDS
+    tails = SMOKE_TAILS if args.smoke else FULL_TAILS
+
+    cores = os.cpu_count() or 1
+    rows, default_ratio = measure_wal_overhead(n_events, rounds)
+    print_table(
+        f"E19a — WAL overhead vs fsync policy ({n_events} events, "
+        f"2 keyed SEQ queries, min of {rounds}, host has {cores} "
+        f"core(s); stream time includes a full durability barrier)",
+        ["configuration", "events/s", "vs bare", "final ckpt ms",
+         "results"],
+        rows)
+    budget = MAX_DEFAULT_OVERHEAD if cores >= 2 \
+        else MAX_SINGLE_CORE_OVERHEAD
+    print(f"default-policy (every_n:64) overhead: "
+          f"{(default_ratio - 1) * 100:+.1f}% "
+          f"(budget {(budget - 1) * 100:.0f}%)")
+    if cores == 1:
+        print("note: single-core host; the group-commit writer thread "
+              "timeshares with the processor, so the WAL's encode + "
+              "write CPU cannot overlap matching and the multi-core "
+              "15% budget does not apply (see module docstring)")
+    assert default_ratio <= budget, (
+        f"fsync=every_n:64 costs {default_ratio:.3f}x, budget is "
+        f"{budget}x on a {cores}-core host")
+
+    recovery_rows = measure_recovery(n_events, tails, rounds)
+    print_table(
+        "E19b — recovery time vs WAL-tail length (no checkpoints: "
+        "full replay)",
+        ["wal tail (events)", "recovery ms", "replay events/s",
+         "suppressed"],
+        recovery_rows)
+
+
+def test_benchmark_wal_default_policy(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    result = benchmark.pedantic(
+        lambda: run_persisted(stream, "every_n:64"),
+        rounds=3, iterations=1)
+    assert result[2]
+
+
+def test_benchmark_recovery_replay(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    data_dir = tempfile.mkdtemp(prefix="e19b-")
+    try:
+        host = BenchHost(stream.registry)
+        manager = PersistenceManager(PersistenceConfig(
+            data_dir=data_dir, fsync=FsyncPolicy("never"),
+            checkpoint_every=0), host)
+        manager.recover()
+        for event in stream.events:   # hooks WAL-log each event
+            host.processor.feed(event)
+        manager.close()
+
+        def recover_once():
+            fresh = PersistenceManager(PersistenceConfig(
+                data_dir=data_dir, fsync=FsyncPolicy("never"),
+                checkpoint_every=0), BenchHost(stream.registry))
+            return fresh.recover()
+
+        report = benchmark.pedantic(recover_once, rounds=3, iterations=1)
+        assert report.replayed_events == SMOKE_EVENTS
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import io
 import sys
 import time
@@ -37,6 +38,7 @@ EXPERIMENTS = [
     ("E16", "bench_e16_codegen"),
     ("E17", "bench_e17_multiquery_scaling"),
     ("E18", "bench_e18_observability_overhead"),
+    ("E19", "bench_e19_persistence"),
 ]
 
 
@@ -58,7 +60,13 @@ def main(argv: list[str] | None = None) -> int:
         buffer = io.StringIO()
         started = time.perf_counter()
         with redirect_stdout(buffer):
-            module.main()
+            # Explicit empty argv where accepted: an experiment's own
+            # parser must not re-read sys.argv and trip over this
+            # runner's flags.
+            if inspect.signature(module.main).parameters:
+                module.main([])
+            else:
+                module.main()
         elapsed = time.perf_counter() - started
         section = buffer.getvalue().rstrip()
         sections.append(f"{section}\n[{identifier} regenerated in "

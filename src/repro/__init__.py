@@ -42,7 +42,7 @@ from repro.events import (
 )
 from repro.lang import analyze, format_query, parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttributeSpec",

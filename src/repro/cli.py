@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Iterable, Sequence, TextIO
@@ -31,6 +32,7 @@ from repro.events.model import AttributeType, SchemaRegistry
 from repro.rfid import NoiseModel
 from repro.schemas import retail_registry
 from repro.obs import MetricsExporter
+from repro.persist import FsyncPolicy, PersistenceConfig
 from repro.sharding import BACKENDS, ShardingConfig
 from repro.system import SaseSystem
 from repro.ui import SaseConsole, format_trace_lines
@@ -100,6 +102,21 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="inline",
                       help="shard executor: inline (deterministic, "
                            "in-process), thread, or process")
+    demo.add_argument("--data-dir", metavar="DIR",
+                      help="durable persistence: write-ahead log, "
+                           "checkpoints, and the match log live here; "
+                           "re-running with the same DIR recovers and "
+                           "resumes after a crash")
+    demo.add_argument("--fsync", default="every_n:64", metavar="POLICY",
+                      help="WAL fsync cadence: always, never, or "
+                           "every_n:N (default: every_n:64)")
+    demo.add_argument("--checkpoint-every", type=int, default=256,
+                      metavar="N",
+                      help="events between checkpoints; 0 keeps only "
+                           "the final one (default: 256)")
+    # Fault injection for the differential crash tests: SIGKILL the
+    # whole process group right after the Nth WAL append.
+    demo.add_argument("--crash-after", type=int, help=argparse.SUPPRESS)
     demo.add_argument("--trace", type=int, metavar="TAG",
                       help="print the movement history of one tag")
     demo.add_argument("--metrics-out", metavar="PATH",
@@ -130,6 +147,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="log feeds slower than this many "
                             "milliseconds (0 = off)")
     trace.set_defaults(handler=_cmd_trace)
+
+    recover = commands.add_parser(
+        "recover", help="recover a demo --data-dir: restore the latest "
+                        "checkpoint, replay the WAL, and report the "
+                        "regenerated state without feeding new events")
+    recover.add_argument("data_dir", metavar="DATA_DIR")
+    recover.add_argument("--fsync", default="every_n:64",
+                         metavar="POLICY",
+                         help="fsync cadence for the recovered logs")
+    recover.set_defaults(handler=_cmd_recover)
 
     warehouse = commands.add_parser(
         "warehouse", help="supply-chain rules + track-and-trace")
@@ -171,18 +198,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
 # -- commands ----------------------------------------------------------------
 
-def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
+_DEMO_PARAM_KEYS = ("seed", "noise", "products", "shoppers",
+                    "shoplifters", "misplacements", "shards",
+                    "shard_backend")
+_MANIFEST_NAME = "manifest.json"
+
+
+def _demo_params(args: argparse.Namespace) -> dict[str, Any]:
+    return {key: getattr(args, key) for key in _DEMO_PARAM_KEYS}
+
+
+def _build_demo_system(params: dict[str, Any],
+                       persistence: PersistenceConfig | None = None) \
+        -> tuple[RetailScenario, SaseSystem]:
+    """The retail demo stack, reconstructible from a manifest: scenario,
+    system, and the standard query/rule set."""
     scenario = RetailScenario.generate(RetailConfig(
-        n_products=args.products, n_shoppers=args.shoppers,
-        n_shoplifters=args.shoplifters,
-        n_misplacements=args.misplacements, seed=args.seed))
+        n_products=params["products"], n_shoppers=params["shoppers"],
+        n_shoplifters=params["shoplifters"],
+        n_misplacements=params["misplacements"], seed=params["seed"]))
     sharding = None
-    if args.shards != 1 or args.shard_backend != "inline":
-        sharding = ShardingConfig(shards=args.shards,
-                                  backend=args.shard_backend)
-    system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
-    if args.trace_out:
-        system.enable_tracing()
+    if params["shards"] != 1 or params["shard_backend"] != "inline":
+        sharding = ShardingConfig(shards=params["shards"],
+                                  backend=params["shard_backend"])
+    system = SaseSystem(scenario.layout, scenario.ons,
+                        sharding=sharding, persistence=persistence)
     system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
     system.register_monitoring_query("misplaced",
                                      MISPLACED_INVENTORY_QUERY)
@@ -190,7 +230,84 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
                        "EXIT_READING"):
         system.register_archiving_rule(f"loc_{event_type}",
                                        LOCATION_UPDATE_RULE(event_type))
-    results = system.run_simulation(
+    return scenario, system
+
+
+def _check_manifest(data_dir: str, params: dict[str, Any]) -> None:
+    """Pin the demo arguments to the data directory: recovery replays
+    the WAL against a re-generated source, so resuming with different
+    arguments would silently diverge.  First run writes the manifest;
+    later runs must match it."""
+    os.makedirs(data_dir, exist_ok=True)
+    path = os.path.join(data_dir, _MANIFEST_NAME)
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            recorded = json.load(handle)
+        if recorded != params:
+            changed = sorted(key for key in set(recorded) | set(params)
+                             if recorded.get(key) != params.get(key))
+            raise SaseError(
+                f"{data_dir} was created by a demo run with different "
+                f"arguments (changed: {', '.join(changed)}); use the "
+                f"original arguments or a fresh --data-dir")
+        return
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(params, handle, indent=2, sort_keys=True)
+    os.replace(temp_path, path)
+
+
+def _read_manifest(data_dir: str) -> dict[str, Any]:
+    path = os.path.join(data_dir, _MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise SaseError(f"{data_dir}: no {_MANIFEST_NAME}; not a demo "
+                        f"data directory")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _print_persistence_summary(system: SaseSystem, report,
+                               out: TextIO) -> None:
+    gauges = system.persistence.gauges()
+    print("\npersistence:", file=out)
+    if report is not None and (report.replayed_events
+                               or report.scratch_events
+                               or report.durable_matches):
+        restored = "none" if report.checkpoint_lsn is None \
+            else f"lsn {report.checkpoint_lsn}"
+        print(f"  recovered: checkpoint {restored}, "
+              f"{report.scratch_events + report.replayed_events} "
+              f"event(s) replayed, {len(report.suppressed_matches)} "
+              f"durable match(es) suppressed "
+              f"({report.elapsed_seconds * 1e3:.0f} ms)", file=out)
+    print(f"  wal: {gauges['wal_records']} record(s) in "
+          f"{gauges['wal_segments']} segment(s), "
+          f"{gauges['wal_bytes']} bytes, {gauges['wal_fsyncs']} "
+          f"fsync(s)", file=out)
+    print(f"  checkpoints: {gauges['checkpoints_written']} written; "
+          f"out log: {gauges['out_records']} durable match(es)",
+          file=out)
+
+
+def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
+    params = _demo_params(args)
+    persistence = None
+    if args.data_dir:
+        _check_manifest(args.data_dir, params)
+        persistence = PersistenceConfig(
+            data_dir=args.data_dir,
+            fsync=FsyncPolicy.parse(args.fsync),
+            checkpoint_every=args.checkpoint_every,
+            crash_after=args.crash_after)
+    elif args.crash_after is not None:
+        raise SaseError("--crash-after requires --data-dir")
+    scenario, system = _build_demo_system(params, persistence)
+    if args.trace_out:
+        system.enable_tracing()
+    report = system.recover() if persistence is not None else None
+    results = list(report.recovered_matches) if report is not None \
+        else []
+    results += system.run_simulation(
         scenario.ticks(_NOISE_PRESETS[args.noise]))
 
     detected = {r["x_TagId"] for name, r in results
@@ -202,7 +319,7 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
     print(f"misplaced:  truth={sorted(scenario.truth.misplaced_tags())} "
           f"detected={sorted(misplaced)}", file=out)
     print(SaseConsole(system, max_lines=6).render(), file=out)
-    if sharding is not None:
+    if system.processor.sharding is not None:
         print(f"\nsharded runtime ({args.shards} shard(s), "
               f"{args.shard_backend} backend):", file=out)
         plan = system.processor.shard_plan
@@ -218,8 +335,11 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
                   f"[{entry['time_in']:g} .. "
                   f"{entry['time_out'] if entry['time_out'] is not None else 'now'}]",
                   file=out)
+    if system.persistence is not None:
+        _print_persistence_summary(system, report, out)
     if args.metrics_out:
-        exporter = MetricsExporter(system.processor, args.metrics_out)
+        exporter = MetricsExporter(system.processor, args.metrics_out,
+                                   persistence=system.persistence)
         exporter.flush()
         print(f"\nmetrics snapshot ({exporter.fmt}) written to "
               f"{args.metrics_out}", file=out)
@@ -227,6 +347,38 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
         count = system.processor.tracer.dump_jsonl(args.trace_out)
         print(f"{count} trace span(s) written to {args.trace_out}",
               file=out)
+
+
+def _cmd_recover(args: argparse.Namespace, out: TextIO) -> None:
+    params = _read_manifest(args.data_dir)
+    persistence = PersistenceConfig(data_dir=args.data_dir,
+                                    fsync=FsyncPolicy.parse(args.fsync))
+    _, system = _build_demo_system(params, persistence)
+    report = system.recover()
+    restored = "no checkpoint" if report.checkpoint_lsn is None \
+        else f"checkpoint at lsn {report.checkpoint_lsn}"
+    print(f"recovered {args.data_dir}: {restored}, "
+          f"{report.scratch_events + report.replayed_events} WAL "
+          f"event(s) replayed in {report.elapsed_seconds * 1e3:.0f} ms",
+          file=out)
+    print(f"durable matches: {report.durable_matches}; regenerated "
+          f"this pass: {len(report.recovered_matches)}", file=out)
+    detected = {r["x_TagId"] for name, r in report.recovered_matches
+                if name == "shoplifting"}
+    misplaced = {r["x_TagId"] for name, r in report.recovered_matches
+                 if name == "misplaced"}
+    print(f"shoplifting detections so far: {sorted(detected)}",
+          file=out)
+    print(f"misplaced detections so far:   {sorted(misplaced)}",
+          file=out)
+    print("event database:", file=out)
+    for name in system.event_db.db.table_names():
+        rows = sum(1 for _ in system.event_db.db.table(name).rows())
+        print(f"  {name}: {rows} row(s)", file=out)
+    # Seal the replayed state into a fresh checkpoint so the next
+    # recovery (or demo resume) starts from here instead of re-replaying.
+    system.persistence.checkpoint()
+    system.persistence.close()
 
 
 def _cmd_trace(args: argparse.Namespace, out: TextIO) -> None:

@@ -5,6 +5,7 @@ component" durability, sans a real DBMS)."""
 from __future__ import annotations
 
 import json
+import os
 from typing import Any
 
 from repro.db.executor import Executor, ResultSet
@@ -71,8 +72,9 @@ class Database:
 
     # -- persistence ------------------------------------------------------------
 
-    def dump(self, path: str) -> None:
-        """Snapshot every table (schema, indexes, rows) to a JSON file."""
+    def to_snapshot(self) -> dict[str, Any]:
+        """The JSON-serializable snapshot :meth:`dump` writes: every
+        table's schema, secondary indexes, and rows in rowid order."""
         snapshot: dict[str, Any] = {"version": _SNAPSHOT_VERSION,
                                     "tables": {}}
         for table in self._executor.tables.values():
@@ -86,19 +88,15 @@ class Database:
                             and not column.primary_key],
                 "rows": [row for _, row in sorted(table.rows())],
             }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle)
+        return snapshot
 
     @classmethod
-    def load(cls, path: str) -> "Database":
-        """Restore a database from a :meth:`dump` snapshot."""
-        with open(path, encoding="utf-8") as handle:
-            snapshot = json.load(handle)
+    def from_snapshot(cls, snapshot: Any) -> "Database":
+        """Rebuild a database from a :meth:`to_snapshot` dict."""
         if not isinstance(snapshot, dict) or \
                 snapshot.get("version") != _SNAPSHOT_VERSION:
             raise DatabaseError(
-                f"{path}: not a version-{_SNAPSHOT_VERSION} database "
-                f"snapshot")
+                f"not a version-{_SNAPSHOT_VERSION} database snapshot")
         database = cls()
         for name, spec in snapshot["tables"].items():
             columns = [Column(column["name"],
@@ -111,3 +109,35 @@ class Database:
             for indexed in spec["indexes"]:
                 table.create_index(indexed)
         return database
+
+    def dump(self, path: str) -> None:
+        """Snapshot every table (schema, indexes, rows) to a JSON file.
+
+        The snapshot lands in a sibling temp file first and is moved into
+        place with :func:`os.replace`, so a crash mid-dump leaves any
+        previous snapshot at *path* intact.
+        """
+        snapshot = self.to_snapshot()
+        temp_path = f"{path}.tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "Database":
+        """Restore a database from a :meth:`dump` snapshot."""
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        try:
+            return cls.from_snapshot(snapshot)
+        except DatabaseError as exc:
+            raise DatabaseError(f"{path}: {exc}") from None

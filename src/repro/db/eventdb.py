@@ -33,18 +33,33 @@ class EventDatabase:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Snapshot the event database to a JSON file."""
+        """Snapshot the event database to a JSON file (atomically, via
+        :meth:`Database.dump`'s temp-file-and-replace)."""
         self.db.dump(path)
 
     @classmethod
     def load(cls, path: str) -> "EventDatabase":
         """Restore an event database saved with :meth:`save`."""
-        database = Database.load(path)
+        return cls._adopt(Database.load(path), source=path)
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """The JSON-serializable snapshot :meth:`save` writes (the
+        checkpoint substrate of the persistence subsystem)."""
+        return self.db.to_snapshot()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Any) -> "EventDatabase":
+        """Rebuild an event database from a :meth:`to_snapshot` dict."""
+        return cls._adopt(Database.from_snapshot(snapshot),
+                          source="snapshot")
+
+    @classmethod
+    def _adopt(cls, database: Database, source: str) -> "EventDatabase":
         for required in cls.REQUIRED_TABLES:
             if not database.has_table(required):
                 raise DatabaseError(
-                    f"{path}: snapshot is missing the {required!r} table; "
-                    f"not an event database")
+                    f"{source}: snapshot is missing the {required!r} "
+                    f"table; not an event database")
         instance = cls.__new__(cls)
         instance.db = database
         next_seq = database.execute(

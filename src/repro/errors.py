@@ -72,6 +72,11 @@ class TableError(DatabaseError):
     mismatch, duplicate table, ...)."""
 
 
+class PersistenceError(SaseError):
+    """The durability layer (WAL, checkpoints, recovery) hit an
+    unrecoverable inconsistency or was misused."""
+
+
 class CleaningError(SaseError):
     """A cleaning-layer invariant was violated."""
 

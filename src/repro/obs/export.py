@@ -7,7 +7,10 @@ A snapshot gathers three layers into one JSON-serializable dict:
   p50/p95 feed latency from the reservoir, result freshness);
 * per-shard routing counters when the sharded runtime is active;
 * per-query plan statistics (:class:`~repro.core.stats.PlanStats`):
-  operator in/out counters plus stack and partition high-water gauges.
+  operator in/out counters plus stack and partition high-water gauges;
+* WAL/checkpoint gauges from the persistence manager when the exporter
+  is constructed with ``persistence=`` (records, segments, bytes,
+  fsyncs, checkpoints, replay/suppression counters).
 
 The same snapshot renders as Prometheus text exposition
 (:func:`to_prometheus`) for scraping, and :func:`parse_prometheus` reads
@@ -66,6 +69,26 @@ _PLAN_GAUGES = (
      "Peak active stack instances"),
     ("sase_plan_partitions_high_water", "partitions_high_water",
      "Peak live PAIS partitions"),
+)
+_PERSIST_GAUGES = (
+    ("sase_wal_records", "wal_records",
+     "Records appended to the write-ahead log"),
+    ("sase_wal_segments", "wal_segments",
+     "Live WAL segment files"),
+    ("sase_wal_bytes", "wal_bytes",
+     "Bytes across the live WAL segments"),
+    ("sase_wal_fsyncs_total", "wal_fsyncs",
+     "fsync calls issued for the WAL"),
+    ("sase_out_records", "out_records",
+     "Durable matches in the out log"),
+    ("sase_checkpoints_total", "checkpoints_written",
+     "Checkpoints written this run"),
+    ("sase_checkpoint_last_wal_lsn", "last_checkpoint_lsn",
+     "WAL position of the newest checkpoint"),
+    ("sase_replayed_events_total", "replayed_events",
+     "WAL events replayed during recovery"),
+    ("sase_suppressed_matches_total", "suppressed_matches",
+     "Already-durable matches suppressed during recovery"),
 )
 
 
@@ -136,8 +159,9 @@ class _PrometheusWriter:
         rendered = ",".join(
             f'{key}="{_label_escape(label)}"'
             for key, label in sorted(labels.items()))
+        label_part = f"{{{rendered}}}" if rendered else ""
         self.lines.append(
-            f"{metric}{{{rendered}}} {_format_value(value)}")
+            f"{metric}{label_part} {_format_value(value)}")
 
     def text(self) -> str:
         return "\n".join(self.lines) + "\n" if self.lines else ""
@@ -160,6 +184,11 @@ def to_prometheus(snapshot: dict) -> str:
         labels = {"shard": shard_id}
         for metric, field, help_text in _SHARD_COUNTERS:
             w.sample(metric, "counter", help_text, labels, entry[field])
+    persistence = snapshot.get("persistence")
+    if persistence:
+        for metric, field, help_text in _PERSIST_GAUGES:
+            w.sample(metric, "gauge", help_text, {},
+                     persistence.get(field))
     for name, plan in snapshot.get("plans", {}).items():
         labels = {"query": name}
         for metric, field, help_text in _PLAN_GAUGES:
@@ -219,13 +248,15 @@ class MetricsExporter:
     """
 
     def __init__(self, processor: Any, path: str,
-                 fmt: str | None = None, every_events: int = 0):
+                 fmt: str | None = None, every_events: int = 0,
+                 persistence: Any = None):
         if fmt is None:
             fmt = "prometheus" \
                 if path.endswith((".prom", ".txt")) else "json"
         if fmt not in ("json", "prometheus"):
             raise ValueError(f"unknown metrics format {fmt!r}")
         self._processor = processor
+        self._persistence = persistence
         self.path = path
         self.fmt = fmt
         self.every_events = every_events
@@ -233,7 +264,10 @@ class MetricsExporter:
         self.flush_count = 0
 
     def snapshot(self) -> dict:
-        return processor_snapshot(self._processor)
+        snapshot = processor_snapshot(self._processor)
+        if self._persistence is not None:
+            snapshot["persistence"] = self._persistence.gauges()
+        return snapshot
 
     def render(self) -> str:
         snapshot = self.snapshot()

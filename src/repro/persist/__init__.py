@@ -1,0 +1,18 @@
+"""Durable persistence and crash recovery: WAL + checkpoints +
+exactly-once restart (see ``docs/persistence.md``)."""
+
+from repro.persist.checkpoint import CheckpointStore
+from repro.persist.config import FsyncPolicy, PersistenceConfig
+from repro.persist.manager import OUT_LOG, PersistenceManager, \
+    RecoveryReport
+from repro.persist.wal import WriteAheadLog
+
+__all__ = [
+    "CheckpointStore",
+    "FsyncPolicy",
+    "OUT_LOG",
+    "PersistenceConfig",
+    "PersistenceManager",
+    "RecoveryReport",
+    "WriteAheadLog",
+]

@@ -1,0 +1,125 @@
+"""Atomic checkpoint snapshots.
+
+A checkpoint is one JSON document — schema version, the WAL position it
+covers (``wal_lsn``), the emitted-match high-water mark (``emitted``),
+the replay horizon (``replay_lsn``, the oldest LSN recovery must re-feed
+to rebuild in-window engine state), the event database snapshot, the
+stream time, and a metrics snapshot for inspection.  It is written to a
+temp file, fsynced, and moved into place with :func:`os.replace`, so a
+crash mid-write can never corrupt an existing checkpoint; the loader
+walks checkpoints newest-first and skips any that fail validation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any
+
+CHECKPOINT_VERSION = 1
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{8,})\.ckpt$")
+_REQUIRED_KEYS = ("version", "wal_lsn", "emitted", "replay_lsn", "db")
+
+
+def checkpoint_name(wal_lsn: int) -> str:
+    return f"checkpoint-{wal_lsn:08d}.ckpt"
+
+
+def validate(snapshot: Any) -> bool:
+    return (isinstance(snapshot, dict)
+            and snapshot.get("version") == CHECKPOINT_VERSION
+            and all(key in snapshot for key in _REQUIRED_KEYS))
+
+
+class CheckpointStore:
+    """Write/read/garbage-collect the checkpoints of one data dir."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _paths(self) -> list[tuple[int, str]]:
+        found = []
+        for entry in os.listdir(self.directory):
+            match = _CHECKPOINT_RE.match(entry)
+            if match is not None:
+                found.append((int(match.group(1)),
+                              os.path.join(self.directory, entry)))
+        found.sort()
+        return found
+
+    def write(self, snapshot: dict) -> str:
+        """Atomically persist *snapshot*; returns its path."""
+        path = os.path.join(self.directory,
+                            checkpoint_name(snapshot["wal_lsn"]))
+        temp_path = f"{path}.tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        self._sync_directory()
+        return path
+
+    def _sync_directory(self) -> None:
+        # Make the rename itself durable (best effort; some filesystems
+        # refuse to fsync a directory fd).
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def latest(self) -> dict | None:
+        """The newest checkpoint that loads and validates, or None."""
+        for _, path in reversed(self._paths()):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    snapshot = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if validate(snapshot):
+                return snapshot
+        return None
+
+    def horizons(self) -> list[tuple[int, int]]:
+        """``(wal_lsn, replay_lsn)`` of every valid checkpoint on disk,
+        oldest first — the WAL may only be GC'd below the minimum
+        surviving replay horizon."""
+        result = []
+        for _, path in self._paths():
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    snapshot = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if validate(snapshot):
+                result.append((snapshot["wal_lsn"],
+                               snapshot["replay_lsn"]))
+        return result
+
+    def gc(self, keep: int) -> int:
+        """Drop all but the newest *keep* checkpoints; returns the
+        number removed."""
+        paths = self._paths()
+        removed = 0
+        for _, path in paths[:max(0, len(paths) - keep)]:
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

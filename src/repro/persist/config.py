@@ -1,0 +1,101 @@
+"""Configuration for the durable persistence subsystem.
+
+A :class:`PersistenceConfig` handed to :class:`~repro.system.sase
+.SaseSystem` turns on write-ahead logging of the cleaned event stream,
+periodic atomic checkpoints, and exactly-once crash recovery (see
+``docs/persistence.md``).  The default everywhere is *off*: a system
+built without one has zero durability overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PersistenceError
+
+_MODES = ("always", "never", "every_n")
+
+
+@dataclass(frozen=True)
+class FsyncPolicy:
+    """When appended WAL/out-log records reach stable storage.
+
+    * ``always``  — flush and ``fsync`` after every record: survives
+      power loss, slowest.
+    * ``never``   — flush to the OS page cache after every record but
+      never ``fsync``: survives a process SIGKILL (the kernel holds the
+      data), not a machine crash.
+    * ``every_n`` — buffer records in user space and flush + ``fsync``
+      once every *interval* appends: amortizes the syscalls; a crash can
+      lose up to *interval* trailing records, which recovery reconciles
+      by re-reading the deterministic source (see docs).
+    """
+
+    mode: str
+    interval: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise PersistenceError(
+                f"unknown fsync mode {self.mode!r} "
+                f"(use one of {', '.join(_MODES)})")
+        if self.mode == "every_n" and self.interval < 1:
+            raise PersistenceError(
+                f"every_n fsync interval must be >= 1, "
+                f"got {self.interval}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FsyncPolicy":
+        """Parse ``always`` / ``never`` / ``every_n`` / ``every_n:N``."""
+        text = spec.strip().lower()
+        if text.startswith("every_n"):
+            _, _, tail = text.partition(":")
+            if not tail:
+                return cls("every_n")
+            try:
+                return cls("every_n", int(tail))
+            except ValueError:
+                raise PersistenceError(
+                    f"bad fsync interval in {spec!r}; "
+                    f"expected every_n:<count>") from None
+        return cls(text)
+
+
+@dataclass(frozen=True)
+class PersistenceConfig:
+    """Durability settings for one system.
+
+    ``checkpoint_every`` is the number of *live* (non-replayed) events
+    between checkpoints; 0 keeps only the final end-of-stream
+    checkpoint.  ``group_items`` is the WAL's group-commit size — the
+    unit of encode/write amortization and the upper bound on the
+    buffered suffix a crash can drop (recovery reconciles that loss by
+    re-reading the deterministic source).  ``linger_ms`` is how long
+    the ``every_n`` background writer waits for more events before
+    flushing a partial group — the durability latency of an idle
+    stream.  ``crash_after`` is a fault-injection hook for the
+    differential crash tests: the process SIGKILLs itself (taking its
+    worker processes with it) immediately after the Nth WAL append.
+    """
+
+    data_dir: str
+    fsync: FsyncPolicy = field(
+        default_factory=lambda: FsyncPolicy("every_n", 64))
+    checkpoint_every: int = 256
+    keep_checkpoints: int = 2
+    segment_max_bytes: int = 4 * 1024 * 1024
+    group_items: int = 64
+    linger_ms: float = 2.0
+    crash_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise PersistenceError("checkpoint_every must be >= 0")
+        if self.keep_checkpoints < 1:
+            raise PersistenceError("keep_checkpoints must be >= 1")
+        if self.segment_max_bytes < 1:
+            raise PersistenceError("segment_max_bytes must be >= 1")
+        if self.group_items < 1:
+            raise PersistenceError("group_items must be >= 1")
+        if self.linger_ms < 0:
+            raise PersistenceError("linger_ms must be >= 0")

@@ -1,0 +1,167 @@
+"""Record framing and codecs shared by the WAL and the match-output log.
+
+Every record is framed as an 8-byte little-endian header — payload
+length then CRC32 of the payload — followed by the payload bytes.  A
+reader walks frames until the file ends or a frame fails its length or
+checksum test; everything from the first bad frame on is a *torn tail*
+(a crash mid-append) and is truncated away on open.
+
+The WAL frames ``marshal``-encoded groups of event items (see
+:mod:`repro.persist.wal`); the match-output log frames one ``marshal``
+record per delivered match, carrying the producing query's name and the
+composite event's type, interval, attributes, and INTO stream.  Both
+codecs are deterministic — floats round-trip exactly and attribute
+insertion order is preserved — so a byte-level comparison of two logs
+is a semantic comparison of their histories.
+"""
+
+from __future__ import annotations
+
+import marshal
+import os
+import struct
+import zlib
+from typing import Any, Iterator
+
+from repro.events.event import CompositeEvent, Event
+from repro.persist.config import FsyncPolicy
+
+_HEADER = struct.Struct("<II")
+HEADER_BYTES = _HEADER.size
+
+# A frame claiming more than this is corruption, not a record; refusing
+# it keeps a torn length field from triggering a giant allocation.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def frame(payload: bytes) -> bytes:
+    """One framed record: length + CRC32 header, then the payload."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_frames(data: bytes) -> Iterator[tuple[int, bytes]]:
+    """Yield ``(offset, payload)`` for every intact frame in *data*,
+    stopping at the first torn or corrupt one."""
+    offset = 0
+    total = len(data)
+    while offset + HEADER_BYTES <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + HEADER_BYTES + length
+        if length > MAX_RECORD_BYTES or end > total:
+            return
+        payload = data[offset + HEADER_BYTES:end]
+        if zlib.crc32(payload) != crc:
+            return
+        yield offset, payload
+        offset = end
+
+
+def scan_records(path: str) -> tuple[list[bytes], int, int]:
+    """Read every intact record of *path*.
+
+    Returns ``(payloads, valid_end, file_size)``; ``valid_end`` is the
+    offset just past the last intact record (``valid_end < file_size``
+    means the file has a torn tail).  A missing file reads as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    payloads: list[bytes] = []
+    valid_end = 0
+    for offset, payload in iter_frames(data):
+        payloads.append(payload)
+        valid_end = offset + HEADER_BYTES + len(payload)
+    return payloads, valid_end, len(data)
+
+
+def truncate_file(path: str, size: int) -> None:
+    """Cut *path* down to *size* bytes (drop a torn tail)."""
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+
+
+class RecordWriter:
+    """Append-only framed-record file under one fsync policy."""
+
+    def __init__(self, path: str, policy: FsyncPolicy):
+        self.path = path
+        self._policy = policy
+        self._handle = open(path, "ab")
+        self._since_sync = 0
+        self.records = 0
+        self.bytes_written = os.fstat(self._handle.fileno()).st_size
+        self.fsyncs = 0
+
+    def append(self, payload: bytes) -> None:
+        framed = frame(payload)
+        self._handle.write(framed)
+        self.records += 1
+        self.bytes_written += len(framed)
+        mode = self._policy.mode
+        if mode == "always":
+            self._fsync()
+        elif mode == "never":
+            self._handle.flush()
+        else:  # every_n
+            self._since_sync += 1
+            if self._since_sync >= self._policy.interval:
+                self._fsync()
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        self._fsync()
+
+    def _fsync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.fsyncs += 1
+        self._since_sync = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._fsync()
+            self._handle.close()
+
+
+# -- codecs ------------------------------------------------------------------
+
+def event_item(event: Event) -> tuple:
+    """The compact, ``marshal``-serializable WAL item for one cleaned
+    event.  ``marshal`` round-trips ints, floats, and strings exactly
+    and is several times faster than JSON — it is what keeps the WAL
+    write path off the feed path's critical percentiles."""
+    return (event.type, event.timestamp, event.attributes, event.seq)
+
+
+def event_from_item(item: tuple) -> Event:
+    event_type, timestamp, attributes, seq = item
+    return Event(event_type, timestamp, attributes, seq)
+
+
+def encode_match(name: str, result: CompositeEvent) -> bytes:
+    record = {"n": name, "y": result.type, "s": result.start,
+              "e": result.end, "m": result.stream,
+              "a": result.attributes}
+    try:
+        return marshal.dumps(record)
+    except ValueError:
+        # RETURN-less queries carry raw bindings (Event objects, Kleene
+        # lists of them) in their attributes; repr is deterministic, so
+        # byte equality of two out logs still means semantic equality.
+        record["a"] = {key: _marshallable(value)
+                       for key, value in result.attributes.items()}
+        return marshal.dumps(record)
+
+
+def _marshallable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool, bytes, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_marshallable(entry) for entry in value]
+    return repr(value)
+
+
+def decode_match(payload: bytes) -> dict[str, Any]:
+    return marshal.loads(payload)

@@ -252,6 +252,20 @@ class ShardRouter:
         out.extend(cascade)
         return out
 
+    def drain(self) -> list[tuple[str, CompositeEvent]]:
+        """Barrier: seal every open batch and wait out all outstanding
+        responses, emitting the now-complete seqs in order.  Used as a
+        checkpoint fence — afterwards every match for every routed event
+        has been emitted, on any backend.  The stream stays open."""
+        if self._flushed:
+            return []
+        if self._backend is not None:
+            for shard in range(self.config.shards):
+                self._seal(shard)
+            while self._backend.outstanding():
+                self._handle(self._backend.wait())
+        return self._emit_ready()
+
     # -- end of stream --------------------------------------------------------
 
     def flush(self) -> list[tuple[str, CompositeEvent]]:

@@ -105,6 +105,15 @@ class ComplexEventProcessor:
         # per hook when disabled).
         self._tracer: DataflowTracer | None = None
         self._slow_log: SlowFeedLog | None = None
+        # Exactly-once delivery gate (the persistence manager's match
+        # suppression during crash recovery).
+        self._delivery_filter: Callable[[str, CompositeEvent],
+                                        bool] | None = None
+        # Persistence write path, fused into feed() so durability costs
+        # no extra per-event calls in host loops (one None check each
+        # when persistence is off).
+        self._persist_log: Callable[[Event], Any] | None = None
+        self._persist_post: Callable[[], Any] | None = None
 
     @property
     def sharding(self) -> "ShardingConfig | None":
@@ -231,6 +240,9 @@ class ComplexEventProcessor:
         deterministically ordered results that have become complete so far
         (asynchronous backends may emit them on a later feed or at flush).
         """
+        log = self._persist_log
+        if log is not None:
+            log(event)   # WAL-before-processing
         if self._tracer is not None:
             self._tracer.begin(event, stream=stream)
         if self._sharding is not None and self._sharding.active:
@@ -238,9 +250,13 @@ class ComplexEventProcessor:
             emitted = router.feed(event, stream)
         else:
             emitted = self._run_queries(event, stream)
-        for name, result in emitted:
-            self._deliver(self._queries[name], result)
-        return emitted
+        results = self._deliver_all(emitted)
+        post = self._persist_post
+        if post is not None:
+            released = post()   # a due checkpoint's drain barrier
+            if released:
+                results.extend(released)
+        return results
 
     def _run_queries(self, event: Event, stream: str,
                      only: frozenset | set | None = None) \
@@ -409,6 +425,49 @@ class ComplexEventProcessor:
         if registered.on_result is not None:
             registered.on_result(registered.name, result)
 
+    def set_delivery_filter(
+            self, accept: Callable[[str, CompositeEvent],
+                                   bool] | None) -> None:
+        """Install a gate every emitted match must pass to be delivered
+        (callbacks fired, result returned).  The persistence manager
+        uses it to suppress already-durable matches during crash
+        recovery, making restart exactly-once."""
+        self._delivery_filter = accept
+
+    def set_persistence_hooks(
+            self, log: Callable[[Event], Any] | None,
+            post: Callable[[], Any] | None) -> None:
+        """Fuse the durability write path into :meth:`feed`: *log* runs
+        for every live event before it is processed (the WAL append),
+        *post* runs after delivery and returns any matches a due
+        checkpoint's drain barrier released.  The persistence manager
+        installs these after recovery completes — never during replay —
+        and removes them on close."""
+        self._persist_log = log
+        self._persist_post = post
+
+    def _deliver_all(self, emitted: list[tuple[str, CompositeEvent]]) \
+            -> list[tuple[str, CompositeEvent]]:
+        accept = self._delivery_filter
+        if accept is None:
+            for name, result in emitted:
+                self._deliver(self._queries[name], result)
+            return emitted
+        delivered: list[tuple[str, CompositeEvent]] = []
+        for name, result in emitted:
+            if accept(name, result):
+                self._deliver(self._queries[name], result)
+                delivered.append((name, result))
+        return delivered
+
+    def drain(self) -> list[tuple[str, CompositeEvent]]:
+        """Checkpoint barrier: force every in-flight sharded batch to
+        completion and deliver the released results.  A no-op (empty
+        list) on the synchronous runtime."""
+        if self._router is None:
+            return []
+        return self._deliver_all(self._router.drain())
+
     def feed_many(self, events: Iterable[Event]) \
             -> list[tuple[str, CompositeEvent]]:
         produced: list[tuple[str, CompositeEvent]] = []
@@ -427,15 +486,10 @@ class ComplexEventProcessor:
             # The router stays attached after flushing: its own guard
             # makes a later feed fail loudly, matching the classic
             # runtime's "already flushed" behaviour.
-            emitted = self._router.flush()
-            for name, result in emitted:
-                self._deliver(self._queries[name], result)
-            return emitted
+            return self._deliver_all(self._router.flush())
         produced = [(name, result)
                     for name, result, _ in self._flush_queries()]
-        for name, result in produced:
-            self._deliver(self._queries[name], result)
-        return produced
+        return self._deliver_all(produced)
 
     def _flush_queries(self, only: frozenset | set | None = None) \
             -> list[tuple[str, CompositeEvent, int]]:

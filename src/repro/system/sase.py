@@ -28,6 +28,8 @@ from repro.system.processor import ComplexEventProcessor, QueryKind, \
     RegisteredQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.persist.config import PersistenceConfig
+    from repro.persist.manager import RecoveryReport
     from repro.sharding.config import ShardingConfig
 
 
@@ -72,7 +74,8 @@ class SaseSystem:
                  plan_config: PlanConfig | None = None,
                  functions: FunctionRegistry | None = None,
                  event_db: EventDatabase | None = None,
-                 sharding: "ShardingConfig | None" = None):
+                 sharding: "ShardingConfig | None" = None,
+                 persistence: "PersistenceConfig | None" = None):
         self.layout = layout
         self.ons = ons
         self.registry = registry or retail_registry()
@@ -87,20 +90,60 @@ class SaseSystem:
         self._message_formatters: dict[str, Callable[[CompositeEvent],
                                                      str]] = {}
         self._exporter = None
-        self._sync_reference_data()
+        self._sync_reference_data(self.event_db)
+        self.persistence = None
+        if persistence is not None:
+            from repro.persist.manager import PersistenceManager
+            self.persistence = PersistenceManager(persistence, self)
 
-    def _sync_reference_data(self) -> None:
-        """Mirror layout areas and ONS products into the event database so
+    def _sync_reference_data(self, event_db: EventDatabase) -> None:
+        """Mirror layout areas and ONS products into *event_db* so
         RETURN-clause lookups (``_retrieveLocation``) can answer."""
         for area in self.layout.areas.values():
-            self.event_db.register_area(area.area_id, area.kind.value,
-                                        area.description)
+            event_db.register_area(area.area_id, area.kind.value,
+                                   area.description)
         for record in self.ons:
-            self.event_db.register_product(
+            event_db.register_product(
                 record.tag_id, record.product_name,
                 category=record.category, price=record.price,
                 expiration_date=record.expiration_date,
                 saleable=record.saleable)
+
+    # -- persistence hooks ----------------------------------------------------
+
+    def recover(self) -> "RecoveryReport | None":
+        """Run crash recovery against the configured data directory:
+        restore the latest checkpoint, replay the WAL with exactly-once
+        suppression, and re-fire callbacks for the suppressed (already
+        durable) matches so the taps reflect the full history.  Returns
+        the report, or None when persistence is off.  Call after
+        registering queries, before the first live event."""
+        if self.persistence is None:
+            return None
+        report = self.persistence.recover()
+        for name, result in report.suppressed_matches:
+            self.processor._deliver(self.processor.query(name), result)
+        return report
+
+    def adopt_event_db(self, event_db: EventDatabase) -> None:
+        """Swap the live event database (checkpoint restoration).  The
+        system context is shared with every query runtime, so built-in
+        functions see the new database immediately."""
+        self.event_db = event_db
+        self.context.event_db = event_db
+
+    def scratch_event_db(self) -> EventDatabase:
+        """A throwaway database pre-seeded with reference data, used by
+        recovery to absorb archiving-rule writes while warming engines
+        over pre-checkpoint WAL records."""
+        scratch = EventDatabase()
+        self._sync_reference_data(scratch)
+        return scratch
+
+    def on_replayed_event(self, event: Event) -> None:
+        """Recovery observer: replayed events reach the cleaning-output
+        tap just as live ones do."""
+        self.taps.record_events((event,))
 
     # -- query registration ---------------------------------------------------
 
@@ -184,12 +227,22 @@ class SaseSystem:
                               trace_id=-1)
         else:
             events = self.cleaning.process_tick(readings, now)
-        self.taps.record_events(events)
         produced: list[tuple[str, CompositeEvent]] = []
+        persistence = self.persistence
+        fed: list[Event] = []
+        if persistence is not None:
+            # The WAL append and checkpoint cadence are fused into
+            # processor.feed (set_persistence_hooks); this guard is the
+            # per-tick stand-in for the per-event checks they replaced.
+            persistence.require_live()
         for event in events:
+            if persistence is not None and persistence.should_skip(event):
+                continue  # already replayed from the WAL
+            fed.append(event)
             produced.extend(self.processor.feed(event))
-        if self._exporter is not None and events:
-            self._exporter.tick(len(events))
+        self.taps.record_events(fed)
+        if self._exporter is not None and fed:
+            self._exporter.tick(len(fed))
         return produced
 
     def run_simulation(self,
@@ -202,6 +255,11 @@ class SaseSystem:
             produced.extend(self.process_tick(readings, now))
         if flush:
             produced.extend(self.processor.flush())
+            if self.persistence is not None:
+                # End of stream: the flush results above went through
+                # the delivery gate into the out log; seal the run with
+                # a final checkpoint.
+                produced.extend(self.persistence.finalize())
         return produced
 
     # -- ad-hoc database access -------------------------------------------------

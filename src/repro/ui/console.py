@@ -148,6 +148,29 @@ class SaseConsole:
         return Panel("Query Metrics",
                      self._system.processor.metrics.report_lines())
 
+    def persistence_status(self) -> Panel:
+        """A durability panel beyond Figure 3: WAL, checkpoint, and
+        recovery state (only rendered when persistence is on)."""
+        manager = getattr(self._system, "persistence", None)
+        if manager is None:
+            return Panel("Persistence", ["(persistence disabled)"])
+        gauges = manager.gauges()
+        if not gauges.get("opened"):
+            return Panel("Persistence", ["(recovery has not run)"])
+        last = gauges["last_checkpoint_lsn"]
+        lines = [
+            f"wal: {gauges['wal_records']} record(s) in "
+            f"{gauges['wal_segments']} segment(s), "
+            f"{gauges['wal_bytes']} bytes, "
+            f"{gauges['wal_fsyncs']} fsync(s)",
+            f"checkpoints: {gauges['checkpoints_written']} written"
+            + (f", last covers lsn {last}" if last is not None else ""),
+            f"out log: {gauges['out_records']} durable match(es)",
+            f"recovery: {gauges['replayed_events']} event(s) replayed, "
+            f"{gauges['suppressed_matches']} match(es) suppressed",
+        ]
+        return Panel("Persistence", lines)
+
     def dataflow_trace(self, query: str | None = None) -> Panel:
         """The tracer's intermediate-stream view (empty when tracing is
         disabled)."""
@@ -171,6 +194,8 @@ class SaseConsole:
             self.database_report(),
             self.stream_processor_output(),
         ]
+        if getattr(self._system, "persistence", None) is not None:
+            panels.append(self.persistence_status())
         if include_metrics:
             panels.append(self.query_metrics())
         if include_trace:

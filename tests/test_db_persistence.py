@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 import json
+import os
+import signal
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.db import Database, EventDatabase
 from repro.errors import DatabaseError
@@ -98,3 +102,111 @@ class TestEventDatabaseSnapshot:
         plain.dump(path)
         with pytest.raises(DatabaseError, match="missing"):
             EventDatabase.load(path)
+
+
+# Rows over all four SqlTypes; the primary key stays unique and non-NULL,
+# every other column may be NULL.  NaN is excluded (NaN != NaN would make
+# equality assertions vacuous); JSON round-trips everything else exactly.
+_snapshot_rows = st.lists(
+    st.tuples(
+        st.text(max_size=8).filter(lambda s: "\x00" not in s),
+        st.one_of(st.none(),
+                  st.floats(allow_nan=False, allow_infinity=False)),
+        st.one_of(st.none(), st.booleans()),
+    ),
+    max_size=20,
+).map(lambda rows: [(index, text if index % 3 else None, number, flag)
+                    for index, (text, number, flag) in enumerate(rows)])
+
+
+class TestSnapshotProperties:
+    def _build(self, rows) -> Database:
+        database = Database()
+        database.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT, "
+                         "c FLOAT, d BOOL)")
+        database.execute("CREATE INDEX ON t (b)")
+        for row in rows:
+            database.table("t").insert(list(row))
+        return database
+
+    @given(_snapshot_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_snapshot(self, tmp_path_factory, rows):
+        path = str(tmp_path_factory.mktemp("prop") / "snapshot.json")
+        original = self._build(rows)
+        original.dump(path)
+        restored = Database.load(path)
+        assert restored.to_snapshot() == original.to_snapshot()
+
+    @given(_snapshot_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_indexes_answer_after_roundtrip(self, rows):
+        restored = Database.from_snapshot(
+            self._build(rows).to_snapshot())
+        table = restored.table("t")
+        assert table.index_for("a") is not None
+        assert table.index_for("b") is not None
+        for a, b, c, d in rows:
+            got = restored.query(f"SELECT b, c, d FROM t WHERE a = {a}")
+            assert got == [{"b": b, "c": c, "d": d}]
+
+    @given(_snapshot_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_rowids_stay_monotonic_after_reload(self, rows):
+        restored = Database.from_snapshot(
+            self._build(rows).to_snapshot())
+        rowid = restored.table("t").insert([10_000, "new", 0.5, True])
+        assert rowid == len(rows)
+        assert [stored for stored, _ in restored.table("t").rows()] == \
+            list(range(len(rows) + 1))
+
+
+class TestAtomicDump:
+    """A crash or error mid-dump must leave the previous snapshot."""
+
+    def _seed(self, path: str) -> Database:
+        database = Database()
+        database.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1), (2)")
+        database.dump(path)
+        return database
+
+    def test_exception_leaves_original_and_no_temp(self, tmp_path,
+                                                   monkeypatch):
+        path = str(tmp_path / "db.json")
+        original = self._seed(path)
+
+        def partial_then_fail(snapshot, handle, **kwargs):
+            handle.write('{"version": 1, "tab')
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(json, "dump", partial_then_fail)
+        with pytest.raises(RuntimeError):
+            original.dump(path)
+        monkeypatch.undo()
+        assert not os.path.exists(f"{path}.tmp")
+        assert Database.load(path).to_snapshot() == \
+            original.to_snapshot()
+
+    def test_sigkill_mid_write_leaves_original(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        original = self._seed(path)
+        snapshot = original.to_snapshot()
+
+        pid = os.fork()
+        if pid == 0:  # the doomed child: die halfway through the dump
+            def partial_then_die(payload, handle, **kwargs):
+                handle.write('{"version": 1, "tab')
+                handle.flush()
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            json.dump = partial_then_die
+            try:
+                original.dump(path)
+            finally:
+                os._exit(2)  # pragma: no cover - must not be reached
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFSIGNALED(status)
+        assert os.WTERMSIG(status) == signal.SIGKILL
+        # The published snapshot never saw the torn write.
+        assert Database.load(path).to_snapshot() == snapshot

@@ -1,0 +1,72 @@
+"""Tests for atomic checkpoint storage."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.persist import CheckpointStore
+from repro.persist.checkpoint import CHECKPOINT_VERSION, checkpoint_name
+
+
+def snapshot(wal_lsn: int, replay_lsn: int = 0,
+             emitted: int = 0) -> dict:
+    return {"version": CHECKPOINT_VERSION, "wal_lsn": wal_lsn,
+            "emitted": emitted, "replay_lsn": replay_lsn,
+            "db": {"version": 1, "tables": {}}}
+
+
+class TestCheckpointStore:
+    def test_write_latest_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert store.latest() is None
+        store.write(snapshot(10, emitted=3))
+        store.write(snapshot(20, emitted=7))
+        latest = store.latest()
+        assert latest["wal_lsn"] == 20
+        assert latest["emitted"] == 7
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.write(snapshot(10))
+        assert [entry for entry in os.listdir(str(tmp_path))
+                if entry.endswith(".tmp")] == []
+
+    def test_corrupt_latest_falls_back(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.write(snapshot(10, emitted=3))
+        store.write(snapshot(20, emitted=7))
+        path = os.path.join(str(tmp_path), checkpoint_name(20))
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        latest = store.latest()
+        assert latest["wal_lsn"] == 10
+
+    def test_invalid_json_and_wrong_version_skipped(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.write(snapshot(10))
+        with open(os.path.join(str(tmp_path), checkpoint_name(30)),
+                  "w") as handle:
+            handle.write("{not json")
+        with open(os.path.join(str(tmp_path), checkpoint_name(40)),
+                  "w") as handle:
+            json.dump({"version": 99, "wal_lsn": 40}, handle)
+        assert store.latest()["wal_lsn"] == 10
+
+    def test_gc_keeps_newest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for wal_lsn in (10, 20, 30, 40):
+            store.write(snapshot(wal_lsn))
+        assert store.gc(keep=2) == 2
+        remaining = sorted(entry for entry in os.listdir(str(tmp_path)))
+        assert remaining == [checkpoint_name(30), checkpoint_name(40)]
+        assert store.gc(keep=2) == 0
+
+    def test_horizons_lists_valid_checkpoints(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.write(snapshot(10, replay_lsn=4))
+        store.write(snapshot(20, replay_lsn=15))
+        with open(os.path.join(str(tmp_path), checkpoint_name(30)),
+                  "w") as handle:
+            handle.write("garbage")
+        assert store.horizons() == [(10, 4), (20, 15)]

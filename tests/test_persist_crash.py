@@ -1,0 +1,179 @@
+"""Differential SIGKILL crash-recovery tests.
+
+Each case runs the demo as a subprocess with ``--crash-after N`` (a
+hidden fault-injection flag that SIGKILLs the whole process group right
+after the Nth WAL append), re-runs the same command to resume, and
+requires the final match log, event-database checkpoint, and truth
+summary to be *bit-identical* to an uncrashed oracle run — for the
+single-process pipeline and for every sharded backend.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.persist import OUT_LOG, CheckpointStore
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+DEMO_ARGS = [
+    "demo", "--products", "8", "--shoppers", "2", "--shoplifters", "1",
+    "--misplacements", "1", "--seed", "11", "--noise", "mild",
+    "--checkpoint-every", "64", "--fsync", "every_n:8",
+]
+KILLED = (137, -9, -signal.SIGKILL)
+
+
+def run_demo(data_dir: str, *extra: str,
+             timeout: float = 180.0) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    # start_new_session makes the demo a process-group leader, so its
+    # self-inflicted SIGKILL takes any shard worker processes down too.
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *DEMO_ARGS,
+         "--data-dir", data_dir, *extra],
+        env=env, capture_output=True, text=True, timeout=timeout,
+        start_new_session=True)
+
+
+def shard_args(shards: int, backend: str) -> list[str]:
+    if shards == 1 and backend == "inline":
+        return []
+    return ["--shards", str(shards), "--shard-backend", backend]
+
+
+def truth_lines(stdout: str) -> list[str]:
+    return [line for line in stdout.splitlines()
+            if line.startswith(("shoplifted:", "misplaced:"))]
+
+
+def read_out_log(data_dir: str) -> bytes:
+    with open(os.path.join(data_dir, OUT_LOG), "rb") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def oracle(tmp_path_factory):
+    """One uncrashed single-process run: the ground truth every
+    crash+resume combination must reproduce bit for bit."""
+    data_dir = str(tmp_path_factory.mktemp("oracle"))
+    proc = run_demo(data_dir)
+    assert proc.returncode == 0, proc.stderr
+    checkpoint = CheckpointStore(data_dir).latest()
+    assert checkpoint is not None
+    return {
+        "out_log": read_out_log(data_dir),
+        "checkpoint": checkpoint,
+        "truth": truth_lines(proc.stdout),
+        "total_events": checkpoint["wal_lsn"],
+    }
+
+
+def crash_and_resume(data_dir: str, offset: int, extra: list[str],
+                     oracle: dict) -> None:
+    crashed = run_demo(data_dir, "--crash-after", str(offset), *extra)
+    assert crashed.returncode in KILLED, \
+        f"expected a SIGKILL exit, got {crashed.returncode}: " \
+        f"{crashed.stderr}"
+    resumed = run_demo(data_dir, *extra)
+    assert resumed.returncode == 0, resumed.stderr
+    assert read_out_log(data_dir) == oracle["out_log"]
+    final = CheckpointStore(data_dir).latest()
+    assert final["wal_lsn"] == oracle["checkpoint"]["wal_lsn"]
+    assert final["emitted"] == oracle["checkpoint"]["emitted"]
+    assert final["db"] == oracle["checkpoint"]["db"]
+    assert truth_lines(resumed.stdout) == oracle["truth"]
+
+
+@pytest.mark.parametrize("shards,backend", [
+    (1, "inline"), (2, "inline"), (4, "inline"),
+    (1, "thread"), (2, "thread"), (4, "thread"),
+    (1, "process"), (2, "process"), (4, "process"),
+])
+def test_sigkill_recovery_matrix(shards, backend, oracle, tmp_path):
+    """SIGKILL at a pseudo-random offset, then resume: every shard
+    count and backend must converge to the oracle's exact state."""
+    total = oracle["total_events"]
+    offset = random.Random(f"{shards}-{backend}").randint(5, total - 5)
+    crash_and_resume(str(tmp_path), offset, shard_args(shards, backend),
+                     oracle)
+
+
+def test_sigkill_at_many_offsets(oracle, tmp_path):
+    """Sweep crash points across the stream on the single-process
+    pipeline, including immediately after the first append and right
+    before the end."""
+    total = oracle["total_events"]
+    offsets = [1, 63, 64, 65, total // 2, total - 1]
+    for offset in offsets:
+        data_dir = str(tmp_path / f"offset-{offset}")
+        crash_and_resume(data_dir, offset, [], oracle)
+
+
+def test_double_crash(oracle, tmp_path):
+    """A second SIGKILL during the resume itself must still recover."""
+    total = oracle["total_events"]
+    data_dir = str(tmp_path)
+    first = run_demo(data_dir, "--crash-after", str(total // 3))
+    assert first.returncode in KILLED
+    second = run_demo(data_dir, "--crash-after", str(2 * total // 3))
+    assert second.returncode in KILLED
+    crash_and_resume(data_dir, total - 10, [], oracle)
+
+
+def test_rerun_completed_is_noop(oracle, tmp_path):
+    """Re-running over a completed data dir replays everything,
+    suppresses everything, and leaves the directory unchanged."""
+    data_dir = str(tmp_path)
+    assert run_demo(data_dir).returncode == 0
+    before = read_out_log(data_dir)
+    rerun = run_demo(data_dir)
+    assert rerun.returncode == 0
+    assert read_out_log(data_dir) == before == oracle["out_log"]
+    assert truth_lines(rerun.stdout) == oracle["truth"]
+
+
+def test_changed_params_rejected(oracle, tmp_path):
+    """Resuming with different demo parameters must be refused: the
+    WAL-skip contract requires the identical deterministic source."""
+    data_dir = str(tmp_path)
+    first = run_demo(data_dir, "--crash-after", "100")
+    assert first.returncode in KILLED
+    env = dict(os.environ, PYTHONPATH=SRC)
+    wrong = subprocess.run(
+        [sys.executable, "-m", "repro", "demo", "--products", "9",
+         "--shoppers", "2", "--shoplifters", "1", "--misplacements",
+         "1", "--seed", "11", "--noise", "mild", "--data-dir",
+         data_dir],
+        env=env, capture_output=True, text=True, timeout=120,
+        start_new_session=True)
+    assert wrong.returncode != 0
+    assert "products" in wrong.stdout + wrong.stderr
+
+
+def test_recover_command(oracle, tmp_path):
+    """``repro recover`` inspects and seals a crashed directory."""
+    data_dir = str(tmp_path)
+    total = oracle["total_events"]
+    crashed = run_demo(data_dir, "--crash-after", str(total // 2))
+    assert crashed.returncode in KILLED
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "recover", data_dir],
+        env=env, capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "recovered" in proc.stdout
+    # Recover sealed the replayed state under a fresh checkpoint.
+    assert CheckpointStore(data_dir).latest() is not None
+
+
+def test_crash_recovery_smoke(oracle, tmp_path):
+    """The single fast case CI runs on every push."""
+    crash_and_resume(str(tmp_path), oracle["total_events"] // 2, [],
+                     oracle)

@@ -1,0 +1,228 @@
+"""Tests for the segmented write-ahead log and record framing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persist import FsyncPolicy, WriteAheadLog
+from repro.persist.records import HEADER_BYTES, RecordWriter, frame, \
+    scan_records
+
+
+def payloads(n: int) -> list[bytes]:
+    return [f"record-{index}".encode() for index in range(n)]
+
+
+class TestFraming:
+    def test_scan_missing_file(self, tmp_path):
+        records, valid_end, size = scan_records(str(tmp_path / "nope"))
+        assert (records, valid_end, size) == ([], 0, 0)
+
+    def test_scan_roundtrip(self, tmp_path):
+        path = str(tmp_path / "log")
+        with open(path, "wb") as handle:
+            for payload in payloads(5):
+                handle.write(frame(payload))
+        records, valid_end, size = scan_records(path)
+        assert records == payloads(5)
+        assert valid_end == size
+
+    def test_scan_stops_at_torn_tail(self, tmp_path):
+        path = str(tmp_path / "log")
+        with open(path, "wb") as handle:
+            for payload in payloads(3):
+                handle.write(frame(payload))
+            handle.write(frame(b"torn")[:-2])  # crash mid-append
+        records, valid_end, size = scan_records(path)
+        assert records == payloads(3)
+        assert valid_end < size
+
+    def test_scan_stops_at_corrupt_crc(self, tmp_path):
+        path = str(tmp_path / "log")
+        framed = [frame(payload) for payload in payloads(3)]
+        data = bytearray(b"".join(framed))
+        data[len(framed[0]) + HEADER_BYTES] ^= 0xFF  # flip a payload bit
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        records, valid_end, size = scan_records(path)
+        assert records == payloads(1)
+        assert valid_end == len(framed[0]) < size
+
+
+class TestFsyncPolicy:
+    def test_parse(self):
+        assert FsyncPolicy.parse("always").mode == "always"
+        assert FsyncPolicy.parse("never").mode == "never"
+        policy = FsyncPolicy.parse("every_n:7")
+        assert (policy.mode, policy.interval) == ("every_n", 7)
+        assert FsyncPolicy.parse("every_n").interval == 64
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(PersistenceError):
+            FsyncPolicy.parse("sometimes")
+        with pytest.raises(PersistenceError):
+            FsyncPolicy.parse("every_n:0")
+
+    def test_writer_fsync_counts(self, tmp_path):
+        def count(policy: FsyncPolicy) -> int:
+            path = str(tmp_path / f"{policy.mode}{policy.interval}")
+            writer = RecordWriter(path, policy)
+            for payload in payloads(10):
+                writer.append(payload)
+            fsyncs = writer.fsyncs
+            writer.close()
+            return fsyncs
+
+        assert count(FsyncPolicy("always")) == 10
+        assert count(FsyncPolicy("never")) == 0
+        assert count(FsyncPolicy("every_n", 4)) == 2  # at 4 and 8
+
+    def test_buffered_records_readable_after_close(self, tmp_path):
+        path = str(tmp_path / "buffered")
+        writer = RecordWriter(path, FsyncPolicy("every_n", 100))
+        for payload in payloads(5):
+            writer.append(payload)
+        writer.close()
+        records, valid_end, size = scan_records(path)
+        assert records == payloads(5)
+        assert valid_end == size
+
+
+class TestWriteAheadLog:
+    def make(self, tmp_path, segment_max_bytes: int = 4 * 1024 * 1024,
+             policy: FsyncPolicy | None = None,
+             group_items: int = 4) -> WriteAheadLog:
+        # A small group so a handful of appends spans several sealed
+        # frames (and, with a small byte budget, several segments).
+        return WriteAheadLog(str(tmp_path), policy or FsyncPolicy("never"),
+                             segment_max_bytes, group_items=group_items)
+
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = self.make(tmp_path)
+        lsns = [wal.append(payload) for payload in payloads(10)]
+        assert lsns == list(range(10))
+        assert wal.next_lsn == 10
+        assert list(wal.replay()) == list(enumerate(payloads(10)))
+        assert list(wal.replay(from_lsn=7)) == \
+            [(7, b"record-7"), (8, b"record-8"), (9, b"record-9")]
+        wal.close()
+
+    def test_reopen_continues_lsns(self, tmp_path):
+        wal = self.make(tmp_path)
+        for payload in payloads(6):
+            wal.append(payload)
+        wal.close()
+        reopened = self.make(tmp_path)
+        assert reopened.next_lsn == 6
+        assert reopened.append(b"more") == 6
+        assert [lsn for lsn, _ in reopened.replay()] == list(range(7))
+        reopened.close()
+
+    def test_rotation_and_cross_segment_replay(self, tmp_path):
+        wal = self.make(tmp_path, segment_max_bytes=64)
+        for payload in payloads(20):
+            wal.append(payload)
+        assert wal.segment_count > 1
+        assert list(wal.replay()) == list(enumerate(payloads(20)))
+        # from_lsn inside a later segment skips whole earlier segments
+        assert [lsn for lsn, _ in wal.replay(from_lsn=13)] == \
+            list(range(13, 20))
+        wal.close()
+
+    def test_torn_tail_truncated_and_appendable(self, tmp_path):
+        wal = self.make(tmp_path)
+        for payload in payloads(4):
+            wal.append(payload)
+        wal.close()
+        path = os.path.join(str(tmp_path), "00000000.wal")
+        with open(path, "ab") as handle:
+            handle.write(frame(b"torn")[:-3])
+        reopened = self.make(tmp_path)
+        assert reopened.truncated_bytes > 0
+        assert reopened.next_lsn == 4
+        reopened.append(b"after-crash")
+        assert list(reopened.replay()) == \
+            list(enumerate(payloads(4))) + [(4, b"after-crash")]
+        reopened.close()
+
+    def test_corrupt_non_final_segment_rejected(self, tmp_path):
+        wal = self.make(tmp_path, segment_max_bytes=64)
+        for payload in payloads(20):
+            wal.append(payload)
+        assert wal.segment_count >= 3
+        wal.close()
+        segments = sorted(entry for entry in os.listdir(str(tmp_path))
+                          if entry.endswith(".wal"))
+        with open(os.path.join(str(tmp_path), segments[0]), "r+b") \
+                as handle:
+            handle.truncate(os.path.getsize(
+                os.path.join(str(tmp_path), segments[0])) - 1)
+        with pytest.raises(PersistenceError, match="non-final"):
+            self.make(tmp_path)
+
+    def test_missing_middle_segment_rejected(self, tmp_path):
+        wal = self.make(tmp_path, segment_max_bytes=64)
+        for payload in payloads(20):
+            wal.append(payload)
+        assert wal.segment_count >= 3
+        wal.close()
+        segments = sorted(entry for entry in os.listdir(str(tmp_path))
+                          if entry.endswith(".wal"))
+        os.remove(os.path.join(str(tmp_path), segments[1]))
+        with pytest.raises(PersistenceError, match="contiguous"):
+            self.make(tmp_path)
+
+    def test_gc_drops_covered_segments_only(self, tmp_path):
+        wal = self.make(tmp_path, segment_max_bytes=64)
+        for payload in payloads(20):
+            wal.append(payload)
+        before = wal.segment_count
+        assert wal.gc(below_lsn=0) == 0
+        removed = wal.gc(below_lsn=13)
+        assert removed > 0
+        assert wal.segment_count == before - removed
+        assert wal.oldest_lsn > 0
+        # Records at and above the horizon all survive.
+        assert [lsn for lsn, _ in wal.replay(from_lsn=13)] == \
+            list(range(13, 20))
+        # The active segment is never removed, whatever the horizon.
+        wal.gc(below_lsn=10_000)
+        assert wal.segment_count >= 1
+        assert wal.append(b"still-writable") == 20
+        wal.close()
+
+    def test_fsyncs_accumulate_across_rotation(self, tmp_path):
+        wal = self.make(tmp_path, segment_max_bytes=64,
+                        policy=FsyncPolicy("always"))
+        for payload in payloads(12):
+            wal.append(payload)
+        assert wal.segment_count > 1
+        assert wal.fsyncs >= 12
+        wal.close()
+
+    def test_group_buffering_defers_writes(self, tmp_path):
+        wal = self.make(tmp_path, group_items=8)
+        path = os.path.join(str(tmp_path), "00000000.wal")
+        for payload in payloads(7):
+            wal.append(payload)
+        assert os.path.getsize(path) == 0   # group still open
+        wal.append(b"record-7")             # eighth item seals the group
+        assert os.path.getsize(path) > 0
+        # replay() and close() both seal, so an open group is never lost
+        # to an orderly shutdown — only to a crash.
+        wal.append(b"tail")
+        assert list(wal.replay(from_lsn=8)) == [(8, b"tail")]
+        wal.close()
+        reopened = self.make(tmp_path)
+        assert reopened.next_lsn == 9
+        reopened.close()
+
+    def test_empty_directory(self, tmp_path):
+        wal = self.make(tmp_path)
+        assert wal.next_lsn == 0
+        assert list(wal.replay()) == []
+        assert wal.segment_count == 1
+        wal.close()
