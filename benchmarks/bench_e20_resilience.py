@@ -1,0 +1,279 @@
+"""E20 — resilience: idle-feature overhead, shedding at 2x capacity.
+
+The resilience layer (``repro.resilience``) is opt-in and must be close
+to free when armed but idle: chaos is a None injector, quarantine is one
+validation pass per reading, supervision is one breaker check per batch.
+This experiment pins both halves of that bargain:
+
+* **E20a — idle overhead.**  The retail demo scenario runs bare and
+  then with ``ResilienceConfig()`` attached (quarantine on, chaos off,
+  supervision armed but never triggered).  Interleaved min-of-rounds —
+  a scheduler hiccup cannot fake a regression — and the overhead is
+  asserted ≤ 5 %.  A second table reports the sharded thread backend
+  with supervision idle, where the breaker check and hang-deadline
+  bookkeeping ride the batch path (reported, not asserted: thread
+  scheduling noise on small runs dwarfs the cost being measured).
+* **E20b — shedding-policy throughput at 2x capacity.**  Workers are
+  slowed with ``worker.slow`` chaos and the feed is paced at twice the
+  resulting service rate.  ``block`` (the default) preserves every
+  event and runs at service rate; the dropping policies shed the
+  overload and track the arrival rate instead.  The run asserts the
+  policy contract: ``block`` sheds nothing, every dropping policy
+  sheds, and every run terminates with results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.resilience import ResilienceConfig
+from repro.rfid import NoiseModel
+from repro.sharding import ShardingConfig
+from repro.system import ComplexEventProcessor, SaseSystem
+from repro.workloads import (
+    MISPLACED_INVENTORY_QUERY,
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+)
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+from common import print_table
+
+# The asserted E20a ratio compares two ~equal runs whose true delta is
+# well under the budget; min-of-many interleaved rounds is what makes
+# the measurement reliable on a busy (or single-core) host.
+FULL_ROUNDS = 10
+SMOKE_ROUNDS = 8
+FULL_RETAIL = RetailConfig(n_products=60, n_shoppers=20,
+                           n_shoplifters=5, n_misplacements=5, seed=7)
+SMOKE_RETAIL = RetailConfig(n_products=20, n_shoppers=6,
+                            n_shoplifters=2, n_misplacements=2, seed=7)
+FULL_SHARDED_EVENTS = 8_000
+SMOKE_SHARDED_EVENTS = 1_500
+FULL_SHED_EVENTS = 500
+SMOKE_SHED_EVENTS = 150
+
+#: Acceptance budget: resilience armed-but-idle may cost at most 5%.
+MAX_DISABLED_OVERHEAD = 1.05
+
+#: Per-batch worker slowdown for the shedding experiment (seconds).
+SLOW_BATCH_SECONDS = 0.02
+#: Batch size for the shedding experiment.  Must be > 1 so that shed
+#: events coalesce into the open batch's trailing watermark — with
+#: one-event batches every shed event would still cost the slowed
+#: worker a full batch (as a watermark batch) and no throughput could
+#: be reclaimed by shedding.
+SHED_BATCH = 4
+SHED_SHARDS = 2
+
+SHED_POLICIES = ["block", "drop-newest", "drop-oldest", "sample:0.25"]
+
+
+# -- E20a: idle overhead ------------------------------------------------------
+
+def run_retail(ticks, scenario, resilience) -> tuple[float, int]:
+    system = SaseSystem(scenario.layout, scenario.ons,
+                        resilience=resilience)
+    system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
+    system.register_monitoring_query("misplaced",
+                                     MISPLACED_INVENTORY_QUERY)
+    results = 0
+    started = time.perf_counter()
+    for now, readings in ticks:
+        results += len(system.process_tick(readings, now))
+    results += len(system.processor.flush())
+    elapsed = time.perf_counter() - started
+    system.close()
+    return elapsed, results
+
+
+def measure_idle_overhead(retail: RetailConfig, rounds: int) \
+        -> tuple[list, float, int]:
+    scenario = RetailScenario.generate(retail)
+    ticks = list(scenario.ticks(NoiseModel.perfect()))
+    n_readings = sum(len(readings) for _, readings in ticks)
+    variants = {"bare": None, "idle resilience": ResilienceConfig()}
+    best = {name: float("inf") for name in variants}
+    counts = {}
+    # Host noise only ever adds time, so min-of-interleaved-rounds is
+    # the robust estimator of the true cost; when the first batch of
+    # rounds still lands over budget (a noise burst hit one variant's
+    # every round), escalate with more rounds before concluding.
+    for attempt in range(3):
+        for _ in range(rounds):
+            for name, resilience in variants.items():   # interleaved
+                elapsed, counts[name] = run_retail(ticks, scenario,
+                                                   resilience)
+                best[name] = min(best[name], elapsed)
+        if best["idle resilience"] / best["bare"] <= \
+                MAX_DISABLED_OVERHEAD:
+            break
+    assert len(set(counts.values())) == 1, \
+        "idle resilience changed the result count"
+    ratio = best["idle resilience"] / best["bare"]
+    rows = [[name, n_readings / best[name],
+             best[name] / best["bare"], counts[name]]
+            for name in variants]
+    return rows, ratio, n_readings
+
+
+def run_sharded(stream, resilience) -> tuple[float, int]:
+    processor = ComplexEventProcessor(
+        stream.registry,
+        sharding=ShardingConfig(shards=2, backend="thread",
+                                batch_size=64),
+        resilience=resilience)
+    processor.register("pair",
+                       seq_query(2, window=30.0, partitioned=True))
+    processor.register("triple",
+                       seq_query(3, window=30.0, partitioned=True))
+    results = 0
+    started = time.perf_counter()
+    for event in stream.events:
+        results += len(processor.feed(event))
+    results += len(processor.flush())
+    elapsed = time.perf_counter() - started
+    processor.close()
+    return elapsed, results
+
+
+def measure_supervised_overhead(n_events: int, rounds: int) \
+        -> tuple[list, float]:
+    stream = SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, mean_gap=1.0,
+        seed=15))
+    variants = {"sharded bare": None,
+                "sharded + idle supervision": ResilienceConfig()}
+    best = {name: float("inf") for name in variants}
+    counts = {}
+    for _ in range(rounds):
+        for name, resilience in variants.items():
+            elapsed, results = run_sharded(stream, resilience)
+            best[name] = min(best[name], elapsed)
+            counts[name] = results
+    assert len(set(counts.values())) == 1, \
+        "idle supervision changed the result count"
+    ratio = best["sharded + idle supervision"] / best["sharded bare"]
+    rows = [[name, n_events / best[name],
+             best[name] / best["sharded bare"], counts[name]]
+            for name in variants]
+    return rows, ratio
+
+
+# -- E20b: shedding throughput at 2x capacity ---------------------------------
+
+def run_shedding(stream, policy: str) -> tuple[float, int, int, int]:
+    """Paced feed (arrivals at 2x the slowed service rate) under one
+    shedding policy; returns (elapsed, results, shed, lost)."""
+    processor = ComplexEventProcessor(
+        stream.registry,
+        sharding=ShardingConfig(shards=SHED_SHARDS, backend="thread",
+                                batch_size=SHED_BATCH,
+                                queue_capacity=1,
+                                response_timeout=120.0),
+        resilience=ResilienceConfig(
+            chaos=f"worker.slow:{SLOW_BATCH_SECONDS}", chaos_seed=7,
+            shedding=policy, hang_timeout=3600.0))
+    processor.register("pair",
+                       seq_query(2, window=30.0, partitioned=True))
+    # Each shard serves one batch per SLOW_BATCH_SECONDS, so the
+    # aggregate service rate is shards * batch / SLOW; pacing arrivals
+    # at twice that is the "2x capacity" offered load.
+    service_rate = SHED_SHARDS * SHED_BATCH / SLOW_BATCH_SECONDS
+    gap = 1.0 / (2.0 * service_rate)
+    results = 0
+    started = time.perf_counter()
+    for index, event in enumerate(stream.events):
+        results += len(processor.feed(event))
+        target = started + (index + 1) * gap
+        remaining = target - time.perf_counter()
+        if remaining > 0:
+            time.sleep(remaining)
+    results += len(processor.flush())
+    elapsed = time.perf_counter() - started
+    shards = processor.metrics.shards.values()
+    shed = sum(shard.events_shed for shard in shards)
+    lost = sum(shard.events_lost for shard in shards)
+    processor.close()
+    return elapsed, results, shed, lost
+
+
+def measure_shedding(n_events: int) -> list:
+    stream = SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, mean_gap=1.0,
+        seed=15))
+    rows = []
+    for policy in SHED_POLICIES:
+        elapsed, results, shed, lost = run_shedding(stream, policy)
+        assert lost == 0, f"{policy}: shedding must not lose shards"
+        if policy == "block":
+            assert shed == 0, "the block policy must never shed"
+        else:
+            assert shed > 0, \
+                f"{policy} shed nothing at 2x offered load"
+        rows.append([policy, n_events / elapsed, shed,
+                     f"{shed / n_events:.1%}", results])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="resilience overhead and shedding experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (seconds)")
+    args = parser.parse_args(argv)
+    rounds = SMOKE_ROUNDS if args.smoke else FULL_ROUNDS
+    retail = SMOKE_RETAIL if args.smoke else FULL_RETAIL
+    sharded_events = SMOKE_SHARDED_EVENTS if args.smoke \
+        else FULL_SHARDED_EVENTS
+    shed_events = SMOKE_SHED_EVENTS if args.smoke else FULL_SHED_EVENTS
+
+    rows, ratio, n_readings = measure_idle_overhead(retail, rounds)
+    print_table(
+        f"E20a — idle resilience overhead (retail demo, {n_readings} "
+        f"readings, quarantine validation armed, chaos off, min of "
+        f"{rounds})",
+        ["configuration", "readings/s", "vs bare", "results"],
+        rows)
+    print(f"idle-resilience overhead: {(ratio - 1) * 100:+.1f}% "
+          f"(budget {(MAX_DISABLED_OVERHEAD - 1) * 100:.0f}%)")
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"idle resilience costs {ratio:.3f}x, budget is "
+        f"{MAX_DISABLED_OVERHEAD}x")
+
+    sup_rows, sup_ratio = measure_supervised_overhead(sharded_events,
+                                                      rounds)
+    print_table(
+        f"E20a' — idle supervision on the thread backend "
+        f"({sharded_events} events, 2 shards, min of {rounds}; "
+        f"reported, not asserted — thread scheduling noise)",
+        ["configuration", "events/s", "vs bare", "results"],
+        sup_rows)
+    print(f"idle-supervision overhead: {(sup_ratio - 1) * 100:+.1f}%")
+
+    shed_rows = measure_shedding(shed_events)
+    print_table(
+        f"E20b — shedding policies at 2x capacity ({shed_events} "
+        f"events, workers slowed {SLOW_BATCH_SECONDS * 1e3:g} ms/"
+        f"batch, arrivals paced at twice the service rate)",
+        ["policy", "events/s", "shed", "shed %", "results"],
+        shed_rows)
+    print("block preserved every event at service rate; dropping "
+          "policies tracked the arrival rate by shedding the surplus "
+          "(watermark-safely: shed events still advance stream time)")
+
+
+def test_benchmark_idle_resilience(benchmark):
+    scenario = RetailScenario.generate(SMOKE_RETAIL)
+    ticks = list(scenario.ticks(NoiseModel.perfect()))
+    result = benchmark.pedantic(
+        lambda: run_retail(ticks, scenario, ResilienceConfig()),
+        rounds=3, iterations=1)
+    assert result[1] >= 0
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ EXPERIMENTS = [
     ("E17", "bench_e17_multiquery_scaling"),
     ("E18", "bench_e18_observability_overhead"),
     ("E19", "bench_e19_persistence"),
+    ("E20", "bench_e20_resilience"),
 ]
 
 

@@ -71,8 +71,11 @@ def main(argv: Sequence[str] | None = None,
     try:
         args.handler(args, out)
     except SaseError as exc:
+        # Usage-class failures (malformed query, bad --chaos spec,
+        # mismatched manifest): one line, exit 2 — the argparse
+        # convention — never a traceback.
         print(f"error: {exc}", file=out)
-        return 1
+        return 2
     except OSError as exc:
         print(f"error: {exc}", file=out)
         return 1
@@ -117,6 +120,20 @@ def _build_parser() -> argparse.ArgumentParser:
     # Fault injection for the differential crash tests: SIGKILL the
     # whole process group right after the Nth WAL append.
     demo.add_argument("--crash-after", type=int, help=argparse.SUPPRESS)
+    demo.add_argument("--chaos", metavar="SPEC",
+                      help="deterministic fault injection, e.g. "
+                           "'ingest.corrupt=0.02,worker.crash@40' "
+                           "(see docs/resilience.md for the grammar)")
+    demo.add_argument("--chaos-seed", type=int, default=0,
+                      help="seed for the chaos schedule (default: 0)")
+    demo.add_argument("--dead-letter", metavar="PATH",
+                      help="persist quarantined readings to a JSON-lines "
+                           "dead-letter file (inspect/replay with "
+                           "'repro deadletter')")
+    demo.add_argument("--shed", default="block", metavar="POLICY",
+                      help="overload policy for full shard queues: "
+                           "block (default, lossless), drop-newest, "
+                           "drop-oldest, or sample:P")
     demo.add_argument("--trace", type=int, metavar="TAG",
                       help="print the movement history of one tag")
     demo.add_argument("--metrics-out", metavar="PATH",
@@ -193,6 +210,19 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--window", type=float, default=30.0)
     bench.set_defaults(handler=_cmd_bench)
 
+    deadletter = commands.add_parser(
+        "deadletter", help="inspect or replay a dead-letter file "
+                           "written by 'demo --dead-letter'")
+    deadletter.add_argument("action", choices=("list", "replay"))
+    deadletter.add_argument("path", metavar="PATH")
+    deadletter.add_argument("--limit", type=int, default=20,
+                            help="list: show at most N records "
+                                 "(default: 20)")
+    deadletter.add_argument("--rewrite", action="store_true",
+                            help="replay: rewrite PATH keeping only the "
+                                 "records that still fail validation")
+    deadletter.set_defaults(handler=_cmd_deadletter)
+
     return parser
 
 
@@ -200,16 +230,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 _DEMO_PARAM_KEYS = ("seed", "noise", "products", "shoppers",
                     "shoplifters", "misplacements", "shards",
-                    "shard_backend")
+                    "shard_backend", "chaos", "chaos_seed", "shed")
+# Keys added after a data directory format already existed: manifests
+# written by older runs lack them, so comparison fills in the defaults.
+_DEMO_PARAM_DEFAULTS = {"chaos": None, "chaos_seed": 0, "shed": "block"}
 _MANIFEST_NAME = "manifest.json"
 
 
 def _demo_params(args: argparse.Namespace) -> dict[str, Any]:
-    return {key: getattr(args, key) for key in _DEMO_PARAM_KEYS}
+    return {key: getattr(args, key, _DEMO_PARAM_DEFAULTS.get(key))
+            for key in _DEMO_PARAM_KEYS}
 
 
 def _build_demo_system(params: dict[str, Any],
-                       persistence: PersistenceConfig | None = None) \
+                       persistence: PersistenceConfig | None = None,
+                       dead_letter_path: str | None = None) \
         -> tuple[RetailScenario, SaseSystem]:
     """The retail demo stack, reconstructible from a manifest: scenario,
     system, and the standard query/rule set."""
@@ -221,8 +256,18 @@ def _build_demo_system(params: dict[str, Any],
     if params["shards"] != 1 or params["shard_backend"] != "inline":
         sharding = ShardingConfig(shards=params["shards"],
                                   backend=params["shard_backend"])
+    resilience = None
+    if params.get("chaos") or dead_letter_path \
+            or params.get("shed", "block") != "block":
+        from repro.resilience import ResilienceConfig
+        resilience = ResilienceConfig(
+            chaos=params.get("chaos"),
+            chaos_seed=params.get("chaos_seed", 0),
+            dead_letter_path=dead_letter_path,
+            shedding=params.get("shed", "block"))
     system = SaseSystem(scenario.layout, scenario.ons,
-                        sharding=sharding, persistence=persistence)
+                        sharding=sharding, persistence=persistence,
+                        resilience=resilience)
     system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
     system.register_monitoring_query("misplaced",
                                      MISPLACED_INVENTORY_QUERY)
@@ -243,6 +288,7 @@ def _check_manifest(data_dir: str, params: dict[str, Any]) -> None:
     if os.path.exists(path):
         with open(path, encoding="utf-8") as handle:
             recorded = json.load(handle)
+        recorded = {**_DEMO_PARAM_DEFAULTS, **recorded}
         if recorded != params:
             changed = sorted(key for key in set(recorded) | set(params)
                              if recorded.get(key) != params.get(key))
@@ -263,7 +309,7 @@ def _read_manifest(data_dir: str) -> dict[str, Any]:
         raise SaseError(f"{data_dir}: no {_MANIFEST_NAME}; not a demo "
                         f"data directory")
     with open(path, encoding="utf-8") as handle:
-        return json.load(handle)
+        return {**_DEMO_PARAM_DEFAULTS, **json.load(handle)}
 
 
 def _print_persistence_summary(system: SaseSystem, report,
@@ -289,6 +335,24 @@ def _print_persistence_summary(system: SaseSystem, report,
           file=out)
 
 
+def _print_resilience_summary(system: SaseSystem, out: TextIO) -> None:
+    print("\nresilience:", file=out)
+    injector = system.injector
+    if injector is not None:
+        injected = {site: count for site, count
+                    in sorted(injector.injected.items()) if count}
+        described = ", ".join(f"{site} x{count}" for site, count
+                              in injected.items()) or "none fired"
+        print(f"  chaos: {described}", file=out)
+    if system.dead_letters is not None:
+        where = system.dead_letters.path or "in memory"
+        print(f"  dead letters: {len(system.dead_letters)} record(s) "
+              f"({where})", file=out)
+    degraded = getattr(system.processor, "degraded", False)
+    print(f"  degraded: {'yes — results may be incomplete' if degraded else 'no'}",
+          file=out)
+
+
 def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
     params = _demo_params(args)
     persistence = None
@@ -301,7 +365,8 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
             crash_after=args.crash_after)
     elif args.crash_after is not None:
         raise SaseError("--crash-after requires --data-dir")
-    scenario, system = _build_demo_system(params, persistence)
+    scenario, system = _build_demo_system(
+        params, persistence, dead_letter_path=args.dead_letter)
     if args.trace_out:
         system.enable_tracing()
     report = system.recover() if persistence is not None else None
@@ -337,6 +402,8 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
                   file=out)
     if system.persistence is not None:
         _print_persistence_summary(system, report, out)
+    if system.resilience is not None:
+        _print_resilience_summary(system, out)
     if args.metrics_out:
         exporter = MetricsExporter(system.processor, args.metrics_out,
                                    persistence=system.persistence)
@@ -347,6 +414,7 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
         count = system.processor.tracer.dump_jsonl(args.trace_out)
         print(f"{count} trace span(s) written to {args.trace_out}",
               file=out)
+    system.close()
 
 
 def _cmd_recover(args: argparse.Namespace, out: TextIO) -> None:
@@ -505,6 +573,60 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> None:
             print(f"[{composite.start:g}, {composite.end:g}] {attrs}",
                   file=out)
     print(f"-- {total} result(s) over {len(events)} event(s)", file=out)
+
+
+def _cmd_deadletter(args: argparse.Namespace, out: TextIO) -> None:
+    from repro.resilience import DeadLetterQueue, validate_reading
+    from repro.rfid.simulator import RawReading
+
+    if not os.path.exists(args.path):
+        raise SaseError(f"{args.path}: no such dead-letter file")
+    records = DeadLetterQueue.load(args.path)
+    if args.action == "list":
+        print(f"{len(records)} dead-letter record(s) in {args.path}",
+              file=out)
+        for record in records[:args.limit]:
+            when = "?" if record.ingest_time is None \
+                else f"{record.ingest_time:g}"
+            payload = json.dumps(record.payload, sort_keys=True,
+                                 default=repr)
+            print(f"  [{record.stage}] {record.error_type}: "
+                  f"{record.error} @ t={when} payload={payload}",
+                  file=out)
+        if len(records) > args.limit:
+            print(f"  ... {len(records) - args.limit} more "
+                  f"(--limit to raise)", file=out)
+        return
+
+    # replay: re-validate each quarantined reading.  Records that pass
+    # now (e.g. after an upstream fix changed what gets quarantined)
+    # are printed as JSON lines ready to re-ingest; the rest stay dead.
+    recovered = 0
+    still_dead = []
+    for record in records:
+        payload = record.payload
+        reading = None
+        if isinstance(payload, dict) and \
+                set(payload) >= {"epc", "reader_id", "time"}:
+            try:
+                reading = RawReading(epc=payload["epc"],
+                                     reader_id=payload["reader_id"],
+                                     time=payload["time"])
+            except (TypeError, ValueError):
+                reading = None
+        if reading is not None and validate_reading(reading) is None:
+            recovered += 1
+            print(json.dumps({"epc": reading.epc,
+                              "reader_id": reading.reader_id,
+                              "time": reading.time}), file=out)
+        else:
+            still_dead.append(record)
+    print(f"-- replayed {len(records)} record(s): {recovered} valid "
+          f"again, {len(still_dead)} still dead", file=out)
+    if args.rewrite:
+        DeadLetterQueue.rewrite(args.path, still_dead)
+        print(f"-- rewrote {args.path} with {len(still_dead)} "
+              f"record(s)", file=out)
 
 
 def _cmd_bench(args: argparse.Namespace, out: TextIO) -> None:

@@ -77,6 +77,11 @@ class PersistenceError(SaseError):
     unrecoverable inconsistency or was misused."""
 
 
+class ResilienceError(SaseError):
+    """The resilience layer (chaos spec, shedding policy, supervisor)
+    was misconfigured."""
+
+
 class CleaningError(SaseError):
     """A cleaning-layer invariant was violated."""
 

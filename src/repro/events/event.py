@@ -103,7 +103,8 @@ class CompositeEvent:
     event in the match, and ``start`` / ``end`` give the matched interval.
     """
 
-    __slots__ = ("type", "attributes", "bindings", "start", "end", "stream")
+    __slots__ = ("type", "attributes", "bindings", "start", "end", "stream",
+                 "complete")
 
     def __init__(self, type: str, attributes: Mapping[str, Any],
                  bindings: Mapping[str, Any], start: float, end: float,
@@ -114,6 +115,10 @@ class CompositeEvent:
         self.start = start
         self.end = end
         self.stream = stream
+        # Completeness flag (resilience layer): False marks a match
+        # emitted in degraded mode — a shard was lost, so partner events
+        # may be missing.  Deliberately excluded from ``__eq__``.
+        self.complete = True
 
     @property
     def timestamp(self) -> float:

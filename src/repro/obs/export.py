@@ -63,6 +63,14 @@ _SHARD_COUNTERS = (
      "Times the shard's worker was restarted"),
     ("sase_shard_batches_replayed_total", "batches_replayed",
      "Batches replayed after a worker restart"),
+    ("sase_shard_worker_hangs_total", "worker_hangs",
+     "Hang detections that triggered worker recovery"),
+    ("sase_shard_events_shed_total", "events_shed",
+     "Events shed by the overload policy (watermark-converted)"),
+    ("sase_shard_events_lost_total", "events_lost",
+     "Events lost when the shard's circuit breaker opened"),
+    ("sase_shard_breaker_opens_total", "breaker_opens",
+     "Circuit-breaker open transitions for the shard"),
 )
 _PLAN_GAUGES = (
     ("sase_plan_stack_instances_high_water", "stack_high_water",

@@ -17,6 +17,8 @@ import os
 import re
 from typing import Any
 
+from repro.resilience.retry import retry_call
+
 CHECKPOINT_VERSION = 1
 _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{8,})\.ckpt$")
 _REQUIRED_KEYS = ("version", "wal_lsn", "emitted", "replay_lsn", "db")
@@ -35,8 +37,12 @@ def validate(snapshot: Any) -> bool:
 class CheckpointStore:
     """Write/read/garbage-collect the checkpoints of one data dir."""
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, injector=None):
         self.directory = directory
+        # With a FaultInjector armed for ``db.dump``, checkpoint writes
+        # go through retry_call so a transient (or injected) OSError
+        # yields a retried — still atomic — dump rather than a crash.
+        self._injector = injector
         os.makedirs(directory, exist_ok=True)
 
     def _paths(self) -> list[tuple[int, str]]:
@@ -55,11 +61,12 @@ class CheckpointStore:
                             checkpoint_name(snapshot["wal_lsn"]))
         temp_path = f"{path}.tmp"
         try:
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                json.dump(snapshot, handle, separators=(",", ":"))
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(temp_path, path)
+            if self._injector is None:
+                self._dump(snapshot, temp_path, path)
+            else:
+                retry_call(lambda: self._dump(snapshot, temp_path, path),
+                           retry_on=(OSError,), base_delay=0.001,
+                           max_delay=0.02)
         except BaseException:
             try:
                 os.remove(temp_path)
@@ -68,6 +75,18 @@ class CheckpointStore:
             raise
         self._sync_directory()
         return path
+
+    def _dump(self, snapshot: dict, temp_path: str, path: str) -> None:
+        # Injection happens before any byte is written: a retried dump
+        # rewrites the temp file from scratch and the os.replace stays
+        # atomic, so partial state can never become visible.
+        if self._injector is not None:
+            self._injector.maybe_raise("db.dump")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
 
     def _sync_directory(self) -> None:
         # Make the rename itself durable (best effort; some filesystems

@@ -82,9 +82,14 @@ class PersistenceManager:
     may expose ``on_replayed_event(event)`` to observe replays.
     """
 
-    def __init__(self, config: PersistenceConfig, host: Any):
+    def __init__(self, config: PersistenceConfig, host: Any,
+                 injector=None):
         self.config = config
         self._host = host
+        # Optional FaultInjector for the ``wal.write``/``wal.fsync``/
+        # ``db.dump`` chaos sites; threaded into the WAL and the
+        # checkpoint store, which retry transient OSErrors when armed.
+        self._injector = injector
         self._processor = host.processor
         self._wal: WriteAheadLog | None = None
         self._out: RecordWriter | None = None
@@ -128,11 +133,13 @@ class PersistenceManager:
             raise PersistenceError("recover() may only run once")
         started = time.perf_counter()
         directory = self.config.data_dir
-        self._store = CheckpointStore(directory)
+        self._store = CheckpointStore(directory,
+                                      injector=self._injector)
         self._wal = WriteAheadLog(
             directory, self.config.fsync, self.config.segment_max_bytes,
             group_items=self.config.group_items,
-            linger_seconds=self.config.linger_ms / 1000.0)
+            linger_seconds=self.config.linger_ms / 1000.0,
+            injector=self._injector)
         out_path = os.path.join(directory, OUT_LOG)
         durable_payloads, valid_end, size = scan_records(out_path)
         if valid_end < size:

@@ -53,6 +53,7 @@ from typing import Any, Callable, Iterator
 
 from repro.errors import PersistenceError
 from repro.persist.config import FsyncPolicy
+from repro.resilience.retry import retry_call
 from repro.persist.records import HEADER_BYTES, frame, iter_frames
 
 _SEGMENT_RE = re.compile(r"^(\d{8,})\.wal$")
@@ -77,9 +78,16 @@ class WriteAheadLog:
     def __init__(self, directory: str, policy: FsyncPolicy,
                  segment_max_bytes: int = 4 * 1024 * 1024,
                  group_items: int = GROUP_ITEMS,
-                 linger_seconds: float = LINGER_SECONDS):
+                 linger_seconds: float = LINGER_SECONDS,
+                 injector=None):
         self.directory = directory
         self._policy = policy
+        # Resilience: a FaultInjector arms the ``wal.write``/``wal.fsync``
+        # chaos sites, and armed paths go through retry_call (transient
+        # OSErrors are retried with backoff).  None keeps the hot path
+        # exactly as before — not even a branch is added, because the
+        # helpers below special-case it first.
+        self._injector = injector
         self._segment_max_bytes = segment_max_bytes
         self._linger = linger_seconds
         self._mode = policy.mode
@@ -205,15 +213,15 @@ class WriteAheadLog:
             items = pending
             on_seal, last = None, None
         framed = frame(marshal.dumps(items))
-        self._handle.write(framed)
+        self._write_bytes(framed)
         self._segment_bytes += len(framed)
         if self._mode == "always":
-            os.fsync(self._fd)
+            self._fsync_fd()
             self.fsyncs += 1
         elif self._mode == "every_n":
             self._seals_since_fsync += 1
             if self._seals_since_fsync >= self._seals_per_fsync:
-                os.fsync(self._fd)
+                self._fsync_fd()
                 self.fsyncs += 1
                 self._seals_since_fsync = 0
         pending.clear()
@@ -303,7 +311,7 @@ class WriteAheadLog:
         self._segments[-1][2] += count
         self.next_lsn += count
         data = frame(marshal.dumps(self._extract(events)))
-        os.write(self._fd, data)
+        self._write_bytes(data)
         self._segment_bytes += len(data)
         self._seals_since_fsync += 1
         if self._seals_since_fsync >= self._seals_per_fsync and \
@@ -313,7 +321,7 @@ class WriteAheadLog:
             # so a long queued tail drains at write speed, not at one
             # journal commit per group.
             try:
-                os.fsync(self._fd)
+                self._fsync_fd()
             except OSError:  # pragma: no cover - fd closed mid-GC
                 pass
             self.fsyncs += 1
@@ -358,6 +366,33 @@ class WriteAheadLog:
         self._fd = self._handle.fileno()
         self._segment_bytes = 0
 
+    def _write_bytes(self, data: bytes) -> None:
+        """One frame write; with an injector armed, transient (and
+        injected) OSErrors are retried *before* any bytes land, so a
+        retry can never duplicate a frame."""
+        injector = self._injector
+        if injector is None:
+            os.write(self._fd, data)
+            return
+
+        def attempt():
+            injector.maybe_raise("wal.write")
+            os.write(self._fd, data)
+        retry_call(attempt, retry_on=(OSError,), base_delay=0.001,
+                   max_delay=0.02)
+
+    def _fsync_fd(self) -> None:
+        injector = self._injector
+        if injector is None:
+            os.fsync(self._fd)
+            return
+
+        def attempt():
+            injector.maybe_raise("wal.fsync")
+            os.fsync(self._fd)
+        retry_call(attempt, retry_on=(OSError,), base_delay=0.001,
+                   max_delay=0.02)
+
     def sync(self) -> None:
         """Barrier: seal the open group, drain the background writer,
         and fsync synchronously — afterwards every appended item is on
@@ -366,7 +401,7 @@ class WriteAheadLog:
         try:
             self._seal()
             self._drain_writer()
-            os.fsync(self._fd)
+            self._fsync_fd()
             self.fsyncs += 1
             self._seals_since_fsync = 0
         finally:

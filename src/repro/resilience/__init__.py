@@ -1,0 +1,20 @@
+"""Resilience layer: deterministic chaos, quarantine, supervision,
+load shedding, and retry — all default-off (see ``ResilienceConfig``)."""
+
+from repro.resilience.chaos import (ChaosConfig, FaultInjector, FaultRule,
+                                    SITES, mangle_readings)
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.quarantine import (DeadLetterQueue, DeadLetterRecord,
+                                         reading_payload, validate_reading)
+from repro.resilience.retry import retry_call, retrying
+from repro.resilience.shedding import SheddingPolicy
+from repro.resilience.supervisor import (CLOSED, HALF_OPEN, OPEN,
+                                         CircuitBreaker, ShardSupervisor)
+
+__all__ = [
+    "ChaosConfig", "FaultInjector", "FaultRule", "SITES", "mangle_readings",
+    "ResilienceConfig", "DeadLetterQueue", "DeadLetterRecord",
+    "reading_payload", "validate_reading", "retry_call", "retrying",
+    "SheddingPolicy", "CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker",
+    "ShardSupervisor",
+]

@@ -1,0 +1,202 @@
+"""Deterministic fault injection.
+
+Every failure mode this repo defends against — corrupt RFID reads,
+transient WAL I/O errors, crashing or wedged shard workers — can be
+armed here from a compact textual spec and a seed, so chaos tests and
+``repro demo --chaos`` reproduce bit-for-bit.
+
+Spec grammar (comma-separated clauses)::
+
+    clause := site [ '=' rate ] [ '@' nth [ '*' ] ] [ ':' param ]
+
+* ``site`` — one of :data:`SITES` (``ingest.corrupt``, ``wal.write``,
+  ``worker.crash``, ...).
+* ``=rate`` — per-opportunity probability (default 1.0), drawn from the
+  injector's seeded RNG.  Ignored when ``@nth`` is given.
+* ``@nth`` — fire deterministically at exactly the nth opportunity, and
+  only in the worker's first incarnation (so a restarted worker replays
+  its journal without re-tripping the fault — this is what makes
+  crash-recovery chaos runs converge).  ``@nth*`` fires at *every*
+  multiple of nth in *every* incarnation (used to drive a circuit
+  breaker open).
+* ``:param`` — free float argument (e.g. ``worker.slow:0.05`` sleep
+  seconds).
+
+Examples: ``ingest.corrupt=0.01``, ``wal.write@3``, ``worker.crash@2*``,
+``worker.slow=0.5:0.02``.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import zlib
+from dataclasses import dataclass, replace as _dc_replace
+
+from repro.errors import ResilienceError
+
+
+#: Every boundary a fault can be armed at.
+SITES = (
+    "ingest.corrupt",    # mangle a raw reading (bad epc / NaN / negative time)
+    "ingest.duplicate",  # emit a raw reading twice
+    "ingest.drop",       # silently lose a raw reading
+    "ingest.reorder",    # shuffle the readings of one tick
+    "wal.write",         # transient OSError from the WAL write path
+    "wal.fsync",         # transient OSError from the WAL fsync path
+    "db.dump",           # transient OSError from the checkpoint dump path
+    "worker.crash",      # shard worker dies mid-batch (exit / silent return)
+    "worker.hang",       # shard worker wedges forever
+    "worker.slow",       # shard worker sleeps ``param`` seconds per batch
+)
+
+_CLAUSE = re.compile(
+    r"^(?P<site>[a-z_]+\.[a-z_]+)"
+    r"(?:=(?P<rate>[0-9]*\.?[0-9]+))?"
+    r"(?:@(?P<nth>[0-9]+)(?P<repeat>\*)?)?"
+    r"(?::(?P<param>[0-9]*\.?[0-9]+))?$")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault site."""
+
+    site: str
+    rate: float = 1.0
+    nth: int = 0          # 0 = rate-gated at every opportunity
+    repeat: bool = False  # with nth: every multiple, every incarnation
+    param: float | None = None
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A parsed, seeded chaos spec.  Immutable and picklable, so it can
+    ride inside a ``WorkerSpec`` to process-backend workers."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    spec: str = ""
+
+    @classmethod
+    def parse(cls, spec: str | None, seed: int = 0) -> "ChaosConfig":
+        rules: list[FaultRule] = []
+        for raw in (spec or "").split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            match = _CLAUSE.match(clause)
+            if match is None:
+                raise ResilienceError(
+                    f"bad chaos clause {clause!r} (expected "
+                    f"site[=rate][@nth[*]][:param])")
+            site = match.group("site")
+            if site not in SITES:
+                known = ", ".join(SITES)
+                raise ResilienceError(
+                    f"unknown chaos site {site!r} (known: {known})")
+            rate = float(match.group("rate") or 1.0)
+            if not 0.0 <= rate <= 1.0:
+                raise ResilienceError(
+                    f"chaos rate for {site} must be in [0, 1], got {rate}")
+            rules.append(FaultRule(
+                site=site, rate=rate, nth=int(match.group("nth") or 0),
+                repeat=match.group("repeat") is not None,
+                param=(float(match.group("param"))
+                       if match.group("param") is not None else None)))
+        return cls(rules=tuple(rules), seed=seed, spec=spec or "")
+
+    def armed(self, prefix: str = "") -> bool:
+        return any(rule.site.startswith(prefix) for rule in self.rules)
+
+
+class FaultInjector:
+    """Per-scope fault dispenser over a :class:`ChaosConfig`.
+
+    Each scope (the coordinator, each shard worker) builds its own
+    injector so opportunity counting and RNG draws are independent of
+    scheduling — two runs with the same seed inject the same faults at
+    the same points no matter how threads interleave.
+    """
+
+    def __init__(self, config: ChaosConfig, scope: str = "",
+                 incarnation: int = 0, on_fault=None):
+        self.config = config
+        self.scope = scope
+        self.incarnation = incarnation
+        self.on_fault = on_fault
+        mix = zlib.crc32(scope.encode("utf-8"))
+        self.rng = random.Random(
+            (config.seed << 17) ^ mix ^ (incarnation * 0x9E3779B1))
+        self._rules = {rule.site: rule for rule in config.rules}
+        self._counts = {site: 0 for site in self._rules}
+        #: Faults actually injected, per site.
+        self.injected = {site: 0 for site in self._rules}
+
+    def armed(self, prefix: str = "") -> bool:
+        return any(site.startswith(prefix) for site in self._rules)
+
+    def trip(self, site: str) -> bool:
+        """Count one opportunity at ``site``; return True to inject."""
+        rule = self._rules.get(site)
+        if rule is None:
+            return False
+        count = self._counts[site] + 1
+        self._counts[site] = count
+        if rule.nth:
+            if rule.repeat:
+                hit = count % rule.nth == 0
+            else:
+                hit = count == rule.nth and self.incarnation == 0
+        else:
+            hit = self.rng.random() < rule.rate
+        if hit:
+            self.injected[site] += 1
+            if self.on_fault is not None:
+                self.on_fault(site, count)
+        return hit
+
+    def maybe_raise(self, site: str) -> None:
+        """Raise a transient ``OSError`` when ``site`` trips."""
+        if self.trip(site):
+            raise OSError(f"chaos[{self.scope}]: injected {site} fault")
+
+    def param(self, site: str, default: float = 0.0) -> float:
+        rule = self._rules.get(site)
+        if rule is None or rule.param is None:
+            return default
+        return rule.param
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+def mangle_readings(injector: FaultInjector, readings: list) -> list:
+    """Apply the armed ``ingest.*`` faults to one tick's raw readings."""
+    out = []
+    for reading in readings:
+        if injector.trip("ingest.drop"):
+            continue
+        if injector.trip("ingest.corrupt"):
+            out.append(_corrupt(injector, reading))
+            continue
+        out.append(reading)
+        if injector.trip("ingest.duplicate"):
+            out.append(reading)
+    if len(out) > 1 and injector.trip("ingest.reorder"):
+        injector.rng.shuffle(out)
+    return out
+
+
+def _corrupt(injector: FaultInjector, reading):
+    # Cycle through the malformation kinds deterministically so every
+    # corruption run exercises all of them.  All four fail
+    # ``validate_reading`` and land in the dead-letter queue.
+    kind = (injector.injected["ingest.corrupt"] - 1) % 4
+    if kind == 0:
+        return _dc_replace(reading, epc=None)
+    if kind == 1:
+        return _dc_replace(reading, epc=12345)
+    if kind == 2:
+        return _dc_replace(reading, time=float("nan"))
+    return _dc_replace(reading, time=-abs(reading.time) - 1.0e18)

@@ -1,0 +1,48 @@
+"""Top-level resilience configuration.
+
+One frozen dataclass switches every feature in this package; like
+``ShardingConfig`` and ``PersistenceConfig`` it defaults to *off* —
+``SaseSystem(resilience=None)`` pays nothing — and validates its spec
+strings eagerly so a typo surfaces at construction, not mid-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.chaos import ChaosConfig
+from repro.resilience.shedding import SheddingPolicy
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    #: Chaos spec string (see :mod:`repro.resilience.chaos`), or None.
+    chaos: str | None = None
+    chaos_seed: int = 0
+    #: Validate readings at the cleaning boundary and quarantine instead
+    #: of raising through ``feed()``.
+    quarantine: bool = True
+    #: JSONL dead-letter file; None keeps the queue in memory only.
+    dead_letter_path: str | None = None
+    #: Shedding policy: ``block`` | ``drop-newest`` | ``drop-oldest`` |
+    #: ``sample:P``.
+    shedding: str = "block"
+    #: Supervise shard workers (hang detection + circuit breakers).
+    supervise: bool = True
+    hang_timeout: float = 5.0
+    max_restarts: int = 3
+    restart_window: float = 30.0
+    breaker_cooldown: float = 10.0
+
+    def __post_init__(self):
+        # Parse eagerly: both raise ResilienceError on bad specs.
+        ChaosConfig.parse(self.chaos, self.chaos_seed)
+        SheddingPolicy.parse(self.shedding)
+
+    def chaos_config(self) -> ChaosConfig | None:
+        if not self.chaos:
+            return None
+        return ChaosConfig.parse(self.chaos, self.chaos_seed)
+
+    def shedding_policy(self) -> SheddingPolicy:
+        return SheddingPolicy.parse(self.shedding)

@@ -1,0 +1,182 @@
+"""Ingest hardening: reading validation and the dead-letter queue.
+
+The cleaning boundary is where dirty reality meets the engine, so it is
+where malformed payloads are caught.  Instead of raising through
+``feed()`` (and taking the whole pipeline down with one bad read), a
+failing record is *quarantined*: a structured error record — offending
+payload, error, stage, timestamps — is appended to an in-memory list
+and, when a path is configured, a durable JSONL file that
+``repro deadletter list|replay`` can inspect and re-inject.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+#: Timestamps at or beyond this are treated as overflowed garbage; the
+#: logical-time conversion would otherwise happily produce absurd epochs.
+MAX_TIMESTAMP = 1.0e15
+
+_RECORD_FIELDS = ("stage", "error", "error_type", "payload", "ingest_time",
+                  "wall_time")
+
+
+class DeadLetterRecord:
+    """One quarantined payload with its diagnosis."""
+
+    __slots__ = _RECORD_FIELDS
+
+    def __init__(self, stage, error, error_type, payload, ingest_time,
+                 wall_time):
+        self.stage = stage
+        self.error = error
+        self.error_type = error_type
+        self.payload = payload
+        self.ingest_time = ingest_time
+        self.wall_time = wall_time
+
+    def to_dict(self) -> dict:
+        return {field: getattr(self, field) for field in _RECORD_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeadLetterRecord":
+        return cls(*(data.get(field) for field in _RECORD_FIELDS))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"DeadLetterRecord(stage={self.stage!r}, "
+                f"error_type={self.error_type!r}, payload={self.payload!r})")
+
+
+class DeadLetterQueue:
+    """Append-only quarantine sink: in-memory always, JSONL when a path
+    is given.  Each line is one :class:`DeadLetterRecord` as JSON."""
+
+    def __init__(self, path: str | None = None, clock=time.time):
+        self.path = path
+        self.records: list[DeadLetterRecord] = []
+        self.on_record = None  # hook: called with each new record
+        self._clock = clock
+        self._handle = None
+
+    def append(self, stage: str, payload: dict, error,
+               ingest_time: float | None = None) -> DeadLetterRecord:
+        if isinstance(error, BaseException):
+            error_type = type(error).__name__
+        else:
+            error_type = "ValidationError"
+        record = DeadLetterRecord(stage, str(error), error_type, payload,
+                                  ingest_time, self._clock())
+        self.records.append(record)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(_encode(record.to_dict()) + "\n")
+            self._handle.flush()
+        if self.on_record is not None:
+            self.on_record(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def load(path: str) -> list[DeadLetterRecord]:
+        records = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(DeadLetterRecord.from_dict(json.loads(line)))
+        return records
+
+    @staticmethod
+    def rewrite(path: str, records: list[DeadLetterRecord]) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(_encode(record.to_dict()) + "\n")
+
+
+def _encode(data: dict) -> str:
+    # allow_nan=False + the repr fallback keep every line strict JSON
+    # even when the quarantined payload contains NaN or exotic objects.
+    # (``default`` never fires for float NaN/inf — they are floats — so
+    # sanitize on the rare ValueError instead of crashing the sink.)
+    try:
+        return json.dumps(data, default=repr, allow_nan=False)
+    except ValueError:
+        return json.dumps(_definite(data), default=repr,
+                          allow_nan=False)
+
+
+def _definite(value):
+    """Recursively replace non-finite floats with their repr."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {key: _definite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_definite(item) for item in value]
+    return value
+
+
+def reading_payload(reading) -> dict:
+    """A JSON-safe projection of a raw reading (possibly corrupt)."""
+    payload = {}
+    for attr in ("epc", "reader_id", "time"):
+        value = getattr(reading, attr, None)
+        if isinstance(value, float) and not math.isfinite(value):
+            value = repr(value)
+        elif not isinstance(value, (str, int, float, bool, type(None))):
+            value = repr(value)
+        payload[attr] = value
+    return payload
+
+
+def validate_reading(reading) -> str | None:
+    """Diagnose a raw reading; return None when clean, else the problem.
+
+    Checks the schema the cleaning stages silently rely on: string epc
+    and reader id, and a finite, non-negative, non-absurd timestamp.
+    The happy path is one compound check — this runs once per raw
+    reading, on the ingest hot path, whenever a quarantine is attached.
+    (``0.0 <= t`` is False for NaN, so the range check covers it.)
+    """
+    try:
+        epc = reading.epc
+        reader_id = reading.reader_id
+        timestamp = reading.time
+        if (type(epc) is str and epc
+                and type(reader_id) is str and reader_id
+                and type(timestamp) in (float, int)
+                and 0.0 <= timestamp < MAX_TIMESTAMP):
+            return None
+    except AttributeError:
+        pass
+    return _diagnose_reading(reading)
+
+
+def _diagnose_reading(reading) -> str | None:
+    """The slow path: name exactly what is wrong with the reading."""
+    epc = getattr(reading, "epc", None)
+    if not isinstance(epc, str) or not epc:
+        return f"epc must be a non-empty string, got {epc!r}"
+    reader_id = getattr(reading, "reader_id", None)
+    if not isinstance(reader_id, str) or not reader_id:
+        return f"reader_id must be a non-empty string, got {reader_id!r}"
+    timestamp = getattr(reading, "time", None)
+    if isinstance(timestamp, bool) or not isinstance(timestamp, (int, float)):
+        return f"time must be a number, got {timestamp!r}"
+    if not math.isfinite(timestamp):
+        return f"time must be finite, got {timestamp!r}"
+    if timestamp < 0:
+        return f"time must be non-negative, got {timestamp!r}"
+    if timestamp >= MAX_TIMESTAMP:
+        return f"time overflows the supported range, got {timestamp!r}"
+    return None

@@ -1,0 +1,63 @@
+"""Retry with exponential backoff, full jitter, and a deadline.
+
+One helper (:func:`retry_call`) and its decorator form (:func:`retrying`)
+cover every transient-I/O site in the repo — WAL write/fsync, the atomic
+checkpoint ``os.replace``, process-backend IPC puts — so backoff policy
+lives in exactly one place.  Full jitter (delay drawn uniformly from
+``[0, min(cap, base * 2**attempt)]``) follows the standard AWS
+architecture-blog recipe: it decorrelates retry storms better than
+equal or no jitter.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+import time
+
+#: Module-level RNG for jitter.  Seeded so test runs are repeatable;
+#: jitter only shapes *timing*, never behavior, so sharing it is safe.
+_JITTER_RNG = random.Random(0x5A5345)
+
+
+def retry_call(func, *, retry_on=(OSError,), attempts: int = 5,
+               base_delay: float = 0.002, max_delay: float = 0.1,
+               deadline: float | None = None, sleep=time.sleep,
+               clock=time.monotonic, rng=None, on_retry=None):
+    """Call ``func()`` retrying on ``retry_on`` exceptions.
+
+    Raises the last exception once ``attempts`` are exhausted or
+    ``deadline`` seconds have passed since the first attempt.
+    ``sleep``/``clock``/``rng`` are injectable for tests.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    jitter = rng if rng is not None else _JITTER_RNG
+    started = clock()
+    for attempt in range(attempts):
+        try:
+            return func()
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            elapsed = clock() - started
+            if deadline is not None and elapsed >= deadline:
+                raise
+            cap = min(max_delay, base_delay * (2 ** attempt))
+            delay = jitter.random() * cap
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - elapsed))
+            if on_retry is not None:
+                on_retry(attempt + 1, exc)
+            sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def retrying(**retry_kwargs):
+    """Decorator form of :func:`retry_call`."""
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            return retry_call(lambda: func(*args, **kwargs), **retry_kwargs)
+        return wrapper
+    return decorate

@@ -1,0 +1,58 @@
+"""Watermark-safe load shedding for overloaded shards.
+
+When a shard's input queue is saturated (``outstanding batches >=
+queue_capacity``), the default is today's behavior: block the
+coordinator until the worker catches up (``block``).  The alternative
+policies trade completeness for liveness — but *never* correctness of
+time: a shed event is not silently dropped, it is converted into a
+watermark entry carrying the event's timestamp, so window expiry and
+trailing-negation release on the shard stay exactly as prompt as they
+would have been.
+
+Policies:
+
+* ``block`` — backpressure (default; sheds nothing).
+* ``drop-newest`` — the arriving event is shed.
+* ``drop-oldest`` — the oldest still-unsent event in the shard's open
+  batch is shed to make room; falls back to drop-newest when nothing
+  unsent remains.
+* ``sample:P`` — admit each event with probability P, shed otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResilienceError
+
+KINDS = ("block", "drop-newest", "drop-oldest", "sample")
+
+
+@dataclass(frozen=True)
+class SheddingPolicy:
+    kind: str = "block"
+    probability: float = 1.0
+
+    @classmethod
+    def parse(cls, text: str | None) -> "SheddingPolicy":
+        raw = (text or "block").strip()
+        if raw.startswith("sample:"):
+            try:
+                probability = float(raw.split(":", 1)[1])
+            except ValueError:
+                probability = -1.0
+            if not 0.0 <= probability <= 1.0:
+                raise ResilienceError(
+                    f"bad sampling probability in shedding policy {raw!r} "
+                    f"(want sample:P with P in [0, 1])")
+            return cls(kind="sample", probability=probability)
+        if raw not in ("block", "drop-newest", "drop-oldest"):
+            known = ", ".join(("block", "drop-newest", "drop-oldest",
+                               "sample:P"))
+            raise ResilienceError(
+                f"unknown shedding policy {raw!r} (known: {known})")
+        return cls(kind=raw)
+
+    @property
+    def active(self) -> bool:
+        return self.kind != "block"

@@ -1,0 +1,141 @@
+"""Shard supervision: restart budgets and per-shard circuit breakers.
+
+The sharded backends already know *how* to restart a worker (respawn +
+journal replay, PR 1); the supervisor decides *whether*.  Each shard
+gets a circuit breaker:
+
+* **closed** — failures are tolerated; each one spends restart budget.
+  More than ``max_restarts`` failures inside ``restart_window`` seconds
+  opens the breaker.
+* **open** — the shard is abandoned (degraded mode); no restarts.  After
+  ``cooldown`` seconds the breaker moves to half-open.
+* **half-open** — the next routing attempt is allowed to revive the
+  shard as a probe.  A successful response closes the breaker (and
+  clears the failure history); another failure re-opens it immediately.
+
+The clock is injectable so every transition is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate gate for one shard."""
+
+    def __init__(self, max_restarts: int = 3, window: float = 30.0,
+                 cooldown: float = 10.0, clock=time.monotonic,
+                 on_transition=None):
+        self.max_restarts = max_restarts
+        self.window = window
+        self.cooldown = cooldown
+        self.opens = 0
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._failures: deque[float] = deque()
+
+    def state(self) -> str:
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.cooldown):
+            self._set(HALF_OPEN)
+        return self._state
+
+    def record_failure(self) -> bool:
+        """Register one worker failure; return True when a restart is
+        still within budget."""
+        state = self.state()
+        if state == OPEN:
+            return False
+        if state == HALF_OPEN:
+            # The probe failed: straight back to open.
+            self._open()
+            return False
+        now = self._clock()
+        self._failures.append(now)
+        while self._failures and now - self._failures[0] > self.window:
+            self._failures.popleft()
+        if len(self._failures) > self.max_restarts:
+            self._open()
+            return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state() == HALF_OPEN:
+            self._failures.clear()
+            self._set(CLOSED)
+
+    def force_open(self) -> None:
+        if self.state() != OPEN:
+            self._open()
+
+    def _open(self) -> None:
+        self.opens += 1
+        self._opened_at = self._clock()
+        self._set(OPEN)
+
+    def _set(self, state: str) -> None:
+        previous, self._state = self._state, state
+        if previous != state and self._on_transition is not None:
+            self._on_transition(previous, state)
+
+
+class ShardSupervisor:
+    """One breaker per shard plus the hang-detection budget, with a
+    single ``on_event`` fan-out for observability (tracer spans,
+    metrics)."""
+
+    def __init__(self, shards: int, hang_timeout: float = 5.0,
+                 max_restarts: int = 3, restart_window: float = 30.0,
+                 cooldown: float = 10.0, clock=time.monotonic,
+                 on_event=None):
+        self.hang_timeout = hang_timeout
+        self.on_event = on_event
+        self._breakers = {
+            shard: CircuitBreaker(
+                max_restarts=max_restarts, window=restart_window,
+                cooldown=cooldown, clock=clock,
+                on_transition=self._transition_hook(shard))
+            for shard in range(shards)}
+
+    @classmethod
+    def from_config(cls, config, shards: int, clock=time.monotonic,
+                    on_event=None) -> "ShardSupervisor":
+        return cls(shards, hang_timeout=config.hang_timeout,
+                   max_restarts=config.max_restarts,
+                   restart_window=config.restart_window,
+                   cooldown=config.breaker_cooldown, clock=clock,
+                   on_event=on_event)
+
+    def record_failure(self, shard: int) -> bool:
+        return self._breakers[shard].record_failure()
+
+    def record_success(self, shard: int) -> None:
+        self._breakers[shard].record_success()
+
+    def force_open(self, shard: int) -> None:
+        self._breakers[shard].force_open()
+
+    def state(self, shard: int) -> str:
+        return self._breakers[shard].state()
+
+    def states(self) -> dict[int, str]:
+        return {shard: breaker.state()
+                for shard, breaker in self._breakers.items()}
+
+    def emit(self, kind: str, shard: int, detail: dict) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, shard, detail)
+
+    def _transition_hook(self, shard: int):
+        def hook(previous: str, state: str) -> None:
+            self.emit("breaker", shard, {"from": previous, "to": state})
+        return hook

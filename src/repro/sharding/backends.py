@@ -16,21 +16,38 @@ they differ only in transport and failure model:
   batch is journaled: a worker that dies mid-batch is detected, its shard
   restarted, the journal replayed into the fresh worker, and duplicate
   responses suppressed — results are exactly-once even across a kill.
+
+When a :class:`~repro.resilience.ShardSupervisor` is attached (via
+``SaseSystem(resilience=...)``), both asynchronous backends gain the
+full failure ladder: journaled restart for the thread backend too (a
+wedged thread cannot be killed, but it *can* be abandoned and its shard
+rebuilt on a fresh thread + queue), hang detection with a configurable
+budget, and a per-shard circuit breaker that stops restarting a
+repeatedly-failing shard and degrades instead (the router flags matches
+as incomplete).  Without a supervisor, behavior is exactly the PR 1
+semantics: threads don't restart, processes restart without limit.
 """
 
 from __future__ import annotations
 
+import contextlib
 import queue as queue_module
 import threading
 import time
 from typing import Callable
 
 from repro.errors import SaseError
-from repro.sharding.worker import ShardWorkerCore, WorkerSpec, \
-    process_worker_main
+from repro.resilience.retry import retry_call
+from repro.resilience.supervisor import HALF_OPEN
+from repro.sharding.worker import EVENT_ENTRY, ShardWorkerCore, \
+    WorkerSpec, process_worker_main
 
 # How long one blocking put/get waits before re-checking worker liveness.
 _STALL_TICK = 0.05
+# Shutdown budgets: nothing in stop() may wait longer than these, so a
+# wedged worker can never hang ``SaseSystem.close()``.
+_STOP_PUT_TIMEOUT = 0.25
+_STOP_JOIN_TIMEOUT = 2.0
 
 
 class ShardBackend:
@@ -45,15 +62,37 @@ class ShardBackend:
         self.metrics = metrics
         self.queue_capacity = queue_capacity
         self.response_timeout = response_timeout
+        self.supervisor = None      # attached by make_backend before start
+        self.on_shard_lost = None   # router callback, same
         self._outstanding: set[tuple] = set()   # ("batch", shard, id) ...
+        self._lost: set[int] = set()
+        self._shard_load = [0] * shards  # outstanding batches per shard
 
     # -- bookkeeping shared by every transport -------------------------------
 
     def outstanding(self) -> int:
         return len(self._outstanding)
 
+    def overloaded(self, shard: int) -> bool:
+        """True when the shard is saturated: as many batches are in
+        flight as its bounded queue can hold, so the next sealed batch
+        would (or will shortly) block the coordinator."""
+        return self._shard_load[shard] >= self.queue_capacity
+
+    def shard_lost(self, shard: int) -> bool:
+        return shard in self._lost
+
+    def lost_shards(self) -> frozenset[int]:
+        return frozenset(self._lost)
+
+    def shard_available(self, shard: int) -> bool:
+        """True when the shard can take work.  Overridden by the
+        bounded backends to attempt a half-open revival probe."""
+        return shard not in self._lost
+
     def _note_submitted(self, shard: int, batch_id: int) -> None:
         self._outstanding.add(("batch", shard, batch_id))
+        self._shard_load[shard] += 1
 
     def _note_flush_sent(self, shard: int, flush_id: int) -> None:
         self._outstanding.add(("flush", shard, flush_id))
@@ -68,9 +107,25 @@ class ShardBackend:
         if key not in self._outstanding:
             return None  # replayed duplicate after a restart
         self._outstanding.discard(key)
-        self.metrics.shard(response[1]).results_received += \
-            len(response[3])
+        shard = response[1]
+        if opcode == "batch":
+            self._shard_load[shard] -= 1
+        self.metrics.shard(shard).results_received += len(response[3])
+        if self.supervisor is not None:
+            # A real response from the shard: closes a half-open breaker.
+            self.supervisor.record_success(shard)
         return response
+
+    def _has_outstanding(self, shard: int) -> bool:
+        return any(key[1] == shard for key in self._outstanding)
+
+    def _forget_shard(self, shard: int) -> None:
+        """Drop all outstanding bookkeeping for an abandoned shard so
+        drain/flush barriers cannot wait on responses that will never
+        come."""
+        for key in [key for key in self._outstanding if key[1] == shard]:
+            self._outstanding.discard(key)
+        self._shard_load[shard] = 0
 
     # -- transport interface -------------------------------------------------
 
@@ -88,20 +143,37 @@ class ShardBackend:
 
     def wait(self) -> list[tuple]:
         """Block until at least one response arrives (or raise after
-        ``response_timeout`` seconds without progress)."""
+        ``response_timeout`` seconds without progress).  With a
+        supervisor attached, a shard that makes no progress for the hang
+        budget is failed over (restart or breaker) instead of letting
+        the whole runtime time out."""
         deadline = time.monotonic() + self.response_timeout
+        supervisor = self.supervisor
+        hang_at = (time.monotonic() + supervisor.hang_timeout
+                   if supervisor is not None else None)
         while True:
             responses = self.poll()
             if responses:
                 return responses
             if not self._outstanding:
                 return []
-            if time.monotonic() > deadline:
+            now = time.monotonic()
+            if hang_at is not None and now >= hang_at:
+                self._recover_stalled()
+                hang_at = time.monotonic() + supervisor.hang_timeout
+                deadline = max(deadline,
+                               time.monotonic() + self.response_timeout)
+                continue
+            if now > deadline:
                 raise SaseError(
                     f"sharded runtime made no progress for "
                     f"{self.response_timeout:g}s; "
                     f"{len(self._outstanding)} response(s) outstanding")
             time.sleep(_STALL_TICK / 10)
+
+    def _recover_stalled(self) -> None:  # pragma: no cover - overridden
+        """Hook: fail over shards that hold outstanding work but have
+        produced nothing for a full hang budget."""
 
     def stop(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -145,66 +217,279 @@ class InlineBackend(ShardBackend):
 
 class _BoundedChannelBackend(ShardBackend):
     """Shared logic for thread/process backends: bounded per-shard input
-    queues with stall-counting blocking puts."""
+    queues with stall-counting blocking puts, plus the journaled
+    restart / hang-failover / circuit-breaker ladder when supervised."""
+
+    #: The process backend journals even without a supervisor (PR 1
+    #: behavior); the thread backend journals only when supervised.
+    _always_journal = False
+    #: Transport string passed to workers (chaos scoping).
+    _transport = "thread"
+
+    def start(self) -> None:
+        self._stopping = False
+        self._lost = set()
+        self._shard_load = [0] * self.shards
+        self._incarnations = [0] * self.shards
+        self._journal: list[list[tuple[int, list]]] | None = None
+        if self._always_journal or self.supervisor is not None:
+            self._journal = [[] for _ in range(self.shards)]
+        self._pending_flush: dict[int, int] = {}
+        self._start_transport()
+        for shard in range(self.shards):
+            self._spawn(shard)
+
+    # -- transport hooks -----------------------------------------------------
+
+    def _start_transport(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _spawn(self, shard: int) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _alive(self, shard: int) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _terminate(self, shard: int) -> None:
+        """Best-effort teardown of a failed worker (no-op for threads)."""
+
+    def _drain_responses(self) -> list[tuple]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _channel_put(self, shard: int, message: tuple,
+                     timeout: float | None) -> None:
+        """One put on the shard's input channel.  ``queue.Full`` always
+        propagates (backpressure); transports may retry transient
+        transport errors underneath."""
+        if timeout is None:
+            self._in_queues[shard].put_nowait(message)
+        else:
+            self._in_queues[shard].put(message, timeout=timeout)
+
+    # -- failure ladder ------------------------------------------------------
+
+    def _on_dead_worker(self, shard: int) -> None:
+        if self._journal is None:
+            raise SaseError(
+                f"shard {shard} worker thread died unexpectedly")
+        self._fail_worker(shard, "crash")
+
+    def _fail_worker(self, shard: int, reason: str) -> None:
+        """A worker crashed or hung: tear down what is left of it, then
+        either restart-with-replay or abandon the shard, as the breaker
+        allows."""
+        if self._stopping or shard in self._lost:
+            return
+        self._terminate(shard)
+        supervisor = self.supervisor
+        if reason == "hang":
+            self.metrics.shard(shard).worker_hangs += 1
+        if supervisor is not None:
+            supervisor.emit("fault", shard, {
+                "kind": reason, "incarnation": self._incarnations[shard]})
+            allowed = supervisor.record_failure(shard)
+        else:
+            allowed = True  # unsupervised process backend: PR 1 semantics
+        if allowed and self._journal is not None:
+            self._restart(shard)
+        else:
+            self._lose_shard(shard)
+
+    def _restart(self, shard: int) -> None:
+        """Replace a failed worker, replay its journal, resend any
+        pending flush.  Replayed responses the coordinator already
+        consumed are suppressed by :meth:`_accept`'s outstanding check."""
+        self._incarnations[shard] += 1
+        incarnation = self._incarnations[shard]
+        shard_metrics = self.metrics.shard(shard)
+        shard_metrics.worker_restarts += 1
+        shard_metrics.batches_replayed += len(self._journal[shard])
+        self._spawn(shard)
+        if self.supervisor is not None:
+            self.supervisor.emit("restart", shard, {
+                "incarnation": incarnation,
+                "replayed": len(self._journal[shard])})
+        for batch_id, entries in self._journal[shard]:
+            if (shard in self._lost
+                    or self._incarnations[shard] != incarnation):
+                # A nested failure during replay either exhausted the
+                # breaker or already replayed the full journal itself.
+                return
+            self._put_with_backpressure(
+                shard, ("batch", batch_id, entries),
+                alive=lambda: self._alive(shard),
+                on_dead=lambda: self._fail_worker(shard, "crash"))
+        if (shard not in self._lost
+                and self._incarnations[shard] == incarnation
+                and shard in self._pending_flush):
+            self._put_with_backpressure(
+                shard, ("flush", self._pending_flush[shard]),
+                alive=lambda: self._alive(shard),
+                on_dead=lambda: self._fail_worker(shard, "crash"))
+
+    def _lose_shard(self, shard: int) -> None:
+        """Abandon a shard: degraded mode.  Outstanding work is
+        forgotten so barriers can't deadlock, and the router is told so
+        it can flag results as incomplete."""
+        if shard in self._lost:
+            return
+        self._lost.add(shard)
+        self._terminate(shard)
+        lost_events = 0
+        if self._journal is not None:
+            unacked = {key[2] for key in self._outstanding
+                       if key[0] == "batch" and key[1] == shard}
+            for batch_id, entries in self._journal[shard]:
+                if batch_id in unacked:
+                    lost_events += sum(1 for entry in entries
+                                       if entry[0] == EVENT_ENTRY)
+        if self.supervisor is not None:
+            self.supervisor.force_open(shard)
+            self.supervisor.emit("lost", shard, {"events": lost_events})
+        self._forget_shard(shard)
+        if self.on_shard_lost is not None:
+            self.on_shard_lost(shard, lost_events)
+
+    def shard_available(self, shard: int) -> bool:
+        if shard not in self._lost:
+            return True
+        supervisor = self.supervisor
+        if (supervisor is None or self._journal is None
+                or supervisor.state(shard) != HALF_OPEN):
+            return False
+        # Half-open probe: revive the shard; the first accepted response
+        # closes the breaker, another failure re-opens it immediately.
+        self._lost.discard(shard)
+        self._restart(shard)
+        return shard not in self._lost
+
+    def _recover_stalled(self) -> None:
+        for shard in range(self.shards):
+            if shard in self._lost or not self._has_outstanding(shard):
+                continue
+            self._fail_worker(
+                shard, "hang" if self._alive(shard) else "crash")
+
+    # -- transport -----------------------------------------------------------
+
+    def submit(self, shard: int, batch_id: int, entries: list) -> None:
+        if shard in self._lost:  # defensive: the router skips lost shards
+            return
+        self._note_submitted(shard, batch_id)
+        if self._journal is not None:
+            self._journal[shard].append((batch_id, entries))
+        if not self._alive(shard):
+            self._on_dead_worker(shard)  # replay delivers this batch too
+            return
+        self._put_with_backpressure(
+            shard, ("batch", batch_id, entries),
+            alive=lambda: self._alive(shard),
+            on_dead=lambda: self._on_dead_worker(shard))
+
+    def send_flush(self, flush_id: int) -> None:
+        for shard in range(self.shards):
+            if shard in self._lost:
+                continue
+            self._note_flush_sent(shard, flush_id)
+            self._pending_flush[shard] = flush_id
+            if not self._alive(shard):
+                self._on_dead_worker(shard)  # restart resends the flush
+                continue
+            self._put_with_backpressure(
+                shard, ("flush", flush_id),
+                alive=lambda s=shard: self._alive(s),
+                on_dead=lambda s=shard: self._on_dead_worker(s))
+
+    def poll(self) -> list[tuple]:
+        responses = self._drain_responses()
+        if not responses and self._journal is not None \
+                and not self._stopping:
+            for shard in range(self.shards):
+                if shard not in self._lost \
+                        and self._has_outstanding(shard) \
+                        and not self._alive(shard):
+                    self._fail_worker(shard, "crash")
+        return responses
 
     def _put_with_backpressure(self, shard: int, message: tuple,
                                alive: Callable[[], bool],
                                on_dead: Callable[[], None]) -> None:
-        in_queue = self._in_queues[shard]
         try:
-            in_queue.put_nowait(message)
+            self._channel_put(shard, message, None)
             return
         except queue_module.Full:
             self.metrics.shard(shard).queue_full_stalls += 1
+        supervisor = self.supervisor
         deadline = time.monotonic() + self.response_timeout
+        hang_at = (time.monotonic() + supervisor.hang_timeout
+                   if supervisor is not None else None)
         while True:
+            if shard in self._lost:
+                return
             if not alive():
                 on_dead()
                 return
             try:
                 # Re-resolve the queue: a restart swaps in a fresh one.
-                self._in_queues[shard].put(message, timeout=_STALL_TICK)
+                self._channel_put(shard, message, _STALL_TICK)
                 return
             except queue_module.Full:
-                if time.monotonic() > deadline:
+                now = time.monotonic()
+                if hang_at is not None and now >= hang_at:
+                    # Alive but its queue has not drained for a full
+                    # hang budget: treat the worker as wedged.  The
+                    # journal replay (or shard loss) covers ``message``.
+                    self._fail_worker(shard, "hang")
+                    return
+                if now > deadline:
                     raise SaseError(
                         f"shard {shard} queue stayed full for "
                         f"{self.response_timeout:g}s (backpressure "
                         f"deadlock?)") from None
 
+    def stop(self) -> None:
+        self._stopping = True
+        for shard in range(self.shards):
+            if shard in self._lost:
+                continue
+            with contextlib.suppress(Exception):
+                self._channel_put(shard, ("stop",), _STOP_PUT_TIMEOUT)
+        self._shutdown_transport()
+
+    def _shutdown_transport(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
 
 class ThreadBackend(_BoundedChannelBackend):
-    """One worker thread per shard.  Threads do not crash independently
-    of the coordinator, so there is no journal or restart machinery."""
+    """One worker thread per shard.  Threads cannot be killed, so
+    unsupervised they have no restart machinery (a dead thread raises).
+    Supervised, a crashed *or wedged* thread's shard is rebuilt on a
+    fresh thread + queue and its journal replayed; the wedged thread
+    itself is simply abandoned (it is a daemon)."""
 
-    def start(self) -> None:
-        self._in_queues = [queue_module.Queue(maxsize=self.queue_capacity)
-                           for _ in range(self.shards)]
+    _transport = "thread"
+
+    def _start_transport(self) -> None:
+        self._in_queues: list = [None] * self.shards
+        self._workers: list = [None] * self.shards
         self._out_queue: queue_module.Queue = queue_module.Queue()
-        self._threads = []
-        for shard in range(self.shards):
-            thread = threading.Thread(
-                target=process_worker_main,
-                args=(shard, self.spec, self._in_queues[shard],
-                      self._out_queue),
-                name=f"sase-shard-{shard}", daemon=True)
-            thread.start()
-            self._threads.append(thread)
 
-    def submit(self, shard: int, batch_id: int, entries: list) -> None:
-        self._note_submitted(shard, batch_id)
-        self._put_with_backpressure(
-            shard, ("batch", batch_id, entries),
-            alive=self._threads[shard].is_alive,
-            on_dead=lambda: (_ for _ in ()).throw(SaseError(
-                f"shard {shard} worker thread died unexpectedly")))
+    def _spawn(self, shard: int) -> None:
+        in_queue = queue_module.Queue(maxsize=self.queue_capacity)
+        self._in_queues[shard] = in_queue
+        thread = threading.Thread(
+            target=process_worker_main,
+            args=(shard, self.spec, in_queue, self._out_queue),
+            kwargs={"transport": "thread",
+                    "incarnation": self._incarnations[shard]},
+            name=f"sase-shard-{shard}", daemon=True)
+        thread.start()
+        self._workers[shard] = thread
 
-    def send_flush(self, flush_id: int) -> None:
-        for shard in range(self.shards):
-            self._note_flush_sent(shard, flush_id)
-            self._in_queues[shard].put(("flush", flush_id))
+    def _alive(self, shard: int) -> bool:
+        return self._workers[shard].is_alive()
 
-    def poll(self) -> list[tuple]:
+    def _drain_responses(self) -> list[tuple]:
         responses = []
         while True:
             try:
@@ -216,18 +501,19 @@ class ThreadBackend(_BoundedChannelBackend):
                 responses.append(accepted)
         return responses
 
-    def stop(self) -> None:
-        for shard in range(self.shards):
-            try:
-                self._in_queues[shard].put(("stop",), timeout=1.0)
-            except queue_module.Full:  # pragma: no cover
-                pass
-        for thread in self._threads:
-            thread.join(timeout=2.0)
+    def _shutdown_transport(self) -> None:
+        for thread in self._workers:
+            if thread is not None:
+                thread.join(timeout=_STOP_JOIN_TIMEOUT)
+        # A thread that failed to exit is wedged; it is a daemon, so it
+        # is abandoned rather than allowed to hang shutdown.
 
 
 class ProcessBackend(_BoundedChannelBackend):
     """One worker process per shard, with journal-replay fault recovery."""
+
+    _always_journal = True
+    _transport = "process"
 
     def __init__(self, shards: int, spec: WorkerSpec, metrics,
                  queue_capacity: int, response_timeout: float):
@@ -237,96 +523,59 @@ class ProcessBackend(_BoundedChannelBackend):
         methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        self._journal: list[list[tuple[int, list]]] = []
-        self._pending_flush: dict[int, int] = {}
-        self._stopping = False
 
-    def start(self) -> None:
-        self._in_queues = []
-        self._out_queues = []
-        self._processes = []
-        self._journal = [[] for _ in range(self.shards)]
-        for shard in range(self.shards):
-            self._spawn(shard, fresh=True)
+    def _start_transport(self) -> None:
+        self._in_queues: list = [None] * self.shards
+        self._out_queues: list = [None] * self.shards
+        self._workers: list = [None] * self.shards
 
-    def _spawn(self, shard: int, fresh: bool) -> None:
+    def _spawn(self, shard: int) -> None:
         in_queue = self._context.Queue(maxsize=self.queue_capacity)
         out_queue = self._context.Queue()
         process = self._context.Process(
             target=process_worker_main,
             args=(shard, self.spec, in_queue, out_queue),
+            kwargs={"transport": "process",
+                    "incarnation": self._incarnations[shard]},
             name=f"sase-shard-{shard}", daemon=True)
         process.start()
-        if fresh:
-            self._in_queues.append(in_queue)
-            self._out_queues.append(out_queue)
-            self._processes.append(process)
-        else:
-            self._in_queues[shard] = in_queue
-            self._out_queues[shard] = out_queue
-            self._processes[shard] = process
-
-    # -- fault handling ------------------------------------------------------
+        self._in_queues[shard] = in_queue
+        self._out_queues[shard] = out_queue
+        self._workers[shard] = process
 
     def _alive(self, shard: int) -> bool:
-        return self._processes[shard].is_alive()
+        return self._workers[shard].is_alive()
 
-    def _restart(self, shard: int) -> None:
-        """A worker died: replace it, replay its journal, resend any
-        pending flush.  Replayed responses the coordinator already
-        consumed are suppressed by :meth:`_accept`'s outstanding check."""
-        if self._stopping:  # pragma: no cover - shutdown race
+    def _terminate(self, shard: int) -> None:
+        process = self._workers[shard]
+        if process is None:
             return
-        dead = self._processes[shard]
-        try:
-            dead.terminate()
-            dead.join(timeout=1.0)
-        except Exception:  # pragma: no cover
-            pass
-        shard_metrics = self.metrics.shard(shard)
-        shard_metrics.worker_restarts += 1
-        shard_metrics.batches_replayed += len(self._journal[shard])
-        self._spawn(shard, fresh=False)
-        for batch_id, entries in self._journal[shard]:
-            self._put_with_backpressure(
-                shard, ("batch", batch_id, entries),
-                alive=lambda: self._alive(shard),
-                on_dead=lambda: self._restart(shard))
-        if shard in self._pending_flush:
-            self._in_queues[shard].put(("flush",
-                                        self._pending_flush[shard]))
+        with contextlib.suppress(Exception):
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
 
-    # -- transport -----------------------------------------------------------
+    def _channel_put(self, shard: int, message: tuple,
+                     timeout: float | None) -> None:
+        # Transient IPC errors (EINTR, pipe hiccups) are retried with
+        # backoff; ``queue.Full`` is backpressure and always propagates.
+        retry_call(
+            lambda: super(ProcessBackend, self)._channel_put(
+                shard, message, timeout),
+            retry_on=(OSError,), attempts=3, base_delay=0.001,
+            max_delay=0.02)
 
-    def submit(self, shard: int, batch_id: int, entries: list) -> None:
-        self._note_submitted(shard, batch_id)
-        self._journal[shard].append((batch_id, entries))
-        if not self._alive(shard):
-            self._restart(shard)  # replay delivers this batch too
-            return
-        self._put_with_backpressure(
-            shard, ("batch", batch_id, entries),
-            alive=lambda: self._alive(shard),
-            on_dead=lambda: self._restart(shard))
-
-    def send_flush(self, flush_id: int) -> None:
-        for shard in range(self.shards):
-            self._note_flush_sent(shard, flush_id)
-            self._pending_flush[shard] = flush_id
-            if not self._alive(shard):
-                self._restart(shard)  # restart also resends the flush
-                continue
-            self._put_with_backpressure(
-                shard, ("flush", flush_id),
-                alive=lambda s=shard: self._alive(s),
-                on_dead=lambda s=shard: self._restart(s))
-
-    def poll(self) -> list[tuple]:
+    def _drain_responses(self) -> list[tuple]:
         responses = []
         for shard in range(self.shards):
+            out_queue = self._out_queues[shard]
+            if out_queue is None:
+                continue
             while True:
                 try:
-                    raw = self._out_queues[shard].get_nowait()
+                    raw = out_queue.get_nowait()
                 except queue_module.Empty:
                     break
                 except Exception:
@@ -336,39 +585,39 @@ class ProcessBackend(_BoundedChannelBackend):
                 accepted = self._accept(raw)
                 if accepted is not None:
                     responses.append(accepted)
-            if not responses and self._has_outstanding(shard) and \
-                    not self._alive(shard):
-                self._restart(shard)
         return responses
 
-    def _has_outstanding(self, shard: int) -> bool:
-        return any(key[1] == shard for key in self._outstanding)
-
-    def stop(self) -> None:
-        self._stopping = True
-        for shard in range(self.shards):
-            try:
-                self._in_queues[shard].put(("stop",), timeout=1.0)
-            except Exception:  # pragma: no cover
-                pass
-        for process in self._processes:
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover
-                process.terminate()
+    def _shutdown_transport(self) -> None:
+        for process in self._workers:
+            if process is not None:
+                process.join(timeout=_STOP_JOIN_TIMEOUT)
+        for process in self._workers:
+            if process is not None and process.is_alive():
+                with contextlib.suppress(Exception):
+                    process.terminate()
+        for process in self._workers:
+            if process is not None and process.is_alive():
                 process.join(timeout=1.0)
+                if process.is_alive():  # pragma: no cover - stubborn worker
+                    with contextlib.suppress(Exception):
+                        process.kill()
+                        process.join(timeout=1.0)
         for a_queue in (*self._in_queues, *self._out_queues):
-            a_queue.cancel_join_thread()
-            a_queue.close()
+            if a_queue is None:
+                continue
+            with contextlib.suppress(Exception):
+                a_queue.cancel_join_thread()
+                a_queue.close()
 
     def worker_pids(self) -> dict[int, int]:
         return {shard: process.pid
-                for shard, process in enumerate(self._processes)
-                if process.pid is not None}
+                for shard, process in enumerate(self._workers)
+                if process is not None and process.pid is not None}
 
 
 def make_backend(backend: str, shards: int, spec: WorkerSpec, metrics,
-                 queue_capacity: int,
-                 response_timeout: float) -> ShardBackend:
+                 queue_capacity: int, response_timeout: float,
+                 supervisor=None, on_shard_lost=None) -> ShardBackend:
     classes = {"inline": InlineBackend, "thread": ThreadBackend,
                "process": ProcessBackend}
     try:
@@ -377,5 +626,8 @@ def make_backend(backend: str, shards: int, spec: WorkerSpec, metrics,
         raise SaseError(f"unknown shard backend {backend!r}") from None
     instance = cls(shards, spec, metrics, queue_capacity,
                    response_timeout)
+    if not instance.synchronous:
+        instance.supervisor = supervisor
+        instance.on_shard_lost = on_shard_lost
     instance.start()
     return instance

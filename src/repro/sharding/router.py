@@ -27,9 +27,12 @@ reordered.
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING
 
 from repro.errors import SaseError
+from repro.obs.trace import TICK_CONTEXT
+from repro.resilience.supervisor import ShardSupervisor
 from repro.sharding.analyzer import ShardPlan, build_shard_plan, \
     stable_hash
 from repro.sharding.backends import make_backend
@@ -74,19 +77,48 @@ class ShardRouter:
         self._local_names = self.plan.local_names
         self._metrics = processor.metrics
 
+        # Resilience wiring (all default off: resilience is None).
+        resilience = processor.resilience
+        self._supervisor: ShardSupervisor | None = None
+        self._shed = None
+        self._shed_rng: random.Random | None = None
+        self._degraded = False
+        self.events_lost = 0
+        chaos_spec, chaos_seed = None, 0
+        if resilience is not None:
+            chaos_spec = resilience.chaos
+            chaos_seed = resilience.chaos_seed
+            policy = resilience.shedding_policy()
+            if policy.active:
+                self._shed = policy
+                self._shed_rng = random.Random(chaos_seed ^ 0x5EED5)
+
         if self.plan.groups:
             spec = WorkerSpec(registry=processor.registry,
                               engine_config=processor.engine_config,
                               groups=tuple(self.plan.groups),
                               use_dispatch_index=
                               processor.use_dispatch_index,
-                              trace=processor.tracer is not None)
+                              trace=processor.tracer is not None,
+                              chaos=chaos_spec, chaos_seed=chaos_seed)
+            if (resilience is not None and resilience.supervise
+                    and config.backend != "inline"):
+                self._supervisor = ShardSupervisor.from_config(
+                    resilience, config.shards,
+                    on_event=self._on_supervisor_event)
             self._backend = make_backend(
                 config.backend, config.shards, spec, self._metrics,
-                config.queue_capacity, config.response_timeout)
+                config.queue_capacity, config.response_timeout,
+                supervisor=self._supervisor,
+                on_shard_lost=self._on_shard_lost)
         else:
             # Every query is local; no workers to start.
             self._backend = None
+        if self._shed is not None and (self._backend is None
+                                       or self._backend.synchronous):
+            # Shedding needs an asynchronous backend to have a queue to
+            # protect; inline execution never falls behind.
+            self._shed = None
 
         self._next_seq = 0
         self._next_emit = 0
@@ -145,11 +177,20 @@ class ShardRouter:
                 for shard in range(shards):
                     if shard not in targets:
                         tick_groups[shard].append(group.group_id)
+        supervised = self._supervisor is not None
         for shard in range(shards):
+            if supervised and (event_groups[shard] or tick_groups[shard]) \
+                    and not self._backend.shard_available(shard):
+                # Degraded mode: the shard is gone (breaker open).  Its
+                # events are lost — explicitly counted, and every result
+                # emitted from here on carries ``complete=False``.
+                if event_groups[shard]:
+                    self.events_lost += 1
+                    self._metrics.shard(shard).events_lost += 1
+                continue
             if event_groups[shard]:
-                self._append_entry(shard, seq, (
-                    EVENT_ENTRY, seq, event, tuple(event_groups[shard])))
-                self._metrics.shard(shard).events_routed += 1
+                self._admit_event(shard, seq, event,
+                                  tuple(event_groups[shard]))
             if tick_groups[shard]:
                 self._append_entry(shard, seq, (
                     WATERMARK_ENTRY, seq, event.timestamp,
@@ -159,6 +200,68 @@ class ShardRouter:
             if open_batch is not None and \
                     len(open_batch[1]) >= self.config.batch_size:
                 self._seal(shard)
+
+    def _admit_event(self, shard: int, seq: int, event: Event,
+                     group_ids: tuple) -> None:
+        policy = self._shed
+        if policy is not None and self._backend.overloaded(shard):
+            admit = (policy.kind == "sample"
+                     and self._shed_rng.random() < policy.probability)
+            if not admit and policy.kind == "drop-oldest" \
+                    and self._convert_oldest(shard):
+                admit = True  # made room by shedding the oldest unsent
+            if not admit:
+                self._shed_event(shard, seq, event.timestamp, group_ids)
+                return
+        self._append_entry(shard, seq, (
+            EVENT_ENTRY, seq, event, group_ids))
+        self._metrics.shard(shard).events_routed += 1
+
+    def _shed_event(self, shard: int, seq: int, timestamp: float,
+                    group_ids: tuple) -> None:
+        """Shed one event *watermark-safely*: its timestamp still
+        reaches the shard (as a watermark entry, coalesced into the open
+        batch's trailing watermark when possible) so window expiry and
+        trailing-negation release stay as prompt as with the event."""
+        self._metrics.shard(shard).events_shed += 1
+        self._record_span("shed", {"shard": shard,
+                                   "policy": self._shed.kind,
+                                   "ts": timestamp})
+        open_batch = self._open_batches[shard]
+        if open_batch is not None and open_batch[1]:
+            last = open_batch[1][-1]
+            if last[0] == WATERMARK_ENTRY and last[3] == group_ids:
+                open_batch[1][-1] = (WATERMARK_ENTRY, last[1], timestamp,
+                                     group_ids)
+                batch_id = open_batch[0]
+                self._batch_seqs[(shard, batch_id)].add(seq)
+                self._seq_states[seq].pending.add((shard, batch_id))
+                return
+        self._append_entry(shard, seq, (
+            WATERMARK_ENTRY, seq, timestamp, group_ids))
+        self._metrics.shard(shard).watermarks_sent += 1
+
+    def _convert_oldest(self, shard: int) -> bool:
+        """drop-oldest: turn the oldest still-unsent event entry of the
+        shard's open batch into a watermark.  Already-submitted batches
+        are committed, so there may be nothing left to shed."""
+        open_batch = self._open_batches[shard]
+        if open_batch is None:
+            return False
+        for index, entry in enumerate(open_batch[1]):
+            if entry[0] == EVENT_ENTRY:
+                _, old_seq, old_event, old_groups = entry
+                open_batch[1][index] = (
+                    WATERMARK_ENTRY, old_seq, old_event.timestamp,
+                    old_groups)
+                shard_metrics = self._metrics.shard(shard)
+                shard_metrics.events_shed += 1
+                shard_metrics.events_routed -= 1
+                self._record_span("shed", {
+                    "shard": shard, "policy": "drop-oldest",
+                    "ts": old_event.timestamp})
+                return True
+        return False
 
     def _append_entry(self, shard: int, seq: int, entry: tuple) -> None:
         open_batch = self._open_batches[shard]
@@ -222,7 +325,7 @@ class ShardRouter:
         state = self._seq_states.pop(seq)
         if self._backend is None or state.stream != self._default_stream:
             # Purely local execution already ran in exact classic order.
-            return state.local
+            return self._flag_degraded(state.local)
         by_rank: dict[int, tuple[list, list]] = {}
         for rank, kind, end, shard, idx, result in state.worker:
             chunks = by_rank.setdefault(rank, ([], []))
@@ -250,7 +353,47 @@ class ShardRouter:
                     out.extend((name, item[3]) for item in chunk)
             out.extend(depth0.get(rank, ()))
         out.extend(cascade)
-        return out
+        return self._flag_degraded(out)
+
+    def _flag_degraded(self, results: list) -> list:
+        if self._degraded:
+            # Explicit staleness: with a shard abandoned, surviving
+            # shards keep answering but matches may be missing partners.
+            for _, result in results:
+                result.complete = False
+        return results
+
+    # -- resilience hooks -----------------------------------------------------
+
+    def _record_span(self, op: str, detail: dict) -> None:
+        tracer = self._processor.tracer
+        if tracer is not None:
+            tracer.record(op, detail=detail, trace_id=TICK_CONTEXT)
+
+    def _on_supervisor_event(self, kind: str, shard: int,
+                             detail: dict) -> None:
+        self._record_span(kind, {"shard": shard, **detail})
+        if kind == "breaker" and detail.get("to") == "open":
+            self._metrics.shard(shard).breaker_opens += 1
+            self._degraded = True
+
+    def _on_shard_lost(self, shard: int, lost_events: int) -> None:
+        """Backend callback: a shard was abandoned.  Clear its pending
+        bookkeeping so seq emission and barriers cannot wait forever on
+        responses that will never come."""
+        self._degraded = True
+        open_batch = self._open_batches[shard]
+        if open_batch is not None:
+            lost_events += sum(1 for entry in open_batch[1]
+                               if entry[0] == EVENT_ENTRY)
+            self._open_batches[shard] = None
+        for key in [key for key in self._batch_seqs if key[0] == shard]:
+            for seq in self._batch_seqs.pop(key):
+                state = self._seq_states.get(seq)
+                if state is not None:
+                    state.pending.discard(key)
+        self.events_lost += lost_events
+        self._metrics.shard(shard).events_lost += lost_events
 
     def drain(self) -> list[tuple[str, CompositeEvent]]:
         """Barrier: seal every open batch and wait out all outstanding
@@ -308,9 +451,26 @@ class ShardRouter:
             emitted.extend(local_groups.get(rank, ()))
         if self._backend is not None:
             self._backend.stop()
-        return emitted
+        return self._flag_degraded(emitted)
+
+    def close(self) -> None:
+        """Stop the backend *without* the flush protocol: a bounded
+        shutdown that succeeds even when a worker is wedged.  In-flight
+        results are discarded; the router cannot be fed afterwards."""
+        if self._backend is not None and not self._flushed:
+            self._flushed = True
+            self._backend.stop()
 
     # -- introspection --------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    def supervisor_states(self) -> dict[int, str]:
+        """Breaker state per shard (empty when unsupervised)."""
+        return (self._supervisor.states()
+                if self._supervisor is not None else {})
 
     def worker_pids(self) -> dict[int, int]:
         """Worker process ids (process backend only; empty otherwise)."""

@@ -21,12 +21,15 @@ differs.
 
 from __future__ import annotations
 
+import os
+import time
 import traceback
 from dataclasses import dataclass
 
 from repro.core.plan import PlanConfig
 from repro.events.model import SchemaRegistry
 from repro.obs.trace import DataflowTracer
+from repro.resilience.chaos import ChaosConfig, FaultInjector
 from repro.sharding.analyzer import GroupSpec
 from repro.system.processor import ComplexEventProcessor
 
@@ -55,6 +58,10 @@ class WorkerSpec:
     # set, workers record spans under the coordinator-assigned trace id
     # (the entry's seq) and ship them back with each batch response.
     trace: bool = False
+    # Chaos spec + seed (resilience layer); workers arm only the
+    # ``worker.*`` sites.  None keeps the hot path injection-free.
+    chaos: str | None = None
+    chaos_seed: int = 0
 
 
 class ShardWorkerCore:
@@ -180,9 +187,44 @@ class ShardWorkerCore:
         return delta
 
 
+class _ChaosExit(BaseException):
+    """Injected worker crash on a thread transport.
+
+    Derives from ``BaseException`` so the worker loop's ``except
+    Exception`` error reporting cannot catch it — a chaos crash must
+    look exactly like a silent death, not a reported error."""
+
+
+def _build_injector(shard_id: int, spec: WorkerSpec,
+                    incarnation: int) -> FaultInjector | None:
+    if not spec.chaos:
+        return None
+    config = ChaosConfig.parse(spec.chaos, spec.chaos_seed)
+    if not config.armed("worker."):
+        return None
+    return FaultInjector(config, scope=f"worker-{shard_id}",
+                         incarnation=incarnation)
+
+
+def _inject_worker_fault(injector: FaultInjector, transport: str) -> None:
+    """One injection opportunity per batch, before it is processed —
+    a crash therefore loses the in-flight batch, which is exactly what
+    the journal replay must recover."""
+    if injector.trip("worker.crash"):
+        if transport == "process":
+            os._exit(23)  # no cleanup, like a SIGKILL
+        raise _ChaosExit
+    if injector.trip("worker.hang"):
+        while True:  # pragma: no cover - the wedged loop itself
+            time.sleep(3600.0)
+    if injector.trip("worker.slow"):
+        time.sleep(injector.param("worker.slow", 0.02))
+
+
 def process_worker_main(shard_id: int, spec: WorkerSpec,
-                        in_queue, out_queue) -> None:
-    """Entry point of a process-backend worker.
+                        in_queue, out_queue, transport: str = "process",
+                        incarnation: int = 0) -> None:
+    """Entry point of a process- or thread-backend worker.
 
     Messages in: ``("batch", batch_id, entries)``, ``("flush", flush_id)``
     and ``("stop",)``.  Responses out: ``("batch", shard, batch_id,
@@ -190,14 +232,21 @@ def process_worker_main(shard_id: int, spec: WorkerSpec,
     spans)`` or ``("error", shard, traceback)``.  Any exception is
     reported rather than silently dying so the coordinator can fail
     loudly instead of losing events.
+
+    ``incarnation`` counts restarts of this shard; the fault injector
+    uses it to disarm one-shot (``@nth``) faults after a restart so the
+    journal replay converges instead of re-tripping the same fault.
     """
     try:
         core = ShardWorkerCore(shard_id, spec)
+        injector = _build_injector(shard_id, spec, incarnation)
         while True:
             message = in_queue.get()
             opcode = message[0]
             if opcode == "batch":
                 _, batch_id, entries = message
+                if injector is not None:
+                    _inject_worker_fault(injector, transport)
                 tagged, delta, spans = core.process_batch(entries)
                 out_queue.put(("batch", shard_id, batch_id, tagged,
                                delta, spans))
@@ -209,6 +258,8 @@ def process_worker_main(shard_id: int, spec: WorkerSpec,
             elif opcode == "stop":
                 break
     except (KeyboardInterrupt, EOFError):  # pragma: no cover
-        pass
+        return
+    except _ChaosExit:
+        return
     except Exception:  # pragma: no cover - exercised via fault tests
         out_queue.put(("error", shard_id, traceback.format_exc()))

@@ -148,6 +148,10 @@ class ShardMetrics:
     queue_full_stalls: int = 0
     worker_restarts: int = 0
     batches_replayed: int = 0
+    worker_hangs: int = 0
+    events_shed: int = 0
+    events_lost: int = 0
+    breaker_opens: int = 0
 
 
 @dataclass
@@ -213,4 +217,12 @@ class MetricsCollector:
                 f"{shard.queue_full_stalls} stalls, "
                 f"{shard.worker_restarts} restarts, "
                 f"{shard.batches_replayed} replayed")
+            if (shard.worker_hangs or shard.events_shed
+                    or shard.events_lost or shard.breaker_opens):
+                lines.append(
+                    f"shard {shard.shard_id} resilience: "
+                    f"{shard.worker_hangs} hangs, "
+                    f"{shard.events_shed} shed, "
+                    f"{shard.events_lost} lost, "
+                    f"{shard.breaker_opens} breaker opens")
         return lines

@@ -87,12 +87,16 @@ class ComplexEventProcessor:
     def __init__(self, registry: SchemaRegistry, functions: Any = None,
                  system: Any = None, config: PlanConfig | None = None,
                  sharding: "ShardingConfig | None" = None,
-                 use_dispatch_index: bool = True):
+                 use_dispatch_index: bool = True,
+                 resilience: Any = None):
         self._engine = Engine(registry, functions=functions, system=system,
                               config=config)
         self._queries: dict[str, RegisteredQuery] = {}
         self.metrics = MetricsCollector()
         self._sharding = sharding
+        # ResilienceConfig (or None): the router reads it to arm worker
+        # chaos, shard supervision, and load shedding.
+        self.resilience = resilience
         self._router: Any = None
         # Multi-query dispatch index: stream -> event type -> the ordered
         # actions to take (feed subscribing queries, watermark-advance
@@ -467,6 +471,20 @@ class ComplexEventProcessor:
         if self._router is None:
             return []
         return self._deliver_all(self._router.drain())
+
+    def close(self) -> None:
+        """Release runtime resources: bounded shutdown of any shard
+        workers, even wedged ones.  Unlike :meth:`flush` this emits
+        nothing; after closing, ``feed`` fails loudly.  Idempotent."""
+        if self._router is not None:
+            self._router.close()
+
+    @property
+    def degraded(self) -> bool:
+        """True once any shard was lost or shed work under supervision;
+        results carry ``complete=False`` from that point on."""
+        return bool(self._router is not None
+                    and getattr(self._router, "degraded", False))
 
     def feed_many(self, events: Iterable[Event]) \
             -> list[tuple[str, CompositeEvent]]:

@@ -30,6 +30,7 @@ from repro.system.processor import ComplexEventProcessor, QueryKind, \
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.persist.config import PersistenceConfig
     from repro.persist.manager import RecoveryReport
+    from repro.resilience.config import ResilienceConfig
     from repro.sharding.config import ShardingConfig
 
 
@@ -75,17 +76,35 @@ class SaseSystem:
                  functions: FunctionRegistry | None = None,
                  event_db: EventDatabase | None = None,
                  sharding: "ShardingConfig | None" = None,
-                 persistence: "PersistenceConfig | None" = None):
+                 persistence: "PersistenceConfig | None" = None,
+                 resilience: "ResilienceConfig | None" = None):
         self.layout = layout
         self.ons = ons
         self.registry = registry or retail_registry()
         self.event_db = event_db or EventDatabase()
         self.context = SystemContext(event_db=self.event_db, ons=ons)
         self.functions = functions or default_registry()
-        self.cleaning = CleaningPipeline(layout, ons, cleaning_config)
+        # Resilience layer (default off): quarantine at the cleaning
+        # boundary, seeded chaos injection, shard supervision via the
+        # router, transient-I/O retry inside persistence.
+        self.resilience = resilience
+        self.dead_letters = None
+        self._injector = None
+        if resilience is not None:
+            from repro.resilience import DeadLetterQueue, FaultInjector
+            if resilience.quarantine or resilience.dead_letter_path:
+                self.dead_letters = DeadLetterQueue(
+                    resilience.dead_letter_path)
+                self.dead_letters.on_record = self._on_dead_letter
+            chaos = resilience.chaos_config()
+            if chaos is not None:
+                self._injector = FaultInjector(chaos, scope="system",
+                                               on_fault=self._on_fault)
+        self.cleaning = CleaningPipeline(layout, ons, cleaning_config,
+                                         quarantine=self.dead_letters)
         self.processor = ComplexEventProcessor(
             self.registry, functions=self.functions, system=self.context,
-            config=plan_config, sharding=sharding)
+            config=plan_config, sharding=sharding, resilience=resilience)
         self.taps = SystemTaps()
         self._message_formatters: dict[str, Callable[[CompositeEvent],
                                                      str]] = {}
@@ -94,7 +113,8 @@ class SaseSystem:
         self.persistence = None
         if persistence is not None:
             from repro.persist.manager import PersistenceManager
-            self.persistence = PersistenceManager(persistence, self)
+            self.persistence = PersistenceManager(persistence, self,
+                                                  injector=self._injector)
 
     def _sync_reference_data(self, event_db: EventDatabase) -> None:
         """Mirror layout areas and ONS products into *event_db* so
@@ -184,6 +204,38 @@ class SaseSystem:
             tracer.record("db_write", query=name, ts=result.end,
                           detail={"attributes": dict(result.attributes)})
 
+    # -- resilience hooks ---------------------------------------------------------
+
+    @property
+    def injector(self):
+        """The system-scope chaos injector, or None (chaos off)."""
+        return self._injector
+
+    def _on_fault(self, site: str, count: int) -> None:
+        tracer = self.processor.tracer
+        if tracer is not None:
+            tracer.record("fault", detail={"site": site, "count": count},
+                          trace_id=-1)
+
+    def _on_dead_letter(self, record) -> None:
+        tracer = self.processor.tracer
+        if tracer is not None:
+            tracer.record("quarantine", ts=record.ingest_time,
+                          detail={"stage": record.stage,
+                                  "error": record.error},
+                          trace_id=-1)
+
+    def close(self) -> None:
+        """Shut the system down: bounded shard-worker shutdown (a wedged
+        worker cannot hang this), then persistence and the dead-letter
+        file.  Emits nothing; use ``processor.flush()`` first when the
+        remaining matches are wanted.  Idempotent."""
+        self.processor.close()
+        if self.persistence is not None:
+            self.persistence.close()
+        if self.dead_letters is not None:
+            self.dead_letters.close()
+
     # -- observability ------------------------------------------------------------
 
     def enable_tracing(self, capacity: int = 4096):
@@ -206,6 +258,10 @@ class SaseSystem:
     def process_tick(self, readings: Iterable[RawReading], now: float) \
             -> list[tuple[str, CompositeEvent]]:
         """One scan tick: raw readings -> cleaning -> processor."""
+        injector = self._injector
+        if injector is not None and injector.armed("ingest."):
+            from repro.resilience.chaos import mangle_readings
+            readings = mangle_readings(injector, list(readings))
         tracer = self.processor.tracer
         if tracer is not None:
             readings = list(readings)

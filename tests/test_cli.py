@@ -53,7 +53,7 @@ class TestExplain:
 
     def test_parse_error_reported(self):
         code, text = run_cli("explain", "EVENT SEQ(")
-        assert code == 1
+        assert code == 2
         assert "error:" in text
 
     def test_custom_schemas(self, tmp_path):
@@ -70,7 +70,7 @@ class TestExplain:
         schema_file.write_text(json.dumps({"TICK": {"x": "decimal"}}))
         code, text = run_cli("explain", "--schemas", str(schema_file),
                              "EVENT TICK t")
-        assert code == 1 and "unknown attribute type" in text
+        assert code == 2 and "unknown attribute type" in text
 
 
 class TestRun:
@@ -104,13 +104,13 @@ class TestRun:
         path = tmp_path / "bad.jsonl"
         path.write_text('{"type": "A"}')
         code, text = run_cli("run", "EVENT A x", "--events", str(path))
-        assert code == 1 and "timestamp" in text
+        assert code == 2 and "timestamp" in text
 
     def test_invalid_json_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text("{nope")
         code, text = run_cli("run", "EVENT A x", "--events", str(path))
-        assert code == 1 and "invalid JSON" in text
+        assert code == 2 and "invalid JSON" in text
 
     def test_missing_file_reported(self):
         code, text = run_cli("run", "EVENT A x", "--events",
@@ -150,13 +150,13 @@ class TestCsvEvents:
         path = tmp_path / "bad.csv"
         path.write_text("kind,when\nA,1\n")
         code, text = run_cli("run", "EVENT A x", "--events", str(path))
-        assert code == 1 and "'type' and 'timestamp'" in text
+        assert code == 2 and "'type' and 'timestamp'" in text
 
     def test_csv_bad_timestamp(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("type,timestamp\nA,yesterday\n")
         code, text = run_cli("run", "EVENT A x", "--events", str(path))
-        assert code == 1 and "bad timestamp" in text
+        assert code == 2 and "bad timestamp" in text
 
 
 class TestScenarios:

@@ -516,7 +516,7 @@ class TestCli:
 
     def test_trace_command_unknown_query(self):
         out = io.StringIO()
-        assert main(["trace", "--query", "nope"], out) == 1
+        assert main(["trace", "--query", "nope"], out) == 2
         assert "unknown query" in out.getvalue()
 
     def test_demo_metrics_and_trace_out(self, tmp_path):

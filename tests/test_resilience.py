@@ -1,0 +1,357 @@
+"""Unit tests for the resilience layer: chaos spec parsing and
+deterministic injection, retry/backoff, the circuit breaker state
+machine, shedding-policy parsing, reading validation, and the
+dead-letter queue."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ResilienceError, SaseError
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    ChaosConfig,
+    CircuitBreaker,
+    DeadLetterQueue,
+    FaultInjector,
+    ResilienceConfig,
+    SheddingPolicy,
+    mangle_readings,
+    retry_call,
+    validate_reading,
+)
+from repro.rfid.simulator import RawReading
+
+
+class TestChaosSpec:
+    def test_parse_full_grammar(self):
+        config = ChaosConfig.parse(
+            "ingest.corrupt=0.25, wal.write@3, worker.crash@2*, "
+            "worker.slow=0.5:0.02", seed=9)
+        sites = {rule.site: rule for rule in config.rules}
+        assert sites["ingest.corrupt"].rate == 0.25
+        assert sites["wal.write"].nth == 3
+        assert not sites["wal.write"].repeat
+        assert sites["worker.crash"].repeat
+        assert sites["worker.slow"].param == 0.02
+        assert config.seed == 9
+
+    def test_empty_spec_arms_nothing(self):
+        config = ChaosConfig.parse(None)
+        assert config.rules == ()
+        assert not config.armed()
+
+    @pytest.mark.parametrize("spec", [
+        "nonsense", "ingest.corrupt=2.0", "no.such.site@1",
+        "worker.teleport", "wal.write@", "ingest.corrupt=",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ResilienceError):
+            ChaosConfig.parse(spec)
+        # ResilienceError is a SaseError: the CLI turns it into a
+        # one-line message with exit code 2 (no traceback).
+        assert issubclass(ResilienceError, SaseError)
+
+    def test_resilience_config_validates_eagerly(self):
+        with pytest.raises(ResilienceError):
+            ResilienceConfig(chaos="bogus spec")
+        with pytest.raises(ResilienceError):
+            ResilienceConfig(shedding="drop-everything")
+
+
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        config = ChaosConfig.parse("ingest.drop=0.3", seed=42)
+        first = FaultInjector(config, scope="system")
+        second = FaultInjector(config, scope="system")
+        schedule_a = [first.trip("ingest.drop") for _ in range(200)]
+        schedule_b = [second.trip("ingest.drop") for _ in range(200)]
+        assert schedule_a == schedule_b
+        assert any(schedule_a) and not all(schedule_a)
+
+    def test_scopes_draw_independently(self):
+        config = ChaosConfig.parse("ingest.drop=0.5", seed=42)
+        system = FaultInjector(config, scope="system")
+        worker = FaultInjector(config, scope="worker-0")
+        assert [system.trip("ingest.drop") for _ in range(64)] != \
+            [worker.trip("ingest.drop") for _ in range(64)]
+
+    def test_nth_fires_once_and_only_in_first_incarnation(self):
+        config = ChaosConfig.parse("worker.crash@3", seed=1)
+        fresh = FaultInjector(config, scope="worker-0", incarnation=0)
+        hits = [fresh.trip("worker.crash") for _ in range(10)]
+        assert hits == [False, False, True] + [False] * 7
+        restarted = FaultInjector(config, scope="worker-0",
+                                  incarnation=1)
+        assert not any(restarted.trip("worker.crash")
+                       for _ in range(10))
+
+    def test_nth_star_fires_every_multiple_every_incarnation(self):
+        config = ChaosConfig.parse("worker.crash@2*", seed=1)
+        restarted = FaultInjector(config, scope="worker-0",
+                                  incarnation=3)
+        hits = [restarted.trip("worker.crash") for _ in range(6)]
+        assert hits == [False, True, False, True, False, True]
+
+    def test_maybe_raise_and_counters(self):
+        config = ChaosConfig.parse("wal.write@2", seed=1)
+        injector = FaultInjector(config, scope="wal")
+        injector.maybe_raise("wal.write")  # first opportunity: clean
+        with pytest.raises(OSError, match="injected wal.write"):
+            injector.maybe_raise("wal.write")
+        assert injector.injected["wal.write"] == 1
+        assert injector.total_injected == 1
+
+    def test_unarmed_site_never_trips(self):
+        config = ChaosConfig.parse("wal.write@1", seed=1)
+        injector = FaultInjector(config, scope="x")
+        assert not injector.trip("worker.crash")
+        assert not injector.armed("worker.")
+        assert injector.armed("wal.")
+
+
+class TestMangleReadings:
+    def _readings(self, n=10):
+        return [RawReading(epc=f"EPC{i}", reader_id="r1", time=float(i))
+                for i in range(n)]
+
+    def test_corruptions_all_fail_validation(self):
+        config = ChaosConfig.parse("ingest.corrupt=1.0", seed=3)
+        injector = FaultInjector(config, scope="system")
+        mangled = mangle_readings(injector, self._readings(8))
+        assert len(mangled) == 8
+        assert all(validate_reading(reading) is not None
+                   for reading in mangled)
+
+    def test_drop_and_duplicate(self):
+        readings = self._readings(50)
+        config = ChaosConfig.parse("ingest.drop=1.0", seed=3)
+        assert mangle_readings(
+            FaultInjector(config, scope="s"), readings) == []
+        config = ChaosConfig.parse("ingest.duplicate=1.0", seed=3)
+        doubled = mangle_readings(FaultInjector(config, scope="s"),
+                                  readings)
+        assert len(doubled) == 100
+
+    def test_reorder_keeps_the_multiset(self):
+        readings = self._readings(20)
+        config = ChaosConfig.parse("ingest.reorder=1.0", seed=5)
+        shuffled = mangle_readings(FaultInjector(config, scope="s"),
+                                   list(readings))
+        assert shuffled != readings
+        assert sorted(shuffled, key=lambda r: r.time) == readings
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        delays = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "done"
+
+        assert retry_call(flaky, sleep=delays.append,
+                          clock=lambda: 0.0) == "done"
+        assert len(calls) == 3 and len(delays) == 2
+        assert all(delay >= 0.0 for delay in delays)
+
+    def test_exhausted_attempts_raise_last_error(self):
+        def always_fails():
+            raise OSError("still down")
+
+        with pytest.raises(OSError, match="still down"):
+            retry_call(always_fails, attempts=3, sleep=lambda _: None,
+                       clock=lambda: 0.0)
+
+    def test_deadline_cuts_retries_short(self):
+        now = [0.0]
+
+        def fails():
+            now[0] += 10.0
+            raise OSError("slow failure")
+
+        with pytest.raises(OSError):
+            retry_call(fails, attempts=100, deadline=5.0,
+                       sleep=lambda _: None, clock=lambda: now[0])
+        assert now[0] <= 20.0  # bounded by the deadline, not attempts
+
+    def test_non_matching_exceptions_propagate_immediately(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_call(wrong_kind, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_backoff_is_capped_and_jittered(self):
+        delays = []
+
+        def fails():
+            raise OSError("x")
+
+        class FullJitter:
+            @staticmethod
+            def random():
+                return 1.0  # worst case: jitter at the cap
+
+        with pytest.raises(OSError):
+            retry_call(fails, attempts=6, base_delay=0.01,
+                       max_delay=0.04, sleep=delays.append,
+                       clock=lambda: 0.0, rng=FullJitter())
+        assert delays == [0.01, 0.02, 0.04, 0.04, 0.04]
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        self.now = [0.0]
+        transitions = []
+        breaker = CircuitBreaker(clock=lambda: self.now[0],
+                                 on_transition=lambda a, b:
+                                 transitions.append((a, b)),
+                                 **kwargs)
+        return breaker, transitions
+
+    def test_opens_after_budget_exhausted(self):
+        breaker, transitions = self.make(max_restarts=2, window=30.0,
+                                         cooldown=10.0)
+        assert breaker.record_failure() is True
+        assert breaker.record_failure() is True
+        assert breaker.state() == CLOSED
+        assert breaker.record_failure() is False  # third strike
+        assert breaker.state() == OPEN
+        assert transitions == [(CLOSED, OPEN)]
+        assert breaker.opens == 1
+
+    def test_old_failures_age_out_of_the_window(self):
+        breaker, _ = self.make(max_restarts=1, window=5.0)
+        assert breaker.record_failure() is True
+        self.now[0] = 100.0  # far outside the window
+        assert breaker.record_failure() is True
+        assert breaker.state() == CLOSED
+
+    def test_half_open_probe_then_close(self):
+        breaker, transitions = self.make(max_restarts=0, cooldown=10.0)
+        assert breaker.record_failure() is False
+        assert breaker.state() == OPEN
+        self.now[0] = 11.0
+        assert breaker.state() == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state() == CLOSED
+        assert transitions == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                               (HALF_OPEN, CLOSED)]
+
+    def test_half_open_failure_reopens_immediately(self):
+        breaker, _ = self.make(max_restarts=0, cooldown=10.0)
+        breaker.record_failure()
+        self.now[0] = 11.0
+        assert breaker.state() == HALF_OPEN
+        assert breaker.record_failure() is False
+        assert breaker.state() == OPEN
+        assert breaker.opens == 2
+
+    def test_success_while_closed_is_a_noop(self):
+        breaker, transitions = self.make()
+        breaker.record_success()
+        assert breaker.state() == CLOSED and transitions == []
+
+
+class TestSheddingPolicy:
+    def test_parse_kinds(self):
+        assert SheddingPolicy.parse(None).kind == "block"
+        assert not SheddingPolicy.parse("block").active
+        assert SheddingPolicy.parse("drop-newest").active
+        assert SheddingPolicy.parse("drop-oldest").active
+        sampled = SheddingPolicy.parse("sample:0.25")
+        assert sampled.kind == "sample"
+        assert sampled.probability == 0.25
+
+    @pytest.mark.parametrize("text", ["sample:2", "sample:x", "drop",
+                                      "random"])
+    def test_bad_policies_rejected(self, text):
+        with pytest.raises(ResilienceError):
+            SheddingPolicy.parse(text)
+
+
+class TestValidateReading:
+    def test_clean_reading_passes(self):
+        assert validate_reading(
+            RawReading(epc="E1", reader_id="r1", time=3.0)) is None
+
+    @pytest.mark.parametrize("reading", [
+        RawReading(epc=None, reader_id="r1", time=1.0),
+        RawReading(epc=12345, reader_id="r1", time=1.0),
+        RawReading(epc="", reader_id="r1", time=1.0),
+        RawReading(epc="E1", reader_id=None, time=1.0),
+        RawReading(epc="E1", reader_id="r1", time=float("nan")),
+        RawReading(epc="E1", reader_id="r1", time=float("inf")),
+        RawReading(epc="E1", reader_id="r1", time=-5.0),
+        RawReading(epc="E1", reader_id="r1", time=1.0e18),
+        RawReading(epc="E1", reader_id="r1", time="soon"),
+        RawReading(epc="E1", reader_id="r1", time=True),
+    ])
+    def test_malformed_readings_diagnosed(self, reading):
+        assert validate_reading(reading) is not None
+
+
+class TestDeadLetterQueue:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "dead.jsonl")
+        queue = DeadLetterQueue(path, clock=lambda: 123.0)
+        queue.append("ingest_validation", {"epc": None, "time": 1.0},
+                     "epc must be a non-empty string", ingest_time=1.0)
+        queue.append("cleaning", {"epc": "E1", "time": float("nan")},
+                     ValueError("boom"), ingest_time=2.0)
+        queue.close()
+        records = DeadLetterQueue.load(path)
+        assert len(records) == 2
+        assert records[0].stage == "ingest_validation"
+        assert records[0].error_type == "ValidationError"
+        assert records[0].wall_time == 123.0
+        assert records[1].error_type == "ValueError"
+        assert records[1].error == "boom"
+        # Every line is strict JSON even with awkward payloads.
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_nan_payload_still_encodes(self, tmp_path):
+        path = str(tmp_path / "dead.jsonl")
+        queue = DeadLetterQueue(path)
+        queue.append("cleaning", {"time": float("nan")}, "bad")
+        queue.close()
+        assert DeadLetterQueue.load(path)[0].payload["time"] == "nan"
+
+    def test_rewrite_keeps_given_records(self, tmp_path):
+        path = str(tmp_path / "dead.jsonl")
+        queue = DeadLetterQueue(path)
+        for index in range(4):
+            queue.append("s", {"i": index}, "e")
+        queue.close()
+        records = DeadLetterQueue.load(path)
+        DeadLetterQueue.rewrite(path, records[2:])
+        assert [record.payload["i"]
+                for record in DeadLetterQueue.load(path)] == [2, 3]
+
+    def test_in_memory_mode_writes_nothing(self, tmp_path):
+        queue = DeadLetterQueue(None)
+        queue.append("s", {}, "e")
+        assert len(queue) == 1
+        queue.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_hook_sees_each_record(self):
+        seen = []
+        queue = DeadLetterQueue()
+        queue.on_record = seen.append
+        record = queue.append("s", {"x": 1}, "oops", ingest_time=9.0)
+        assert seen == [record] and record.ingest_time == 9.0

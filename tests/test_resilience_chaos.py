@@ -1,0 +1,426 @@
+"""Deterministic chaos tests for the sharded runtime and persistence.
+
+The acceptance matrix: each recoverable fault class (corrupt ingest,
+transient WAL I/O, worker crash, worker hang) against shard counts and
+backends must either produce output identical to the fault-free run, or
+degrade *explicitly* (dead-letter records, ``complete=False`` results,
+counted lost events) — and never deadlock or raise through ``feed()``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.persist import FsyncPolicy
+from repro.persist.checkpoint import CheckpointStore
+from repro.persist.wal import WriteAheadLog
+from repro.resilience import (
+    ChaosConfig,
+    CLOSED,
+    FaultInjector,
+    ResilienceConfig,
+)
+from repro.rfid import NoiseModel
+from repro.sharding import ShardingConfig
+from repro.system import ComplexEventProcessor, SaseSystem
+from repro.workloads import (
+    MISPLACED_INVENTORY_QUERY,
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+)
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+
+def fingerprint(results):
+    return [(name, result.start, result.end,
+             tuple(sorted(result.attributes.items())))
+            for name, result in results]
+
+
+@pytest.fixture(scope="module")
+def stream() -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=260, n_types=4, id_domain=8, seed=7))
+
+
+def run_stream(stream, sharding, resilience=None):
+    processor = ComplexEventProcessor(stream.registry,
+                                      sharding=sharding,
+                                      resilience=resilience)
+    processor.register("pair",
+                       seq_query(2, window=5.0, partitioned=True))
+    processor.register("negpair",
+                       seq_query(2, window=5.0, partitioned=True,
+                                 negation_at=2))
+    produced = []
+    for event in stream.events:
+        produced.extend(processor.feed(event))
+    produced.extend(processor.flush())
+    fp = fingerprint(produced)
+    return fp, processor
+
+
+def chaos_resilience(chaos, **overrides):
+    kwargs = dict(chaos=chaos, chaos_seed=7, hang_timeout=0.4,
+                  breaker_cooldown=0.2)
+    kwargs.update(overrides)
+    return ResilienceConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline(stream):
+    fp, _ = run_stream(stream, None)
+    return fp
+
+
+class TestWorkerFaultMatrix:
+    """Crash and hang recovery: byte-identical output, every backend,
+    every shard count."""
+
+    @pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("fault", ["worker.crash@2", "worker.hang@2"])
+    def test_one_shot_fault_recovers_identically(self, stream, baseline,
+                                                 backend, shards, fault):
+        sharding = ShardingConfig(shards=shards, backend=backend,
+                                  batch_size=8, queue_capacity=4,
+                                  response_timeout=60.0)
+        fp, processor = run_stream(stream, sharding,
+                                   chaos_resilience(fault))
+        try:
+            assert fp == baseline
+            assert not processor.degraded
+            metrics = processor.metrics
+            restarts = sum(shard.worker_restarts
+                           for shard in metrics.shards.values())
+            if backend == "inline":
+                # Inline shards run in-process: worker chaos has no
+                # workers to kill, and nothing to restart.
+                assert restarts == 0
+            else:
+                assert restarts >= 1
+                if "hang" in fault:
+                    assert sum(shard.worker_hangs for shard
+                               in metrics.shards.values()) >= 1
+        finally:
+            processor.close()
+
+    def test_clean_chaos_run_matches_without_faults_armed(self, stream,
+                                                          baseline):
+        # Resilience on, chaos spec armed at a site that never fires
+        # (worker.crash at an unreachable opportunity count): supervised
+        # runs must still be exactly identical.
+        sharding = ShardingConfig(shards=2, backend="thread",
+                                  batch_size=8, queue_capacity=4)
+        fp, processor = run_stream(stream, sharding,
+                                   chaos_resilience("worker.crash@100000"))
+        processor.close()
+        assert fp == baseline
+
+
+class TestBreakerAndDegradedMode:
+    def test_repeated_crashes_open_breaker_and_degrade(self, stream):
+        # Every batch crashes the worker, in every incarnation: the
+        # restart budget exhausts, the breaker opens, the shard is
+        # abandoned, and the run finishes with explicit degradation.
+        sharding = ShardingConfig(shards=2, backend="thread",
+                                  batch_size=8, queue_capacity=4,
+                                  response_timeout=30.0)
+        resilience = chaos_resilience("worker.crash@1*", max_restarts=1,
+                                      breaker_cooldown=3600.0)
+        fp, processor = run_stream(stream, sharding, resilience)
+        try:
+            assert processor.degraded
+            metrics = processor.metrics
+            assert sum(shard.breaker_opens
+                       for shard in metrics.shards.values()) >= 1
+            assert sum(shard.events_lost
+                       for shard in metrics.shards.values()) > 0
+        finally:
+            processor.close()
+
+    def test_degraded_results_carry_complete_false(self, stream):
+        # A local (function-calling) query rides alongside the sharded
+        # pair query.  When the shards die, the local query keeps
+        # producing — and every one of its matches must carry the
+        # explicit ``complete=False`` staleness flag.
+        from repro.funcs import FunctionRegistry
+        functions = FunctionRegistry()
+        functions.register("_ident", lambda value: value)
+        sharding = ShardingConfig(shards=2, backend="thread",
+                                  batch_size=8, queue_capacity=4,
+                                  response_timeout=30.0)
+        resilience = chaos_resilience("worker.crash@1*", max_restarts=0,
+                                      breaker_cooldown=3600.0)
+        processor = ComplexEventProcessor(stream.registry,
+                                          functions=functions,
+                                          sharding=sharding,
+                                          resilience=resilience)
+        processor.register("pair",
+                           seq_query(2, window=5.0, partitioned=True))
+        processor.register("tick", (
+            "EVENT SEQ(A e0, B e1)\nWHERE _ident(e0.v) >= 0\n"
+            "WITHIN 5 seconds\nRETURN e0.id"))
+        produced = []
+        for event in stream.events:
+            produced.extend(processor.feed(event))
+        produced.extend(processor.flush())
+        processor.close()
+        assert processor.degraded
+        local_results = [result for name, result in produced
+                         if name == "tick"]
+        assert local_results
+        assert not all(result.complete for result in local_results), \
+            "degraded mode must flag emitted matches incomplete"
+
+    def test_half_open_probe_revives_the_shard(self, stream):
+        # One-shot crash with a zero restart budget: the shard is lost
+        # immediately, the breaker cools down mid-stream, and the next
+        # routing attempt revives it via the half-open probe.  The
+        # one-shot fault does not re-fire in incarnation 1, so the
+        # probe succeeds and the breaker closes again.
+        sharding = ShardingConfig(shards=1, backend="thread",
+                                  batch_size=4, queue_capacity=4,
+                                  response_timeout=30.0)
+        resilience = chaos_resilience("worker.crash@2", max_restarts=0,
+                                      breaker_cooldown=0.15)
+        processor = ComplexEventProcessor(stream.registry,
+                                          sharding=sharding,
+                                          resilience=resilience)
+        processor.register("pair",
+                           seq_query(2, window=5.0, partitioned=True))
+        half = len(stream.events) // 2
+        produced = []
+        for event in stream.events[:half]:
+            produced.extend(processor.feed(event))
+        time.sleep(0.3)  # let the breaker cool down to half-open
+        for event in stream.events[half:]:
+            produced.extend(processor.feed(event))
+        produced.extend(processor.flush())
+        states = processor._router.supervisor_states()
+        metrics = processor.metrics
+        processor.close()
+        assert sum(shard.worker_restarts
+                   for shard in metrics.shards.values()) >= 1
+        assert states[0] == CLOSED  # the probe succeeded and closed it
+        # Results flow again after the revival: the tail of the stream
+        # produced matches.
+        assert any(result.end > stream.events[half].timestamp
+                   for _, result in produced)
+
+
+class TestShedding:
+    def overload_run(self, stream, policy):
+        sharding = ShardingConfig(shards=2, backend="thread",
+                                  batch_size=1, queue_capacity=1,
+                                  response_timeout=60.0)
+        resilience = ResilienceConfig(
+            chaos="worker.slow:0.003", chaos_seed=7, shedding=policy,
+            hang_timeout=3600.0)  # the worker is slow, not hung
+        fp, processor = run_stream(stream, sharding, resilience)
+        shed = sum(shard.events_shed
+                   for shard in processor.metrics.shards.values())
+        processor.close()
+        return fp, shed
+
+    def test_block_policy_sheds_nothing_and_stays_exact(self, stream,
+                                                        baseline):
+        fp, shed = self.overload_run(stream, "block")
+        assert shed == 0
+        assert fp == baseline
+
+    @pytest.mark.parametrize("policy", ["drop-newest", "drop-oldest",
+                                        "sample:0.2"])
+    def test_dropping_policies_shed_and_terminate(self, stream, baseline,
+                                                  policy):
+        fp, shed = self.overload_run(stream, policy)
+        assert shed > 0, f"{policy} shed nothing under overload"
+        # Watermark safety: shedding thins matches but cannot invent
+        # pair matches — every emitted pair match exists in the
+        # baseline (the shed events' timestamps still advanced time).
+        baseline_pairs = {entry for entry in baseline
+                          if entry[0] == "pair"}
+        emitted_pairs = {entry for entry in fp if entry[0] == "pair"}
+        assert emitted_pairs <= baseline_pairs
+
+    def test_inline_backend_never_sheds(self, stream, baseline):
+        sharding = ShardingConfig(shards=2, backend="inline",
+                                  batch_size=1, queue_capacity=1)
+        resilience = ResilienceConfig(shedding="drop-newest",
+                                      chaos_seed=7)
+        fp, processor = run_stream(stream, sharding, resilience)
+        shed = sum(shard.events_shed
+                   for shard in processor.metrics.shards.values())
+        processor.close()
+        assert shed == 0 and fp == baseline
+
+
+class TestHungWorkerShutdown:
+    """Satellite: ``close()`` must be bounded even when a worker is
+    wedged mid-batch — a hang can delay shutdown, never prevent it."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_close_returns_despite_wedged_worker(self, stream, backend):
+        sharding = ShardingConfig(shards=1, backend=backend,
+                                  batch_size=1, queue_capacity=8,
+                                  response_timeout=60.0)
+        # Hang immediately, with supervision off: nothing will ever
+        # detect or restart the wedged worker; close() must still win.
+        resilience = ResilienceConfig(chaos="worker.hang@1",
+                                      chaos_seed=7, supervise=False)
+        processor = ComplexEventProcessor(stream.registry,
+                                          sharding=sharding,
+                                          resilience=resilience)
+        processor.register("pair",
+                           seq_query(2, window=5.0, partitioned=True))
+        for event in stream.events[:4]:
+            processor.feed(event)
+        time.sleep(0.1)  # let the worker pick up a batch and wedge
+        started = time.monotonic()
+        processor.close()
+        elapsed = time.monotonic() - started
+        assert elapsed < 10.0, f"close() took {elapsed:.1f}s"
+        processor.close()  # idempotent
+
+    def test_system_close_is_bounded_too(self):
+        scenario = RetailScenario.generate(RetailConfig(
+            n_products=4, n_shoppers=1, n_shoplifters=1,
+            n_misplacements=1, seed=3))
+        system = SaseSystem(
+            scenario.layout, scenario.ons,
+            sharding=ShardingConfig(shards=1, backend="thread",
+                                    batch_size=1),
+            resilience=ResilienceConfig(chaos="worker.hang@1",
+                                        chaos_seed=1, supervise=False))
+        system.register_monitoring_query("shoplifting",
+                                         SHOPLIFTING_QUERY)
+        ticks = list(scenario.ticks(NoiseModel.perfect()))[:3]
+        for now, readings in ticks:
+            system.process_tick(readings, now)
+        time.sleep(0.1)
+        started = time.monotonic()
+        system.close()
+        assert time.monotonic() - started < 10.0
+
+
+class TestIngestCorruptionMatrix:
+    """Corrupt ingest degrades explicitly (dead letters), identically
+    across every backend and shard count."""
+
+    def corrupt_run(self, backend, shards):
+        scenario = RetailScenario.generate(RetailConfig(
+            n_products=6, n_shoppers=2, n_shoplifters=1,
+            n_misplacements=1, seed=11))
+        sharding = None
+        if backend != "single":
+            sharding = ShardingConfig(shards=shards, backend=backend,
+                                      batch_size=8)
+        system = SaseSystem(
+            scenario.layout, scenario.ons, sharding=sharding,
+            resilience=ResilienceConfig(chaos="ingest.corrupt=0.05",
+                                        chaos_seed=13))
+        system.register_monitoring_query("shoplifting",
+                                         SHOPLIFTING_QUERY)
+        system.register_monitoring_query("misplaced",
+                                         MISPLACED_INVENTORY_QUERY)
+        results = system.run_simulation(
+            scenario.ticks(NoiseModel.perfect()))
+        dead = len(system.dead_letters)
+        injected = system.injector.total_injected
+        system.close()
+        return fingerprint(results), dead, injected
+
+    def test_identical_across_backends_and_shards(self):
+        reference, dead, injected = self.corrupt_run("single", 1)
+        assert injected > 0
+        assert dead == injected  # every corruption is accounted for
+        for backend, shards in (("inline", 2), ("thread", 2),
+                                ("thread", 4), ("process", 2)):
+            fp, dead_too, injected_too = self.corrupt_run(backend,
+                                                          shards)
+            assert fp == reference, (backend, shards)
+            assert (dead_too, injected_too) == (dead, injected)
+
+
+class TestPersistenceChaos:
+    """Transient WAL/checkpoint I/O faults are retried invisibly."""
+
+    def write_wal(self, directory, injector=None):
+        wal = WriteAheadLog(directory, FsyncPolicy.parse("every_n:4"),
+                            group_items=4, linger_seconds=0.0,
+                            injector=injector)
+        for index in range(64):
+            wal.append(("EVT", float(index), {"n": index}, index))
+        wal.sync()
+        wal.close()
+        return [item for _, item in
+                WriteAheadLog(directory,
+                              FsyncPolicy.parse("every_n:4")).replay(0)]
+
+    def test_wal_write_and_fsync_faults_are_invisible(self, tmp_path):
+        clean_dir = str(tmp_path / "clean")
+        chaos_dir = str(tmp_path / "chaos")
+        os.makedirs(clean_dir)
+        os.makedirs(chaos_dir)
+        clean = self.write_wal(clean_dir)
+        injector = FaultInjector(
+            ChaosConfig.parse("wal.write@2,wal.fsync@1", seed=5),
+            scope="wal")
+        chaotic = self.write_wal(chaos_dir, injector)
+        assert injector.total_injected == 2
+        assert chaotic == clean
+        # Byte-identical on disk, not just logically equal on replay.
+        clean_bytes = b"".join(
+            open(os.path.join(clean_dir, name), "rb").read()
+            for name in sorted(os.listdir(clean_dir)))
+        chaos_bytes = b"".join(
+            open(os.path.join(chaos_dir, name), "rb").read()
+            for name in sorted(os.listdir(chaos_dir)))
+        assert chaos_bytes == clean_bytes
+
+    def test_checkpoint_dump_fault_is_retried(self, tmp_path):
+        injector = FaultInjector(
+            ChaosConfig.parse("db.dump@1", seed=5), scope="ckpt")
+        store = CheckpointStore(str(tmp_path), injector=injector)
+        snapshot = {"version": 1, "wal_lsn": 8, "emitted": 2,
+                    "replay_lsn": 0, "db": {}}
+        store.write(snapshot)
+        assert injector.total_injected == 1
+        assert store.latest() == snapshot
+        assert not [name for name in os.listdir(str(tmp_path))
+                    if name.endswith(".tmp")]
+
+    def test_end_to_end_persistence_run_with_wal_chaos(self, tmp_path):
+        scenario = RetailScenario.generate(RetailConfig(
+            n_products=6, n_shoppers=2, n_shoplifters=1,
+            n_misplacements=1, seed=11))
+
+        def run(data_dir, chaos):
+            from repro.persist import PersistenceConfig
+            resilience = None
+            if chaos:
+                resilience = ResilienceConfig(chaos=chaos, chaos_seed=3)
+            system = SaseSystem(
+                scenario.layout, scenario.ons,
+                persistence=PersistenceConfig(
+                    data_dir=data_dir,
+                    fsync=FsyncPolicy.parse("every_n:8"),
+                    checkpoint_every=64),
+                resilience=resilience)
+            system.register_monitoring_query("shoplifting",
+                                             SHOPLIFTING_QUERY)
+            system.recover()
+            results = system.run_simulation(
+                scenario.ticks(NoiseModel.perfect()))
+            system.close()
+            return fingerprint(results)
+
+        clean = run(str(tmp_path / "clean"), None)
+        chaotic = run(str(tmp_path / "chaos"),
+                      "wal.write@3,wal.fsync@1,db.dump@1")
+        assert chaotic == clean

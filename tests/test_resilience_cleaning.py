@@ -1,0 +1,158 @@
+"""Cleaning-boundary hardening: malformed readings are quarantined to
+the dead-letter queue instead of raising through ``feed()``, and the
+edge cases the five stages silently assume away (duplicate tag reads,
+negative or overflowing timestamps, wrong attribute types) degrade
+explicitly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning.pipeline import CleaningConfig, CleaningPipeline
+from repro.resilience import DeadLetterQueue, ResilienceConfig
+from repro.rfid.simulator import RawReading
+from repro.system import SaseSystem
+from repro.workloads import (
+    RetailConfig,
+    RetailScenario,
+    SHOPLIFTING_QUERY,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return RetailScenario.generate(RetailConfig(
+        n_products=6, n_shoppers=2, n_shoplifters=1, n_misplacements=1,
+        seed=11))
+
+
+def make_pipeline(scenario, quarantine):
+    return CleaningPipeline(scenario.layout, scenario.ons,
+                            CleaningConfig(smoothing="none"),
+                            quarantine=quarantine)
+
+
+def good_reading(scenario, time=1.0):
+    tag = scenario.ons.known_tags().pop()
+    reader = next(iter(scenario.layout.readers))
+    return RawReading(epc=f"EPC{tag}", reader_id=reader, time=time)
+
+
+class TestQuarantineBoundary:
+    @pytest.mark.parametrize("bad", [
+        RawReading(epc=None, reader_id="r", time=1.0),
+        RawReading(epc=7, reader_id="r", time=1.0),         # wrong type
+        RawReading(epc="EPC1", reader_id=3.5, time=1.0),    # wrong type
+        RawReading(epc="EPC1", reader_id="r", time=-4.0),   # negative
+        RawReading(epc="EPC1", reader_id="r", time=1.0e18),  # overflow
+        RawReading(epc="EPC1", reader_id="r", time=float("nan")),
+        RawReading(epc="EPC1", reader_id="r", time="later"),
+    ])
+    def test_malformed_reading_quarantined_not_raised(self, scenario,
+                                                      bad):
+        quarantine = DeadLetterQueue()
+        pipeline = make_pipeline(scenario, quarantine)
+        events = pipeline.process_tick(
+            [bad, good_reading(scenario)], now=1.0)
+        assert len(quarantine) == 1
+        record = quarantine.records[0]
+        assert record.stage == "ingest_validation"
+        assert record.ingest_time == 1.0
+        # The clean reading still flows; the pipeline never raises.
+        assert all(event.timestamp >= 0 for event in events)
+
+    def test_duplicate_tag_reads_are_not_quarantined(self, scenario):
+        # Duplicates are legitimate RFID noise: smoothing/dedup handle
+        # them; the quarantine must not misfire on them.
+        quarantine = DeadLetterQueue()
+        pipeline = make_pipeline(scenario, quarantine)
+        reading = good_reading(scenario)
+        pipeline.process_tick([reading, reading, reading], now=1.0)
+        assert len(quarantine) == 0
+
+    def test_without_quarantine_behavior_is_unchanged(self, scenario):
+        # Default-off: no quarantine attached means the seed behavior
+        # (malformed input raises out of the stages) is preserved.
+        pipeline = make_pipeline(scenario, None)
+        with pytest.raises(Exception):
+            pipeline.process_tick(
+                [RawReading(epc=None, reader_id="r", time=1.0)],
+                now=1.0)
+
+    def test_stage_blowup_quarantines_the_tick(self, scenario):
+        quarantine = DeadLetterQueue()
+        pipeline = make_pipeline(scenario, quarantine)
+
+        class Bomb:
+            def process(self, readings):
+                raise RuntimeError("stage exploded")
+
+        pipeline.anomaly = Bomb()
+        reading = good_reading(scenario)
+        assert pipeline.process_tick([reading], now=2.0) == []
+        assert len(quarantine) == 1
+        record = quarantine.records[0]
+        assert record.stage == "cleaning"
+        assert record.error_type == "RuntimeError"
+
+    def test_clean_stream_identical_with_quarantine_attached(self,
+                                                             scenario):
+        from repro.rfid import NoiseModel
+        ticks = list(scenario.ticks(NoiseModel.perfect()))
+        plain = make_pipeline(scenario, None)
+        guarded = make_pipeline(scenario, DeadLetterQueue())
+        baseline = [list(plain.process_tick(readings, now))
+                    for now, readings in ticks]
+        hardened = [list(guarded.process_tick(readings, now))
+                    for now, readings in ticks]
+        assert baseline == hardened
+
+
+class TestSystemLevelQuarantine:
+    def run_system(self, scenario, resilience, mangle=None):
+        from repro.rfid import NoiseModel
+        system = SaseSystem(scenario.layout, scenario.ons,
+                            resilience=resilience)
+        system.register_monitoring_query("shoplifting",
+                                         SHOPLIFTING_QUERY)
+        results = []
+        for now, readings in scenario.ticks(NoiseModel.perfect()):
+            if mangle is not None:
+                readings = mangle(readings)
+            # The hard guarantee: feed never raises on dirty input.
+            results.extend(system.process_tick(readings, now))
+        results.extend(system.processor.flush())
+        return system, results
+
+    def test_injected_garbage_lands_in_dead_letters(self, scenario,
+                                                    tmp_path):
+        path = str(tmp_path / "dead.jsonl")
+        resilience = ResilienceConfig(dead_letter_path=path)
+        poisoned = [0]
+
+        def mangle(readings):
+            poisoned[0] += 3
+            return list(readings) + [
+                RawReading(epc=None, reader_id="r", time=1.0),
+                RawReading(epc="EPCX", reader_id="r", time=-9.0),
+                RawReading(epc="EPCX", reader_id="r",
+                           time=float("inf"))]
+
+        system, results = self.run_system(scenario, resilience, mangle)
+        assert len(system.dead_letters) == poisoned[0]
+        system.close()
+        assert len(DeadLetterQueue.load(path)) == poisoned[0]
+
+    def test_detections_survive_dirty_input(self, scenario):
+        _, clean = self.run_system(scenario, None)
+        truth = {r["x_TagId"] for name, r in clean
+                 if name == "shoplifting"}
+
+        def mangle(readings):
+            return list(readings) + [
+                RawReading(epc=None, reader_id="r", time=0.5)]
+
+        _, dirty = self.run_system(scenario, ResilienceConfig(), mangle)
+        detected = {r["x_TagId"] for name, r in dirty
+                    if name == "shoplifting"}
+        assert detected == truth

@@ -112,6 +112,8 @@ class TestBackpressure:
         backend = ThreadBackend.__new__(ThreadBackend)
         backend.metrics = metrics
         backend.response_timeout = 5.0
+        backend.supervisor = None
+        backend._lost = set()
         backend._in_queues = [queue.Queue(maxsize=1)]
         backend._in_queues[0].put(("occupied",))
 
@@ -135,6 +137,8 @@ class TestBackpressure:
         backend = ThreadBackend.__new__(ThreadBackend)
         backend.metrics = MetricsCollector()
         backend.response_timeout = 0.3
+        backend.supervisor = None
+        backend._lost = set()
         backend._in_queues = [queue.Queue(maxsize=1)]
         backend._in_queues[0].put(("occupied",))
         with pytest.raises(SaseError, match="full"):
