@@ -1,0 +1,153 @@
+"""E21 — multi-tenant service scaling: tenants share a few templates.
+
+The multi-tenant query service co-locates many tenants' queries on one
+engine.  In realistic fleets most tenants instantiate the same handful
+of query *templates* (same EVENT/WHERE/WITHIN shape, their own RETURN
+clause), so independent evaluation re-runs an identical match pipeline
+once per tenant while shared-plan evaluation runs it once per template
+and fans matches out to per-tenant continuations.
+
+This experiment registers N tenants (one query each, cycling over 8
+overlapping templates) in a :class:`~repro.service.QueryService`, feeds
+one synthetic stream through, and reports aggregate throughput and
+per-feed p95 latency with sharing off vs on.  Result counts are
+asserted identical between the two modes at every N.  Per-event cost is
+O(tenants) independent vs O(templates) shared, so the shared advantage
+grows linearly with the tenant count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.shared import SharedPlanConfig
+from repro.service import AdmissionPolicy, QueryService, TenantQuota
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream
+
+from common import print_table
+
+FULL_EVENTS = 3_000
+SMOKE_EVENTS = 600
+FULL_TENANTS = [64, 256, 1024]
+SMOKE_TENANTS = [16, 64]
+
+# Eight templates over a 3-type alphabet.  The first three differ only
+# in RETURN (one shared group); the rest are distinct plans.  {window}
+# keeps the windows small so state stays bounded at 1024 tenants.
+TEMPLATES = [
+    "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 8\n"
+    "RETURN x.id, y.v",
+    "EVENT SEQ(A p, B q)\nWHERE p.id = q.id\nWITHIN 8\nRETURN p.v",
+    "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 8\n"
+    "RETURN x.v + y.v",
+    "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 16\nRETURN y.v",
+    "EVENT SEQ(B x, C y)\nWHERE x.id = y.id\nWITHIN 8\nRETURN x.id",
+    "EVENT SEQ(A x, C y)\nWHERE x.id = y.id\nWITHIN 8\nRETURN y.v",
+    "EVENT SEQ(A x, B y, C z)\nWHERE x.id = y.id AND y.id = z.id\n"
+    "WITHIN 12\nRETURN x.id",
+    "EVENT C x\nWHERE x.v > 40\nWITHIN 8\nRETURN x.id, x.v",
+]
+
+
+def build_stream(n_events: int) -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, mean_gap=1.0,
+        seed=21))
+
+
+def build_service(stream: SyntheticStream, tenants: int,
+                  shared: bool) -> QueryService:
+    service = QueryService(
+        stream.registry,
+        policy=AdmissionPolicy(max_tenants=tenants + 1,
+                               max_total_queries=tenants + 1),
+        shared_plans=SharedPlanConfig(enabled=shared),
+        # Tiny backlog: the benchmark measures evaluation, not the
+        # memory cost of a million undrained results.
+        default_quota=TenantQuota(max_queries=1,
+                                  max_pending_results=4))
+    for index in range(tenants):
+        service.register(f"tenant{index}", "q",
+                         TEMPLATES[index % len(TEMPLATES)])
+    return service
+
+
+def run_once(stream: SyntheticStream, tenants: int,
+             shared: bool) -> tuple[float, float, int, int]:
+    """Returns (events/s, p95 feed ms, total results, groups)."""
+    service = build_service(stream, tenants, shared)
+    latencies = []
+    started = time.perf_counter()
+    for event in stream.events:
+        feed_started = time.perf_counter()
+        service.feed(event)
+        latencies.append(time.perf_counter() - feed_started)
+    elapsed = time.perf_counter() - started
+    results = sum(state["results_total"]
+                  for state in service.tenant_gauges().values())
+    latencies.sort()
+    p95 = latencies[int(0.95 * (len(latencies) - 1))] * 1e3
+    groups = service.stats()["shared_plans"]["groups"]
+    return len(stream.events) / elapsed, p95, results, groups
+
+
+def sweep(n_events: int, tenant_counts: list[int]) -> list[list]:
+    stream = build_stream(n_events)
+    rows = []
+    for tenants in tenant_counts:
+        indep_rate, indep_p95, indep_results, _ = \
+            run_once(stream, tenants, shared=False)
+        shared_rate, shared_p95, shared_results, groups = \
+            run_once(stream, tenants, shared=True)
+        assert shared_results == indep_results, \
+            f"shared plans changed results at {tenants} tenants " \
+            f"({shared_results} vs {indep_results})"
+        rows.append([tenants, groups, indep_rate, shared_rate,
+                     shared_rate / indep_rate, indep_p95, shared_p95,
+                     shared_results])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="multi-tenant service throughput/latency, "
+                    "shared plans off vs on")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (seconds)")
+    args = parser.parse_args(argv)
+    n_events = SMOKE_EVENTS if args.smoke else FULL_EVENTS
+    counts = SMOKE_TENANTS if args.smoke else FULL_TENANTS
+    rows = sweep(n_events, counts)
+    print_table(
+        f"E21 — multi-tenant service scaling ({n_events} events, "
+        f"{len(TEMPLATES)} templates, 1 query/tenant)",
+        ["tenants", "groups", "indep ev/s", "shared ev/s", "speedup",
+         "indep p95 ms", "shared p95 ms", "results"],
+        rows)
+    top = rows[-1]
+    print(f"at {top[0]} tenants, shared-plan evaluation sustains "
+          f"{top[4]:.1f}x the independent throughput "
+          f"({top[3]:,.0f} vs {top[2]:,.0f} events/s) with p95 feed "
+          f"latency {top[6]:.2f} ms vs {top[5]:.2f} ms, over "
+          f"{top[1]} shared pipelines.")
+
+
+def test_benchmark_shared_64_tenants(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    result = benchmark.pedantic(
+        lambda: run_once(stream, 64, shared=True),
+        rounds=3, iterations=1)
+    assert result[2] > 0
+
+
+def test_benchmark_independent_64_tenants(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    result = benchmark.pedantic(
+        lambda: run_once(stream, 64, shared=False),
+        rounds=3, iterations=1)
+    assert result[2] > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ EXPERIMENTS = [
     ("E18", "bench_e18_observability_overhead"),
     ("E19", "bench_e19_persistence"),
     ("E20", "bench_e20_resilience"),
+    ("E21", "bench_e21_multitenant_service"),
 ]
 
 

@@ -8,7 +8,9 @@ Commands:
                   and print track-and-trace answers;
 * ``explain``   — compile a query and print its plan;
 * ``run``       — execute a query over events from a JSON-lines file;
-* ``bench``     — a quick plan comparison on a synthetic stream.
+* ``bench``     — a quick plan comparison on a synthetic stream;
+* ``serve``     — run the multi-tenant query service over TCP;
+* ``client``    — register/withdraw/subscribe/feed against a server.
 
 Event files are JSON lines: ``{"type": "A", "timestamp": 1.0,
 "attributes": {"id": 7}}``.  Schema files map type names to attribute
@@ -209,6 +211,65 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--events", type=int, default=3000)
     bench.add_argument("--window", type=float, default=30.0)
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant query service (JSON-lines "
+                      "TCP; see docs/service.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default: 0 = ephemeral; the "
+                            "bound port is printed on startup)")
+    serve.add_argument("--schemas", help="schema JSON file "
+                                         "(default: retail schemas)")
+    serve.add_argument("--manifest", metavar="PATH",
+                       help="durable query-set manifest: every "
+                            "registration/withdrawal rewrites it "
+                            "atomically, and restarting with the same "
+                            "PATH restores all tenants and queries")
+    serve.add_argument("--max-tenants", type=int, default=1024)
+    serve.add_argument("--max-total-queries", type=int, default=4096)
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="admission-queue depth once the service is "
+                            "at capacity (default: 64)")
+    serve.add_argument("--tenant-max-queries", type=int, default=8,
+                       help="default per-tenant query quota (default: 8)")
+    serve.add_argument("--tenant-max-events-per-second", type=float,
+                       default=0.0,
+                       help="default per-tenant ingest rate limit "
+                            "(default: 0 = unlimited)")
+    serve.add_argument("--tenant-max-pending-results", type=int,
+                       default=1024,
+                       help="default per-tenant result backlog before "
+                            "shedding (default: 1024)")
+    serve.add_argument("--no-shared-plans", action="store_true",
+                       help="evaluate every tenant query independently "
+                            "(disables cross-tenant plan sharing)")
+    serve.add_argument("--metrics-out", metavar="PATH",
+                       help="write a metrics snapshot (including "
+                            "per-tenant gauges) on shutdown")
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = commands.add_parser(
+        "client", help="talk to a running query service")
+    client.add_argument(
+        "action", choices=("ping", "register", "withdraw", "subscribe",
+                           "feed", "drain", "flush", "stats",
+                           "shutdown"),
+        help="register TENANT NAME QUERY | withdraw TENANT NAME | "
+             "subscribe TENANT --limit N | feed TENANT --events FILE | "
+             "drain TENANT | ping | flush | stats | shutdown")
+    client.add_argument("tenant", nargs="?")
+    client.add_argument("name", nargs="?")
+    client.add_argument("query", nargs="?",
+                        help="query text, or @file (register)")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--events", metavar="PATH",
+                        help="feed: JSON-lines event file ('-' = stdin)")
+    client.add_argument("--limit", type=int, default=0,
+                        help="subscribe: stop after N results; "
+                             "drain: return at most N")
+    client.set_defaults(handler=_cmd_client)
 
     deadletter = commands.add_parser(
         "deadletter", help="inspect or replay a dead-letter file "
@@ -648,6 +709,99 @@ def _cmd_bench(args: argparse.Namespace, out: TextIO) -> None:
         elapsed = time.perf_counter() - started
         print(f"{label:>20}: {len(stream.events) / elapsed:10,.0f} "
               f"events/s  ({results} matches)", file=out)
+
+
+def _cmd_serve(args: argparse.Namespace, out: TextIO) -> None:
+    from repro.core.shared import SharedPlanConfig
+    from repro.service import AdmissionPolicy, QueryService, TenantQuota
+    from repro.service.server import serve as run_server
+
+    registry = _load_schemas(args.schemas) if args.schemas \
+        else retail_registry()
+    service = QueryService(
+        registry,
+        policy=AdmissionPolicy(max_tenants=args.max_tenants,
+                               max_total_queries=args.max_total_queries,
+                               queue_limit=args.queue_limit),
+        default_quota=TenantQuota(
+            max_queries=args.tenant_max_queries,
+            max_events_per_second=args.tenant_max_events_per_second,
+            max_pending_results=args.tenant_max_pending_results),
+        shared_plans=SharedPlanConfig(enabled=not args.no_shared_plans),
+        manifest_path=args.manifest)
+    if service.total_queries:
+        print(f"restored {service.total_queries} query(ies) across "
+              f"{len(service.tenants())} tenant(s) from {args.manifest}",
+              file=out)
+
+    def ready(port: int) -> None:
+        print(f"listening on {args.host}:{port}", file=out, flush=True)
+
+    run_server(service, host=args.host, port=args.port, ready=ready)
+    if args.metrics_out:
+        exporter = MetricsExporter(service.processor, args.metrics_out,
+                                   service=service)
+        exporter.flush()
+        print(f"wrote metrics to {args.metrics_out}", file=out)
+    print("service stopped", file=out)
+
+
+def _cmd_client(args: argparse.Namespace, out: TextIO) -> None:
+    from repro.service import ServiceClient
+
+    def need(value: str | None, what: str) -> str:
+        if value is None:
+            raise SaseError(
+                f"client {args.action} needs a {what} argument")
+        return value
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        action = args.action
+        if action == "ping":
+            print("pong" if client.ping() else "no pong", file=out)
+        elif action == "register":
+            outcome = client.register(
+                need(args.tenant, "TENANT"), need(args.name, "NAME"),
+                _read_query(need(args.query, "QUERY")))
+            status = outcome.get("status")
+            line = status if status != "queued" \
+                else f"queued at position {outcome.get('position')}"
+            print(line, file=out)
+        elif action == "withdraw":
+            client.withdraw(need(args.tenant, "TENANT"),
+                            need(args.name, "NAME"))
+            print("withdrawn", file=out)
+        elif action == "subscribe":
+            client.subscribe(need(args.tenant, "TENANT"))
+            received = 0
+            while args.limit <= 0 or received < args.limit:
+                push = client.wait_push()
+                print(json.dumps(push, sort_keys=True), file=out,
+                      flush=True)
+                received += 1
+        elif action == "feed":
+            produced = 0
+            count = 0
+            for record in _read_event_records(
+                    need(args.events, "--events")):
+                produced += client.feed(need(args.tenant, "TENANT"),
+                                        record)
+                count += 1
+            print(f"fed {count} event(s), {produced} result(s)",
+                  file=out)
+        elif action == "drain":
+            for result in client.drain(need(args.tenant, "TENANT"),
+                                       args.limit):
+                print(json.dumps(result, sort_keys=True), file=out)
+        elif action == "flush":
+            print(f"flush released {client.flush()} result(s)",
+                  file=out)
+        elif action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True),
+                  file=out)
+        elif action == "shutdown":
+            client.shutdown()
+            print("shutdown requested", file=out)
 
 
 # -- helpers -----------------------------------------------------------------

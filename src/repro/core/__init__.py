@@ -22,6 +22,8 @@ from repro.core.engine import CompiledQuery, Engine, run_query
 from repro.core.match import Match
 from repro.core.plan import KleeneMode, PlanConfig, QueryPlan, build_plan
 from repro.core.runtime import QueryRuntime
+from repro.core.shared import SharedGroup, SharedMemberRuntime, \
+    SharedPlanConfig, plan_signature
 from repro.core.stats import OperatorStats, PlanStats
 
 __all__ = [
@@ -34,6 +36,10 @@ __all__ = [
     "PlanStats",
     "QueryPlan",
     "QueryRuntime",
+    "SharedGroup",
+    "SharedMemberRuntime",
+    "SharedPlanConfig",
     "build_plan",
+    "plan_signature",
     "run_query",
 ]

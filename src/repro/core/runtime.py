@@ -25,11 +25,20 @@ from repro.events.event import CompositeEvent, Event
 from repro.core.match import Match
 
 
+class _RawMatches:
+    """Identity stand-in for the Transformation operator: pass raw
+    :class:`Match` objects through instead of evaluating RETURN."""
+
+    @staticmethod
+    def process(match: Match) -> Match:
+        return match
+
+
 class QueryRuntime:
     """Executable dataflow for one query plan."""
 
     def __init__(self, plan: QueryPlan, functions: Any = None,
-                 system: Any = None):
+                 system: Any = None, raw_matches: bool = False):
         self.plan = plan
         self.stats = PlanStats()
         analyzed = plan.analyzed
@@ -70,8 +79,13 @@ class QueryRuntime:
             analyzed, use_partition_index=plan.uses_partition,
             stats=self.stats, functions=functions, system=system) \
             if plan.needs_negation else None
-        self._transformation = Transformation(
-            analyzed, stats=self.stats, functions=functions, system=system)
+        # raw_matches: skip the RETURN clause and emit Match objects.
+        # The shared-plan runtime (repro.core.shared) uses this to run one
+        # match pipeline for a whole group of queries, applying each
+        # member's own Transformation as its continuation.
+        self._transformation = _RawMatches() if raw_matches else \
+            Transformation(analyzed, stats=self.stats,
+                           functions=functions, system=system)
         self._flushed = False
 
     # -- streaming interface -------------------------------------------------
@@ -132,6 +146,11 @@ class QueryRuntime:
         for event in events:
             yield from self.feed(event)
         yield from self.flush()
+
+    @property
+    def flushed(self) -> bool:
+        """True once the stream has ended for this runtime."""
+        return self._flushed
 
     # -- internals -----------------------------------------------------------
 

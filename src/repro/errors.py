@@ -82,6 +82,15 @@ class ResilienceError(SaseError):
     was misconfigured."""
 
 
+class ServiceError(SaseError):
+    """The multi-tenant query service rejected a request (quota,
+    admission control, unknown tenant/query) or was misused."""
+
+
+class ProtocolError(ServiceError):
+    """A service wire-protocol message is malformed."""
+
+
 class CleaningError(SaseError):
     """A cleaning-layer invariant was violated."""
 

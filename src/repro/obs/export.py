@@ -10,7 +10,11 @@ A snapshot gathers three layers into one JSON-serializable dict:
   operator in/out counters plus stack and partition high-water gauges;
 * WAL/checkpoint gauges from the persistence manager when the exporter
   is constructed with ``persistence=`` (records, segments, bytes,
-  fsyncs, checkpoints, replay/suppression counters).
+  fsyncs, checkpoints, replay/suppression counters);
+* per-tenant service gauges when constructed with ``service=`` (a
+  :class:`~repro.service.QueryService`): registered queries,
+  admitted/rejected registrations, shed results, subscription backlog —
+  the ``tenants`` section, rendered as ``sase_tenant_*`` samples.
 
 The same snapshot renders as Prometheus text exposition
 (:func:`to_prometheus`) for scraping, and :func:`parse_prometheus` reads
@@ -77,6 +81,30 @@ _PLAN_GAUGES = (
      "Peak active stack instances"),
     ("sase_plan_partitions_high_water", "partitions_high_water",
      "Peak live PAIS partitions"),
+)
+_TENANT_GAUGES = (
+    ("sase_tenant_registered_queries", "registered_queries",
+     "Queries the tenant currently holds"),
+    ("sase_tenant_queued_registrations", "queued_registrations",
+     "The tenant's registrations waiting in the admission queue"),
+    ("sase_tenant_admitted_registrations_total",
+     "admitted_registrations_total",
+     "Registrations admitted for the tenant"),
+    ("sase_tenant_rejected_registrations_total",
+     "rejected_registrations_total",
+     "Registrations rejected for the tenant"),
+    ("sase_tenant_results_total", "results_total",
+     "Results produced for the tenant"),
+    ("sase_tenant_results_delivered_total", "results_delivered_total",
+     "Results delivered to the tenant"),
+    ("sase_tenant_results_shed_total", "results_shed_total",
+     "Results shed from the tenant's overfull pending queue"),
+    ("sase_tenant_pending_results", "pending_results",
+     "The tenant's undelivered result backlog"),
+    ("sase_tenant_events_submitted_total", "events_submitted_total",
+     "Events the tenant pushed through the service"),
+    ("sase_tenant_events_throttled_total", "events_throttled_total",
+     "Tenant event submissions refused by the rate limiter"),
 )
 _PERSIST_GAUGES = (
     ("sase_wal_records", "wal_records",
@@ -192,6 +220,11 @@ def to_prometheus(snapshot: dict) -> str:
         labels = {"shard": shard_id}
         for metric, field, help_text in _SHARD_COUNTERS:
             w.sample(metric, "counter", help_text, labels, entry[field])
+    for tenant, entry in snapshot.get("tenants", {}).items():
+        labels = {"tenant": tenant}
+        for metric, field, help_text in _TENANT_GAUGES:
+            w.sample(metric, "gauge", help_text, labels,
+                     entry.get(field))
     persistence = snapshot.get("persistence")
     if persistence:
         for metric, field, help_text in _PERSIST_GAUGES:
@@ -257,7 +290,7 @@ class MetricsExporter:
 
     def __init__(self, processor: Any, path: str,
                  fmt: str | None = None, every_events: int = 0,
-                 persistence: Any = None):
+                 persistence: Any = None, service: Any = None):
         if fmt is None:
             fmt = "prometheus" \
                 if path.endswith((".prom", ".txt")) else "json"
@@ -265,6 +298,7 @@ class MetricsExporter:
             raise ValueError(f"unknown metrics format {fmt!r}")
         self._processor = processor
         self._persistence = persistence
+        self._service = service
         self.path = path
         self.fmt = fmt
         self.every_events = every_events
@@ -275,6 +309,8 @@ class MetricsExporter:
         snapshot = processor_snapshot(self._processor)
         if self._persistence is not None:
             snapshot["persistence"] = self._persistence.gauges()
+        if self._service is not None:
+            snapshot["tenants"] = self._service.tenant_gauges()
         return snapshot
 
     def render(self) -> str:

@@ -151,6 +151,11 @@ class PersistenceManager:
         self._opened = True
         self._live = True
         self._analyze_queries()
+        # Online query lifecycle: a register/deregister changes the
+        # largest stateful window, and with it the WAL replay horizon —
+        # without re-analysis a withdrawn long-window query would pin
+        # WAL segments (and replay work) forever.
+        self._processor.add_lifecycle_listener(self._on_lifecycle)
 
         report = RecoveryReport(checkpoint_lsn=None, replayed_events=0,
                                 scratch_events=0,
@@ -259,6 +264,25 @@ class PersistenceManager:
             self._max_window = sum(windows)
         else:
             self._max_window = max(windows)
+
+    def _on_lifecycle(self, action: str, registered: Any) -> None:
+        """Re-derive the replay horizon from the live query set.  A
+        shrinking window advances the horizon on the next sampled track;
+        a vanished frontier (window now 0/bounded where it was unbounded)
+        re-pins at the current WAL end."""
+        previous = self._max_window
+        self._analyze_queries()
+        if self._max_window == previous:
+            return
+        if self._max_window is not None:
+            if previous is None and not self._frontier:
+                self._frontier.append((self._wal.next_lsn, self._max_ts))
+            # Prune immediately under the new (smaller or now-bounded)
+            # window so the next checkpoint's replay_lsn reflects it.
+            cutoff = self._max_ts - self._max_window
+            frontier = self._frontier
+            while len(frontier) > 1 and frontier[1][1] < cutoff:
+                frontier.popleft()
 
     # -- the live write path --------------------------------------------------
 
@@ -459,6 +483,7 @@ class PersistenceManager:
             return
         self._finalized = True
         self._live = False
+        self._processor.remove_lifecycle_listener(self._on_lifecycle)
         self._processor.set_persistence_hooks(None, None)
         self._out.close()
         self._wal.close()

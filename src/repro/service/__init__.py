@@ -1,0 +1,31 @@
+"""Multi-tenant query service: online query lifecycle over one engine.
+
+The service layer (``docs/service.md``) hosts many tenants' SASE queries
+on one embedded processor — registration and withdrawal at runtime,
+per-tenant quotas and result feeds, admission control under overload,
+and shared-plan evaluation across tenants with overlapping templates.
+
+* :class:`QueryService` — the transport-free core (tenancy, quotas,
+  admission, durable query-set manifest);
+* :class:`QueryServer` / :func:`serve` — the asyncio JSON-lines TCP
+  front end;
+* :class:`ServiceClient` — a blocking client for tests and the CLI;
+* :class:`TenantQuota`, :class:`AdmissionPolicy` — the governing knobs.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.core import QueryService, TenantState, result_to_wire
+from repro.service.quotas import AdmissionPolicy, TenantQuota, TokenBucket
+from repro.service.server import QueryServer, serve
+
+__all__ = [
+    "AdmissionPolicy",
+    "QueryServer",
+    "QueryService",
+    "ServiceClient",
+    "TenantQuota",
+    "TenantState",
+    "TokenBucket",
+    "result_to_wire",
+    "serve",
+]

@@ -1,0 +1,141 @@
+"""A small blocking client for the query service.
+
+:class:`ServiceClient` opens one TCP connection and exposes one method
+per protocol op.  Requests carry monotonically increasing ids; the
+client reads lines until the matching response arrives, collecting any
+subscription pushes that interleave into :attr:`pushes` (take them with
+:meth:`take_pushes`).  The client is synchronous on purpose — it is the
+test harness's and the CLI's view of the server, and determinism beats
+throughput there.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import protocol
+from repro.service.quotas import TenantQuota
+
+
+class ServiceClient:
+    """One JSON-lines connection to a :class:`~repro.service.server
+    .QueryServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self.pushes: list[dict] = []
+
+    # -- plumbing -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request and block for its response; raises
+        :class:`ServiceError` when the server reports failure."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(protocol.encode(
+            {"op": op, "id": request_id, **fields}))
+        while True:
+            message = self._read_message()
+            if protocol.is_push(message):
+                self.pushes.append(message)
+                continue
+            if message.get("id") != request_id:
+                raise ProtocolError(
+                    f"response id {message.get('id')!r} does not match "
+                    f"request id {request_id}")
+            if not message.get("ok"):
+                raise ServiceError(message.get("error",
+                                               "request failed"))
+            return message
+
+    def _read_message(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"invalid server line: {exc}") from exc
+        if not isinstance(message, dict):
+            raise ProtocolError("server line is not a JSON object")
+        return message
+
+    def take_pushes(self) -> list[dict]:
+        """All subscription pushes received so far (clears the buffer)."""
+        taken, self.pushes = self.pushes, []
+        return taken
+
+    def wait_push(self) -> dict:
+        """Block until one subscription push arrives."""
+        if self.pushes:
+            return self.pushes.pop(0)
+        while True:
+            message = self._read_message()
+            if protocol.is_push(message):
+                return message
+            raise ProtocolError(
+                f"expected a push, got response {message!r}")
+
+    # -- ops ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def register(self, tenant: str, name: str, query: str,
+                 quota: TenantQuota | dict | None = None) -> dict:
+        fields: dict[str, Any] = {"tenant": tenant, "name": name,
+                                  "query": query}
+        if quota is not None:
+            fields["quota"] = quota.to_dict() \
+                if isinstance(quota, TenantQuota) else quota
+        return self.request("register", **fields)
+
+    def withdraw(self, tenant: str, name: str) -> None:
+        self.request("withdraw", tenant=tenant, name=name)
+
+    def subscribe(self, tenant: str) -> None:
+        self.request("subscribe", tenant=tenant)
+
+    def unsubscribe(self, tenant: str) -> None:
+        self.request("unsubscribe", tenant=tenant)
+
+    def feed(self, tenant: str, event: dict,
+             stream: str | None = None) -> int:
+        fields: dict[str, Any] = {"tenant": tenant, "event": event}
+        if stream is not None:
+            fields["stream"] = stream
+        return int(self.request("feed", **fields).get("results", 0))
+
+    def drain(self, tenant: str, limit: int = 0) -> list[dict]:
+        return list(self.request("drain", tenant=tenant,
+                                 limit=limit).get("results", []))
+
+    def flush(self) -> int:
+        return int(self.request("flush").get("results", 0))
+
+    def stats(self) -> dict:
+        response = self.request("stats")
+        return {"stats": response.get("stats", {}),
+                "tenants": response.get("tenants", {})}
+
+    def shutdown(self) -> None:
+        self.request("shutdown")

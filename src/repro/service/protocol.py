@@ -1,0 +1,112 @@
+"""The service wire protocol: JSON lines over a byte stream.
+
+Each direction carries one JSON object per ``\\n``-terminated line
+(UTF-8, no embedded newlines — ``json.dumps`` guarantees that).
+
+**Requests** carry an ``op`` and a client-chosen ``id`` echoed in the
+response so a client can pipeline:
+
+================  ==========================================  =========
+op                request fields                              reply
+================  ==========================================  =========
+``ping``          —                                           ``pong``
+``register``      ``tenant``, ``name``, ``query``,            ``status``
+                  optional ``quota``                          (+ queue
+                                                              position)
+``withdraw``      ``tenant``, ``name``                        —
+``subscribe``     ``tenant``                                  —
+``unsubscribe``   ``tenant``                                  —
+``feed``          ``tenant``, ``event`` (type, timestamp,     ``results``
+                  attributes)                                 count
+``drain``         ``tenant``, optional ``limit``              ``results``
+``flush``         —                                           ``results``
+                                                              count
+``stats``         —                                           ``stats``,
+                                                              ``tenants``
+``shutdown``      —                                           —
+================  ==========================================  =========
+
+**Responses** are ``{"id": ..., "ok": true, ...}`` or ``{"id": ...,
+"ok": false, "error": "..."}``.  A subscribed connection additionally
+receives **pushes** — ``{"push": "result", "tenant": ..., "query": ...,
+"type": ..., "start": ..., "end": ..., "attributes": {...}}`` — which
+carry no ``id``; clients must treat any line without an ``id`` as a
+push.
+
+This module holds only framing and validation; it has no I/O so the
+asyncio server and the blocking client share one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ProtocolError
+
+OPS = frozenset({"ping", "register", "withdraw", "subscribe",
+                 "unsubscribe", "feed", "drain", "flush", "stats",
+                 "shutdown"})
+
+_TENANT_OPS = frozenset({"register", "withdraw", "subscribe",
+                         "unsubscribe", "feed", "drain"})
+_NAMED_OPS = frozenset({"register", "withdraw"})
+
+
+def encode(message: dict) -> bytes:
+    """One protocol line, newline-terminated."""
+    return (json.dumps(message, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def parse_line(line: bytes | str) -> dict:
+    """Parse one line into a JSON object (no op validation)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("a request must be a JSON object")
+    return message
+
+
+def validate_request(message: dict) -> dict:
+    """Check a parsed request's op and required fields."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {sorted(OPS)})")
+    if op in _TENANT_OPS and not isinstance(message.get("tenant"), str):
+        raise ProtocolError(f"op {op!r} needs a string 'tenant'")
+    if op in _NAMED_OPS and not isinstance(message.get("name"), str):
+        raise ProtocolError(f"op {op!r} needs a string 'name'")
+    if op == "register" and not isinstance(message.get("query"), str):
+        raise ProtocolError("op 'register' needs a string 'query'")
+    if op == "feed" and not isinstance(message.get("event"), dict):
+        raise ProtocolError("op 'feed' needs an 'event' object")
+    return message
+
+
+def decode_request(line: bytes | str) -> dict:
+    """Parse and validate one request line."""
+    return validate_request(parse_line(line))
+
+
+def ok(request_id: Any, **fields: Any) -> dict:
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error(request_id: Any, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": message}
+
+
+def push_result(result: dict) -> dict:
+    """Wrap one :func:`repro.service.core.result_to_wire` dict as a
+    subscription push."""
+    return {"push": "result", **result}
+
+
+def is_push(message: dict) -> bool:
+    return "id" not in message

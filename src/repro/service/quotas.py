@@ -1,0 +1,83 @@
+"""Per-tenant quotas and service-wide admission control.
+
+The service governs tenants along three axes:
+
+* **query count** — each tenant may hold at most ``max_queries``
+  registered queries; the service as a whole caps total queries and
+  total tenants (:class:`AdmissionPolicy`);
+* **ingest rate** — a tenant pushing events through the wire protocol is
+  rate-limited by a token bucket (``max_events_per_second``, with a burst
+  of one second's worth);
+* **result backlog** — each tenant's undelivered results are bounded by
+  ``max_pending_results``; beyond it the oldest results are shed (and
+  counted) so one absent subscriber cannot hold the server's memory.
+
+Admission control is two-tiered: a registration that would exceed the
+*tenant's* quota is rejected outright (the tenant can fix it by
+withdrawing), while one that only exceeds the *service-wide* query cap is
+queued (FIFO, bounded) and admitted automatically when capacity frees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource bounds for one tenant.  Zero means unlimited for the
+    rate; the count bounds must be positive."""
+
+    max_queries: int = 8
+    max_events_per_second: float = 0.0
+    max_pending_results: int = 1024
+
+    def to_dict(self) -> dict:
+        return {"max_queries": self.max_queries,
+                "max_events_per_second": self.max_events_per_second,
+                "max_pending_results": self.max_pending_results}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantQuota":
+        base = cls()
+        return cls(
+            max_queries=int(data.get("max_queries", base.max_queries)),
+            max_events_per_second=float(data.get(
+                "max_events_per_second", base.max_events_per_second)),
+            max_pending_results=int(data.get(
+                "max_pending_results", base.max_pending_results)))
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Service-wide capacity bounds."""
+
+    max_tenants: int = 1024
+    max_total_queries: int = 4096
+    queue_limit: int = 64          # registrations waiting for capacity
+
+
+class TokenBucket:
+    """A standard token bucket over an injectable monotonic clock.
+
+    ``rate`` tokens accrue per second up to ``burst``; ``try_acquire``
+    spends one.  A rate of 0 disables limiting entirely.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None):
+        self.rate = rate
+        self.burst = burst if burst is not None else max(1.0, rate)
+        self._tokens = self.burst
+        self._last: float | None = None
+
+    def try_acquire(self, now: float) -> bool:
+        if self.rate <= 0:
+            return True
+        if self._last is not None and now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False

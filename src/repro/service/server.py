@@ -1,0 +1,195 @@
+"""The asyncio front end: JSON-lines TCP access to a QueryService.
+
+One :class:`QueryServer` wraps one :class:`~repro.service.core
+.QueryService`.  Every client connection speaks the protocol in
+``repro.service.protocol``; requests are served strictly in arrival
+order per connection, and the service core itself is only ever touched
+from the event loop's single thread, so no locking is needed.
+
+Subscriptions: a connection that sends ``subscribe`` for a tenant
+receives that tenant's results as push lines.  After every operation
+that can produce results (``feed``, ``flush``) the server drains each
+subscribed tenant's pending queue once and fans the lines out to all of
+that tenant's subscribers.  Results produced while a tenant has no
+subscriber stay in the bounded pending queue (shedding oldest beyond
+the tenant's quota) until someone subscribes or drains explicitly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.errors import SaseError, ServiceError
+from repro.service import protocol
+from repro.service.core import QueryService
+from repro.service.quotas import TenantQuota
+
+
+class QueryServer:
+    """Serve one :class:`QueryService` over TCP JSON lines."""
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port          # 0 -> ephemeral; real port after start
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._subscribers: dict[str, set[asyncio.StreamWriter]] = {}
+        self._connections: set[asyncio.StreamWriter] = set()
+        self.connections_served = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a client sends ``shutdown`` (or :meth:`stop`)."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Close live connections so their handler tasks finish on their
+        # own (EOF) instead of being cancelled at loop teardown.
+        for writer in list(self._connections):
+            writer.close()
+        for _ in range(1000):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.001)
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.connections_served += 1
+        self._connections.add(writer)
+        try:
+            while not reader.at_eof():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line.strip():
+                    if not line:
+                        break
+                    continue
+                response = self._dispatch(line, writer)
+                writer.write(protocol.encode(response))
+                await self._pump()
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                if self._shutdown.is_set():
+                    break
+        finally:
+            for subscribers in self._subscribers.values():
+                subscribers.discard(writer)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, line: bytes,
+                  writer: asyncio.StreamWriter) -> dict:
+        request_id: Any = None
+        try:
+            message = protocol.parse_line(line)
+            request_id = message.get("id")
+            request = protocol.validate_request(message)
+            return self._execute(request, writer)
+        except SaseError as exc:
+            return protocol.error(request_id, str(exc))
+        except Exception as exc:   # noqa: BLE001 - keep the connection up
+            return protocol.error(
+                request_id, f"internal error: {type(exc).__name__}: {exc}")
+
+    def _execute(self, request: dict,
+                 writer: asyncio.StreamWriter) -> dict:
+        service = self.service
+        op = request["op"]
+        request_id = request.get("id")
+        tenant = request.get("tenant")
+        if op == "ping":
+            return protocol.ok(request_id, pong=True)
+        if op == "register":
+            quota = None
+            if isinstance(request.get("quota"), dict):
+                quota = TenantQuota.from_dict(request["quota"])
+            outcome = service.register(tenant, request["name"],
+                                       request["query"], quota=quota)
+            return protocol.ok(request_id, **outcome)
+        if op == "withdraw":
+            service.withdraw(tenant, request["name"])
+            return protocol.ok(request_id)
+        if op == "subscribe":
+            service.tenant(tenant)   # must exist
+            self._subscribers.setdefault(tenant, set()).add(writer)
+            return protocol.ok(request_id)
+        if op == "unsubscribe":
+            self._subscribers.get(tenant, set()).discard(writer)
+            return protocol.ok(request_id)
+        if op == "feed":
+            produced = service.feed_record(
+                tenant, request["event"],
+                stream=request.get("stream",
+                                   service.processor.DEFAULT_STREAM))
+            return protocol.ok(request_id, results=produced)
+        if op == "drain":
+            results = service.drain(tenant,
+                                    int(request.get("limit", 0)))
+            return protocol.ok(request_id, results=results)
+        if op == "flush":
+            return protocol.ok(request_id, results=service.flush())
+        if op == "stats":
+            return protocol.ok(request_id, stats=service.stats(),
+                               tenants=service.tenant_gauges())
+        if op == "shutdown":
+            self._shutdown.set()
+            return protocol.ok(request_id)
+        raise ServiceError(f"op {op!r} is not implemented")
+
+    async def _pump(self) -> None:
+        """Drain every subscribed tenant once; fan results out to all of
+        its subscribers."""
+        for tenant, subscribers in self._subscribers.items():
+            live = [sub for sub in subscribers if not sub.is_closing()]
+            if not live:
+                continue
+            for result in self.service.drain(tenant):
+                line = protocol.encode(protocol.push_result(result))
+                for subscriber in live:
+                    subscriber.write(line)
+            for subscriber in live:
+                try:
+                    await subscriber.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    subscribers.discard(subscriber)
+
+
+def serve(service: QueryService, host: str = "127.0.0.1",
+          port: int = 0, ready: Any = None) -> None:
+    """Run a server until a client asks it to shut down.  *ready*, when
+    given, is called with the bound port once the socket is listening
+    (the CLI prints it; tests grab it)."""
+
+    async def _run() -> None:
+        server = QueryServer(service, host, port)
+        await server.start()
+        if ready is not None:
+            ready(server.port)
+        await server.serve_until_shutdown()
+
+    asyncio.run(_run())

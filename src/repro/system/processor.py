@@ -29,6 +29,8 @@ import time
 from repro.core.engine import CompiledQuery, Engine
 from repro.core.plan import PlanConfig
 from repro.core.runtime import QueryRuntime
+from repro.core.shared import SharedGroup, SharedMemberRuntime, \
+    SharedPlanConfig, plan_signature
 from repro.errors import SaseError
 from repro.events.event import CompositeEvent, Event
 from repro.events.model import SchemaRegistry
@@ -54,9 +56,16 @@ class RegisteredQuery:
     name: str
     kind: QueryKind
     compiled: CompiledQuery
-    runtime: QueryRuntime
+    runtime: QueryRuntime | SharedMemberRuntime
     on_result: ResultCallback | None
     results_produced: int = 0
+    # The shared-plan group evaluating this query's match pipeline, or
+    # None when the query runs independently.
+    shared_group: SharedGroup | None = None
+
+    @property
+    def shared(self) -> bool:
+        return self.shared_group is not None
 
     @property
     def input_stream(self) -> str:
@@ -88,10 +97,24 @@ class ComplexEventProcessor:
                  system: Any = None, config: PlanConfig | None = None,
                  sharding: "ShardingConfig | None" = None,
                  use_dispatch_index: bool = True,
-                 resilience: Any = None):
+                 resilience: Any = None,
+                 shared_plans: SharedPlanConfig | None = None):
         self._engine = Engine(registry, functions=functions, system=system,
                               config=config)
         self._queries: dict[str, RegisteredQuery] = {}
+        # Shared-plan evaluation (off unless configured): signature ->
+        # the latest (joinable) group.  Superseded groups stay alive
+        # through their members only.  Not supported under sharding:
+        # worker shards rebuild runtimes from specs on their own side.
+        self._shared = shared_plans \
+            if shared_plans is not None and shared_plans.enabled else None
+        self._shared_groups: dict[tuple, SharedGroup] = {}
+        # Online-lifecycle listeners: called with ("register" |
+        # "deregister", registered) after the query set changes, so
+        # long-lived attachments (the persistence manager's replay
+        # horizon, a serving control plane) can re-derive their state.
+        self._lifecycle_listeners: list[
+            Callable[[str, RegisteredQuery], None]] = []
         self.metrics = MetricsCollector()
         self._sharding = sharding
         # ResilienceConfig (or None): the router reads it to arm worker
@@ -193,12 +216,45 @@ class ComplexEventProcessor:
                 "started; register every query before the first feed")
         compiled = query if isinstance(query, CompiledQuery) \
             else self._engine.compile(query, config)
+        runtime, group = self._build_runtime(name, compiled)
         registered = RegisteredQuery(
-            name=name, kind=kind, compiled=compiled,
-            runtime=self._engine.runtime(compiled), on_result=on_result)
+            name=name, kind=kind, compiled=compiled, runtime=runtime,
+            on_result=on_result, shared_group=group)
         self._queries[name] = registered
         self._dispatch_cache.clear()
+        self._notify_lifecycle("register", registered)
         return registered
+
+    def _build_runtime(self, name: str, compiled: CompiledQuery) \
+            -> tuple[QueryRuntime | SharedMemberRuntime,
+                     SharedGroup | None]:
+        """An independent runtime, or a member of a shared-plan group
+        when sharing is on and the query's match plan is shareable."""
+        if self._shared is None or \
+                (self._sharding is not None and self._sharding.active):
+            return self._engine.runtime(compiled), None
+        signature = plan_signature(compiled.analyzed, compiled.plan.config,
+                                   self._shared)
+        if signature is None:
+            return self._engine.runtime(compiled), None
+        group = self._shared_groups.get(signature)
+        if group is None or not group.joinable:
+            # A warm group is never joined: its pipeline already holds
+            # partial matches a query registered *now* must not see.
+            pipeline = QueryRuntime(compiled.plan, self._engine.functions,
+                                    self._engine.system, raw_matches=True)
+            group = SharedGroup(signature, pipeline)
+            self._shared_groups[signature] = group
+        member = group.add_member(name, compiled.analyzed,
+                                  functions=self._engine.functions,
+                                  system=self._engine.system)
+        return member, group
+
+    def compile(self, query: str,
+                config: PlanConfig | None = None) -> CompiledQuery:
+        """Compile *query* without registering it (validation, or
+        compile-once-register-later flows like admission queues)."""
+        return self._engine.compile(query, config)
 
     def register_monitoring_query(self, name: str, query: str,
                                   on_result: ResultCallback | None = None) \
@@ -210,15 +266,72 @@ class ComplexEventProcessor:
         return self.register(name, query, QueryKind.ARCHIVING_RULE)
 
     def deregister(self, name: str) -> None:
+        """Withdraw a continuous query, releasing every resource it
+        holds: its runtime (partition index, window state, pending
+        negations), its shared-group membership, its dispatch-index
+        entries, and its metrics.  Lifecycle listeners run last so
+        attachments like the persistence manager's replay horizon
+        re-derive from the remaining query set."""
         if name not in self._queries:
             raise SaseError(f"no query named {name!r} is registered")
         if self._router is not None:
             raise SaseError(
                 "cannot deregister a query after the sharded stream has "
                 "started")
-        del self._queries[name]
+        registered = self._queries.pop(name)
+        group = registered.shared_group
+        if group is not None:
+            group.remove_member(name)
+            if not group.members and \
+                    self._shared_groups.get(group.signature) is group:
+                del self._shared_groups[group.signature]
+        # Drop the runtime reference eagerly: RegisteredQuery objects can
+        # outlive deregistration in caller hands, and the runtime is
+        # where the per-query stream state (stacks, partitions, buffered
+        # negations) lives.
+        registered.runtime = None  # type: ignore[assignment]
         self._dispatch_cache.clear()
         self.metrics.forget(name)
+        self._notify_lifecycle("deregister", registered)
+
+    # -- online lifecycle ----------------------------------------------------
+
+    def add_lifecycle_listener(
+            self, listener: Callable[[str, RegisteredQuery], None]) -> None:
+        """Call *listener(action, registered)* after every register or
+        deregister ("register"/"deregister")."""
+        self._lifecycle_listeners.append(listener)
+
+    def remove_lifecycle_listener(
+            self, listener: Callable[[str, RegisteredQuery], None]) -> None:
+        try:
+            self._lifecycle_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_lifecycle(self, action: str,
+                          registered: RegisteredQuery) -> None:
+        for listener in list(self._lifecycle_listeners):
+            listener(action, registered)
+
+    def shared_plan_report(self) -> dict[str, Any]:
+        """Shared-plan introspection: group count, member fan-out, and
+        how many registered queries ride a shared pipeline."""
+        groups = {id(registered.shared_group)
+                  for registered in self._queries.values()
+                  if registered.shared_group is not None}
+        shared_queries = sum(1 for registered in self._queries.values()
+                             if registered.shared_group is not None)
+        fanout = [len(registered.shared_group.members)
+                  for registered in self._queries.values()
+                  if registered.shared_group is not None]
+        return {
+            "enabled": self._shared is not None,
+            "groups": len(groups),
+            "shared_queries": shared_queries,
+            "independent_queries": len(self._queries) - shared_queries,
+            "max_fanout": max(fanout, default=0),
+        }
 
     def queries(self) -> list[RegisteredQuery]:
         return list(self._queries.values())

@@ -1,0 +1,189 @@
+"""Online query lifecycle: deregistration must release every resource a
+query held — runtime state, dispatch entries, metrics, and the
+persistence manager's replay horizon."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import pytest
+
+from repro.db.eventdb import EventDatabase
+from repro.errors import SaseError
+from repro.events.event import Event
+from repro.persist import FsyncPolicy, PersistenceConfig, \
+    PersistenceManager
+from repro.system.processor import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+
+PAIR = "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 10\n" \
+       "RETURN x.id, y.v"
+
+
+def _events(count: int, types=("A", "B")) -> list[Event]:
+    return [Event(types[index % len(types)], float(index),
+                  {"id": index % 4, "v": index})
+            for index in range(count)]
+
+
+class TestStateRelease:
+    def test_deregister_releases_runtime_state(self, abc_registry):
+        processor = ComplexEventProcessor(abc_registry)
+        registered = processor.register("pair", PAIR)
+        for event in _events(50):
+            processor.feed(event)
+        assert registered.runtime.partitions > 0
+        runtime_ref = weakref.ref(registered.runtime)
+        processor.deregister("pair")
+        del registered
+        gc.collect()
+        assert runtime_ref() is None, \
+            "the runtime (stacks, partitions, windows) must be freed"
+
+    def test_deregister_releases_shared_member_state(self, abc_registry):
+        from repro.core.shared import SharedPlanConfig
+        processor = ComplexEventProcessor(
+            abc_registry, shared_plans=SharedPlanConfig())
+        processor.register("one", PAIR)
+        processor.register("two", PAIR)
+        for event in _events(50):
+            processor.feed(event)
+        group_ref = weakref.ref(processor.query("one").shared_group)
+        processor.deregister("one")
+        processor.deregister("two")
+        gc.collect()
+        assert group_ref() is None, \
+            "an empty shared group (and its pipeline) must be freed"
+
+    def test_deregister_clears_metrics_and_dispatch(self, abc_registry):
+        processor = ComplexEventProcessor(abc_registry)
+        processor.register("pair", PAIR)
+        for event in _events(10):
+            processor.feed(event)
+        assert "pair" in processor.metrics.queries
+        processor.deregister("pair")
+        assert "pair" not in processor.metrics.queries
+        # The dispatch index must not route to the withdrawn query.
+        assert processor.feed(Event("A", 99.0, {"id": 1, "v": 1})) == []
+
+    def test_deregister_unknown_fails(self, abc_registry):
+        processor = ComplexEventProcessor(abc_registry)
+        with pytest.raises(SaseError, match="no query"):
+            processor.deregister("ghost")
+
+    def test_register_mid_stream_sees_only_later_events(
+            self, abc_registry):
+        processor = ComplexEventProcessor(abc_registry)
+        processor.feed(Event("A", 1.0, {"id": 1, "v": 1}))
+        processor.register("pair", PAIR)
+        results = processor.feed(Event("B", 2.0, {"id": 1, "v": 2}))
+        assert results == []  # the A predates registration
+
+    def test_lifecycle_listeners_fire_and_detach(self, abc_registry):
+        processor = ComplexEventProcessor(abc_registry)
+        seen: list[tuple[str, str]] = []
+        listener = lambda action, registered: \
+            seen.append((action, registered.name))  # noqa: E731
+        processor.add_lifecycle_listener(listener)
+        processor.register("pair", PAIR)
+        processor.deregister("pair")
+        assert seen == [("register", "pair"), ("deregister", "pair")]
+        processor.remove_lifecycle_listener(listener)
+        processor.register("pair", PAIR)
+        assert len(seen) == 2
+
+
+class _Host:
+    def __init__(self, registry):
+        self.processor = ComplexEventProcessor(registry)
+        self.event_db = EventDatabase()
+
+    def adopt_event_db(self, event_db):
+        self.event_db = event_db
+
+    def scratch_event_db(self):
+        return EventDatabase()
+
+
+class TestPersistenceHorizon:
+    """Withdrawing a query must let the persistence manager shrink its
+    replay horizon — otherwise a withdrawn long-window query pins WAL
+    segments (and replay work) forever."""
+
+    def _manager(self, stream, data_dir):
+        host = _Host(stream.registry)
+        manager = PersistenceManager(PersistenceConfig(
+            data_dir=str(data_dir), fsync=FsyncPolicy("never"),
+            checkpoint_every=50, segment_max_bytes=2048,
+            group_items=8), host)
+        return host, manager
+
+    def test_withdrawal_shrinks_replay_horizon(self, tmp_path):
+        stream = SyntheticStream.generate(SyntheticConfig(
+            n_events=400, n_types=2, id_domain=16, mean_gap=1.0,
+            seed=23))
+        host, manager = self._manager(stream, tmp_path / "d")
+        host.processor.register(
+            "short", seq_query(2, window=20.0, partitioned=True))
+        host.processor.register(
+            "long", seq_query(2, window=100000.0, partitioned=True))
+        manager.recover()
+        for event in stream.events[:200]:
+            host.processor.feed(event)
+        assert manager._max_window == 100000.0
+        host.processor.deregister("long")
+        assert manager._max_window == 20.0
+        for event in stream.events[200:]:
+            host.processor.feed(event)
+        host.processor.flush()
+        manager.finalize()
+        # With only the 20s window live, old WAL segments must be GC'd
+        # instead of being pinned by the withdrawn 100000s query.
+        assert manager.gauges()["wal_oldest_lsn"] > 0
+
+    def test_withdrawal_pins_horizon_when_newly_bounded(self, tmp_path):
+        """Unbounded (no WITHIN) -> bounded: the frontier re-pins at the
+        current WAL end instead of staying empty (which would mean
+        'replay nothing' and lose in-window state on the next crash)."""
+        stream = SyntheticStream.generate(SyntheticConfig(
+            n_events=100, n_types=2, id_domain=8, mean_gap=1.0,
+            seed=29))
+        host, manager = self._manager(stream, tmp_path / "d")
+        host.processor.register(
+            "short", seq_query(2, window=20.0, partitioned=True))
+        unbounded = seq_query(2, window=20.0, partitioned=True) \
+            .replace("WITHIN 20 seconds\n", "")
+        host.processor.register("unbounded", unbounded)
+        manager.recover()
+        assert manager._max_window is None
+        for event in stream.events[:50]:
+            host.processor.feed(event)
+        host.processor.deregister("unbounded")
+        assert manager._max_window == 20.0
+        assert manager._frontier, \
+            "horizon must re-pin at the WAL end when it becomes bounded"
+        for event in stream.events[50:]:
+            host.processor.feed(event)
+        host.processor.flush()
+        manager.finalize()
+
+    def test_registration_extends_replay_horizon(self, tmp_path):
+        stream = SyntheticStream.generate(SyntheticConfig(
+            n_events=100, n_types=2, id_domain=8, mean_gap=1.0,
+            seed=31))
+        host, manager = self._manager(stream, tmp_path / "d")
+        host.processor.register(
+            "short", seq_query(2, window=20.0, partitioned=True))
+        manager.recover()
+        for event in stream.events[:50]:
+            host.processor.feed(event)
+        host.processor.register(
+            "long", seq_query(2, window=500.0, partitioned=True))
+        assert manager._max_window == 500.0
+        for event in stream.events[50:]:
+            host.processor.feed(event)
+        host.processor.flush()
+        manager.finalize()

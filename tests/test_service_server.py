@@ -1,0 +1,261 @@
+"""The asyncio JSON-lines server and blocking client, over real
+sockets on the loopback interface."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import QueryService, ServiceClient, TenantQuota
+from repro.service import protocol
+from repro.service.server import serve
+
+PAIR = "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 10\n" \
+       "RETURN x.id, y.v"
+SINGLE = "EVENT A x\nWITHIN 10\nRETURN x.id, x.v"
+
+
+@pytest.fixture
+def server(abc_registry):
+    """A served QueryService; yields (service, port) and always shuts
+    the server down."""
+    service = QueryService(abc_registry)
+    port_box: dict[str, int] = {}
+    ready = threading.Event()
+
+    def on_ready(port: int) -> None:
+        port_box["port"] = port
+        ready.set()
+
+    thread = threading.Thread(target=serve, args=(service,),
+                              kwargs={"ready": on_ready}, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    yield service, port_box["port"]
+    if thread.is_alive():
+        try:
+            with ServiceClient(port=port_box["port"]) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        thread.join(10)
+    assert not thread.is_alive()
+
+
+def _event(event_type: str, ts: float, id_value: int, v: int) -> dict:
+    return {"type": event_type, "timestamp": ts,
+            "attributes": {"id": id_value, "v": v}}
+
+
+class TestRoundTrip:
+    def test_register_feed_drain(self, server):
+        _, port = server
+        with ServiceClient(port=port) as client:
+            assert client.ping()
+            assert client.register("alice", "pairs", PAIR)["status"] \
+                == "registered"
+            assert client.feed("alice", _event("A", 1.0, 1, 7)) == 0
+            assert client.feed("alice", _event("B", 2.0, 1, 8)) == 1
+            results = client.drain("alice")
+            assert len(results) == 1
+            assert results[0]["attributes"] == {"x_id": 1, "y_v": 8}
+
+    def test_quota_travels_over_the_wire(self, server):
+        service, port = server
+        with ServiceClient(port=port) as client:
+            client.register("alice", "q", PAIR,
+                            quota=TenantQuota(max_queries=1))
+            with pytest.raises(ServiceError, match="query quota"):
+                client.register("alice", "q2", PAIR)
+        assert service.tenant("alice").quota.max_queries == 1
+
+    def test_subscription_pushes(self, server):
+        _, port = server
+        with ServiceClient(port=port) as sub, \
+                ServiceClient(port=port) as feeder:
+            sub.register("alice", "all_a", SINGLE)
+            sub.subscribe("alice")
+            feeder.feed("alice", _event("A", 1.0, 1, 10))
+            push = sub.wait_push()
+            assert push["push"] == "result"
+            assert push["tenant"] == "alice"
+            assert push["attributes"] == {"x_id": 1, "x_v": 10}
+
+    def test_two_subscribers_both_receive(self, server):
+        _, port = server
+        with ServiceClient(port=port) as one, \
+                ServiceClient(port=port) as two, \
+                ServiceClient(port=port) as feeder:
+            one.register("alice", "all_a", SINGLE)
+            one.subscribe("alice")
+            two.subscribe("alice")
+            feeder.feed("alice", _event("A", 1.0, 2, 5))
+            assert one.wait_push()["attributes"]["x_id"] == 2
+            assert two.wait_push()["attributes"]["x_id"] == 2
+
+    def test_unsubscribe_stops_pushes(self, server):
+        service, port = server
+        with ServiceClient(port=port) as client:
+            client.register("alice", "all_a", SINGLE)
+            client.subscribe("alice")
+            client.unsubscribe("alice")
+            client.feed("alice", _event("A", 1.0, 1, 1))
+            client.ping()
+            assert client.take_pushes() == []
+        assert len(service.tenant("alice").pending) == 1
+
+    def test_stats_and_flush(self, server):
+        _, port = server
+        with ServiceClient(port=port) as client:
+            client.register("alice", "pairs", PAIR)
+            client.register("bob", "pairs", PAIR)
+            client.feed("alice", _event("A", 1.0, 1, 1))
+            client.feed("alice", _event("B", 2.0, 1, 2))
+            payload = client.stats()
+            assert payload["stats"]["tenants"] == 2
+            assert payload["stats"]["shared_plans"]["max_fanout"] == 2
+            assert payload["tenants"]["bob"]["pending_results"] == 1
+            assert client.flush() == 0
+
+    def test_drain_limit(self, server):
+        _, port = server
+        with ServiceClient(port=port) as client:
+            client.register("alice", "all_a", SINGLE)
+            for index in range(5):
+                client.feed("alice", _event("A", float(index), index, 0))
+            assert len(client.drain("alice", limit=2)) == 2
+            assert len(client.drain("alice")) == 3
+
+
+class TestErrors:
+    def test_service_error_keeps_connection(self, server):
+        _, port = server
+        with ServiceClient(port=port) as client:
+            with pytest.raises(ServiceError, match="unknown tenant"):
+                client.drain("ghost")
+            assert client.ping()   # still usable
+
+    def test_malformed_json_reported(self, server):
+        _, port = server
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10) as raw:
+            raw.sendall(b"this is not json\n")
+            reply = json.loads(raw.makefile("rb").readline())
+            assert reply["ok"] is False
+            assert "invalid JSON" in reply["error"]
+
+    def test_unknown_op_reported(self, server):
+        _, port = server
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10) as raw:
+            raw.sendall(protocol.encode({"op": "explode", "id": 1}))
+            reply = json.loads(raw.makefile("rb").readline())
+            assert reply == {"id": 1, "ok": False,
+                             "error": reply["error"]}
+            assert "unknown op" in reply["error"]
+
+    def test_subscribe_unknown_tenant(self, server):
+        _, port = server
+        with ServiceClient(port=port) as client:
+            with pytest.raises(ServiceError, match="unknown tenant"):
+                client.subscribe("ghost")
+
+    def test_disconnect_cleans_subscription(self, server):
+        service, port = server
+        with ServiceClient(port=port) as client:
+            client.register("alice", "all_a", SINGLE)
+            client.subscribe("alice")
+        # After the subscriber is gone, feeding must not fail and the
+        # result stays pending for the next subscriber.
+        with ServiceClient(port=port) as feeder:
+            feeder.feed("alice", _event("A", 1.0, 1, 1))
+            assert len(feeder.drain("alice")) == 1
+
+
+class TestProtocolUnit:
+    def test_decode_validates_fields(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            protocol.decode_request(b'{"op": "nope"}')
+        with pytest.raises(ProtocolError, match="tenant"):
+            protocol.decode_request(b'{"op": "drain"}')
+        with pytest.raises(ProtocolError, match="'name'"):
+            protocol.decode_request(
+                b'{"op": "register", "tenant": "t"}')
+        with pytest.raises(ProtocolError, match="'query'"):
+            protocol.decode_request(
+                b'{"op": "register", "tenant": "t", "name": "n"}')
+        with pytest.raises(ProtocolError, match="'event'"):
+            protocol.decode_request(b'{"op": "feed", "tenant": "t"}')
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_request(b'[1, 2]')
+
+    def test_encode_is_one_line(self):
+        line = protocol.encode({"op": "ping", "text": "a\nb"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_push_has_no_id(self):
+        push = protocol.push_result({"tenant": "t", "query": "q"})
+        assert protocol.is_push(push)
+        assert not protocol.is_push(protocol.ok(3))
+
+
+class TestCli:
+    def test_serve_and_client_commands(self, tmp_path):
+        """The `repro serve` / `repro client` entry points end to end."""
+        import io
+        from repro.cli import main
+
+        schemas = tmp_path / "schemas.json"
+        schemas.write_text(json.dumps(
+            {"A": {"id": "int", "v": "int"},
+             "B": {"id": "int", "v": "int"}}))
+        events = tmp_path / "events.jsonl"
+        events.write_text("\n".join(json.dumps(record) for record in [
+            _event("A", 1.0, 1, 10), _event("B", 2.0, 1, 20)]))
+        manifest = tmp_path / "manifest.json"
+
+        serve_out = io.StringIO()
+        ready = threading.Event()
+        original_print = print
+
+        def watch_ready() -> None:
+            for _ in range(200):
+                if "listening on" in serve_out.getvalue():
+                    ready.set()
+                    return
+                threading.Event().wait(0.05)
+
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--schemas", str(schemas), "--manifest",
+                   str(manifest), "--port", "0"], serve_out),
+            daemon=True)
+        thread.start()
+        watcher = threading.Thread(target=watch_ready, daemon=True)
+        watcher.start()
+        assert ready.wait(15), serve_out.getvalue()
+        port = serve_out.getvalue().split(":")[-1].split()[0].strip()
+
+        def run(*argv: str) -> str:
+            out = io.StringIO()
+            assert main(list(argv) + ["--port", port], out) == 0, \
+                out.getvalue()
+            return out.getvalue()
+
+        assert "registered" in run("client", "register", "alice",
+                                   "pairs", PAIR)
+        assert "2 event(s), 1 result(s)" in run(
+            "client", "feed", "alice", "--events", str(events))
+        drained = run("client", "drain", "alice")
+        assert json.loads(drained.splitlines()[0])["query"] == "pairs"
+        stats = json.loads(run("client", "stats"))
+        assert stats["stats"]["queries"] == 1
+        run("client", "shutdown")
+        thread.join(10)
+        assert not thread.is_alive()
+        assert json.loads(manifest.read_text())["tenants"]["alice"]

@@ -1,0 +1,140 @@
+"""Seeded stress: random interleavings of register/withdraw/feed across
+many tenants.  The invariant under test is isolation — every
+registration episode's result stream is bit-identical to a solo run of
+that query over exactly the events fed during its registration window —
+with shared plans on and off."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.shared import SharedPlanConfig
+from repro.events.event import Event
+from repro.service import QueryService
+from repro.service.core import result_to_wire
+from repro.system.processor import ComplexEventProcessor
+
+TEMPLATES = [
+    # Three shared-compatible variants of one template.
+    "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 10\n"
+    "RETURN x.id, y.v",
+    "EVENT SEQ(A p, B q)\nWHERE p.id = q.id\nWITHIN 10\n"
+    "RETURN p.v, q.v",
+    "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 10\n"
+    "RETURN x.v + y.v",
+    # Distinct plans: wider window, single type, negation, Kleene.
+    "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 25\nRETURN y.v",
+    "EVENT A x\nWITHIN 10\nRETURN x.id, x.v",
+    "EVENT SEQ(A x, !(C z), B y)\nWHERE x.id = y.id AND z.id = x.id\n"
+    "WITHIN 10\nRETURN x.id, y.v",
+    "EVENT SEQ(A x, B+ ys, C z)\nWHERE x.id = z.id\nWITHIN 15\n"
+    "RETURN x.id, z.v",
+]
+
+
+def _make_script(seed: int, n_events: int = 250, n_tenants: int = 6):
+    """A deterministic interleaving plus the full event list."""
+    rng = random.Random(seed)
+    events = []
+    ts = 0.0
+    for _ in range(n_events):
+        ts += rng.uniform(0.2, 1.2)
+        events.append(Event(rng.choice("ABC"), ts,
+                            {"id": rng.randrange(4),
+                             "v": rng.randrange(50)}))
+    script = []
+    tenants = [f"t{index}" for index in range(n_tenants)]
+    active: list[tuple[str, str, str]] = []
+    counter = 0
+    event_iter = iter(events)
+    fed = 0
+    while fed < n_events:
+        roll = rng.random()
+        if roll < 0.08 and len(active) < 12:
+            tenant = rng.choice(tenants)
+            counter += 1
+            name = f"q{counter}"
+            text = rng.choice(TEMPLATES)
+            script.append(("register", tenant, name, text))
+            active.append((tenant, name, text))
+        elif roll < 0.12 and active:
+            victim = active.pop(rng.randrange(len(active)))
+            script.append(("withdraw", victim[0], victim[1]))
+        else:
+            script.append(("feed", next(event_iter)))
+            fed += 1
+    return script, events
+
+
+def _run_service(abc_registry, script, shared: bool):
+    """Run the interleaving; returns {(tenant, query): [wire results]}
+    and the episode windows {(tenant, query): (text, start, end)}."""
+    service = QueryService(
+        abc_registry,
+        shared_plans=SharedPlanConfig(enabled=shared))
+    episodes: dict[tuple[str, str], tuple[str, int, int]] = {}
+    fed = 0
+    for step in script:
+        if step[0] == "register":
+            _, tenant, name, text = step
+            service.register(tenant, name, text)
+            episodes[(tenant, name)] = (text, fed, -1)
+        elif step[0] == "withdraw":
+            _, tenant, name = step
+            service.withdraw(tenant, name)
+            text, start, _ = episodes[(tenant, name)]
+            episodes[(tenant, name)] = (text, start, fed)
+        else:
+            service.feed(step[1])
+            fed += 1
+    for key, (text, start, end) in episodes.items():
+        if end < 0:
+            episodes[key] = (text, start, fed)
+    collected: dict[tuple[str, str], list[dict]] = {
+        key: [] for key in episodes}
+    for tenant in service.tenants():
+        for result in service.drain(tenant):
+            collected[(tenant, result["query"])].append(result)
+    return collected, episodes
+
+
+def _solo_run(abc_registry, tenant, name, text, events) -> list[dict]:
+    """The oracle: the same query alone over the same event slice."""
+    processor = ComplexEventProcessor(abc_registry)
+    produced: list[dict] = []
+    processor.register(
+        f"{tenant}/{name}", text,
+        on_result=lambda _q, result: produced.append(
+            result_to_wire(tenant, name, result)))
+    for event in events:
+        processor.feed(event)
+    return produced
+
+
+@pytest.mark.parametrize("seed", [3, 17, 42])
+@pytest.mark.parametrize("shared", [True, False],
+                         ids=["shared", "independent"])
+def test_interleavings_match_solo_runs(abc_registry, seed, shared):
+    script, events = _make_script(seed)
+    collected, episodes = _run_service(abc_registry, script, shared)
+    assert episodes, "script registered no queries"
+    checked_nonempty = 0
+    for (tenant, name), (text, start, end) in episodes.items():
+        expected = _solo_run(abc_registry, tenant, name, text,
+                             events[start:end])
+        assert collected[(tenant, name)] == expected, \
+            f"{tenant}/{name} diverged from its solo run (seed {seed})"
+        if expected:
+            checked_nonempty += 1
+    assert checked_nonempty >= 3, \
+        "stress script too weak: almost no episodes produced results"
+
+
+@pytest.mark.parametrize("seed", [5, 23])
+def test_shared_and_independent_agree(abc_registry, seed):
+    script, _ = _make_script(seed)
+    with_shared, _ = _run_service(abc_registry, script, True)
+    without, _ = _run_service(abc_registry, script, False)
+    assert with_shared == without

@@ -1,0 +1,243 @@
+"""Shared-plan evaluation: signatures, grouping, and the differential
+guarantee that shared results are identical to independent evaluation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.plan import PlanConfig
+from repro.core.shared import SharedPlanConfig, plan_signature
+from repro.events.event import Event
+from repro.system.processor import ComplexEventProcessor
+
+from tests.helpers import make_events
+
+
+def _random_events(seed: int, count: int, types=("A", "B", "C"),
+                   id_domain: int = 4) -> list[Event]:
+    rng = random.Random(seed)
+    spec = []
+    ts = 0.0
+    for _ in range(count):
+        ts += rng.uniform(0.1, 1.5)
+        spec.append((rng.choice(types), ts,
+                     {"id": rng.randrange(id_domain),
+                      "v": rng.randrange(100)}))
+    return make_events(spec)
+
+
+def _run(registry, queries, events, shared: bool, flush: bool = True):
+    """Feed *events* to all *queries*; returns {name: [result keys]}."""
+    processor = ComplexEventProcessor(
+        registry,
+        shared_plans=SharedPlanConfig() if shared else None)
+    collected: dict[str, list] = {name: [] for name, _ in queries}
+    for name, text in queries:
+        processor.register(name, text)
+    for event in events:
+        for name, result in processor.feed(event):
+            collected[name].append(_key(result))
+    if flush:
+        for name, result in processor.flush():
+            collected[name].append(_key(result))
+    return processor, collected
+
+
+def _key(result):
+    return (result.type, tuple(sorted(result.attributes.items())),
+            result.start, result.end)
+
+
+QUERY_CORPUS = [
+    # Same template, different variable names and RETURNs: one group.
+    ("pairs_xy", "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\n"
+                 "WITHIN 10\nRETURN x.id, y.v"),
+    ("pairs_pq", "EVENT SEQ(A p, B q)\nWHERE p.id = q.id\n"
+                 "WITHIN 10\nRETURN q.v, p.v"),
+    ("pairs_sum", "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\n"
+                  "WITHIN 10\nRETURN x.id, x.v + y.v"),
+    # Different window: must not share with the group above.
+    ("pairs_wide", "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\n"
+                   "WITHIN 20\nRETURN x.id, y.v"),
+    # Negation.
+    ("no_c", "EVENT SEQ(A x, !(C z), B y)\nWHERE x.id = y.id "
+             "AND z.id = x.id\nWITHIN 10\nRETURN x.id, y.v"),
+    ("no_c_2", "EVENT SEQ(A a, !(C n), B b)\nWHERE a.id = b.id "
+               "AND n.id = a.id\nWITHIN 10\nRETURN b.v"),
+    # Kleene closure.
+    ("kleene", "EVENT SEQ(A x, B+ ys, C z)\nWHERE x.id = z.id\n"
+               "WITHIN 15\nRETURN x.id, z.v"),
+]
+
+
+class TestDifferential:
+    def test_corpus_shared_equals_independent(self, abc_registry):
+        events = _random_events(seed=7, count=400)
+        _, with_shared = _run(abc_registry, QUERY_CORPUS, events, True)
+        _, without = _run(abc_registry, QUERY_CORPUS, events, False)
+        assert with_shared == without
+        assert any(with_shared[name] for name, _ in QUERY_CORPUS)
+
+    def test_groups_formed_as_expected(self, abc_registry):
+        processor, _ = _run(abc_registry, QUERY_CORPUS, [], True,
+                            flush=False)
+        report = processor.shared_plan_report()
+        assert report["enabled"]
+        # pairs_{xy,pq,sum} share; no_c{,_2} share; pairs_wide and
+        # kleene stand alone (kleene forms its own 1-member group).
+        assert report["max_fanout"] == 3
+        by_group: dict[int, int] = {}
+        for registered in processor.queries():
+            if registered.shared_group is not None:
+                group_id = id(registered.shared_group)
+                by_group[group_id] = by_group.get(group_id, 0) + 1
+        assert sorted(by_group.values()) == [1, 1, 2, 3]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_partitioned_queries_share(self, abc_registry, seed):
+        queries = [
+            ("p1", "EVENT SEQ(A x, B y, C z)\nWHERE x.id = y.id AND "
+                   "y.id = z.id\nWITHIN 10\nRETURN x.id, z.v"),
+            ("p2", "EVENT SEQ(A m, B n, C o)\nWHERE m.id = n.id AND "
+                   "n.id = o.id\nWITHIN 10\nRETURN m.v"),
+        ]
+        events = _random_events(seed=seed, count=300)
+        processor, with_shared = _run(abc_registry, queries, events,
+                                      True)
+        _, without = _run(abc_registry, queries, events, False)
+        assert with_shared == without
+        assert processor.shared_plan_report()["max_fanout"] == 2
+
+
+class TestSignatures:
+    def _signature(self, registry, text, shared=None):
+        processor = ComplexEventProcessor(registry)
+        compiled = processor.compile(text)
+        return plan_signature(compiled.analyzed, compiled.plan.config,
+                              shared or SharedPlanConfig())
+
+    def test_variable_renaming_is_positional(self, abc_registry):
+        first = self._signature(
+            abc_registry, "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\n"
+                          "WITHIN 10\nRETURN x.id")
+        second = self._signature(
+            abc_registry, "EVENT SEQ(A p, B q)\nWHERE p.id = q.id\n"
+                          "WITHIN 10\nRETURN q.v, p.v")
+        assert first == second
+
+    def test_return_clause_excluded(self, abc_registry):
+        first = self._signature(
+            abc_registry, "EVENT SEQ(A x, B y)\nWITHIN 10\n"
+                          "RETURN x.id")
+        second = self._signature(
+            abc_registry, "EVENT SEQ(A x, B y)\nWITHIN 10\n"
+                          "RETURN y.v, x.v + y.v")
+        assert first == second
+
+    def test_window_distinguishes(self, abc_registry):
+        first = self._signature(
+            abc_registry, "EVENT SEQ(A x, B y)\nWITHIN 10\nRETURN x.id")
+        second = self._signature(
+            abc_registry, "EVENT SEQ(A x, B y)\nWITHIN 11\nRETURN x.id")
+        assert first != second
+
+    def test_predicates_distinguish(self, abc_registry):
+        first = self._signature(
+            abc_registry, "EVENT SEQ(A x, B y)\nWHERE x.v > 5\n"
+                          "WITHIN 10\nRETURN x.id")
+        second = self._signature(
+            abc_registry, "EVENT SEQ(A x, B y)\nWHERE x.v > 6\n"
+                          "WITHIN 10\nRETURN x.id")
+        assert first != second
+
+    def test_function_calls_block_sharing_by_default(self, retail_schemas):
+        text = ("EVENT SHELF_READING x\n"
+                "WHERE _odd(x.TagId)\nWITHIN 10\nRETURN x.TagId")
+        assert self._signature(retail_schemas, text) is None
+        opted_in = self._signature(
+            retail_schemas, text,
+            SharedPlanConfig(share_function_queries=True))
+        assert opted_in is not None
+
+    def test_plan_config_distinguishes(self, abc_registry):
+        processor = ComplexEventProcessor(abc_registry)
+        text = "EVENT SEQ(A x, B y)\nWITHIN 10\nRETURN x.id"
+        default = processor.compile(text)
+        naive = processor.compile(text, PlanConfig.naive())
+        shared = SharedPlanConfig()
+        assert plan_signature(default.analyzed, default.plan.config,
+                              shared) \
+            != plan_signature(naive.analyzed, naive.plan.config, shared)
+
+
+class TestLifecycleInteraction:
+    TEXT = "EVENT SEQ(A x, B y)\nWHERE x.id = y.id\nWITHIN 10\n" \
+           "RETURN x.id, y.v"
+
+    def test_warm_group_is_never_joined(self, abc_registry):
+        processor = ComplexEventProcessor(
+            abc_registry, shared_plans=SharedPlanConfig())
+        early = processor.register("early", self.TEXT)
+        # Start a partial match before the second query arrives.
+        processor.feed(Event("A", 1.0, {"id": 1, "v": 1}))
+        late = processor.register("late", self.TEXT)
+        assert late.shared_group is not early.shared_group
+        results = processor.feed(Event("B", 2.0, {"id": 1, "v": 2}))
+        # Only the early query saw the A; the late one must not match.
+        assert [name for name, _ in results] == ["early"]
+
+    def test_mid_stream_registration_differential(self, abc_registry):
+        """A query registered mid-stream produces exactly what an
+        independent runtime registered at the same point produces."""
+        events = _random_events(seed=11, count=200, types=("A", "B"))
+        for shared in (True, False):
+            processor = ComplexEventProcessor(
+                abc_registry,
+                shared_plans=SharedPlanConfig() if shared else None)
+            processor.register("fixture", self.TEXT)
+            collected: dict[str, list] = {"fixture": [], "late": []}
+            for index, event in enumerate(events):
+                if index == 100:
+                    processor.register("late", self.TEXT)
+                for name, result in processor.feed(event):
+                    collected[name].append(_key(result))
+            if shared:
+                shared_run = collected
+            else:
+                independent_run = collected
+        assert shared_run == independent_run
+        assert shared_run["late"]  # it does match after joining
+
+    def test_deregistration_drops_empty_groups(self, abc_registry):
+        processor = ComplexEventProcessor(
+            abc_registry, shared_plans=SharedPlanConfig())
+        processor.register("one", self.TEXT)
+        processor.register("two", self.TEXT)
+        assert processor.shared_plan_report()["groups"] == 1
+        processor.deregister("one")
+        assert processor.shared_plan_report()["max_fanout"] == 1
+        processor.deregister("two")
+        report = processor.shared_plan_report()
+        assert report["groups"] == 0
+        assert not processor._shared_groups
+
+    def test_survivor_keeps_matching_after_partner_leaves(
+            self, abc_registry):
+        processor = ComplexEventProcessor(
+            abc_registry, shared_plans=SharedPlanConfig())
+        processor.register("stays", self.TEXT)
+        processor.register("leaves", self.TEXT)
+        processor.feed(Event("A", 1.0, {"id": 1, "v": 1}))
+        processor.deregister("leaves")
+        results = processor.feed(Event("B", 2.0, {"id": 1, "v": 2}))
+        assert [name for name, _ in results] == ["stays"]
+
+    def test_sharding_disables_sharing(self, abc_registry):
+        from repro.sharding import ShardingConfig
+        processor = ComplexEventProcessor(
+            abc_registry, shared_plans=SharedPlanConfig(),
+            sharding=ShardingConfig(shards=2, backend="inline"))
+        registered = processor.register("q", self.TEXT)
+        assert registered.shared_group is None
