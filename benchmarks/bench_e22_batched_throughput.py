@@ -1,0 +1,135 @@
+"""E22 — batched ingest throughput: ``feed_batch`` vs per-event ``feed``.
+
+The batched ingest path carries N cleaned events per call through the
+processor: one dispatch round, one metrics record, and one generated
+batch-loop scan body per query instead of N of each.  This experiment
+feeds the same synthetic stream to a single-query
+:class:`~repro.system.processor.ComplexEventProcessor` once per batch
+size and reports throughput relative to the per-event path (batch 1).
+
+Results are asserted bit-identical across every batch size — batching
+changes only call granularity, never matches or their order — so this
+experiment doubles as a coarse batch-parity test at the system layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.plan import PlanConfig
+from repro.system.processor import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream
+
+from common import print_table
+
+FULL_EVENTS = 30_000
+SMOKE_EVENTS = 2_000
+BATCH_SIZES = [1, 16, 64, 256]
+
+# Stateful shapes only: stateless filters already win big per event
+# (E16); the batched path's job is amortizing dispatch overhead on the
+# shapes whose scans carry stacks.
+QUERIES = [
+    ("pair", "EVENT SEQ(A x, B y) WHERE x.id = y.id WITHIN 10 "
+     "RETURN x.id"),
+    ("kleene", "EVENT SEQ(A a, B+ b) WHERE a.id = b.id WITHIN 10 "
+     "RETURN a.id, COUNT(b)"),
+]
+
+
+def build_stream(n_events: int) -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, v_domain=10,
+        mean_gap=1.0, seed=22))
+
+
+def run_once(stream: SyntheticStream, query_text: str,
+             batch: int) -> tuple[float, list]:
+    processor = ComplexEventProcessor(stream.registry,
+                                      config=PlanConfig())
+    processor.register("q", query_text)
+    events = stream.events
+    produced = []
+    started = time.perf_counter()
+    if batch > 1:
+        for start in range(0, len(events), batch):
+            produced.extend(
+                processor.feed_batch(events[start:start + batch]))
+    else:
+        for event in events:
+            produced.extend(processor.feed(event))
+    produced.extend(processor.flush())
+    elapsed = time.perf_counter() - started
+    fingerprint = [(name, result.start, result.end,
+                    tuple(result.attributes.items()))
+                   for name, result in produced]
+    return elapsed, fingerprint
+
+
+def run_best(stream: SyntheticStream, query_text: str, batch: int,
+             repeats: int) -> tuple[float, list]:
+    best: tuple[float, list] | None = None
+    for _ in range(max(1, repeats)):
+        result = run_once(stream, query_text, batch)
+        if best is None or result[0] < best[0]:
+            best = result
+    return best
+
+
+def sweep(n_events: int, repeats: int = 1) -> list[list]:
+    stream = build_stream(n_events)
+    rows = []
+    for label, query_text in QUERIES:
+        base_elapsed, base_fp = run_best(stream, query_text, 1, repeats)
+        row = [label, n_events / base_elapsed]
+        for batch in BATCH_SIZES[1:]:
+            elapsed, fingerprint = run_best(stream, query_text, batch,
+                                            repeats)
+            assert fingerprint == base_fp, \
+                f"{label}: batch {batch} diverged from per-event feed"
+            row.append(base_elapsed / elapsed)
+        row.append(len(base_fp))
+        rows.append(row)
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="batched vs per-event processor ingest")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (seconds)")
+    parser.add_argument("--repeats", type=int, default=1, metavar="R",
+                        help="take the best wall time of R runs per cell")
+    parser.add_argument("--assert-speedup", type=float, metavar="X",
+                        help="fail unless some shape reaches an X-fold "
+                             "speedup at batch 64")
+    args = parser.parse_args(argv)
+    n_events = SMOKE_EVENTS if args.smoke else FULL_EVENTS
+    rows = sweep(n_events, repeats=args.repeats)
+    print_table(
+        f"E22 — batched ingest vs per-event feed ({n_events} events)",
+        ["shape", "batch-1 ev/s"]
+        + [f"x{batch} speedup" for batch in BATCH_SIZES[1:]]
+        + ["results"],
+        rows)
+    at64 = BATCH_SIZES.index(64) + 1
+    best = max(row[at64] for row in rows)
+    print(f"best batch-64 speedup: {best:.2f}x")
+    if args.assert_speedup is not None and best < args.assert_speedup:
+        raise SystemExit(
+            f"batch-64 speedup gate {args.assert_speedup:.2f}x failed "
+            f"(best {best:.2f}x)")
+
+
+def test_batched_matches_per_event():
+    stream = build_stream(SMOKE_EVENTS)
+    for label, query_text in QUERIES:
+        _, base_fp = run_once(stream, query_text, 1)
+        for batch in (16, 64):
+            _, fingerprint = run_once(stream, query_text, batch)
+            assert fingerprint == base_fp, (label, batch)
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,7 @@ EXPERIMENTS = [
     ("E19", "bench_e19_persistence"),
     ("E20", "bench_e20_resilience"),
     ("E21", "bench_e21_multitenant_service"),
+    ("E22", "bench_e22_batched_throughput"),
 ]
 
 

@@ -115,6 +115,59 @@ class QueryRuntime:
         self.stats.results_emitted += len(outputs)
         return outputs
 
+    def feed_batch(self, events: list[Event]) -> list[CompositeEvent]:
+        """Push a batch of events through the plan in one call.
+
+        Result-identical to feeding the events one by one (the scan's
+        batch loop preserves per-event effects exactly); plans with a
+        negation operator interleave observe/advance per event and so
+        fall back to the per-event path internally.
+        """
+        if self._flushed:
+            raise RuntimeError("runtime already flushed; create a new one")
+        if self._negation is not None:
+            outputs: list[CompositeEvent] = []
+            for event in events:
+                outputs.extend(self.feed(event))
+            return outputs
+        self.stats.events_consumed += len(events)
+        outputs = []
+        for match in self._scan.feed_batch(events):
+            survivor = self._apply_filters(match)
+            if survivor is None:
+                continue
+            outputs.append(self._transformation.process(survivor))
+        self.stats.results_emitted += len(outputs)
+        return outputs
+
+    def feed_batch_grouped(
+            self, events: list[Event]) -> list[list[CompositeEvent]]:
+        """Like :meth:`feed_batch` but returns one result list per input
+        event, for callers that must re-associate outputs with their
+        originating event (sharding workers, cascade delivery)."""
+        if self._flushed:
+            raise RuntimeError("runtime already flushed; create a new one")
+        if self._negation is not None:
+            return [self.feed(event) for event in events]
+        self.stats.events_consumed += len(events)
+        bounds: list[int] = []
+        matches = self._scan.feed_batch(events, bounds)
+        grouped: list[list[CompositeEvent]] = []
+        start = 0
+        emitted = 0
+        for stop in bounds:
+            outputs: list[CompositeEvent] = []
+            for match in matches[start:stop]:
+                survivor = self._apply_filters(match)
+                if survivor is None:
+                    continue
+                outputs.append(self._transformation.process(survivor))
+            emitted += len(outputs)
+            grouped.append(outputs)
+            start = stop
+        self.stats.results_emitted += emitted
+        return grouped
+
     def advance(self, watermark: float) -> list[CompositeEvent]:
         """Advance stream time without consuming an event.
 
@@ -179,6 +232,17 @@ class QueryRuntime:
         """True when the sequence scan runs code-generated (not
         interpreted) — see :mod:`repro.core.codegen`."""
         return self._scan.compiled
+
+    @property
+    def scan_coverage(self) -> dict[str, bool]:
+        """Which scan layers run generated code vs interpreted fallback:
+        ``compiled`` (the feed path), ``construct`` (the sequence
+        construction walk), ``batch`` (the batch loop)."""
+        return {
+            "compiled": bool(self._scan.compiled),
+            "construct": bool(self._scan.generated_construct),
+            "batch": bool(self._scan.generated_batch),
+        }
 
     @property
     def stack_instances(self) -> int:

@@ -24,6 +24,7 @@ Single-variable WHERE predicates are additionally evaluated at push time
 
 from __future__ import annotations
 
+import bisect
 from typing import Any, Callable
 
 from repro.core.expressions import EvalContext, compile_predicate
@@ -46,6 +47,14 @@ class SequenceScanConstruct:
     #: interpreted scan always has them (behind a None check); generated
     #: subclasses only emit them when compiled with ``profiling=True``.
     profiled = True
+    #: True when the sequence-construction walk itself is generated code
+    #: (non-Kleene patterns, and trailing-Kleene patterns under MAXIMAL
+    #: semantics).  False here and on generated subclasses that inherit
+    #: the interpreted ``_construct`` recursion.
+    generated_construct = False
+    #: True when ``feed_batch`` is a generated batch loop rather than the
+    #: per-event fallback below.
+    generated_batch = False
 
     def __init__(self, analyzed: AnalyzedQuery, *,
                  window_pushdown: bool = True,
@@ -178,6 +187,22 @@ class SequenceScanConstruct:
             self._profile.matches_emitted += len(matches)
         return matches
 
+    def feed_batch(self, events: list[Event],
+                   bounds: list[int] | None = None) -> list[Match]:
+        """Scan a batch of events; return all matches in emission order.
+
+        When *bounds* is given, the cumulative match count is appended
+        after each event so the caller can slice the flat result list
+        back into per-event chunks.  The interpreted operator just loops
+        :meth:`feed`; generated subclasses emit a specialised batch loop.
+        """
+        matches: list[Match] = []
+        for event in events:
+            matches.extend(self.feed(event))
+            if bounds is not None:
+                bounds.append(len(matches))
+        return matches
+
     def reset(self) -> None:
         self._groups.clear()
         self._events_seen = 0
@@ -240,10 +265,21 @@ class SequenceScanConstruct:
             return
         horizon = now - self._window
         emptied: list[Any] = []
+        removed = 0
         for key, group in self._groups.items():
-            self._instance_count -= group.prune_before(horizon)
-            if group.is_empty():
+            alive = 0
+            for stack in group.stacks:
+                timestamps = stack._timestamps
+                if timestamps and timestamps[0] < horizon:
+                    cut = bisect.bisect_left(timestamps, horizon)
+                    del stack._instances[:cut]
+                    del timestamps[:cut]
+                    stack._offset += cut
+                    removed += cut
+                alive += len(timestamps)
+            if not alive:
                 emptied.append(key)
+        self._instance_count -= removed
         for key in emptied:
             del self._groups[key]
 

@@ -265,6 +265,19 @@ class SharedMemberRuntime:
         return [process(self._localize(match))
                 for match in self.group._matches(self.name, "feed", event)]
 
+    def feed_batch(self, events: list[Event]) -> list[CompositeEvent]:
+        """Per-event loop: the shared pipeline memoizes group matches by
+        event identity, so members must observe events one at a time to
+        keep the single-scan-per-event guarantee."""
+        outputs: list[CompositeEvent] = []
+        for event in events:
+            outputs.extend(self.feed(event))
+        return outputs
+
+    def feed_batch_grouped(
+            self, events: list[Event]) -> list[list[CompositeEvent]]:
+        return [self.feed(event) for event in events]
+
     def advance(self, watermark: float) -> list[CompositeEvent]:
         process = self._transformation.process
         return [process(self._localize(match)) for match in
@@ -288,6 +301,10 @@ class SharedMemberRuntime:
     @property
     def scan_compiled(self) -> bool:
         return self.group.pipeline.scan_compiled
+
+    @property
+    def scan_coverage(self) -> dict[str, bool]:
+        return self.group.pipeline.scan_coverage
 
     @property
     def stack_instances(self) -> int:

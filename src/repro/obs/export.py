@@ -82,6 +82,16 @@ _PLAN_GAUGES = (
     ("sase_plan_partitions_high_water", "partitions_high_water",
      "Peak live PAIS partitions"),
 )
+_CODEGEN_GAUGES = (
+    ("sase_query_scan_compiled", "compiled",
+     "1 when the query's scan runs generated code, 0 on the "
+     "interpreter fallback"),
+    ("sase_query_scan_construct_generated", "construct",
+     "1 when the scan's construction walk is specialized (unrolled), "
+     "0 when it falls back to the interpreted walk"),
+    ("sase_query_scan_batch_generated", "batch",
+     "1 when the scan has a generated batch-loop feed body"),
+)
 _TENANT_GAUGES = (
     ("sase_tenant_registered_queries", "registered_queries",
      "Queries the tenant currently holds"),
@@ -156,10 +166,16 @@ def processor_snapshot(processor: Any) -> dict:
     """Collector snapshot plus per-query plan statistics."""
     snapshot = collector_snapshot(processor.metrics)
     plans = {}
+    codegen = {}
     for registered in processor.queries():
         plans[registered.name] = registered.runtime.stats.to_dict()
+        coverage = getattr(registered.runtime, "scan_coverage", None)
+        if coverage is not None:
+            codegen[registered.name] = dict(coverage)
     if plans:
         snapshot["plans"] = plans
+    if codegen:
+        snapshot["codegen"] = codegen
     return snapshot
 
 
@@ -242,6 +258,11 @@ def to_prometheus(snapshot: dict) -> str:
             w.sample("sase_operator_produced_total", "counter",
                      "Items the operator produced", op_labels,
                      stats["produced"])
+    for name, coverage in snapshot.get("codegen", {}).items():
+        labels = {"query": name}
+        for metric, field, help_text in _CODEGEN_GAUGES:
+            w.sample(metric, "gauge", help_text, labels,
+                     float(bool(coverage.get(field))))
     return w.text()
 
 

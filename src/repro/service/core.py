@@ -378,4 +378,8 @@ class QueryService:
     # -- convenience ----------------------------------------------------------
 
     def feed_many(self, events: Iterable[Event]) -> int:
-        return sum(self.feed(event) for event in events)
+        """Feed a batch of house-stream events through the processor's
+        batched path (result-identical to feeding one at a time)."""
+        events = list(events)
+        self.events_fed += len(events)
+        return len(self.processor.feed_batch(events))

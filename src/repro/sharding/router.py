@@ -150,6 +150,35 @@ class ShardRouter:
             self._handle(self._backend.poll())
         return self._emit_ready()
 
+    def feed_batch(self, events: list[Event], stream: str) \
+            -> list[tuple[str, CompositeEvent]]:
+        """Route a batch of events, then poll and emit once.
+
+        Per-event routing (seq assignment, partition hashing, batch
+        sealing, local queries) is identical to N :meth:`feed` calls —
+        router batching and caller batching compose instead of
+        double-buffering — but the backend poll and the ordered emission
+        run once per batch instead of once per event, shrinking the
+        coordinator's per-event framing cost.
+        """
+        if self._flushed:
+            raise SaseError("sharded stream already flushed")
+        route = self._backend is not None and stream == self._default_stream
+        local_names = self._local_names
+        run_local = self._processor._run_queries
+        for event in events:
+            seq = self._next_seq
+            self._next_seq += 1
+            state = _SeqState(stream)
+            self._seq_states[seq] = state
+            if route:
+                self._route(seq, event)
+            if local_names:
+                state.local = run_local(event, stream, only=local_names)
+        if self._backend is not None:
+            self._handle(self._backend.poll())
+        return self._emit_ready()
+
     def _route(self, seq: int, event: Event) -> None:
         shards = self.config.shards
         event_groups: list[list[int]] = [[] for _ in range(shards)]

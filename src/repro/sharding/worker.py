@@ -103,6 +103,12 @@ class ShardWorkerCore:
         """Run one routed batch; returns (tagged results, metrics delta,
         shipped trace spans)."""
         tracer = self._tracer
+        if tracer is None:
+            # Untraced shards take the batched scan path: consecutive
+            # event entries bound for the same groups fuse into one
+            # feed_batch call per group processor.
+            return self._process_batch_batched(entries), \
+                self._metrics_delta(), []
         tagged: list = []
         for entry in entries:
             opcode = entry[0]
@@ -133,6 +139,51 @@ class ShardWorkerCore:
             tracer.unpin()
             return tagged, self._metrics_delta(), tracer.drain_shipment()
         return tagged, self._metrics_delta(), []
+
+    def _process_batch_batched(self, entries: list) -> list:
+        """The fused batch path: runs of consecutive event entries with
+        identical group routing feed each group processor once, so the
+        per-event dispatch/metrics overhead amortizes across the run.
+        Tag coordinates (seq, rank, kind, idx) are computed per event
+        exactly as the per-entry loop computes them."""
+        tagged: list = []
+        index = 0
+        total = len(entries)
+        while index < total:
+            entry = entries[index]
+            if entry[0] != EVENT_ENTRY:
+                _, seq, timestamp, group_ids = entry
+                counters: dict[tuple[int, int], int] = {}
+                for group_id in group_ids:
+                    produced = self._processors[group_id] \
+                        .advance_time(timestamp)
+                    for name, result in produced:
+                        rank = self._rank_of[name]
+                        idx = counters.get((rank, RELEASED), 0)
+                        counters[(rank, RELEASED)] = idx + 1
+                        tagged.append((seq, rank, RELEASED, result.end,
+                                       idx, result))
+                index += 1
+                continue
+            group_ids = entry[3]
+            stop = index + 1
+            while stop < total and entries[stop][0] == EVENT_ENTRY \
+                    and entries[stop][3] == group_ids:
+                stop += 1
+            run = entries[index:stop]
+            events = [item[2] for item in run]
+            run_counters: list[dict[tuple[int, int], int]] = \
+                [{} for _ in run]
+            for group_id in group_ids:
+                grouped = self._processors[group_id] \
+                    .feed_batch_grouped(events)
+                for slot, produced in enumerate(grouped):
+                    if produced:
+                        self._tag(tagged, produced, run[slot][1],
+                                  events[slot].timestamp,
+                                  run_counters[slot])
+            index = stop
+        return tagged
 
     def _tag(self, tagged: list, produced: list, seq: int,
              event_time: float, counters: dict) -> None:

@@ -141,6 +141,10 @@ class ComplexEventProcessor:
         # when persistence is off).
         self._persist_log: Callable[[Event], Any] | None = None
         self._persist_post: Callable[[], Any] | None = None
+        # True while a feed_batch is executing: registration changes are
+        # rejected so delivery never looks up a query a mid-batch
+        # callback removed.
+        self._in_batch = False
 
     @property
     def sharding(self) -> "ShardingConfig | None":
@@ -208,6 +212,10 @@ class ComplexEventProcessor:
         """Register a continuous query.  "The event processor immediately
         starts executing the query over the RFID stream ... until the query
         is deleted by the user"."""
+        if self._in_batch:
+            raise SaseError(
+                "cannot register a query while a batch feed is in flight; "
+                "register between batches")
         if name in self._queries:
             raise SaseError(f"a query named {name!r} is already registered")
         if self._router is not None:
@@ -272,6 +280,10 @@ class ComplexEventProcessor:
         entries, and its metrics.  Lifecycle listeners run last so
         attachments like the persistence manager's replay horizon
         re-derive from the remaining query set."""
+        if self._in_batch:
+            raise SaseError(
+                "cannot deregister a query while a batch feed is in "
+                "flight; deregister between batches")
         if name not in self._queries:
             raise SaseError(f"no query named {name!r} is registered")
         if self._router is not None:
@@ -605,6 +617,138 @@ class ComplexEventProcessor:
         for event in events:
             produced.extend(self.feed(event))
         return produced
+
+    def feed_batch(self, events: Iterable[Event],
+                   stream: str = DEFAULT_STREAM) \
+            -> list[tuple[str, CompositeEvent]]:
+        """Push a batch of events through every query reading *stream*
+        in one call, result-identical to feeding them one at a time
+        (same results, same order).
+
+        The batched dataflow engages when no per-event hook is installed
+        (tracer, slow-feed log, persistence WAL) and no registered query
+        cascades via INTO; otherwise the batch silently degrades to the
+        per-event path, so callers can batch unconditionally.  Delivery
+        callbacks fire after the whole batch is scanned; registration
+        changes from inside a callback are rejected mid-batch.
+        """
+        events = list(events)
+        if not events:
+            return []
+        if not self._batch_fast_path():
+            produced: list[tuple[str, CompositeEvent]] = []
+            for event in events:
+                produced.extend(self.feed(event))
+            return produced
+        self._in_batch = True
+        try:
+            if self._sharding is not None and self._sharding.active:
+                emitted = self._ensure_router().feed_batch(events, stream)
+            else:
+                emitted = []
+                for bucket in self._run_queries_batch(events, stream):
+                    emitted.extend(bucket)
+            return self._deliver_all(emitted)
+        finally:
+            self._in_batch = False
+
+    def feed_batch_grouped(self, events: list[Event],
+                           stream: str = DEFAULT_STREAM) \
+            -> list[list[tuple[str, CompositeEvent]]]:
+        """Like :meth:`feed_batch` but returns one result list per input
+        event — shard workers use this to tag results with the arrival
+        number of the event that produced them.  Not available under an
+        active sharding configuration (the router owns event order)."""
+        if not events:
+            return []
+        if self._sharding is not None and self._sharding.active:
+            raise SaseError(
+                "feed_batch_grouped is for synchronous processors; "
+                "the sharded path groups by seq in the router")
+        if not self._batch_fast_path():
+            return [self.feed(event, stream) for event in events]
+        self._in_batch = True
+        try:
+            buckets = self._run_queries_batch(events, stream)
+            return [self._deliver_all(bucket) for bucket in buckets]
+        finally:
+            self._in_batch = False
+
+    def _batch_fast_path(self) -> bool:
+        """True when batched execution is observably identical to the
+        per-event path: no per-event hooks, and (synchronous runtime
+        only) no INTO cascades — cascade composites must interleave with
+        their triggering events."""
+        if self._tracer is not None or self._slow_log is not None:
+            return False
+        if self._persist_log is not None or self._persist_post is not None:
+            return False
+        if self._sharding is not None and self._sharding.active:
+            return True  # the router sequences events internally
+        return all(registered.output_stream is None
+                   for registered in self._queries.values())
+
+    def _run_queries_batch(self, events: list[Event], stream: str) \
+            -> list[list[tuple[str, CompositeEvent]]]:
+        """The batched synchronous dataflow (no cascades): each query
+        reads its subscribed slice of the batch through the runtime's
+        batch path, and results are reassembled per event in
+        registration order — exactly what N ``_run_queries`` calls
+        would have produced."""
+        per_event: list[list[tuple[str, CompositeEvent]]] = \
+            [[] for _ in events]
+        metrics = self.metrics
+        for registered in self._queries.values():
+            if registered.input_stream != stream:
+                continue
+            name = registered.name
+            runtime = registered.runtime
+            types = self._subscribed_types(registered) \
+                if self._use_dispatch_index else None
+            if registered.compiled.analyzed.has_negation:
+                # Negation interleaves event observation with watermark
+                # advances; replicate the per-event dispatch exactly.
+                for slot, event in enumerate(events):
+                    started = time.perf_counter()
+                    if types is None or event.type in types:
+                        results = runtime.feed(event)
+                        elapsed = time.perf_counter() - started
+                        metrics.query(name).record(
+                            1, len(results), elapsed, event.timestamp)
+                    else:
+                        results = runtime.advance(event.timestamp)
+                        if results:
+                            elapsed = time.perf_counter() - started
+                            metrics.query(name).record(
+                                0, len(results), elapsed, event.timestamp)
+                    bucket = per_event[slot]
+                    for result in results:
+                        bucket.append((name, result))
+                continue
+            if types is None:
+                slots: list[int] | range = range(len(events))
+                fed = events
+            else:
+                slots = [index for index, event in enumerate(events)
+                         if event.type in types]
+                if not slots:
+                    continue
+                fed = [events[index] for index in slots]
+            started = time.perf_counter()
+            grouped = runtime.feed_batch_grouped(fed)
+            elapsed = time.perf_counter() - started
+            total = 0
+            last_ts: float | None = None
+            for slot, event, results in zip(slots, fed, grouped):
+                if results:
+                    total += len(results)
+                    if last_ts is None or event.timestamp > last_ts:
+                        last_ts = event.timestamp
+                    bucket = per_event[slot]
+                    for result in results:
+                        bucket.append((name, result))
+            metrics.query(name).record(len(fed), total, elapsed, last_ts)
+        return per_event
 
     def flush(self) -> list[tuple[str, CompositeEvent]]:
         """End of stream: release pending trailing-negation matches.

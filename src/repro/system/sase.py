@@ -77,7 +77,8 @@ class SaseSystem:
                  event_db: EventDatabase | None = None,
                  sharding: "ShardingConfig | None" = None,
                  persistence: "PersistenceConfig | None" = None,
-                 resilience: "ResilienceConfig | None" = None):
+                 resilience: "ResilienceConfig | None" = None,
+                 ingest_batch: int = 1):
         self.layout = layout
         self.ons = ons
         self.registry = registry or retail_registry()
@@ -105,6 +106,11 @@ class SaseSystem:
         self.processor = ComplexEventProcessor(
             self.registry, functions=self.functions, system=self.context,
             config=plan_config, sharding=sharding, resilience=resilience)
+        # Batch size for feeding cleaned events into the processor
+        # (1 = legacy per-event path).  Composes with router batching
+        # under sharding: the router still seals shard batches at its
+        # own batch_size, the caller batch only amortizes dispatch.
+        self.ingest_batch = max(1, ingest_batch)
         self.taps = SystemTaps()
         self._message_formatters: dict[str, Callable[[CompositeEvent],
                                                      str]] = {}
@@ -295,11 +301,24 @@ class SaseSystem:
             if persistence is not None and persistence.should_skip(event):
                 continue  # already replayed from the WAL
             fed.append(event)
-            produced.extend(self.processor.feed(event))
+        if self.ingest_batch > 1:
+            for start in range(0, len(fed), self.ingest_batch):
+                produced.extend(self.feed_batch(
+                    fed[start:start + self.ingest_batch]))
+        else:
+            for event in fed:
+                produced.extend(self.processor.feed(event))
         self.taps.record_events(fed)
         if self._exporter is not None and fed:
             self._exporter.tick(len(fed))
         return produced
+
+    def feed_batch(self, events: list[Event]) \
+            -> list[tuple[str, CompositeEvent]]:
+        """Feed a batch of already-cleaned events to the processor in
+        one call (result-identical to per-event feeding; see
+        :meth:`ComplexEventProcessor.feed_batch`)."""
+        return self.processor.feed_batch(events)
 
     def run_simulation(self,
                        ticks: Iterable[tuple[float, list[RawReading]]],

@@ -1,0 +1,199 @@
+"""Batched ingest at the system layer: ``feed_batch`` edge cases.
+
+The batched API's contract is strict result identity with per-event
+feeding — including negation watermarks advancing mid-batch, empty
+batches, registration changes around (but never inside) a batch, and
+every sharding backend.  These tests pin that contract at the
+processor, system, and service layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SaseError
+from repro.service import QueryService, TenantQuota
+from repro.sharding import ShardingConfig
+from repro.system import ComplexEventProcessor, SaseSystem
+from repro.workloads import RetailConfig, RetailScenario, \
+    SHOPLIFTING_QUERY, MISPLACED_INVENTORY_QUERY
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+
+def fingerprint(results):
+    return [(name, result.start, result.end,
+             tuple(sorted(result.attributes.items())))
+            for name, result in results]
+
+
+@pytest.fixture(scope="module")
+def stream() -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=400, n_types=4, id_domain=8, seed=31))
+
+
+def build_processor(stream, sharding=None) -> ComplexEventProcessor:
+    processor = ComplexEventProcessor(stream.registry, sharding=sharding)
+    processor.register("pair", seq_query(2, window=5.0, partitioned=True))
+    processor.register("neg", seq_query(2, window=5.0, partitioned=True,
+                                        negation_at=2))
+    return processor
+
+
+@pytest.fixture(scope="module")
+def per_event_baseline(stream):
+    processor = build_processor(stream)
+    produced = []
+    for event in stream.events:
+        produced.extend(processor.feed(event))
+    produced.extend(processor.flush())
+    return fingerprint(produced)
+
+
+def test_empty_batch_is_a_noop(stream):
+    processor = build_processor(stream)
+    assert processor.feed_batch([]) == []
+    assert processor.feed_batch(iter([])) == []
+    assert processor.metrics.query("pair").events_in == 0
+
+
+@pytest.mark.parametrize("batch", [1, 3, 64, 1000])
+def test_batched_equals_per_event(stream, per_event_baseline, batch):
+    """Batches spanning watermark advances (the negation query skips
+    most types, advancing its watermark mid-batch) still produce the
+    per-event result sequence."""
+    processor = build_processor(stream)
+    produced = []
+    events = stream.events
+    for start in range(0, len(events), batch):
+        produced.extend(processor.feed_batch(events[start:start + batch]))
+    produced.extend(processor.flush())
+    assert fingerprint(produced) == per_event_baseline
+
+
+@pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_batched_equals_per_event(stream, per_event_baseline,
+                                          backend, shards):
+    processor = build_processor(stream, sharding=ShardingConfig(
+        shards=shards, backend=backend, batch_size=16))
+    produced = []
+    events = stream.events
+    for start in range(0, len(events), 64):
+        produced.extend(processor.feed_batch(events[start:start + 64]))
+    produced.extend(processor.flush())
+    assert fingerprint(produced) == per_event_baseline
+
+
+def test_mid_batch_deregistration_rejected(stream):
+    """A result callback must not mutate the query set while a batch is
+    in flight — the per-event path allows it, so the batch path fails
+    loudly instead of silently diverging."""
+    processor = build_processor(stream)
+    errors: list = []
+
+    def deregister_now(name, result):
+        try:
+            processor.deregister("neg")
+        except SaseError as error:
+            errors.append(error)
+
+    processor.query("pair").on_result = deregister_now
+    processor.feed_batch(stream.events[:200])
+    assert errors, "expected mid-batch deregistration to be rejected"
+    assert "batch" in str(errors[0])
+    # Between batches the same call is fine.
+    processor.deregister("neg")
+    assert processor.feed_batch(stream.events[200:250]) is not None
+
+
+def test_mid_batch_registration_rejected(stream):
+    processor = build_processor(stream)
+    errors: list = []
+
+    def register_now(name, result):
+        try:
+            processor.register("late", seq_query(2, window=5.0))
+        except SaseError as error:
+            errors.append(error)
+
+    processor.query("pair").on_result = register_now
+    processor.feed_batch(stream.events[:200])
+    assert errors, "expected mid-batch registration to be rejected"
+
+
+def test_cascades_degrade_to_per_event(stream):
+    """INTO cascades disable the batch fast path (composites must
+    interleave with their triggering events); feed_batch silently takes
+    the per-event route and results stay identical."""
+    def build():
+        processor = ComplexEventProcessor(stream.registry)
+        processor.register(
+            "pair", seq_query(2, window=5.0, partitioned=True)
+            + " INTO PAIRS")
+        return processor
+
+    reference = build()
+    expected = []
+    for event in stream.events[:200]:
+        expected.extend(reference.feed(event))
+    expected.extend(reference.flush())
+
+    batched = build()
+    produced = list(batched.feed_batch(stream.events[:200]))
+    produced.extend(batched.flush())
+    assert fingerprint(produced) == fingerprint(expected)
+
+
+def test_batched_metrics_aggregates_match(stream):
+    per_event = build_processor(stream)
+    for event in stream.events:
+        per_event.feed(event)
+    batched = build_processor(stream)
+    for start in range(0, len(stream.events), 64):
+        batched.feed_batch(stream.events[start:start + 64])
+    for name in ("pair", "neg"):
+        reference = per_event.metrics.query(name)
+        measured = batched.metrics.query(name)
+        assert measured.events_in == reference.events_in
+        assert measured.results_out == reference.results_out
+        assert measured.last_result_at == reference.last_result_at
+
+
+# -- system layer ------------------------------------------------------------
+
+def _run_retail(ingest_batch: int):
+    scenario = RetailScenario.generate(RetailConfig(seed=99))
+    system = SaseSystem(scenario.layout, scenario.ons,
+                        ingest_batch=ingest_batch)
+    system.register_monitoring_query("shoplifting", SHOPLIFTING_QUERY)
+    system.register_monitoring_query("misplaced",
+                                     MISPLACED_INVENTORY_QUERY)
+    results = system.run_simulation(scenario.ticks())
+    return [(name, result.end, tuple(sorted(result.attributes.items())))
+            for name, result in results]
+
+
+def test_system_ingest_batch_identical():
+    assert _run_retail(ingest_batch=64) == _run_retail(ingest_batch=1)
+
+
+# -- service layer -----------------------------------------------------------
+
+def test_service_feed_many_batches(stream):
+    def build():
+        service = QueryService(stream.registry,
+                               default_quota=TenantQuota())
+        service.register("t0", "pairs",
+                         seq_query(2, window=5.0, partitioned=True))
+        return service
+
+    batched = build()
+    count = batched.feed_many(stream.events[:200])
+    reference = build()
+    expected = sum(reference.feed(event)
+                   for event in stream.events[:200])
+    assert count == expected
+    assert batched.events_fed == reference.events_fed == 200
+    assert batched.drain("t0") == reference.drain("t0")

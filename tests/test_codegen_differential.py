@@ -50,6 +50,12 @@ QUERIES = [
     "EVENT SEQ(A x, ANY(B, C) y) WITHIN 10 RETURN x.id",
     "EVENT SEQ(A x, B y) WHERE x.v + 1 < y.v * 2 WITHIN 10 RETURN x.id",
     "EVENT SEQ(A x, B y) WHERE NOT x.v > 5 WITHIN 10 RETURN x.id",
+    # Two cross-component equality classes: the second fuses into the
+    # partition key.
+    "EVENT SEQ(A x, B y) WHERE x.id = y.id AND x.v = y.v WITHIN 10 "
+    "RETURN x.id",
+    "EVENT SEQ(A x, B y, C z) WHERE x.id = y.id AND y.id = z.id "
+    "AND x.v = y.v AND y.v = z.v WITHIN 15 RETURN x.id",
 ]
 
 CONFIGS = [
@@ -153,6 +159,84 @@ def test_compiled_equals_interpreted_synthetic_workload():
         _assert_identical(registry, query_text, events, PlanConfig())
 
 
+# -- batched ingest ----------------------------------------------------------
+
+def _assert_batched_identical(registry, query_text, events, config,
+                              split_seed, functions=None):
+    """Random batch splits through the compiled ``feed_batch`` (and the
+    interpreter's loop-based one) must match per-event interpreted
+    feeding exactly — same composites, same order, same flush."""
+    engine = Engine(registry, functions=functions)
+    compiled_rt = engine.runtime(query_text, config=config)
+    interp_batch_rt = engine.runtime(
+        query_text, config=config.without("use_codegen"))
+    interp_rt = engine.runtime(
+        query_text, config=config.without("use_codegen"))
+    rng = random.Random(split_seed)
+    compiled_out, interp_batch_out, interp_out = [], [], []
+    index = 0
+    while index < len(events):
+        chunk = events[index:index + rng.randrange(1, 8)]
+        index += len(chunk)
+        compiled_out.extend(compiled_rt.feed_batch(chunk))
+        interp_batch_out.extend(interp_batch_rt.feed_batch(chunk))
+        for event in chunk:
+            interp_out.extend(interp_rt.feed(event))
+    compiled_out.extend(compiled_rt.flush())
+    interp_batch_out.extend(interp_batch_rt.flush())
+    interp_out.extend(interp_rt.flush())
+    reference = _keys(interp_out)
+    assert _keys(compiled_out) == reference, \
+        f"compiled batched divergence for {query_text!r}"
+    assert _keys(interp_batch_out) == reference, \
+        f"interpreted batched divergence for {query_text!r}"
+
+
+@pytest.mark.parametrize("query_text", QUERIES)
+def test_batched_equals_per_event(query_text):
+    registry = _registry()
+    events = _random_stream(7, size=60)
+    for config in CONFIGS:
+        _assert_batched_identical(registry, query_text, events, config,
+                                  split_seed=13)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       size=st.integers(min_value=0, max_value=50),
+       query_index=st.integers(min_value=0, max_value=len(QUERIES) - 1),
+       config_index=st.integers(min_value=0, max_value=len(CONFIGS) - 1),
+       split_seed=st.integers(min_value=0, max_value=1_000))
+def test_batched_equals_per_event_hypothesis(seed, size, query_index,
+                                             config_index, split_seed):
+    registry = _registry()
+    events = _random_stream(seed, size, id_domain=4, tie_probability=0.3)
+    _assert_batched_identical(registry, QUERIES[query_index], events,
+                              CONFIGS[config_index], split_seed)
+
+
+def test_scan_coverage_flags():
+    """Coverage introspection: which queries get a generated construct
+    walk and batch body, and which fall back wholesale."""
+    registry = _registry()
+    engine = Engine(registry)
+    trailing = engine.runtime(
+        "EVENT SEQ(A a, B+ b) WHERE a.id = b.id WITHIN 10 "
+        "RETURN a.id, COUNT(b)")
+    assert trailing.scan_coverage == {
+        "compiled": True, "construct": True, "batch": True}
+    mid_kleene = engine.runtime(
+        "EVENT SEQ(A a, B+ b, C c) WHERE a.id = b.id AND a.id = c.id "
+        "WITHIN 15 RETURN a.id")
+    assert mid_kleene.scan_coverage == {
+        "compiled": True, "construct": False, "batch": True}
+    interpreted = engine.runtime(
+        "EVENT SEQ(A x, B y) WITHIN 10 RETURN x.id",
+        config=PlanConfig(use_codegen=False))
+    assert interpreted.scan_coverage == {
+        "compiled": False, "construct": False, "batch": False}
+
+
 # -- interpreter fallback ----------------------------------------------------
 
 def test_function_call_filter_forces_fallback():
@@ -198,6 +282,33 @@ def test_fuzzed_fallback_queries_still_correct():
         _assert_identical(registry, query_text, events, PlanConfig(),
                           functions=functions,
                           expect_compiled=not pushed_uncompilable)
+
+
+def test_stateful_fallback_fuzz():
+    """Function predicates landing in a stateful shape's pushed filters
+    force wholesale fallback; the interpreter loop must still carry its
+    batch API and produce identical output under random batch splits."""
+    registry = _registry()
+    functions = FunctionRegistry()
+    functions.register("_even", lambda value: value % 2 == 0)
+    shapes = [
+        ("EVENT SEQ(A a, B+ b) WHERE a.id = b.id AND _even(a.v) "
+         "WITHIN 10 RETURN a.id, COUNT(b)", False),
+        ("EVENT SEQ(A x, B y, C z) WHERE x.id = y.id AND y.id = z.id "
+         "AND _even(z.v) WITHIN 15 RETURN x.id", False),
+        ("EVENT SEQ(A x, B y) WHERE x.id = y.id AND x.v = y.v "
+         "AND _even(y.v) WITHIN 10 RETURN x.id", False),
+        ("EVENT SEQ(A a, B+ b) WHERE a.id = b.id WITHIN 10 "
+         "RETURN a.id, COUNT(b)", True),
+    ]
+    for trial, (query_text, expect_compiled) in enumerate(shapes):
+        events = _random_stream(200 + trial, size=50)
+        _assert_identical(registry, query_text, events, PlanConfig(),
+                          functions=functions,
+                          expect_compiled=expect_compiled)
+        _assert_batched_identical(registry, query_text, events,
+                                  PlanConfig(), split_seed=trial,
+                                  functions=functions)
 
 
 def test_codegen_flag_off_uses_interpreter():
