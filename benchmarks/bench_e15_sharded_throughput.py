@@ -33,7 +33,8 @@ from common import print_table
 FULL_EVENTS = 12_000
 SMOKE_EVENTS = 1_500
 SHARD_COUNTS = [1, 2, 4]
-BACKENDS = ["inline", "process"]
+#: (backend, transport) pairs; transport only matters for ``process``.
+VARIANTS = [("inline", None), ("process", "ring"), ("process", "pipe")]
 
 
 def build_stream(n_events: int) -> SyntheticStream:
@@ -64,22 +65,26 @@ def run_once(stream: SyntheticStream,
     return elapsed, fingerprint
 
 
-def sweep(n_events: int, backends: list[str],
+def sweep(n_events: int, variants: list[tuple[str, str | None]],
           shard_counts: list[int]) -> list[list]:
     stream = build_stream(n_events)
     base_elapsed, base_fingerprint = run_once(stream, None)
     base_throughput = n_events / base_elapsed
     rows = [["single-process", "-", base_throughput, 1.0,
              len(base_fingerprint)]]
-    for backend in backends:
+    for backend, transport in variants:
+        label = backend if transport is None else \
+            f"{backend}/{transport}"
         for shards in shard_counts:
-            elapsed, fingerprint = run_once(stream, ShardingConfig(
+            config = ShardingConfig(
                 shards=shards, backend=backend, batch_size=64,
-                queue_capacity=8))
+                queue_capacity=8,
+                transport=transport if transport else "ring")
+            elapsed, fingerprint = run_once(stream, config)
             assert fingerprint == base_fingerprint, \
-                f"{backend}/{shards} diverged from the baseline"
+                f"{label}/{shards} diverged from the baseline"
             throughput = n_events / elapsed
-            rows.append([f"{backend} x{shards}", shards, throughput,
+            rows.append([f"{label} x{shards}", shards, throughput,
                          throughput / base_throughput,
                          len(fingerprint)])
     return rows
@@ -90,13 +95,21 @@ def main(argv: list[str] | None = None) -> None:
         description="sharded runtime throughput experiment")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny configuration for CI (seconds, "
-                             "inline backend + one process run)")
+                             "inline backend + one process run per "
+                             "transport)")
+    parser.add_argument(
+        "--assert-multicore-speedup", type=float, metavar="X",
+        help="fail unless the best process/ring row reaches X times "
+             "the single-process baseline; skipped (with a notice) on "
+             "single-core hosts, where no parallel speedup exists to "
+             "measure")
     args = parser.parse_args(argv)
     if args.smoke:
-        rows = sweep(SMOKE_EVENTS, ["inline"], [1, 2]) + \
-            sweep(SMOKE_EVENTS, ["process"], [2])[1:]
+        rows = sweep(SMOKE_EVENTS, [("inline", None)], [1, 2]) + \
+            sweep(SMOKE_EVENTS,
+                  [("process", "ring"), ("process", "pipe")], [2])[1:]
     else:
-        rows = sweep(FULL_EVENTS, BACKENDS, SHARD_COUNTS)
+        rows = sweep(FULL_EVENTS, VARIANTS, SHARD_COUNTS)
     cores = os.cpu_count() or 1
     print_table(
         f"E15 — sharded runtime throughput "
@@ -107,7 +120,21 @@ def main(argv: list[str] | None = None) -> None:
         rows)
     if cores == 1:
         print("note: single-core host; the process backend cannot "
-              "exceed 1.0x here (IPC overhead, no parallelism).")
+              "exceed 1.0x here (IPC overhead, no parallelism).  The "
+              "transport-level ring-vs-pipe comparison that IS "
+              "verifiable on one core lives in E15b.")
+    if args.assert_multicore_speedup is not None:
+        if cores < 2:
+            print("multicore speedup gate skipped: single-core host")
+        else:
+            best = max(row[2] / rows[0][2] for row in rows[1:]
+                       if str(row[0]).startswith("process/ring"))
+            assert best >= args.assert_multicore_speedup, (
+                f"process/ring peaks at {best:.2f}x single-process on "
+                f"{cores} cores; the gate requires "
+                f">= {args.assert_multicore_speedup:g}x")
+            print(f"multicore speedup gate ok: process/ring reaches "
+                  f"{best:.2f}x single-process")
 
 
 def test_benchmark_sharded_inline(benchmark):

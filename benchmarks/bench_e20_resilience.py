@@ -13,6 +13,12 @@ This experiment pins both halves of that bargain:
   with supervision idle, where the breaker check and hang-deadline
   bookkeeping ride the batch path (reported, not asserted: thread
   scheduling noise on small runs dwarfs the cost being measured).
+* **E20c — coordinator idle-wait wakeups.**  With process workers
+  slowed by chaos the coordinator spends the run blocked in
+  ``wait()``.  The old implementation polled on a fixed 5 ms tick —
+  200 wakeups/s of pure overhead; the adaptive spin-then-park waiter
+  (semaphore park on the ring transport, geometric backoff on the
+  pipe) is asserted to stay under 120 parks/s in the same regime.
 * **E20b — shedding-policy throughput at 2x capacity.**  Workers are
   slowed with ``worker.slow`` chaos and the feed is paced at twice the
   resulting service rate.  ``block`` (the default) preserves every
@@ -70,6 +76,16 @@ SHED_BATCH = 4
 SHED_SHARDS = 2
 
 SHED_POLICIES = ["block", "drop-newest", "drop-oldest", "sample:0.25"]
+
+#: E20c: the pre-fix coordinator waited on a fixed 5 ms poll tick —
+#: 200 wakeups per second of pure overhead whenever a worker was slow.
+OLD_FIXED_TICK_RATE = 200.0
+#: Acceptance budget for the adaptive spin-then-park waiter: the park
+#: rate while blocked on slow workers must stay well under the old
+#: tick.  (The ring backend parks on a response semaphore and wakes
+#: roughly once per response; the pipe backend backs off geometrically
+#: to 20 ms parks.)
+MAX_PARK_RATE = 120.0
 
 
 # -- E20a: idle overhead ------------------------------------------------------
@@ -163,6 +179,56 @@ def measure_supervised_overhead(n_events: int, rounds: int) \
     return rows, ratio
 
 
+# -- E20c: coordinator idle-wait wakeups --------------------------------------
+
+def run_idle_wait(stream, transport: str) \
+        -> tuple[float, int, int, int]:
+    """Process backend with slowed workers: the coordinator spends most
+    of the run blocked in ``wait()``, which is exactly the regime the
+    old fixed 5 ms tick burned 200 wakeups/s in.  Returns (elapsed,
+    spin_waits, park_waits, results)."""
+    processor = ComplexEventProcessor(
+        stream.registry,
+        sharding=ShardingConfig(shards=2, backend="process",
+                                batch_size=SHED_BATCH,
+                                queue_capacity=1, transport=transport,
+                                response_timeout=120.0),
+        resilience=ResilienceConfig(
+            chaos=f"worker.slow:{SLOW_BATCH_SECONDS}", chaos_seed=7,
+            hang_timeout=3600.0))
+    processor.register("pair",
+                       seq_query(2, window=30.0, partitioned=True))
+    results = 0
+    started = time.perf_counter()
+    for event in stream.events:
+        results += len(processor.feed(event))
+    results += len(processor.flush())
+    elapsed = time.perf_counter() - started
+    backend = processor._router._backend
+    spins, parks = backend.spin_waits, backend.park_waits
+    processor.close()
+    return elapsed, spins, parks, results
+
+
+def measure_idle_wait(n_events: int) -> tuple[list, dict[str, float]]:
+    stream = SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, mean_gap=1.0,
+        seed=15))
+    rows = []
+    rates: dict[str, float] = {}
+    counts = {}
+    for transport in ["ring", "pipe"]:
+        elapsed, spins, parks, results = run_idle_wait(stream,
+                                                       transport)
+        rates[transport] = parks / elapsed
+        counts[transport] = results
+        rows.append([transport, elapsed, spins, parks,
+                     rates[transport], results])
+    assert len(set(counts.values())) == 1, \
+        "transports disagreed on the result count"
+    return rows, rates
+
+
 # -- E20b: shedding throughput at 2x capacity ---------------------------------
 
 def run_shedding(stream, policy: str) -> tuple[float, int, int, int]:
@@ -253,6 +319,22 @@ def main(argv: list[str] | None = None) -> None:
         ["configuration", "events/s", "vs bare", "results"],
         sup_rows)
     print(f"idle-supervision overhead: {(sup_ratio - 1) * 100:+.1f}%")
+
+    idle_rows, park_rates = measure_idle_wait(shed_events)
+    print_table(
+        f"E20c — coordinator idle-wait wakeups while workers are slow "
+        f"({shed_events} events, process backend, 2 shards, workers "
+        f"slowed {SLOW_BATCH_SECONDS * 1e3:g} ms/batch)",
+        ["transport", "elapsed s", "spin waits", "park waits",
+         "parks/s", "results"],
+        idle_rows)
+    print(f"old fixed 5 ms tick: {OLD_FIXED_TICK_RATE:g} wakeups/s "
+          f"whenever waiting; budget {MAX_PARK_RATE:g}/s")
+    for transport, rate in park_rates.items():
+        assert rate <= MAX_PARK_RATE, (
+            f"{transport} transport parked {rate:.0f}/s while waiting "
+            f"on slow workers; budget is {MAX_PARK_RATE:g}/s (old "
+            f"fixed tick: {OLD_FIXED_TICK_RATE:g}/s)")
 
     shed_rows = measure_shedding(shed_events)
     print_table(

@@ -35,6 +35,7 @@ EXPERIMENTS = [
     ("E13", "bench_e13_latency"),
     ("E14", "bench_e14_construction_pushdown"),
     ("E15", "bench_e15_sharded_throughput"),
+    ("E15b", "bench_e15b_transport"),
     ("E16", "bench_e16_codegen"),
     ("E17", "bench_e17_multiquery_scaling"),
     ("E18", "bench_e18_observability_overhead"),
@@ -57,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
     wanted = {identifier.upper() for identifier in (args.only or [])}
     sections: list[str] = []
     for identifier, module_name in EXPERIMENTS:
-        if wanted and identifier not in wanted:
+        if wanted and identifier.upper() not in wanted:
             continue
         module = importlib.import_module(module_name)
         buffer = io.StringIO()

@@ -35,7 +35,7 @@ from repro.rfid import NoiseModel
 from repro.schemas import retail_registry
 from repro.obs import MetricsExporter
 from repro.persist import FsyncPolicy, PersistenceConfig
-from repro.sharding import BACKENDS, ShardingConfig
+from repro.sharding import BACKENDS, TRANSPORTS, ShardingConfig
 from repro.system import SaseSystem
 from repro.ui import SaseConsole, format_trace_lines
 from repro.workloads import (
@@ -111,6 +111,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="inline",
                       help="shard executor: inline (deterministic, "
                            "in-process), thread, or process")
+    demo.add_argument("--shard-transport", choices=TRANSPORTS,
+                      default="ring",
+                      help="process-backend IPC: ring (shared-memory "
+                           "ring buffers, default) or pipe (classic "
+                           "pickle over multiprocessing queues); "
+                           "ignored by other backends")
     demo.add_argument("--data-dir", metavar="DIR",
                       help="durable persistence: write-ahead log, "
                            "checkpoints, and the match log live here; "
@@ -162,6 +168,8 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--shards", type=int, default=1)
     trace.add_argument("--shard-backend", choices=BACKENDS,
                        default="inline")
+    trace.add_argument("--shard-transport", choices=TRANSPORTS,
+                       default="ring")
     trace.add_argument("--limit", type=int, default=12,
                        help="show at most N traces (default: 12)")
     trace.add_argument("--jsonl", metavar="PATH",
@@ -295,10 +303,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 _DEMO_PARAM_KEYS = ("seed", "noise", "products", "shoppers",
                     "shoplifters", "misplacements", "shards",
-                    "shard_backend", "chaos", "chaos_seed", "shed")
+                    "shard_backend", "shard_transport", "chaos",
+                    "chaos_seed", "shed")
 # Keys added after a data directory format already existed: manifests
 # written by older runs lack them, so comparison fills in the defaults.
-_DEMO_PARAM_DEFAULTS = {"chaos": None, "chaos_seed": 0, "shed": "block"}
+_DEMO_PARAM_DEFAULTS = {"chaos": None, "chaos_seed": 0, "shed": "block",
+                        "shard_transport": "ring"}
 _MANIFEST_NAME = "manifest.json"
 
 
@@ -320,8 +330,9 @@ def _build_demo_system(params: dict[str, Any],
         n_misplacements=params["misplacements"], seed=params["seed"]))
     sharding = None
     if params["shards"] != 1 or params["shard_backend"] != "inline":
-        sharding = ShardingConfig(shards=params["shards"],
-                                  backend=params["shard_backend"])
+        sharding = ShardingConfig(
+            shards=params["shards"], backend=params["shard_backend"],
+            transport=params.get("shard_transport", "ring"))
     resilience = None
     if params.get("chaos") or dead_letter_path \
             or params.get("shed", "block") != "block":
@@ -457,8 +468,10 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
           f"detected={sorted(misplaced)}", file=out)
     print(SaseConsole(system, max_lines=6).render(), file=out)
     if system.processor.sharding is not None:
+        transport = (f", {args.shard_transport} transport"
+                     if args.shard_backend == "process" else "")
         print(f"\nsharded runtime ({args.shards} shard(s), "
-              f"{args.shard_backend} backend):", file=out)
+              f"{args.shard_backend} backend{transport}):", file=out)
         plan = system.processor.shard_plan
         if plan is not None:
             for line in plan.describe().splitlines():
@@ -529,7 +542,8 @@ def _cmd_trace(args: argparse.Namespace, out: TextIO) -> None:
     sharding = None
     if args.shards != 1 or args.shard_backend != "inline":
         sharding = ShardingConfig(shards=args.shards,
-                                  backend=args.shard_backend)
+                                  backend=args.shard_backend,
+                                  transport=args.shard_transport)
     system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
     # A full retail run emits far more spans than the default ring; keep
     # enough history that early RETURN traces survive to the report.

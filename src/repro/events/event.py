@@ -40,6 +40,21 @@ class Event:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Event instances are immutable")
 
+    @classmethod
+    def _restore(cls, type: str, timestamp: float, attributes: dict,
+                 seq: int) -> "Event":
+        """Trusted rebuild for deserializers that already own a fresh
+        ``attributes`` dict: skips the defensive copy ``__init__`` makes
+        (the shard transport decodes thousands of events per second, and
+        the copy is pure waste when the dict was just unmarshalled)."""
+        event = object.__new__(cls)
+        setter = object.__setattr__
+        setter(event, "type", type)
+        setter(event, "timestamp", timestamp)
+        setter(event, "attributes", attributes)
+        setter(event, "seq", seq)
+        return event
+
     def __reduce__(self):
         # Immutability blocks pickle's default slot restoration (it goes
         # through setattr); rebuild through the constructor instead so

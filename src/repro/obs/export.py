@@ -75,6 +75,21 @@ _SHARD_COUNTERS = (
      "Events lost when the shard's circuit breaker opened"),
     ("sase_shard_breaker_opens_total", "breaker_opens",
      "Circuit-breaker open transitions for the shard"),
+    ("sase_shard_ring_frames_sent_total", "ring_frames_sent",
+     "Frames written to the shard's shared-memory input ring"),
+    ("sase_shard_ring_bytes_sent_total", "ring_bytes_sent",
+     "Bytes written to the shard's shared-memory input ring"),
+    ("sase_shard_ring_frames_received_total", "ring_frames_received",
+     "Frames read from the shard's shared-memory response ring"),
+    ("sase_shard_ring_bytes_received_total", "ring_bytes_received",
+     "Bytes read from the shard's shared-memory response ring"),
+    ("sase_shard_pipe_fallbacks_total", "pipe_fallbacks",
+     "Messages the ring codec could not carry, sent over the "
+     "fallback queue lane"),
+    ("sase_shard_transport_spin_waits_total", "spin_waits",
+     "Sched-yield spins in the coordinator's hybrid transport wait"),
+    ("sase_shard_transport_park_waits_total", "park_waits",
+     "Backoff park sleeps in the coordinator's hybrid transport wait"),
 )
 _PLAN_GAUGES = (
     ("sase_plan_stack_instances_high_water", "stack_high_water",

@@ -9,9 +9,11 @@ from repro.sharding.analyzer import GroupSpec, QueryShardInfo, ShardPlan, \
     build_shard_plan, classify_query, stable_hash
 from repro.sharding.config import BACKENDS, ShardingConfig
 from repro.sharding.router import ShardRouter
+from repro.sharding.transport import TRANSPORTS
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "GroupSpec",
     "QueryShardInfo",
     "ShardPlan",

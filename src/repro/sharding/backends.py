@@ -34,16 +34,23 @@ import contextlib
 import queue as queue_module
 import threading
 import time
+from pickle import UnpicklingError
 from typing import Callable
 
 from repro.errors import SaseError
 from repro.resilience.retry import retry_call
 from repro.resilience.supervisor import HALF_OPEN
+from repro.sharding.transport import AdaptiveWaiter, CoordinatorChannel, \
+    DEFAULT_RING_BYTES, RingTorn, park_for_responses
 from repro.sharding.worker import EVENT_ENTRY, ShardWorkerCore, \
     WorkerSpec, process_worker_main
 
 # How long one blocking put/get waits before re-checking worker liveness.
 _STALL_TICK = 0.05
+# Park-sleep ceiling of the coordinator's wait loop.  Large enough that
+# an idle coordinator wakes ~50×/s instead of 200×/s, small enough that
+# hang budgets (seconds) are still checked promptly.
+_WAIT_PARK_MAX = 0.02
 # Shutdown budgets: nothing in stop() may wait longer than these, so a
 # wedged worker can never hang ``SaseSystem.close()``.
 _STOP_PUT_TIMEOUT = 0.25
@@ -67,6 +74,12 @@ class ShardBackend:
         self._outstanding: set[tuple] = set()   # ("batch", shard, id) ...
         self._lost: set[int] = set()
         self._shard_load = [0] * shards  # outstanding batches per shard
+        # Wait-loop profile (the backend quacks like ShardMetrics for
+        # AdaptiveWaiter): sched-yield spins vs backoff park sleeps
+        # spent in wait().  The E20 idle-overhead harness asserts the
+        # park rate stays far below the old fixed 5 ms tick's 200/s.
+        self.spin_waits = 0
+        self.park_waits = 0
 
     # -- bookkeeping shared by every transport -------------------------------
 
@@ -101,8 +114,22 @@ class ShardBackend:
         """Mark a raw worker response received; None when duplicate."""
         opcode = response[0]
         if opcode == "error":
+            # An error IS the response to the request it names: retire
+            # that request's bookkeeping before raising, otherwise a
+            # caller that catches the SaseError and continues is left
+            # with a phantom in-flight batch — the shard reads as
+            # permanently overloaded() and drain barriers wait forever
+            # for a response that already arrived.
+            shard = response[1]
+            context = response[2] if len(response) == 4 else None
+            if context is not None:
+                key = (context[0], shard, context[1])
+                if key in self._outstanding:
+                    self._outstanding.discard(key)
+                    if context[0] == "batch":
+                        self._shard_load[shard] -= 1
             raise SaseError(
-                f"shard {response[1]} worker failed:\n{response[2]}")
+                f"shard {shard} worker failed:\n{response[-1]}")
         key = (opcode, response[1], response[2])
         if key not in self._outstanding:
             return None  # replayed duplicate after a restart
@@ -151,6 +178,11 @@ class ShardBackend:
         supervisor = self.supervisor
         hang_at = (time.monotonic() + supervisor.hang_timeout
                    if supervisor is not None else None)
+        # Spin-then-park instead of a fixed 5 ms tick: a response that
+        # is microseconds away is caught by a sched-yield, and a genuine
+        # wait backs off geometrically so an idle coordinator stops
+        # burning a core (the old tick cost 200 wakeups/s regardless).
+        waiter = AdaptiveWaiter(max_park=_WAIT_PARK_MAX, metrics=self)
         while True:
             responses = self.poll()
             if responses:
@@ -169,7 +201,13 @@ class ShardBackend:
                     f"sharded runtime made no progress for "
                     f"{self.response_timeout:g}s; "
                     f"{len(self._outstanding)} response(s) outstanding")
-            time.sleep(_STALL_TICK / 10)
+            self._idle_wait(waiter)
+
+    def _idle_wait(self, waiter: AdaptiveWaiter) -> None:
+        """One idle step of the wait loop.  The ring backend overrides
+        this with an event park (a worker wakeup ends the wait at
+        semaphore latency instead of the next poll)."""
+        waiter.wait()
 
     def _recover_stalled(self) -> None:  # pragma: no cover - overridden
         """Hook: fail over shards that hold outstanding work but have
@@ -578,9 +616,12 @@ class ProcessBackend(_BoundedChannelBackend):
                     raw = out_queue.get_nowait()
                 except queue_module.Empty:
                     break
-                except Exception:
-                    # A SIGKILL mid-write can corrupt the pipe; the
-                    # journal replay regenerates whatever was lost.
+                except (OSError, EOFError, UnpicklingError):
+                    # A SIGKILL mid-write leaves crash debris — a broken
+                    # pipe or a truncated pickle; the journal replay
+                    # regenerates whatever was lost.  Anything else is a
+                    # real decode/logic error and must propagate, not be
+                    # silently dropped as if the worker had crashed.
                     break
                 accepted = self._accept(raw)
                 if accepted is not None:
@@ -588,6 +629,15 @@ class ProcessBackend(_BoundedChannelBackend):
         return responses
 
     def _shutdown_transport(self) -> None:
+        self._join_workers()
+        for a_queue in (*self._in_queues, *self._out_queues):
+            if a_queue is None:
+                continue
+            with contextlib.suppress(Exception):
+                a_queue.cancel_join_thread()
+                a_queue.close()
+
+    def _join_workers(self) -> None:
         for process in self._workers:
             if process is not None:
                 process.join(timeout=_STOP_JOIN_TIMEOUT)
@@ -602,12 +652,6 @@ class ProcessBackend(_BoundedChannelBackend):
                     with contextlib.suppress(Exception):
                         process.kill()
                         process.join(timeout=1.0)
-        for a_queue in (*self._in_queues, *self._out_queues):
-            if a_queue is None:
-                continue
-            with contextlib.suppress(Exception):
-                a_queue.cancel_join_thread()
-                a_queue.close()
 
     def worker_pids(self) -> dict[int, int]:
         return {shard: process.pid
@@ -615,17 +659,122 @@ class ProcessBackend(_BoundedChannelBackend):
                 if process is not None and process.pid is not None}
 
 
+class RingProcessBackend(ProcessBackend):
+    """The process backend over the shared-memory ring transport.
+
+    Identical failure model and bookkeeping to :class:`ProcessBackend`;
+    only the channel differs: each shard gets a
+    :class:`~repro.sharding.transport.CoordinatorChannel` (a ring pair
+    plus unbounded fallback queues) instead of two bounded pipes.
+    Backpressure moves from queue slots to ring bytes — a full ring
+    raises ``queue.Full`` exactly like a full bounded queue, so the
+    stall/hang/restart ladder above is reused unchanged.  A restart
+    creates *fresh* rings (a SIGKILLed worker may have died mid-frame;
+    reattaching would mean parsing its debris) and the journal replay
+    regenerates everything the old rings held.  A torn or corrupt frame
+    on a response ring is crash debris by construction — workers publish
+    only whole CRC-framed messages — and fails the shard over like a
+    worker death.
+    """
+
+    ring_bytes = DEFAULT_RING_BYTES
+
+    def _start_transport(self) -> None:
+        self._workers: list = [None] * self.shards
+        self._channels: list = [None] * self.shards
+        # One response event for all shards: any worker's publish wakes
+        # the coordinator's single park (see park_for_responses).
+        self._response_wake = self._context.Semaphore(0)
+
+    def _spawn(self, shard: int) -> None:
+        old = self._channels[shard]
+        if old is not None:
+            old.close()  # unlink the dead incarnation's segments
+        channel = CoordinatorChannel(self._context, self.ring_bytes,
+                                     metrics=self.metrics.shard(shard),
+                                     response_wake=self._response_wake)
+        process = self._context.Process(
+            target=process_worker_main,
+            args=(shard, self.spec, channel.in_queue, channel.out_queue),
+            kwargs={"transport": "process",
+                    "incarnation": self._incarnations[shard],
+                    "rings": channel.handles()},
+            name=f"sase-shard-{shard}", daemon=True)
+        process.start()
+        self._channels[shard] = channel
+        self._workers[shard] = process
+
+    def _channel_put(self, shard: int, message: tuple,
+                     timeout: float | None) -> None:
+        self._channels[shard].put(message, timeout)
+
+    def _drain_responses(self) -> list[tuple]:
+        responses = []
+        corrupt = []
+        for shard in range(self.shards):
+            channel = self._channels[shard]
+            if channel is None or shard in self._lost:
+                continue
+            try:
+                messages = channel.drain(
+                    alive=lambda s=shard: self._alive(s))
+            except RingTorn:
+                corrupt.append(shard)
+                continue
+            for index, raw in enumerate(messages):
+                try:
+                    accepted = self._accept(raw)
+                except SaseError:
+                    # The ring bytes behind these messages are already
+                    # consumed; park the rest on the channel so a caller
+                    # that catches the error and keeps polling still
+                    # sees them (the pipe transport leaves them in the
+                    # queue for the same reason).
+                    channel.requeue(messages[index + 1:])
+                    raise
+                if accepted is not None:
+                    responses.append(accepted)
+        for shard in corrupt:
+            if not self._stopping:
+                self._fail_worker(shard, "crash")
+        return responses
+
+    def _idle_wait(self, waiter: AdaptiveWaiter) -> None:
+        # Event park instead of backoff polling: a worker that publishes
+        # a response frame (or a fallback marker) sets the shared event,
+        # so the drain resumes at semaphore-wakeup latency — and a truly
+        # idle coordinator sleeps, costing ~1/_WAIT_PARK_MAX wakeups/s
+        # only to keep hang budgets honest.
+        self.park_waits += 1
+        park_for_responses(
+            [channel for shard, channel in enumerate(self._channels)
+             if channel is not None and shard not in self._lost],
+            _WAIT_PARK_MAX)
+
+    def _shutdown_transport(self) -> None:
+        self._join_workers()
+        for channel in self._channels:
+            if channel is not None:
+                channel.close()
+
+
 def make_backend(backend: str, shards: int, spec: WorkerSpec, metrics,
                  queue_capacity: int, response_timeout: float,
-                 supervisor=None, on_shard_lost=None) -> ShardBackend:
+                 supervisor=None, on_shard_lost=None,
+                 transport: str = "ring",
+                 ring_bytes: int = DEFAULT_RING_BYTES) -> ShardBackend:
     classes = {"inline": InlineBackend, "thread": ThreadBackend,
                "process": ProcessBackend}
     try:
         cls = classes[backend]
     except KeyError:
         raise SaseError(f"unknown shard backend {backend!r}") from None
+    if cls is ProcessBackend and transport == "ring":
+        cls = RingProcessBackend
     instance = cls(shards, spec, metrics, queue_capacity,
                    response_timeout)
+    if cls is RingProcessBackend:
+        instance.ring_bytes = ring_bytes
     if not instance.synchronous:
         instance.supervisor = supervisor
         instance.on_shard_lost = on_shard_lost

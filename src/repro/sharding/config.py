@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SaseError
+from repro.sharding.transport import DEFAULT_RING_BYTES, MIN_RING_BYTES, \
+    TRANSPORTS
 
 BACKENDS = ("inline", "thread", "process")
 
@@ -24,6 +26,13 @@ class ShardingConfig:
     a slow shard throttles ingestion instead of buffering unboundedly).
     ``response_timeout`` caps how long the router waits for worker
     progress before declaring the run wedged.
+
+    ``transport`` selects the process backend's IPC path: ``"ring"``
+    (default) carries marshal-framed batches over shared-memory ring
+    buffers with the multiprocessing queues kept as a fallback lane,
+    ``"pipe"`` is the classic pickle-over-queue path.  Ignored by the
+    inline and thread backends.  ``ring_bytes`` sizes each per-shard,
+    per-direction ring.
     """
 
     shards: int = 1
@@ -31,6 +40,8 @@ class ShardingConfig:
     batch_size: int = 64
     queue_capacity: int = 8
     response_timeout: float = 60.0
+    transport: str = "ring"
+    ring_bytes: int = DEFAULT_RING_BYTES
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -45,6 +56,13 @@ class ShardingConfig:
             raise SaseError("queue_capacity must be at least 1")
         if self.response_timeout <= 0:
             raise SaseError("response_timeout must be positive")
+        if self.transport not in TRANSPORTS:
+            raise SaseError(
+                f"unknown shard transport {self.transport!r}; "
+                f"choose one of {', '.join(TRANSPORTS)}")
+        if self.ring_bytes < MIN_RING_BYTES:
+            raise SaseError(
+                f"ring_bytes must be at least {MIN_RING_BYTES}")
 
     @property
     def active(self) -> bool:

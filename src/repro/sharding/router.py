@@ -110,7 +110,9 @@ class ShardRouter:
                 config.backend, config.shards, spec, self._metrics,
                 config.queue_capacity, config.response_timeout,
                 supervisor=self._supervisor,
-                on_shard_lost=self._on_shard_lost)
+                on_shard_lost=self._on_shard_lost,
+                transport=config.transport,
+                ring_bytes=config.ring_bytes)
         else:
             # Every query is local; no workers to start.
             self._backend = None

@@ -1,0 +1,731 @@
+"""Shared-memory ring transport for the process shard backend.
+
+The pipe transport (``multiprocessing.Queue``) pickles every batch,
+hands it to a feeder thread, and pushes it through an OS pipe — three
+copies, a lock, and a thread hop per message in each direction.  E15
+measured the result: the process backend ran at 0.14–0.22x of the
+single-process engine.  This module replaces that path with one
+single-producer/single-consumer byte ring per direction per shard,
+allocated in ``multiprocessing.shared_memory``:
+
+* **Wire format.**  Every message is one *frame* in the WAL's record
+  format (:func:`repro.persist.records.frame`): an 8-byte length+CRC32
+  header followed by the payload.  A reader walks intact frames with
+  :func:`~repro.persist.records.iter_frames` and treats anything after
+  the first bad frame as a *torn tail* — a worker SIGKILLed mid-write is
+  detected and recovered exactly like a torn WAL segment (the batch
+  journal replays whatever the ring lost).
+* **Payload codec.**  Frame payloads are ``marshal``-encoded message
+  tuples (a one-byte tag selects the codec).  Events and composite
+  events are rebuilt through small deterministic encoders; ``marshal``
+  round-trips ints/floats/strings exactly, so the merge output is
+  bit-identical to the pipe transport.
+* **Pipe fallback.**  Payloads ``marshal`` cannot express (exotic
+  attribute values, shipped tracer spans) or that exceed the ring
+  capacity are sent on the retained ``multiprocessing.Queue`` lane; a
+  tiny marker frame in the ring keeps the two lanes totally ordered.
+* **Hybrid waiting.**  Ring readers park on OS primitives, not polls:
+  each direction's ring carries a bare ``multiprocessing.Semaphore``
+  its writer posts only when the reader advertised (via a flag byte)
+  that it is parked.  The worker parks on its input ring's semaphore;
+  the coordinator parks on a *response* semaphore shared by every
+  shard's output ring (:func:`park_for_responses`), so one post resumes
+  the drain loop no matter which worker answered — one ``sem_post`` /
+  ``sem_timedwait`` pair per handoff, cheaper than a blocking queue
+  ``get`` (no feeder thread, no pipe syscalls) and far cheaper than an
+  ``mp.Event``, whose lock+condition stack costs several semaphore
+  operations per wait.  Writers facing a full ring use
+  :class:`AdaptiveWaiter` (sched-yield burst, then geometric-backoff
+  sleeps), as does ``ShardBackend.wait`` on the non-ring backends.
+
+The ring itself is a monotonic-counter SPSC queue: ``write_pos`` and
+``read_pos`` only ever grow, offsets are taken modulo the capacity, and
+each side writes only its own counter, after the data it covers — so a
+crash mid-write never publishes a partial frame, and whatever *is*
+published carries a CRC to catch the rest.
+
+Layout of one ring segment::
+
+    0       8       16        17         64                64+capacity
+    ┌───────┬───────┬─────────┬──────────┬─────────────────┐
+    │write  │read   │reader   │(reserved)│  data:           │
+    │pos u64│pos u64│parked u8│          │  CRC32 frames    │
+    └───────┴───────┴─────────┴──────────┴─────────────────┘
+"""
+
+from __future__ import annotations
+
+import marshal
+import queue as queue_module
+import struct
+import time
+from multiprocessing import shared_memory
+from pickle import UnpicklingError
+
+from repro.events.event import CompositeEvent, Event
+from repro.persist.records import HEADER_BYTES, frame, iter_frames
+
+TRANSPORTS = ("ring", "pipe")
+
+#: Default per-direction ring capacity.  Big enough that dozens of
+#: 64-event batches are in flight before the writer blocks.
+DEFAULT_RING_BYTES = 1 << 20
+#: Floor: a ring must hold at least a few typical frames.
+MIN_RING_BYTES = 64 * 1024
+
+# Ring header field offsets (see the layout diagram above).
+_HEADER = 64
+_WRITE_OFF = 0
+_READ_OFF = 8
+_PARKED_OFF = 16
+_U64 = struct.Struct("<Q")
+
+# Frame payload tags: first byte of every framed payload.
+_TAG_MARSHAL = 0x4D   # "M": marshal-encoded message follows inline
+_TAG_PIPE = 0x50      # "P": the message travels on the fallback queue
+
+# Hybrid waiting knobs.  The spin budget is deliberately small: a
+# sched-yield is ~1us on an idle host but can burn tens of microseconds
+# on a loaded single-core one, so a handful of spins catches the
+# imminent-data case and anything longer parks.
+_SPIN_YIELDS = 8           # sched-yield spins before the first park
+_PARK_MIN = 0.0001         # first park sleep (coordinator side)
+_PARK_MAX = 0.002          # park backoff cap on the transfer path
+_WORKER_PARK = 0.05        # worker semaphore-park timeout (lost-wakeup bound)
+# Consecutive drains that may end in an unparsable tail before it is
+# declared a torn frame (absorbs cross-arch store-visibility races).
+_TORN_GRACE = 5
+# How long a pipe-fallback marker may wait for its queue item while the
+# worker is alive / after it died (feeder-thread flush grace).
+_FALLBACK_WAIT = 5.0
+_FALLBACK_DEAD_WAIT = 0.25
+
+# Entry opcodes, mirrored from repro.sharding.worker (which imports this
+# module, so the literals live here to avoid a cycle).  They are wire
+# format now: changing either side breaks mixed-version rings.
+_EVENT_ENTRY = "e"
+_WATERMARK_ENTRY = "w"
+
+
+class AdaptiveWaiter:
+    """Spin-then-park waiting: a burst of sched-yields (cheap, catches
+    an imminent event with microsecond latency), then sleeps that back
+    off geometrically to ``max_park`` so a long wait costs almost no
+    CPU.  ``reset()`` on progress restores the spin phase."""
+
+    __slots__ = ("spins", "min_park", "max_park", "metrics",
+                 "_spun", "_delay")
+
+    def __init__(self, spins: int = _SPIN_YIELDS,
+                 min_park: float = _PARK_MIN,
+                 max_park: float = _PARK_MAX, metrics=None):
+        self.spins = spins
+        self.min_park = min_park
+        self.max_park = max_park
+        self.metrics = metrics  # ShardMetrics (spin/park counters) or None
+        self._spun = 0
+        self._delay = min_park
+
+    def wait(self) -> None:
+        """Wait one step: yield while spinning, sleep once parked."""
+        if self._spun < self.spins:
+            self._spun += 1
+            if self.metrics is not None:
+                self.metrics.spin_waits += 1
+            time.sleep(0)  # sched-yield: lets the peer run on 1 core
+            return
+        if self.metrics is not None:
+            self.metrics.park_waits += 1
+        time.sleep(self._delay)
+        self._delay = min(self._delay * 2, self.max_park)
+
+    def reset(self) -> None:
+        self._spun = 0
+        self._delay = self.min_park
+
+
+class Ring:
+    """One SPSC byte ring over a shared-memory segment.
+
+    The writer publishes ``write_pos`` only after the bytes it covers
+    are fully copied, and the reader publishes ``read_pos`` only after
+    it has copied the bytes out — each position has exactly one writing
+    process, so no locks are needed.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int,
+                 wake=None, owner: bool = False):
+        self._shm = shm
+        self._buf = shm.buf
+        self.capacity = capacity
+        self.wake = wake
+        self._owner = owner
+
+    @classmethod
+    def create(cls, capacity: int, wake=None) -> "Ring":
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=_HEADER + capacity)
+        shm.buf[:_HEADER] = bytes(_HEADER)
+        return cls(shm, capacity, wake, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int, wake=None) -> "Ring":
+        # Attaching re-registers the name with the resource tracker
+        # (bpo-39959), but on POSIX every child shares the parent's
+        # tracker process and its cache is a per-name set, so the
+        # duplicate is a no-op.  Crucially we must NOT unregister here:
+        # that would erase the owner's registration, and the owner's
+        # unlink-time unregister would then crash inside the shared
+        # tracker (a KeyError traceback on stderr at every shutdown).
+        return cls(shared_memory.SharedMemory(name=name), capacity,
+                   wake)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # -- positions -----------------------------------------------------------
+
+    def _load(self, offset: int) -> int:
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._buf, offset, value)
+
+    def pending_bytes(self) -> int:
+        """Bytes published but not yet consumed."""
+        return self._load(_WRITE_OFF) - self._load(_READ_OFF)
+
+    # -- writer side ---------------------------------------------------------
+
+    def try_write(self, data: bytes) -> bool:
+        """Copy *data* in whole, or nothing: False when the free space
+        is short.  Publishes ``write_pos`` only after the copy, so a
+        reader never observes a partial write from a live writer."""
+        need = len(data)
+        write = self._load(_WRITE_OFF)
+        if self.capacity - (write - self._load(_READ_OFF)) < need:
+            return False
+        position = write % self.capacity
+        first = min(need, self.capacity - position)
+        start = _HEADER + position
+        self._buf[start:start + first] = data[:first]
+        if first < need:
+            self._buf[_HEADER:_HEADER + need - first] = data[first:]
+        self._store(_WRITE_OFF, write + need)
+        self._wake_reader()
+        return True
+
+    def _wake_reader(self) -> None:
+        if self.wake is not None and self._buf[_PARKED_OFF]:
+            self._buf[_PARKED_OFF] = 0
+            self.wake.release()
+
+    # -- reader side ---------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Copy out every published-but-unconsumed byte (no consume)."""
+        read = self._load(_READ_OFF)
+        available = self._load(_WRITE_OFF) - read
+        if not available:
+            return b""
+        position = read % self.capacity
+        first = min(available, self.capacity - position)
+        start = _HEADER + position
+        data = bytes(self._buf[start:start + first])
+        if first < available:
+            data += bytes(self._buf[_HEADER:_HEADER + available - first])
+        return data
+
+    def consume(self, count: int) -> None:
+        self._store(_READ_OFF, self._load(_READ_OFF) + count)
+
+    def park(self, timeout: float) -> None:
+        """Reader park: advertise, re-check, then block on the wake
+        semaphore the writer posts for parked readers.  The timeout
+        bounds the one unavoidable lost-wakeup race to a single park
+        period, and a stale post from a race the re-check already won
+        only makes the next park return early — the reader re-polls."""
+        self._buf[_PARKED_OFF] = 1
+        if self.pending_bytes():
+            self._buf[_PARKED_OFF] = 0
+            return
+        self.wake.acquire(True, timeout)
+        self._buf[_PARKED_OFF] = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._buf.release()
+        except Exception:  # pragma: no cover - already released
+            pass
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+
+
+# -- payload codec ------------------------------------------------------------
+#
+# Messages are tuples of primitives plus Event/CompositeEvent objects.
+# The encoders map those objects onto tagged tuples marshal can carry;
+# tags start with "\0" so they cannot collide with user values (every
+# user-held tuple/list/dict is itself wrapped in a tag, so decode never
+# sees a bare container).
+
+class Unencodable(Exception):
+    """The value cannot cross the ring; send it on the pipe lane."""
+
+
+_PRIMITIVES = (int, float, str, bool, bytes, type(None))
+
+
+def _enc_value(value):
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, Event):
+        return ("\0e", value.type, value.timestamp,
+                {key: _enc_value(item)
+                 for key, item in value.attributes.items()}, value.seq)
+    if isinstance(value, CompositeEvent):
+        return ("\0c", value.type,
+                [(key, _enc_value(item))
+                 for key, item in value.attributes.items()],
+                [(key, _enc_value(item))
+                 for key, item in value.bindings.items()],
+                value.start, value.end, value.stream, value.complete)
+    if isinstance(value, list):
+        return ("\0l", [_enc_value(item) for item in value])
+    if isinstance(value, tuple):
+        return ("\0t", [_enc_value(item) for item in value])
+    if isinstance(value, dict):
+        return ("\0d", [(key, _enc_value(item))
+                        for key, item in value.items()])
+    raise Unencodable(type(value).__name__)
+
+
+def _dec_value(value):
+    if type(value) is not tuple:
+        return value
+    tag = value[0]
+    if tag == "\0e":
+        return Event(value[1], value[2],
+                     {key: _dec_value(item)
+                      for key, item in value[3].items()}, value[4])
+    if tag == "\0c":
+        composite = CompositeEvent(
+            value[1],
+            {key: _dec_value(item) for key, item in value[2]},
+            {key: _dec_value(item) for key, item in value[3]},
+            value[4], value[5], value[6])
+        composite.complete = value[7]
+        return composite
+    if tag == "\0l":
+        return [_dec_value(item) for item in value[1]]
+    if tag == "\0t":
+        return tuple(_dec_value(item) for item in value[1])
+    if tag == "\0d":
+        return {key: _dec_value(item) for key, item in value[1]}
+    return value  # pragma: no cover - marshal never produces bare tuples
+
+
+def encode_request(message: tuple) -> bytes | None:
+    """Coordinator→worker codec; None means "use the pipe lane"."""
+    try:
+        if message[0] == "batch":
+            _, batch_id, entries = message
+            encoded = [
+                (_EVENT_ENTRY, seq,
+                 (item.type, item.timestamp, item.attributes, item.seq),
+                 gids)
+                if kind == _EVENT_ENTRY else (kind, seq, item, gids)
+                for kind, seq, item, gids in entries]
+            return marshal.dumps(("batch", batch_id, encoded))
+        return marshal.dumps(message)  # flush / stop
+    except (ValueError, TypeError):
+        return None
+
+
+def decode_request(payload: bytes) -> tuple:
+    message = marshal.loads(payload)
+    if message[0] == "batch":
+        _, batch_id, encoded = message
+        # Hot path: every routed event crosses here.  Entries are flat
+        # 4-tuples (kind, seq, item, group_ids) for both kinds, and the
+        # unmarshalled attribute dicts are fresh, so ``Event._restore``
+        # may take ownership without the constructor's defensive copy.
+        restore = Event._restore
+        entries = [
+            (_EVENT_ENTRY, seq,
+             restore(item[0], item[1], item[2], item[3]), gids)
+            if kind == _EVENT_ENTRY else (kind, seq, item, gids)
+            for kind, seq, item, gids in encoded]
+        return ("batch", batch_id, entries)
+    return message
+
+
+def encode_response(message: tuple) -> bytes | None:
+    """Worker→coordinator codec; None means "use the pipe lane"."""
+    try:
+        opcode = message[0]
+        if opcode == "batch":
+            _, shard, batch_id, tagged, delta, spans = message
+            encoded = [(seq, rank, kind, end, idx, _enc_value(result))
+                       for seq, rank, kind, end, idx, result in tagged]
+            return marshal.dumps(("batch", shard, batch_id, encoded,
+                                  delta, spans))
+        if opcode == "flush":
+            _, shard, flush_id, tagged, delta, spans = message
+            encoded = [(rank, end, idx, _enc_value(result))
+                       for rank, end, idx, result in tagged]
+            return marshal.dumps(("flush", shard, flush_id, encoded,
+                                  delta, spans))
+        return marshal.dumps(message)  # error reports
+    except (ValueError, TypeError, Unencodable):
+        return None
+
+
+def decode_response(payload: bytes) -> tuple:
+    message = marshal.loads(payload)
+    opcode = message[0]
+    if opcode == "batch":
+        _, shard, batch_id, encoded, delta, spans = message
+        tagged = [(seq, rank, kind, end, idx, _dec_value(result))
+                  for seq, rank, kind, end, idx, result in encoded]
+        return ("batch", shard, batch_id, tagged, delta, spans)
+    if opcode == "flush":
+        _, shard, flush_id, encoded, delta, spans = message
+        tagged = [(rank, end, idx, _dec_value(result))
+                  for rank, end, idx, result in encoded]
+        return ("flush", shard, flush_id, tagged, delta, spans)
+    return message
+
+
+def _frame_message(payload: bytes) -> bytes:
+    return frame(bytes((_TAG_MARSHAL,)) + payload)
+
+
+_PIPE_MARKER = frame(bytes((_TAG_PIPE,)))
+
+
+# -- endpoints ----------------------------------------------------------------
+
+class RingTorn(Exception):
+    """The peer's ring holds a torn or corrupt frame (crash debris)."""
+
+
+class ChannelHandles:
+    """Picklable descriptor a spawned worker uses to attach the rings."""
+
+    __slots__ = ("in_name", "out_name", "capacity", "wake",
+                 "response_wake")
+
+    def __init__(self, in_name: str, out_name: str, capacity: int,
+                 wake, response_wake):
+        self.in_name = in_name
+        self.out_name = out_name
+        self.capacity = capacity
+        self.wake = wake
+        self.response_wake = response_wake
+
+    def connect(self, in_queue, out_queue) -> "WorkerChannel":
+        in_ring = Ring.attach(self.in_name, self.capacity,
+                              self.wake)
+        out_ring = Ring.attach(self.out_name, self.capacity,
+                               self.response_wake)
+        return WorkerChannel(in_ring, out_ring, in_queue, out_queue)
+
+
+class CoordinatorChannel:
+    """Coordinator-side endpoint of one shard's ring pair.
+
+    Owns the shared-memory segments (created here, unlinked on close)
+    and the fallback queues.  ``metrics`` is the shard's
+    :class:`~repro.system.metrics.ShardMetrics` (or None): frames,
+    bytes, fallbacks, and spin/park waits are counted as they happen.
+    """
+
+    def __init__(self, context, capacity: int, metrics=None,
+                 response_wake=None):
+        self.capacity = capacity
+        self.metrics = metrics
+        wake = context.Semaphore(0)
+        # The response event may be shared across many channels (the
+        # ring backend passes one event for all shards, so a single
+        # park covers every worker); a standalone channel gets its own.
+        if response_wake is None:
+            response_wake = context.Semaphore(0)
+        self.in_ring = Ring.create(capacity, wake)
+        self.out_ring = Ring.create(capacity, response_wake)
+        # Fallback lanes.  Unbounded on purpose: ordering and
+        # backpressure both live in the ring (every fallback message is
+        # preceded by a marker frame that occupies ring space).
+        self.in_queue = context.Queue()
+        self.out_queue = context.Queue()
+        self._waiter = AdaptiveWaiter(metrics=metrics)
+        self._torn_grace = 0
+        # Decoded responses handed back by the caller (their ring bytes
+        # are consumed, so this list is the only place they live).
+        self._requeued: list[tuple] = []
+
+    def handles(self) -> ChannelHandles:
+        return ChannelHandles(self.in_ring.name, self.out_ring.name,
+                              self.capacity, self.in_ring.wake,
+                              self.out_ring.wake)
+
+    def wait_response(self, timeout: float) -> None:
+        """Park until the worker publishes a response (or *timeout*).
+        Wakes instantly when data is already pending or was requeued."""
+        if self._requeued:
+            return
+        self.out_ring.park(timeout)
+
+    # -- sending -------------------------------------------------------------
+
+    def put(self, message: tuple, timeout: float | None) -> None:
+        """Send one message.  ``timeout=None`` is a non-blocking
+        attempt; both variants raise ``queue.Full`` when the ring has no
+        room (backpressure, exactly like the bounded pipe queues)."""
+        payload = encode_request(message)
+        framed = _frame_message(payload) if payload is not None else None
+        metrics = self.metrics
+        if framed is None or len(framed) > self.capacity:
+            # Odd or oversized payload: marker first (it carries the
+            # backpressure and keeps both lanes totally ordered), then
+            # the message itself on the queue lane.
+            self._write(_PIPE_MARKER, timeout)
+            self.in_queue.put(message)
+            if metrics is not None:
+                metrics.pipe_fallbacks += 1
+            return
+        self._write(framed, timeout)
+        if metrics is not None:
+            metrics.ring_frames_sent += 1
+            metrics.ring_bytes_sent += len(framed)
+
+    def _write(self, data: bytes, timeout: float | None) -> None:
+        if self.in_ring.try_write(data):
+            return
+        if timeout is None:
+            raise queue_module.Full
+        deadline = time.monotonic() + timeout
+        waiter = self._waiter
+        waiter.reset()
+        while True:
+            if self.in_ring.try_write(data):
+                return
+            if time.monotonic() > deadline:
+                raise queue_module.Full
+            waiter.wait()
+
+    # -- receiving -----------------------------------------------------------
+
+    def drain(self, alive=None) -> list[tuple]:
+        """Decode every complete response currently in the out ring.
+
+        Raises :class:`RingTorn` on crash debris — a torn or corrupt
+        frame, or a fallback marker whose queue item never arrives from
+        a dead worker.  Genuine decode errors (a codec bug) propagate
+        as-is; they must fail loudly, not masquerade as a crash."""
+        messages: list[tuple] = self._requeued
+        self._requeued = []
+        ring = self.out_ring
+        data = ring.snapshot()
+        if not data:
+            return messages
+        metrics = self.metrics
+        consumed = 0
+        torn = False
+        for offset, payload in iter_frames(data):
+            consumed = offset + HEADER_BYTES + len(payload)
+            tag = payload[0] if payload else -1
+            if tag == _TAG_MARSHAL:
+                messages.append(decode_response(payload[1:]))
+                if metrics is not None:
+                    metrics.ring_frames_received += 1
+                    metrics.ring_bytes_received += \
+                        HEADER_BYTES + len(payload)
+            elif tag == _TAG_PIPE:
+                fetched = self._pipe_get(alive)
+                if fetched is None:
+                    torn = True
+                    break
+                messages.append(fetched)
+                if metrics is not None:
+                    metrics.pipe_fallbacks += 1
+            else:
+                torn = True  # unknown tag: garbage that passed its CRC
+                break
+        if consumed:
+            ring.consume(consumed)
+        if not torn and consumed < len(data):
+            # Unparsable tail.  The writer publishes only whole frames,
+            # so this is a torn frame — except for a sub-microsecond
+            # store-visibility window on weakly-ordered hosts, which a
+            # few polls' grace absorbs.
+            self._torn_grace += 1
+            torn = self._torn_grace >= _TORN_GRACE
+        else:
+            self._torn_grace = 0
+        if torn:
+            raise RingTorn(
+                f"torn frame at ring offset {consumed} "
+                f"({len(data) - consumed} trailing byte(s))")
+        return messages
+
+    def requeue(self, messages: list[tuple]) -> None:
+        """Hand decoded messages back; the next :meth:`drain` returns
+        them first.  Used when a caller must abort mid-list (a worker
+        error report raises) without losing the responses behind it."""
+        self._requeued = list(messages) + self._requeued
+
+    def _pipe_get(self, alive):
+        """Fetch the message a marker frame promised.  The worker puts
+        the item *after* the marker, and its queue feeder thread adds
+        latency, so a short wait is normal; a dead worker gets a grace
+        period for the feeder flush and is then treated as torn."""
+        deadline = time.monotonic() + _FALLBACK_WAIT
+        dead_at = None
+        while True:
+            try:
+                return self.out_queue.get_nowait()
+            except queue_module.Empty:
+                pass
+            except (OSError, EOFError, UnpicklingError):
+                return None
+            now = time.monotonic()
+            if alive is not None and not alive():
+                if dead_at is None:
+                    dead_at = now + _FALLBACK_DEAD_WAIT
+                elif now > dead_at:
+                    return None
+            if now > deadline:
+                return None
+            time.sleep(0.0005)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        for a_queue in (self.in_queue, self.out_queue):
+            try:
+                a_queue.cancel_join_thread()
+                a_queue.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+        self.in_ring.close()
+        self.out_ring.close()
+
+
+class WorkerChannel:
+    """Worker-side endpoint: blocking ``get`` / ``put`` over the rings
+    with the fallback queues resolved transparently."""
+
+    def __init__(self, in_ring: Ring, out_ring: Ring, in_queue,
+                 out_queue):
+        self.in_ring = in_ring
+        self.out_ring = out_ring
+        self.in_queue = in_queue
+        self.out_queue = out_queue
+        self._pending: list[tuple] = []
+        self._next = 0
+        self._torn_grace = 0
+        self._writer = AdaptiveWaiter()
+
+    def get(self) -> tuple:
+        """Block until the next message: park on the Event the
+        coordinator sets for parked readers.  Parking immediately (no
+        sched-yield spin) matters: a yield syscall can burn tens of
+        microseconds on a busy single-core host, while the event wakeup
+        is one semaphore post — and when the stream is flowing the ring
+        already holds the next batch, so ``_fill`` wins without either.
+        Raises ``EOFError`` on a torn input ring (the coordinator died
+        mid-write; the worker dies quietly and is restarted)."""
+        if self._next < len(self._pending):
+            message = self._pending[self._next]
+            self._next += 1
+            return message
+        self._pending.clear()
+        self._next = 0
+        while True:
+            if self._fill():
+                message = self._pending[self._next]
+                self._next += 1
+                return message
+            self.in_ring.park(_WORKER_PARK)
+
+    def _fill(self) -> bool:
+        ring = self.in_ring
+        data = ring.snapshot()
+        if not data:
+            return False
+        consumed = 0
+        for offset, payload in iter_frames(data):
+            consumed = offset + HEADER_BYTES + len(payload)
+            tag = payload[0] if payload else -1
+            if tag == _TAG_MARSHAL:
+                self._pending.append(decode_request(payload[1:]))
+            elif tag == _TAG_PIPE:
+                self._pending.append(self.in_queue.get())
+            else:
+                raise EOFError("torn frame on the input ring")
+        if consumed:
+            ring.consume(consumed)
+        if consumed < len(data):
+            self._torn_grace += 1
+            if self._torn_grace >= _TORN_GRACE:
+                raise EOFError("torn frame on the input ring")
+            time.sleep(0.0002)
+        else:
+            self._torn_grace = 0
+        return bool(self._pending)
+
+    def put(self, message: tuple) -> None:
+        payload = encode_response(message)
+        framed = _frame_message(payload) if payload is not None else None
+        if framed is None or len(framed) > self.out_ring.capacity:
+            self._write(_PIPE_MARKER)
+            self.out_queue.put(message)
+            return
+        self._write(framed)
+
+    def _write(self, data: bytes) -> None:
+        waiter = self._writer
+        waiter.reset()
+        while not self.out_ring.try_write(data):
+            # A dead coordinator never drains the ring; the worker is a
+            # daemon child and dies with the session, so an unbounded
+            # wait here cannot leak past the run.
+            waiter.wait()
+
+    def close(self) -> None:
+        self.in_ring.close()
+        self.out_ring.close()
+
+
+def park_for_responses(channels, timeout: float) -> None:
+    """Park the coordinator across several shards' response rings.
+
+    Requires every channel to share one response event (the ring backend
+    constructs them that way): each ring's parked flag is raised, every
+    ring is re-checked for pending bytes, and only then does the
+    coordinator sleep on the event — any worker that publishes a frame
+    while a flag is up sets the event, so one semaphore wakeup resumes
+    the drain loop regardless of which shard answered.  The timeout
+    bounds the lost-wakeup race exactly like :meth:`Ring.park`."""
+    rings = [channel.out_ring for channel in channels
+             if channel is not None]
+    if not rings:
+        time.sleep(timeout)
+        return
+    for ring in rings:
+        ring._buf[_PARKED_OFF] = 1
+    if not any(ring.pending_bytes() for ring in rings):
+        rings[0].wake.acquire(True, timeout)
+    for ring in rings:
+        ring._buf[_PARKED_OFF] = 0

@@ -274,38 +274,52 @@ def _inject_worker_fault(injector: FaultInjector, transport: str) -> None:
 
 def process_worker_main(shard_id: int, spec: WorkerSpec,
                         in_queue, out_queue, transport: str = "process",
-                        incarnation: int = 0) -> None:
+                        incarnation: int = 0, rings=None) -> None:
     """Entry point of a process- or thread-backend worker.
 
     Messages in: ``("batch", batch_id, entries)``, ``("flush", flush_id)``
     and ``("stop",)``.  Responses out: ``("batch", shard, batch_id,
     tagged, delta, spans)``, ``("flush", shard, flush_id, tagged, delta,
-    spans)`` or ``("error", shard, traceback)``.  Any exception is
-    reported rather than silently dying so the coordinator can fail
-    loudly instead of losing events.
+    spans)`` or ``("error", shard, context, traceback)`` where *context*
+    names the request that failed (``("batch", id)`` / ``("flush", id)``,
+    None outside one) so the coordinator can retire its bookkeeping
+    before reporting.  Any exception is reported rather than silently
+    dying so the coordinator can fail loudly instead of losing events.
 
     ``incarnation`` counts restarts of this shard; the fault injector
     uses it to disarm one-shot (``@nth``) faults after a restart so the
     journal replay converges instead of re-tripping the same fault.
+    ``rings`` is a :class:`~repro.sharding.transport.ChannelHandles`:
+    when given, messages travel over its shared-memory ring pair and the
+    queues serve only as the fallback lane for payloads the ring codec
+    cannot carry.
     """
+    channel = None
+    if rings is not None:
+        channel = rings.connect(in_queue, out_queue)
+        get, put = channel.get, channel.put
+    else:
+        get, put = in_queue.get, out_queue.put
+    context = None
     try:
         core = ShardWorkerCore(shard_id, spec)
         injector = _build_injector(shard_id, spec, incarnation)
         while True:
-            message = in_queue.get()
+            message = get()
             opcode = message[0]
+            context = None
             if opcode == "batch":
                 _, batch_id, entries = message
+                context = ("batch", batch_id)
                 if injector is not None:
                     _inject_worker_fault(injector, transport)
                 tagged, delta, spans = core.process_batch(entries)
-                out_queue.put(("batch", shard_id, batch_id, tagged,
-                               delta, spans))
+                put(("batch", shard_id, batch_id, tagged, delta, spans))
             elif opcode == "flush":
                 _, flush_id = message
+                context = ("flush", flush_id)
                 tagged, delta, spans = core.flush()
-                out_queue.put(("flush", shard_id, flush_id, tagged,
-                               delta, spans))
+                put(("flush", shard_id, flush_id, tagged, delta, spans))
             elif opcode == "stop":
                 break
     except (KeyboardInterrupt, EOFError):  # pragma: no cover
@@ -313,4 +327,7 @@ def process_worker_main(shard_id: int, spec: WorkerSpec,
     except _ChaosExit:
         return
     except Exception:  # pragma: no cover - exercised via fault tests
-        out_queue.put(("error", shard_id, traceback.format_exc()))
+        put(("error", shard_id, context, traceback.format_exc()))
+    finally:
+        if channel is not None:
+            channel.close()

@@ -152,6 +152,21 @@ class ShardMetrics:
     events_shed: int = 0
     events_lost: int = 0
     breaker_opens: int = 0
+    # Ring-transport counters (process backend with the shared-memory
+    # transport; zero elsewhere).  Frames/bytes count both directions
+    # from the coordinator's side; a pipe fallback is a payload the ring
+    # codec could not carry, rerouted over the multiprocessing queue.
+    ring_frames_sent: int = 0
+    ring_bytes_sent: int = 0
+    ring_frames_received: int = 0
+    ring_bytes_received: int = 0
+    pipe_fallbacks: int = 0
+    # Hybrid-wait profile of the coordinator against this shard: spins
+    # are sched-yields (latency-biased), parks are backoff sleeps
+    # (CPU-biased).  A park-heavy profile means the shard is slow or
+    # idle; a spin-heavy one means responses arrive promptly.
+    spin_waits: int = 0
+    park_waits: int = 0
 
 
 @dataclass
@@ -217,6 +232,17 @@ class MetricsCollector:
                 f"{shard.queue_full_stalls} stalls, "
                 f"{shard.worker_restarts} restarts, "
                 f"{shard.batches_replayed} replayed")
+            if shard.ring_frames_sent or shard.ring_frames_received \
+                    or shard.pipe_fallbacks:
+                lines.append(
+                    f"shard {shard.shard_id} transport: "
+                    f"{shard.ring_frames_sent} frames out "
+                    f"({shard.ring_bytes_sent} B), "
+                    f"{shard.ring_frames_received} frames in "
+                    f"({shard.ring_bytes_received} B), "
+                    f"{shard.pipe_fallbacks} pipe fallbacks, "
+                    f"{shard.spin_waits} spins / "
+                    f"{shard.park_waits} parks")
             if (shard.worker_hangs or shard.events_shed
                     or shard.events_lost or shard.breaker_opens):
                 lines.append(

@@ -42,10 +42,14 @@ def run_demo(data_dir: str, *extra: str,
         start_new_session=True)
 
 
-def shard_args(shards: int, backend: str) -> list[str]:
+def shard_args(shards: int, backend: str,
+               transport: str | None = None) -> list[str]:
     if shards == 1 and backend == "inline":
         return []
-    return ["--shards", str(shards), "--shard-backend", backend]
+    args = ["--shards", str(shards), "--shard-backend", backend]
+    if transport is not None:
+        args += ["--shard-transport", transport]
+    return args
 
 
 def truth_lines(stdout: str) -> list[str]:
@@ -91,18 +95,26 @@ def crash_and_resume(data_dir: str, offset: int, extra: list[str],
     assert truth_lines(resumed.stdout) == oracle["truth"]
 
 
-@pytest.mark.parametrize("shards,backend", [
-    (1, "inline"), (2, "inline"), (4, "inline"),
-    (1, "thread"), (2, "thread"), (4, "thread"),
-    (1, "process"), (2, "process"), (4, "process"),
+@pytest.mark.parametrize("shards,backend,transport", [
+    (1, "inline", None), (2, "inline", None), (4, "inline", None),
+    (1, "thread", None), (2, "thread", None), (4, "thread", None),
+    (1, "process", "ring"), (2, "process", "ring"),
+    (4, "process", "ring"),
+    (2, "process", "pipe"), (4, "process", "pipe"),
 ])
-def test_sigkill_recovery_matrix(shards, backend, oracle, tmp_path):
+def test_sigkill_recovery_matrix(shards, backend, transport, oracle,
+                                 tmp_path):
     """SIGKILL at a pseudo-random offset, then resume: every shard
-    count and backend must converge to the oracle's exact state."""
+    count, backend, and process transport must converge to the oracle's
+    exact state.  For the ring transport the whole-group SIGKILL also
+    lands mid-frame in the shared-memory rings at whatever offset the
+    crash point implies — recovery must treat that exactly like the
+    WAL's torn tail."""
     total = oracle["total_events"]
-    offset = random.Random(f"{shards}-{backend}").randint(5, total - 5)
-    crash_and_resume(str(tmp_path), offset, shard_args(shards, backend),
-                     oracle)
+    offset = random.Random(
+        f"{shards}-{backend}-{transport}").randint(5, total - 5)
+    crash_and_resume(str(tmp_path), offset,
+                     shard_args(shards, backend, transport), oracle)
 
 
 def test_sigkill_at_many_offsets(oracle, tmp_path):

@@ -57,11 +57,13 @@ def run(registry, events, sharding, kill_at=None, kill_shard=0):
 
 
 class TestProcessWorkerCrash:
-    def test_killed_worker_loses_nothing(self, stream):
+    @pytest.mark.parametrize("transport", ["ring", "pipe"])
+    def test_killed_worker_loses_nothing(self, stream, transport):
         baseline, _ = run(stream.registry, stream.events, None)
         sharding = ShardingConfig(shards=2, backend="process",
                                   batch_size=16, queue_capacity=4,
-                                  response_timeout=30.0)
+                                  response_timeout=30.0,
+                                  transport=transport)
         recovered, metrics = run(stream.registry, stream.events,
                                  sharding, kill_at=400)
         assert recovered == baseline
@@ -72,15 +74,63 @@ class TestProcessWorkerCrash:
         assert restarts >= 1
         assert replayed >= 1
 
-    def test_kill_just_before_flush(self, stream):
+    @pytest.mark.parametrize("transport", ["ring", "pipe"])
+    def test_kill_just_before_flush(self, stream, transport):
         baseline, _ = run(stream.registry, stream.events[:200], None)
         sharding = ShardingConfig(shards=2, backend="process",
                                   batch_size=16, queue_capacity=4,
-                                  response_timeout=30.0)
+                                  response_timeout=30.0,
+                                  transport=transport)
         recovered, metrics = run(stream.registry, stream.events[:200],
                                  sharding, kill_at=199, kill_shard=1)
         assert recovered == baseline
         assert metrics.shard(1).worker_restarts >= 1
+
+    def test_ring_kills_at_randomized_offsets(self, stream):
+        """SIGKILL a ring-transport worker at seeded pseudo-random
+        stream offsets: whatever frame the worker was mid-way through
+        writing becomes ring debris, and every run must still match the
+        single-process baseline exactly (journal replay + fresh rings).
+        The pipe transport at one of the same offsets pins the two
+        transports to identical output."""
+        import random
+        events = stream.events[:400]
+        baseline, _ = run(stream.registry, events, None)
+        offsets = random.Random(2007).sample(range(20, 380), 3)
+        for offset in offsets:
+            sharding = ShardingConfig(shards=2, backend="process",
+                                      batch_size=8, queue_capacity=4,
+                                      response_timeout=30.0,
+                                      transport="ring")
+            recovered, metrics = run(stream.registry, events, sharding,
+                                     kill_at=offset,
+                                     kill_shard=offset % 2)
+            assert recovered == baseline, f"diverged at kill_at={offset}"
+            assert metrics.shard(offset % 2).worker_restarts >= 1
+        pipe_sharding = ShardingConfig(shards=2, backend="process",
+                                       batch_size=8, queue_capacity=4,
+                                       response_timeout=30.0,
+                                       transport="pipe")
+        pipe_result, _ = run(stream.registry, events, pipe_sharding,
+                             kill_at=offsets[0], kill_shard=offsets[0] % 2)
+        assert pipe_result == baseline
+
+    def test_ring_transport_counters_populate(self, stream):
+        sharding = ShardingConfig(shards=2, backend="process",
+                                  batch_size=16, queue_capacity=4,
+                                  response_timeout=30.0,
+                                  transport="ring")
+        result, metrics = run(stream.registry, stream.events[:200],
+                              sharding)
+        baseline, _ = run(stream.registry, stream.events[:200], None)
+        assert result == baseline
+        sent = sum(shard.ring_frames_sent
+                   for shard in metrics.shards.values())
+        received = sum(shard.ring_frames_received
+                       for shard in metrics.shards.values())
+        sent_bytes = sum(shard.ring_bytes_sent
+                         for shard in metrics.shards.values())
+        assert sent > 0 and received > 0 and sent_bytes > 0
 
     def test_worker_pids_exposed_for_process_backend_only(self, stream):
         processor = build(stream.registry,
@@ -145,3 +195,112 @@ class TestBackpressure:
             backend._put_with_backpressure(
                 0, ("payload",), alive=lambda: True,
                 on_dead=lambda: None)
+
+
+def _bare_backend(queue_capacity=2):
+    from repro.sharding.backends import ThreadBackend
+    from repro.system.metrics import MetricsCollector
+
+    backend = ThreadBackend.__new__(ThreadBackend)
+    backend.metrics = MetricsCollector()
+    backend.queue_capacity = queue_capacity
+    backend.supervisor = None
+    backend._outstanding = set()
+    backend._lost = set()
+    backend._shard_load = [0]
+    return backend
+
+
+class TestErrorResponseBookkeeping:
+    """Regression: a worker ``("error", ...)`` response must retire the
+    failed request's bookkeeping *before* the SaseError is raised.  It
+    used to leave the batch outstanding forever — a caller catching the
+    error saw the shard permanently overloaded() and every drain barrier
+    waited on a response that had already arrived."""
+
+    def test_error_response_releases_batch_bookkeeping(self):
+        backend = _bare_backend(queue_capacity=2)
+        backend._note_submitted(0, 7)
+        backend._note_submitted(0, 8)
+        assert backend.overloaded(0)
+        with pytest.raises(SaseError, match="boom"):
+            backend._accept(("error", 0, ("batch", 7), "boom"))
+        assert ("batch", 0, 7) not in backend._outstanding
+        assert backend._shard_load[0] == 1
+        assert not backend.overloaded(0)
+        # The untouched batch is still awaited.
+        assert backend.outstanding() == 1
+
+    def test_error_response_releases_flush_bookkeeping(self):
+        backend = _bare_backend()
+        backend._note_flush_sent(0, 3)
+        with pytest.raises(SaseError, match="boom"):
+            backend._accept(("error", 0, ("flush", 3), "boom"))
+        assert backend.outstanding() == 0
+        assert backend._shard_load[0] == 0
+
+    def test_error_without_context_only_raises(self):
+        # A failure outside any request (worker startup) has nothing to
+        # retire; load must not go negative.
+        backend = _bare_backend()
+        backend._note_submitted(0, 7)
+        with pytest.raises(SaseError, match="boom"):
+            backend._accept(("error", 0, None, "boom"))
+        assert backend._shard_load[0] == 1
+        assert backend.outstanding() == 1
+
+    def test_duplicate_error_context_does_not_double_release(self):
+        backend = _bare_backend()
+        backend._note_submitted(0, 7)
+        with pytest.raises(SaseError):
+            backend._accept(("error", 0, ("batch", 7), "boom"))
+        with pytest.raises(SaseError):
+            backend._accept(("error", 0, ("batch", 7), "boom again"))
+        assert backend._shard_load[0] == 0
+
+
+class TestDrainExceptionNarrowing:
+    """Regression: ``ProcessBackend._drain_responses`` used to swallow
+    *every* exception as a corrupt pipe.  Only crash debris — OSError,
+    EOFError, UnpicklingError — may be treated that way; a decode or
+    logic error must propagate instead of silently dropping results."""
+
+    @staticmethod
+    def _process_backend(out_queue):
+        from repro.sharding.backends import ProcessBackend
+        from repro.system.metrics import MetricsCollector
+
+        backend = ProcessBackend.__new__(ProcessBackend)
+        backend.metrics = MetricsCollector()
+        backend.shards = 1
+        backend.supervisor = None
+        backend._outstanding = set()
+        backend._lost = set()
+        backend._shard_load = [0]
+        backend._out_queues = [out_queue]
+        return backend
+
+    class _RaisingQueue:
+        def __init__(self, error):
+            self._error = error
+
+        def get_nowait(self):
+            raise self._error
+
+    def test_crash_debris_is_swallowed(self):
+        for debris in (OSError("pipe"), EOFError()):
+            backend = self._process_backend(self._RaisingQueue(debris))
+            assert backend._drain_responses() == []
+
+    def test_unpickling_error_is_swallowed(self):
+        from pickle import UnpicklingError
+
+        backend = self._process_backend(
+            self._RaisingQueue(UnpicklingError("truncated")))
+        assert backend._drain_responses() == []
+
+    def test_logic_errors_propagate(self):
+        backend = self._process_backend(
+            self._RaisingQueue(ValueError("codec bug")))
+        with pytest.raises(ValueError, match="codec bug"):
+            backend._drain_responses()

@@ -1,0 +1,353 @@
+"""Unit tests of the shared-memory ring transport.
+
+The ring carries CRC32/length frames in the WAL's record format; these
+tests pin the SPSC ring mechanics (wraparound, backpressure, torn-frame
+detection), the marshal codec round-trips, the pipe-fallback lane, and
+the hybrid spin-then-park waiter — the fault-matrix tests exercise the
+same machinery end to end under SIGKILL.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.events.event import CompositeEvent, Event
+from repro.persist.records import frame
+from repro.sharding.transport import (
+    AdaptiveWaiter,
+    CoordinatorChannel,
+    Ring,
+    RingTorn,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+CTX = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods()
+    else "spawn")
+
+
+class Opaque:
+    """Picklable but not marshalable: forces the pipe-fallback lane."""
+
+    def __eq__(self, other):
+        return isinstance(other, Opaque)
+
+    def __hash__(self):
+        return 1
+
+
+@pytest.fixture
+def ring():
+    instance = Ring.create(256)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def channel():
+    instance = CoordinatorChannel(CTX, 1 << 16)
+    worker = instance.handles().connect(instance.in_queue,
+                                        instance.out_queue)
+    yield instance, worker
+    worker.close()
+    instance.close()
+
+
+class TestRing:
+    def test_write_read_roundtrip(self, ring):
+        assert ring.try_write(b"hello")
+        assert ring.snapshot() == b"hello"
+        ring.consume(5)
+        assert ring.snapshot() == b""
+
+    def test_rejects_when_full(self, ring):
+        assert ring.try_write(b"x" * 256)
+        assert not ring.try_write(b"y")
+        ring.consume(1)
+        assert ring.try_write(b"y")
+
+    def test_wraparound_preserves_bytes(self, ring):
+        # Drive the positions far past the capacity with varied sizes so
+        # writes and reads straddle the wrap point many times.
+        received = bytearray()
+        expected = bytearray()
+        for index in range(200):
+            payload = bytes([index % 251]) * (7 + index % 90)
+            while not ring.try_write(payload):
+                data = ring.snapshot()
+                received += data
+                ring.consume(len(data))
+            expected += payload
+        received += ring.snapshot()
+        assert bytes(received) == bytes(expected)
+
+    def test_attach_sees_creator_writes(self, ring):
+        ring.try_write(b"shared")
+        other = Ring.attach(ring.name, 256)
+        try:
+            assert other.snapshot() == b"shared"
+            other.consume(6)
+            assert ring.snapshot() == b""
+        finally:
+            other.close()
+
+
+class TestCodecs:
+    def test_batch_request_roundtrip(self):
+        event = Event("A", 1.5, {"id": 3, "note": "x"}, 42)
+        message = ("batch", 9, [("e", 0, event, (0, 2)),
+                                ("w", 1, 7.25, (0,))])
+        payload = encode_request(message)
+        assert payload is not None
+        decoded = decode_request(payload)
+        assert decoded[0] == "batch" and decoded[1] == 9
+        entry = decoded[2][0]
+        assert entry[2] == event and entry[3] == (0, 2)
+        assert decoded[2][1] == ("w", 1, 7.25, (0,))
+
+    def test_control_requests_roundtrip(self):
+        for message in (("flush", 3), ("stop",)):
+            assert decode_request(encode_request(message)) == message
+
+    def test_unmarshalable_request_falls_back(self):
+        # An arbitrary object defeats marshal: the codec must decline so
+        # the message travels the pipe lane instead of failing.
+        event = Event("A", 1.0, {"weird": Opaque()}, 0)
+        assert encode_request(
+            ("batch", 0, [("e", 0, event, (0,))])) is None
+
+    def test_marshal_native_containers_stay_on_the_ring(self):
+        # marshal handles sets/tuples/lists natively — no fallback.
+        event = Event("A", 1.0, {"tags": {1, 2}}, 0)
+        message = ("batch", 0, [("e", 0, event, (0,))])
+        payload = encode_request(message)
+        assert payload is not None
+        assert decode_request(payload)[2][0][2] == event
+
+    def test_batch_response_roundtrip(self):
+        event = Event("A", 1.0, {"id": 1}, 5)
+        composite = CompositeEvent("M", {"x_id": 1}, {"x": event},
+                                   1.0, 2.0, "matches")
+        message = ("batch", 1, 9, [(5, 0, 1, 2.0, 0, composite)],
+                   [("q", 4, 1, 0.25, 2.0, [0.001, 0.002])], [])
+        decoded = decode_response(encode_response(message))
+        assert decoded[:3] == ("batch", 1, 9)
+        tag = decoded[3][0]
+        assert tag[:5] == (5, 0, 1, 2.0, 0)
+        assert tag[5] == composite
+        assert tag[5].bindings["x"] == event
+        assert tag[5].complete is composite.complete
+        assert decoded[4] == message[4]
+
+    def test_incomplete_composite_survives(self):
+        composite = CompositeEvent("M", {}, {}, 1.0, 2.0, "s")
+        composite.complete = False
+        decoded = decode_response(encode_response(
+            ("flush", 0, 1, [(0, 2.0, 0, composite)], [], [])))
+        assert decoded[3][0][3].complete is False
+
+    def test_nested_containers_roundtrip(self):
+        event = Event("A", 1.0, {"path": (1, 2), "tags": ["a", "b"],
+                                 "map": {"k": (3,)}}, 1)
+        composite = CompositeEvent("M", {"all": [event]}, {}, 1.0, 2.0,
+                                   "s")
+        decoded = decode_response(encode_response(
+            ("flush", 0, 1, [(0, 2.0, 0, composite)], [], [])))
+        rebuilt = decoded[3][0][3]
+        assert rebuilt.attributes["all"][0] == event
+        inner = rebuilt.attributes["all"][0].attributes
+        assert inner["path"] == (1, 2) and inner["map"]["k"] == (3,)
+
+    def test_error_response_roundtrip(self):
+        message = ("error", 2, ("batch", 7), "Traceback ...")
+        assert decode_response(encode_response(message)) == message
+
+    def test_unencodable_response_falls_back(self):
+        assert encode_response(
+            ("batch", 0, 1, [(0, 0, 1, 1.0, 0, Opaque())], [], [])) \
+            is None
+
+
+class TestChannels:
+    def test_request_and_response_roundtrip(self, channel):
+        coordinator, worker = channel
+        event = Event("A", 1.0, {"id": 1}, 0)
+        coordinator.put(("batch", 1, [("e", 0, event, (0,))]), 1.0)
+        got = worker.get()
+        assert got[0] == "batch" and got[2][0][2] == event
+        worker.put(("batch", 0, 1, [], [], []))
+        assert coordinator.drain() == [("batch", 0, 1, [], [], [])]
+
+    def test_nonblocking_put_raises_full(self):
+        coordinator = CoordinatorChannel(CTX, 1 << 16)
+        try:
+            big = ("batch", 0,
+                   [("e", 0, Event("A", 1.0, {"blob": "x" * 4096}, 0),
+                     (0,))])
+            with pytest.raises(queue.Full):
+                for _ in range(1 << 16):
+                    coordinator.put(big, None)
+        finally:
+            coordinator.close()
+
+    def test_pipe_fallback_preserves_message(self, channel):
+        coordinator, worker = channel
+        event = Event("A", 1.0, {"weird": Opaque()}, 0)
+        message = ("batch", 1, [("e", 0, event, (0,))])
+        coordinator.put(message, 1.0)
+        got = worker.get()
+        assert got[1] == 1
+        assert got[2][0][2].attributes == {"weird": Opaque()}
+
+    def test_oversized_payload_falls_back(self):
+        from repro.system.metrics import ShardMetrics
+
+        metrics = ShardMetrics(0)
+        coordinator = CoordinatorChannel(CTX, 1 << 16, metrics=metrics)
+        worker = coordinator.handles().connect(coordinator.in_queue,
+                                               coordinator.out_queue)
+        try:
+            event = Event("A", 1.0, {"blob": "z" * (1 << 17)}, 0)
+            message = ("batch", 1, [("e", 0, event, (0,))])
+            coordinator.put(message, 1.0)
+            assert metrics.pipe_fallbacks == 1
+            got = worker.get()
+            assert got[2][0][2] == event
+        finally:
+            worker.close()
+            coordinator.close()
+
+    def test_worker_fallback_response(self, channel):
+        coordinator, worker = channel
+        worker.put(("batch", 0, 1, [(0, 0, 1, 1.0, 0, Opaque())], [],
+                    []))
+        drained = coordinator.drain(alive=lambda: True)
+        assert len(drained) == 1
+        assert drained[0][3][0][5] == Opaque()
+
+    def test_requeue_returns_messages_first(self, channel):
+        coordinator, worker = channel
+        worker.put(("batch", 0, 1, [], [], []))
+        coordinator.requeue([("batch", 0, 0, [], [], [])])
+        drained = coordinator.drain()
+        assert [item[2] for item in drained] == [0, 1]
+
+    def test_torn_frame_raises_ring_torn(self, channel):
+        coordinator, worker = channel
+        # A worker SIGKILLed mid-write leaves a frame whose header
+        # promises more bytes than were published.  Simulate the debris
+        # by publishing a truncated frame directly.
+        debris = frame(b"\x4dhello")[:-3]
+        assert coordinator.out_ring.try_write(debris)
+        with pytest.raises(RingTorn):
+            for _ in range(64):
+                coordinator.drain(alive=lambda: False)
+
+    def test_corrupt_tag_raises_ring_torn(self, channel):
+        coordinator, worker = channel
+        assert coordinator.out_ring.try_write(frame(b"\xffgarbage"))
+        with pytest.raises(RingTorn):
+            coordinator.drain(alive=lambda: False)
+
+    def test_intact_frames_before_tear_still_delivered(self, channel):
+        coordinator, worker = channel
+        worker.put(("batch", 0, 1, [], [], []))
+        assert coordinator.out_ring.try_write(frame(b"\x4dxx")[:-1])
+        survivors = None
+        with pytest.raises(RingTorn):
+            for _ in range(64):
+                drained = coordinator.drain(alive=lambda: False)
+                if drained:
+                    survivors = drained
+        assert survivors == [("batch", 0, 1, [], [], [])]
+
+    def test_worker_get_blocks_until_message(self, channel):
+        coordinator, worker = channel
+        received = []
+
+        def reader():
+            received.append(worker.get())
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        time.sleep(0.05)  # force the reader past its spin phase
+        coordinator.put(("flush", 4), 1.0)
+        thread.join(timeout=5.0)
+        assert received == [("flush", 4)]
+
+    def test_worker_raises_eof_on_torn_input(self, channel):
+        coordinator, worker = channel
+        assert coordinator.in_ring.try_write(frame(b"\x4dzz")[:-1])
+        with pytest.raises(EOFError):
+            worker.get()
+
+
+class TestAdaptiveWaiter:
+    def test_spins_then_parks(self):
+        from repro.system.metrics import ShardMetrics
+
+        metrics = ShardMetrics(0)
+        waiter = AdaptiveWaiter(spins=3, min_park=0.0001,
+                                max_park=0.001, metrics=metrics)
+        for _ in range(5):
+            waiter.wait()
+        assert metrics.spin_waits == 3
+        assert metrics.park_waits == 2
+
+    def test_backoff_caps_at_max_park(self):
+        waiter = AdaptiveWaiter(spins=0, min_park=0.0001, max_park=0.0004)
+        for _ in range(8):
+            waiter.wait()
+        assert waiter._delay == 0.0004
+
+    def test_reset_restores_spin_phase(self):
+        from repro.system.metrics import ShardMetrics
+
+        metrics = ShardMetrics(0)
+        waiter = AdaptiveWaiter(spins=1, min_park=0.0001,
+                                max_park=0.001, metrics=metrics)
+        waiter.wait()
+        waiter.wait()
+        waiter.reset()
+        waiter.wait()
+        assert metrics.spin_waits == 2
+        assert waiter._delay == 0.0001
+
+
+class TestRingBackendEndToEnd:
+    def test_ring_and_pipe_transports_agree(self):
+        from repro.sharding import ShardingConfig
+        from repro.system import ComplexEventProcessor
+        from repro.workloads.synthetic import SyntheticConfig, \
+            SyntheticStream, seq_query
+
+        stream = SyntheticStream.generate(SyntheticConfig(
+            n_events=300, n_types=4, id_domain=6, seed=21))
+
+        def run(transport):
+            processor = ComplexEventProcessor(
+                stream.registry,
+                sharding=ShardingConfig(shards=2, backend="process",
+                                        batch_size=16,
+                                        queue_capacity=4,
+                                        response_timeout=30.0,
+                                        transport=transport))
+            processor.register(
+                "pair", seq_query(2, window=5.0, partitioned=True))
+            produced = []
+            for event in stream.events:
+                produced.extend(processor.feed(event))
+            produced.extend(processor.flush())
+            return [(name, result.start, result.end,
+                     tuple(sorted(result.attributes.items())))
+                    for name, result in produced]
+
+        assert run("ring") == run("pipe")
