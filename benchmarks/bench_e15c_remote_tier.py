@@ -1,0 +1,155 @@
+"""E15c — distributed shard tier: remote TCP workers vs local backends.
+
+The remote backend ships shard batches to worker daemons over TCP in
+the same CRC-framed wire format the shared-memory ring uses
+(``repro.sharding.wire``), with credit-based backpressure and
+journal-backed replay.  This experiment measures what that transport
+costs relative to the in-process alternatives: the single-process
+baseline, the process backend over the shared-memory ring, and the
+remote backend at 2 and 4 localhost workers (spawned and supervised by
+the coordinator).
+
+Expected shape: on localhost the remote tier pays the TCP stack plus
+the marshal codec on both sides, so it should land below process/ring
+at equal worker counts — the point of the tier is scale-out across
+hosts, not single-host speedups.  Output equality with the baseline is
+asserted on every run, so this benchmark doubles as a large
+differential test of the distributed path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import time
+
+from repro.sharding import ShardingConfig
+from repro.system.processor import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+from common import print_table
+
+FULL_EVENTS = 12_000
+SMOKE_EVENTS = 1_500
+
+QUERIES = {
+    "pair": seq_query(2, window=30.0, partitioned=True),
+    "triple": seq_query(3, window=30.0, partitioned=True),
+}
+
+
+def build_stream(n_events: int) -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=n_events, n_types=3, id_domain=64, mean_gap=1.0,
+        seed=15))
+
+
+def free_ports(count: int) -> list[int]:
+    sockets, ports = [], []
+    for _ in range(count):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        sockets.append(listener)
+        ports.append(listener.getsockname()[1])
+    for listener in sockets:
+        listener.close()
+    return ports
+
+
+def remote_config(shards: int) -> ShardingConfig:
+    workers = tuple(f"127.0.0.1:{port}" for port in free_ports(shards))
+    return ShardingConfig(shards=shards, backend="remote",
+                          batch_size=64, queue_capacity=8,
+                          workers=workers)
+
+
+def run_once(stream: SyntheticStream,
+             sharding: ShardingConfig | None) -> tuple[float, list]:
+    processor = ComplexEventProcessor(stream.registry, sharding=sharding)
+    for name, text in QUERIES.items():
+        processor.register(name, text)
+    produced = []
+    started = time.perf_counter()
+    for event in stream.events:
+        produced.extend(processor.feed(event))
+    produced.extend(processor.flush())
+    elapsed = time.perf_counter() - started
+    fingerprint = [(name, result.start, result.end)
+                   for name, result in produced]
+    return elapsed, fingerprint
+
+
+def sweep(n_events: int, remote_counts: list[int]) -> list[list]:
+    stream = build_stream(n_events)
+    base_elapsed, base_fingerprint = run_once(stream, None)
+    base_throughput = n_events / base_elapsed
+    rows = [["single-process", "-", base_throughput, 1.0,
+             len(base_fingerprint)]]
+    configs = [("process/ring x2",
+                ShardingConfig(shards=2, backend="process",
+                               batch_size=64, queue_capacity=8,
+                               transport="ring"))]
+    configs += [(f"remote x{shards}", remote_config(shards))
+                for shards in remote_counts]
+    for label, config in configs:
+        elapsed, fingerprint = run_once(stream, config)
+        assert fingerprint == base_fingerprint, \
+            f"{label} diverged from the baseline"
+        throughput = n_events / elapsed
+        rows.append([label, config.shards, throughput,
+                     throughput / base_throughput, len(fingerprint)])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="distributed shard tier throughput experiment")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (seconds, "
+                             "remote at 2 workers only)")
+    parser.add_argument(
+        "--assert-multicore-speedup", type=float, metavar="X",
+        help="fail unless the best remote row reaches X times the "
+             "single-process baseline; skipped (with a notice) on "
+             "single-core hosts, where no parallel speedup exists to "
+             "measure")
+    args = parser.parse_args(argv)
+    n_events = SMOKE_EVENTS if args.smoke else FULL_EVENTS
+    rows = sweep(n_events, [2] if args.smoke else [2, 4])
+    cores = os.cpu_count() or 1
+    print_table(
+        f"E15c — distributed shard tier ({n_events} events, 2 keyed "
+        f"SEQ queries, localhost workers, host has {cores} core(s))",
+        ["configuration", "shards", "events/s", "vs single-process",
+         "results"],
+        rows)
+    if cores == 1:
+        print("note: single-core host; neither the process nor the "
+              "remote backend can exceed 1.0x here (transport "
+              "overhead, no parallelism).")
+    if args.assert_multicore_speedup is not None:
+        if cores < 2:
+            print("multicore speedup gate skipped: single-core host")
+        else:
+            best = max(row[2] / rows[0][2] for row in rows[1:]
+                       if str(row[0]).startswith("remote"))
+            assert best >= args.assert_multicore_speedup, (
+                f"remote peaks at {best:.2f}x single-process on "
+                f"{cores} cores; the gate requires "
+                f">= {args.assert_multicore_speedup:g}x")
+            print(f"multicore speedup gate ok: remote reaches "
+                  f"{best:.2f}x single-process")
+
+
+def test_benchmark_remote_two_workers(benchmark):
+    stream = build_stream(SMOKE_EVENTS)
+    result = benchmark.pedantic(
+        lambda: run_once(stream, remote_config(2)),
+        rounds=3, iterations=1)
+    assert result[1]
+
+
+if __name__ == "__main__":
+    main()

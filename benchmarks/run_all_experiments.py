@@ -36,6 +36,7 @@ EXPERIMENTS = [
     ("E14", "bench_e14_construction_pushdown"),
     ("E15", "bench_e15_sharded_throughput"),
     ("E15b", "bench_e15b_transport"),
+    ("E15c", "bench_e15c_remote_tier"),
     ("E16", "bench_e16_codegen"),
     ("E17", "bench_e17_multiquery_scaling"),
     ("E18", "bench_e18_observability_overhead"),

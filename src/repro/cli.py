@@ -110,13 +110,19 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--shard-backend", choices=BACKENDS,
                       default="inline",
                       help="shard executor: inline (deterministic, "
-                           "in-process), thread, or process")
+                           "in-process), thread, process, or remote "
+                           "(TCP worker daemons; see --shard-workers)")
     demo.add_argument("--shard-transport", choices=TRANSPORTS,
                       default="ring",
                       help="process-backend IPC: ring (shared-memory "
                            "ring buffers, default) or pipe (classic "
                            "pickle over multiprocessing queues); "
                            "ignored by other backends")
+    demo.add_argument("--shard-workers", metavar="HOST:PORT,...",
+                      help="remote backend only: one worker endpoint "
+                           "per shard (start each with 'repro worker'; "
+                           "localhost endpoints nothing listens on are "
+                           "spawned and supervised automatically)")
     demo.add_argument("--data-dir", metavar="DIR",
                       help="durable persistence: write-ahead log, "
                            "checkpoints, and the match log live here; "
@@ -170,6 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="inline")
     trace.add_argument("--shard-transport", choices=TRANSPORTS,
                        default="ring")
+    trace.add_argument("--shard-workers", metavar="HOST:PORT,...")
     trace.add_argument("--limit", type=int, default=12,
                        help="show at most N traces (default: 12)")
     trace.add_argument("--jsonl", metavar="PATH",
@@ -296,6 +303,21 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "records that still fail validation")
     deadletter.set_defaults(handler=_cmd_deadletter)
 
+    worker = commands.add_parser(
+        "worker", help="serve one remote shard worker: listen for a "
+                       "coordinator started with --shard-backend "
+                       "remote and run its shard over TCP")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="interface to listen on "
+                             "(default: 127.0.0.1)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="port to listen on (default: 0 = pick an "
+                             "ephemeral port and print it)")
+    worker.add_argument("--once", action="store_true",
+                        help="exit after the first coordinator "
+                             "session instead of re-accepting")
+    worker.set_defaults(handler=_cmd_worker)
+
     return parser
 
 
@@ -303,18 +325,51 @@ def _build_parser() -> argparse.ArgumentParser:
 
 _DEMO_PARAM_KEYS = ("seed", "noise", "products", "shoppers",
                     "shoplifters", "misplacements", "shards",
-                    "shard_backend", "shard_transport", "chaos",
-                    "chaos_seed", "shed")
+                    "shard_backend", "shard_transport", "shard_workers",
+                    "chaos", "chaos_seed", "shed")
 # Keys added after a data directory format already existed: manifests
 # written by older runs lack them, so comparison fills in the defaults.
 _DEMO_PARAM_DEFAULTS = {"chaos": None, "chaos_seed": 0, "shed": "block",
-                        "shard_transport": "ring"}
+                        "shard_transport": "ring",
+                        "shard_workers": None}
 _MANIFEST_NAME = "manifest.json"
 
 
 def _demo_params(args: argparse.Namespace) -> dict[str, Any]:
     return {key: getattr(args, key, _DEMO_PARAM_DEFAULTS.get(key))
             for key in _DEMO_PARAM_KEYS}
+
+
+def _validate_shard_params(params: dict[str, Any]) -> None:
+    """Usage-error validation of the shard arguments, eagerly — before
+    any manifest is written, worker spawned, or socket connected — so
+    a typo exits 2 without side effects.  Normalizes ``shards`` to the
+    endpoint count when the remote backend is given only
+    ``--shard-workers``."""
+    backend = params.get("shard_backend", "inline")
+    transport = params.get("shard_transport", "ring")
+    workers = params.get("shard_workers")
+    if backend not in BACKENDS:
+        raise SaseError(f"unknown shard backend {backend!r}; "
+                        f"choose one of {', '.join(BACKENDS)}")
+    if transport not in TRANSPORTS:
+        raise SaseError(f"unknown shard transport {transport!r}; "
+                        f"choose one of {', '.join(TRANSPORTS)}")
+    if backend == "remote":
+        if not workers:
+            raise SaseError("--shard-backend remote needs "
+                            "--shard-workers HOST:PORT[,HOST:PORT...]")
+        from repro.sharding.remote import parse_endpoints
+        endpoints = parse_endpoints(workers)
+        if params.get("shards", 1) == 1:
+            params["shards"] = len(endpoints)
+        elif params["shards"] != len(endpoints):
+            raise SaseError(
+                f"--shards {params['shards']} does not match the "
+                f"{len(endpoints)} endpoint(s) in --shard-workers")
+    elif workers:
+        raise SaseError("--shard-workers only applies to "
+                        "--shard-backend remote")
 
 
 def _build_demo_system(params: dict[str, Any],
@@ -330,9 +385,14 @@ def _build_demo_system(params: dict[str, Any],
         n_misplacements=params["misplacements"], seed=params["seed"]))
     sharding = None
     if params["shards"] != 1 or params["shard_backend"] != "inline":
+        workers = params.get("shard_workers")
+        if workers:
+            from repro.sharding.remote import parse_endpoints
+            workers = parse_endpoints(workers)
         sharding = ShardingConfig(
             shards=params["shards"], backend=params["shard_backend"],
-            transport=params.get("shard_transport", "ring"))
+            transport=params.get("shard_transport", "ring"),
+            workers=workers or ())
     resilience = None
     if params.get("chaos") or dead_letter_path \
             or params.get("shed", "block") != "block":
@@ -432,6 +492,7 @@ def _print_resilience_summary(system: SaseSystem, out: TextIO) -> None:
 
 def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
     params = _demo_params(args)
+    _validate_shard_params(params)
     persistence = None
     if args.data_dir:
         _check_manifest(args.data_dir, params)
@@ -470,7 +531,9 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
     if system.processor.sharding is not None:
         transport = (f", {args.shard_transport} transport"
                      if args.shard_backend == "process" else "")
-        print(f"\nsharded runtime ({args.shards} shard(s), "
+        if args.shard_backend == "remote":
+            transport = f", workers {args.shard_workers}"
+        print(f"\nsharded runtime ({params['shards']} shard(s), "
               f"{args.shard_backend} backend{transport}):", file=out)
         plan = system.processor.shard_plan
         if plan is not None:
@@ -535,15 +598,25 @@ def _cmd_recover(args: argparse.Namespace, out: TextIO) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace, out: TextIO) -> None:
+    shard_params = {"shards": args.shards,
+                    "shard_backend": args.shard_backend,
+                    "shard_transport": args.shard_transport,
+                    "shard_workers": args.shard_workers}
+    _validate_shard_params(shard_params)
     scenario = RetailScenario.generate(RetailConfig(
         n_products=args.products, n_shoppers=args.shoppers,
         n_shoplifters=args.shoplifters, n_misplacements=1,
         seed=args.seed))
     sharding = None
-    if args.shards != 1 or args.shard_backend != "inline":
-        sharding = ShardingConfig(shards=args.shards,
+    if shard_params["shards"] != 1 or args.shard_backend != "inline":
+        workers = ()
+        if args.shard_workers:
+            from repro.sharding.remote import parse_endpoints
+            workers = parse_endpoints(args.shard_workers)
+        sharding = ShardingConfig(shards=shard_params["shards"],
                                   backend=args.shard_backend,
-                                  transport=args.shard_transport)
+                                  transport=args.shard_transport,
+                                  workers=workers)
     system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
     # A full retail run emits far more spans than the default ring; keep
     # enough history that early RETURN traces survive to the report.
@@ -659,6 +732,13 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> None:
             print(f"[{composite.start:g}, {composite.end:g}] {attrs}",
                   file=out)
     print(f"-- {total} result(s) over {len(events)} event(s)", file=out)
+
+
+def _cmd_worker(args: argparse.Namespace, out: TextIO) -> None:
+    if not 0 <= args.port <= 65535:
+        raise SaseError(f"--port {args.port} is out of range (0-65535)")
+    from repro.sharding.remote import run_worker
+    run_worker(args.host, args.port, once=args.once, out=out)
 
 
 def _cmd_deadletter(args: argparse.Namespace, out: TextIO) -> None:

@@ -90,6 +90,23 @@ _SHARD_COUNTERS = (
      "Sched-yield spins in the coordinator's hybrid transport wait"),
     ("sase_shard_transport_park_waits_total", "park_waits",
      "Backoff park sleeps in the coordinator's hybrid transport wait"),
+    ("sase_shard_remote_reconnects_total", "remote_reconnects",
+     "Worker sessions re-established after the first connect"),
+    ("sase_shard_remote_heartbeats_total", "remote_heartbeats",
+     "Heartbeat pong round-trips completed on the worker connection"),
+    ("sase_shard_remote_bytes_sent_total", "remote_bytes_sent",
+     "Bytes written to the remote worker's TCP connection"),
+    ("sase_shard_remote_bytes_received_total", "remote_bytes_received",
+     "Bytes read from the remote worker's TCP connection"),
+)
+_SHARD_GAUGES = (
+    ("sase_shard_remote_inflight", "remote_inflight",
+     "Unacked batches in flight on the worker connection (credits "
+     "in use)"),
+)
+_SHARD_QUANTILES = (
+    ("0.5", "remote_rtt_p50_seconds"),
+    ("0.95", "remote_rtt_p95_seconds"),
 )
 _PLAN_GAUGES = (
     ("sase_plan_stack_instances_high_water", "stack_high_water",
@@ -168,9 +185,13 @@ def collector_snapshot(collector: Any) -> dict:
         }
     shards = {}
     for shard_id, metrics in collector.shards.items():
-        shards[str(shard_id)] = {
-            field: getattr(metrics, field)
-            for _, field, _ in _SHARD_COUNTERS}
+        entry = {field: getattr(metrics, field)
+                 for _, field, _ in _SHARD_COUNTERS}
+        for _, field, _ in _SHARD_GAUGES:
+            entry[field] = getattr(metrics, field)
+        entry["remote_rtt_p50_seconds"] = metrics.rtt_percentile(0.50)
+        entry["remote_rtt_p95_seconds"] = metrics.rtt_percentile(0.95)
+        shards[str(shard_id)] = entry
     snapshot: dict = {"queries": queries}
     if shards:
         snapshot["shards"] = shards
@@ -251,6 +272,14 @@ def to_prometheus(snapshot: dict) -> str:
         labels = {"shard": shard_id}
         for metric, field, help_text in _SHARD_COUNTERS:
             w.sample(metric, "counter", help_text, labels, entry[field])
+        for metric, field, help_text in _SHARD_GAUGES:
+            w.sample(metric, "gauge", help_text, labels,
+                     entry.get(field))
+        for quantile, field in _SHARD_QUANTILES:
+            w.sample("sase_shard_remote_rtt_seconds", "summary",
+                     "Heartbeat round-trip reservoir quantiles",
+                     {**labels, "quantile": quantile},
+                     entry.get(field))
     for tenant, entry in snapshot.get("tenants", {}).items():
         labels = {"tenant": tenant}
         for metric, field, help_text in _TENANT_GAUGES:

@@ -762,7 +762,17 @@ def make_backend(backend: str, shards: int, spec: WorkerSpec, metrics,
                  queue_capacity: int, response_timeout: float,
                  supervisor=None, on_shard_lost=None,
                  transport: str = "ring",
-                 ring_bytes: int = DEFAULT_RING_BYTES) -> ShardBackend:
+                 ring_bytes: int = DEFAULT_RING_BYTES,
+                 workers: tuple[str, ...] = ()) -> ShardBackend:
+    if backend == "remote":
+        # Imported lazily: the remote module subclasses this one.
+        from repro.sharding.remote import RemoteBackend
+        instance = RemoteBackend(shards, spec, metrics, queue_capacity,
+                                 response_timeout, workers=workers)
+        instance.supervisor = supervisor
+        instance.on_shard_lost = on_shard_lost
+        instance.start()
+        return instance
     classes = {"inline": InlineBackend, "thread": ThreadBackend,
                "process": ProcessBackend}
     try:

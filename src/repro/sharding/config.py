@@ -8,7 +8,7 @@ from repro.errors import SaseError
 from repro.sharding.transport import DEFAULT_RING_BYTES, MIN_RING_BYTES, \
     TRANSPORTS
 
-BACKENDS = ("inline", "thread", "process")
+BACKENDS = ("inline", "thread", "process", "remote")
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,12 @@ class ShardingConfig:
     ``"pipe"`` is the classic pickle-over-queue path.  Ignored by the
     inline and thread backends.  ``ring_bytes`` sizes each per-shard,
     per-direction ring.
+
+    The ``"remote"`` backend sends the same framed batches over TCP to
+    worker daemons instead of spawning local processes: ``workers``
+    names one ``host:port`` endpoint per shard, and ``queue_capacity``
+    becomes the per-connection credit bound (in-flight unacked
+    batches).
     """
 
     shards: int = 1
@@ -42,6 +48,7 @@ class ShardingConfig:
     response_timeout: float = 60.0
     transport: str = "ring"
     ring_bytes: int = DEFAULT_RING_BYTES
+    workers: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -63,6 +70,22 @@ class ShardingConfig:
         if self.ring_bytes < MIN_RING_BYTES:
             raise SaseError(
                 f"ring_bytes must be at least {MIN_RING_BYTES}")
+        if self.backend == "remote":
+            if not self.workers:
+                raise SaseError(
+                    "the remote backend needs --shard-workers "
+                    "(one host:port per shard)")
+            if len(self.workers) != self.shards:
+                raise SaseError(
+                    f"the remote backend needs exactly one worker "
+                    f"endpoint per shard ({self.shards} shard(s), "
+                    f"{len(self.workers)} endpoint(s))")
+            from repro.sharding.remote import parse_endpoint
+            for endpoint in self.workers:
+                parse_endpoint(endpoint)
+        elif self.workers:
+            raise SaseError(
+                "--shard-workers only applies to the remote backend")
 
     @property
     def active(self) -> bool:

@@ -1,0 +1,639 @@
+"""Remote shard tier: worker daemons over TCP, speaking the ring wire
+format.
+
+This is the distributed half of the shard runtime: the router connects
+to N worker endpoints (``--shard-backend remote --shard-workers
+host:port,...``), and every batch crosses the socket as one frame in
+the WAL's CRC32 record format — the exact bytes the shared-memory ring
+transport carries, produced by the shared codec in
+:mod:`repro.sharding.wire`.  Payloads ``marshal`` cannot express
+(worker specs, exotic attribute values, shipped tracer spans) travel
+in-band on a pickle-tagged frame instead of a side lane: the socket is
+already one totally ordered stream.
+
+The backend preserves everything the local backends guarantee:
+
+* **Deterministic merge.**  Workers tag results with the same
+  ``(seq, rank, kind, end, idx)`` coordinates, so the router's
+  seq-aligned merge emits output bit-identical to single-process —
+  including watermark-released trailing-negation matches.
+* **Credit-based backpressure.**  The local bounded queue becomes a
+  per-connection credit count: at most ``queue_capacity`` unacked
+  batches may be in flight per worker; an exhausted connection raises
+  ``queue.Full`` exactly like a full bounded queue, so the base
+  stall/hang ladder is reused unchanged.
+* **Heartbeats.**  An idle coordinator pings each worker; a missing
+  pong within the hang budget fails the shard over through the same
+  :class:`~repro.resilience.ShardSupervisor` breaker ladder as a local
+  hang.  Pong round-trips feed the per-connection RTT metrics.
+* **Reconnect with journal replay.**  Every batch is journaled; a
+  worker death (socket EOF, send error, corrupt frame, heartbeat
+  timeout) tears the connection down and reconnects with a bumped
+  incarnation, replaying the journal into the fresh worker core —
+  duplicate responses are suppressed by the coordinator's outstanding
+  set, so results stay exactly-once.  Endpoints on a local host that
+  nothing listens on are *owned*: the coordinator spawns ``repro
+  worker`` subprocesses for them and respawns on death (supervised
+  respawn).  Endpoints something already listens on are *external*:
+  worker loss is handled by reconnecting until the daemon re-accepts
+  (passive re-accept), never by spawning.
+
+A worker daemon (``repro worker --port P``) serves one coordinator
+session at a time and rebuilds a fresh
+:class:`~repro.sharding.worker.ShardWorkerCore` from the ``spec``
+handshake of every new connection — mandatory for replay correctness:
+a stale core would double-produce.
+
+The wire carries pickles in both directions, so the shard tier must
+only ever span a trusted network — the same trust domain as the
+multiprocessing pipes it replaces.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import queue as queue_module
+import select
+import socket
+import subprocess
+import sys
+import time
+import traceback
+
+from repro.errors import SaseError
+from repro.sharding.backends import _STOP_JOIN_TIMEOUT, \
+    _WAIT_PARK_MAX, _BoundedChannelBackend
+from repro.sharding.wire import FrameBuffer, WireCorrupt, \
+    decode_request, decode_response, encode_request, encode_response, \
+    pack_message, unpack_payload
+from repro.sharding.worker import ShardWorkerCore, _build_injector, \
+    _inject_worker_fault
+
+_LOCAL_HOSTS = frozenset({"127.0.0.1", "localhost", "::1"})
+_RECV_BYTES = 1 << 16
+#: One TCP connect attempt / pause between attempts / whole-ladder cap.
+_CONNECT_TIMEOUT = 1.0
+_CONNECT_TICK = 0.05
+_CONNECT_BUDGET = 15.0
+#: A sendall stalled this long means the worker stopped reading with
+#: only ``queue_capacity`` small batches in flight: treat as wedged.
+_SEND_TIMEOUT = 5.0
+#: select() granularity while blocked waiting for credits to free.
+_CREDIT_TICK = 0.005
+#: Idle gap after which the coordinator pings a connection, and the
+#: pong deadline when no supervisor supplies a hang budget.
+_HEARTBEAT_INTERVAL = 0.5
+_HEARTBEAT_TIMEOUT = 10.0
+
+
+# -- endpoint parsing ---------------------------------------------------------
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)``; :class:`SaseError` on garbage."""
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep or not host:
+        raise SaseError(
+            f"worker endpoint {text.strip()!r} is not host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SaseError(
+            f"worker endpoint {text.strip()!r} has a non-numeric "
+            f"port") from None
+    if not 1 <= port <= 65535:
+        raise SaseError(
+            f"worker endpoint {text.strip()!r}: port must be 1-65535")
+    return host, port
+
+
+def parse_endpoints(spec: str) -> tuple[str, ...]:
+    """Validate a comma-separated ``--shard-workers`` list eagerly —
+    before anything is spawned or connected — and return the
+    normalized ``host:port`` strings."""
+    if not spec or not spec.strip():
+        raise SaseError("--shard-workers needs at least one host:port")
+    endpoints = []
+    for part in spec.split(","):
+        if not part.strip():
+            raise SaseError(
+                f"empty worker endpoint in {spec!r}")
+        host, port = parse_endpoint(part)
+        endpoints.append(f"{host}:{port}")
+    return tuple(endpoints)
+
+
+def _is_local(host: str) -> bool:
+    return host in _LOCAL_HOSTS
+
+
+# -- worker daemon ------------------------------------------------------------
+
+class WorkerDaemon:
+    """The ``repro worker`` server: accepts one coordinator session at
+    a time and runs the shard worker loop over the framed socket.
+
+    Every accepted connection starts from nothing: the coordinator's
+    ``("spec", shard, spec, incarnation)`` handshake builds a fresh
+    :class:`ShardWorkerCore`, so a reconnect after a coordinator-side
+    failover always replays into clean state.  When a session ends
+    (``stop``, disconnect, or a reported error) the daemon loops back
+    to ``accept`` — that re-accept is what the coordinator's passive
+    reconnect relies on — unless constructed with ``once=True``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 once: bool = False):
+        self.host = host
+        self.port = port
+        self.once = once
+        self._listener: socket.socket | None = None
+
+    def bind(self) -> int:
+        """Bind and listen; returns the bound port (for ``port=0``)."""
+        family = socket.AF_INET6 if ":" in self.host else socket.AF_INET
+        listener = socket.socket(family, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(4)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        return self.port
+
+    def serve(self) -> None:
+        """Accept-and-serve until :meth:`shutdown` (or forever)."""
+        if self._listener is None:
+            self.bind()
+        listener = self._listener
+        try:
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return  # listener closed by shutdown()
+                try:
+                    self._serve_connection(conn)
+                finally:
+                    with contextlib.suppress(OSError):
+                        conn.close()
+                if self.once:
+                    return
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Close the listener; an in-flight ``serve`` returns at its
+        next ``accept``.  Safe to call from another thread."""
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            with contextlib.suppress(OSError):
+                listener.close()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        buffer = FrameBuffer()
+        core: ShardWorkerCore | None = None
+        injector = None
+        shard_id = -1
+        context: tuple | None = None
+
+        def put(message: tuple) -> None:
+            conn.sendall(pack_message(message, encode_response))
+
+        try:
+            while True:
+                data = conn.recv(_RECV_BYTES)
+                if not data:
+                    return  # coordinator went away; re-accept
+                for payload in buffer.feed(data):
+                    message = unpack_payload(payload, decode_request)
+                    opcode = message[0]
+                    context = None
+                    if opcode == "batch":
+                        _, batch_id, entries = message
+                        context = ("batch", batch_id)
+                        if injector is not None:
+                            _inject_worker_fault(injector, "process")
+                        tagged, delta, spans = \
+                            core.process_batch(entries)
+                        put(("batch", shard_id, batch_id, tagged,
+                             delta, spans))
+                    elif opcode == "flush":
+                        _, flush_id = message
+                        context = ("flush", flush_id)
+                        tagged, delta, spans = core.flush()
+                        put(("flush", shard_id, flush_id, tagged,
+                             delta, spans))
+                    elif opcode == "ping":
+                        put(("pong", shard_id, message[1]))
+                    elif opcode == "spec":
+                        _, shard_id, spec, incarnation = message
+                        core = ShardWorkerCore(shard_id, spec)
+                        injector = _build_injector(shard_id, spec,
+                                                   incarnation)
+                    elif opcode == "stop":
+                        return
+        except (OSError, WireCorrupt, EOFError):
+            return  # connection-fatal: drop and re-accept
+        except Exception:
+            # Report like process_worker_main, then end the session —
+            # the coordinator retires the named request's bookkeeping,
+            # raises, and a fresh session starts from a fresh core.
+            with contextlib.suppress(OSError):
+                put(("error", shard_id, context,
+                     traceback.format_exc()))
+
+
+def run_worker(host: str, port: int, once: bool = False,
+               out=None) -> None:
+    """CLI entry: bind, announce readiness, serve."""
+    daemon = WorkerDaemon(host, port, once=once)
+    bound = daemon.bind()
+    if out is not None:
+        print(f"worker listening on {host}:{bound}", file=out,
+              flush=True)
+    daemon.serve()
+
+
+# -- coordinator side ---------------------------------------------------------
+
+class _ConnectionLost(Exception):
+    """A send hit a dead socket; the caller fails the shard over."""
+
+
+class RemoteConnection:
+    """One coordinator→worker TCP session plus its credit and
+    heartbeat state."""
+
+    __slots__ = ("sock", "buffer", "dead", "inflight", "last_recv",
+                 "ping_token", "ping_sent_at", "_next_token")
+
+    def __init__(self, sock: socket.socket):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(_SEND_TIMEOUT)
+        self.sock = sock
+        self.buffer = FrameBuffer()
+        self.dead = False
+        self.inflight = 0          # unacked batch/flush credits in use
+        self.last_recv = time.monotonic()
+        self.ping_token: int | None = None
+        self.ping_sent_at: float | None = None
+        self._next_token = 0
+
+    def send(self, message: tuple, metrics=None) -> None:
+        """Frame and send one message; marks the connection dead (and
+        raises :class:`_ConnectionLost`) on any socket failure —
+        including a stalled ``sendall``, which with the credit bound in
+        place means the worker stopped reading."""
+        data = pack_message(message, encode_request)
+        try:
+            self.sock.sendall(data)
+        except OSError as error:
+            self.dead = True
+            raise _ConnectionLost(str(error)) from None
+        if metrics is not None:
+            metrics.remote_bytes_sent += len(data)
+
+    def receive(self, metrics=None) -> list[tuple]:
+        """Decode every message currently readable (non-blocking).
+        Socket errors, EOF, and corrupt frames mark the connection
+        dead; the partial tail of a torn session dies with it."""
+        messages: list[tuple] = []
+        while not self.dead:
+            try:
+                readable, _, _ = select.select([self.sock], [], [], 0)
+            except (OSError, ValueError):
+                self.dead = True
+                break
+            if not readable:
+                break
+            try:
+                data = self.sock.recv(_RECV_BYTES)
+            except OSError:
+                self.dead = True
+                break
+            if not data:
+                self.dead = True
+                break
+            self.last_recv = time.monotonic()
+            if metrics is not None:
+                metrics.remote_bytes_received += len(data)
+            try:
+                payloads = self.buffer.feed(data)
+            except WireCorrupt:
+                self.dead = True
+                break
+            messages.extend(unpack_payload(payload, decode_response)
+                            for payload in payloads)
+        return messages
+
+    def next_ping_token(self) -> int:
+        self._next_token += 1
+        return self._next_token
+
+    def close(self) -> None:
+        self.dead = True
+        with contextlib.suppress(OSError):
+            self.sock.close()
+
+
+def _worker_command(host: str, port: int) -> list[str]:
+    return [sys.executable, "-m", "repro", "worker",
+            "--host", host, "--port", str(port)]
+
+
+def _spawn_env() -> dict[str, str]:
+    # The spawned daemon must import repro whether or not the parent
+    # was launched with PYTHONPATH set: prepend this tree's src root.
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root if not existing \
+        else src_root + os.pathsep + existing
+    return env
+
+
+class RemoteBackend(_BoundedChannelBackend):
+    """The shard backend over TCP worker endpoints.
+
+    Everything above the socket is inherited from
+    :class:`_BoundedChannelBackend` — journal, incarnations, restart,
+    breaker ladder and duplicate suppression; only the channel differs.
+    The bounded queue becomes a per-connection credit count, worker
+    death becomes a dead connection, and restart becomes
+    reconnect-plus-spec-handshake (spawning a fresh ``repro worker``
+    subprocess first when the endpoint is a local one we supervise).
+    """
+
+    _always_journal = True
+    #: Chaos scoping: remote workers are processes (``worker.crash``
+    #: must exit, not raise).
+    _transport = "process"
+
+    heartbeat_interval = _HEARTBEAT_INTERVAL
+    connect_budget = _CONNECT_BUDGET
+
+    def __init__(self, shards, spec, metrics, queue_capacity,
+                 response_timeout, workers=()):
+        super().__init__(shards, spec, metrics, queue_capacity,
+                         response_timeout)
+        if len(workers) != shards:
+            raise SaseError(
+                f"the remote backend needs exactly one worker "
+                f"endpoint per shard ({shards} shard(s), "
+                f"{len(workers)} endpoint(s))")
+        self._endpoints = [parse_endpoint(text) for text in workers]
+
+    # -- transport hooks --------------------------------------------------
+
+    def _start_transport(self):
+        self._connections = [None] * self.shards
+        self._processes = [None] * self.shards
+        self._owned = [False] * self.shards
+        self._connected_once = [False] * self.shards
+        self._backlog: list[tuple] = []
+
+    def _spawn(self, shard):
+        """(Re)establish the shard's session: connect — spawning a
+        local daemon if the endpoint is ours to supervise — then
+        send the spec handshake for a fresh worker core."""
+        conn = self._try_connect(shard)
+        shard_metrics = self.metrics.shard(shard)
+        if conn is None:
+            self._connections[shard] = None
+            if self.supervisor is None:
+                host, port = self._endpoints[shard]
+                raise SaseError(
+                    f"shard {shard}: remote worker {host}:{port} "
+                    f"is unreachable")
+            return  # supervised: the breaker ladder decides
+        if self._connected_once[shard]:
+            shard_metrics.remote_reconnects += 1
+        self._connected_once[shard] = True
+        self._connections[shard] = conn
+        with contextlib.suppress(_ConnectionLost):
+            # A handshake that dies on the wire is a dead
+            # connection; the alive()/on_dead ladder picks it up.
+            conn.send(("spec", shard, self.spec,
+                       self._incarnations[shard]), shard_metrics)
+
+    def _try_connect(self, shard):
+        host, port = self._endpoints[shard]
+        local = _is_local(host)
+        deadline = time.monotonic() + min(self.response_timeout,
+                                          self.connect_budget)
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=_CONNECT_TIMEOUT)
+                return RemoteConnection(sock)
+            except OSError:
+                pass  # transient: nothing listening (yet)
+            if local and not self._process_alive(shard):
+                self._spawn_local_worker(shard)
+            if time.monotonic() > deadline:
+                return None
+            time.sleep(_CONNECT_TICK)
+
+    def _spawn_local_worker(self, shard):
+        host, port = self._endpoints[shard]
+        self._reap_process(shard)
+        self._processes[shard] = subprocess.Popen(
+            _worker_command(host, port), env=_spawn_env(),
+            stdout=subprocess.DEVNULL)
+        self._owned[shard] = True
+
+    def _process_alive(self, shard):
+        process = self._processes[shard]
+        return process is not None and process.poll() is None
+
+    def _reap_process(self, shard):
+        process = self._processes[shard]
+        self._processes[shard] = None
+        if process is None:
+            return
+        with contextlib.suppress(Exception):
+            if process.poll() is None:
+                process.terminate()
+                try:
+                    process.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=1.0)
+
+    def _alive(self, shard):
+        conn = self._connections[shard]
+        return conn is not None and not conn.dead
+
+    def _terminate(self, shard):
+        conn = self._connections[shard]
+        self._connections[shard] = None
+        if conn is not None:
+            conn.close()
+        if self._owned[shard]:
+            # Owned daemons restart as fresh processes, exactly
+            # like the process backend's workers; external daemons
+            # are never ours to kill — they re-accept.
+            self._reap_process(shard)
+
+    # -- channel ----------------------------------------------------------
+
+    def _channel_put(self, shard, message, timeout):
+        conn = self._connections[shard]
+        if conn is None or conn.dead:
+            # Routed into the blocking loop, whose alive() check
+            # converts this into the crash/restart path.
+            raise queue_module.Full
+        if message[0] in ("batch", "flush") \
+                and conn.inflight >= self.queue_capacity:
+            self._await_credit(conn, shard, timeout)
+        try:
+            conn.send(message, self.metrics.shard(shard))
+        except _ConnectionLost:
+            raise queue_module.Full from None
+        if message[0] in ("batch", "flush"):
+            conn.inflight += 1
+            self.metrics.shard(shard).remote_inflight = \
+                conn.inflight
+
+    def _await_credit(self, conn, shard, timeout):
+        """Block (up to *timeout*) until a credit frees.  Credits
+        free only when responses are read, so this loop drains into
+        the backlog — the next poll() returns anything it caught."""
+        self._drain_into_backlog()
+        if conn.inflight < self.queue_capacity:
+            return
+        if timeout is None:
+            raise queue_module.Full
+        deadline = time.monotonic() + timeout
+        while conn.inflight >= self.queue_capacity:
+            if conn.dead or time.monotonic() > deadline:
+                raise queue_module.Full
+            with contextlib.suppress(OSError, ValueError):
+                select.select([conn.sock], [], [], _CREDIT_TICK)
+            self._drain_into_backlog()
+
+    def _receive_all(self):
+        """Read every connection; handle pongs and credits at the
+        protocol layer, return the raw request responses."""
+        raw = []
+        for shard in range(self.shards):
+            conn = self._connections[shard]
+            if conn is None or shard in self._lost:
+                continue
+            for message in conn.receive(self.metrics.shard(shard)):
+                opcode = message[0]
+                if opcode == "pong":
+                    self._note_pong(shard, conn, message)
+                    continue
+                if opcode in ("batch", "flush", "error") \
+                        and conn.inflight > 0:
+                    conn.inflight -= 1
+                    self.metrics.shard(shard).remote_inflight = \
+                        conn.inflight
+                raw.append(message)
+        return raw
+
+    def _drain_into_backlog(self):
+        self._backlog.extend(self._receive_all())
+
+    def _drain_responses(self):
+        self._heartbeat_tick()
+        raw = self._backlog + self._receive_all()
+        self._backlog = []
+        responses = []
+        for index, message in enumerate(raw):
+            try:
+                accepted = self._accept(message)
+            except SaseError:
+                # Keep the rest for the next poll (the ring backend
+                # requeues on its channel for the same reason).
+                self._backlog = raw[index + 1:] + self._backlog
+                raise
+            if accepted is not None:
+                responses.append(accepted)
+        return responses
+
+    # -- heartbeats -------------------------------------------------------
+
+    def _heartbeat_timeout(self):
+        if self.supervisor is not None:
+            return self.supervisor.hang_timeout
+        return min(self.response_timeout, _HEARTBEAT_TIMEOUT)
+
+    def _heartbeat_tick(self):
+        if self._stopping:
+            return
+        now = time.monotonic()
+        for shard in range(self.shards):
+            conn = self._connections[shard]
+            if conn is None or conn.dead or shard in self._lost:
+                continue
+            if conn.ping_sent_at is not None:
+                if now - conn.ping_sent_at > \
+                        self._heartbeat_timeout():
+                    # TCP is up but the worker stopped answering:
+                    # a hang, fed to the breaker ladder as one.
+                    self._fail_worker(shard, "hang")
+                continue
+            if now - conn.last_recv < self.heartbeat_interval:
+                continue
+            conn.ping_token = conn.next_ping_token()
+            conn.ping_sent_at = now
+            with contextlib.suppress(_ConnectionLost):
+                conn.send(("ping", conn.ping_token),
+                          self.metrics.shard(shard))
+
+    def _note_pong(self, shard, conn, message):
+        if message[2] != conn.ping_token \
+                or conn.ping_sent_at is None:
+            return  # stale pong from before a failover
+        shard_metrics = self.metrics.shard(shard)
+        shard_metrics.remote_heartbeats += 1
+        shard_metrics.observe_rtt(
+            time.monotonic() - conn.ping_sent_at)
+        conn.ping_sent_at = None
+        conn.ping_token = None
+
+    # -- wait loop --------------------------------------------------------
+
+    def _idle_wait(self, waiter):
+        self._heartbeat_tick()
+        socks = [conn.sock
+                 for shard, conn in enumerate(self._connections)
+                 if conn is not None and not conn.dead
+                 and shard not in self._lost]
+        if not socks:
+            waiter.wait()
+            return
+        self.park_waits += 1
+        with contextlib.suppress(OSError, ValueError):
+            select.select(socks, [], [], _WAIT_PARK_MAX)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _shutdown_transport(self):
+        for shard in range(self.shards):
+            conn = self._connections[shard]
+            self._connections[shard] = None
+            if conn is not None:
+                conn.close()
+        deadline = time.monotonic() + _STOP_JOIN_TIMEOUT
+        for shard in range(self.shards):
+            process = self._processes[shard]
+            if process is None or not self._owned[shard]:
+                continue
+            with contextlib.suppress(Exception):
+                process.wait(timeout=max(
+                    0.05, deadline - time.monotonic()))
+        for shard in range(self.shards):
+            if self._owned[shard]:
+                self._reap_process(shard)
+
+    def worker_pids(self):
+        return {shard: process.pid
+                for shard, process in enumerate(self._processes)
+                if process is not None and process.poll() is None}

@@ -112,7 +112,8 @@ class ShardRouter:
                 supervisor=self._supervisor,
                 on_shard_lost=self._on_shard_lost,
                 transport=config.transport,
-                ring_bytes=config.ring_bytes)
+                ring_bytes=config.ring_bytes,
+                workers=config.workers)
         else:
             # Every query is local; no workers to start.
             self._backend = None

@@ -19,7 +19,9 @@ allocated in ``multiprocessing.shared_memory``:
   tuples (a one-byte tag selects the codec).  Events and composite
   events are rebuilt through small deterministic encoders; ``marshal``
   round-trips ints/floats/strings exactly, so the merge output is
-  bit-identical to the pipe transport.
+  bit-identical to the pipe transport.  The codec lives in
+  :mod:`repro.sharding.wire` (re-exported here), shared with the TCP
+  transport of :mod:`repro.sharding.remote`.
 * **Pipe fallback.**  Payloads ``marshal`` cannot express (exotic
   attribute values, shipped tracer spans) or that exceed the ring
   capacity are sent on the retained ``multiprocessing.Queue`` lane; a
@@ -55,15 +57,31 @@ Layout of one ring segment::
 
 from __future__ import annotations
 
-import marshal
 import queue as queue_module
 import struct
 import time
 from multiprocessing import shared_memory
 from pickle import UnpicklingError
 
-from repro.events.event import CompositeEvent, Event
-from repro.persist.records import HEADER_BYTES, frame, iter_frames
+from repro.persist.records import HEADER_BYTES, iter_frames
+# The payload codec and frame tags are shared with the TCP transport
+# (repro.sharding.remote); they live in repro.sharding.wire and are
+# re-exported here so existing importers keep working.
+from repro.sharding.wire import EVENT_ENTRY as _EVENT_ENTRY  # noqa: F401
+from repro.sharding.wire import PIPE_MARKER as _PIPE_MARKER
+from repro.sharding.wire import TAG_MARSHAL as _TAG_MARSHAL
+from repro.sharding.wire import TAG_PIPE as _TAG_PIPE
+from repro.sharding.wire import WATERMARK_ENTRY as _WATERMARK_ENTRY  # noqa: F401,E501
+from repro.sharding.wire import frame_message as _frame_message
+from repro.sharding.wire import (  # noqa: F401
+    Unencodable,
+    _dec_value,
+    _enc_value,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
 
 TRANSPORTS = ("ring", "pipe")
 
@@ -80,10 +98,6 @@ _READ_OFF = 8
 _PARKED_OFF = 16
 _U64 = struct.Struct("<Q")
 
-# Frame payload tags: first byte of every framed payload.
-_TAG_MARSHAL = 0x4D   # "M": marshal-encoded message follows inline
-_TAG_PIPE = 0x50      # "P": the message travels on the fallback queue
-
 # Hybrid waiting knobs.  The spin budget is deliberately small: a
 # sched-yield is ~1us on an idle host but can burn tens of microseconds
 # on a loaded single-core one, so a handful of spins catches the
@@ -99,12 +113,6 @@ _TORN_GRACE = 5
 # worker is alive / after it died (feeder-thread flush grace).
 _FALLBACK_WAIT = 5.0
 _FALLBACK_DEAD_WAIT = 0.25
-
-# Entry opcodes, mirrored from repro.sharding.worker (which imports this
-# module, so the literals live here to avoid a cycle).  They are wire
-# format now: changing either side breaks mixed-version rings.
-_EVENT_ENTRY = "e"
-_WATERMARK_ENTRY = "w"
 
 
 class AdaptiveWaiter:
@@ -269,149 +277,6 @@ class Ring:
                 self._shm.unlink()
             except Exception:  # pragma: no cover - already unlinked
                 pass
-
-
-# -- payload codec ------------------------------------------------------------
-#
-# Messages are tuples of primitives plus Event/CompositeEvent objects.
-# The encoders map those objects onto tagged tuples marshal can carry;
-# tags start with "\0" so they cannot collide with user values (every
-# user-held tuple/list/dict is itself wrapped in a tag, so decode never
-# sees a bare container).
-
-class Unencodable(Exception):
-    """The value cannot cross the ring; send it on the pipe lane."""
-
-
-_PRIMITIVES = (int, float, str, bool, bytes, type(None))
-
-
-def _enc_value(value):
-    if isinstance(value, _PRIMITIVES):
-        return value
-    if isinstance(value, Event):
-        return ("\0e", value.type, value.timestamp,
-                {key: _enc_value(item)
-                 for key, item in value.attributes.items()}, value.seq)
-    if isinstance(value, CompositeEvent):
-        return ("\0c", value.type,
-                [(key, _enc_value(item))
-                 for key, item in value.attributes.items()],
-                [(key, _enc_value(item))
-                 for key, item in value.bindings.items()],
-                value.start, value.end, value.stream, value.complete)
-    if isinstance(value, list):
-        return ("\0l", [_enc_value(item) for item in value])
-    if isinstance(value, tuple):
-        return ("\0t", [_enc_value(item) for item in value])
-    if isinstance(value, dict):
-        return ("\0d", [(key, _enc_value(item))
-                        for key, item in value.items()])
-    raise Unencodable(type(value).__name__)
-
-
-def _dec_value(value):
-    if type(value) is not tuple:
-        return value
-    tag = value[0]
-    if tag == "\0e":
-        return Event(value[1], value[2],
-                     {key: _dec_value(item)
-                      for key, item in value[3].items()}, value[4])
-    if tag == "\0c":
-        composite = CompositeEvent(
-            value[1],
-            {key: _dec_value(item) for key, item in value[2]},
-            {key: _dec_value(item) for key, item in value[3]},
-            value[4], value[5], value[6])
-        composite.complete = value[7]
-        return composite
-    if tag == "\0l":
-        return [_dec_value(item) for item in value[1]]
-    if tag == "\0t":
-        return tuple(_dec_value(item) for item in value[1])
-    if tag == "\0d":
-        return {key: _dec_value(item) for key, item in value[1]}
-    return value  # pragma: no cover - marshal never produces bare tuples
-
-
-def encode_request(message: tuple) -> bytes | None:
-    """Coordinator→worker codec; None means "use the pipe lane"."""
-    try:
-        if message[0] == "batch":
-            _, batch_id, entries = message
-            encoded = [
-                (_EVENT_ENTRY, seq,
-                 (item.type, item.timestamp, item.attributes, item.seq),
-                 gids)
-                if kind == _EVENT_ENTRY else (kind, seq, item, gids)
-                for kind, seq, item, gids in entries]
-            return marshal.dumps(("batch", batch_id, encoded))
-        return marshal.dumps(message)  # flush / stop
-    except (ValueError, TypeError):
-        return None
-
-
-def decode_request(payload: bytes) -> tuple:
-    message = marshal.loads(payload)
-    if message[0] == "batch":
-        _, batch_id, encoded = message
-        # Hot path: every routed event crosses here.  Entries are flat
-        # 4-tuples (kind, seq, item, group_ids) for both kinds, and the
-        # unmarshalled attribute dicts are fresh, so ``Event._restore``
-        # may take ownership without the constructor's defensive copy.
-        restore = Event._restore
-        entries = [
-            (_EVENT_ENTRY, seq,
-             restore(item[0], item[1], item[2], item[3]), gids)
-            if kind == _EVENT_ENTRY else (kind, seq, item, gids)
-            for kind, seq, item, gids in encoded]
-        return ("batch", batch_id, entries)
-    return message
-
-
-def encode_response(message: tuple) -> bytes | None:
-    """Worker→coordinator codec; None means "use the pipe lane"."""
-    try:
-        opcode = message[0]
-        if opcode == "batch":
-            _, shard, batch_id, tagged, delta, spans = message
-            encoded = [(seq, rank, kind, end, idx, _enc_value(result))
-                       for seq, rank, kind, end, idx, result in tagged]
-            return marshal.dumps(("batch", shard, batch_id, encoded,
-                                  delta, spans))
-        if opcode == "flush":
-            _, shard, flush_id, tagged, delta, spans = message
-            encoded = [(rank, end, idx, _enc_value(result))
-                       for rank, end, idx, result in tagged]
-            return marshal.dumps(("flush", shard, flush_id, encoded,
-                                  delta, spans))
-        return marshal.dumps(message)  # error reports
-    except (ValueError, TypeError, Unencodable):
-        return None
-
-
-def decode_response(payload: bytes) -> tuple:
-    message = marshal.loads(payload)
-    opcode = message[0]
-    if opcode == "batch":
-        _, shard, batch_id, encoded, delta, spans = message
-        tagged = [(seq, rank, kind, end, idx, _dec_value(result))
-                  for seq, rank, kind, end, idx, result in encoded]
-        return ("batch", shard, batch_id, tagged, delta, spans)
-    if opcode == "flush":
-        _, shard, flush_id, encoded, delta, spans = message
-        tagged = [(rank, end, idx, _dec_value(result))
-                  for rank, end, idx, result in encoded]
-        return ("flush", shard, flush_id, tagged, delta, spans)
-    return message
-
-
-def _frame_message(payload: bytes) -> bytes:
-    return frame(bytes((_TAG_MARSHAL,)) + payload)
-
-
-_PIPE_MARKER = frame(bytes((_TAG_PIPE,)))
 
 
 # -- endpoints ----------------------------------------------------------------

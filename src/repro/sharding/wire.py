@@ -1,0 +1,286 @@
+"""Shared wire codec for the shard transports (ring and TCP).
+
+Every shard transport carries the same messages in the same format:
+one *frame* in the WAL's record format (:func:`repro.persist.records
+.frame` — an 8-byte length+CRC32 header, then the payload), whose
+payload starts with a one-byte tag selecting the codec:
+
+``TAG_MARSHAL``
+    A ``marshal``-encoded message tuple follows inline.  Events and
+    composite events are rebuilt through small deterministic encoders;
+    ``marshal`` round-trips ints/floats/strings exactly, so merge
+    output stays bit-identical across transports.
+``TAG_PIPE``
+    Ring transport only: the message travels on the fallback
+    ``multiprocessing.Queue`` lane and this marker frame keeps the two
+    lanes totally ordered (and carries the ring's backpressure).
+``TAG_PICKLE``
+    TCP transport only: a pickled message follows inline.  The socket
+    is its own ordered lane, so payloads ``marshal`` cannot express
+    (worker specs, exotic attribute values, shipped tracer spans)
+    stay in-band instead of needing a side channel.
+
+The ring transport (:mod:`repro.sharding.transport`) frames messages
+into shared-memory rings; the remote transport
+(:mod:`repro.sharding.remote`) frames the very same bytes onto TCP
+sockets.  Both re-export this module's codec, so there is exactly one
+encode/decode path to keep deterministic.
+"""
+
+from __future__ import annotations
+
+import marshal
+import pickle
+
+from repro.events.event import CompositeEvent, Event
+from repro.persist.records import HEADER_BYTES, MAX_RECORD_BYTES, \
+    frame, iter_frames
+
+__all__ = [
+    "HEADER_BYTES", "MAX_RECORD_BYTES", "frame", "iter_frames",
+    "TAG_MARSHAL", "TAG_PIPE", "TAG_PICKLE",
+    "EVENT_ENTRY", "WATERMARK_ENTRY",
+    "Unencodable", "WireCorrupt",
+    "encode_request", "decode_request",
+    "encode_response", "decode_response",
+    "frame_message", "PIPE_MARKER",
+    "pack_message", "unpack_payload", "FrameBuffer",
+]
+
+# Frame payload tags: first byte of every framed payload.
+TAG_MARSHAL = 0x4D   # "M": marshal-encoded message follows inline
+TAG_PIPE = 0x50      # "P": the message travels on the fallback queue
+TAG_PICKLE = 0x4B    # "K": pickled message follows inline (TCP lane)
+
+# Entry opcodes, mirrored from repro.sharding.worker (which imports
+# this module through the transport, so the literals live here to avoid
+# a cycle).  They are wire format now: changing either side breaks
+# mixed-version transports.
+EVENT_ENTRY = "e"
+WATERMARK_ENTRY = "w"
+
+
+class Unencodable(Exception):
+    """The value cannot cross the marshal codec; use the fallback lane."""
+
+
+class WireCorrupt(Exception):
+    """A framed stream holds garbage: an unknown payload tag, an
+    impossible frame length, or a CRC failure on a complete frame.
+    On a stream transport this is connection-fatal (reconnect and
+    replay); it never describes a merely *incomplete* tail."""
+
+
+# -- payload codec ------------------------------------------------------------
+#
+# Messages are tuples of primitives plus Event/CompositeEvent objects.
+# The encoders map those objects onto tagged tuples marshal can carry;
+# tags start with "\0" so they cannot collide with user values (every
+# user-held tuple/list/dict is itself wrapped in a tag, so decode never
+# sees a bare container).
+
+_PRIMITIVES = (int, float, str, bool, bytes, type(None))
+
+
+def _enc_value(value):
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, Event):
+        return ("\0e", value.type, value.timestamp,
+                {key: _enc_value(item)
+                 for key, item in value.attributes.items()}, value.seq)
+    if isinstance(value, CompositeEvent):
+        return ("\0c", value.type,
+                [(key, _enc_value(item))
+                 for key, item in value.attributes.items()],
+                [(key, _enc_value(item))
+                 for key, item in value.bindings.items()],
+                value.start, value.end, value.stream, value.complete)
+    if isinstance(value, list):
+        return ("\0l", [_enc_value(item) for item in value])
+    if isinstance(value, tuple):
+        return ("\0t", [_enc_value(item) for item in value])
+    if isinstance(value, dict):
+        return ("\0d", [(key, _enc_value(item))
+                        for key, item in value.items()])
+    raise Unencodable(type(value).__name__)
+
+
+def _dec_value(value):
+    if type(value) is not tuple:
+        return value
+    tag = value[0]
+    if tag == "\0e":
+        return Event(value[1], value[2],
+                     {key: _dec_value(item)
+                      for key, item in value[3].items()}, value[4])
+    if tag == "\0c":
+        composite = CompositeEvent(
+            value[1],
+            {key: _dec_value(item) for key, item in value[2]},
+            {key: _dec_value(item) for key, item in value[3]},
+            value[4], value[5], value[6])
+        composite.complete = value[7]
+        return composite
+    if tag == "\0l":
+        return [_dec_value(item) for item in value[1]]
+    if tag == "\0t":
+        return tuple(_dec_value(item) for item in value[1])
+    if tag == "\0d":
+        return {key: _dec_value(item) for key, item in value[1]}
+    return value  # pragma: no cover - marshal never produces bare tuples
+
+
+def encode_request(message: tuple) -> bytes | None:
+    """Coordinator→worker codec; None means "use the fallback lane"."""
+    try:
+        if message[0] == "batch":
+            _, batch_id, entries = message
+            encoded = [
+                (EVENT_ENTRY, seq,
+                 (item.type, item.timestamp, item.attributes, item.seq),
+                 gids)
+                if kind == EVENT_ENTRY else (kind, seq, item, gids)
+                for kind, seq, item, gids in entries]
+            return marshal.dumps(("batch", batch_id, encoded))
+        return marshal.dumps(message)  # flush / stop / ping
+    except (ValueError, TypeError):
+        return None
+
+
+def decode_request(payload: bytes) -> tuple:
+    message = marshal.loads(payload)
+    if message[0] == "batch":
+        _, batch_id, encoded = message
+        # Hot path: every routed event crosses here.  Entries are flat
+        # 4-tuples (kind, seq, item, group_ids) for both kinds, and the
+        # unmarshalled attribute dicts are fresh, so ``Event._restore``
+        # may take ownership without the constructor's defensive copy.
+        restore = Event._restore
+        entries = [
+            (EVENT_ENTRY, seq,
+             restore(item[0], item[1], item[2], item[3]), gids)
+            if kind == EVENT_ENTRY else (kind, seq, item, gids)
+            for kind, seq, item, gids in encoded]
+        return ("batch", batch_id, entries)
+    return message
+
+
+def encode_response(message: tuple) -> bytes | None:
+    """Worker→coordinator codec; None means "use the fallback lane"."""
+    try:
+        opcode = message[0]
+        if opcode == "batch":
+            _, shard, batch_id, tagged, delta, spans = message
+            encoded = [(seq, rank, kind, end, idx, _enc_value(result))
+                       for seq, rank, kind, end, idx, result in tagged]
+            return marshal.dumps(("batch", shard, batch_id, encoded,
+                                  delta, spans))
+        if opcode == "flush":
+            _, shard, flush_id, tagged, delta, spans = message
+            encoded = [(rank, end, idx, _enc_value(result))
+                       for rank, end, idx, result in tagged]
+            return marshal.dumps(("flush", shard, flush_id, encoded,
+                                  delta, spans))
+        return marshal.dumps(message)  # error reports / pong
+    except (ValueError, TypeError, Unencodable):
+        return None
+
+
+def decode_response(payload: bytes) -> tuple:
+    message = marshal.loads(payload)
+    opcode = message[0]
+    if opcode == "batch":
+        _, shard, batch_id, encoded, delta, spans = message
+        tagged = [(seq, rank, kind, end, idx, _dec_value(result))
+                  for seq, rank, kind, end, idx, result in encoded]
+        return ("batch", shard, batch_id, tagged, delta, spans)
+    if opcode == "flush":
+        _, shard, flush_id, encoded, delta, spans = message
+        tagged = [(rank, end, idx, _dec_value(result))
+                  for rank, end, idx, result in encoded]
+        return ("flush", shard, flush_id, tagged, delta, spans)
+    return message
+
+
+def frame_message(payload: bytes) -> bytes:
+    """One ring frame: a marshal-tagged payload in the record format."""
+    return frame(bytes((TAG_MARSHAL,)) + payload)
+
+
+#: The ring's fallback marker: a tiny frame that says "the next message
+#: of this lane travels on the multiprocessing queue".
+PIPE_MARKER = frame(bytes((TAG_PIPE,)))
+
+
+# -- stream (TCP) framing -----------------------------------------------------
+
+def pack_message(message: tuple, encoder) -> bytes:
+    """Frame one message for a stream transport: the marshal codec when
+    it can express the message, the in-band pickle lane otherwise.  The
+    returned bytes are self-describing — :func:`unpack_payload` inverts
+    either tag."""
+    payload = encoder(message)
+    if payload is not None:
+        return frame(bytes((TAG_MARSHAL,)) + payload)
+    return frame(bytes((TAG_PICKLE,))
+                 + pickle.dumps(message, pickle.HIGHEST_PROTOCOL))
+
+
+def unpack_payload(payload: bytes, decoder) -> tuple:
+    """Decode one frame payload produced by :func:`pack_message`."""
+    tag = payload[0] if payload else -1
+    if tag == TAG_MARSHAL:
+        return decoder(payload[1:])
+    if tag == TAG_PICKLE:
+        return pickle.loads(payload[1:])
+    raise WireCorrupt(f"unknown frame tag {tag:#x}")
+
+
+class FrameBuffer:
+    """Incremental frame parser for stream transports.
+
+    A TCP read may end anywhere — mid-header, mid-payload — so unlike
+    :func:`iter_frames` over a ring snapshot, an unparsable *tail* here
+    is the normal case (more bytes are coming), while a complete frame
+    that fails its CRC or claims an impossible length is genuine
+    corruption and raises :class:`WireCorrupt`.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def pending(self) -> int:
+        return len(self._data)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Append *data*; return the payloads of every frame that is now
+        complete (in order).  Raises :class:`WireCorrupt` on a corrupt
+        complete frame."""
+        self._data += data
+        payloads: list[bytes] = []
+        consumed = 0
+        view = self._data
+        total = len(view)
+        while consumed + HEADER_BYTES <= total:
+            header = bytes(view[consumed:consumed + HEADER_BYTES])
+            length = int.from_bytes(header[:4], "little")
+            if length > MAX_RECORD_BYTES:
+                raise WireCorrupt(
+                    f"frame claims {length} bytes "
+                    f"(cap {MAX_RECORD_BYTES})")
+            end = consumed + HEADER_BYTES + length
+            if end > total:
+                break  # incomplete: wait for more bytes
+            framed = bytes(view[consumed:end])
+            decoded = list(iter_frames(framed))
+            if not decoded:
+                raise WireCorrupt(
+                    f"CRC mismatch on a {length}-byte frame")
+            payloads.append(decoded[0][1])
+            consumed = end
+        if consumed:
+            del self._data[:consumed]
+        return payloads

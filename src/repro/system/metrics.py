@@ -167,6 +167,49 @@ class ShardMetrics:
     # idle; a spin-heavy one means responses arrive promptly.
     spin_waits: int = 0
     park_waits: int = 0
+    # Remote-backend connection counters (zero elsewhere).  Reconnects
+    # count sessions established after the first; heartbeats count pong
+    # round-trips, whose RTTs feed a bounded reservoir; inflight is the
+    # momentary credit usage (a gauge, not a counter).
+    remote_reconnects: int = 0
+    remote_heartbeats: int = 0
+    remote_bytes_sent: int = 0
+    remote_bytes_received: int = 0
+    remote_inflight: int = 0
+    _rtt_samples: list = field(default_factory=list, repr=False)
+    _rtt_sampled: int = field(default=0, repr=False)
+    _rtt_rng_state: int = field(default=1, repr=False)
+
+    def observe_rtt(self, seconds: float) -> None:
+        """Sample one heartbeat round-trip into the bounded reservoir
+        (same Algorithm R + LCG scheme as the latency reservoir)."""
+        seen = self._rtt_sampled + 1
+        if len(self._rtt_samples) < _RESERVOIR_SIZE:
+            self._rtt_samples.append(seconds)
+        else:
+            self._rtt_rng_state = \
+                (_LCG_A * self._rtt_rng_state + _LCG_C) % _LCG_M
+            slot = (self._rtt_rng_state * seen) >> 32
+            if slot < _RESERVOIR_SIZE:
+                self._rtt_samples[slot] = seconds
+        self._rtt_sampled = seen
+
+    def rtt_percentile(self, fraction: float) -> float:
+        """A heartbeat RTT percentile (seconds) over the reservoir."""
+        if not self._rtt_samples:
+            return 0.0
+        ordered = sorted(self._rtt_samples)
+        index = min(len(ordered) - 1,
+                    max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def remote_rtt_p50(self) -> float:
+        return self.rtt_percentile(0.50)
+
+    @property
+    def remote_rtt_p95(self) -> float:
+        return self.rtt_percentile(0.95)
 
 
 @dataclass
@@ -243,6 +286,17 @@ class MetricsCollector:
                     f"{shard.pipe_fallbacks} pipe fallbacks, "
                     f"{shard.spin_waits} spins / "
                     f"{shard.park_waits} parks")
+            if shard.remote_bytes_sent or shard.remote_bytes_received \
+                    or shard.remote_reconnects:
+                lines.append(
+                    f"shard {shard.shard_id} remote: "
+                    f"{shard.remote_bytes_sent} B out / "
+                    f"{shard.remote_bytes_received} B in, "
+                    f"{shard.remote_reconnects} reconnects, "
+                    f"{shard.remote_heartbeats} heartbeats "
+                    f"(rtt p50 {shard.remote_rtt_p50 * 1e6:.0f} us, "
+                    f"p95 {shard.remote_rtt_p95 * 1e6:.0f} us), "
+                    f"{shard.remote_inflight} in flight")
             if (shard.worker_hangs or shard.events_shed
                     or shard.events_lost or shard.breaker_opens):
                 lines.append(

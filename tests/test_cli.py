@@ -179,3 +179,75 @@ class TestScenarios:
         code, text = run_cli("bench", "--events", "400", "--window", "10")
         assert code == 0
         assert "optimized" in text and "events/s" in text
+
+
+class TestShardArgHardening:
+    """Usage errors in the shard arguments must exit 2 eagerly — with
+    one 'error:' line, before any manifest write, worker spawn, or
+    socket connect (PR 5 convention)."""
+
+    DEMO = ("demo", "--products", "12", "--shoppers", "2",
+            "--shoplifters", "1", "--misplacements", "1",
+            "--noise", "none", "--seed", "5")
+
+    def test_remote_without_workers_exits_2(self):
+        code, text = run_cli(*self.DEMO, "--shard-backend", "remote")
+        assert code == 2
+        assert text.startswith("error:") and "--shard-workers" in text
+
+    @pytest.mark.parametrize("workers", [
+        "nonsense", "host:", ":9000", "host:abc", "host:0",
+        "host:99999", "a:1,,b:2", " ",
+    ])
+    def test_malformed_workers_exit_2(self, workers):
+        code, text = run_cli(*self.DEMO, "--shard-backend", "remote",
+                             "--shard-workers", workers)
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_workers_without_remote_backend_exit_2(self):
+        code, text = run_cli(*self.DEMO, "--shards", "2",
+                             "--shard-backend", "process",
+                             "--shard-workers", "127.0.0.1:9000")
+        assert code == 2
+        assert "only applies to" in text
+
+    def test_worker_count_mismatch_exits_2(self):
+        code, text = run_cli(*self.DEMO, "--shards", "3",
+                             "--shard-backend", "remote",
+                             "--shard-workers",
+                             "127.0.0.1:9000,127.0.0.1:9001")
+        assert code == 2
+        assert "does not match" in text
+
+    def test_unknown_backend_and_transport_exit_2(self):
+        # argparse rejects unknown choices with the same exit code 2.
+        with pytest.raises(SystemExit) as info:
+            run_cli(*self.DEMO, "--shard-backend", "bogus")
+        assert info.value.code == 2
+        with pytest.raises(SystemExit) as info:
+            run_cli(*self.DEMO, "--shards", "2",
+                    "--shard-backend", "process",
+                    "--shard-transport", "bogus")
+        assert info.value.code == 2
+
+    def test_bad_workers_leave_no_manifest(self, tmp_path):
+        # Eager: the data directory must stay untouched on a usage
+        # error, so a later correct run is not pinned to garbage.
+        data_dir = tmp_path / "demo-data"
+        code, text = run_cli(*self.DEMO, "--shard-backend", "remote",
+                             "--shard-workers", "host:abc",
+                             "--data-dir", str(data_dir))
+        assert code == 2
+        assert not (data_dir / "manifest.json").exists()
+
+    def test_worker_port_out_of_range_exits_2(self):
+        code, text = run_cli("worker", "--port", "70000")
+        assert code == 2
+        assert "out of range" in text
+
+    def test_trace_validates_shard_workers_too(self):
+        code, text = run_cli("trace", "--shard-backend", "remote",
+                             "--shard-workers", "host:abc")
+        assert code == 2
+        assert text.startswith("error:")

@@ -441,6 +441,42 @@ class TestMetricsExport:
                      if metric == "sase_shard_events_routed_total")
         assert routed == 9.0
 
+    def test_remote_gauges_round_trip(self, registry):
+        # The remote-backend connection metrics render in both formats
+        # and survive the Prometheus parser, like every other gauge.
+        from repro.obs.export import collector_snapshot
+        from repro.system.metrics import MetricsCollector
+        collector = MetricsCollector()
+        shard = collector.shard(0)
+        shard.remote_reconnects = 2
+        shard.remote_heartbeats = 5
+        shard.remote_bytes_sent = 1234
+        shard.remote_bytes_received = 987
+        shard.remote_inflight = 3
+        shard.observe_rtt(0.002)
+        shard.observe_rtt(0.004)
+        snapshot = collector_snapshot(collector)
+        entry = snapshot["shards"]["0"]
+        assert entry["remote_reconnects"] == 2
+        assert entry["remote_inflight"] == 3
+        assert entry["remote_rtt_p50_seconds"] > 0
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        labels = (("shard", "0"),)
+        assert parsed[("sase_shard_remote_reconnects_total",
+                       labels)] == 2.0
+        assert parsed[("sase_shard_remote_heartbeats_total",
+                       labels)] == 5.0
+        assert parsed[("sase_shard_remote_bytes_sent_total",
+                       labels)] == 1234.0
+        assert parsed[("sase_shard_remote_bytes_received_total",
+                       labels)] == 987.0
+        assert parsed[("sase_shard_remote_inflight", labels)] == 3.0
+        p50 = parsed[("sase_shard_remote_rtt_seconds",
+                      (("quantile", "0.5"), ("shard", "0")))]
+        p95 = parsed[("sase_shard_remote_rtt_seconds",
+                      (("quantile", "0.95"), ("shard", "0")))]
+        assert 0 < p50 <= p95
+
     def test_label_escaping_round_trips(self):
         snapshot = {"queries": {'we"ird\nname\\q': {
             "events_in": 1, "results_out": 0, "busy_seconds": 0.0,

@@ -117,6 +117,29 @@ def test_sigkill_recovery_matrix(shards, backend, transport, oracle,
                      shard_args(shards, backend, transport), oracle)
 
 
+def test_sigkill_recovery_remote_backend(oracle, tmp_path):
+    """Whole-group SIGKILL with the remote backend: the coordinator and
+    the localhost workers it spawned die together mid-stream.  The
+    resume run re-spawns workers on the same (manifest-pinned) ports
+    and must converge to the oracle's exact state."""
+    import socket
+
+    sockets, ports = [], []
+    for _ in range(2):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        sockets.append(listener)
+        ports.append(listener.getsockname()[1])
+    for listener in sockets:
+        listener.close()
+    workers = ",".join(f"127.0.0.1:{port}" for port in ports)
+    total = oracle["total_events"]
+    offset = random.Random("remote").randint(5, total - 5)
+    crash_and_resume(str(tmp_path), offset,
+                     ["--shards", "2", "--shard-backend", "remote",
+                      "--shard-workers", workers], oracle)
+
+
 def test_sigkill_at_many_offsets(oracle, tmp_path):
     """Sweep crash points across the stream on the single-process
     pipeline, including immediately after the first append and right

@@ -16,7 +16,10 @@ import time
 import pytest
 
 from repro.errors import SaseError
+from repro.events.event import Event
+from repro.events.model import AttributeType, SchemaRegistry
 from repro.sharding import ShardingConfig
+from repro.sharding.transport import MIN_RING_BYTES
 from repro.system import ComplexEventProcessor
 from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
     seq_query
@@ -138,6 +141,83 @@ class TestProcessWorkerCrash:
         processor.feed(stream.events[0])
         assert processor._router.worker_pids() == {}
         processor.flush()
+
+
+class TestRingFallbackLaneCrash:
+    """The ring's Queue fallback lane under crash interleaving: batches
+    too big for the ring travel marker-then-queue, and a worker
+    SIGKILLed while that lane is active must still converge to the
+    single-process output byte-for-byte (journal replay re-sends the
+    fallback batches through the same two-lane path)."""
+
+    @staticmethod
+    def blob_stream(n_events=240, blob_every=7, blob_bytes=80_000):
+        """A stream whose periodic huge string attribute makes any
+        batch containing it overflow a minimum-size ring."""
+        import random as random_module
+        registry = SchemaRegistry()
+        for name in ("A", "B"):
+            registry.declare(name, id=AttributeType.INT,
+                             blob=AttributeType.STRING)
+        rng = random_module.Random(13)
+        events = []
+        for index in range(n_events):
+            blob = "x" * (blob_bytes if index % blob_every == 0 else 4)
+            events.append(Event("A" if index % 2 == 0 else "B",
+                                float(index),
+                                {"id": rng.randrange(6), "blob": blob}))
+        return registry, events
+
+    def build_pair(self, registry, sharding):
+        processor = ComplexEventProcessor(registry, sharding=sharding)
+        processor.register("pair",
+                           seq_query(2, window=5.0, partitioned=True))
+        return processor
+
+    def run_pair(self, registry, events, sharding, kill_at=None):
+        processor = self.build_pair(registry, sharding)
+        produced = []
+        for index, event in enumerate(events):
+            produced.extend(processor.feed(event))
+            if kill_at is not None and index == kill_at:
+                pids = processor._router.worker_pids()
+                os.kill(pids[0], signal.SIGKILL)
+        produced.extend(processor.flush())
+        return fingerprint(produced), processor.metrics
+
+    def ring_config(self):
+        return ShardingConfig(shards=2, backend="process",
+                              batch_size=4, queue_capacity=4,
+                              response_timeout=30.0, transport="ring",
+                              ring_bytes=MIN_RING_BYTES)
+
+    def test_oversized_batches_use_fallback_lane(self):
+        registry, events = self.blob_stream()
+        baseline, _ = self.run_pair(registry, events, None)
+        result, metrics = self.run_pair(registry, events,
+                                        self.ring_config())
+        assert result == baseline
+        fallbacks = sum(shard.pipe_fallbacks
+                        for shard in metrics.shards.values())
+        assert fallbacks > 0
+
+    @pytest.mark.parametrize("kill_at", [29, 113])
+    def test_crash_while_fallback_lane_active(self, kill_at):
+        # kill_at lands just after a blob event (index % 7 == 0), so
+        # the dying worker can be mid-way through a marker/queue pair;
+        # replay must re-deliver through both lanes without skew.
+        registry, events = self.blob_stream()
+        baseline, _ = self.run_pair(registry, events, None)
+        result, metrics = self.run_pair(registry, events,
+                                        self.ring_config(),
+                                        kill_at=kill_at)
+        assert result == baseline
+        fallbacks = sum(shard.pipe_fallbacks
+                        for shard in metrics.shards.values())
+        restarts = sum(shard.worker_restarts
+                       for shard in metrics.shards.values())
+        assert fallbacks > 0
+        assert restarts >= 1
 
 
 class TestBackpressure:

@@ -1,0 +1,282 @@
+"""The distributed shard tier: TCP workers behind the remote backend.
+
+Differential guarantee first: for 1/2/4 localhost workers and the
+pair/kleene/trailing-negation query mix, the remote backend's ordered
+output must be bit-identical to the single-process runtime — including
+watermark-released trailing-negation matches.  Then the failure
+ladder: a SIGKILLed owned worker must respawn and replay its journal
+without losing or duplicating a result, and an external daemon must
+survive coordinator sessions back to back (fresh core per accept).
+The wire layer (stream framing, pickle fallback lane, corruption
+detection) is covered at unit level.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import SaseError
+from repro.persist.records import frame
+from repro.sharding import ShardingConfig
+from repro.sharding.remote import RemoteBackend, WorkerDaemon, \
+    parse_endpoint, parse_endpoints
+from repro.sharding.wire import FrameBuffer, WireCorrupt, \
+    decode_request, encode_request, pack_message, unpack_payload
+from repro.system import ComplexEventProcessor
+from repro.workloads.synthetic import SyntheticConfig, SyntheticStream, \
+    seq_query
+
+KLEENE_QUERY = ("EVENT SEQ(A a, B+ b, C c)\n"
+                "WHERE a.id = b.id AND a.id = c.id\n"
+                "WITHIN 5 seconds\nRETURN a.id")
+
+
+@pytest.fixture(scope="module")
+def stream() -> SyntheticStream:
+    return SyntheticStream.generate(SyntheticConfig(
+        n_events=400, n_types=4, id_domain=8, seed=11))
+
+
+def fingerprint(results):
+    return [(name, result.start, result.end,
+             tuple(sorted(result.attributes.items())))
+            for name, result in results]
+
+
+def build(registry, sharding):
+    processor = ComplexEventProcessor(registry, sharding=sharding)
+    processor.register("pair",
+                       seq_query(2, window=5.0, partitioned=True))
+    processor.register("kleene", KLEENE_QUERY)
+    # negation_at == length: trailing negation, released by watermarks.
+    processor.register("negtrail",
+                       seq_query(2, window=5.0, partitioned=True,
+                                 negation_at=2))
+    return processor
+
+
+def run(registry, events, sharding, kill_at=None, kill_shard=0):
+    processor = build(registry, sharding)
+    produced = []
+    for index, event in enumerate(events):
+        produced.extend(processor.feed(event))
+        if kill_at is not None and index == kill_at:
+            pids = processor._router.worker_pids()
+            os.kill(pids[kill_shard], signal.SIGKILL)
+    produced.extend(processor.flush())
+    return fingerprint(produced), processor.metrics
+
+
+@pytest.fixture(scope="module")
+def baseline(stream):
+    result, _ = run(stream.registry, stream.events, None)
+    return result
+
+
+def start_daemons(count):
+    """In-thread worker daemons on ephemeral ports (external workers:
+    the coordinator never owns or spawns them)."""
+    daemons = []
+    for _ in range(count):
+        daemon = WorkerDaemon("127.0.0.1", 0)
+        daemon.bind()
+        threading.Thread(target=daemon.serve, daemon=True).start()
+        daemons.append(daemon)
+    return daemons
+
+
+def remote_config(daemons, **overrides):
+    options = dict(shards=len(daemons), backend="remote",
+                   batch_size=16, queue_capacity=4,
+                   response_timeout=30.0,
+                   workers=tuple(f"127.0.0.1:{daemon.port}"
+                                 for daemon in daemons))
+    options.update(overrides)
+    return ShardingConfig(**options)
+
+
+def free_ports(count):
+    """Ports that are free right now — endpoints for owned (spawned)
+    workers."""
+    sockets, ports = [], []
+    for _ in range(count):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        sockets.append(listener)
+        ports.append(listener.getsockname()[1])
+    for listener in sockets:
+        listener.close()
+    return ports
+
+
+class TestRemoteDifferential:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_output_identical_to_single_process(self, stream, baseline,
+                                                shards):
+        daemons = start_daemons(shards)
+        try:
+            result, metrics = run(stream.registry, stream.events,
+                                  remote_config(daemons))
+        finally:
+            for daemon in daemons:
+                daemon.shutdown()
+        assert result == baseline
+        sent = sum(shard.remote_bytes_sent
+                   for shard in metrics.shards.values())
+        received = sum(shard.remote_bytes_received
+                       for shard in metrics.shards.values())
+        assert sent > 0 and received > 0
+
+    def test_daemon_reaccepts_sessions_with_fresh_state(self, stream,
+                                                        baseline):
+        # Two full coordinator sessions against the same daemons: the
+        # re-accept path must rebuild a clean worker core each time, or
+        # the second run would double-produce.
+        daemons = start_daemons(2)
+        try:
+            first, _ = run(stream.registry, stream.events,
+                           remote_config(daemons))
+            second, _ = run(stream.registry, stream.events,
+                            remote_config(daemons))
+        finally:
+            for daemon in daemons:
+                daemon.shutdown()
+        assert first == baseline
+        assert second == baseline
+
+
+class TestRemoteFailover:
+    def test_sigkill_owned_worker_replays_journal(self, stream,
+                                                  baseline):
+        # Nothing listens on these ports, so the coordinator spawns
+        # (and supervises) 'repro worker' subprocesses for them.
+        workers = tuple(f"127.0.0.1:{port}" for port in free_ports(2))
+        sharding = ShardingConfig(shards=2, backend="remote",
+                                  batch_size=16, queue_capacity=4,
+                                  response_timeout=30.0,
+                                  workers=workers)
+        recovered, metrics = run(stream.registry, stream.events,
+                                 sharding, kill_at=200)
+        assert recovered == baseline
+        restarts = sum(shard.worker_restarts
+                       for shard in metrics.shards.values())
+        replayed = sum(shard.batches_replayed
+                       for shard in metrics.shards.values())
+        reconnects = sum(shard.remote_reconnects
+                         for shard in metrics.shards.values())
+        assert restarts >= 1
+        assert replayed >= 1
+        assert reconnects >= 1
+
+    def test_heartbeats_fire_on_idle_connections(self, stream, baseline,
+                                                 monkeypatch):
+        monkeypatch.setattr(RemoteBackend, "heartbeat_interval", 0.01)
+        daemons = start_daemons(2)
+        try:
+            processor = build(stream.registry, remote_config(daemons))
+            produced = []
+            for event in stream.events[:120]:
+                produced.extend(processor.feed(event))
+            # Let the connections go idle past the heartbeat interval;
+            # the next drains ping and collect the pongs.
+            time.sleep(0.1)
+            for event in stream.events[120:]:
+                produced.extend(processor.feed(event))
+            produced.extend(processor.flush())
+        finally:
+            for daemon in daemons:
+                daemon.shutdown()
+        assert fingerprint_matches(produced, baseline)
+        heartbeats = sum(shard.remote_heartbeats
+                         for shard in processor.metrics.shards.values())
+        assert heartbeats >= 1
+        rtts = [shard.remote_rtt_p50
+                for shard in processor.metrics.shards.values()
+                if shard.remote_heartbeats]
+        assert rtts and all(rtt > 0 for rtt in rtts)
+
+
+def fingerprint_matches(produced, baseline):
+    return fingerprint(produced) == baseline
+
+
+class TestWireLayer:
+    def test_framebuffer_reassembles_byte_by_byte(self):
+        messages = [("flush", index) for index in range(5)]
+        data = b"".join(pack_message(message, encode_request)
+                        for message in messages)
+        buffer = FrameBuffer()
+        decoded = []
+        for index in range(len(data)):
+            for payload in buffer.feed(data[index:index + 1]):
+                decoded.append(unpack_payload(payload, decode_request))
+        assert decoded == messages
+        assert buffer.pending() == 0
+
+    def test_framebuffer_rejects_corrupt_complete_frame(self):
+        data = bytearray(pack_message(("flush", 1), encode_request))
+        data[-1] ^= 0xFF  # flip a payload byte under the CRC
+        with pytest.raises(WireCorrupt):
+            FrameBuffer().feed(bytes(data))
+
+    def test_framebuffer_rejects_absurd_length(self):
+        header = (2 ** 31).to_bytes(4, "little") + b"\0\0\0\0"
+        with pytest.raises(WireCorrupt):
+            FrameBuffer().feed(header)
+
+    def test_pickle_lane_carries_what_marshal_cannot(self):
+        message = ("spec", 0, Opaque(7), 3)
+        data = pack_message(message, encode_request)
+        buffer = FrameBuffer()
+        (payload,) = buffer.feed(data)
+        assert unpack_payload(payload, decode_request) == message
+
+    def test_unknown_tag_is_corruption(self):
+        payload = frame(b"\x7fgarbage")
+        (raw,) = FrameBuffer().feed(payload)
+        with pytest.raises(WireCorrupt):
+            unpack_payload(raw, decode_request)
+
+
+class Opaque:
+    """Picklable but not marshalable: forces the pickle lane."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Opaque) and other.value == self.value
+
+    def __hash__(self):
+        return hash(self.value)
+
+
+class TestEndpointParsing:
+    def test_parses_and_normalizes(self):
+        assert parse_endpoints(" 127.0.0.1:9001 ,localhost:9002") == \
+            ("127.0.0.1:9001", "localhost:9002")
+        assert parse_endpoint("example.com:80") == ("example.com", 80)
+
+    @pytest.mark.parametrize("bad", [
+        "", "  ", "127.0.0.1", "host:", ":9000", "host:abc",
+        "host:0", "host:70000", "a:1,,b:2",
+    ])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(SaseError):
+            parse_endpoints(bad)
+
+    def test_config_requires_matching_worker_count(self):
+        with pytest.raises(SaseError):
+            ShardingConfig(shards=2, backend="remote",
+                           workers=("127.0.0.1:9000",))
+        with pytest.raises(SaseError):
+            ShardingConfig(shards=2, backend="remote")
+        with pytest.raises(SaseError):
+            ShardingConfig(shards=2, backend="process",
+                           workers=("127.0.0.1:9000", "127.0.0.1:9001"))
