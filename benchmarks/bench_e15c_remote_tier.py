@@ -62,7 +62,7 @@ def remote_config(shards: int) -> ShardingConfig:
     workers = tuple(f"127.0.0.1:{port}" for port in free_ports(shards))
     return ShardingConfig(shards=shards, backend="remote",
                           batch_size=64, queue_capacity=8,
-                          workers=workers)
+                          workers=workers, secret="bench-secret")
 
 
 def run_once(stream: SyntheticStream,

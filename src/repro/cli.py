@@ -123,6 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            "per shard (start each with 'repro worker'; "
                            "localhost endpoints nothing listens on are "
                            "spawned and supervised automatically)")
+    demo.add_argument("--shard-secret", metavar="SECRET",
+                      help="remote backend only: shared secret keying "
+                           "the worker handshake — a literal, env:NAME, "
+                           "or file:PATH (give every 'repro worker' the "
+                           "same one)")
     demo.add_argument("--data-dir", metavar="DIR",
                       help="durable persistence: write-ahead log, "
                            "checkpoints, and the match log live here; "
@@ -177,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--shard-transport", choices=TRANSPORTS,
                        default="ring")
     trace.add_argument("--shard-workers", metavar="HOST:PORT,...")
+    trace.add_argument("--shard-secret", metavar="SECRET")
     trace.add_argument("--limit", type=int, default=12,
                        help="show at most N traces (default: 12)")
     trace.add_argument("--jsonl", metavar="PATH",
@@ -194,6 +200,11 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--fsync", default="every_n:64",
                          metavar="POLICY",
                          help="fsync cadence for the recovered logs")
+    recover.add_argument("--shard-secret", metavar="SECRET",
+                         help="shared worker secret, needed when the "
+                              "recovered manifest uses the remote "
+                              "backend (secrets are never written to "
+                              "the manifest)")
     recover.set_defaults(handler=_cmd_recover)
 
     warehouse = commands.add_parser(
@@ -316,6 +327,16 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--once", action="store_true",
                         help="exit after the first coordinator "
                              "session instead of re-accepting")
+    worker.add_argument("--shard-secret", metavar="SECRET",
+                        help="shared secret the coordinator must prove "
+                             "(literal, env:NAME, or file:PATH); "
+                             "required")
+    worker.add_argument("--chaos", metavar="SPEC",
+                        help="arm net.* fault sites on this worker's "
+                             "side of each session (for network chaos "
+                             "testing)")
+    worker.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the worker-side chaos schedule")
     worker.set_defaults(handler=_cmd_worker)
 
     return parser
@@ -340,7 +361,8 @@ def _demo_params(args: argparse.Namespace) -> dict[str, Any]:
             for key in _DEMO_PARAM_KEYS}
 
 
-def _validate_shard_params(params: dict[str, Any]) -> None:
+def _validate_shard_params(params: dict[str, Any],
+                           secret: str | None = None) -> None:
     """Usage-error validation of the shard arguments, eagerly — before
     any manifest is written, worker spawned, or socket connected — so
     a typo exits 2 without side effects.  Normalizes ``shards`` to the
@@ -359,7 +381,8 @@ def _validate_shard_params(params: dict[str, Any]) -> None:
         if not workers:
             raise SaseError("--shard-backend remote needs "
                             "--shard-workers HOST:PORT[,HOST:PORT...]")
-        from repro.sharding.remote import parse_endpoints
+        from repro.sharding.remote import parse_endpoints, \
+            resolve_secret
         endpoints = parse_endpoints(workers)
         if params.get("shards", 1) == 1:
             params["shards"] = len(endpoints)
@@ -367,15 +390,32 @@ def _validate_shard_params(params: dict[str, Any]) -> None:
             raise SaseError(
                 f"--shards {params['shards']} does not match the "
                 f"{len(endpoints)} endpoint(s) in --shard-workers")
+        if secret is None:
+            raise SaseError(
+                "--shard-backend remote needs --shard-secret "
+                "(a literal, env:NAME, or file:PATH shared with "
+                "every worker)")
+        resolve_secret(secret)  # unset env var / missing file: exit 2
     elif workers:
         raise SaseError("--shard-workers only applies to "
                         "--shard-backend remote")
+    elif secret is not None:
+        raise SaseError("--shard-secret only applies to "
+                        "--shard-backend remote")
+    chaos = params.get("chaos")
+    if chaos:
+        from repro.resilience.chaos import ChaosConfig
+        config = ChaosConfig.parse(chaos, params.get("chaos_seed", 0))
+        if config.armed("net.") and backend != "remote":
+            raise SaseError("net.* chaos sites only apply to "
+                            "--shard-backend remote")
 
 
 def _build_demo_system(params: dict[str, Any],
                        persistence: PersistenceConfig | None = None,
                        dead_letter_path: str | None = None,
-                       ingest_batch: int = 1) \
+                       ingest_batch: int = 1,
+                       shard_secret: str | None = None) \
         -> tuple[RetailScenario, SaseSystem]:
     """The retail demo stack, reconstructible from a manifest: scenario,
     system, and the standard query/rule set."""
@@ -392,7 +432,9 @@ def _build_demo_system(params: dict[str, Any],
         sharding = ShardingConfig(
             shards=params["shards"], backend=params["shard_backend"],
             transport=params.get("shard_transport", "ring"),
-            workers=workers or ())
+            workers=workers or (),
+            secret=(shard_secret
+                    if params["shard_backend"] == "remote" else None))
     resilience = None
     if params.get("chaos") or dead_letter_path \
             or params.get("shed", "block") != "block":
@@ -492,7 +534,7 @@ def _print_resilience_summary(system: SaseSystem, out: TextIO) -> None:
 
 def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
     params = _demo_params(args)
-    _validate_shard_params(params)
+    _validate_shard_params(params, secret=args.shard_secret)
     persistence = None
     if args.data_dir:
         _check_manifest(args.data_dir, params)
@@ -510,7 +552,7 @@ def _cmd_demo(args: argparse.Namespace, out: TextIO) -> None:
     # different batch size.
     scenario, system = _build_demo_system(
         params, persistence, dead_letter_path=args.dead_letter,
-        ingest_batch=args.batch)
+        ingest_batch=args.batch, shard_secret=args.shard_secret)
     if args.trace_out:
         system.enable_tracing()
     report = system.recover() if persistence is not None else None
@@ -569,7 +611,8 @@ def _cmd_recover(args: argparse.Namespace, out: TextIO) -> None:
     params = _read_manifest(args.data_dir)
     persistence = PersistenceConfig(data_dir=args.data_dir,
                                     fsync=FsyncPolicy.parse(args.fsync))
-    _, system = _build_demo_system(params, persistence)
+    _, system = _build_demo_system(params, persistence,
+                                   shard_secret=args.shard_secret)
     report = system.recover()
     restored = "no checkpoint" if report.checkpoint_lsn is None \
         else f"checkpoint at lsn {report.checkpoint_lsn}"
@@ -602,7 +645,7 @@ def _cmd_trace(args: argparse.Namespace, out: TextIO) -> None:
                     "shard_backend": args.shard_backend,
                     "shard_transport": args.shard_transport,
                     "shard_workers": args.shard_workers}
-    _validate_shard_params(shard_params)
+    _validate_shard_params(shard_params, secret=args.shard_secret)
     scenario = RetailScenario.generate(RetailConfig(
         n_products=args.products, n_shoppers=args.shoppers,
         n_shoplifters=args.shoplifters, n_misplacements=1,
@@ -616,7 +659,10 @@ def _cmd_trace(args: argparse.Namespace, out: TextIO) -> None:
         sharding = ShardingConfig(shards=shard_params["shards"],
                                   backend=args.shard_backend,
                                   transport=args.shard_transport,
-                                  workers=workers)
+                                  workers=workers,
+                                  secret=(args.shard_secret
+                                          if args.shard_backend
+                                          == "remote" else None))
     system = SaseSystem(scenario.layout, scenario.ons, sharding=sharding)
     # A full retail run emits far more spans than the default ring; keep
     # enough history that early RETURN traces survive to the report.
@@ -737,8 +783,14 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> None:
 def _cmd_worker(args: argparse.Namespace, out: TextIO) -> None:
     if not 0 <= args.port <= 65535:
         raise SaseError(f"--port {args.port} is out of range (0-65535)")
-    from repro.sharding.remote import run_worker
-    run_worker(args.host, args.port, once=args.once, out=out)
+    from repro.sharding.remote import resolve_secret, run_worker
+    secret = resolve_secret(args.shard_secret)  # eager: exit 2
+    if args.chaos:
+        from repro.resilience.chaos import ChaosConfig
+        ChaosConfig.parse(args.chaos, args.chaos_seed)  # eager: exit 2
+    run_worker(args.host, args.port, once=args.once, out=out,
+               secret=secret, chaos=args.chaos,
+               chaos_seed=args.chaos_seed)
 
 
 def _cmd_deadletter(args: argparse.Namespace, out: TextIO) -> None:

@@ -98,6 +98,15 @@ _SHARD_COUNTERS = (
      "Bytes written to the remote worker's TCP connection"),
     ("sase_shard_remote_bytes_received_total", "remote_bytes_received",
      "Bytes read from the remote worker's TCP connection"),
+    ("sase_shard_reconnect_backoff_ms_total", "reconnect_backoff_ms",
+     "Milliseconds spent in jittered reconnect backoff for the "
+     "worker connection"),
+    ("sase_shard_remote_auth_failures_total", "remote_auth_failures",
+     "Worker handshakes that failed authentication or version "
+     "negotiation"),
+    ("sase_shard_remote_partitions_total", "remote_partitions",
+     "Failovers where the worker link outlived the reconnect budget "
+     "(degraded as partitioned)"),
 )
 _SHARD_GAUGES = (
     ("sase_shard_remote_inflight", "remote_inflight",

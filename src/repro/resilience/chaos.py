@@ -24,6 +24,15 @@ Spec grammar (comma-separated clauses)::
 
 Examples: ``ingest.corrupt=0.01``, ``wal.write@3``, ``worker.crash@2*``,
 ``worker.slow=0.5:0.02``.
+
+The ``net.*`` sites target the remote shard tier's TCP links (both the
+coordinator's and — via ``repro worker --chaos`` — the daemon's side of
+each connection).  They fire through the same seeded per-scope,
+per-incarnation counting as every other site, so a partition/reconnect
+chaos run replays its journal and converges byte-identically:
+``net.drop_conn@3`` severs the third send once, ``net.delay=0.2:0.005``
+delays a fifth of sends by 5 ms, ``net.partition@2:0.5`` drops the
+second send and refuses reconnects for half a second.
 """
 
 from __future__ import annotations
@@ -48,6 +57,13 @@ SITES = (
     "worker.crash",      # shard worker dies mid-batch (exit / silent return)
     "worker.hang",       # shard worker wedges forever
     "worker.slow",       # shard worker sleeps ``param`` seconds per batch
+    "net.delay",         # sleep ``param`` seconds before a socket send
+    "net.drop_conn",     # close the TCP connection mid-send
+    "net.corrupt",       # flip one byte of a framed send (CRC catches it)
+    "net.partition",     # drop the connection and refuse reconnects
+                         # for ``param`` seconds (default 0.5)
+    "net.slow_read",     # sleep ``param`` seconds before each recv and
+                         # shrink the read size (trickle delivery)
 )
 
 _CLAUSE = re.compile(

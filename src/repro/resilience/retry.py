@@ -23,12 +23,16 @@ _JITTER_RNG = random.Random(0x5A5345)
 def retry_call(func, *, retry_on=(OSError,), attempts: int = 5,
                base_delay: float = 0.002, max_delay: float = 0.1,
                deadline: float | None = None, sleep=time.sleep,
-               clock=time.monotonic, rng=None, on_retry=None):
+               clock=time.monotonic, rng=None, on_retry=None,
+               on_backoff=None):
     """Call ``func()`` retrying on ``retry_on`` exceptions.
 
     Raises the last exception once ``attempts`` are exhausted or
     ``deadline`` seconds have passed since the first attempt.
     ``sleep``/``clock``/``rng`` are injectable for tests.
+    ``on_backoff``, when given, receives each computed jittered delay
+    (seconds) just before sleeping — callers use it to export backoff
+    totals as metrics without wrapping ``sleep``.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
@@ -49,6 +53,8 @@ def retry_call(func, *, retry_on=(OSError,), attempts: int = 5,
                 delay = min(delay, max(0.0, deadline - elapsed))
             if on_retry is not None:
                 on_retry(attempt + 1, exc)
+            if on_backoff is not None:
+                on_backoff(delay)
             sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover
 

@@ -763,12 +763,14 @@ def make_backend(backend: str, shards: int, spec: WorkerSpec, metrics,
                  supervisor=None, on_shard_lost=None,
                  transport: str = "ring",
                  ring_bytes: int = DEFAULT_RING_BYTES,
-                 workers: tuple[str, ...] = ()) -> ShardBackend:
+                 workers: tuple[str, ...] = (),
+                 secret: str | None = None) -> ShardBackend:
     if backend == "remote":
         # Imported lazily: the remote module subclasses this one.
         from repro.sharding.remote import RemoteBackend
         instance = RemoteBackend(shards, spec, metrics, queue_capacity,
-                                 response_timeout, workers=workers)
+                                 response_timeout, workers=workers,
+                                 secret=secret)
         instance.supervisor = supervisor
         instance.on_shard_lost = on_shard_lost
         instance.start()

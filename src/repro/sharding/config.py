@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SaseError
 from repro.sharding.transport import DEFAULT_RING_BYTES, MIN_RING_BYTES, \
@@ -38,7 +38,11 @@ class ShardingConfig:
     worker daemons instead of spawning local processes: ``workers``
     names one ``host:port`` endpoint per shard, and ``queue_capacity``
     becomes the per-connection credit bound (in-flight unacked
-    batches).
+    batches).  ``secret`` is the shared-secret spec (literal /
+    ``env:NAME`` / ``file:PATH``) keying the remote tier's mutual
+    HMAC handshake — required by (and only meaningful for) the remote
+    backend.  It is stored unresolved and excluded from ``repr`` so a
+    literal secret never leaks into logs or manifests.
     """
 
     shards: int = 1
@@ -49,6 +53,7 @@ class ShardingConfig:
     transport: str = "ring"
     ring_bytes: int = DEFAULT_RING_BYTES
     workers: tuple[str, ...] = ()
+    secret: str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -83,9 +88,16 @@ class ShardingConfig:
             from repro.sharding.remote import parse_endpoint
             for endpoint in self.workers:
                 parse_endpoint(endpoint)
+            if self.secret is None:
+                raise SaseError(
+                    "the remote backend needs --shard-secret (the "
+                    "workers authenticate every session)")
         elif self.workers:
             raise SaseError(
                 "--shard-workers only applies to the remote backend")
+        elif self.secret is not None:
+            raise SaseError(
+                "--shard-secret only applies to the remote backend")
 
     @property
     def active(self) -> bool:

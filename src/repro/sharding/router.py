@@ -113,7 +113,8 @@ class ShardRouter:
                 on_shard_lost=self._on_shard_lost,
                 transport=config.transport,
                 ring_bytes=config.ring_bytes,
-                workers=config.workers)
+                workers=config.workers,
+                secret=config.secret)
         else:
             # Every query is local; no workers to start.
             self._backend = None

@@ -14,21 +14,32 @@ payload starts with a one-byte tag selecting the codec:
     Ring transport only: the message travels on the fallback
     ``multiprocessing.Queue`` lane and this marker frame keeps the two
     lanes totally ordered (and carries the ring's backpressure).
-``TAG_PICKLE``
-    TCP transport only: a pickled message follows inline.  The socket
-    is its own ordered lane, so payloads ``marshal`` cannot express
-    (worker specs, exotic attribute values, shipped tracer spans)
-    stay in-band instead of needing a side channel.
+``TAG_SPEC``
+    TCP transport only, coordinator→worker only, and only *after* the
+    authenticated handshake: the ``("spec", ...)`` message that rebuilds
+    a worker core.  A :class:`WorkerSpec` cannot cross ``marshal``, so
+    this one message is pickled — but decoded through a **restricted
+    unpickler** whose class allowlist is exactly the spec's closed
+    object graph.  No other frame on the wire may carry a pickle, so no
+    peer can make either side deserialize arbitrary code (the old
+    general-purpose ``TAG_PICKLE`` lane is retired).
 
 The ring transport (:mod:`repro.sharding.transport`) frames messages
 into shared-memory rings; the remote transport
 (:mod:`repro.sharding.remote`) frames the very same bytes onto TCP
 sockets.  Both re-export this module's codec, so there is exactly one
 encode/decode path to keep deterministic.
+
+The authentication primitives for the TCP handshake
+(:data:`PROTOCOL_VERSION`, :func:`auth_proof`) also live here: they are
+wire format, shared verbatim by coordinator and worker daemon.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import io
 import marshal
 import pickle
 
@@ -38,19 +49,20 @@ from repro.persist.records import HEADER_BYTES, MAX_RECORD_BYTES, \
 
 __all__ = [
     "HEADER_BYTES", "MAX_RECORD_BYTES", "frame", "iter_frames",
-    "TAG_MARSHAL", "TAG_PIPE", "TAG_PICKLE",
+    "TAG_MARSHAL", "TAG_PIPE", "TAG_SPEC",
     "EVENT_ENTRY", "WATERMARK_ENTRY",
+    "PROTOCOL_VERSION", "auth_proof",
     "Unencodable", "WireCorrupt",
     "encode_request", "decode_request",
     "encode_response", "decode_response",
     "frame_message", "PIPE_MARKER",
-    "pack_message", "unpack_payload", "FrameBuffer",
+    "pack_message", "pack_spec", "unpack_payload", "FrameBuffer",
 ]
 
 # Frame payload tags: first byte of every framed payload.
 TAG_MARSHAL = 0x4D   # "M": marshal-encoded message follows inline
 TAG_PIPE = 0x50      # "P": the message travels on the fallback queue
-TAG_PICKLE = 0x4B    # "K": pickled message follows inline (TCP lane)
+TAG_SPEC = 0x53      # "S": restricted-pickle WorkerSpec handshake (TCP)
 
 # Entry opcodes, mirrored from repro.sharding.worker (which imports
 # this module through the transport, so the literals live here to avoid
@@ -59,16 +71,40 @@ TAG_PICKLE = 0x4B    # "K": pickled message follows inline (TCP lane)
 EVENT_ENTRY = "e"
 WATERMARK_ENTRY = "w"
 
+#: Version of the TCP shard protocol, negotiated in the handshake
+#: before anything else crosses the wire.  Bump on any incompatible
+#: change to the framing, the message set, or the handshake itself.
+#: Version 2 = authenticated handshake + restricted spec lane (the
+#: unauthenticated pickle-lane protocol was version 1).
+PROTOCOL_VERSION = 2
+
+
+def auth_proof(secret: bytes, role: bytes, nonce_a: bytes,
+               nonce_b: bytes) -> bytes:
+    """The HMAC-SHA256 challenge–response proof for one handshake side.
+
+    ``role`` (``b"coordinator"`` / ``b"worker"``) is mixed in so one
+    side's proof can never be replayed as the other's; both nonces bind
+    the proof to this session.  The secret itself never crosses the
+    wire.
+    """
+    message = b"|".join((b"sase-shard-v%d" % PROTOCOL_VERSION, role,
+                         nonce_a, nonce_b))
+    return hmac.new(secret, message, hashlib.sha256).digest()
+
 
 class Unencodable(Exception):
-    """The value cannot cross the marshal codec; use the fallback lane."""
+    """The value cannot cross the marshal codec; use the fallback lane
+    (ring transport) or fail the send (TCP, where the pickle lane is
+    retired and nothing inexpressible may cross)."""
 
 
 class WireCorrupt(Exception):
     """A framed stream holds garbage: an unknown payload tag, an
-    impossible frame length, or a CRC failure on a complete frame.
-    On a stream transport this is connection-fatal (reconnect and
-    replay); it never describes a merely *incomplete* tail."""
+    impossible frame length, a CRC failure on a complete frame, or a
+    spec frame referencing a class outside the allowlist.  On a stream
+    transport this is connection-fatal (reconnect and replay); it never
+    describes a merely *incomplete* tail."""
 
 
 # -- payload codec ------------------------------------------------------------
@@ -143,7 +179,7 @@ def encode_request(message: tuple) -> bytes | None:
                 if kind == EVENT_ENTRY else (kind, seq, item, gids)
                 for kind, seq, item, gids in entries]
             return marshal.dumps(("batch", batch_id, encoded))
-        return marshal.dumps(message)  # flush / stop / ping
+        return marshal.dumps(message)  # flush / stop / ping / handshake
     except (ValueError, TypeError):
         return None
 
@@ -182,7 +218,7 @@ def encode_response(message: tuple) -> bytes | None:
                        for rank, end, idx, result in tagged]
             return marshal.dumps(("flush", shard, flush_id, encoded,
                                   delta, spans))
-        return marshal.dumps(message)  # error reports / pong
+        return marshal.dumps(message)  # errors / pong / handshake
     except (ValueError, TypeError, Unencodable):
         return None
 
@@ -213,27 +249,82 @@ def frame_message(payload: bytes) -> bytes:
 PIPE_MARKER = frame(bytes((TAG_PIPE,)))
 
 
-# -- stream (TCP) framing -----------------------------------------------------
+# -- restricted spec lane -----------------------------------------------------
+#
+# A WorkerSpec's object graph is closed: these classes and nothing
+# else.  The unpickler below refuses any other global, so a spec frame
+# can rebuild a worker core but can never execute attacker-chosen
+# callables the way a general pickle.loads could.
 
-def pack_message(message: tuple, encoder) -> bytes:
-    """Frame one message for a stream transport: the marshal codec when
-    it can express the message, the in-band pickle lane otherwise.  The
-    returned bytes are self-describing — :func:`unpack_payload` inverts
-    either tag."""
-    payload = encoder(message)
-    if payload is not None:
-        return frame(bytes((TAG_MARSHAL,)) + payload)
-    return frame(bytes((TAG_PICKLE,))
+_SPEC_ALLOWED: dict[str, frozenset[str]] = {
+    "repro.core.plan": frozenset({"KleeneMode", "PlanConfig"}),
+    "repro.events.model": frozenset({
+        "AttributeSpec", "AttributeType", "EventSchema",
+        "SchemaRegistry"}),
+    "repro.sharding.analyzer": frozenset({"GroupSpec"}),
+    "repro.sharding.worker": frozenset({"WorkerSpec"}),
+}
+
+
+class _SpecUnpickler(pickle.Unpickler):
+    """Allowlist-only unpickler for the ``TAG_SPEC`` handshake frame."""
+
+    def find_class(self, module, name):
+        if name in _SPEC_ALLOWED.get(module, ()):
+            return super().find_class(module, name)
+        raise WireCorrupt(
+            f"spec frame references {module}.{name}, which is outside "
+            f"the worker-spec allowlist")
+
+
+def pack_spec(message: tuple) -> bytes:
+    """Frame the ``("spec", shard, spec, incarnation)`` handshake
+    message.  The only pickle producer left on the TCP wire; its
+    consumer is the restricted decoder in :func:`unpack_payload`."""
+    return frame(bytes((TAG_SPEC,))
                  + pickle.dumps(message, pickle.HIGHEST_PROTOCOL))
 
 
-def unpack_payload(payload: bytes, decoder) -> tuple:
-    """Decode one frame payload produced by :func:`pack_message`."""
+def _load_spec(data: bytes) -> tuple:
+    try:
+        return _SpecUnpickler(io.BytesIO(data)).load()
+    except WireCorrupt:
+        raise
+    except Exception as error:
+        raise WireCorrupt(f"undecodable spec frame: {error}") from None
+
+
+# -- stream (TCP) framing -----------------------------------------------------
+
+def pack_message(message: tuple, encoder) -> bytes:
+    """Frame one message for a stream transport.  Only the marshal
+    codec may carry it: the in-band pickle lane is retired, so a
+    message the codec cannot express raises :class:`Unencodable`
+    instead of silently widening the attack surface (worker specs use
+    :func:`pack_spec`, the one audited exception)."""
+    payload = encoder(message)
+    if payload is None:
+        raise Unencodable(
+            f"message {message[0]!r} cannot cross the TCP shard wire: "
+            f"the marshal codec cannot express it and the pickle lane "
+            f"is retired")
+    return frame(bytes((TAG_MARSHAL,)) + payload)
+
+
+def unpack_payload(payload: bytes, decoder,
+                   allow_spec: bool = False) -> tuple:
+    """Decode one frame payload produced by :func:`pack_message` or
+    :func:`pack_spec`.  ``allow_spec`` is True only on the worker
+    daemon's authenticated request lane; everywhere else a spec frame
+    is treated as corruption, so responses can never smuggle one."""
     tag = payload[0] if payload else -1
     if tag == TAG_MARSHAL:
         return decoder(payload[1:])
-    if tag == TAG_PICKLE:
-        return pickle.loads(payload[1:])
+    if tag == TAG_SPEC:
+        if not allow_spec:
+            raise WireCorrupt("spec frame on a lane that must not "
+                              "carry one")
+        return _load_spec(payload[1:])
     raise WireCorrupt(f"unknown frame tag {tag:#x}")
 
 
@@ -245,12 +336,21 @@ class FrameBuffer:
     is the normal case (more bytes are coming), while a complete frame
     that fails its CRC or claims an impossible length is genuine
     corruption and raises :class:`WireCorrupt`.
+
+    ``max_frame`` caps the length any header may claim *before* payload
+    bytes are buffered, so a corrupted or hostile length prefix can
+    never trigger a multi-GB allocation; together with the post-parse
+    pending-bytes guard it bounds the memory one peer can pin to one
+    frame.  The handshake phase of the TCP transports runs with a tiny
+    cap (handshake messages are a few hundred bytes) and raises it only
+    after the peer has authenticated.
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "max_frame")
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame: int = MAX_RECORD_BYTES) -> None:
         self._data = bytearray()
+        self.max_frame = max_frame
 
     def pending(self) -> int:
         return len(self._data)
@@ -267,10 +367,10 @@ class FrameBuffer:
         while consumed + HEADER_BYTES <= total:
             header = bytes(view[consumed:consumed + HEADER_BYTES])
             length = int.from_bytes(header[:4], "little")
-            if length > MAX_RECORD_BYTES:
+            if length > self.max_frame or length > MAX_RECORD_BYTES:
                 raise WireCorrupt(
                     f"frame claims {length} bytes "
-                    f"(cap {MAX_RECORD_BYTES})")
+                    f"(cap {min(self.max_frame, MAX_RECORD_BYTES)})")
             end = consumed + HEADER_BYTES + length
             if end > total:
                 break  # incomplete: wait for more bytes
@@ -283,4 +383,11 @@ class FrameBuffer:
             consumed = end
         if consumed:
             del self._data[:consumed]
+        # In-flight guard: with the length check above, the unconsumed
+        # tail is always smaller than one max frame plus a header; if it
+        # is not, the peer is streaming bytes no parse will ever absorb.
+        if len(view) - consumed > self.max_frame + HEADER_BYTES:
+            raise WireCorrupt(
+                f"{len(view) - consumed} unparsed bytes pending "
+                f"(cap {self.max_frame + HEADER_BYTES})")
         return payloads

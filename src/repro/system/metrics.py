@@ -176,6 +176,13 @@ class ShardMetrics:
     remote_bytes_sent: int = 0
     remote_bytes_received: int = 0
     remote_inflight: int = 0
+    # Hardened-tier counters: total milliseconds spent in reconnect
+    # backoff, handshakes this side rejected or saw rejected (wrong
+    # secret / version mismatch), and failovers where the link outlived
+    # the reconnect budget (degraded as partitioned, not crashed).
+    reconnect_backoff_ms: float = 0.0
+    remote_auth_failures: int = 0
+    remote_partitions: int = 0
     _rtt_samples: list = field(default_factory=list, repr=False)
     _rtt_sampled: int = field(default=0, repr=False)
     _rtt_rng_state: int = field(default=1, repr=False)
@@ -297,6 +304,13 @@ class MetricsCollector:
                     f"(rtt p50 {shard.remote_rtt_p50 * 1e6:.0f} us, "
                     f"p95 {shard.remote_rtt_p95 * 1e6:.0f} us), "
                     f"{shard.remote_inflight} in flight")
+            if (shard.reconnect_backoff_ms or shard.remote_partitions
+                    or shard.remote_auth_failures):
+                lines.append(
+                    f"shard {shard.shard_id} network: "
+                    f"{shard.reconnect_backoff_ms:.1f} ms backoff, "
+                    f"{shard.remote_partitions} partitions, "
+                    f"{shard.remote_auth_failures} auth failures")
             if (shard.worker_hangs or shard.events_shed
                     or shard.events_lost or shard.breaker_opens):
                 lines.append(

@@ -251,3 +251,58 @@ class TestShardArgHardening:
                              "--shard-workers", "host:abc")
         assert code == 2
         assert text.startswith("error:")
+
+    def test_remote_without_secret_exits_2(self):
+        code, text = run_cli(*self.DEMO, "--shard-backend", "remote",
+                             "--shard-workers", "127.0.0.1:9000")
+        assert code == 2
+        assert text.startswith("error:") and "--shard-secret" in text
+
+    def test_secret_without_remote_backend_exits_2(self):
+        code, text = run_cli(*self.DEMO, "--shards", "2",
+                             "--shard-backend", "process",
+                             "--shard-secret", "s3cret")
+        assert code == 2
+        assert "only applies to" in text
+
+    @pytest.mark.parametrize("secret", [
+        "env:SASE_UNSET_SECRET_VAR", "file:/no/such/secret-file", " ",
+    ])
+    def test_unresolvable_secret_exits_2_eagerly(self, secret,
+                                                 tmp_path):
+        # Resolution happens before any manifest write or connect.
+        data_dir = tmp_path / "demo-data"
+        code, text = run_cli(*self.DEMO, "--shard-backend", "remote",
+                             "--shard-workers", "127.0.0.1:9000",
+                             "--shard-secret", secret,
+                             "--data-dir", str(data_dir))
+        assert code == 2
+        assert text.startswith("error:") and "--shard-secret" in text
+        assert not (data_dir / "manifest.json").exists()
+
+    def test_net_chaos_without_remote_backend_exits_2(self):
+        code, text = run_cli(*self.DEMO, "--shards", "2",
+                             "--shard-backend", "process",
+                             "--chaos", "net.drop_conn@3")
+        assert code == 2
+        assert "net." in text and "remote" in text
+
+    def test_malformed_net_chaos_clause_exits_2(self):
+        code, text = run_cli(*self.DEMO, "--shard-backend", "remote",
+                             "--shard-workers", "127.0.0.1:9000",
+                             "--shard-secret", "s3cret",
+                             "--chaos", "net.delay@-1")
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_worker_without_secret_exits_2(self):
+        code, text = run_cli("worker", "--port", "9100")
+        assert code == 2
+        assert text.startswith("error:") and "--shard-secret" in text
+
+    def test_worker_malformed_chaos_exits_2_before_listening(self):
+        code, text = run_cli("worker", "--port", "9100",
+                             "--shard-secret", "s3cret",
+                             "--chaos", "net.bogus_site@1")
+        assert code == 2
+        assert text.startswith("error:")

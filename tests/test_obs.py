@@ -477,6 +477,31 @@ class TestMetricsExport:
                       (("quantile", "0.95"), ("shard", "0")))]
         assert 0 < p50 <= p95
 
+    def test_network_hardening_counters_round_trip(self):
+        # The PR 6 network counters (backoff spent reconnecting, auth
+        # rejections, partition declarations) flow through JSON and
+        # Prometheus with parse_prometheus parity, like the rest.
+        from repro.obs.export import collector_snapshot
+        from repro.system.metrics import MetricsCollector
+        collector = MetricsCollector()
+        shard = collector.shard(1)
+        shard.reconnect_backoff_ms = 12.5
+        shard.remote_auth_failures = 2
+        shard.remote_partitions = 1
+        snapshot = collector_snapshot(collector)
+        entry = snapshot["shards"]["1"]
+        assert entry["reconnect_backoff_ms"] == 12.5
+        assert entry["remote_auth_failures"] == 2
+        assert entry["remote_partitions"] == 1
+        parsed = parse_prometheus(to_prometheus(snapshot))
+        labels = (("shard", "1"),)
+        assert parsed[("sase_shard_reconnect_backoff_ms_total",
+                       labels)] == 12.5
+        assert parsed[("sase_shard_remote_auth_failures_total",
+                       labels)] == 2.0
+        assert parsed[("sase_shard_remote_partitions_total",
+                       labels)] == 1.0
+
     def test_label_escaping_round_trips(self):
         snapshot = {"queries": {'we"ird\nname\\q': {
             "events_in": 1, "results_out": 0, "busy_seconds": 0.0,

@@ -137,7 +137,8 @@ def test_sigkill_recovery_remote_backend(oracle, tmp_path):
     offset = random.Random("remote").randint(5, total - 5)
     crash_and_resume(str(tmp_path), offset,
                      ["--shards", "2", "--shard-backend", "remote",
-                      "--shard-workers", workers], oracle)
+                      "--shard-workers", workers,
+                      "--shard-secret", "crash-suite-secret"], oracle)
 
 
 def test_sigkill_at_many_offsets(oracle, tmp_path):
